@@ -1,0 +1,63 @@
+// Regenerates Fig. 11: the histogram of RCCL message sizes and the
+// aggregated per-step per-GPU message volume for the three parallelism
+// settings of Fig. 8 (1.7B data parallel, 6.7B ZeRO-1, 6.7B TP=2).
+//
+// Paper: ZeRO-1 and TP=2 issue over an order of magnitude more RCCL calls
+// than plain DP; DP and ZeRO move ~2x the model size per step, TP ~3x (the
+// extra activation allreduces), yet TP scales better because its traffic
+// stays on the 200 GB/s GCD pair.
+
+#include "bench_util.h"
+#include "simfrontier/parallelism.h"
+
+using namespace matgpt;
+using namespace matgpt::sim;
+
+int main() {
+  bench::print_header("Fig. 11", "RCCL message histogram + per-step volume");
+  TrainingSimulator sim((Platform()));
+  const auto m17 = ModelDesc::matgpt_1_7b(ArchFamily::kNeoX);
+  const auto m67 = ModelDesc::matgpt_6_7b(ArchFamily::kNeoX);
+
+  struct Case {
+    const char* label;
+    ModelDesc model;
+    ParallelConfig parallel;
+    std::int64_t tokens;
+  };
+  const std::vector<Case> cases{
+      {"1.7B data-parallel", m17, {256, 1, 1, false}, 16384},
+      {"6.7B ZeRO stage 1", m67, {256, 1, 1, true}, 8192},
+      {"6.7B TP=2", m67, {128, 2, 1, false}, 8192},
+  };
+
+  TablePrinter table({"setting", "RCCL calls/step", "volume/step/GPU",
+                      "x model size"});
+  for (const auto& c : cases) {
+    const auto p = sim.simulate_step(c.model, c.parallel, c.tokens, 2048,
+                                     AttentionImpl::kFlashV2);
+    const double model_bytes = 2.0 * static_cast<double>(c.model.params());
+    char vol[32];
+    std::snprintf(vol, sizeof(vol), "%.1f GB",
+                  p.messages.total_transferred_bytes() / 1e9);
+    table.add_row(
+        {c.label,
+         TablePrinter::fmt_int(p.messages.total_calls()), vol,
+         TablePrinter::fmt(p.messages.total_transferred_bytes() / model_bytes,
+                           2)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  for (const auto& c : cases) {
+    const auto p = sim.simulate_step(c.model, c.parallel, c.tokens, 2048,
+                                     AttentionImpl::kFlashV2);
+    bench::print_section(std::string("message-size histogram: ") + c.label);
+    for (const auto& r : p.messages.records()) {
+      std::printf("  %-14s x%-5d %10.2f MB each (group of %d)\n",
+                  collective_name(r.collective), r.count, r.bytes / 1e6,
+                  r.group_size);
+    }
+    std::printf("%s", p.messages.size_histogram().ascii(40).c_str());
+  }
+  return 0;
+}

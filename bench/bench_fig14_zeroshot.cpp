@@ -1,0 +1,99 @@
+// Regenerates Fig. 14: zero-shot accuracy on the nine QA tasks.
+// (Top) tokenizer/vocabulary effect on the LLaMA models: HF vs SPM at 52K,
+// and 32K vs 52K with HF. (Bottom) NeoX vs LLaMA at both model sizes.
+//
+// Paper shapes reproduced: the tokenizers/vocabs trade small wins across
+// tasks (no uniform winner); NeoX and LLaMA perform similarly; the two
+// off-domain Hendrycks tasks (HT-CM, HT-CCS) sit near chance for every
+// model because the corpus never states those facts.
+
+#include "bench_util.h"
+#include "eval/scorer.h"
+
+using namespace matgpt;
+
+namespace {
+void print_task_rows(
+    const std::vector<std::pair<std::string, const core::PretrainedModel*>>&
+        models,
+    core::ComparativeStudy& study, int shots) {
+  eval::TaskGenerator gen(7, study.materials());
+  std::vector<std::string> header{"task"};
+  for (const auto& [label, unused] : models) header.push_back(label);
+  header.push_back("chance");
+  TablePrinter table(header);
+  for (auto task : eval::all_tasks()) {
+    const auto questions = gen.generate(task, 16);
+    std::vector<std::string> row{eval::task_name(task)};
+    for (const auto& [label, pm] : models) {
+      eval::LmEvaluator ev(*pm->model, *pm->tokenizer);
+      Rng rng(17);
+      const auto r = ev.evaluate(questions, shots, rng);
+      char cell[48];
+      std::snprintf(cell, sizeof(cell), "%.2f+-%.2f", r.accuracy, r.stderr_);
+      row.emplace_back(cell);
+    }
+    char chance[16];
+    std::snprintf(chance, sizeof(chance), "%.2f",
+                  1.0 / static_cast<double>(questions[0].choices.size()));
+    row.emplace_back(chance);
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 14", "Zero-shot accuracy on the nine QA tasks");
+  auto sc = bench::default_study_config();
+  core::ComparativeStudy study(sc);
+
+  using tok::TokenizerKind;
+  using nn::ArchFamily;
+  core::ExperimentSpec hf52{"LLaMA-HF-52K", ArchFamily::kLLaMA,
+                            TokenizerKind::kHuggingFace, 512,
+                            core::OptimizerKind::kLamb, 16, false,
+                            DType::kFloat32};
+  core::ExperimentSpec spm52 = hf52;
+  spm52.label = "LLaMA-SPM-52K";
+  spm52.tokenizer = TokenizerKind::kSentencePiece;
+  core::ExperimentSpec hf32 = hf52;
+  hf32.label = "LLaMA-HF-32K";
+  hf32.vocab = 384;
+  core::ExperimentSpec neox = hf52;
+  neox.label = "NeoX-HF-52K";
+  neox.arch = ArchFamily::kNeoX;
+  core::ExperimentSpec llama_big = hf52;
+  llama_big.label = "LLaMA-6.7B";
+  llama_big.big_model = true;
+  core::ExperimentSpec neox_big = neox;
+  neox_big.label = "NeoX-6.7B";
+  neox_big.big_model = true;
+
+  std::vector<core::PretrainedModel> trained;
+  for (const auto& spec :
+       {hf52, spm52, hf32, neox, llama_big, neox_big}) {
+    std::printf("training %-14s ...\n", spec.label.c_str());
+    std::fflush(stdout);
+    trained.push_back(study.run_experiment(spec));
+  }
+
+  bench::print_section("top: tokenizer and vocabulary effect (LLaMA 1.7B)");
+  print_task_rows({{"HF-52K", &trained[0]},
+                   {"SPM-52K", &trained[1]},
+                   {"HF-32K", &trained[2]}},
+                  study, /*shots=*/0);
+
+  bench::print_section("bottom: NeoX vs LLaMA at both sizes");
+  print_task_rows({{"LLaMA-1.7B", &trained[0]},
+                   {"NeoX-1.7B", &trained[3]},
+                   {"LLaMA-6.7B", &trained[4]},
+                   {"NeoX-6.7B", &trained[5]}},
+                  study, /*shots=*/0);
+
+  std::printf(
+      "\npaper shapes: no uniform tokenizer/vocab winner; NeoX ~ LLaMA on "
+      "generic tasks; loss does not fully predict downstream accuracy "
+      "(Observation 4); off-domain HT-CM / HT-CCS stay near chance.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Regenerates Fig. 16: density distributions of (left) Euclidean distances
+// and (right) cosine similarities between formula-embedding vectors, for
+// the MatGPT variants and the MatSciBERT stand-in.
+//
+// Paper shapes: GPT embedding vectors sit much closer to each other than
+// BERT vectors (distance histograms hug the y-axis), and all GPT variants'
+// pairwise cosines pile up near 1, while BERT cosines spread out.
+
+#include "bench_util.h"
+#include "embed/embedding.h"
+#include "eval/scorer.h"
+
+using namespace matgpt;
+
+int main() {
+  bench::print_header("Fig. 16",
+                      "Embedding distance / cosine densities (formulas)");
+  auto sc = bench::default_study_config();
+  core::ComparativeStudy study(sc);
+
+  core::ExperimentSpec llama{"LLaMA-HF", nn::ArchFamily::kLLaMA,
+                             tok::TokenizerKind::kHuggingFace, 512,
+                             core::OptimizerKind::kLamb, 16, false,
+                             DType::kFloat32};
+  core::ExperimentSpec neox = llama;
+  neox.label = "NeoX-HF";
+  neox.arch = nn::ArchFamily::kNeoX;
+
+  std::printf("training GPT variants + BERT stand-in ...\n");
+  std::fflush(stdout);
+  const auto ml = study.run_experiment(llama);
+  const auto mn = study.run_experiment(neox);
+  const auto bert = bench::train_bert_standin(study, *ml.tokenizer);
+
+  // Embed a shared formula set with every model.
+  const std::size_t n_formulas = 120;
+  std::vector<std::string> formulas;
+  for (std::size_t i = 0; i < n_formulas && i < study.materials().size();
+       ++i) {
+    formulas.push_back(study.materials()[i].formula);
+  }
+  auto embed_gpt = [&](const core::PretrainedModel& pm) {
+    embed::EmbeddingSet set;
+    for (const auto& f : formulas) {
+      set.vectors.push_back(
+          embed::gpt_formula_embedding(*pm.model, *pm.tokenizer, f));
+      set.labels.push_back(f);
+    }
+    return set;
+  };
+  embed::EmbeddingSet bert_set;
+  for (const auto& f : formulas) {
+    bert_set.vectors.push_back(bert->embed(ml.tokenizer->encode(f)));
+    bert_set.labels.push_back(f);
+  }
+
+  struct Entry {
+    std::string label;
+    embed::EmbeddingSet set;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"MatGPT-LLaMA", embed_gpt(ml)});
+  entries.push_back({"MatGPT-NeoX", embed_gpt(mn)});
+  entries.push_back({"MatSciBERT", std::move(bert_set)});
+
+  // Use one shared distance range so the histograms are comparable.
+  double dist_hi = 0.0;
+  {
+    Rng rng(3);
+    for (auto& e : entries) {
+      const auto s = embed::pairwise_stats(e.set, 200, rng);
+      dist_hi = std::max(dist_hi, s.distance_hist.bin_hi(
+                                      s.distance_hist.bin_count() - 1));
+    }
+  }
+
+  TablePrinter table({"model", "mean pair distance", "mean pair cosine",
+                      "cosine > 0.9 share"});
+  for (auto& e : entries) {
+    Rng rng(5);
+    const auto s = embed::pairwise_stats(e.set, 2000, rng, dist_hi);
+    double near_one = 0.0;
+    for (std::size_t b = 0; b < s.cosine_hist.bin_count(); ++b) {
+      if (s.cosine_hist.bin_lo(b) >= 0.9) near_one += s.cosine_hist.count(b);
+    }
+    table.add_row({e.label, TablePrinter::fmt(s.mean_distance, 3),
+                   TablePrinter::fmt(s.mean_cosine, 3),
+                   TablePrinter::fmt_percent(near_one /
+                                             s.cosine_hist.total())});
+    bench::print_section(e.label + ": distance density (shared range)");
+    std::printf("%s", s.distance_hist.ascii(36).c_str());
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\npaper shapes: GPT variants — small mutual distances, cosines near 1 "
+      "(overlapping vertical line); BERT — larger distances, spread-out "
+      "cosines.\nscale caveat: the paper's cosine~1 GPT geometry is the "
+      "anisotropy of billion-parameter causal LMs; it does not emerge in "
+      "these 2-layer stand-ins, so at this scale the densities separate the "
+      "models without matching the paper's direction (see EXPERIMENTS.md).\n");
+  return 0;
+}

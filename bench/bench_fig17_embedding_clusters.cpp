@@ -1,0 +1,109 @@
+// Regenerates Fig. 17: embedding clustering of material formulas after PCA
+// + t-SNE, reported as cluster statistics (estimated cluster count,
+// silhouette, and purity against the physical conductor / semiconductor /
+// insulator classes) for the MatSciBERT stand-in and the MatGPT variants.
+//
+// Paper shapes: MatSciBERT embeddings form one big diffuse cluster
+// (insufficient knowledge representation); GPT variants form a few
+// well-separated clusters that track the band-gap classes; SPM tokenization
+// over-fragments formulas and over-clusters.
+
+#include "bench_util.h"
+#include "embed/cluster.h"
+#include "embed/embedding.h"
+
+using namespace matgpt;
+
+int main() {
+  bench::print_header("Fig. 17", "Embedding clustering (PCA + t-SNE)");
+  auto sc = bench::default_study_config();
+  core::ComparativeStudy study(sc);
+
+  core::ExperimentSpec llama_hf{"LLaMA-HF", nn::ArchFamily::kLLaMA,
+                                tok::TokenizerKind::kHuggingFace, 512,
+                                core::OptimizerKind::kLamb, 16, false,
+                                DType::kFloat32};
+  core::ExperimentSpec llama_spm = llama_hf;
+  llama_spm.label = "LLaMA-SPM";
+  llama_spm.tokenizer = tok::TokenizerKind::kSentencePiece;
+  core::ExperimentSpec neox = llama_hf;
+  neox.label = "NeoX-HF";
+  neox.arch = nn::ArchFamily::kNeoX;
+
+  std::printf("training three GPT variants + BERT stand-in ...\n");
+  std::fflush(stdout);
+  const auto m_hf = study.run_experiment(llama_hf);
+  const auto m_spm = study.run_experiment(llama_spm);
+  const auto m_neox = study.run_experiment(neox);
+  const auto bert = bench::train_bert_standin(study, *m_hf.tokenizer);
+
+  const std::size_t n = std::min<std::size_t>(110, study.materials().size());
+  std::vector<std::size_t> gap_labels;
+  for (std::size_t i = 0; i < n; ++i) {
+    gap_labels.push_back(
+        static_cast<std::size_t>(study.materials()[i].gap_class));
+  }
+
+  struct Analysis {
+    embed::ClusterEstimate est;
+    double purity = 0.0;
+  };
+  auto analyze = [&](const std::string& label, embed::Matrix vectors) {
+    // PCA to 8 dims then t-SNE to 2, as the paper does (TSNE in tandem
+    // with PCA).
+    const std::size_t pca_dims =
+        std::min<std::size_t>(8, vectors[0].size());
+    const embed::Matrix reduced = embed::pca(vectors, pca_dims);
+    embed::TsneOptions topt;
+    topt.iterations = 250;
+    Rng trng(11);
+    const embed::Matrix y = embed::tsne_2d(reduced, topt, trng);
+    Rng krng(13);
+    Analysis a;
+    a.est = embed::estimate_clusters(y, 8, krng);
+    a.purity = embed::purity(a.est.result.assignment, gap_labels);
+    std::printf("%-14s clusters %zu  silhouette %.3f  gap-class purity %.3f\n",
+                label.c_str(), a.est.k, a.est.silhouette, a.purity);
+    return a;
+  };
+
+  bench::print_section("cluster statistics per embedding space");
+  embed::Matrix bert_vecs, hf_vecs, spm_vecs, neox_vecs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = study.materials()[i].formula;
+    bert_vecs.push_back(bert->embed(m_hf.tokenizer->encode(f)));
+    hf_vecs.push_back(
+        embed::gpt_formula_embedding(*m_hf.model, *m_hf.tokenizer, f));
+    spm_vecs.push_back(
+        embed::gpt_formula_embedding(*m_spm.model, *m_spm.tokenizer, f));
+    neox_vecs.push_back(
+        embed::gpt_formula_embedding(*m_neox.model, *m_neox.tokenizer, f));
+  }
+  const auto bert_a = analyze("MatSciBERT", bert_vecs);
+  const auto neox_a = analyze("MatGPT-NeoX", neox_vecs);
+  const auto hf_a = analyze("LLaMA-HF", hf_vecs);
+  const auto spm_a = analyze("LLaMA-SPM", spm_vecs);
+
+  bench::print_section("paper-shape checks");
+  std::printf(
+      "materials have 3 physical classes (conductor/semiconductor/"
+      "insulator); the paper's best model (NeoX) clusters consistently with "
+      "them.\n");
+  std::printf("NeoX cluster count %zu vs the 3 physical classes: %s\n",
+              neox_a.est.k,
+              neox_a.est.k == 3 ? "matches (the paper's consistency claim)"
+                                : "differs here");
+  const double best_gpt_purity =
+      std::max({neox_a.purity, hf_a.purity, spm_a.purity});
+  std::printf("best GPT gap-class purity %.3f vs BERT %.3f: %s\n",
+              best_gpt_purity, bert_a.purity,
+              best_gpt_purity >= bert_a.purity
+                  ? "a GPT space tracks the physics best (paper shape)"
+                  : "BERT tracks better here");
+  std::printf("SPM vs HF cluster structure differs (%zu vs %zu clusters): "
+              "tokenization changes the embedding geometry, the paper's "
+              "mechanism — though at this scale SPM under- rather than "
+              "over-segments.\n",
+              spm_a.est.k, hf_a.est.k);
+  return 0;
+}

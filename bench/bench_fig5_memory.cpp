@@ -1,0 +1,82 @@
+// Regenerates Fig. 5: peak HBM usage when training MatGPT 1.7B for context
+// lengths 2048..65536 with and without flash attention (simulated Frontier
+// GCD), plus a real-engine ablation measuring actual peak activation bytes
+// of flash vs. materialized attention on the CPU tensor engine.
+//
+// Paper: without flash, OOM beyond 8192; with flash, memory growth becomes
+// linear and the max context extends ~4x to 32768.
+
+#include "bench_util.h"
+#include "simfrontier/memory_model.h"
+#include "tensor/ops.h"
+
+using namespace matgpt;
+
+int main() {
+  bench::print_header("Fig. 5",
+                      "Peak memory vs. context length, with/without flash");
+  sim::Platform plat;
+  sim::MemoryModel mm(plat);
+  const auto model = sim::ModelDesc::matgpt_1_7b(sim::ArchFamily::kNeoX);
+  const sim::ParallelConfig serial{};
+
+  TablePrinter table({"seq len", "no-flash (% HBM)", "no-flash fits",
+                      "flash (% HBM)", "flash fits"});
+  for (std::int64_t seq = 2048; seq <= 65536; seq *= 2) {
+    const auto nf = mm.training_memory(model, 1, seq,
+                                       sim::AttentionImpl::kMaterialized,
+                                       serial);
+    const auto fl = mm.training_memory(model, 1, seq,
+                                       sim::AttentionImpl::kFlashV1, serial);
+    table.add_row({TablePrinter::fmt_int(seq),
+                   TablePrinter::fmt_percent(
+                       nf.fraction_of(plat.gcd.hbm_bytes), 0),
+                   mm.fits(nf) ? "ok" : "OOM",
+                   TablePrinter::fmt_percent(
+                       fl.fraction_of(plat.gcd.hbm_bytes), 0),
+                   mm.fits(fl) ? "ok" : "OOM"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "max context: no-flash %lld, flash %lld (paper: 8192 -> 32768, ~4x)\n",
+      static_cast<long long>(mm.max_sequence_length(
+          model, sim::AttentionImpl::kMaterialized, serial)),
+      static_cast<long long>(
+          mm.max_sequence_length(model, sim::AttentionImpl::kFlashV1,
+                                 serial)));
+
+  bench::print_section(
+      "real-engine ablation: measured peak activation bytes (tiny model)");
+  // The same structural claim on the executable engine: the materialized
+  // path allocates the [B, H, T, T] probability tensor, flash only O(T).
+  Rng rng(5);
+  TablePrinter real({"seq len", "materialized bytes", "flash bytes",
+                     "ratio"});
+  for (std::int64_t t : {32, 64, 128, 256}) {
+    auto peak_for = [&](bool flash) {
+      Tensor q0 = Tensor::randn({1, t, 2, 8}, rng);
+      auto& tracker = MemoryTracker::instance();
+      tracker.reset_peak();
+      const std::size_t before = tracker.current_bytes();
+      Tape tape;
+      Var q = tape.leaf(q0.clone(), true);
+      Var k = tape.leaf(q0.clone(), true);
+      Var v = tape.leaf(q0.clone(), true);
+      Var out = ops::attention(tape, q, k, v, true, flash);
+      Var loss = ops::sum_all(tape, out);
+      tape.backward(loss);
+      return tracker.peak_bytes() - before;
+    };
+    const auto mat = peak_for(false);
+    const auto fla = peak_for(true);
+    real.add_row({TablePrinter::fmt_int(t), TablePrinter::fmt_int(
+                                               static_cast<long long>(mat)),
+                  TablePrinter::fmt_int(static_cast<long long>(fla)),
+                  TablePrinter::fmt(static_cast<double>(mat) /
+                                        static_cast<double>(fla),
+                                    2)});
+  }
+  std::printf("%s", real.render().c_str());
+  std::printf("ratio grows ~linearly with seq (quadratic vs linear memory)\n");
+  return 0;
+}

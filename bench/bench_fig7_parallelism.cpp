@@ -1,0 +1,62 @@
+// Regenerates Fig. 7: single-node (8 GCD) training throughput for MatGPT
+// 1.7B (pure data parallel) and 6.7B under ZeRO stage 1, TP=2, and PP=2 —
+// each with and without flash attention.
+//
+// Paper: ZeRO-1 gives the best 6.7B throughput (81 TFLOPS/GPU), with a flash
+// boost similar to the 1.7B model; PP=2 is clearly worst already at one node.
+
+#include "bench_util.h"
+#include "simfrontier/parallelism.h"
+
+using namespace matgpt;
+using namespace matgpt::sim;
+
+int main() {
+  bench::print_header("Fig. 7", "Single-node throughput by parallelism");
+  TrainingSimulator sim((Platform()));
+  const auto m17 = ModelDesc::matgpt_1_7b(ArchFamily::kNeoX);
+  const auto m67 = ModelDesc::matgpt_6_7b(ArchFamily::kNeoX);
+
+  struct Case {
+    const char* label;
+    ModelDesc model;
+    ParallelConfig parallel;
+    std::int64_t tokens_per_gcd;
+  };
+  const std::vector<Case> cases{
+      {"1.7B DP=8", m17, {8, 1, 1, false}, 16384},
+      {"6.7B ZeRO=1", m67, {8, 1, 1, true}, 8192},
+      {"6.7B TP=2", m67, {4, 2, 1, false}, 8192},
+      {"6.7B PP=2", m67, {4, 1, 2, false}, 8192},
+  };
+
+  TablePrinter table({"config", "no-flash TF/GCD", "flash-v2 TF/GCD",
+                      "flash boost", "comm share", "ckpt"});
+  for (const auto& c : cases) {
+    const auto base = sim.simulate_step(c.model, c.parallel, c.tokens_per_gcd,
+                                        2048, AttentionImpl::kMaterialized);
+    const auto flash = sim.simulate_step(c.model, c.parallel,
+                                         c.tokens_per_gcd, 2048,
+                                         AttentionImpl::kFlashV2);
+    table.add_row({c.label, TablePrinter::fmt(base.per_gcd_tflops, 1),
+                   TablePrinter::fmt(flash.per_gcd_tflops, 1),
+                   TablePrinter::fmt_percent(flash.per_gcd_tflops /
+                                                 base.per_gcd_tflops -
+                                             1.0),
+                   TablePrinter::fmt_percent(flash.comm_fraction()),
+                   flash.checkpointed ? "yes" : "no"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto zero = sim.simulate_step(m67, {8, 1, 1, true}, 8192, 2048,
+                                      AttentionImpl::kFlashV2);
+  const auto tp = sim.simulate_step(m67, {4, 2, 1, false}, 8192, 2048,
+                                    AttentionImpl::kFlashV2);
+  const auto pp = sim.simulate_step(m67, {4, 1, 2, false}, 8192, 2048,
+                                    AttentionImpl::kFlashV2);
+  std::printf(
+      "\nordering: ZeRO-1 (%.1f) > TP=2 (%.1f) > PP=2 (%.1f) — paper: "
+      "ZeRO-1 best at 81 TFLOPS/GPU, PP=2 much worse (bubble %.2fs here)\n",
+      zero.per_gcd_tflops, tp.per_gcd_tflops, pp.per_gcd_tflops, pp.bubble_s);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Regenerates Fig. 8: (top) scaling of training throughput to 256 GCDs for
+// 1.7B data-parallel, 6.7B ZeRO-1, and 6.7B TP=2; (bottom) the
+// rocprof-style compute/communication/IO breakdown of the three parallel
+// distributions at 256 GCDs.
+//
+// Paper: 1.7B DP reaches >18 PFLOPS at 88% efficiency; 6.7B ZeRO-1 holds to
+// ~64 GPUs then drops (all-device collectives); TP=2 sustains ~71%
+// efficiency thanks to the 2-GCD MI250X mapping; IO is ~5%, communication
+// up to ~40% of kernel time for ZeRO-1 at scale.
+
+#include "bench_util.h"
+#include "simfrontier/trace.h"
+
+using namespace matgpt;
+using namespace matgpt::sim;
+
+int main() {
+  bench::print_header("Fig. 8", "Scaling to 256 GCDs + profiling breakdown");
+  TrainingSimulator sim((Platform()));
+  const auto m17 = ModelDesc::matgpt_1_7b(ArchFamily::kNeoX);
+  const auto m67 = ModelDesc::matgpt_6_7b(ArchFamily::kNeoX);
+
+  bench::print_section("scaling (TFLOPS/GCD; aggregate PFLOPS for 1.7B DP)");
+  TablePrinter table({"GCDs", "1.7B DP (TF)", "1.7B PFLOPS", "1.7B eff",
+                      "6.7B ZeRO (TF)", "6.7B ZeRO eff", "6.7B TP=2 (TF)",
+                      "6.7B TP=2 eff"});
+  StepProfile base17, base_zero, base_tp;
+  for (int g : {8, 16, 32, 64, 128, 256}) {
+    const auto dp = sim.simulate_step(m17, {g, 1, 1, false}, 16384, 2048,
+                                      AttentionImpl::kFlashV2);
+    const auto zero = sim.simulate_step(m67, {g, 1, 1, true}, 8192, 2048,
+                                        AttentionImpl::kFlashV2);
+    const auto tp = sim.simulate_step(m67, {g / 2, 2, 1, false}, 8192, 2048,
+                                      AttentionImpl::kFlashV2);
+    if (g == 8) {
+      base17 = dp;
+      base_zero = zero;
+      base_tp = tp;
+    }
+    table.add_row({TablePrinter::fmt_int(g),
+                   TablePrinter::fmt(dp.per_gcd_tflops, 1),
+                   TablePrinter::fmt(dp.aggregate_pflops, 2),
+                   TablePrinter::fmt_percent(
+                       sim.scaling_efficiency(base17, dp), 0),
+                   TablePrinter::fmt(zero.per_gcd_tflops, 1),
+                   TablePrinter::fmt_percent(
+                       sim.scaling_efficiency(base_zero, zero), 0),
+                   TablePrinter::fmt(tp.per_gcd_tflops, 1),
+                   TablePrinter::fmt_percent(
+                       sim.scaling_efficiency(base_tp, tp), 0)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::print_section("rocprof breakdown at 256 GCDs (share of kernel time)");
+  struct Case {
+    const char* label;
+    ModelDesc model;
+    ParallelConfig parallel;
+    std::int64_t tokens;
+  };
+  const std::vector<Case> cases{
+      {"1.7B data-parallel", m17, {256, 1, 1, false}, 16384},
+      {"6.7B ZeRO stage 1", m67, {256, 1, 1, true}, 8192},
+      {"6.7B TP=2", m67, {128, 2, 1, false}, 8192},
+  };
+  TablePrinter prof({"distribution", "compute", "comm (RCCL)", "IO"});
+  for (const auto& c : cases) {
+    const auto trace = StepTrace::build(sim, c.model, c.parallel, c.tokens,
+                                        2048, AttentionImpl::kFlashV2);
+    const auto b = trace.breakdown();
+    prof.add_row({c.label, TablePrinter::fmt_percent(b.compute_fraction()),
+                  TablePrinter::fmt_percent(b.comm_fraction()),
+                  TablePrinter::fmt_percent(b.io_fraction())});
+  }
+  std::printf("%s", prof.render().c_str());
+  std::printf("paper: IO plays no big role (~5%% worst case for ZeRO); "
+              "communication dominates the overhead at scale.\n");
+
+  bench::print_section(
+      "ablation: TP=2 mapped across nodes instead of the GCD pair");
+  // Observation 2's topology claim: TP works because the partition maps onto
+  // the 200 GB/s on-package link. Model the off-package variant by pricing
+  // the TP allreduces at inter-node bandwidth (group of 16 spans nodes).
+  const auto on_package = sim.network().collective_time(
+      Collective::kAllReduce, 16384.0 * 2 * m67.hidden * 2, 2);
+  const auto off_package = sim.network().collective_time(
+      Collective::kAllReduce, 16384.0 * 2 * m67.hidden * 2, 16);
+  std::printf(
+      "per-layer TP allreduce: on-package %.3f ms vs off-package-style %.3f "
+      "ms (%.1fx worse)\n",
+      on_package * 1e3, off_package * 1e3, off_package / on_package);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Google-benchmark microbenchmarks of the CPU engine's hot kernels: the
+// blocked GEMM variants, flash vs. materialized attention (forward and
+// forward+backward), and the fused cross-entropy — the on-engine analog of
+// the paper's kernel-level analysis (Fig. 10).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace matgpt;
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    kernels::gemm_nn(a.data(), b.data(), c.data(), n, n, n, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    kernels::gemm_nt(a.data(), b.data(), c.data(), n, n, n, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128);
+
+void attention_forward(benchmark::State& state, bool flash) {
+  const auto t = static_cast<std::int64_t>(state.range(0));
+  Rng rng(2);
+  Tensor q0 = Tensor::randn({1, t, 4, 16}, rng);
+  Tensor k0 = Tensor::randn({1, t, 4, 16}, rng);
+  Tensor v0 = Tensor::randn({1, t, 4, 16}, rng);
+  for (auto _ : state) {
+    Tape tape;
+    tape.set_recording(false);
+    Var q = tape.leaf(q0, false);
+    Var k = tape.leaf(k0, false);
+    Var v = tape.leaf(v0, false);
+    Var out = ops::attention(tape, q, k, v, true, flash);
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+void BM_AttentionMaterializedFwd(benchmark::State& state) {
+  attention_forward(state, false);
+}
+void BM_AttentionFlashFwd(benchmark::State& state) {
+  attention_forward(state, true);
+}
+BENCHMARK(BM_AttentionMaterializedFwd)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_AttentionFlashFwd)->Arg(64)->Arg(128)->Arg(256);
+
+void attention_train(benchmark::State& state, bool flash) {
+  const auto t = static_cast<std::int64_t>(state.range(0));
+  Rng rng(2);
+  Tensor q0 = Tensor::randn({1, t, 4, 16}, rng);
+  for (auto _ : state) {
+    Tape tape;
+    Var q = tape.leaf(q0.clone(), true);
+    Var k = tape.leaf(q0.clone(), true);
+    Var v = tape.leaf(q0.clone(), true);
+    Var out = ops::attention(tape, q, k, v, true, flash);
+    Var loss = ops::sum_all(tape, out);
+    tape.backward(loss);
+    benchmark::DoNotOptimize(q.grad().data());
+  }
+}
+void BM_AttentionMaterializedTrain(benchmark::State& state) {
+  attention_train(state, false);
+}
+void BM_AttentionFlashTrain(benchmark::State& state) {
+  attention_train(state, true);
+}
+BENCHMARK(BM_AttentionMaterializedTrain)->Arg(64)->Arg(128);
+BENCHMARK(BM_AttentionFlashTrain)->Arg(64)->Arg(128);
+
+void BM_CrossEntropy(benchmark::State& state) {
+  const auto v = static_cast<std::int64_t>(state.range(0));
+  Rng rng(3);
+  Tensor logits0 = Tensor::randn({64, v}, rng);
+  std::vector<std::int32_t> targets(64);
+  for (auto& t : targets) {
+    t = static_cast<std::int32_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(v)));
+  }
+  for (auto _ : state) {
+    Tape tape;
+    Var logits = tape.leaf(logits0.clone(), true);
+    Var loss = ops::cross_entropy(tape, logits, targets);
+    tape.backward(loss);
+    benchmark::DoNotOptimize(logits.grad().data());
+  }
+}
+BENCHMARK(BM_CrossEntropy)->Arg(512)->Arg(2048);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x0 = Tensor::randn({256, 256}, rng);
+  Tensor g0 = Tensor::full({256}, 1.0f);
+  Tensor b0 = Tensor::zeros({256});
+  for (auto _ : state) {
+    Tape tape;
+    tape.set_recording(false);
+    Var x = tape.leaf(x0, false);
+    Var g = tape.leaf(g0, false);
+    Var b = tape.leaf(b0, false);
+    Var y = ops::layer_norm(tape, x, g, b);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

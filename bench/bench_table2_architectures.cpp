@@ -1,0 +1,44 @@
+// Regenerates Table II: the MatGPT architecture grid, with parameter counts
+// recomputed from the analytic model (validated in tests against the real
+// nn::GptModel) rather than copied.
+
+#include "bench_util.h"
+#include "simfrontier/model_desc.h"
+
+using namespace matgpt;
+
+int main() {
+  bench::print_header("Table II",
+                      "Model architectures and data tokenization");
+  TablePrinter table({"MatGPT Arch", "#parameters", "hidden-size", "#layers",
+                      "#heads", "head-dim", "tokenizer", "vocab-size"});
+  for (const auto& spec : core::table2_specs()) {
+    const auto arch = std::string(spec.arch) == "LLaMA"
+                          ? nn::ArchFamily::kLLaMA
+                          : nn::ArchFamily::kNeoX;
+    const sim::ModelDesc desc{arch, spec.hidden, spec.n_layers, spec.n_heads,
+                              52000};
+    char params[32];
+    std::snprintf(params, sizeof(params), "%.2fB",
+                  static_cast<double>(desc.params()) / 1e9);
+    table.add_row({spec.arch, params, TablePrinter::fmt_int(spec.hidden),
+                   TablePrinter::fmt_int(spec.n_layers),
+                   TablePrinter::fmt_int(spec.n_heads),
+                   TablePrinter::fmt_int(spec.head_dim), spec.tokenizer,
+                   spec.vocab});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::print_section("per-layer parity check (Fig. 2 premise)");
+  const auto neox = sim::ModelDesc::matgpt_1_7b(nn::ArchFamily::kNeoX);
+  const auto llama = sim::ModelDesc::matgpt_1_7b(nn::ArchFamily::kLLaMA);
+  std::printf(
+      "1.7B layer params: NeoX %.2fM vs LLaMA %.2fM (ratio %.3f)\n",
+      neox.layer_params() / 1e6, llama.layer_params() / 1e6,
+      static_cast<double>(neox.layer_params()) / llama.layer_params());
+  std::printf(
+      "1.7B layer fwd FLOPs (B=16, T=2048): NeoX %.2f GF vs LLaMA %.2f GF\n",
+      neox.layer_forward_flops(16 * 2048, 2048) / 1e9,
+      llama.layer_forward_flops(16 * 2048, 2048) / 1e9);
+  return 0;
+}

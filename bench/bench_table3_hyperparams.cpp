@@ -1,0 +1,36 @@
+// Regenerates Table III: training hyper-parameters, and exercises the
+// corresponding schedule/optimizer configuration (cosine decay with 1%
+// warmup to 10% of peak, the paper's recipe).
+
+#include "bench_util.h"
+#include "optim/optimizer.h"
+
+using namespace matgpt;
+
+int main() {
+  bench::print_header("Table III", "Training hyper-parameters for MatGPT");
+  TablePrinter table({"Model", "Optimizer", "beta1", "beta2", "LR", "BS"});
+  for (const auto& row : core::table3_rows()) {
+    table.add_row({row.model, row.optimizer, TablePrinter::fmt(row.beta1, 2),
+                   TablePrinter::fmt(row.beta2, 3),
+                   TablePrinter::fmt(row.lr, 4), row.batch_tokens});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::print_section("LAMB 6.7B schedule (cosine, 1% warmup, 10% floor)");
+  // 15B tokens / 4M-token batches => ~3750 steps.
+  const std::int64_t steps = 3750;
+  optim::CosineSchedule schedule(0.006, steps, 0.01, 0.1);
+  TablePrinter sched({"step", "lr"});
+  for (std::int64_t s : {std::int64_t{0}, schedule.warmup_steps() - 1,
+                         steps / 4, steps / 2, 3 * steps / 4, steps - 1}) {
+    sched.add_row({TablePrinter::fmt_int(s),
+                   TablePrinter::fmt(schedule.lr(s), 5)});
+  }
+  std::printf("%s", sched.render().c_str());
+  std::printf("peak lr %.4f, final lr %.4f (10%% of peak), warmup %lld steps\n",
+              schedule.lr(schedule.warmup_steps()),
+              schedule.lr(steps - 1),
+              static_cast<long long>(schedule.warmup_steps()));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Example: computationally-efficient architecture design (the paper's
+// Sec. III method, Observation 1).
+//
+// Given a parameter budget and a cluster allocation, search the
+// (layers, hidden) space under the divisibility constraints (Eqs. 1–5),
+// score candidates by simulated Frontier throughput, check memory
+// feasibility, and report the recommended configuration — the workflow a
+// practitioner would run before launching a pre-training job.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.h"
+#include "simfrontier/archsearch.h"
+#include "simfrontier/memory_model.h"
+
+using namespace matgpt;
+using namespace matgpt::sim;
+
+int main() {
+  std::printf("Architecture design for a ~3B-parameter MatGPT on Frontier\n");
+  std::printf("allocation: 64 GCDs (8 nodes), TP=1, PP=1, seq 2048\n\n");
+
+  Platform platform;
+  ArchitectureSearch search(platform);
+  SearchConstraints constraints;
+  constraints.dp = 64;
+  constraints.min_params = 2'500'000'000;
+  constraints.max_params = 3'800'000'000;
+
+  const std::vector<std::int64_t> layer_grid{24, 28, 32, 36, 40};
+  const std::vector<std::int64_t> hidden_grid{2688, 2816, 2880, 3072, 3200,
+                                              3328, 3456, 3584};
+  const auto candidates =
+      search.search(ArchFamily::kLLaMA, 52000, layer_grid, hidden_grid,
+                    constraints, /*batch_seqs=*/16, /*seq=*/2048);
+
+  // Rank by flash-v2 throughput where eligible, base otherwise.
+  auto score = [](const ArchCandidate& c) {
+    return c.tflops_flash_v2 > 0.0 ? c.tflops_flash_v2 : c.tflops_base;
+  };
+  std::vector<const ArchCandidate*> ranked;
+  for (const auto& c : candidates) ranked.push_back(&c);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const auto* a, const auto* b) { return score(*a) > score(*b); });
+
+  MemoryModel memory(platform);
+  TablePrinter table({"rank", "layers", "hidden", "head dim", "params",
+                      "TFLOPS/GCD", "flash", "fits 64GB"});
+  int rank = 1;
+  for (const auto* c : ranked) {
+    if (rank > 10) break;
+    const auto mem = memory.training_memory(
+        c->model, 4, 2048,
+        c->tflops_flash_v2 > 0.0 ? AttentionImpl::kFlashV2
+                                 : AttentionImpl::kMaterialized,
+        ParallelConfig{64, 1, 1, true});
+    char params[32];
+    std::snprintf(params, sizeof(params), "%.2fB", c->model.params() / 1e9);
+    table.add_row({TablePrinter::fmt_int(rank++),
+                   TablePrinter::fmt_int(c->model.n_layers),
+                   TablePrinter::fmt_int(c->model.hidden),
+                   TablePrinter::fmt_int(c->head_dim()), params,
+                   TablePrinter::fmt(score(*c), 1),
+                   c->tflops_flash_v2 > 0.0 ? "v2" : "none",
+                   memory.fits(mem) ? "yes" : "NO"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto* best = ranked.front();
+  std::printf(
+      "\nrecommendation: %lld layers x hidden %lld (head dim %lld, %s)\n",
+      static_cast<long long>(best->model.n_layers),
+      static_cast<long long>(best->model.hidden),
+      static_cast<long long>(best->head_dim()),
+      best->head_dim() % 8 == 0 ? "8-aligned, flash-eligible"
+                                : "NOT 8-aligned — avoid");
+  std::printf(
+      "rule of thumb reproduced: pick head dims that are multiples of 8 "
+      "(Observation 1); misaligned candidates rank at the bottom.\n");
+  return 0;
+}

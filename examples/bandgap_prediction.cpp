@@ -1,0 +1,70 @@
+// Example: the scientific downstream task (Fig. 3 / Table V workflow).
+//
+// Pre-train a small MatGPT on the synthetic literature, extract formula
+// embeddings, and fine-tune a structure GNN for band-gap prediction with
+// and without the literature embeddings — showing the boost the paper
+// reports from injecting LLM knowledge into a property predictor.
+
+#include <cstdio>
+
+#include "core/study.h"
+#include "embed/embedding.h"
+#include "gnn/bandgap.h"
+
+using namespace matgpt;
+
+int main() {
+  std::printf("Band-gap prediction with LLM-augmented GNNs\n\n");
+
+  // 1. Pre-train the literature model.
+  core::StudyConfig sc;
+  sc.corpus_scale = 3e-5;
+  sc.n_materials = 320;
+  sc.steps = 200;
+  sc.seq = 48;
+  core::ComparativeStudy study(sc);
+  core::ExperimentSpec spec;
+  spec.label = "matgpt-neox";
+  spec.arch = nn::ArchFamily::kNeoX;
+  spec.vocab = 512;
+  spec.optimizer = core::OptimizerKind::kAdam;
+  spec.batch_seqs = 8;
+  const auto gpt = study.run_experiment(spec);
+  std::printf("literature model trained (val loss %.3f)\n",
+              gpt.curve.final_val_loss());
+
+  // 2. Build crystal structures for the same materials.
+  const auto dataset = gnn::build_dataset_from(study.materials(), 31);
+  std::printf("crystal dataset: %zu structures\n", dataset.graphs.size());
+
+  // 3. Structure-only baseline (MF-CGNN).
+  gnn::RegressionConfig rc;
+  rc.epochs = 20;
+  gnn::GnnModel baseline({gnn::GnnVariant::kMfCgnn, 16, 0, 17});
+  const auto base = gnn::train_bandgap(baseline, dataset, rc);
+  std::printf("MF-CGNN (structure only): test MAE %.3f eV\n",
+              base.test_mae_ev);
+
+  // 4. Literature-augmented variant: concat the formula embedding (Fig. 3).
+  const std::int64_t dim = gpt.model->config().hidden;
+  std::vector<std::vector<float>> embeddings(dataset.pool.size());
+  for (std::size_t i = 0; i < dataset.pool.size(); ++i) {
+    embeddings[i] = embed::gpt_formula_embedding(*gpt.model, *gpt.tokenizer,
+                                                 dataset.pool[i].formula);
+  }
+  gnn::GnnModel augmented({gnn::GnnVariant::kMfCgnn, 16, dim, 17});
+  const auto boosted = gnn::train_bandgap(
+      augmented, dataset, rc,
+      [&](std::size_t i) { return embeddings[i]; });
+  std::printf("MF-CGNN + MatGPT embeddings: test MAE %.3f eV\n",
+              boosted.test_mae_ev);
+
+  const double improvement =
+      100.0 * (1.0 - boosted.test_mae_ev / base.test_mae_ev);
+  std::printf(
+      "\nliterature embeddings change MAE by %+.1f%% (paper: +GPT improves "
+      "MF-CGNN by ~8%%)\n",
+      improvement);
+  std::printf("done.\n");
+  return 0;
+}

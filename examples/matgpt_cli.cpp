@@ -1,0 +1,203 @@
+// matgpt_cli: a command-line front end to the library, the shape of tool an
+// open-source release of the paper's system would ship.
+//
+//   matgpt_cli corpus  [scale]                 synthesize + screen a corpus
+//   matgpt_cli train   <neox|llama> [steps] [dir]   pre-train + checkpoint
+//   matgpt_cli generate <dir> <prompt...>      sample from a checkpoint
+//   matgpt_cli simulate <1.7b|6.7b> <gcds> <dp|zero1|tp2|pp2>
+//   matgpt_cli search  <min_B> <max_B>         architecture search
+//
+// Checkpoints written by `train` (model.ckpt + tokenizer.txt) are reloaded
+// by `generate`.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/study.h"
+#include "nn/serialize.h"
+#include "simfrontier/archsearch.h"
+
+using namespace matgpt;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  matgpt_cli corpus [scale]\n"
+               "  matgpt_cli train <neox|llama> [steps] [dir]\n"
+               "  matgpt_cli generate <dir> <prompt...>\n"
+               "  matgpt_cli simulate <1.7b|6.7b> <gcds> <dp|zero1|tp2|pp2>\n"
+               "  matgpt_cli search <min_params_B> <max_params_B>\n");
+  return 2;
+}
+
+core::StudyConfig cli_study_config() {
+  core::StudyConfig sc;
+  sc.corpus_scale = 8e-6;
+  sc.n_materials = 150;
+  sc.seq = 48;
+  sc.steps = 200;
+  return sc;
+}
+
+int cmd_corpus(double scale) {
+  core::StudyConfig sc = cli_study_config();
+  if (scale > 0) sc.corpus_scale = scale;
+  core::ComparativeStudy study(sc);
+  study.prepare_corpus();
+  std::printf("screened documents: %zu\n", study.screened_corpus().size());
+  std::printf("materials in pool:  %zu\n", study.materials().size());
+  std::printf("screen precision %.3f recall %.3f\n",
+              study.screen_quality().precision,
+              study.screen_quality().recall);
+  std::printf("sample document:\n  %s\n",
+              study.screened_corpus().front().text.c_str());
+  return 0;
+}
+
+int cmd_train(const std::string& arch, std::int64_t steps,
+              const std::string& dir) {
+  core::StudyConfig sc = cli_study_config();
+  if (steps > 0) sc.steps = steps;
+  core::ComparativeStudy study(sc);
+  core::ExperimentSpec spec;
+  spec.label = "cli-" + arch;
+  spec.arch = arch == "neox" ? nn::ArchFamily::kNeoX : nn::ArchFamily::kLLaMA;
+  const auto result = study.run_experiment(spec);
+  std::printf("trained %s: %lld params, final val loss %.3f\n",
+              spec.label.c_str(),
+              static_cast<long long>(result.model->param_count()),
+              result.curve.final_val_loss());
+  std::filesystem::create_directories(dir);
+  nn::save_parameters_file(*result.model, dir + "/model.ckpt");
+  std::ofstream tk(dir + "/tokenizer.txt");
+  tk << result.tokenizer->save();
+  // Record the architecture so `generate` can rebuild the config.
+  std::ofstream meta(dir + "/config.txt");
+  meta << (spec.arch == nn::ArchFamily::kNeoX ? "neox" : "llama") << " "
+       << result.model->config().vocab_size << " " << sc.seq << "\n";
+  std::printf("checkpoint written to %s/\n", dir.c_str());
+  return 0;
+}
+
+int cmd_generate(const std::string& dir, const std::string& prompt) {
+  std::ifstream meta(dir + "/config.txt");
+  MGPT_CHECK(meta.is_open(), "missing " << dir << "/config.txt — run train");
+  std::string arch;
+  std::int64_t vocab = 0, seq = 0;
+  meta >> arch >> vocab >> seq;
+  std::ifstream tks(dir + "/tokenizer.txt");
+  std::stringstream tk_text;
+  tk_text << tks.rdbuf();
+  const auto tokenizer = tok::BpeTokenizer::load(tk_text.str());
+
+  core::ExperimentSpec spec;
+  spec.arch = arch == "neox" ? nn::ArchFamily::kNeoX : nn::ArchFamily::kLLaMA;
+  nn::GptConfig mc = core::scaled_model_config(spec, seq);
+  mc.vocab_size = vocab;
+  nn::GptModel model(mc);
+  nn::load_parameters_file(model, dir + "/model.ckpt");
+
+  Rng rng(0xC11);
+  const auto ids = tokenizer.encode(prompt);
+  MGPT_CHECK(!ids.empty(), "prompt tokenized to nothing");
+  const auto out = model.generate(ids, 24, 0.7f, rng);
+  std::printf("%s\n", tokenizer.decode(out).c_str());
+  return 0;
+}
+
+int cmd_simulate(const std::string& size, int gcds,
+                 const std::string& strategy) {
+  sim::TrainingSimulator simulator((sim::Platform()));
+  const auto model = size == "6.7b"
+                         ? sim::ModelDesc::matgpt_6_7b(sim::ArchFamily::kNeoX)
+                         : sim::ModelDesc::matgpt_1_7b(sim::ArchFamily::kNeoX);
+  sim::ParallelConfig cfg{gcds, 1, 1, 0};
+  if (strategy == "zero1") {
+    cfg.zero_stage = 1;
+  } else if (strategy == "tp2") {
+    cfg = {gcds / 2, 2, 1, 0};
+  } else if (strategy == "pp2") {
+    cfg = {gcds / 2, 1, 2, 0};
+  } else if (strategy != "dp") {
+    return usage();
+  }
+  const auto p = simulator.simulate_step(
+      model, cfg, size == "6.7b" ? 8192 : 16384, 2048,
+      sim::AttentionImpl::kFlashV2);
+  std::printf("%s, %d GCDs, %s\n", model.name().c_str(), gcds,
+              cfg.describe().c_str());
+  std::printf("  step time:     %s\n", format_duration(p.total_s()).c_str());
+  std::printf("  throughput:    %.1f TFLOPS/GCD (%.2f PFLOPS aggregate)\n",
+              p.per_gcd_tflops, p.aggregate_pflops);
+  std::printf("  compute/comm/io: %.0f%% / %.0f%% / %.0f%%\n",
+              100 * p.compute_fraction(), 100 * p.comm_fraction(),
+              100 * p.io_fraction());
+  std::printf("  memory:        %s of 64 GB (%s)\n",
+              format_bytes(p.memory.total()).c_str(),
+              p.fits_memory ? "fits" : "OOM");
+  return 0;
+}
+
+int cmd_search(double min_b, double max_b) {
+  sim::ArchitectureSearch search((sim::Platform()));
+  sim::SearchConstraints constraints;
+  constraints.min_params = static_cast<std::int64_t>(min_b * 1e9);
+  constraints.max_params = static_cast<std::int64_t>(max_b * 1e9);
+  std::vector<std::int64_t> hiddens;
+  for (std::int64_t h = 1536; h <= 6144; h += 128) hiddens.push_back(h);
+  const auto cands = search.search(
+      sim::ArchFamily::kLLaMA, 52000, {16, 20, 24, 28, 32, 40}, hiddens,
+      constraints, 16, 2048);
+  const auto& best = sim::ArchitectureSearch::best(cands);
+  std::printf("%zu feasible candidates in [%.1fB, %.1fB]\n", cands.size(),
+              min_b, max_b);
+  std::printf("best: %lld layers x hidden %lld (head dim %lld), "
+              "%.1f TFLOPS/GCD base, flash v2 %.1f\n",
+              static_cast<long long>(best.model.n_layers),
+              static_cast<long long>(best.model.hidden),
+              static_cast<long long>(best.head_dim()), best.tflops_base,
+              best.tflops_flash_v2);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "corpus") {
+      return cmd_corpus(argc > 2 ? std::atof(argv[2]) : 0.0);
+    }
+    if (cmd == "train" && argc >= 3) {
+      return cmd_train(argv[2], argc > 3 ? std::atoll(argv[3]) : 0,
+                       argc > 4 ? argv[4] : "matgpt_checkpoint");
+    }
+    if (cmd == "generate" && argc >= 4) {
+      std::string prompt;
+      for (int i = 3; i < argc; ++i) {
+        if (i > 3) prompt += " ";
+        prompt += argv[i];
+      }
+      return cmd_generate(argv[2], prompt);
+    }
+    if (cmd == "simulate" && argc == 5) {
+      return cmd_simulate(argv[2], std::atoi(argv[3]), argv[4]);
+    }
+    if (cmd == "search" && argc == 4) {
+      return cmd_search(std::atof(argv[2]), std::atof(argv[3]));
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

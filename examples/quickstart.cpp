@@ -1,0 +1,65 @@
+// Quickstart: the end-to-end MatGPT pipeline in ~80 lines.
+//
+//  1. Synthesize a materials-science corpus (Table I shape) and screen it.
+//  2. Train a BPE tokenizer and pre-train a small MatGPT-LLaMA.
+//  3. Generate text from a prompt.
+//  4. Ask the model a zero-shot science question.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/study.h"
+#include "eval/scorer.h"
+
+using namespace matgpt;
+
+int main() {
+  // 1. Corpus + screening (the ComparativeStudy drives the full pipeline).
+  core::StudyConfig sc;
+  sc.corpus_scale = 8e-6;   // a few hundred documents
+  sc.n_materials = 150;     // distinct synthetic materials
+  sc.steps = 200;           // pre-training steps
+  sc.seq = 48;              // context length
+  core::ComparativeStudy study(sc);
+  study.prepare_corpus();
+  std::printf("corpus ready: %zu screened documents over %zu materials\n",
+              study.screened_corpus().size(), study.materials().size());
+
+  // 2. Pre-train a LLaMA-family MatGPT with the HF-style tokenizer.
+  core::ExperimentSpec spec;
+  spec.label = "quickstart-llama";
+  spec.arch = nn::ArchFamily::kLLaMA;
+  spec.tokenizer = tok::TokenizerKind::kHuggingFace;
+  spec.vocab = 512;
+  spec.optimizer = core::OptimizerKind::kAdam;
+  spec.batch_seqs = 8;
+  const auto pretrained = study.run_experiment(spec);
+  std::printf("pre-trained %s: %lld params, val loss %.3f -> %.3f\n",
+              spec.label.c_str(),
+              static_cast<long long>(pretrained.model->param_count()),
+              pretrained.curve.points.front().val_loss,
+              pretrained.curve.final_val_loss());
+
+  // 3. Generate a continuation of a materials-science prompt.
+  const std::string prompt = "The band gap of";
+  Rng rng(7);
+  const auto prompt_ids = pretrained.tokenizer->encode(prompt);
+  const auto generated =
+      pretrained.model->generate(prompt_ids, 16, /*temperature=*/0.7f, rng);
+  std::printf("prompt:     \"%s\"\n", prompt.c_str());
+  std::printf("generation: \"%s\"\n",
+              pretrained.tokenizer->decode(generated).c_str());
+
+  // 4. Zero-shot question answering over the shared knowledge base.
+  eval::TaskGenerator tasks(5, study.materials());
+  eval::LmEvaluator evaluator(*pretrained.model, *pretrained.tokenizer);
+  const auto questions = tasks.generate(eval::TaskId::kArcEasy, 20);
+  Rng eval_rng(3);
+  const auto result = evaluator.evaluate(questions, /*shots=*/0, eval_rng);
+  std::printf("zero-shot ARC-E analog: %.0f%% accuracy (chance 33%%)\n",
+              100.0 * result.accuracy);
+  std::printf("\nquickstart complete.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#pragma once
+// Error handling primitives shared by every module.
+//
+// The library throws `matgpt::Error` (derived from std::runtime_error) for
+// recoverable misuse (bad configuration, shape mismatches) and uses
+// MGPT_ASSERT for internal invariants that indicate a library bug.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace matgpt {
+
+/// Exception type thrown by all matgpt components on invalid input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* file, int line, const char* expr,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace matgpt
+
+/// Validate a user-visible precondition; throws matgpt::Error on failure.
+#define MGPT_CHECK(cond, msg)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream mgpt_os_;                                    \
+      mgpt_os_ << msg;                                                \
+      ::matgpt::detail::raise(__FILE__, __LINE__, #cond,              \
+                              mgpt_os_.str());                        \
+    }                                                                 \
+  } while (0)
+
+/// Internal invariant; same behaviour as MGPT_CHECK but signals a bug.
+#define MGPT_ASSERT(cond) MGPT_CHECK(cond, "internal invariant violated")

@@ -1,0 +1,97 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace matgpt {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  MGPT_CHECK(hi > lo, "Histogram requires hi > lo");
+  MGPT_CHECK(bins > 0, "Histogram requires at least one bin");
+}
+
+void Histogram::add(double x, double weight) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::bin_center(std::size_t i) const {
+  return 0.5 * (bin_lo(i) + bin_hi(i));
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ <= 0.0) return d;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    d[i] = counts_[i] / (total_ * width);
+  }
+  return d;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  double peak = 0.0;
+  for (double c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = peak > 0.0 ? static_cast<std::size_t>(std::lround(
+                                      counts_[i] / peak *
+                                      static_cast<double>(width)))
+                                : 0;
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+void Log2Histogram::add(double x, double weight) {
+  MGPT_CHECK(x > 0.0, "Log2Histogram requires positive samples");
+  const int exp = static_cast<int>(std::floor(std::log2(x)));
+  const int idx = std::clamp(exp + kExpOffset, 0,
+                             static_cast<int>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+std::vector<std::pair<double, double>> Log2Histogram::items() const {
+  std::vector<std::pair<double, double>> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0.0) {
+      out.emplace_back(std::exp2(static_cast<double>(static_cast<int>(i) -
+                                                     kExpOffset)),
+                       counts_[i]);
+    }
+  }
+  return out;
+}
+
+std::string Log2Histogram::ascii(std::size_t width) const {
+  const auto occupied = items();
+  double peak = 0.0;
+  for (const auto& [lo, c] : occupied) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (const auto& [lo, c] : occupied) {
+    const auto bar = peak > 0.0 ? static_cast<std::size_t>(std::lround(
+                                      c / peak * static_cast<double>(width)))
+                                : 0;
+    os << ">= " << lo << ": " << std::string(bar, '#') << " " << c << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace matgpt

@@ -1,0 +1,60 @@
+#pragma once
+// Fixed-bin and logarithmic histograms.
+//
+// Used by the simulator for the RCCL message-size histogram (Fig. 11) and by
+// the embedding analysis for distance/cosine density plots (Fig. 16).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace matgpt {
+
+/// Histogram with uniformly spaced bins over [lo, hi); out-of-range samples
+/// are clamped into the first/last bin so no data is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+  /// Normalized density (counts / (total * bin_width)); zeros when empty.
+  std::vector<double> density() const;
+
+  /// Render an ASCII bar chart, one line per bin.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Histogram over power-of-two size classes [2^k, 2^(k+1)); used for message
+/// sizes where the dynamic range spans many orders of magnitude.
+class Log2Histogram {
+ public:
+  void add(double x, double weight = 1.0);
+
+  /// Occupied size classes in ascending order as (lower_bound, count).
+  std::vector<std::pair<double, double>> items() const;
+  double total() const { return total_; }
+
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  // Exponent offset so sub-unit values (negative exponents) stay indexable.
+  static constexpr int kExpOffset = 64;
+  std::vector<double> counts_ = std::vector<double>(192, 0.0);
+  double total_ = 0.0;
+};
+
+}  // namespace matgpt

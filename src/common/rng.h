@@ -1,0 +1,147 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All stochastic components in the library (init, dropout, data synthesis,
+// simulators) draw from Rng so that every experiment is reproducible from a
+// single seed. The generator is xoshiro256**, seeded via splitmix64, which
+// is fast, high quality, and identical across platforms (unlike std::mt19937
+// distributions, whose outputs are not specified bit-exactly).
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace matgpt {
+
+/// splitmix64 step; used for seeding and cheap hashing.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+    cached_normal_valid_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) {
+    MGPT_CHECK(n > 0, "uniform_int requires n > 0");
+    // Lemire's debiased multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MGPT_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double normal() {
+    if (cached_normal_valid_) {
+      cached_normal_valid_ = false;
+      return cached_normal_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * f;
+    cached_normal_valid_ = true;
+    return u * f;
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Sample an index from an (unnormalized) non-negative weight vector.
+  std::size_t categorical(const std::vector<double>& weights) {
+    MGPT_CHECK(!weights.empty(), "categorical requires weights");
+    double total = 0.0;
+    for (double w : weights) {
+      MGPT_CHECK(w >= 0.0, "categorical weights must be non-negative");
+      total += w;
+    }
+    MGPT_CHECK(total > 0.0, "categorical weights must not all be zero");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_int(i)]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-worker determinism).
+  Rng fork() { return Rng(next() ^ 0xa5a5a5a5deadbeefULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  double cached_normal_ = 0.0;
+  bool cached_normal_valid_ = false;
+};
+
+}  // namespace matgpt

@@ -1,0 +1,45 @@
+#pragma once
+// Streaming and batch descriptive statistics used by benches and analyses.
+
+#include <cstddef>
+#include <vector>
+
+namespace matgpt {
+
+/// Welford online accumulator for mean/variance; numerically stable.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (denominator n).
+  double variance() const;
+  /// Sample variance (denominator n-1); 0 when fewer than two samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers over a vector of samples.
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> xs, double p);
+/// Pearson correlation coefficient; 0 when either side is constant.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+/// Mean absolute error between prediction and target vectors.
+double mean_absolute_error(const std::vector<double>& pred,
+                           const std::vector<double>& target);
+
+}  // namespace matgpt

@@ -1,0 +1,91 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace matgpt {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MGPT_CHECK(!header_.empty(), "table header must not be empty");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  MGPT_CHECK(row.size() == header_.size(),
+             "row arity " << row.size() << " != header arity "
+                          << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::fmt_int(long long v) { return std::to_string(v); }
+
+std::string TablePrinter::fmt_percent(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c] << " |";
+    }
+    return os.str();
+  };
+  std::ostringstream os;
+  os << render_row(header_) << "\n|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) os << render_row(row) << "\n";
+  return os.str();
+}
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    os << (c ? "," : "") << escape(header[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << escape(row[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace matgpt

@@ -1,0 +1,36 @@
+#pragma once
+// ASCII table rendering for bench output.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows;
+// TablePrinter renders them in an aligned, pipe-delimited layout so the
+// output diff-compares cleanly across runs.
+
+#include <string>
+#include <vector>
+
+namespace matgpt {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append one data row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(long long v);
+  static std::string fmt_percent(double fraction, int precision = 1);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Write rows as CSV (for downstream plotting); returns the CSV text.
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace matgpt

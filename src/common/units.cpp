@@ -1,0 +1,48 @@
+#include "common/units.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace matgpt {
+
+namespace {
+std::string with_unit(double value, const char* unit, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value << " " << unit;
+  return os.str();
+}
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  if (bytes >= kGiB) return with_unit(bytes / kGiB, "GiB");
+  if (bytes >= kMiB) return with_unit(bytes / kMiB, "MiB");
+  if (bytes >= kKiB) return with_unit(bytes / kKiB, "KiB");
+  return with_unit(bytes, "B", 0);
+}
+
+std::string format_flops(double flops_per_sec) {
+  if (flops_per_sec >= kPeta) return with_unit(flops_per_sec / kPeta, "PFLOPS");
+  if (flops_per_sec >= kTera) return with_unit(flops_per_sec / kTera, "TFLOPS");
+  if (flops_per_sec >= kGiga) return with_unit(flops_per_sec / kGiga, "GFLOPS");
+  return with_unit(flops_per_sec / kMega, "MFLOPS");
+}
+
+std::string format_duration(double seconds) {
+  if (seconds >= 3600.0) return with_unit(seconds / 3600.0, "h");
+  if (seconds >= 60.0) return with_unit(seconds / 60.0, "min");
+  if (seconds >= 1.0) return with_unit(seconds, "s");
+  if (seconds >= 1e-3) return with_unit(seconds * 1e3, "ms");
+  return with_unit(seconds * 1e6, "us");
+}
+
+std::string format_energy(double joules) {
+  constexpr double kWh = 3.6e6;   // joules per kWh
+  constexpr double MWh = 3.6e9;   // joules per MWh
+  // Switch to MWh from 0.1 MWh so sub-MWh training energies (e.g. the
+  // paper's 0.23 MWh for the 1.7B run) print in the paper's unit.
+  if (joules >= 0.1 * MWh) return with_unit(joules / MWh, "MWh");
+  if (joules >= kWh) return with_unit(joules / kWh, "kWh");
+  return with_unit(joules, "J", 0);
+}
+
+}  // namespace matgpt

@@ -1,0 +1,30 @@
+#pragma once
+// Unit constants and human-readable formatting for FLOPs, bytes, time,
+// and energy. The simulator works in base SI units (seconds, bytes, FLOPs,
+// watts) and converts only at the presentation boundary.
+
+#include <cstdint>
+#include <string>
+
+namespace matgpt {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+inline constexpr double kPeta = 1e15;
+
+/// "1.50 GiB"-style binary-size formatting.
+std::string format_bytes(double bytes);
+/// "82.3 TFLOPS"-style formatting of a FLOP/s rate.
+std::string format_flops(double flops_per_sec);
+/// "532 us" / "1.25 s" / "4.1 h"-style duration formatting.
+std::string format_duration(double seconds);
+/// "0.23 MWh"-style energy formatting from joules.
+std::string format_energy(double joules);
+
+}  // namespace matgpt

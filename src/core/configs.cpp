@@ -1,0 +1,79 @@
+#include "core/configs.h"
+
+namespace matgpt::core {
+
+std::vector<MatGptSpec> table2_specs() {
+  // Verbatim Table II of the paper.
+  return {
+      {"LLaMA", 1.7, 2304, 24, 24, 96, "SPM/HF", "32K/52K"},
+      {"LLaMA", 6.7, 4096, 32, 32, 128, "HF", "52K"},
+      {"GPT-NeoX", 1.7, 2304, 24, 24, 96, "HF", "52K"},
+      {"GPT-NeoX", 6.7, 4096, 32, 32, 128, "HF", "52K"},
+  };
+}
+
+std::vector<HyperParamRow> table3_rows() {
+  // Verbatim Table III of the paper.
+  return {
+      {"1.7B", "Adam", 0.9, 0.95, 0.0002, "1M"},
+      {"1.7B", "LAMB", 0.9, 0.999, 0.01, "4M"},
+      {"6.7B", "LAMB", 0.9, 0.999, 0.006, "4M"},
+  };
+}
+
+std::vector<ExperimentSpec> fig13_experiments() {
+  using nn::ArchFamily;
+  using tok::TokenizerKind;
+  std::vector<ExperimentSpec> specs;
+  // LLaMA tokenizer/vocab/optimizer study (paper curve labels:
+  // size-tokenizer-vocab-optimizer-batch).
+  specs.push_back({"1.7B-HF-52K-Adam-1M", ArchFamily::kLLaMA,
+                   TokenizerKind::kHuggingFace, 512, OptimizerKind::kAdam, 8,
+                   false, DType::kFloat32});
+  specs.push_back({"1.7B-HF-52K-LAMB-4M", ArchFamily::kLLaMA,
+                   TokenizerKind::kHuggingFace, 512, OptimizerKind::kLamb, 24,
+                   false, DType::kFloat32});
+  specs.push_back({"1.7B-SPM-52K-LAMB-4M", ArchFamily::kLLaMA,
+                   TokenizerKind::kSentencePiece, 512, OptimizerKind::kLamb,
+                   24, false, DType::kFloat32});
+  specs.push_back({"1.7B-HF-32K-LAMB-4M", ArchFamily::kLLaMA,
+                   TokenizerKind::kHuggingFace, 384, OptimizerKind::kLamb, 24,
+                   false, DType::kFloat32});
+  specs.push_back({"6.7B-HF-52K-LAMB-4M", ArchFamily::kLLaMA,
+                   TokenizerKind::kHuggingFace, 512, OptimizerKind::kLamb, 24,
+                   true, DType::kFloat32});
+  // NeoX counterparts for the architecture comparison.
+  specs.push_back({"NeoX-1.7B-HF-52K-Adam-1M", ArchFamily::kNeoX,
+                   TokenizerKind::kHuggingFace, 512, OptimizerKind::kAdam, 8,
+                   false, DType::kFloat32});
+  specs.push_back({"NeoX-1.7B-HF-52K-LAMB-4M", ArchFamily::kNeoX,
+                   TokenizerKind::kHuggingFace, 512, OptimizerKind::kLamb, 24,
+                   false, DType::kFloat32});
+  specs.push_back({"NeoX-6.7B-HF-52K-LAMB-4M", ArchFamily::kNeoX,
+                   TokenizerKind::kHuggingFace, 512, OptimizerKind::kLamb, 24,
+                   true, DType::kFloat32});
+  return specs;
+}
+
+nn::GptConfig scaled_model_config(const ExperimentSpec& spec,
+                                  std::int64_t max_seq) {
+  nn::GptConfig config;
+  config.arch = spec.arch;
+  config.vocab_size = spec.vocab;
+  if (spec.big_model) {
+    // "6.7B" stand-in: ~4x the parameters of the "1.7B" stand-in.
+    config.hidden = 128;
+    config.n_layers = 3;
+    config.n_heads = 4;
+  } else {
+    config.hidden = 64;
+    config.n_layers = 2;
+    config.n_heads = 2;
+  }
+  config.max_seq = max_seq;
+  config.flash_attention = true;
+  config.seed = 1234;  // identical init across compared runs
+  return config;
+}
+
+}  // namespace matgpt::core

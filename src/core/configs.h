@@ -1,0 +1,60 @@
+#pragma once
+// The paper's configuration tables as data (Tables II and III), plus the
+// scaled-down experiment grid used by the loss-comparison study (Fig. 13).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "nn/gpt.h"
+#include "tokenizer/bpe.h"
+
+namespace matgpt::core {
+
+/// One row of Table II (paper-scale architecture).
+struct MatGptSpec {
+  const char* arch;       // "LLaMA" or "GPT-NeoX"
+  double params_b;        // headline size, billions
+  std::int64_t hidden;
+  std::int64_t n_layers;
+  std::int64_t n_heads;
+  std::int64_t head_dim;
+  const char* tokenizer;  // "SPM/HF" or "HF"
+  const char* vocab;      // "32K/52K" or "52K"
+};
+std::vector<MatGptSpec> table2_specs();
+
+/// One row of Table III (paper-scale hyper-parameters).
+struct HyperParamRow {
+  const char* model;
+  const char* optimizer;
+  double beta1;
+  double beta2;
+  double lr;
+  const char* batch_tokens;  // "1M" / "4M"
+};
+std::vector<HyperParamRow> table3_rows();
+
+/// One pre-training experiment of the Fig. 13 study, scaled to laptop size:
+/// configuration is (arch, tokenizer, vocab, optimizer, batch), exactly the
+/// dimensions of the paper's controlled comparison.
+struct ExperimentSpec {
+  std::string label;  // e.g. "1.7B-HF-52K-LAMB-4M" (paper naming)
+  nn::ArchFamily arch = nn::ArchFamily::kLLaMA;
+  tok::TokenizerKind tokenizer = tok::TokenizerKind::kHuggingFace;
+  std::int32_t vocab = 512;     // scaled stand-ins for 32K / 52K
+  OptimizerKind optimizer = OptimizerKind::kLamb;
+  std::int64_t batch_seqs = 16;  // scaled stand-ins for 1M / 4M tokens
+  bool big_model = false;        // scaled stand-in for 6.7B vs 1.7B
+  DType precision = DType::kFloat32;
+};
+
+/// The experiment grid mirroring the curves plotted in Fig. 13.
+std::vector<ExperimentSpec> fig13_experiments();
+
+/// Scaled-down model dimensions for an experiment ("1.7B" vs "6.7B").
+nn::GptConfig scaled_model_config(const ExperimentSpec& spec,
+                                  std::int64_t max_seq);
+
+}  // namespace matgpt::core

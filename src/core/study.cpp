@@ -1,0 +1,173 @@
+#include "core/study.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "nn/serialize.h"
+
+namespace matgpt::core {
+
+namespace {
+/// FNV-1a over the textual form of every weight-affecting knob.
+std::uint64_t stable_hash(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : text) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+ComparativeStudy::ComparativeStudy(StudyConfig config) : config_(config) {
+  MGPT_CHECK(config_.corpus_scale > 0.0, "corpus_scale must be positive");
+  MGPT_CHECK(config_.n_materials >= 16, "need a non-trivial material pool");
+}
+
+void ComparativeStudy::prepare_corpus() {
+  if (prepared_) return;
+  // 1. Generate the four Table I sources over a shared material pool.
+  data::CorpusBuilder builder(config_.seed, config_.n_materials);
+  const auto sources = data::table1_sources(config_.corpus_scale);
+  const auto raw = builder.build(sources);
+  materials_ = builder.materials();
+
+  // 2. Train the screening classifier on a small labeled seed (the paper
+  // fine-tunes SciBERT on a small domain-labeled dataset) and screen the
+  // aggregated sources; SCOPUS arrives pre-filtered via the publisher API.
+  std::vector<data::Document> seed_set;
+  std::vector<data::Document> to_screen;
+  std::vector<data::Document> prefiltered;
+  std::size_t seeded = 0;
+  for (const auto& doc : raw) {
+    if (doc.source == "SCOPUS") {
+      prefiltered.push_back(doc);
+    } else if (seeded < std::min(raw.size() / 4,
+                                 std::max<std::size_t>(40, raw.size() / 20))) {
+      seed_set.push_back(doc);  // "labeled" by generation-time truth
+      ++seeded;
+    } else {
+      to_screen.push_back(doc);
+    }
+  }
+  const auto classifier = data::DomainClassifier::train(seed_set);
+  screen_quality_ = classifier.evaluate(to_screen);
+  screened_ = classifier.screen(to_screen);
+  for (auto& doc : prefiltered) screened_.push_back(std::move(doc));
+  MGPT_CHECK(!screened_.empty(), "screening removed the entire corpus");
+  prepared_ = true;
+}
+
+std::shared_ptr<tok::BpeTokenizer> ComparativeStudy::tokenizer_for(
+    tok::TokenizerKind kind, std::int32_t vocab) {
+  const auto key = std::make_pair(static_cast<int>(kind), vocab);
+  auto it = tokenizer_cache_.find(key);
+  if (it != tokenizer_cache_.end()) return it->second;
+  std::vector<std::string> texts;
+  texts.reserve(screened_.size());
+  for (const auto& doc : screened_) texts.push_back(doc.text);
+  auto tk = std::make_shared<tok::BpeTokenizer>(
+      tok::BpeTokenizer::train(texts, kind, vocab));
+  tokenizer_cache_[key] = tk;
+  return tk;
+}
+
+std::string ComparativeStudy::cache_path(const ExperimentSpec& spec) const {
+  if (config_.cache_dir.empty()) return {};
+  std::ostringstream key;
+  key << static_cast<int>(spec.arch) << "|" << static_cast<int>(spec.tokenizer)
+      << "|" << spec.vocab << "|" << static_cast<int>(spec.optimizer) << "|"
+      << spec.batch_seqs << "|" << spec.big_model << "|"
+      << static_cast<int>(spec.precision) << "|" << config_.corpus_scale
+      << "|" << config_.n_materials << "|" << config_.seq << "|"
+      << config_.steps << "|" << config_.val_fraction << "|" << config_.seed;
+  std::ostringstream path;
+  path << config_.cache_dir << "/exp-" << std::hex << stable_hash(key.str())
+       << ".ckpt";
+  return path.str();
+}
+
+bool ComparativeStudy::try_load_cached(const std::string& path,
+                                       PretrainedModel& out) const {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return false;
+  // Layout: one line with the curve, then the model checkpoint.
+  std::string curve_line;
+  std::getline(is, curve_line);
+  std::istringstream cs(curve_line);
+  std::size_t n_points = 0;
+  cs >> n_points;
+  out.curve.points.clear();
+  for (std::size_t i = 0; i < n_points; ++i) {
+    LossPoint p;
+    cs >> p.step >> p.train_loss >> p.val_loss;
+    out.curve.points.push_back(p);
+  }
+  if (!cs || out.curve.points.size() != n_points) return false;
+  try {
+    nn::load_parameters(*out.model, is);
+  } catch (const Error&) {
+    return false;  // stale/corrupt cache entry: retrain
+  }
+  return true;
+}
+
+void ComparativeStudy::store_cached(const std::string& path,
+                                    const PretrainedModel& result) const {
+  std::ofstream os(path, std::ios::binary);
+  MGPT_CHECK(os.is_open(),
+             "cannot write experiment cache to " << path
+                                                 << " (directory missing?)");
+  os.precision(17);  // curve values must round-trip exactly
+  os << result.curve.points.size();
+  for (const auto& p : result.curve.points) {
+    os << " " << p.step << " " << p.train_loss << " " << p.val_loss;
+  }
+  os << "\n";
+  nn::save_parameters(*result.model, os);
+}
+
+PretrainedModel ComparativeStudy::run_experiment(const ExperimentSpec& spec) {
+  prepare_corpus();
+  PretrainedModel out;
+  out.spec = spec;
+  out.tokenizer = tokenizer_for(spec.tokenizer, spec.vocab);
+
+  data::TokenDataset dataset(screened_, *out.tokenizer,
+                             config_.val_fraction, config_.seed ^ 0xda7aULL);
+
+  nn::GptConfig mc = scaled_model_config(spec, config_.seq);
+  mc.vocab_size = out.tokenizer->vocab_size();
+  out.model = std::make_shared<nn::GptModel>(mc);
+
+  const std::string cached = cache_path(spec);
+  if (!cached.empty() && try_load_cached(cached, out)) return out;
+
+  TrainConfig tc;
+  tc.steps = config_.steps;
+  tc.batch_seqs = spec.batch_seqs;
+  tc.seq = config_.seq;
+  tc.optimizer = spec.optimizer;
+  // Scaled analog of Table III: LAMB takes a much larger nominal LR than
+  // Adam (the paper uses 0.01 vs 0.0002 — a 50x ratio) because the
+  // layer-wise trust ratio ||w||/||update|| rescales it back down; at this
+  // model scale the trust ratios sit near 0.02, making 0.08 the tuned
+  // large-batch peak.
+  tc.lr = spec.optimizer == OptimizerKind::kLamb ? 8e-2 : 1.5e-3;
+  tc.precision = spec.precision;
+  tc.seed = config_.seed;
+  out.curve = train_gpt(*out.model, dataset, tc);
+  if (!cached.empty()) store_cached(cached, out);
+  return out;
+}
+
+std::vector<PretrainedModel> ComparativeStudy::run_all(
+    const std::vector<ExperimentSpec>& specs) {
+  std::vector<PretrainedModel> out;
+  out.reserve(specs.size());
+  for (const auto& spec : specs) out.push_back(run_experiment(spec));
+  return out;
+}
+
+}  // namespace matgpt::core

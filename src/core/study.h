@@ -1,0 +1,91 @@
+#pragma once
+// The comparative-study pipeline: corpus -> screen -> tokenize -> pre-train
+// a suite of models under controlled conditions -> hand back curves, models,
+// and tokenizers for the downstream analyses. This is the public entry point
+// a user of the library drives; every Fig. 13–17 bench goes through it.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/configs.h"
+#include "data/classifier.h"
+#include "data/corpus.h"
+#include "data/dataset.h"
+
+namespace matgpt::core {
+
+struct StudyConfig {
+  /// Corpus scale relative to the paper's Table I (1e-6 => thousands of
+  /// docs instead of millions).
+  double corpus_scale = 3e-6;
+  std::size_t n_materials = 400;
+  std::int64_t seq = 64;
+  std::int64_t steps = 300;
+  double val_fraction = 0.1;
+  std::uint64_t seed = 2024;
+  /// When non-empty, finished experiments are checkpointed here (keyed by
+  /// the full study + experiment configuration) and reloaded instead of
+  /// retrained. The directory must exist.
+  std::string cache_dir;
+};
+
+/// A pre-trained experiment: model + its tokenizer + loss curve.
+struct PretrainedModel {
+  ExperimentSpec spec;
+  std::shared_ptr<nn::GptModel> model;
+  std::shared_ptr<tok::BpeTokenizer> tokenizer;
+  TrainingCurve curve;
+};
+
+class ComparativeStudy {
+ public:
+  explicit ComparativeStudy(StudyConfig config);
+
+  /// Generate the corpus, train the screening classifier, and screen the
+  /// aggregated sources (idempotent; called lazily by the other steps).
+  void prepare_corpus();
+
+  /// Train one experiment (tokenizer trained on the screened corpus with
+  /// the spec's mode/vocab; model trained with the spec's recipe).
+  PretrainedModel run_experiment(const ExperimentSpec& spec);
+
+  /// All experiments of the Fig. 13 grid.
+  std::vector<PretrainedModel> run_all(
+      const std::vector<ExperimentSpec>& specs);
+
+  const std::vector<data::Document>& screened_corpus() const {
+    return screened_;
+  }
+  const std::vector<data::Material>& materials() const { return materials_; }
+  const data::DomainClassifier::Quality& screen_quality() const {
+    return screen_quality_;
+  }
+  const StudyConfig& config() const { return config_; }
+
+ private:
+  /// Tokenizers are cached per (kind, vocab) so experiments sharing a
+  /// tokenizer see byte-identical token streams — the controlled-comparison
+  /// requirement.
+  std::shared_ptr<tok::BpeTokenizer> tokenizer_for(tok::TokenizerKind kind,
+                                                   std::int32_t vocab);
+
+  /// Disk-cache key for an experiment (stable hash of every knob that
+  /// affects the trained weights). Empty when caching is disabled.
+  std::string cache_path(const ExperimentSpec& spec) const;
+  bool try_load_cached(const std::string& path, PretrainedModel& out) const;
+  void store_cached(const std::string& path,
+                    const PretrainedModel& result) const;
+
+  StudyConfig config_;
+  bool prepared_ = false;
+  std::vector<data::Document> screened_;
+  std::vector<data::Material> materials_;
+  data::DomainClassifier::Quality screen_quality_;
+  std::map<std::pair<int, std::int32_t>,
+           std::shared_ptr<tok::BpeTokenizer>>
+      tokenizer_cache_;
+};
+
+}  // namespace matgpt::core

@@ -1,0 +1,105 @@
+#include "data/classifier.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace matgpt::data {
+
+namespace {
+std::vector<std::string> tokenize_words(const std::string& text) {
+  std::istringstream is(text);
+  std::vector<std::string> words;
+  std::string w;
+  while (is >> w) words.push_back(w);
+  return words;
+}
+}  // namespace
+
+DomainClassifier DomainClassifier::train(
+    const std::vector<Document>& labeled) {
+  MGPT_CHECK(!labeled.empty(), "classifier needs labeled documents");
+  std::unordered_map<std::string, std::int64_t> pos_counts, neg_counts;
+  std::int64_t pos_total = 0, neg_total = 0;
+  std::int64_t pos_docs = 0, neg_docs = 0;
+  for (const auto& doc : labeled) {
+    const bool pos = doc.domain == DocDomain::kMaterials;
+    (pos ? pos_docs : neg_docs)++;
+    for (const auto& w : tokenize_words(doc.text)) {
+      if (pos) {
+        ++pos_counts[w];
+        ++pos_total;
+      } else {
+        ++neg_counts[w];
+        ++neg_total;
+      }
+    }
+  }
+  MGPT_CHECK(pos_docs > 0 && neg_docs > 0,
+             "classifier needs both positive and negative examples");
+  // Shared vocabulary for add-one smoothing.
+  std::unordered_map<std::string, bool> vocab;
+  for (const auto& [w, c] : pos_counts) vocab[w] = true;
+  for (const auto& [w, c] : neg_counts) vocab[w] = true;
+  const auto v = static_cast<double>(vocab.size());
+
+  DomainClassifier clf;
+  clf.default_log_lik_pos_ =
+      std::log(1.0 / (static_cast<double>(pos_total) + v));
+  clf.default_log_lik_neg_ =
+      std::log(1.0 / (static_cast<double>(neg_total) + v));
+  for (const auto& [w, unused] : vocab) {
+    const auto cp = static_cast<double>(
+        pos_counts.count(w) ? pos_counts.at(w) : 0);
+    const auto cn = static_cast<double>(
+        neg_counts.count(w) ? neg_counts.at(w) : 0);
+    clf.log_lik_pos_[w] =
+        std::log((cp + 1.0) / (static_cast<double>(pos_total) + v));
+    clf.log_lik_neg_[w] =
+        std::log((cn + 1.0) / (static_cast<double>(neg_total) + v));
+  }
+  clf.log_prior_ratio_ = std::log(static_cast<double>(pos_docs) /
+                                  static_cast<double>(neg_docs));
+  return clf;
+}
+
+double DomainClassifier::materials_log_odds(const std::string& text) const {
+  double odds = log_prior_ratio_;
+  for (const auto& w : tokenize_words(text)) {
+    const auto ip = log_lik_pos_.find(w);
+    const auto in = log_lik_neg_.find(w);
+    odds += (ip != log_lik_pos_.end() ? ip->second : default_log_lik_pos_) -
+            (in != log_lik_neg_.end() ? in->second : default_log_lik_neg_);
+  }
+  return odds;
+}
+
+std::vector<Document> DomainClassifier::screen(
+    const std::vector<Document>& docs) const {
+  std::vector<Document> kept;
+  for (const auto& doc : docs) {
+    if (is_materials(doc.text)) kept.push_back(doc);
+  }
+  return kept;
+}
+
+DomainClassifier::Quality DomainClassifier::evaluate(
+    const std::vector<Document>& docs) const {
+  Quality q;
+  q.total = docs.size();
+  std::size_t true_pos = 0, pred_pos = 0, actual_pos = 0;
+  for (const auto& doc : docs) {
+    const bool truth = doc.domain == DocDomain::kMaterials;
+    const bool pred = is_materials(doc.text);
+    actual_pos += truth;
+    pred_pos += pred;
+    true_pos += truth && pred;
+  }
+  q.kept = pred_pos;
+  q.precision = pred_pos ? static_cast<double>(true_pos) / pred_pos : 0.0;
+  q.recall = actual_pos ? static_cast<double>(true_pos) / actual_pos : 0.0;
+  return q;
+}
+
+}  // namespace matgpt::data

@@ -1,0 +1,52 @@
+#pragma once
+// Domain-screening classifier — the fine-tuned-SciBERT stand-in.
+//
+// The paper screens aggregated feeds (CORE/MAG/Aminer) for materials-science
+// documents with a classifier fine-tuned on a small labeled set. A
+// multinomial naive-Bayes text classifier trained on a small labeled seed
+// set plays that role here: same pipeline position (train on a small labeled
+// sample, partition the aggregate), same failure modes (precision/recall
+// trade-off), and it is fast enough to screen the full synthetic corpus.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/corpus.h"
+
+namespace matgpt::data {
+
+/// Multinomial naive Bayes over whitespace tokens with add-one smoothing.
+class DomainClassifier {
+ public:
+  /// Train from labeled documents (binary: materials vs. not).
+  static DomainClassifier train(const std::vector<Document>& labeled);
+
+  /// Log-odds of the materials class for a text.
+  double materials_log_odds(const std::string& text) const;
+
+  bool is_materials(const std::string& text) const {
+    return materials_log_odds(text) > 0.0;
+  }
+
+  /// Screen a document stream, keeping predicted-materials docs.
+  std::vector<Document> screen(const std::vector<Document>& docs) const;
+
+  /// Precision/recall of the screen against generation-time truth.
+  struct Quality {
+    double precision = 0.0;
+    double recall = 0.0;
+    std::size_t kept = 0;
+    std::size_t total = 0;
+  };
+  Quality evaluate(const std::vector<Document>& docs) const;
+
+ private:
+  std::unordered_map<std::string, double> log_lik_pos_;
+  std::unordered_map<std::string, double> log_lik_neg_;
+  double default_log_lik_pos_ = 0.0;
+  double default_log_lik_neg_ = 0.0;
+  double log_prior_ratio_ = 0.0;
+};
+
+}  // namespace matgpt::data

@@ -1,0 +1,84 @@
+#pragma once
+// Synthetic scientific-text corpus with the paper's Table I source shape.
+//
+// Four simulated sources (CORE, MAG, Aminer, SCOPUS) produce abstracts (and
+// CORE a fraction of full texts). MAG/Aminer/CORE are aggregated multi-domain
+// feeds that must be screened for materials content — exactly the paper's
+// pipeline, where a fine-tuned SciBERT classifier partitions the aggregate;
+// here the stand-in classifier lives in data/classifier.h. SCOPUS is
+// retrieved pre-filtered via the publisher API, so it arrives all-materials.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/materials.h"
+
+namespace matgpt::data {
+
+enum class DocDomain { kMaterials, kBiomedical, kComputerScience };
+
+struct Document {
+  std::string source;  // "CORE", "MAG", "Aminer", "SCOPUS"
+  std::string text;
+  bool full_text = false;
+  DocDomain domain = DocDomain::kMaterials;  // generation-time truth
+};
+
+/// Generates one abstract (a few templated sentences) about a material,
+/// embedding its formula, numeric band gap, gap class, and applications —
+/// the co-occurrence structure the LLM must learn for the downstream tasks.
+class AbstractGenerator {
+ public:
+  explicit AbstractGenerator(std::uint64_t seed);
+
+  std::string materials_abstract(const Material& m);
+  std::string materials_full_text(const Material& m);
+
+  /// Off-domain filler (biomedical / CS) for the screening pipeline.
+  std::string off_domain_abstract(DocDomain domain);
+
+ private:
+  Rng rng_;
+  MaterialGenerator aux_materials_;
+};
+
+struct SourceSpec {
+  std::string name;
+  std::size_t n_abstracts;
+  std::size_t n_full_texts;
+  /// Fraction of this source's documents that are materials science
+  /// (aggregated feeds carry other domains that screening must remove).
+  double materials_fraction;
+};
+
+/// The Table I sources scaled down by `scale` (paper counts are in millions).
+std::vector<SourceSpec> table1_sources(double scale);
+
+struct CorpusStats {
+  std::string source;
+  std::size_t n_abstracts = 0;
+  std::size_t n_full_texts = 0;
+  std::size_t n_tokens = 0;  // filled by the caller after tokenization
+};
+
+/// Generates all documents for the given sources. Materials documents cycle
+/// through a shared pool of `n_materials` synthetic materials so formulas
+/// recur across sources (needed for embeddings to become meaningful).
+class CorpusBuilder {
+ public:
+  CorpusBuilder(std::uint64_t seed, std::size_t n_materials);
+
+  std::vector<Document> build(const std::vector<SourceSpec>& sources);
+
+  const std::vector<Material>& materials() const { return materials_; }
+
+ private:
+  Rng rng_;
+  AbstractGenerator abstracts_;
+  std::vector<Material> materials_;
+  std::size_t next_material_ = 0;
+};
+
+}  // namespace matgpt::data

@@ -1,0 +1,98 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace matgpt::data {
+
+TokenDataset::TokenDataset(const std::vector<Document>& docs,
+                           const tok::BpeTokenizer& tokenizer,
+                           double val_fraction, std::uint64_t seed)
+    : rng_(seed) {
+  MGPT_CHECK(!docs.empty(), "dataset requires documents");
+  MGPT_CHECK(val_fraction > 0.0 && val_fraction < 1.0,
+             "val_fraction must be in (0, 1)");
+  for (const auto& doc : docs) {
+    const auto ids = tokenizer.encode(doc.text);
+    stream_.insert(stream_.end(), ids.begin(), ids.end());
+    stream_.push_back(tok::SpecialTokens::kEos);
+  }
+  train_end_ = static_cast<std::size_t>(
+      static_cast<double>(stream_.size()) * (1.0 - val_fraction));
+  MGPT_CHECK(train_end_ > 0 && train_end_ < stream_.size(),
+             "degenerate train/val split — corpus too small");
+}
+
+LmBatch TokenDataset::windows(std::int64_t batch, std::int64_t seq,
+                              const std::vector<std::size_t>& starts) const {
+  LmBatch out;
+  out.batch = batch;
+  out.seq = seq;
+  out.tokens.resize(static_cast<std::size_t>(batch * seq));
+  out.targets.resize(static_cast<std::size_t>(batch * seq));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const std::size_t start = starts[static_cast<std::size_t>(b)];
+    for (std::int64_t t = 0; t < seq; ++t) {
+      const std::size_t pos = start + static_cast<std::size_t>(t);
+      out.tokens[static_cast<std::size_t>(b * seq + t)] = stream_[pos];
+      out.targets[static_cast<std::size_t>(b * seq + t)] = stream_[pos + 1];
+    }
+  }
+  return out;
+}
+
+LmBatch TokenDataset::sample_batch(std::int64_t batch, std::int64_t seq) {
+  MGPT_CHECK(batch > 0 && seq > 0, "batch and seq must be positive");
+  MGPT_CHECK(static_cast<std::size_t>(seq) + 1 <= train_end_,
+             "sequence length exceeds the training split");
+  std::vector<std::size_t> starts(static_cast<std::size_t>(batch));
+  for (auto& s : starts) {
+    s = rng_.uniform_int(train_end_ - static_cast<std::size_t>(seq));
+  }
+  return windows(batch, seq, starts);
+}
+
+LmBatch TokenDataset::validation_batch(std::int64_t batch, std::int64_t seq,
+                                       std::int64_t offset) const {
+  MGPT_CHECK(batch > 0 && seq > 0, "batch and seq must be positive");
+  const std::size_t val_len = stream_.size() - train_end_;
+  MGPT_CHECK(static_cast<std::size_t>(seq) + 1 < val_len,
+             "sequence length exceeds the validation split");
+  std::vector<std::size_t> starts(static_cast<std::size_t>(batch));
+  const std::size_t span = val_len - static_cast<std::size_t>(seq) - 1;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    starts[static_cast<std::size_t>(b)] =
+        train_end_ +
+        (static_cast<std::size_t>(offset + b) * static_cast<std::size_t>(seq)) %
+            span;
+  }
+  return windows(batch, seq, starts);
+}
+
+LmBatch to_mlm_batch(const LmBatch& batch, std::int32_t mask_token,
+                     float mask_prob, Rng& rng) {
+  MGPT_CHECK(mask_prob > 0.0f && mask_prob < 1.0f,
+             "mask_prob must be in (0, 1)");
+  LmBatch out;
+  out.batch = batch.batch;
+  out.seq = batch.seq;
+  out.tokens = batch.tokens;
+  out.targets.assign(batch.tokens.size(), -1);
+  bool any = false;
+  for (std::size_t i = 0; i < out.tokens.size(); ++i) {
+    if (rng.bernoulli(mask_prob)) {
+      out.targets[i] = out.tokens[i];
+      out.tokens[i] = mask_token;
+      any = true;
+    }
+  }
+  if (!any && !out.tokens.empty()) {
+    const std::size_t i = rng.uniform_int(out.tokens.size());
+    out.targets[i] = out.tokens[i];
+    out.tokens[i] = mask_token;
+  }
+  return out;
+}
+
+}  // namespace matgpt::data

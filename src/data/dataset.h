@@ -1,0 +1,62 @@
+#pragma once
+// Tokenized LM dataset: document packing, train/validation split, and batch
+// sampling for both causal-LM (GPT) and masked-LM (BERT) training.
+//
+// Documents are tokenized, joined with EOS separators into one contiguous
+// token stream (the standard GPT pre-training packing), split by fraction
+// into train/validation, and served as random fixed-length windows.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/corpus.h"
+#include "tokenizer/bpe.h"
+
+namespace matgpt::data {
+
+struct LmBatch {
+  std::vector<std::int32_t> tokens;   // batch*seq, row-major
+  std::vector<std::int32_t> targets;  // next-token ids (-1 = ignore)
+  std::int64_t batch = 0;
+  std::int64_t seq = 0;
+};
+
+class TokenDataset {
+ public:
+  /// Tokenize and pack documents. val_fraction of the stream (tail) becomes
+  /// the validation split.
+  TokenDataset(const std::vector<Document>& docs,
+               const tok::BpeTokenizer& tokenizer, double val_fraction,
+               std::uint64_t seed);
+
+  std::size_t train_tokens() const { return train_end_; }
+  std::size_t val_tokens() const { return stream_.size() - train_end_; }
+  std::size_t total_tokens() const { return stream_.size(); }
+
+  /// Random training windows with shifted next-token targets.
+  LmBatch sample_batch(std::int64_t batch, std::int64_t seq);
+
+  /// Deterministic sequential validation windows (wraps at the split end).
+  LmBatch validation_batch(std::int64_t batch, std::int64_t seq,
+                           std::int64_t offset = 0) const;
+
+  std::span<const std::int32_t> stream() const { return stream_; }
+
+ private:
+  LmBatch windows(std::int64_t batch, std::int64_t seq,
+                  const std::vector<std::size_t>& starts) const;
+
+  std::vector<std::int32_t> stream_;
+  std::size_t train_end_ = 0;
+  Rng rng_;
+};
+
+/// Convert a causal-LM batch into a masked-LM batch (BERT training): mask
+/// random positions, targets hold original ids there and -1 elsewhere.
+LmBatch to_mlm_batch(const LmBatch& batch, std::int32_t mask_token,
+                     float mask_prob, Rng& rng);
+
+}  // namespace matgpt::data

@@ -1,0 +1,86 @@
+#include "data/elements.h"
+
+#include <array>
+
+namespace matgpt::data {
+
+const char* category_name(ElementCategory c) {
+  switch (c) {
+    case ElementCategory::kAlkaliMetal:
+      return "alkali metal";
+    case ElementCategory::kAlkalineEarth:
+      return "alkaline earth metal";
+    case ElementCategory::kTransitionMetal:
+      return "transition metal";
+    case ElementCategory::kPostTransitionMetal:
+      return "post-transition metal";
+    case ElementCategory::kMetalloid:
+      return "metalloid";
+    case ElementCategory::kNonmetal:
+      return "nonmetal";
+    case ElementCategory::kHalogen:
+      return "halogen";
+  }
+  return "unknown";
+}
+
+namespace {
+using EC = ElementCategory;
+constexpr std::array<Element, 44> kElements{{
+    {"H", "hydrogen", 2.20, 1, EC::kNonmetal, 31},
+    {"Li", "lithium", 0.98, 1, EC::kAlkaliMetal, 128},
+    {"Be", "beryllium", 1.57, 2, EC::kAlkalineEarth, 96},
+    {"B", "boron", 2.04, 3, EC::kMetalloid, 84},
+    {"C", "carbon", 2.55, 4, EC::kNonmetal, 76},
+    {"N", "nitrogen", 3.04, 3, EC::kNonmetal, 71},
+    {"O", "oxygen", 3.44, 2, EC::kNonmetal, 66},
+    {"F", "fluorine", 3.98, 1, EC::kHalogen, 57},
+    {"Na", "sodium", 0.93, 1, EC::kAlkaliMetal, 166},
+    {"Mg", "magnesium", 1.31, 2, EC::kAlkalineEarth, 141},
+    {"Al", "aluminium", 1.61, 3, EC::kPostTransitionMetal, 121},
+    {"Si", "silicon", 1.90, 4, EC::kMetalloid, 111},
+    {"P", "phosphorus", 2.19, 5, EC::kNonmetal, 107},
+    {"S", "sulfur", 2.58, 2, EC::kNonmetal, 105},
+    {"Cl", "chlorine", 3.16, 1, EC::kHalogen, 102},
+    {"K", "potassium", 0.82, 1, EC::kAlkaliMetal, 203},
+    {"Ca", "calcium", 1.00, 2, EC::kAlkalineEarth, 176},
+    {"Sc", "scandium", 1.36, 3, EC::kTransitionMetal, 170},
+    {"Ti", "titanium", 1.54, 4, EC::kTransitionMetal, 160},
+    {"V", "vanadium", 1.63, 5, EC::kTransitionMetal, 153},
+    {"Cr", "chromium", 1.66, 3, EC::kTransitionMetal, 139},
+    {"Mn", "manganese", 1.55, 2, EC::kTransitionMetal, 139},
+    {"Fe", "iron", 1.83, 3, EC::kTransitionMetal, 132},
+    {"Co", "cobalt", 1.88, 2, EC::kTransitionMetal, 126},
+    {"Ni", "nickel", 1.91, 2, EC::kTransitionMetal, 124},
+    {"Cu", "copper", 1.90, 2, EC::kTransitionMetal, 132},
+    {"Zn", "zinc", 1.65, 2, EC::kTransitionMetal, 122},
+    {"Ga", "gallium", 1.81, 3, EC::kPostTransitionMetal, 122},
+    {"Ge", "germanium", 2.01, 4, EC::kMetalloid, 120},
+    {"As", "arsenic", 2.18, 3, EC::kMetalloid, 119},
+    {"Se", "selenium", 2.55, 2, EC::kNonmetal, 120},
+    {"Br", "bromine", 2.96, 1, EC::kHalogen, 120},
+    {"Rb", "rubidium", 0.82, 1, EC::kAlkaliMetal, 220},
+    {"Sr", "strontium", 0.95, 2, EC::kAlkalineEarth, 195},
+    {"Y", "yttrium", 1.22, 3, EC::kTransitionMetal, 190},
+    {"Zr", "zirconium", 1.33, 4, EC::kTransitionMetal, 175},
+    {"Nb", "niobium", 1.60, 5, EC::kTransitionMetal, 164},
+    {"Mo", "molybdenum", 2.16, 4, EC::kTransitionMetal, 154},
+    {"Ag", "silver", 1.93, 1, EC::kTransitionMetal, 145},
+    {"Cd", "cadmium", 1.69, 2, EC::kTransitionMetal, 144},
+    {"In", "indium", 1.78, 3, EC::kPostTransitionMetal, 142},
+    {"Sn", "tin", 1.96, 4, EC::kPostTransitionMetal, 139},
+    {"Sb", "antimony", 2.05, 3, EC::kMetalloid, 139},
+    {"I", "iodine", 2.66, 1, EC::kHalogen, 139},
+}};
+}  // namespace
+
+std::span<const Element> element_table() { return kElements; }
+
+std::optional<std::size_t> element_index(const std::string& symbol) {
+  for (std::size_t i = 0; i < kElements.size(); ++i) {
+    if (symbol == kElements[i].symbol) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace matgpt::data

@@ -1,0 +1,52 @@
+#pragma once
+// Chemical element knowledge base.
+//
+// A compact periodic-table excerpt (symbol, Pauling electronegativity,
+// typical valence, category) that seeds every synthetic materials artefact:
+// formulas, abstracts, band-gap ground truth, QA distractors, and crystal
+// graphs. Keeping one shared table guarantees the corpus, the evaluation
+// tasks, and the GNN labels are mutually consistent — the property that
+// makes the paper's downstream experiments reproducible at small scale.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace matgpt::data {
+
+enum class ElementCategory {
+  kAlkaliMetal,
+  kAlkalineEarth,
+  kTransitionMetal,
+  kPostTransitionMetal,
+  kMetalloid,
+  kNonmetal,
+  kHalogen,
+};
+
+const char* category_name(ElementCategory c);
+
+struct Element {
+  const char* symbol;
+  const char* name;
+  double electronegativity;  // Pauling scale
+  int valence;               // most common oxidation magnitude
+  ElementCategory category;
+  double atomic_radius_pm;   // covalent radius, picometres
+
+  bool is_metal() const {
+    return category == ElementCategory::kAlkaliMetal ||
+           category == ElementCategory::kAlkalineEarth ||
+           category == ElementCategory::kTransitionMetal ||
+           category == ElementCategory::kPostTransitionMetal;
+  }
+};
+
+/// The full element table (fixed order; indices are stable ids).
+std::span<const Element> element_table();
+
+/// Index of a symbol in element_table(), if present.
+std::optional<std::size_t> element_index(const std::string& symbol);
+
+}  // namespace matgpt::data

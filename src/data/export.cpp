@@ -1,0 +1,158 @@
+#include "data/export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace matgpt::data {
+
+const char* domain_name(DocDomain domain) {
+  switch (domain) {
+    case DocDomain::kMaterials:
+      return "materials";
+    case DocDomain::kBiomedical:
+      return "biomedical";
+    case DocDomain::kComputerScience:
+      return "computer-science";
+  }
+  return "unknown";
+}
+
+DocDomain domain_from_name(const std::string& name) {
+  if (name == "materials") return DocDomain::kMaterials;
+  if (name == "biomedical") return DocDomain::kBiomedical;
+  if (name == "computer-science") return DocDomain::kComputerScience;
+  throw Error("unknown document domain: " + name);
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_unescape(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out += escaped[i];
+      continue;
+    }
+    MGPT_CHECK(i + 1 < escaped.size(), "dangling escape in JSON string");
+    switch (escaped[++i]) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        throw Error("unsupported JSON escape in corpus file");
+    }
+  }
+  return out;
+}
+
+void write_jsonl(const std::vector<Document>& docs, std::ostream& os) {
+  for (const auto& d : docs) {
+    os << "{\"source\": \"" << json_escape(d.source) << "\", \"full_text\": "
+       << (d.full_text ? "true" : "false") << ", \"domain\": \""
+       << domain_name(d.domain) << "\", \"text\": \""
+       << json_escape(d.text) << "\"}\n";
+  }
+  MGPT_CHECK(os.good(), "corpus write failed");
+}
+
+namespace {
+/// Extract the value of a `"key": ` field from one JSONL line. Supports the
+/// restricted JSON this module writes (string/bool values, no nesting).
+std::string field(const std::string& line, const std::string& key,
+                  bool is_string) {
+  const std::string marker = "\"" + key + "\": ";
+  const auto pos = line.find(marker);
+  MGPT_CHECK(pos != std::string::npos,
+             "corpus line missing field '" << key << "'");
+  std::size_t start = pos + marker.size();
+  if (!is_string) {
+    const auto end = line.find_first_of(",}", start);
+    return line.substr(start, end - start);
+  }
+  MGPT_CHECK(line[start] == '"', "expected string value for " << key);
+  ++start;
+  std::string out;
+  for (std::size_t i = start; i < line.size(); ++i) {
+    if (line[i] == '\\') {
+      MGPT_CHECK(i + 1 < line.size(), "dangling escape");
+      out += line[i];
+      out += line[++i];
+    } else if (line[i] == '"') {
+      return out;
+    } else {
+      out += line[i];
+    }
+  }
+  throw Error("unterminated string in corpus line");
+}
+}  // namespace
+
+std::vector<Document> read_jsonl(std::istream& is) {
+  std::vector<Document> docs;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    Document d;
+    d.source = json_unescape(field(line, "source", true));
+    d.full_text = field(line, "full_text", false) == "true";
+    d.domain = domain_from_name(field(line, "domain", true));
+    d.text = json_unescape(field(line, "text", true));
+    docs.push_back(std::move(d));
+  }
+  return docs;
+}
+
+void write_jsonl_file(const std::vector<Document>& docs,
+                      const std::string& path) {
+  std::ofstream os(path);
+  MGPT_CHECK(os.is_open(), "cannot open " << path << " for writing");
+  write_jsonl(docs, os);
+}
+
+std::vector<Document> read_jsonl_file(const std::string& path) {
+  std::ifstream is(path);
+  MGPT_CHECK(is.is_open(), "cannot open " << path << " for reading");
+  return read_jsonl(is);
+}
+
+}  // namespace matgpt::data

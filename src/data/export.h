@@ -1,0 +1,32 @@
+#pragma once
+// Corpus import/export in JSON-lines form, one document per line:
+//   {"source": "...", "full_text": true, "domain": "materials", "text": "..."}
+// Lets a generated corpus be inspected, versioned, or re-used across runs
+// without regeneration, and provides an ingestion path for external text.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+
+namespace matgpt::data {
+
+/// Serialize documents as JSONL.
+void write_jsonl(const std::vector<Document>& docs, std::ostream& os);
+/// Parse JSONL documents; throws matgpt::Error on malformed input.
+std::vector<Document> read_jsonl(std::istream& is);
+
+/// File-path convenience wrappers.
+void write_jsonl_file(const std::vector<Document>& docs,
+                      const std::string& path);
+std::vector<Document> read_jsonl_file(const std::string& path);
+
+/// Minimal JSON string escaping/unescaping used by the JSONL format.
+std::string json_escape(const std::string& raw);
+std::string json_unescape(const std::string& escaped);
+
+const char* domain_name(DocDomain domain);
+DocDomain domain_from_name(const std::string& name);
+
+}  // namespace matgpt::data

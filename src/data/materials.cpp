@@ -1,0 +1,218 @@
+#include "data/materials.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/error.h"
+
+namespace matgpt::data {
+
+const char* gap_class_name(GapClass c) {
+  switch (c) {
+    case GapClass::kConductor:
+      return "conductor";
+    case GapClass::kSemiconductor:
+      return "semiconductor";
+    case GapClass::kInsulator:
+      return "insulator";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Stable hash of a formula for the deterministic "noise" term.
+double formula_perturbation(const std::string& formula) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : formula) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  // Map into [-0.25, 0.25) eV.
+  return (static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5) * 0.5;
+}
+
+struct CompositionStats {
+  double mean_en = 0.0;
+  double en_spread = 0.0;       // max - min electronegativity
+  double nonmetal_frac = 0.0;   // fraction of atoms that are nonmetal/halogen
+  double metalloid_frac = 0.0;
+  double valence_imbalance = 0.0;
+  int total_atoms = 0;
+};
+
+CompositionStats composition_stats(const std::vector<Species>& comp) {
+  MGPT_CHECK(!comp.empty(), "composition must not be empty");
+  const auto elements = element_table();
+  CompositionStats s;
+  double en_min = 1e9, en_max = -1e9;
+  double cation_valence = 0.0, anion_valence = 0.0;
+  for (const auto& sp : comp) {
+    MGPT_CHECK(sp.element < elements.size(), "element index out of range");
+    MGPT_CHECK(sp.count > 0, "species count must be positive");
+    const Element& e = elements[sp.element];
+    s.total_atoms += sp.count;
+    s.mean_en += e.electronegativity * sp.count;
+    en_min = std::min(en_min, e.electronegativity);
+    en_max = std::max(en_max, e.electronegativity);
+    const bool anion_like = e.category == ElementCategory::kNonmetal ||
+                            e.category == ElementCategory::kHalogen;
+    if (anion_like) {
+      s.nonmetal_frac += sp.count;
+      anion_valence += e.valence * sp.count;
+    } else {
+      cation_valence += e.valence * sp.count;
+    }
+    if (e.category == ElementCategory::kMetalloid) {
+      s.metalloid_frac += sp.count;
+    }
+  }
+  s.mean_en /= s.total_atoms;
+  s.nonmetal_frac /= s.total_atoms;
+  s.metalloid_frac /= s.total_atoms;
+  s.en_spread = en_max - en_min;
+  const double denom = std::max(1.0, cation_valence + anion_valence);
+  s.valence_imbalance = std::abs(cation_valence - anion_valence) / denom;
+  return s;
+}
+
+}  // namespace
+
+double band_gap_model(const std::vector<Species>& composition,
+                      const std::string& formula) {
+  const CompositionStats s = composition_stats(composition);
+  // Ionic character opens the gap; pure metals (no anions, small spread)
+  // close it; metalloids sit in between; valence imbalance introduces
+  // mid-gap states that shrink the gap.
+  double gap = 2.6 * s.en_spread * s.nonmetal_frac   // ionic contribution
+               + 1.1 * s.metalloid_frac              // covalent contribution
+               - 0.6 * s.valence_imbalance           // defect-like states
+               - 0.35;                               // metallic baseline
+  gap += formula_perturbation(formula);
+  return std::max(0.0, gap);
+}
+
+double formation_energy_model(const std::vector<Species>& composition,
+                              const std::string& formula) {
+  const CompositionStats s = composition_stats(composition);
+  // More ionic compounds are more stable (more negative formation energy).
+  double ef = -1.8 * s.en_spread * s.nonmetal_frac - 0.2 +
+              0.4 * s.valence_imbalance;
+  ef += 0.4 * formula_perturbation(formula + "#ef");
+  return std::min(0.0, ef);
+}
+
+GapClass classify_gap(double band_gap_ev) {
+  if (band_gap_ev < 0.1) return GapClass::kConductor;
+  if (band_gap_ev < 3.0) return GapClass::kSemiconductor;
+  return GapClass::kInsulator;
+}
+
+std::string format_formula(const std::vector<Species>& composition) {
+  const auto elements = element_table();
+  std::string out;
+  for (const auto& sp : composition) {
+    out += elements[sp.element].symbol;
+    if (sp.count > 1) out += std::to_string(sp.count);
+  }
+  return out;
+}
+
+MaterialGenerator::MaterialGenerator(std::uint64_t seed) : rng_(seed) {}
+
+Material MaterialGenerator::from_composition(std::vector<Species> comp) {
+  Material m;
+  m.formula = format_formula(comp);
+  m.composition = std::move(comp);
+  m.band_gap_ev = band_gap_model(m.composition, m.formula);
+  m.gap_class = classify_gap(m.band_gap_ev);
+  m.formation_energy_ev = formation_energy_model(m.composition, m.formula);
+  return m;
+}
+
+Material MaterialGenerator::sample() {
+  const auto elements = element_table();
+  // Index pools by role.
+  std::vector<std::size_t> metals, anions, metalloids;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const auto cat = elements[i].category;
+    if (elements[i].is_metal()) metals.push_back(i);
+    if (cat == ElementCategory::kNonmetal ||
+        cat == ElementCategory::kHalogen) {
+      anions.push_back(i);
+    }
+    if (cat == ElementCategory::kMetalloid) metalloids.push_back(i);
+  }
+  std::vector<Species> comp;
+  // Archetypes: elemental metal (conductor), metal+anion binary (ionic),
+  // two-metal+anion ternary (e.g. battery cathodes), covalent metalloid.
+  switch (rng_.categorical({0.15, 0.35, 0.35, 0.15})) {
+    case 0: {  // elemental or alloy
+      comp.push_back({metals[rng_.uniform_int(metals.size())],
+                      static_cast<int>(rng_.uniform_int(1, 3))});
+      if (rng_.bernoulli(0.4)) {
+        auto second = metals[rng_.uniform_int(metals.size())];
+        if (second != comp[0].element) {
+          comp.push_back({second, static_cast<int>(rng_.uniform_int(1, 2))});
+        }
+      }
+      break;
+    }
+    case 1: {  // binary metal + anion, roughly valence balanced
+      const auto m = metals[rng_.uniform_int(metals.size())];
+      const auto a = anions[rng_.uniform_int(anions.size())];
+      const int va = elements[a].valence;
+      const int vm = elements[m].valence;
+      const int g = std::gcd(std::max(1, vm), std::max(1, va));
+      comp.push_back({m, std::max(1, va / g)});
+      comp.push_back({a, std::max(1, vm / g)});
+      break;
+    }
+    case 2: {  // ternary: two metals + anion
+      auto m1 = metals[rng_.uniform_int(metals.size())];
+      auto m2 = metals[rng_.uniform_int(metals.size())];
+      while (m2 == m1) m2 = metals[rng_.uniform_int(metals.size())];
+      const auto a = anions[rng_.uniform_int(anions.size())];
+      comp.push_back({m1, static_cast<int>(rng_.uniform_int(1, 2))});
+      comp.push_back({m2, static_cast<int>(rng_.uniform_int(1, 2))});
+      const int cation = elements[m1].valence * comp[0].count +
+                         elements[m2].valence * comp[1].count;
+      comp.push_back(
+          {a, std::max(1, cation / std::max(1, elements[a].valence))});
+      break;
+    }
+    default: {  // covalent metalloid compound
+      const auto md = metalloids[rng_.uniform_int(metalloids.size())];
+      comp.push_back({md, static_cast<int>(rng_.uniform_int(1, 2))});
+      if (rng_.bernoulli(0.7)) {
+        comp.push_back({anions[rng_.uniform_int(anions.size())],
+                        static_cast<int>(rng_.uniform_int(1, 3))});
+      }
+      break;
+    }
+  }
+  return from_composition(std::move(comp));
+}
+
+std::vector<Material> MaterialGenerator::sample_unique(std::size_t n) {
+  std::vector<Material> out;
+  std::set<std::string> seen;
+  // The composition space is finite; bail out after enough rejections so a
+  // too-large request fails loudly instead of looping forever.
+  std::size_t consecutive_rejects = 0;
+  while (out.size() < n) {
+    Material m = sample();
+    if (seen.insert(m.formula).second) {
+      out.push_back(std::move(m));
+      consecutive_rejects = 0;
+    } else {
+      MGPT_CHECK(++consecutive_rejects < 20000,
+                 "cannot find " << n << " unique materials");
+    }
+  }
+  return out;
+}
+
+}  // namespace matgpt::data

@@ -1,0 +1,75 @@
+#pragma once
+// Synthetic materials: formula generation and a deterministic
+// physics-motivated band-gap model.
+//
+// The band gap stands in for the Materials Project DFT labels (Table V).
+// It is a deterministic function of composition — ionic character (Pauling
+// electronegativity spread), nonmetal fraction, and valence balance — with a
+// small formula-hashed perturbation, so that:
+//   * pure metals come out conductors (gap ~ 0),
+//   * covalent semiconductors land in (0, 3) eV,
+//   * strongly ionic compounds (oxides/halides of electropositive metals)
+//     come out insulators (> 3 eV),
+// mirroring the conductor/semiconductor/insulator structure the paper's
+// embedding-cluster analysis (Fig. 17) appeals to.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/elements.h"
+
+namespace matgpt::data {
+
+/// One species in a formula: element table index and stoichiometric count.
+struct Species {
+  std::size_t element;
+  int count;
+};
+
+enum class GapClass { kConductor, kSemiconductor, kInsulator };
+
+const char* gap_class_name(GapClass c);
+
+struct Material {
+  std::string formula;             // e.g. "Li2FeO4"
+  std::vector<Species> composition;
+  double band_gap_ev;              // synthetic "DFT" ground truth
+  GapClass gap_class;
+  double formation_energy_ev;      // secondary synthetic property
+};
+
+/// Deterministic band gap (eV) from composition; same function everywhere
+/// (corpus text, QA answers, GNN labels).
+double band_gap_model(const std::vector<Species>& composition,
+                      const std::string& formula);
+
+/// Deterministic formation energy (eV/atom) from composition.
+double formation_energy_model(const std::vector<Species>& composition,
+                              const std::string& formula);
+
+GapClass classify_gap(double band_gap_ev);
+
+/// Canonical formula string ("Li2FeO4") for a composition.
+std::string format_formula(const std::vector<Species>& composition);
+
+/// Random-but-chemically-plausible material generator: picks 1–3 elements
+/// weighted toward metal + nonmetal combinations and balances counts.
+class MaterialGenerator {
+ public:
+  explicit MaterialGenerator(std::uint64_t seed);
+
+  Material sample();
+
+  /// Deduplicated sample of n distinct materials.
+  std::vector<Material> sample_unique(std::size_t n);
+
+  /// Build the Material record for an explicit composition.
+  static Material from_composition(std::vector<Species> composition);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace matgpt::data

@@ -1,0 +1,167 @@
+#include "embed/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/error.h"
+
+namespace matgpt::embed {
+
+namespace {
+double sqdist(const std::vector<float>& a, const std::vector<float>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+}  // namespace
+
+KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
+                    int max_iters) {
+  MGPT_CHECK(!points.empty(), "kmeans of empty point set");
+  MGPT_CHECK(k >= 1 && k <= points.size(),
+             "k must be in [1, point count]");
+  const std::size_t n = points.size();
+  const std::size_t d = points[0].size();
+
+  // k-means++ seeding.
+  KMeansResult result;
+  result.centroids.push_back(points[rng.uniform_int(n)]);
+  std::vector<double> dist2(n, 0.0);
+  while (result.centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : result.centroids) {
+        best = std::min(best, sqdist(points[i], c));
+      }
+      dist2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      result.centroids.push_back(points[rng.uniform_int(n)]);
+      continue;
+    }
+    result.centroids.push_back(points[rng.categorical(dist2)]);
+  }
+
+  result.assignment.assign(n, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double dd = sqdist(points[i], result.centroids[c]);
+        if (dd < best) {
+          best = dd;
+          best_c = c;
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    Matrix sums(k, std::vector<float>(d, 0.0f));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = result.assignment[i];
+      for (std::size_t j = 0; j < d; ++j) sums[c][j] += points[i][j];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] = points[rng.uniform_int(n)];
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        result.centroids[c][j] =
+            sums[c][j] / static_cast<float>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia += sqdist(points[i], result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+double silhouette(const Matrix& points,
+                  const std::vector<std::size_t>& assignment) {
+  MGPT_CHECK(points.size() == assignment.size(),
+             "assignment must cover every point");
+  const std::size_t n = points.size();
+  MGPT_CHECK(n >= 2, "silhouette needs at least two points");
+  std::size_t k = 0;
+  for (std::size_t a : assignment) k = std::max(k, a + 1);
+  if (k < 2) return 0.0;
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> mean_dist(k, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      mean_dist[assignment[j]] += std::sqrt(sqdist(points[i], points[j]));
+      ++counts[assignment[j]];
+    }
+    const std::size_t own = assignment[i];
+    if (counts[own] == 0) continue;  // singleton cluster: skip
+    const double a = mean_dist[own] / static_cast<double>(counts[own]);
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own || counts[c] == 0) continue;
+      b = std::min(b, mean_dist[c] / static_cast<double>(counts[c]));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+ClusterEstimate estimate_clusters(const Matrix& points, std::size_t max_k,
+                                  Rng& rng) {
+  MGPT_CHECK(max_k >= 2, "need max_k >= 2");
+  ClusterEstimate best;
+  for (std::size_t k = 2; k <= std::min(max_k, points.size() - 1); ++k) {
+    KMeansResult r = kmeans(points, k, rng);
+    const double s = silhouette(points, r.assignment);
+    if (best.k == 0 || s > best.silhouette) {
+      best.k = k;
+      best.silhouette = s;
+      best.result = std::move(r);
+    }
+  }
+  return best;
+}
+
+double purity(const std::vector<std::size_t>& assignment,
+              const std::vector<std::size_t>& labels) {
+  MGPT_CHECK(assignment.size() == labels.size(),
+             "labels must cover every point");
+  MGPT_CHECK(!assignment.empty(), "purity of empty assignment");
+  std::map<std::size_t, std::map<std::size_t, std::size_t>> table;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    ++table[assignment[i]][labels[i]];
+  }
+  std::size_t agree = 0;
+  for (const auto& [cluster, counts] : table) {
+    std::size_t dominant = 0;
+    for (const auto& [label, c] : counts) dominant = std::max(dominant, c);
+    agree += dominant;
+  }
+  return static_cast<double>(agree) / static_cast<double>(assignment.size());
+}
+
+}  // namespace matgpt::embed

@@ -1,0 +1,44 @@
+#pragma once
+// k-means clustering and cluster-quality statistics for the embedding
+// analysis (Fig. 17): cluster counts, silhouette scores, and agreement
+// between embedding clusters and the physical gap classes
+// (conductor / semiconductor / insulator).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/reduce.h"
+
+namespace matgpt::embed {
+
+struct KMeansResult {
+  std::vector<std::size_t> assignment;  // point -> cluster
+  Matrix centroids;
+  double inertia = 0.0;  // sum of squared distances to assigned centroid
+};
+
+/// Lloyd's algorithm with k-means++ seeding.
+KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
+                    int max_iters = 100);
+
+/// Mean silhouette coefficient over all points, in [-1, 1].
+double silhouette(const Matrix& points,
+                  const std::vector<std::size_t>& assignment);
+
+/// Pick k in [2, max_k] maximizing silhouette (the cluster-count estimate
+/// used to compare embedding spaces).
+struct ClusterEstimate {
+  std::size_t k = 0;
+  double silhouette = 0.0;
+  KMeansResult result;
+};
+ClusterEstimate estimate_clusters(const Matrix& points, std::size_t max_k,
+                                  Rng& rng);
+
+/// Cluster purity against ground-truth labels: mean over clusters of the
+/// dominant label fraction, weighted by cluster size.
+double purity(const std::vector<std::size_t>& assignment,
+              const std::vector<std::size_t>& labels);
+
+}  // namespace matgpt::embed

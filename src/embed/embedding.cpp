@@ -1,0 +1,84 @@
+#include "embed/embedding.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace matgpt::embed {
+
+std::vector<float> gpt_formula_embedding(const nn::GptModel& model,
+                                         const tok::BpeTokenizer& tokenizer,
+                                         const std::string& formula) {
+  auto ids = tokenizer.encode(formula);
+  MGPT_CHECK(!ids.empty(), "formula tokenized to nothing: " << formula);
+  if (static_cast<std::int64_t>(ids.size()) > model.config().max_seq) {
+    ids.resize(static_cast<std::size_t>(model.config().max_seq));
+  }
+  Tape tape;
+  const Var h = model.hidden_states(tape, ids, 1,
+                                    static_cast<std::int64_t>(ids.size()));
+  const std::int64_t hidden = model.config().hidden;
+  const float* last =
+      h.value().data() + (static_cast<std::int64_t>(ids.size()) - 1) * hidden;
+  return std::vector<float>(last, last + hidden);
+}
+
+double euclidean(const std::vector<float>& a, const std::vector<float>& b) {
+  MGPT_CHECK(a.size() == b.size(), "dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  MGPT_CHECK(a.size() == b.size(), "dimension mismatch");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+PairwiseStats pairwise_stats(const EmbeddingSet& set, std::size_t max_pairs,
+                             Rng& rng, double dist_hi) {
+  MGPT_CHECK(set.size() >= 2, "pairwise stats need at least two embeddings");
+  // First pass to find a histogram range if not provided.
+  if (dist_hi <= 0.0) {
+    double peak = 0.0;
+    for (std::size_t s = 0; s < std::min<std::size_t>(64, max_pairs); ++s) {
+      const auto i = rng.uniform_int(set.size());
+      auto j = rng.uniform_int(set.size());
+      while (j == i) j = rng.uniform_int(set.size());
+      peak = std::max(peak, euclidean(set.vectors[i], set.vectors[j]));
+    }
+    dist_hi = std::max(1e-6, peak * 1.5);
+  }
+  PairwiseStats stats{0.0, 0.0, Histogram(0.0, dist_hi, 40),
+                      Histogram(-1.0, 1.0 + 1e-9, 40)};
+  double dist_sum = 0.0, cos_sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < max_pairs; ++s) {
+    const auto i = rng.uniform_int(set.size());
+    auto j = rng.uniform_int(set.size());
+    while (j == i) j = rng.uniform_int(set.size());
+    const double d = euclidean(set.vectors[i], set.vectors[j]);
+    const double c = cosine(set.vectors[i], set.vectors[j]);
+    stats.distance_hist.add(d);
+    stats.cosine_hist.add(c);
+    dist_sum += d;
+    cos_sum += c;
+    ++n;
+  }
+  stats.mean_distance = dist_sum / static_cast<double>(n);
+  stats.mean_cosine = cos_sum / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace matgpt::embed

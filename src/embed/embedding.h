@@ -1,0 +1,49 @@
+#pragma once
+// Formula-embedding extraction and geometric analysis (Figs. 16–17).
+//
+// GPT embeddings use the final-norm hidden state of the last token (causal
+// LM convention); BERT embeddings are mean-pooled (nn::BertEncoder::embed).
+// The analyses reproduce the paper's comparisons: pairwise Euclidean
+// distance and cosine-similarity density plots, and cluster structure after
+// PCA + t-SNE dimensionality reduction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "nn/gpt.h"
+#include "tokenizer/bpe.h"
+
+namespace matgpt::embed {
+
+/// Last-token hidden-state embedding of a formula string under a GPT model.
+std::vector<float> gpt_formula_embedding(const nn::GptModel& model,
+                                         const tok::BpeTokenizer& tokenizer,
+                                         const std::string& formula);
+
+/// Row-major embedding matrix helper.
+struct EmbeddingSet {
+  std::vector<std::vector<float>> vectors;
+  std::vector<std::string> labels;
+
+  std::size_t size() const { return vectors.size(); }
+  std::size_t dim() const { return vectors.empty() ? 0 : vectors[0].size(); }
+};
+
+double euclidean(const std::vector<float>& a, const std::vector<float>& b);
+double cosine(const std::vector<float>& a, const std::vector<float>& b);
+
+struct PairwiseStats {
+  double mean_distance = 0.0;
+  double mean_cosine = 0.0;
+  Histogram distance_hist;
+  Histogram cosine_hist;
+};
+
+/// Pairwise statistics over up to `max_pairs` random pairs.
+PairwiseStats pairwise_stats(const EmbeddingSet& set, std::size_t max_pairs,
+                             Rng& rng, double dist_hi = 0.0);
+
+}  // namespace matgpt::embed

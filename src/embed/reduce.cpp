@@ -1,0 +1,243 @@
+#include "embed/reduce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace matgpt::embed {
+
+EigenResult symmetric_eigen(std::vector<std::vector<double>> a,
+                            int max_sweeps) {
+  const std::size_t n = a.size();
+  MGPT_CHECK(n > 0, "eigen of empty matrix");
+  for (const auto& row : a) {
+    MGPT_CHECK(row.size() == n, "matrix must be square");
+  }
+  // v starts as identity and accumulates the rotations.
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < 1e-18) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p][q]) < 1e-15) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p], akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k], aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p], vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  EigenResult result;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a[x][x] > a[y][y]; });
+  for (std::size_t i : order) {
+    result.values.push_back(a[i][i]);
+    std::vector<double> vec(n);
+    for (std::size_t k = 0; k < n; ++k) vec[k] = v[k][i];
+    result.vectors.push_back(std::move(vec));
+  }
+  return result;
+}
+
+Matrix pca(const Matrix& rows, std::size_t components) {
+  MGPT_CHECK(!rows.empty(), "pca of empty matrix");
+  const std::size_t n = rows.size();
+  const std::size_t d = rows[0].size();
+  MGPT_CHECK(components > 0 && components <= d,
+             "components must be in [1, dim]");
+  // Mean-center.
+  std::vector<double> mean(d, 0.0);
+  for (const auto& r : rows) {
+    MGPT_CHECK(r.size() == d, "ragged embedding matrix");
+    for (std::size_t j = 0; j < d; ++j) mean[j] += r[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  // Covariance (d x d).
+  std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = r[i] - mean[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov[i][j] += xi * (r[j] - mean[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov[i][j] /= static_cast<double>(n > 1 ? n - 1 : 1);
+      cov[j][i] = cov[i][j];
+    }
+  }
+  const EigenResult eig = symmetric_eigen(std::move(cov));
+  Matrix out(n, std::vector<float>(components, 0.0f));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < components; ++c) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        acc += (rows[r][j] - mean[j]) * eig.vectors[c][j];
+      }
+      out[r][c] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Binary-search the Gaussian bandwidth for one row to hit the target
+/// perplexity; returns the conditional probabilities p_{j|i}.
+std::vector<double> row_affinities(const std::vector<double>& sqdist,
+                                   std::size_t self, double perplexity) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+  std::vector<double> p(sqdist.size(), 0.0);
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < sqdist.size(); ++j) {
+      p[j] = j == self ? 0.0 : std::exp(-sqdist[j] * beta);
+      sum += p[j];
+    }
+    if (sum <= 0.0) {
+      beta /= 2.0;
+      continue;
+    }
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < sqdist.size(); ++j) {
+      p[j] /= sum;
+      if (p[j] > 1e-12) entropy -= p[j] * std::log(p[j]);
+    }
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-4) break;
+    if (diff > 0.0) {
+      beta_lo = beta;
+      beta = beta_hi > 1e11 ? beta * 2.0 : 0.5 * (beta + beta_hi);
+    } else {
+      beta_hi = beta;
+      beta = 0.5 * (beta + beta_lo);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Matrix tsne_2d(const Matrix& rows, const TsneOptions& options, Rng& rng) {
+  const std::size_t n = rows.size();
+  MGPT_CHECK(n >= 4, "t-SNE needs at least four points");
+  MGPT_CHECK(options.perplexity > 1.0 &&
+                 options.perplexity < static_cast<double>(n),
+             "perplexity must be in (1, n)");
+  // Pairwise squared distances in the input space, normalized by their
+  // maximum so the perplexity search is scale-free.
+  std::vector<std::vector<double>> sqdist(n, std::vector<double>(n, 0.0));
+  double max_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < rows[i].size(); ++k) {
+        const double d = static_cast<double>(rows[i][k]) - rows[j][k];
+        acc += d * d;
+      }
+      sqdist[i][j] = sqdist[j][i] = acc;
+      max_sq = std::max(max_sq, acc);
+    }
+  }
+  if (max_sq > 0.0) {
+    for (auto& row : sqdist) {
+      for (double& v : row) v /= max_sq;
+    }
+  }
+  // Symmetrized affinities.
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cond = row_affinities(sqdist[i], i, options.perplexity);
+    for (std::size_t j = 0; j < n; ++j) p[i][j] += cond[j];
+  }
+  double psum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double sym = (p[i][j] + p[j][i]);
+      p[i][j] = p[j][i] = sym;
+      psum += 2.0 * sym;
+    }
+  }
+  for (auto& row : p) {
+    for (double& x : row) x = std::max(x / psum, 1e-12);
+  }
+
+  // Gradient descent on the 2D embedding with momentum.
+  Matrix y(n, std::vector<float>(2));
+  Matrix vel(n, std::vector<float>(2, 0.0f));
+  for (auto& pt : y) {
+    pt[0] = static_cast<float>(rng.normal(0.0, 1e-2));
+    pt[1] = static_cast<float>(rng.normal(0.0, 1e-2));
+  }
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    // Student-t affinities in the embedding.
+    std::vector<std::vector<double>> q(n, std::vector<double>(n, 0.0));
+    double qsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = y[i][0] - y[j][0];
+        const double dy = y[i][1] - y[j][1];
+        const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i][j] = q[j][i] = w;
+        qsum += 2.0 * w;
+      }
+    }
+    const double momentum = iter < 100 ? 0.5 : 0.8;
+    for (std::size_t i = 0; i < n; ++i) {
+      double gx = 0.0, gy = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = q[i][j];
+        const double qij = std::max(w / qsum, 1e-12);
+        const double coef = 4.0 * (exaggeration * p[i][j] - qij) * w;
+        gx += coef * (y[i][0] - y[j][0]);
+        gy += coef * (y[i][1] - y[j][1]);
+      }
+      // Clamp the per-step displacement; exact t-SNE without adaptive gains
+      // can otherwise blow up during early exaggeration.
+      const double sx =
+          std::clamp(-options.learning_rate * gx, -5.0, 5.0);
+      const double sy =
+          std::clamp(-options.learning_rate * gy, -5.0, 5.0);
+      vel[i][0] = static_cast<float>(momentum * vel[i][0] + sx);
+      vel[i][1] = static_cast<float>(momentum * vel[i][1] + sy);
+      y[i][0] += vel[i][0];
+      y[i][1] += vel[i][1];
+    }
+  }
+  return y;
+}
+
+}  // namespace matgpt::embed

@@ -1,0 +1,40 @@
+#pragma once
+// Dimensionality reduction: PCA (covariance + Jacobi eigensolver) and exact
+// t-SNE. The paper reduces embeddings with TSNE in tandem with PCA for the
+// Fig. 17 cluster plots; we do the same (PCA to ~16 dims, then t-SNE to 2).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace matgpt::embed {
+
+using Matrix = std::vector<std::vector<float>>;
+
+/// Project rows onto the top `components` principal directions.
+/// Returns an n x components matrix.
+Matrix pca(const Matrix& rows, std::size_t components);
+
+/// Eigen-decomposition of a symmetric matrix via cyclic Jacobi rotations.
+/// Returns eigenvalues (descending) and matching unit eigenvectors.
+struct EigenResult {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;  // vectors[i] pairs values[i]
+};
+EigenResult symmetric_eigen(std::vector<std::vector<double>> a,
+                            int max_sweeps = 64);
+
+struct TsneOptions {
+  double perplexity = 12.0;
+  int iterations = 300;
+  double learning_rate = 10.0;
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 60;
+};
+
+/// Exact (O(n^2)) t-SNE to 2D. Suitable for the few hundred formulas the
+/// cluster analysis uses.
+Matrix tsne_2d(const Matrix& rows, const TsneOptions& options, Rng& rng);
+
+}  // namespace matgpt::embed

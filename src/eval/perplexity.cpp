@@ -1,0 +1,41 @@
+#include "eval/perplexity.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace matgpt::eval {
+
+PerplexityResult validation_perplexity(const nn::GptModel& model,
+                                       const data::TokenDataset& data,
+                                       std::int64_t seq,
+                                       std::int64_t n_batches) {
+  MGPT_CHECK(n_batches > 0, "need at least one batch");
+  MGPT_CHECK(seq <= model.config().max_seq,
+             "seq exceeds the model context window");
+  double total_nll = 0.0;
+  std::int64_t total_tokens = 0;
+  for (std::int64_t b = 0; b < n_batches; ++b) {
+    const auto batch = data.validation_batch(1, seq, b);
+    Tape tape;
+    NoGradGuard guard(tape);
+    const Var logits =
+        model.forward(tape, batch.tokens, batch.batch, batch.seq);
+    const auto lps = ops::token_log_probs(
+        logits.value().reshape({batch.batch * batch.seq,
+                                model.config().vocab_size}),
+        batch.targets);
+    for (double lp : lps) {
+      total_nll -= lp;
+      ++total_tokens;
+    }
+  }
+  PerplexityResult r;
+  r.tokens = total_tokens;
+  r.mean_nll = total_nll / static_cast<double>(total_tokens);
+  r.perplexity = std::exp(r.mean_nll);
+  return r;
+}
+
+}  // namespace matgpt::eval

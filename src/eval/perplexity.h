@@ -1,0 +1,26 @@
+#pragma once
+// Validation perplexity — the standard LM metric companion to the loss
+// curves of Fig. 13 (perplexity = exp(mean next-token NLL) over held-out
+// windows). Comparable only between models sharing a tokenizer, exactly the
+// caveat of the paper's Observation 3.
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "nn/gpt.h"
+
+namespace matgpt::eval {
+
+struct PerplexityResult {
+  double perplexity = 0.0;
+  double mean_nll = 0.0;     // nats per token
+  std::int64_t tokens = 0;   // tokens scored
+};
+
+/// Perplexity over `n_batches` deterministic validation windows.
+PerplexityResult validation_perplexity(const nn::GptModel& model,
+                                       const data::TokenDataset& data,
+                                       std::int64_t seq,
+                                       std::int64_t n_batches = 8);
+
+}  // namespace matgpt::eval

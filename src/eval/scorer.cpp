@@ -1,0 +1,103 @@
+#include "eval/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace matgpt::eval {
+
+LmEvaluator::LmEvaluator(const nn::GptModel& model,
+                         const tok::BpeTokenizer& tokenizer)
+    : model_(model), tokenizer_(tokenizer) {}
+
+double LmEvaluator::continuation_score(const std::string& context,
+                                       const std::string& continuation) const {
+  const auto ctx_ids = tokenizer_.encode(context);
+  const auto full_ids = tokenizer_.encode(context + continuation);
+  const std::size_t cont_len = full_ids.size() - ctx_ids.size();
+  MGPT_CHECK(full_ids.size() > ctx_ids.size(),
+             "continuation must add at least one token");
+  // Clamp to the model context window, keeping the tail (the continuation
+  // must survive clamping whole, plus at least one context token).
+  std::vector<std::int32_t> window(full_ids.begin(), full_ids.end());
+  const auto max_seq = static_cast<std::size_t>(model_.config().max_seq);
+  std::size_t dropped = 0;
+  if (window.size() > max_seq) {
+    dropped = window.size() - max_seq;
+    window.erase(window.begin(),
+                 window.begin() + static_cast<std::ptrdiff_t>(dropped));
+  }
+  MGPT_CHECK(cont_len + 1 <= window.size(),
+             "continuation longer than the model context window");
+  const std::size_t cont_start = window.size() - cont_len;
+
+  Tape tape;
+  NoGradGuard guard(tape);
+  const Var logits = model_.forward(
+      tape, window, 1, static_cast<std::int64_t>(window.size()));
+  // logits row t predicts window[t+1]; continuation tokens sit at window
+  // indices [cont_start, end), i.e. target rows [cont_start-1, end-1).
+  const std::vector<std::int32_t> targets(window.begin() + 1, window.end());
+  const Tensor rows = logits.value().reshape(
+      {static_cast<std::int64_t>(window.size()),
+       model_.config().vocab_size});
+  const Tensor pred_rows = Tensor::from_data(
+      {static_cast<std::int64_t>(targets.size()),
+       model_.config().vocab_size},
+      std::vector<float>(
+          rows.data(),
+          rows.data() + (window.size() - 1) * static_cast<std::size_t>(
+                                                  model_.config().vocab_size)));
+  const auto lps = ops::token_log_probs(pred_rows, targets);
+  double total = 0.0;
+  for (std::size_t t = cont_start - 1; t < targets.size(); ++t) {
+    total += lps[t];
+  }
+  return total / static_cast<double>(cont_len);
+}
+
+TaskResult LmEvaluator::evaluate(const std::vector<McQuestion>& questions,
+                                 int shots, Rng& rng) const {
+  MGPT_CHECK(!questions.empty(), "evaluate requires questions");
+  MGPT_CHECK(shots >= 0, "shots must be non-negative");
+  MGPT_CHECK(static_cast<std::size_t>(shots) < questions.size(),
+             "not enough questions to hold out shot examples");
+  // Draw shot examples from the front after a shuffle of indices.
+  std::vector<std::size_t> order(questions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  std::string shot_prefix;
+  for (int s = 0; s < shots; ++s) {
+    const auto& q = questions[order[static_cast<std::size_t>(s)]];
+    shot_prefix += q.prompt + q.choices[q.correct] + " . ";
+  }
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t i = static_cast<std::size_t>(shots); i < order.size();
+       ++i) {
+    const auto& q = questions[order[i]];
+    MGPT_CHECK(q.choices.size() >= 2, "question needs at least two choices");
+    double best = -1e300;
+    std::size_t best_idx = 0;
+    for (std::size_t c = 0; c < q.choices.size(); ++c) {
+      const double score =
+          continuation_score(shot_prefix + q.prompt, q.choices[c]);
+      if (score > best) {
+        best = score;
+        best_idx = c;
+      }
+    }
+    correct += best_idx == q.correct;
+    ++total;
+  }
+  TaskResult r;
+  r.n = total;
+  r.accuracy = static_cast<double>(correct) / static_cast<double>(total);
+  r.stderr_ = std::sqrt(r.accuracy * (1.0 - r.accuracy) /
+                        static_cast<double>(total));
+  return r;
+}
+
+}  // namespace matgpt::eval

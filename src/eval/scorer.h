@@ -1,0 +1,45 @@
+#pragma once
+// Zero- and few-shot multiple-choice scoring by LM log-likelihood — the
+// evaluation protocol of the lm-eval-harness the paper uses.
+//
+// Each choice is scored by the mean per-token log probability of its tokens
+// as a continuation of the prompt (length-normalized, like acc_norm);
+// few-shot prepends k solved examples from the same task. Accuracy is
+// reported with the binomial standard error the paper plots as error bars.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/tasks.h"
+#include "nn/gpt.h"
+#include "tokenizer/bpe.h"
+
+namespace matgpt::eval {
+
+struct TaskResult {
+  double accuracy = 0.0;
+  double stderr_ = 0.0;  // binomial standard error
+  std::size_t n = 0;
+};
+
+class LmEvaluator {
+ public:
+  LmEvaluator(const nn::GptModel& model, const tok::BpeTokenizer& tokenizer);
+
+  /// Mean per-token log p of `continuation` given `context`.
+  double continuation_score(const std::string& context,
+                            const std::string& continuation) const;
+
+  /// Argmax-by-score accuracy over questions. `shots` solved examples are
+  /// drawn (without replacement) from `questions` itself and excluded from
+  /// scoring, following the harness convention.
+  TaskResult evaluate(const std::vector<McQuestion>& questions, int shots,
+                      Rng& rng) const;
+
+ private:
+  const nn::GptModel& model_;
+  const tok::BpeTokenizer& tokenizer_;
+};
+
+}  // namespace matgpt::eval

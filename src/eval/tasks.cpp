@@ -1,0 +1,326 @@
+#include "eval/tasks.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace matgpt::eval {
+
+const char* task_name(TaskId id) {
+  switch (id) {
+    case TaskId::kSciQ:
+      return "SciQ";
+    case TaskId::kPiqa:
+      return "PIQA";
+    case TaskId::kObqa:
+      return "OBQA";
+    case TaskId::kArcEasy:
+      return "ARC-E";
+    case TaskId::kArcChallenge:
+      return "ARC-C";
+    case TaskId::kHtChemistry:
+      return "HT-CC";
+    case TaskId::kHtPhysics:
+      return "HT-CP";
+    case TaskId::kHtMedicine:
+      return "HT-CM";
+    case TaskId::kHtComputerScience:
+      return "HT-CCS";
+  }
+  return "unknown";
+}
+
+std::vector<TaskId> all_tasks() {
+  return {TaskId::kSciQ,        TaskId::kPiqa,
+          TaskId::kObqa,        TaskId::kArcEasy,
+          TaskId::kArcChallenge, TaskId::kHtChemistry,
+          TaskId::kHtPhysics,   TaskId::kHtMedicine,
+          TaskId::kHtComputerScience};
+}
+
+namespace {
+std::string format_ev(double ev) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << ev;
+  return os.str();
+}
+}  // namespace
+
+TaskGenerator::TaskGenerator(std::uint64_t seed,
+                             std::vector<data::Material> pool)
+    : rng_(seed), pool_(std::move(pool)) {
+  MGPT_CHECK(pool_.size() >= 4, "task generation needs several materials");
+}
+
+const data::Material& TaskGenerator::random_material() {
+  return pool_[rng_.uniform_int(pool_.size())];
+}
+
+std::vector<McQuestion> TaskGenerator::generate(TaskId task, std::size_t n) {
+  std::vector<McQuestion> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (task) {
+      case TaskId::kSciQ:
+        out.push_back(sciq());
+        break;
+      case TaskId::kPiqa:
+        out.push_back(piqa());
+        break;
+      case TaskId::kObqa:
+        out.push_back(obqa());
+        break;
+      case TaskId::kArcEasy:
+        out.push_back(arc_easy());
+        break;
+      case TaskId::kArcChallenge:
+        out.push_back(arc_challenge());
+        break;
+      case TaskId::kHtChemistry:
+        out.push_back(ht_chemistry());
+        break;
+      case TaskId::kHtPhysics:
+        out.push_back(ht_physics());
+        break;
+      case TaskId::kHtMedicine:
+        out.push_back(ht_medicine());
+        break;
+      case TaskId::kHtComputerScience:
+        out.push_back(ht_cs());
+        break;
+    }
+  }
+  return out;
+}
+
+McQuestion TaskGenerator::sciq() {
+  const auto& m = random_material();
+  McQuestion q;
+  q.prompt = "The band gap of " + m.formula + " is";
+  const std::string truth = " " + format_ev(m.band_gap_ev) + " eV";
+  // Distractors: offset values that remain plausible (non-negative).
+  std::vector<double> values{m.band_gap_ev};
+  while (values.size() < 4) {
+    const double v =
+        std::max(0.0, m.band_gap_ev + rng_.uniform(-2.5, 2.5));
+    const std::string s = format_ev(v);
+    bool dup = false;
+    for (double u : values) dup |= format_ev(u) == s;
+    if (!dup) values.push_back(v);
+  }
+  rng_.shuffle(values);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    q.choices.push_back(" " + format_ev(values[i]) + " eV");
+    if (q.choices.back() == truth) q.correct = i;
+  }
+  return q;
+}
+
+McQuestion TaskGenerator::piqa() {
+  // Applications are class-linked in the corpus generator.
+  static constexpr std::array<std::pair<const char*, data::GapClass>, 6>
+      apps{{{"battery electrodes", data::GapClass::kConductor},
+            {"interconnects", data::GapClass::kConductor},
+            {"photovoltaics", data::GapClass::kSemiconductor},
+            {"transistors", data::GapClass::kSemiconductor},
+            {"gate dielectrics", data::GapClass::kInsulator},
+            {"optical coatings", data::GapClass::kInsulator}}};
+  const auto& [app, cls] = apps[rng_.uniform_int(apps.size())];
+  McQuestion q;
+  q.prompt = std::string("A material promising for ") + app + " is a";
+  const std::array<data::GapClass, 3> classes{data::GapClass::kConductor,
+                                              data::GapClass::kSemiconductor,
+                                              data::GapClass::kInsulator};
+  std::vector<std::size_t> order{0, 1, 2};
+  rng_.shuffle(order);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    q.choices.push_back(std::string(" ") +
+                        data::gap_class_name(classes[order[i]]));
+    if (classes[order[i]] == cls) q.correct = i;
+  }
+  return q;
+}
+
+McQuestion TaskGenerator::obqa() {
+  const auto elements = data::element_table();
+  const data::Material* m = nullptr;
+  // Find a material with at least one element (always true).
+  m = &random_material();
+  const auto& sp = m->composition[rng_.uniform_int(m->composition.size())];
+  McQuestion q;
+  q.prompt = "The compound " + m->formula + " contains";
+  std::vector<std::size_t> candidates{sp.element};
+  while (candidates.size() < 4) {
+    const std::size_t e = rng_.uniform_int(elements.size());
+    bool in_formula = false;
+    for (const auto& s : m->composition) in_formula |= s.element == e;
+    bool dup = false;
+    for (std::size_t c : candidates) dup |= c == e;
+    if (!in_formula && !dup) candidates.push_back(e);
+  }
+  rng_.shuffle(candidates);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    q.choices.push_back(std::string(" ") + elements[candidates[i]].name);
+    if (candidates[i] == sp.element) q.correct = i;
+  }
+  return q;
+}
+
+McQuestion TaskGenerator::arc_easy() {
+  const auto& m = random_material();
+  McQuestion q;
+  q.prompt = m.formula + " is a";
+  const std::array<data::GapClass, 3> classes{data::GapClass::kConductor,
+                                              data::GapClass::kSemiconductor,
+                                              data::GapClass::kInsulator};
+  std::vector<std::size_t> order{0, 1, 2};
+  rng_.shuffle(order);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    q.choices.push_back(std::string(" ") +
+                        data::gap_class_name(classes[order[i]]));
+    if (classes[order[i]] == m.gap_class) q.correct = i;
+  }
+  return q;
+}
+
+McQuestion TaskGenerator::arc_challenge() {
+  // Comparative reasoning over two formulas — needs both facts.
+  const auto* a = &random_material();
+  const auto* b = &random_material();
+  int attempts = 0;
+  while (std::fabs(a->band_gap_ev - b->band_gap_ev) < 0.5 && attempts++ < 50) {
+    b = &random_material();
+  }
+  McQuestion q;
+  q.prompt = "Of " + a->formula + " and " + b->formula +
+             " , the larger band gap belongs to";
+  const bool a_larger = a->band_gap_ev >= b->band_gap_ev;
+  if (rng_.bernoulli(0.5)) {
+    q.choices = {" " + a->formula, " " + b->formula};
+    q.correct = a_larger ? 0 : 1;
+  } else {
+    q.choices = {" " + b->formula, " " + a->formula};
+    q.correct = a_larger ? 1 : 0;
+  }
+  return q;
+}
+
+McQuestion TaskGenerator::ht_chemistry() {
+  const auto elements = data::element_table();
+  const std::size_t e = rng_.uniform_int(elements.size());
+  McQuestion q;
+  q.prompt = std::string("The element ") + elements[e].name + " is a";
+  std::vector<std::string> cats{data::category_name(elements[e].category)};
+  while (cats.size() < 4) {
+    const auto cand = data::category_name(
+        elements[rng_.uniform_int(elements.size())].category);
+    bool dup = false;
+    for (const auto& c : cats) dup |= c == cand;
+    if (!dup) cats.emplace_back(cand);
+  }
+  rng_.shuffle(cats);
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    if (cats[i] == data::category_name(elements[e].category)) q.correct = i;
+    q.choices.push_back(" " + cats[i]);
+  }
+  return q;
+}
+
+McQuestion TaskGenerator::ht_physics() {
+  // Conceptual band-structure facts, stated in corpus templates indirectly.
+  struct Item {
+    const char* prompt;
+    const char* answer;
+    std::array<const char*, 3> distractors;
+  };
+  static constexpr std::array<Item, 4> items{{
+      {"A conductor has a band gap of about",
+       " 0.0 eV",
+       {" 2.0 eV", " 5.0 eV", " 9.0 eV"}},
+      {"A material with a band gap of 5.0 eV is a",
+       " insulator",
+       {" conductor", " semiconductor", " superconductor"}},
+      {"A material with a band gap of 1.5 eV is a",
+       " semiconductor",
+       {" conductor", " insulator", " superconductor"}},
+      {"The band gap is the energy difference between",
+       " electronic energy levels",
+       {" atomic masses", " lattice constants", " melting points"}},
+  }};
+  const auto& item = items[rng_.uniform_int(items.size())];
+  McQuestion q;
+  q.prompt = item.prompt;
+  std::vector<std::string> all{item.answer, item.distractors[0],
+                               item.distractors[1], item.distractors[2]};
+  rng_.shuffle(all);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == item.answer) q.correct = i;
+    q.choices.push_back(all[i]);
+  }
+  return q;
+}
+
+McQuestion TaskGenerator::ht_medicine() {
+  // Off-domain: the corpus never states these facts, so a materials LM
+  // should land near 1/4 accuracy — mirroring MatGPT's HT-CM behaviour.
+  struct Item {
+    const char* prompt;
+    std::array<const char*, 4> options;  // options[0] is correct
+  };
+  static constexpr std::array<Item, 4> items{{
+      {"The hormone that lowers blood glucose is",
+       {" insulin", " glucagon", " cortisol", " adrenaline"}},
+      {"The chamber that pumps blood to the lungs is the",
+       {" right ventricle", " left ventricle", " right atrium",
+        " left atrium"}},
+      {"The vitamin synthesized in skin under sunlight is",
+       {" vitamin D", " vitamin A", " vitamin C", " vitamin K"}},
+      {"The most common cause of peptic ulcers is",
+       {" helicobacter pylori", " stress", " spicy food", " caffeine"}},
+  }};
+  const auto& item = items[rng_.uniform_int(items.size())];
+  McQuestion q;
+  q.prompt = item.prompt;
+  std::vector<std::string> all(item.options.begin(), item.options.end());
+  rng_.shuffle(all);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == item.options[0]) q.correct = i;
+    q.choices.push_back(all[i]);
+  }
+  return q;
+}
+
+McQuestion TaskGenerator::ht_cs() {
+  struct Item {
+    const char* prompt;
+    std::array<const char*, 4> options;  // options[0] is correct
+  };
+  static constexpr std::array<Item, 4> items{{
+      {"The worst case complexity of quicksort is",
+       {" quadratic", " linear", " logarithmic", " constant"}},
+      {"A stack data structure follows the order",
+       {" last in first out", " first in first out", " random access",
+        " priority order"}},
+      {"The protocol that guarantees in order delivery is",
+       {" TCP", " UDP", " ICMP", " ARP"}},
+      {"Two's complement is a representation of",
+       {" signed integers", " floating point", " characters",
+        " instructions"}},
+  }};
+  const auto& item = items[rng_.uniform_int(items.size())];
+  McQuestion q;
+  q.prompt = item.prompt;
+  std::vector<std::string> all(item.options.begin(), item.options.end());
+  rng_.shuffle(all);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == item.options[0]) q.correct = i;
+    q.choices.push_back(all[i]);
+  }
+  return q;
+}
+
+}  // namespace matgpt::eval

@@ -1,0 +1,70 @@
+#pragma once
+// Multiple-choice task generators — the lm-eval-harness stand-in.
+//
+// Nine tasks mirror the paper's benchmark suite (SciQ, PIQA, OpenBookQA,
+// ARC-Easy/Challenge, and four Hendrycks college tests). Each generator
+// draws on the same knowledge base that produced the pre-training corpus,
+// so the in-domain tasks are answerable from what the model saw — exactly
+// how SciQ questions are answerable from scientific text. The two
+// off-domain Hendrycks analogs (medicine, CS) probe facts the corpus never
+// states, so a materials-only model should score near chance there, as the
+// paper's MatGPT does.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/materials.h"
+
+namespace matgpt::eval {
+
+enum class TaskId {
+  kSciQ,
+  kPiqa,
+  kObqa,
+  kArcEasy,
+  kArcChallenge,
+  kHtChemistry,
+  kHtPhysics,
+  kHtMedicine,
+  kHtComputerScience,
+};
+
+const char* task_name(TaskId id);
+
+/// All nine tasks in the paper's plotting order.
+std::vector<TaskId> all_tasks();
+
+struct McQuestion {
+  std::string prompt;                 // text the answer continues
+  std::vector<std::string> choices;   // candidate continuations
+  std::size_t correct = 0;
+};
+
+/// Generates task instances over a pool of materials (the same pool the
+/// corpus was generated from, so facts align).
+class TaskGenerator {
+ public:
+  TaskGenerator(std::uint64_t seed, std::vector<data::Material> pool);
+
+  std::vector<McQuestion> generate(TaskId task, std::size_t n);
+
+ private:
+  McQuestion sciq();           // numeric band-gap recall
+  McQuestion piqa();           // application -> material class
+  McQuestion obqa();           // element-name knowledge
+  McQuestion arc_easy();       // gap classification
+  McQuestion arc_challenge();  // comparative band-gap reasoning
+  McQuestion ht_chemistry();   // element categories
+  McQuestion ht_physics();     // band-structure concepts
+  McQuestion ht_medicine();    // off-domain (chance-level for MatGPT)
+  McQuestion ht_cs();          // off-domain (chance-level for MatGPT)
+
+  const data::Material& random_material();
+
+  Rng rng_;
+  std::vector<data::Material> pool_;
+};
+
+}  // namespace matgpt::eval

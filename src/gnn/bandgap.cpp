@@ -1,0 +1,89 @@
+#include "gnn/bandgap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace matgpt::gnn {
+
+RegressionResult train_bandgap(GnnModel& model, const CrystalDataset& dataset,
+                               const RegressionConfig& config,
+                               const EmbeddingProvider& embeddings) {
+  const std::size_t n = dataset.graphs.size();
+  MGPT_CHECK(n >= 10, "band-gap regression needs at least 10 materials");
+  MGPT_CHECK(config.val_fraction > 0.0 && config.val_fraction < 1.0,
+             "val_fraction must be in (0, 1)");
+  MGPT_CHECK((model.config().text_dim > 0) == static_cast<bool>(embeddings),
+             "embedding provider must match the model's text_dim");
+
+  Rng rng(config.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const auto n_test = static_cast<std::size_t>(
+      std::max(1.0, config.val_fraction * static_cast<double>(n)));
+  std::vector<std::size_t> test(order.begin(),
+                                order.begin() + static_cast<std::ptrdiff_t>(n_test));
+  std::vector<std::size_t> train(order.begin() + static_cast<std::ptrdiff_t>(n_test),
+                                 order.end());
+
+  // z-normalize targets over the training split.
+  RunningStats target_stats;
+  for (std::size_t i : train) {
+    target_stats.add(dataset.graphs[i].band_gap_ev);
+  }
+  const double mu = target_stats.mean();
+  const double sigma = std::max(1e-6, target_stats.stddev());
+
+  optim::Adam opt(model.parameters(), optim::AdamConfig{0.9, 0.999, 1e-8, 0.0});
+  optim::CosineSchedule schedule(config.lr,
+                                 static_cast<std::int64_t>(
+                                     config.epochs * train.size()),
+                                 /*warmup_fraction=*/0.02);
+  std::int64_t step = 0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(train);
+    for (std::size_t i : train) {
+      Tape tape;
+      std::vector<float> text;
+      if (embeddings) text = embeddings(i);
+      Var pred = model.forward(tape, dataset.graphs[i], text);
+      const float target = static_cast<float>(
+          (dataset.graphs[i].band_gap_ev - mu) / sigma);
+      const std::vector<float> targets{target};
+      Var loss = ops::mse_loss(tape, pred, targets);
+      model.zero_grad();
+      tape.backward(loss);
+      opt.clip_grad_norm(1.0);
+      opt.step(schedule.lr(step++));
+    }
+  }
+
+  auto mae_over = [&](const std::vector<std::size_t>& split) {
+    std::vector<double> preds, truths;
+    for (std::size_t i : split) {
+      Tape tape;
+      NoGradGuard guard(tape);
+      std::vector<float> text;
+      if (embeddings) text = embeddings(i);
+      Var pred = model.forward(tape, dataset.graphs[i], text);
+      preds.push_back(static_cast<double>(pred.value()[0]) * sigma + mu);
+      truths.push_back(dataset.graphs[i].band_gap_ev);
+    }
+    return mean_absolute_error(preds, truths);
+  };
+
+  RegressionResult result;
+  result.n_train = train.size();
+  result.n_test = test.size();
+  result.train_mae_ev = mae_over(train);
+  result.test_mae_ev = mae_over(test);
+  return result;
+}
+
+}  // namespace matgpt::gnn

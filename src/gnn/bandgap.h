@@ -1,0 +1,40 @@
+#pragma once
+// Band-gap regression harness: train/evaluate a GNN variant (optionally
+// augmented with per-material text embeddings) and report test MAE — the
+// Table V protocol.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gnn/model.h"
+
+namespace matgpt::gnn {
+
+struct RegressionConfig {
+  std::size_t epochs = 30;
+  double lr = 3e-3;
+  double val_fraction = 0.2;
+  std::uint64_t seed = 99;
+};
+
+struct RegressionResult {
+  double test_mae_ev = 0.0;
+  double train_mae_ev = 0.0;
+  std::size_t n_train = 0;
+  std::size_t n_test = 0;
+};
+
+/// Optional per-material embedding provider (by dataset index); the vector
+/// length must equal the model's text_dim.
+using EmbeddingProvider =
+    std::function<std::vector<float>(std::size_t index)>;
+
+/// Train `model` on the dataset and return train/test MAE. Targets are
+/// z-normalized internally; MAE is reported back in eV.
+RegressionResult train_bandgap(GnnModel& model, const CrystalDataset& dataset,
+                               const RegressionConfig& config,
+                               const EmbeddingProvider& embeddings = {});
+
+}  // namespace matgpt::gnn

@@ -1,0 +1,125 @@
+#include "gnn/crystal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace matgpt::gnn {
+
+CrystalGraph build_crystal(const data::Material& material, Rng& rng,
+                           const CrystalOptions& options) {
+  MGPT_CHECK(options.min_cell_atoms >= 2, "cell needs at least two atoms");
+  MGPT_CHECK(options.neighbors >= 1, "need at least one neighbour");
+  CrystalGraph g;
+  g.formula = material.formula;
+  g.band_gap_ev = material.band_gap_ev;
+  g.gap_class = material.gap_class;
+
+  // Replicate the formula unit until the cell is big enough.
+  int unit_atoms = 0;
+  for (const auto& sp : material.composition) unit_atoms += sp.count;
+  const int replicas =
+      (options.min_cell_atoms + unit_atoms - 1) / unit_atoms;
+  for (int r = 0; r < replicas; ++r) {
+    for (const auto& sp : material.composition) {
+      for (int c = 0; c < sp.count; ++c) {
+        g.atom_element.push_back(sp.element);
+      }
+    }
+  }
+
+  // Place atoms on a jittered cubic lattice.
+  const auto n = g.n_atoms();
+  const int side = static_cast<int>(
+      std::ceil(std::cbrt(static_cast<double>(n))));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int x = static_cast<int>(i) % side;
+    const int y = (static_cast<int>(i) / side) % side;
+    const int z = static_cast<int>(i) / (side * side);
+    g.positions.push_back(
+        {x * options.lattice_spacing +
+             rng.normal(0.0, options.jitter),
+         y * options.lattice_spacing +
+             rng.normal(0.0, options.jitter),
+         z * options.lattice_spacing +
+             rng.normal(0.0, options.jitter)});
+  }
+
+  // k-nearest-neighbour edges (directed, both ways).
+  auto dist = [&](std::int64_t a, std::int64_t b) {
+    double acc = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      const double d = g.positions[static_cast<std::size_t>(a)][static_cast<std::size_t>(k)] -
+                       g.positions[static_cast<std::size_t>(b)][static_cast<std::size_t>(k)];
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  };
+  const int k_neighbors =
+      std::min<int>(options.neighbors, static_cast<int>(n) - 1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::vector<std::pair<double, std::int64_t>> cand;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (j != i) cand.emplace_back(dist(i, j), j);
+    }
+    std::partial_sort(cand.begin(), cand.begin() + k_neighbors, cand.end());
+    for (int k = 0; k < k_neighbors; ++k) {
+      g.edge_src.push_back(i);
+      g.edge_dst.push_back(cand[static_cast<std::size_t>(k)].second);
+      g.edge_distance.push_back(cand[static_cast<std::size_t>(k)].first);
+    }
+  }
+
+  // Per-edge mean angle cosine with sibling edges at the source atom.
+  g.edge_angle_mean.assign(g.edge_src.size(), 0.0);
+  for (std::size_t e = 0; e < g.edge_src.size(); ++e) {
+    const std::int64_t i = g.edge_src[e];
+    const std::int64_t j = g.edge_dst[e];
+    double sum = 0.0;
+    int count = 0;
+    for (std::size_t f = 0; f < g.edge_src.size(); ++f) {
+      if (f == e || g.edge_src[f] != i) continue;
+      const std::int64_t k = g.edge_dst[f];
+      double dot = 0.0, nij = 0.0, nik = 0.0;
+      for (int c = 0; c < 3; ++c) {
+        const double vij = g.positions[static_cast<std::size_t>(j)][static_cast<std::size_t>(c)] -
+                           g.positions[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)];
+        const double vik = g.positions[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)] -
+                           g.positions[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)];
+        dot += vij * vik;
+        nij += vij * vij;
+        nik += vik * vik;
+      }
+      if (nij > 0.0 && nik > 0.0) {
+        sum += dot / std::sqrt(nij * nik);
+        ++count;
+      }
+    }
+    g.edge_angle_mean[e] = count ? sum / count : 0.0;
+  }
+  return g;
+}
+
+CrystalDataset build_dataset(std::size_t n, std::uint64_t seed,
+                             const CrystalOptions& options) {
+  data::MaterialGenerator gen(seed);
+  return build_dataset_from(gen.sample_unique(n), seed, options);
+}
+
+CrystalDataset build_dataset_from(std::vector<data::Material> pool,
+                                  std::uint64_t seed,
+                                  const CrystalOptions& options) {
+  CrystalDataset ds;
+  ds.pool = std::move(pool);
+  Rng rng(seed ^ 0xc0ffeeULL);
+  ds.graphs.reserve(ds.pool.size());
+  ds.materials.reserve(ds.pool.size());
+  for (const auto& m : ds.pool) {
+    ds.graphs.push_back(build_crystal(m, rng, options));
+    ds.materials.push_back(&m);
+  }
+  return ds;
+}
+
+}  // namespace matgpt::gnn

@@ -1,0 +1,71 @@
+#pragma once
+// Synthetic crystal structures — the Materials Project stand-in.
+//
+// Each Material becomes a small periodic-ish cluster: atoms of the formula
+// (replicated to a target cell size) on a jittered lattice, with edges
+// between nearest neighbours. Edge features carry interatomic distance;
+// triplet (angle) statistics are precomputed per edge for the ALIGNN-style
+// variant. The regression target is the same deterministic band-gap model
+// that generated the corpus text, so structure and literature agree — the
+// property Table V's embedding-augmented GNNs exploit.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/materials.h"
+
+namespace matgpt::gnn {
+
+struct CrystalGraph {
+  std::string formula;
+  std::vector<std::size_t> atom_element;  // element-table indices
+  std::vector<std::array<double, 3>> positions;
+  // Directed edges (both directions present).
+  std::vector<std::int64_t> edge_src;
+  std::vector<std::int64_t> edge_dst;
+  std::vector<double> edge_distance;
+  /// Mean cosine of angles formed with the other edges at the source atom
+  /// (the ALIGNN-style second-order feature).
+  std::vector<double> edge_angle_mean;
+
+  double band_gap_ev = 0.0;
+  data::GapClass gap_class = data::GapClass::kConductor;
+
+  std::int64_t n_atoms() const {
+    return static_cast<std::int64_t>(atom_element.size());
+  }
+  std::int64_t n_edges() const {
+    return static_cast<std::int64_t>(edge_src.size());
+  }
+};
+
+struct CrystalOptions {
+  int min_cell_atoms = 6;
+  int neighbors = 4;          // edges per atom (k-nearest)
+  double lattice_spacing = 2.5;  // angstrom-ish
+  double jitter = 0.25;          // positional disorder
+};
+
+/// Build the crystal graph of one material.
+CrystalGraph build_crystal(const data::Material& material, Rng& rng,
+                           const CrystalOptions& options = {});
+
+/// A labeled dataset of crystals from unique materials.
+struct CrystalDataset {
+  std::vector<CrystalGraph> graphs;
+  std::vector<const data::Material*> materials;  // into `pool`
+  std::vector<data::Material> pool;
+};
+CrystalDataset build_dataset(std::size_t n, std::uint64_t seed,
+                             const CrystalOptions& options = {});
+
+/// Build crystals for an existing material pool (e.g. the corpus materials,
+/// so literature embeddings and structures describe the same compounds).
+CrystalDataset build_dataset_from(std::vector<data::Material> pool,
+                                  std::uint64_t seed,
+                                  const CrystalOptions& options = {});
+
+}  // namespace matgpt::gnn

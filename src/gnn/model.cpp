@@ -1,0 +1,178 @@
+#include "gnn/model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace matgpt::gnn {
+
+const char* gnn_variant_name(GnnVariant v) {
+  switch (v) {
+    case GnnVariant::kCgcnn:
+      return "CGCNN";
+    case GnnVariant::kMegnet:
+      return "MEGNet";
+    case GnnVariant::kAlignn:
+      return "ALIGNN";
+    case GnnVariant::kMfCgnn:
+      return "MF-CGNN";
+  }
+  return "unknown";
+}
+
+ConvLayer::ConvLayer(std::int64_t node_dim, std::int64_t edge_dim, Rng& rng)
+    : gate_(2 * node_dim + edge_dim, node_dim, /*bias=*/true, rng),
+      core_(2 * node_dim + edge_dim, node_dim, /*bias=*/true, rng) {
+  register_submodule("gate", gate_);
+  register_submodule("core", core_);
+}
+
+Var ConvLayer::forward(Tape& tape, const Var& nodes,
+                       const CrystalGraph& graph,
+                       const Var& edge_features) const {
+  // Message per edge: sigmoid(gate) * silu(core) over [h_src, h_dst, e].
+  Var h_src = ops::gather_rows(tape, nodes, graph.edge_src);
+  Var h_dst = ops::gather_rows(tape, nodes, graph.edge_dst);
+  Var in = ops::concat_cols(tape, ops::concat_cols(tape, h_src, h_dst),
+                            edge_features);
+  Var msg = ops::mul(tape, ops::sigmoid(tape, gate_.forward(tape, in)),
+                     ops::silu(tape, core_.forward(tape, in)));
+  // Aggregate into destination atoms, normalized by the (uniform) degree.
+  Var agg = ops::scatter_add_rows(tape, msg, graph.edge_dst, graph.n_atoms());
+  const double degree = static_cast<double>(graph.n_edges()) /
+                        static_cast<double>(graph.n_atoms());
+  agg = ops::scale(tape, agg, static_cast<float>(1.0 / std::max(1.0, degree)));
+  return ops::add(tape, nodes, agg);
+}
+
+namespace {
+constexpr std::int64_t kCategoryCount = 7;
+constexpr std::int64_t kPhysicalDim = 3 + kCategoryCount;  // EN, val, radius
+}  // namespace
+
+std::int64_t GnnModel::edge_dim() const {
+  std::int64_t dim = config_.gaussian_basis() > 0 ? config_.gaussian_basis()
+                                                  : 1;  // raw distance
+  if (config_.angle_features()) dim += 1;
+  return dim;
+}
+
+GnnModel::GnnModel(GnnConfig config) : config_(config) {
+  MGPT_CHECK(config_.node_dim > 0, "node_dim must be positive");
+  Rng rng(config_.seed);
+  if (config_.learned_embedding()) {
+    input_dim_ = config_.node_dim;
+    element_embedding_ = register_param(
+        "element_embedding",
+        Tensor::randn({static_cast<std::int64_t>(
+                           data::element_table().size()),
+                       config_.node_dim},
+                      rng, 0.0f, 0.1f));
+  } else {
+    input_dim_ = kPhysicalDim;
+  }
+  input_proj_ = std::make_unique<nn::Linear>(input_dim_, config_.node_dim,
+                                             /*bias=*/true, rng);
+  register_submodule("input_proj", *input_proj_);
+  for (int i = 0; i < config_.conv_layers(); ++i) {
+    convs_.push_back(
+        std::make_unique<ConvLayer>(config_.node_dim, edge_dim(), rng));
+    register_submodule("conv." + std::to_string(i), *convs_.back());
+  }
+  std::int64_t readout_in = config_.node_dim;
+  if (config_.global_state()) {
+    global_proj_ = std::make_unique<nn::Linear>(
+        config_.node_dim, config_.node_dim, /*bias=*/true, rng);
+    register_submodule("global_proj", *global_proj_);
+    readout_in += config_.node_dim;
+  }
+  readout_in += config_.text_dim;
+  readout1_ = std::make_unique<nn::Linear>(readout_in, config_.node_dim,
+                                           /*bias=*/true, rng);
+  readout2_ = std::make_unique<nn::Linear>(config_.node_dim, 1,
+                                           /*bias=*/true, rng);
+  register_submodule("readout1", *readout1_);
+  register_submodule("readout2", *readout2_);
+}
+
+Tensor GnnModel::node_features(const CrystalGraph& graph) const {
+  const auto elements = data::element_table();
+  const std::int64_t n = graph.n_atoms();
+  Tensor feats({n, kPhysicalDim});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& e = elements[graph.atom_element[static_cast<std::size_t>(i)]];
+    feats.at(i, 0) = static_cast<float>(e.electronegativity / 4.0);
+    feats.at(i, 1) = static_cast<float>(e.valence / 5.0);
+    feats.at(i, 2) = static_cast<float>(e.atomic_radius_pm / 220.0);
+    feats.at(i, 3 + static_cast<std::int64_t>(e.category)) = 1.0f;
+  }
+  return feats;
+}
+
+Tensor GnnModel::edge_features(const CrystalGraph& graph) const {
+  const std::int64_t e = graph.n_edges();
+  const std::int64_t dim = edge_dim();
+  Tensor feats({e, dim});
+  const int basis = config_.gaussian_basis();
+  for (std::int64_t i = 0; i < e; ++i) {
+    const double d = graph.edge_distance[static_cast<std::size_t>(i)];
+    if (basis == 0) {
+      feats.at(i, 0) = static_cast<float>(d / 5.0);
+    } else {
+      // Gaussian radial basis centred between 1.5 and 4.5 angstrom.
+      for (int b = 0; b < basis; ++b) {
+        const double mu = 1.5 + 3.0 * b / std::max(1, basis - 1);
+        const double sigma = 3.0 / basis;
+        feats.at(i, b) = static_cast<float>(
+            std::exp(-(d - mu) * (d - mu) / (2.0 * sigma * sigma)));
+      }
+    }
+    if (config_.angle_features()) {
+      feats.at(i, dim - 1) = static_cast<float>(
+          graph.edge_angle_mean[static_cast<std::size_t>(i)]);
+    }
+  }
+  return feats;
+}
+
+Var GnnModel::forward(Tape& tape, const CrystalGraph& graph,
+                      std::span<const float> text_embedding) const {
+  MGPT_CHECK(static_cast<std::int64_t>(text_embedding.size()) ==
+                 config_.text_dim,
+             "text embedding width " << text_embedding.size()
+                                     << " != configured " << config_.text_dim);
+  Var h;
+  if (config_.learned_embedding()) {
+    std::vector<std::int32_t> ids;
+    ids.reserve(graph.atom_element.size());
+    for (std::size_t e : graph.atom_element) {
+      ids.push_back(static_cast<std::int32_t>(e));
+    }
+    h = ops::embedding(tape, element_embedding_, ids);
+  } else {
+    h = tape.leaf(node_features(graph), /*requires_grad=*/false);
+  }
+  h = ops::silu(tape, input_proj_->forward(tape, h));
+  Var efeat = tape.leaf(edge_features(graph), /*requires_grad=*/false);
+  for (const auto& conv : convs_) {
+    h = conv->forward(tape, h, graph, efeat);
+  }
+  Var pooled = ops::mean_rows(tape, h);
+  if (config_.global_state()) {
+    Var global = ops::silu(tape, global_proj_->forward(tape, pooled));
+    pooled = ops::concat_cols(tape, pooled, global);
+  }
+  if (config_.text_dim > 0) {
+    Var text = tape.leaf(
+        Tensor::from_data({1, config_.text_dim},
+                          std::vector<float>(text_embedding.begin(),
+                                             text_embedding.end())),
+        /*requires_grad=*/false);
+    pooled = ops::concat_cols(tape, pooled, text);
+  }
+  Var hidden = ops::silu(tape, readout1_->forward(tape, pooled));
+  return readout2_->forward(tape, hidden);
+}
+
+}  // namespace matgpt::gnn

@@ -1,0 +1,100 @@
+#pragma once
+// Graph neural networks for band-gap regression (Table V).
+//
+// One configurable message-passing architecture expresses the paper's four
+// structure-only baselines as feature/depth ablations, plus the
+// LLM-embedding-augmented variants of Fig. 3:
+//
+//   CGCNN-lite   physical node features, raw distance edges, 2 conv layers
+//   MEGNet-lite  + Gaussian distance basis + a global mean state
+//   ALIGNN-lite  + per-edge angle statistics, 3 conv layers
+//   MF-CGNN      learned element embeddings (minimal feature engineering),
+//                Gaussian basis, 3 layers
+//   +SciBERT / +GPT   MF-CGNN with a text embedding of the material formula
+//                     concatenated before the readout MLP (Fig. 3)
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "gnn/crystal.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace matgpt::gnn {
+
+enum class GnnVariant { kCgcnn, kMegnet, kAlignn, kMfCgnn };
+
+const char* gnn_variant_name(GnnVariant v);
+
+struct GnnConfig {
+  GnnVariant variant = GnnVariant::kMfCgnn;
+  std::int64_t node_dim = 32;
+  /// External text-embedding width appended at readout (0 = none).
+  std::int64_t text_dim = 0;
+  std::uint64_t seed = 77;
+
+  int conv_layers() const {
+    return variant == GnnVariant::kCgcnn || variant == GnnVariant::kMegnet
+               ? 2
+               : 3;
+  }
+  int gaussian_basis() const {
+    switch (variant) {
+      case GnnVariant::kCgcnn:
+        return 0;  // raw distance only
+      case GnnVariant::kMegnet:
+        return 4;
+      case GnnVariant::kAlignn:
+      case GnnVariant::kMfCgnn:
+        return 8;
+    }
+    return 0;
+  }
+  bool learned_embedding() const { return variant == GnnVariant::kMfCgnn; }
+  bool global_state() const { return variant != GnnVariant::kCgcnn; }
+  bool angle_features() const { return variant == GnnVariant::kAlignn; }
+};
+
+/// One gated message-passing layer (CGCNN-style).
+class ConvLayer : public nn::Module {
+ public:
+  ConvLayer(std::int64_t node_dim, std::int64_t edge_dim, Rng& rng);
+
+  Var forward(Tape& tape, const Var& nodes, const CrystalGraph& graph,
+              const Var& edge_features) const;
+
+ private:
+  nn::Linear gate_;
+  nn::Linear core_;
+};
+
+class GnnModel : public nn::Module {
+ public:
+  explicit GnnModel(GnnConfig config);
+
+  const GnnConfig& config() const { return config_; }
+
+  /// Predict band gap (eV) for one crystal. `text_embedding` must have
+  /// length config().text_dim (empty when text_dim == 0).
+  Var forward(Tape& tape, const CrystalGraph& graph,
+              std::span<const float> text_embedding = {}) const;
+
+  /// Edge feature width for this configuration.
+  std::int64_t edge_dim() const;
+
+ private:
+  Tensor node_features(const CrystalGraph& graph) const;
+  Tensor edge_features(const CrystalGraph& graph) const;
+
+  GnnConfig config_;
+  std::int64_t input_dim_ = 0;
+  Var element_embedding_;  // defined when learned_embedding()
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::vector<std::unique_ptr<ConvLayer>> convs_;
+  std::unique_ptr<nn::Linear> global_proj_;  // defined when global_state()
+  std::unique_ptr<nn::Linear> readout1_;
+  std::unique_ptr<nn::Linear> readout2_;
+};
+
+}  // namespace matgpt::gnn

@@ -1,0 +1,136 @@
+#include "nn/bert.h"
+
+#include "common/error.h"
+
+namespace matgpt::nn {
+
+void BertConfig::validate() const {
+  MGPT_CHECK(vocab_size > 0, "vocab_size must be positive");
+  MGPT_CHECK(hidden > 0 && n_layers > 0 && n_heads > 0 && max_seq > 0,
+             "model dimensions must be positive");
+  MGPT_CHECK(hidden % n_heads == 0, "hidden must divide into n_heads");
+  MGPT_CHECK((hidden / n_heads) % 2 == 0, "head dim must be even for RoPE");
+}
+
+namespace {
+GptConfig as_gpt_config(const BertConfig& config) {
+  GptConfig g;
+  g.arch = ArchFamily::kNeoX;  // LayerNorm/GELU family, like BERT
+  g.vocab_size = config.vocab_size;
+  g.hidden = config.hidden;
+  g.n_layers = config.n_layers;
+  g.n_heads = config.n_heads;
+  g.max_seq = config.max_seq;
+  g.seed = config.seed;
+  return g;
+}
+}  // namespace
+
+BertBlock::BertBlock(const BertConfig& config, Rng& rng)
+    : ln1_(config.hidden),
+      ln2_(config.hidden),
+      attn_(as_gpt_config(config), /*causal=*/false, rng),
+      mlp_(config.hidden, rng,
+           1.0f / std::sqrt(2.0f * static_cast<float>(config.n_layers))) {
+  register_submodule("ln1", ln1_);
+  register_submodule("ln2", ln2_);
+  register_submodule("attn", attn_);
+  register_submodule("mlp", mlp_);
+}
+
+Var BertBlock::forward(Tape& tape, const Var& x, std::int64_t batch,
+                       std::int64_t seq) const {
+  Var h = ops::add(tape, x,
+                   attn_.forward(tape, ln1_.forward(tape, x), batch, seq));
+  return ops::add(tape, h, mlp_.forward(tape, ln2_.forward(tape, h)));
+}
+
+BertEncoder::BertEncoder(BertConfig config) : config_(config) {
+  config_.validate();
+  Rng rng(config_.seed);
+  tok_emb_ = register_param(
+      "tok_emb", Tensor::randn({config_.vocab_size, config_.hidden}, rng,
+                               0.0f, 0.02f));
+  pos_emb_ = register_param(
+      "pos_emb",
+      Tensor::randn({config_.max_seq, config_.hidden}, rng, 0.0f, 0.02f));
+  for (std::int64_t i = 0; i < config_.n_layers; ++i) {
+    blocks_.push_back(std::make_unique<BertBlock>(config_, rng));
+    register_submodule("blocks." + std::to_string(i), *blocks_.back());
+  }
+  final_ln_ = std::make_unique<LayerNorm>(config_.hidden);
+  register_submodule("final_norm", *final_ln_);
+  mlm_head_ = std::make_unique<Linear>(config_.hidden, config_.vocab_size,
+                                       /*bias=*/true, rng);
+  register_submodule("mlm_head", *mlm_head_);
+}
+
+Var BertEncoder::encode(Tape& tape, std::span<const std::int32_t> tokens,
+                        std::int64_t batch, std::int64_t seq) const {
+  MGPT_CHECK(static_cast<std::int64_t>(tokens.size()) == batch * seq,
+             "token count mismatch");
+  MGPT_CHECK(seq <= config_.max_seq, "sequence exceeds max_seq");
+  Var h = ops::embedding(tape, tok_emb_, tokens);
+  // Add learned positional embeddings row-by-row (position ids repeat
+  // per batch element).
+  std::vector<std::int32_t> pos(static_cast<std::size_t>(batch * seq));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t t = 0; t < seq; ++t) {
+      pos[static_cast<std::size_t>(b * seq + t)] =
+          static_cast<std::int32_t>(t);
+    }
+  }
+  Var p = ops::embedding(tape, pos_emb_, pos);
+  h = ops::add(tape, h, p);
+  for (const auto& block : blocks_) {
+    h = block->forward(tape, h, batch, seq);
+  }
+  return final_ln_->forward(tape, h);
+}
+
+Var BertEncoder::mlm_loss(Tape& tape, std::span<const std::int32_t> tokens,
+                          std::span<const std::int32_t> targets,
+                          std::int64_t batch, std::int64_t seq) const {
+  MGPT_CHECK(targets.size() == tokens.size(),
+             "mlm_loss: targets must align with tokens");
+  Var h = encode(tape, tokens, batch, seq);
+  Var logits = mlm_head_->forward(tape, h);
+  return ops::cross_entropy(tape, logits, targets, /*ignore_index=*/-1);
+}
+
+std::vector<float> BertEncoder::embed(
+    std::span<const std::int32_t> tokens) const {
+  MGPT_CHECK(!tokens.empty(), "embed requires tokens");
+  Tape tape;
+  NoGradGuard guard(tape);
+  Var h = encode(tape, tokens, 1, static_cast<std::int64_t>(tokens.size()));
+  Var pooled = ops::mean_rows(tape, h);
+  const float* p = pooled.value().data();
+  return std::vector<float>(p, p + config_.hidden);
+}
+
+std::pair<std::vector<std::int32_t>, std::vector<std::int32_t>> apply_mlm_mask(
+    std::span<const std::int32_t> tokens, std::int32_t mask_token,
+    float mask_prob, Rng& rng) {
+  MGPT_CHECK(mask_prob > 0.0f && mask_prob < 1.0f,
+             "mask_prob must be in (0, 1)");
+  std::vector<std::int32_t> input(tokens.begin(), tokens.end());
+  std::vector<std::int32_t> target(tokens.size(), -1);
+  bool any = false;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (rng.bernoulli(mask_prob)) {
+      target[i] = input[i];
+      input[i] = mask_token;
+      any = true;
+    }
+  }
+  if (!any && !input.empty()) {
+    // Guarantee at least one supervised position.
+    const std::size_t i = rng.uniform_int(input.size());
+    target[i] = input[i];
+    input[i] = mask_token;
+  }
+  return {std::move(input), std::move(target)};
+}
+
+}  // namespace matgpt::nn

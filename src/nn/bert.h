@@ -1,0 +1,81 @@
+#pragma once
+// Small bidirectional masked-LM encoder — the MatSciBERT stand-in.
+//
+// The paper compares MatSciBERT's embedding geometry against the MatGPT
+// variants (Figs. 16–17) and uses it as a feature source for the band-gap
+// task (Table V). A genuinely-trained small BERT-family model reproduces the
+// geometric contrast (mean-pooled bidirectional embeddings vs. causal-LM
+// last-token embeddings) without the unavailable pretrained weights.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/gpt.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace matgpt::nn {
+
+struct BertConfig {
+  std::int64_t vocab_size = 512;
+  std::int64_t hidden = 64;
+  std::int64_t n_layers = 2;
+  std::int64_t n_heads = 2;
+  std::int64_t max_seq = 64;
+  std::uint64_t seed = 4321;
+
+  void validate() const;
+};
+
+/// One bidirectional pre-norm encoder block (LayerNorm + GELU MLP).
+class BertBlock : public Module {
+ public:
+  BertBlock(const BertConfig& config, Rng& rng);
+  Var forward(Tape& tape, const Var& x, std::int64_t batch,
+              std::int64_t seq) const;
+
+ private:
+  LayerNorm ln1_;
+  LayerNorm ln2_;
+  SelfAttention attn_;
+  GeluMlp mlp_;
+};
+
+class BertEncoder : public Module {
+ public:
+  explicit BertEncoder(BertConfig config);
+
+  const BertConfig& config() const { return config_; }
+
+  /// Final-norm hidden states [batch*seq, C].
+  Var encode(Tape& tape, std::span<const std::int32_t> tokens,
+             std::int64_t batch, std::int64_t seq) const;
+
+  /// Masked-LM loss: targets hold the original token at masked positions and
+  /// -1 elsewhere.
+  Var mlm_loss(Tape& tape, std::span<const std::int32_t> tokens,
+               std::span<const std::int32_t> targets, std::int64_t batch,
+               std::int64_t seq) const;
+
+  /// Mean-pooled sequence embedding (length hidden) for one sequence.
+  std::vector<float> embed(std::span<const std::int32_t> tokens) const;
+
+ private:
+  BertConfig config_;
+  Var tok_emb_;
+  Var pos_emb_;
+  std::vector<std::unique_ptr<BertBlock>> blocks_;
+  std::unique_ptr<LayerNorm> final_ln_;
+  std::unique_ptr<Linear> mlm_head_;
+};
+
+/// Apply BERT-style random masking: ~mask_prob of positions are replaced by
+/// mask_token and recorded in targets (-1 elsewhere). Returns (input, target).
+std::pair<std::vector<std::int32_t>, std::vector<std::int32_t>> apply_mlm_mask(
+    std::span<const std::int32_t> tokens, std::int32_t mask_token,
+    float mask_prob, Rng& rng);
+
+}  // namespace matgpt::nn

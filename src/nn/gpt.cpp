@@ -1,0 +1,354 @@
+#include "nn/gpt.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/kernels.h"
+
+namespace matgpt::nn {
+
+const char* arch_name(ArchFamily arch) {
+  return arch == ArchFamily::kNeoX ? "GPT-NeoX" : "LLaMA";
+}
+
+void GptConfig::validate() const {
+  MGPT_CHECK(vocab_size > 0, "vocab_size must be positive");
+  MGPT_CHECK(hidden > 0 && n_layers > 0 && n_heads > 0 && max_seq > 0,
+             "model dimensions must be positive");
+  // Constraint (1) of the paper's architecture search: N_h % N_a == 0.
+  MGPT_CHECK(hidden % n_heads == 0,
+             "hidden (" << hidden << ") must divide evenly into n_heads ("
+                        << n_heads << ")");
+  MGPT_CHECK(head_dim() % 2 == 0, "head dim must be even for RoPE");
+  MGPT_CHECK(dropout >= 0.0f && dropout < 1.0f, "dropout must be in [0, 1)");
+  MGPT_CHECK(n_kv_heads >= 0 &&
+                 (n_kv_heads == 0 || n_heads % n_kv_heads == 0),
+             "n_kv_heads (" << n_kv_heads << ") must divide n_heads ("
+                            << n_heads << ")");
+}
+
+SelfAttention::SelfAttention(const GptConfig& config, bool causal, Rng& rng)
+    : hidden_(config.hidden),
+      n_heads_(config.n_heads),
+      n_kv_heads_(config.kv_heads()),
+      causal_(causal),
+      flash_(config.flash_attention),
+      rope_theta_(config.rope_theta),
+      rotary_fraction_(config.rotary_fraction),
+      q_proj_(config.hidden, config.hidden,
+              config.arch == ArchFamily::kNeoX, rng),
+      k_proj_(config.hidden, config.kv_heads() * config.head_dim(),
+              config.arch == ArchFamily::kNeoX, rng),
+      v_proj_(config.hidden, config.kv_heads() * config.head_dim(),
+              config.arch == ArchFamily::kNeoX, rng),
+      o_proj_(config.hidden, config.hidden,
+              config.arch == ArchFamily::kNeoX, rng,
+              1.0f / std::sqrt(2.0f * static_cast<float>(config.n_layers))) {
+  register_submodule("q", q_proj_);
+  register_submodule("k", k_proj_);
+  register_submodule("v", v_proj_);
+  register_submodule("o", o_proj_);
+}
+
+double KvCache::bytes() const {
+  double elems = 0.0;
+  for (const auto& layer : layers) {
+    if (layer.keys.defined()) {
+      elems += static_cast<double>(layer.keys.numel()) + layer.values.numel();
+    }
+  }
+  return 2.0 * elems;  // bf16 on the accelerator
+}
+
+namespace {
+/// Append `extra` to `history` along the time axis ([1, T, H, D] tensors).
+Tensor concat_time(const Tensor& history, const Tensor& extra) {
+  if (!history.defined()) return extra.clone();
+  MGPT_CHECK(history.ndim() == 4 && extra.ndim() == 4 &&
+                 history.dim(0) == 1 && extra.dim(0) == 1 &&
+                 history.dim(2) == extra.dim(2) &&
+                 history.dim(3) == extra.dim(3),
+             "kv cache shape mismatch");
+  Tensor out({1, history.dim(1) + extra.dim(1), history.dim(2),
+              history.dim(3)});
+  std::copy(history.data(), history.data() + history.numel(), out.data());
+  std::copy(extra.data(), extra.data() + extra.numel(),
+            out.data() + history.numel());
+  return out;
+}
+}  // namespace
+
+Var SelfAttention::forward_cached(Tape& tape, const Var& x, std::int64_t seq,
+                                  KvCacheLayer& slot,
+                                  std::int64_t past_len) const {
+  MGPT_CHECK(past_len == 0 || seq == 1,
+             "incremental decode appends one token at a time");
+  const std::int64_t head_dim = hidden_ / n_heads_;
+  auto heads = [&](const Linear& proj, std::int64_t n_heads) {
+    return ops::reshape(tape, proj.forward(tape, x),
+                        {1, seq, n_heads, head_dim});
+  };
+  Var q = ops::rope(tape, heads(q_proj_, n_heads_), rope_theta_,
+                    rotary_fraction_, past_len);
+  Var k_new = ops::rope(tape, heads(k_proj_, n_kv_heads_), rope_theta_,
+                        rotary_fraction_, past_len);
+  Var v_new = heads(v_proj_, n_kv_heads_);
+
+  slot.keys = concat_time(slot.keys, k_new.value());
+  slot.values = concat_time(slot.values, v_new.value());
+  Var k_all = tape.leaf(slot.keys, /*requires_grad=*/false);
+  Var v_all = tape.leaf(slot.values, /*requires_grad=*/false);
+  // Prefill runs the normal causal kernel; decode attends over the whole
+  // history (the single new token is the last position anyway).
+  const bool causal = past_len == 0;
+  Var attn = ops::attention(tape, q, k_all, v_all, causal, flash_);
+  return o_proj_.forward(tape, ops::reshape(tape, attn, {seq, hidden_}));
+}
+
+Var SelfAttention::forward(Tape& tape, const Var& x, std::int64_t batch,
+                           std::int64_t seq) const {
+  const std::int64_t head_dim = hidden_ / n_heads_;
+  auto heads = [&](const Linear& proj, std::int64_t n_heads, bool rotary) {
+    Var h = proj.forward(tape, x);
+    h = ops::reshape(tape, h, {batch, seq, n_heads, head_dim});
+    if (rotary) h = ops::rope(tape, h, rope_theta_, rotary_fraction_);
+    return h;
+  };
+  Var q = heads(q_proj_, n_heads_, /*rotary=*/true);
+  Var k = heads(k_proj_, n_kv_heads_, /*rotary=*/true);
+  Var v = heads(v_proj_, n_kv_heads_, /*rotary=*/false);
+  Var attn = ops::attention(tape, q, k, v, causal_, flash_);
+  return o_proj_.forward(tape,
+                         ops::reshape(tape, attn, {batch * seq, hidden_}));
+}
+
+TransformerBlock::TransformerBlock(const GptConfig& config, Rng& rng)
+    : arch_(config.arch),
+      dropout_(config.dropout),
+      attn_(config, /*causal=*/true, rng) {
+  register_submodule("attn", attn_);
+  const float out_scale =
+      1.0f / std::sqrt(2.0f * static_cast<float>(config.n_layers));
+  if (arch_ == ArchFamily::kNeoX) {
+    ln1_ = std::make_unique<LayerNorm>(config.hidden);
+    ln2_ = std::make_unique<LayerNorm>(config.hidden);
+    gelu_mlp_ = std::make_unique<GeluMlp>(config.hidden, rng, out_scale);
+    register_submodule("ln1", *ln1_);
+    register_submodule("ln2", *ln2_);
+    register_submodule("mlp", *gelu_mlp_);
+  } else {
+    rms1_ = std::make_unique<RMSNorm>(config.hidden);
+    rms2_ = std::make_unique<RMSNorm>(config.hidden);
+    swiglu_mlp_ = std::make_unique<SwiGluMlp>(config.hidden, rng, out_scale);
+    register_submodule("rms1", *rms1_);
+    register_submodule("rms2", *rms2_);
+    register_submodule("mlp", *swiglu_mlp_);
+  }
+}
+
+Var TransformerBlock::forward(Tape& tape, const Var& x, std::int64_t batch,
+                              std::int64_t seq, bool training,
+                              Rng& dropout_rng) const {
+  auto maybe_dropout = [&](Var h) {
+    return ops::dropout(tape, h, dropout_, dropout_rng, training);
+  };
+  if (arch_ == ArchFamily::kNeoX) {
+    // Parallel residual: one residual add for attention and MLP together.
+    Var attn_out =
+        maybe_dropout(attn_.forward(tape, ln1_->forward(tape, x), batch, seq));
+    Var mlp_out =
+        maybe_dropout(gelu_mlp_->forward(tape, ln2_->forward(tape, x)));
+    return ops::add(tape, x, ops::add(tape, attn_out, mlp_out));
+  }
+  // LLaMA: sequential pre-norm residuals.
+  Var h = ops::add(tape, x,
+                   maybe_dropout(attn_.forward(
+                       tape, rms1_->forward(tape, x), batch, seq)));
+  return ops::add(
+      tape, h, maybe_dropout(swiglu_mlp_->forward(tape, rms2_->forward(tape, h))));
+}
+
+Var TransformerBlock::forward_cached(Tape& tape, const Var& x,
+                                     std::int64_t seq, KvCacheLayer& slot,
+                                     std::int64_t past_len) const {
+  if (arch_ == ArchFamily::kNeoX) {
+    Var attn_out = attn_.forward_cached(tape, ln1_->forward(tape, x), seq,
+                                        slot, past_len);
+    Var mlp_out = gelu_mlp_->forward(tape, ln2_->forward(tape, x));
+    return ops::add(tape, x, ops::add(tape, attn_out, mlp_out));
+  }
+  Var h = ops::add(tape, x,
+                   attn_.forward_cached(tape, rms1_->forward(tape, x), seq,
+                                        slot, past_len));
+  return ops::add(tape, h,
+                  swiglu_mlp_->forward(tape, rms2_->forward(tape, h)));
+}
+
+GptModel::GptModel(GptConfig config)
+    : config_(config), dropout_rng_(config.seed ^ 0xd70906e5ULL) {
+  config_.validate();
+  Rng rng(config_.seed);
+  tok_emb_ = register_param(
+      "tok_emb", Tensor::randn({config_.vocab_size, config_.hidden}, rng,
+                               0.0f, 0.02f));
+  for (std::int64_t i = 0; i < config_.n_layers; ++i) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(config_, rng));
+    register_submodule("blocks." + std::to_string(i), *blocks_.back());
+  }
+  if (config_.arch == ArchFamily::kNeoX) {
+    final_ln_ = std::make_unique<LayerNorm>(config_.hidden);
+    register_submodule("final_norm", *final_ln_);
+  } else {
+    final_rms_ = std::make_unique<RMSNorm>(config_.hidden);
+    register_submodule("final_norm", *final_rms_);
+  }
+  lm_head_ = std::make_unique<Linear>(config_.hidden, config_.vocab_size,
+                                      /*bias=*/false, rng);
+  register_submodule("lm_head", *lm_head_);
+}
+
+namespace {
+void check_token_count(std::span<const std::int32_t> tokens,
+                       std::int64_t batch, std::int64_t seq) {
+  MGPT_CHECK(static_cast<std::int64_t>(tokens.size()) == batch * seq,
+             "token count " << tokens.size() << " != batch*seq "
+                            << batch * seq);
+}
+}  // namespace
+
+Var GptModel::forward(Tape& tape, std::span<const std::int32_t> tokens,
+                      std::int64_t batch, std::int64_t seq,
+                      bool training) const {
+  check_token_count(tokens, batch, seq);
+  MGPT_CHECK(seq <= config_.max_seq,
+             "sequence length " << seq << " exceeds max_seq "
+                                << config_.max_seq);
+  Var h = ops::embedding(tape, tok_emb_, tokens);
+  h = ops::dropout(tape, h, config_.dropout, dropout_rng_, training);
+  for (const auto& block : blocks_) {
+    h = block->forward(tape, h, batch, seq, training, dropout_rng_);
+  }
+  h = final_ln_ ? final_ln_->forward(tape, h) : final_rms_->forward(tape, h);
+  return lm_head_->forward(tape, h);
+}
+
+Var GptModel::loss(Tape& tape, std::span<const std::int32_t> tokens,
+                   std::span<const std::int32_t> targets, std::int64_t batch,
+                   std::int64_t seq, bool training) const {
+  MGPT_CHECK(targets.size() == tokens.size(),
+             "loss: targets must align with tokens");
+  Var logits = forward(tape, tokens, batch, seq, training);
+  return ops::cross_entropy(tape, logits, targets, /*ignore_index=*/-1);
+}
+
+Var GptModel::hidden_states(Tape& tape,
+                            std::span<const std::int32_t> tokens,
+                            std::int64_t batch, std::int64_t seq) const {
+  check_token_count(tokens, batch, seq);
+  NoGradGuard guard(tape);
+  Var h = ops::embedding(tape, tok_emb_, tokens);
+  for (const auto& block : blocks_) {
+    h = block->forward(tape, h, batch, seq, /*training=*/false, dropout_rng_);
+  }
+  return final_ln_ ? final_ln_->forward(tape, h) : final_rms_->forward(tape, h);
+}
+
+Var GptModel::forward_incremental(Tape& tape,
+                                  std::span<const std::int32_t> tokens,
+                                  KvCache& cache) const {
+  MGPT_CHECK(!tokens.empty(), "forward_incremental requires tokens");
+  MGPT_CHECK(cache.length == 0 || tokens.size() == 1,
+             "append one token at a time once the cache is primed");
+  MGPT_CHECK(cache.length + static_cast<std::int64_t>(tokens.size()) <=
+                 config_.max_seq,
+             "kv cache would exceed max_seq");
+  if (cache.layers.empty()) {
+    cache.layers.resize(static_cast<std::size_t>(config_.n_layers));
+  }
+  NoGradGuard guard(tape);
+  const auto seq = static_cast<std::int64_t>(tokens.size());
+  Var h = ops::embedding(tape, tok_emb_, tokens);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    h = blocks_[i]->forward_cached(tape, h, seq, cache.layers[i],
+                                   cache.length);
+  }
+  cache.length += seq;
+  h = final_ln_ ? final_ln_->forward(tape, h) : final_rms_->forward(tape, h);
+  return lm_head_->forward(tape, h);
+}
+
+std::vector<std::int32_t> GptModel::generate_cached(
+    std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
+    float temperature, Rng& rng) const {
+  SamplingOptions sampling;
+  sampling.temperature = temperature;
+  return generate_cached(prompt, max_new_tokens, sampling, rng);
+}
+
+std::vector<std::int32_t> GptModel::generate_cached(
+    std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
+    const SamplingOptions& sampling, Rng& rng) const {
+  MGPT_CHECK(!prompt.empty(), "generate requires a non-empty prompt");
+  MGPT_CHECK(static_cast<std::int64_t>(prompt.size()) + max_new_tokens <=
+                 config_.max_seq,
+             "generate_cached cannot slide the window; shorten the request");
+  std::vector<std::int32_t> tokens(prompt.begin(), prompt.end());
+  KvCache cache;
+  const std::int64_t v = config_.vocab_size;
+  auto sample_from = [&](const Var& logits, std::int64_t row) {
+    return sample_token(
+        std::span<const float>(logits.value().data() + row * v,
+                               static_cast<std::size_t>(v)),
+        sampling, rng);
+  };
+  Tape prefill;
+  Var logits = forward_incremental(prefill, prompt, cache);
+  std::int32_t next = sample_from(
+      logits, static_cast<std::int64_t>(prompt.size()) - 1);
+  for (std::int64_t step = 0; step < max_new_tokens; ++step) {
+    tokens.push_back(next);
+    if (step + 1 == max_new_tokens) break;
+    Tape tape;
+    const std::int32_t last_token = tokens.back();
+    Var step_logits = forward_incremental(
+        tape, std::span<const std::int32_t>(&last_token, 1), cache);
+    next = sample_from(step_logits, 0);
+  }
+  return tokens;
+}
+
+std::vector<std::int32_t> GptModel::generate(
+    std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
+    float temperature, Rng& rng) const {
+  SamplingOptions sampling;
+  sampling.temperature = temperature;
+  return generate(prompt, max_new_tokens, sampling, rng);
+}
+
+std::vector<std::int32_t> GptModel::generate(
+    std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
+    const SamplingOptions& sampling, Rng& rng) const {
+  MGPT_CHECK(!prompt.empty(), "generate requires a non-empty prompt");
+  std::vector<std::int32_t> tokens(prompt.begin(), prompt.end());
+  for (std::int64_t step = 0; step < max_new_tokens; ++step) {
+    // Keep the context within max_seq by sliding the window.
+    const std::int64_t start =
+        std::max<std::int64_t>(0, static_cast<std::int64_t>(tokens.size()) -
+                                      config_.max_seq);
+    std::span<const std::int32_t> ctx(tokens.data() + start,
+                                      tokens.size() - start);
+    Tape tape;
+    NoGradGuard guard(tape);
+    Var logits = forward(tape, ctx, 1, static_cast<std::int64_t>(ctx.size()),
+                         /*training=*/false);
+    const std::int64_t v = config_.vocab_size;
+    const float* row = logits.value().data() +
+                       (static_cast<std::int64_t>(ctx.size()) - 1) * v;
+    tokens.push_back(sample_token(
+        std::span<const float>(row, static_cast<std::size_t>(v)), sampling,
+        rng));
+  }
+  return tokens;
+}
+
+}  // namespace matgpt::nn

@@ -1,0 +1,183 @@
+#pragma once
+// GPT model with the two architecture variants the paper compares.
+//
+//   GPT-NeoX:  LayerNorm pre-norm, parallel residual
+//              (x + Attn(LN1(x)) + MLP(LN2(x))), GELU MLP, biases.
+//   LLaMA:     RMSNorm pre-norm, sequential residual, SwiGLU MLP, no biases.
+//
+// Both share the identical multi-head attention with rotary position
+// embeddings — exactly the controlled contrast of the paper's Fig. 2.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/sampling.h"
+
+namespace matgpt::nn {
+
+enum class ArchFamily { kNeoX, kLLaMA };
+
+const char* arch_name(ArchFamily arch);
+
+struct GptConfig {
+  ArchFamily arch = ArchFamily::kNeoX;
+  std::int64_t vocab_size = 512;
+  std::int64_t hidden = 64;
+  std::int64_t n_layers = 2;
+  std::int64_t n_heads = 2;
+  std::int64_t max_seq = 64;
+  float dropout = 0.0f;
+  bool flash_attention = true;
+  float rope_theta = 10000.0f;
+  /// Fraction of each head's dims rotated by RoPE (1.0 = full rotation).
+  float rotary_fraction = 1.0f;
+  /// Key/value heads for grouped-query attention (the LLaMA-2 inference
+  /// tweak the paper notes); 0 means n_heads (standard MHA). Must divide
+  /// n_heads; shrinks the K/V projections and the inference KV cache by
+  /// n_heads / n_kv_heads.
+  std::int64_t n_kv_heads = 0;
+  std::uint64_t seed = 1234;
+
+  std::int64_t head_dim() const { return hidden / n_heads; }
+  std::int64_t kv_heads() const {
+    return n_kv_heads == 0 ? n_heads : n_kv_heads;
+  }
+  void validate() const;
+};
+
+/// Per-layer key/value history for incremental decoding. Tensors are
+/// [1, length, Hkv, D]; undefined while empty. Inference-only state.
+struct KvCacheLayer {
+  Tensor keys;
+  Tensor values;
+};
+
+/// Whole-model decode cache (one slot per layer).
+struct KvCache {
+  std::vector<KvCacheLayer> layers;
+  std::int64_t length = 0;
+
+  /// Bytes a real accelerator would hold for this cache at bf16.
+  double bytes() const;
+};
+
+/// Multi-head causal self-attention with RoPE. Identical for both
+/// architectures (biases follow the family convention).
+class SelfAttention : public Module {
+ public:
+  SelfAttention(const GptConfig& config, bool causal, Rng& rng);
+
+  /// x: [B*T, C]; returns [B*T, C].
+  Var forward(Tape& tape, const Var& x, std::int64_t batch,
+              std::int64_t seq) const;
+
+  /// Incremental decode step (batch 1): rotates this call's tokens at
+  /// positions [past_len, past_len + seq), appends K/V to `slot`, and
+  /// attends over the full history. past_len > 0 requires seq == 1.
+  Var forward_cached(Tape& tape, const Var& x, std::int64_t seq,
+                     KvCacheLayer& slot, std::int64_t past_len) const;
+
+ private:
+  std::int64_t hidden_;
+  std::int64_t n_heads_;
+  std::int64_t n_kv_heads_;
+  bool causal_;
+  bool flash_;
+  float rope_theta_;
+  float rotary_fraction_;
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear o_proj_;
+};
+
+/// One transformer layer in either family's topology.
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(const GptConfig& config, Rng& rng);
+
+  Var forward(Tape& tape, const Var& x, std::int64_t batch, std::int64_t seq,
+              bool training, Rng& dropout_rng) const;
+
+  /// Incremental-decode counterpart of forward (batch 1, no dropout).
+  Var forward_cached(Tape& tape, const Var& x, std::int64_t seq,
+                     KvCacheLayer& slot, std::int64_t past_len) const;
+
+ private:
+  ArchFamily arch_;
+  float dropout_;
+  SelfAttention attn_;
+  // NeoX normalization (LayerNorm) — engaged when arch_ == kNeoX.
+  std::unique_ptr<LayerNorm> ln1_;
+  std::unique_ptr<LayerNorm> ln2_;
+  std::unique_ptr<GeluMlp> gelu_mlp_;
+  // LLaMA normalization (RMSNorm) — engaged when arch_ == kLLaMA.
+  std::unique_ptr<RMSNorm> rms1_;
+  std::unique_ptr<RMSNorm> rms2_;
+  std::unique_ptr<SwiGluMlp> swiglu_mlp_;
+};
+
+class GptModel : public Module {
+ public:
+  explicit GptModel(GptConfig config);
+
+  const GptConfig& config() const { return config_; }
+
+  /// tokens: length batch*seq, row-major. Returns logits [batch*seq, V].
+  Var forward(Tape& tape, std::span<const std::int32_t> tokens,
+              std::int64_t batch, std::int64_t seq,
+              bool training = false) const;
+
+  /// Next-token cross-entropy: targets[i] is the token following tokens[i]
+  /// (callers shift; -1 positions are ignored).
+  Var loss(Tape& tape, std::span<const std::int32_t> tokens,
+           std::span<const std::int32_t> targets, std::int64_t batch,
+           std::int64_t seq, bool training = true) const;
+
+  /// Final-norm hidden states [batch*seq, C] (for embedding extraction).
+  Var hidden_states(Tape& tape, std::span<const std::int32_t> tokens,
+                    std::int64_t batch, std::int64_t seq) const;
+
+  /// Continuation of a prompt, re-running the full forward pass every step
+  /// (the no-KV-cache baseline). Supports greedy/temperature/top-k/top-p
+  /// through SamplingOptions.
+  std::vector<std::int32_t> generate(std::span<const std::int32_t> prompt,
+                                     std::int64_t max_new_tokens,
+                                     const SamplingOptions& sampling,
+                                     Rng& rng) const;
+  /// Temperature-only convenience overload.
+  std::vector<std::int32_t> generate(std::span<const std::int32_t> prompt,
+                                     std::int64_t max_new_tokens,
+                                     float temperature, Rng& rng) const;
+
+  /// Logits for new tokens given the cached history (batch 1). Appends the
+  /// tokens' K/V to `cache`. Either the cache is empty (prompt prefill) or
+  /// tokens.size() == 1 (decode step).
+  Var forward_incremental(Tape& tape, std::span<const std::int32_t> tokens,
+                          KvCache& cache) const;
+
+  /// KV-cache decoding: one prefill plus one single-token step per output —
+  /// O(T) attention per step instead of the O(T^2) re-forward of generate().
+  /// Produces exactly generate()'s output for the same sampling stream.
+  std::vector<std::int32_t> generate_cached(
+      std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
+      const SamplingOptions& sampling, Rng& rng) const;
+  std::vector<std::int32_t> generate_cached(
+      std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
+      float temperature, Rng& rng) const;
+
+ private:
+  GptConfig config_;
+  Var tok_emb_;
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  std::unique_ptr<LayerNorm> final_ln_;
+  std::unique_ptr<RMSNorm> final_rms_;
+  std::unique_ptr<Linear> lm_head_;
+  mutable Rng dropout_rng_;
+};
+
+}  // namespace matgpt::nn

@@ -1,0 +1,92 @@
+#pragma once
+// Building-block layers: Linear, LayerNorm, RMSNorm, and the two MLP
+// variants the paper contrasts (Fig. 2): GPT-NeoX's 2-linear GELU MLP and
+// LLaMA's 3-linear SwiGLU MLP. For matched hidden sizes the SwiGLU inner
+// width is scaled by 2/3 so both MLPs have approximately equal parameter
+// counts — the "same spec, different parameterization" property the paper's
+// architecture comparison relies on.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace matgpt::nn {
+
+/// y = x W (+ b); weight stored [in, out] so forward is a plain NN GEMM.
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
+         Rng& rng, float init_scale = 1.0f);
+
+  /// x: [N, in] -> [N, out].
+  Var forward(Tape& tape, const Var& x) const;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Var weight_;
+  Var bias_;  // undefined when bias == false
+};
+
+/// LayerNorm over the last dim with affine parameters (NeoX style).
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t features, float eps = 1e-5f);
+  Var forward(Tape& tape, const Var& x) const;
+
+ private:
+  Var gamma_;
+  Var beta_;
+  float eps_;
+};
+
+/// RMSNorm over the last dim (LLaMA style; no mean subtraction, no bias).
+class RMSNorm : public Module {
+ public:
+  explicit RMSNorm(std::int64_t features, float eps = 1e-6f);
+  Var forward(Tape& tape, const Var& x) const;
+
+ private:
+  Var gamma_;
+  float eps_;
+};
+
+/// GPT-NeoX MLP: Linear(h -> 4h), GELU, Linear(4h -> h). With biases.
+class GeluMlp : public Module {
+ public:
+  GeluMlp(std::int64_t hidden, Rng& rng, float out_init_scale);
+  Var forward(Tape& tape, const Var& x) const;
+  std::int64_t inner_dim() const { return up_.out_features(); }
+
+ private:
+  Linear up_;
+  Linear down_;
+};
+
+/// LLaMA MLP: down( silu(gate(x)) * up(x) ) with inner dim 2/3 * 4h rounded
+/// to a multiple of `round_multiple` (LLaMA rounds to 256; we default to 8
+/// for small models). No biases.
+class SwiGluMlp : public Module {
+ public:
+  SwiGluMlp(std::int64_t hidden, Rng& rng, float out_init_scale,
+            std::int64_t round_multiple = 8);
+  Var forward(Tape& tape, const Var& x) const;
+  std::int64_t inner_dim() const { return gate_.out_features(); }
+
+  /// The inner width used for a given hidden size (shared with the
+  /// simulator's FLOP model so analytic and real parameter counts agree).
+  static std::int64_t inner_dim_for(std::int64_t hidden,
+                                    std::int64_t round_multiple = 8);
+
+ private:
+  Linear gate_;
+  Linear up_;
+  Linear down_;
+};
+
+}  // namespace matgpt::nn

@@ -1,0 +1,45 @@
+#include "nn/module.h"
+
+#include "common/error.h"
+
+namespace matgpt::nn {
+
+std::vector<NamedParam> Module::parameters() const {
+  std::vector<NamedParam> out = own_params_;
+  for (const auto& [prefix, child] : children_) {
+    for (const auto& p : child->parameters()) {
+      out.push_back({prefix + "." + p.name, p.var});
+    }
+  }
+  return out;
+}
+
+void Module::zero_grad() {
+  for (auto& p : own_params_) p.var.node()->zero_grad();
+  for (auto& [prefix, child] : children_) child->zero_grad();
+}
+
+std::int64_t Module::param_count() const {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) n += p.var.value().numel();
+  return n;
+}
+
+void Module::quantize_params(DType dtype) {
+  for (auto& p : own_params_) p.var.value().quantize_(dtype);
+  for (auto& [prefix, child] : children_) child->quantize_params(dtype);
+}
+
+Var Module::register_param(std::string name, Tensor init) {
+  MGPT_CHECK(!name.empty(), "parameter name must not be empty");
+  Var v = make_var(std::move(init), /*requires_grad=*/true);
+  own_params_.push_back({std::move(name), v});
+  return v;
+}
+
+void Module::register_submodule(std::string prefix, Module& child) {
+  MGPT_CHECK(!prefix.empty(), "submodule prefix must not be empty");
+  children_.emplace_back(std::move(prefix), &child);
+}
+
+}  // namespace matgpt::nn

@@ -1,0 +1,54 @@
+#pragma once
+// Base class for neural network modules: a named-parameter registry with
+// recursive aggregation, mirroring the structure of the training frameworks
+// the paper builds on (parameter groups matter for LAMB's layer-wise trust
+// ratios and for the optimizer-state memory model).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace matgpt::nn {
+
+/// A parameter with a hierarchical dotted name ("blocks.3.attn.qkv.weight").
+struct NamedParam {
+  std::string name;
+  Var var;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and registered submodules.
+  std::vector<NamedParam> parameters() const;
+
+  /// Drop all parameter gradients (between optimizer steps).
+  void zero_grad();
+
+  /// Total scalar parameter count.
+  std::int64_t param_count() const;
+
+  /// Round every parameter through the given precision grid (used by the
+  /// bf16/fp16 training-precision study).
+  void quantize_params(DType dtype);
+
+ protected:
+  /// Create and register a trainable parameter.
+  Var register_param(std::string name, Tensor init);
+
+  /// Register a child whose parameters are reported under `prefix.`.
+  /// The child must outlive this module (typically a member).
+  void register_submodule(std::string prefix, Module& child);
+
+ private:
+  std::vector<NamedParam> own_params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace matgpt::nn

@@ -1,0 +1,57 @@
+#include "nn/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "tensor/kernels.h"
+
+namespace matgpt::nn {
+
+void SamplingOptions::validate() const {
+  MGPT_CHECK(top_k >= 0, "top_k must be non-negative");
+  MGPT_CHECK(top_p > 0.0f && top_p <= 1.0f, "top_p must be in (0, 1]");
+}
+
+std::int32_t sample_token(std::span<const float> logits,
+                          const SamplingOptions& options, Rng& rng) {
+  MGPT_CHECK(!logits.empty(), "sample_token requires logits");
+  options.validate();
+  if (options.temperature <= 0.0f) {
+    return static_cast<std::int32_t>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  }
+  std::vector<float> probs(logits.begin(), logits.end());
+  for (float& z : probs) z /= options.temperature;
+  kernels::softmax_row(probs.data(), static_cast<std::int64_t>(probs.size()));
+
+  // Rank tokens by probability once; both filters work on the ranking.
+  std::vector<std::size_t> order(probs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return probs[a] > probs[b];
+  });
+  std::size_t keep = probs.size();
+  if (options.top_k > 0) {
+    keep = std::min<std::size_t>(keep,
+                                 static_cast<std::size_t>(options.top_k));
+  }
+  if (options.top_p < 1.0f) {
+    double cumulative = 0.0;
+    std::size_t nucleus = 0;
+    while (nucleus < keep && cumulative < options.top_p) {
+      cumulative += probs[order[nucleus]];
+      ++nucleus;
+    }
+    keep = std::max<std::size_t>(1, nucleus);
+  }
+  std::vector<double> weights(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    weights[i] = probs[order[i]];
+  }
+  return static_cast<std::int32_t>(order[rng.categorical(weights)]);
+}
+
+}  // namespace matgpt::nn

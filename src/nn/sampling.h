@@ -1,0 +1,28 @@
+#pragma once
+// Token sampling strategies for generation: greedy, temperature, top-k, and
+// nucleus (top-p) — the standard decoding controls a released LM ships.
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+
+namespace matgpt::nn {
+
+struct SamplingOptions {
+  /// <= 0 selects greedy argmax decoding.
+  float temperature = 1.0f;
+  /// Keep only the k most likely tokens (0 = disabled).
+  int top_k = 0;
+  /// Keep the smallest set of tokens with cumulative probability >= top_p
+  /// (1.0 = disabled).
+  float top_p = 1.0f;
+
+  void validate() const;
+};
+
+/// Sample a token id from a raw logits row under the given options.
+std::int32_t sample_token(std::span<const float> logits,
+                          const SamplingOptions& options, Rng& rng);
+
+}  // namespace matgpt::nn

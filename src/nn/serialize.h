@@ -1,0 +1,28 @@
+#pragma once
+// Checkpoint serialization for models.
+//
+// Format: a small text header (magic, version, named shapes) followed by
+// raw little-endian float32 payloads, one per parameter, in header order.
+// Loading validates names and shapes against the live module, so a
+// checkpoint can never be silently applied to a mismatched architecture —
+// the failure mode that plagues ad-hoc training scripts.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.h"
+
+namespace matgpt::nn {
+
+/// Write all parameters of `module` to the stream.
+void save_parameters(const Module& module, std::ostream& os);
+
+/// Read parameters into `module`; throws matgpt::Error on any mismatch
+/// (missing/extra parameter, shape change, truncation).
+void load_parameters(Module& module, std::istream& is);
+
+/// File-path convenience wrappers.
+void save_parameters_file(const Module& module, const std::string& path);
+void load_parameters_file(Module& module, const std::string& path);
+
+}  // namespace matgpt::nn

@@ -1,0 +1,192 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace matgpt::optim {
+
+CosineSchedule::CosineSchedule(double base_lr, std::int64_t total_steps,
+                               double warmup_fraction, double final_fraction)
+    : base_lr_(base_lr),
+      total_steps_(total_steps),
+      warmup_steps_(static_cast<std::int64_t>(
+          std::ceil(warmup_fraction * static_cast<double>(total_steps)))),
+      final_fraction_(final_fraction) {
+  MGPT_CHECK(base_lr > 0.0, "base_lr must be positive");
+  MGPT_CHECK(total_steps > 0, "total_steps must be positive");
+  MGPT_CHECK(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+             "warmup_fraction must be in [0, 1)");
+  MGPT_CHECK(final_fraction >= 0.0 && final_fraction <= 1.0,
+             "final_fraction must be in [0, 1]");
+}
+
+double CosineSchedule::lr(std::int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return base_lr_ * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+  const double progress =
+      total_steps_ == warmup_steps_
+          ? 1.0
+          : std::min(1.0, static_cast<double>(step - warmup_steps_) /
+                              static_cast<double>(total_steps_ -
+                                                  warmup_steps_));
+  const double floor = base_lr_ * final_fraction_;
+  return floor +
+         (base_lr_ - floor) * 0.5 * (1.0 + std::cos(progress * M_PI));
+}
+
+Optimizer::Optimizer(std::vector<nn::NamedParam> params)
+    : params_(std::move(params)) {
+  MGPT_CHECK(!params_.empty(), "optimizer requires at least one parameter");
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  MGPT_CHECK(max_norm > 0.0, "max_norm must be positive");
+  double sq = 0.0;
+  for (auto& p : params_) {
+    if (!p.var.grad().defined()) continue;
+    const double n = p.var.grad().l2_norm();
+    sq += n * n;
+  }
+  const double total = std::sqrt(sq);
+  if (total > max_norm) {
+    const auto scale = static_cast<float>(max_norm / (total + 1e-12));
+    for (auto& p : params_) {
+      if (p.var.grad().defined()) p.var.node()->grad.scale_(scale);
+    }
+  }
+  return total;
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.var.node()->zero_grad();
+}
+
+Sgd::Sgd(std::vector<nn::NamedParam> params, SgdConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  if (config_.momentum != 0.0) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_) {
+      velocity_.push_back(Tensor::zeros(p.var.value().shape()));
+    }
+  }
+}
+
+void Sgd::step(double lr) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.var.grad().defined()) continue;
+    Tensor& w = p.var.node()->value;
+    const Tensor& g = p.var.grad();
+    if (config_.weight_decay != 0.0) {
+      w.scale_(1.0f - static_cast<float>(lr * config_.weight_decay));
+    }
+    if (config_.momentum != 0.0) {
+      Tensor& vel = velocity_[i];
+      vel.scale_(static_cast<float>(config_.momentum));
+      vel.add_(g);
+      w.add_(vel, -static_cast<float>(lr));
+    } else {
+      w.add_(g, -static_cast<float>(lr));
+    }
+  }
+}
+
+Adam::Adam(std::vector<nn::NamedParam> params, AdamConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.push_back(Tensor::zeros(p.var.value().shape()));
+    v_.push_back(Tensor::zeros(p.var.value().shape()));
+  }
+}
+
+void Adam::step(double lr) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.var.grad().defined()) continue;
+    Tensor& w = p.var.node()->value;
+    const Tensor& g = p.var.grad();
+    float* mw = m_[i].data();
+    float* vw = v_[i].data();
+    float* ww = w.data();
+    const float* gw = g.data();
+    const auto b1 = static_cast<float>(config_.beta1);
+    const auto b2 = static_cast<float>(config_.beta2);
+    for (std::int64_t j = 0; j < w.numel(); ++j) {
+      mw[j] = b1 * mw[j] + (1.0f - b1) * gw[j];
+      vw[j] = b2 * vw[j] + (1.0f - b2) * gw[j] * gw[j];
+      const double mhat = mw[j] / bc1;
+      const double vhat = vw[j] / bc2;
+      double update = mhat / (std::sqrt(vhat) + config_.eps);
+      if (config_.weight_decay != 0.0) {
+        update += config_.weight_decay * ww[j];
+      }
+      ww[j] -= static_cast<float>(lr * update);
+    }
+  }
+}
+
+Lamb::Lamb(std::vector<nn::NamedParam> params, LambConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.push_back(Tensor::zeros(p.var.value().shape()));
+    v_.push_back(Tensor::zeros(p.var.value().shape()));
+  }
+  last_trust_ratios_.assign(params_.size(), 1.0);
+}
+
+void Lamb::step(double lr) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.var.grad().defined()) continue;
+    Tensor& w = p.var.node()->value;
+    const Tensor& g = p.var.grad();
+    float* mw = m_[i].data();
+    float* vw = v_[i].data();
+    float* ww = w.data();
+    const float* gw = g.data();
+    const auto b1 = static_cast<float>(config_.beta1);
+    const auto b2 = static_cast<float>(config_.beta2);
+    // First pass: Adam direction (+ decoupled weight decay) and norms.
+    Tensor update(w.shape());
+    float* uw = update.data();
+    double w_sq = 0.0;
+    double u_sq = 0.0;
+    for (std::int64_t j = 0; j < w.numel(); ++j) {
+      mw[j] = b1 * mw[j] + (1.0f - b1) * gw[j];
+      vw[j] = b2 * vw[j] + (1.0f - b2) * gw[j] * gw[j];
+      const double mhat = mw[j] / bc1;
+      const double vhat = vw[j] / bc2;
+      double u = mhat / (std::sqrt(vhat) + config_.eps);
+      u += config_.weight_decay * ww[j];
+      uw[j] = static_cast<float>(u);
+      w_sq += static_cast<double>(ww[j]) * ww[j];
+      u_sq += u * u;
+    }
+    // Layer-wise trust ratio phi(||w||) / ||u||.
+    double trust = 1.0;
+    if (config_.use_trust_ratio) {
+      const double w_norm = std::sqrt(w_sq);
+      const double u_norm = std::sqrt(u_sq);
+      if (w_norm > 0.0 && u_norm > 0.0) {
+        trust = std::min(w_norm / u_norm, config_.max_trust_ratio);
+      }
+    }
+    last_trust_ratios_[i] = trust;
+    w.add_(update, -static_cast<float>(lr * trust));
+  }
+}
+
+}  // namespace matgpt::optim

@@ -1,0 +1,53 @@
+#pragma once
+// Work-stealing-free, queue-based thread pool with a parallel_for helper.
+//
+// The tensor kernels are written against parallel_for so they scale with
+// available cores but degrade gracefully to a serial loop on one core
+// (the pool executes inline when constructed with zero workers).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace matgpt {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` means execute all tasks inline on the calling thread.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueue a task; the returned future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end), partitioned into contiguous chunks.
+  /// Blocks until all chunks complete. Exceptions from fn propagate to the
+  /// caller (the first one captured wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool sized from hardware_concurrency (minus one for the
+  /// caller, never below zero workers).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace matgpt

@@ -1,0 +1,81 @@
+#include "simfrontier/archsearch.h"
+
+#include "common/error.h"
+
+namespace matgpt::sim {
+
+bool SearchConstraints::feasible(std::int64_t hidden, std::int64_t n_layers,
+                                 std::int64_t n_heads) const {
+  if (hidden <= 0 || n_layers <= 0 || n_heads <= 0) return false;
+  if (hidden % n_heads != 0) return false;               // Eq. 1
+  if (hidden % tp != 0) return false;                    // Eq. 2
+  if (n_layers % pp != 0) return false;                  // Eq. 3
+  if (n_heads % tp != 0) return false;                   // Eq. 4
+  if ((tp * pp * dp) % device_multiple != 0) return false;  // Eq. 5
+  return true;
+}
+
+ArchitectureSearch::ArchitectureSearch(Platform platform)
+    : kernels_(platform) {}
+
+std::vector<ArchCandidate> ArchitectureSearch::search(
+    ArchFamily arch, std::int64_t vocab,
+    const std::vector<std::int64_t>& layer_grid,
+    const std::vector<std::int64_t>& hidden_grid,
+    const SearchConstraints& constraints, std::int64_t batch_seqs,
+    std::int64_t seq) const {
+  MGPT_CHECK(!layer_grid.empty() && !hidden_grid.empty(),
+             "search grids must not be empty");
+  std::vector<ArchCandidate> out;
+  for (std::int64_t layers : layer_grid) {
+    for (std::int64_t hidden : hidden_grid) {
+      const std::int64_t heads = layers;  // Table II convention
+      if (!constraints.feasible(hidden, layers, heads)) continue;
+      ArchCandidate c;
+      c.model = ModelDesc{arch, hidden, layers, heads, vocab};
+      if (constraints.min_params > 0 &&
+          c.model.params() < constraints.min_params) {
+        continue;
+      }
+      if (constraints.max_params > 0 &&
+          c.model.params() > constraints.max_params) {
+        continue;
+      }
+      c.head_dim_aligned = c.model.head_dim() % 8 == 0;
+      c.tflops_base = kernels_.achieved_tflops(
+          c.model, batch_seqs, seq, AttentionImpl::kMaterialized);
+      if (flash_eligible(c.model.head_dim(), AttentionImpl::kFlashV1)) {
+        c.tflops_flash_v1 = kernels_.achieved_tflops(
+            c.model, batch_seqs, seq, AttentionImpl::kFlashV1);
+      }
+      if (flash_eligible(c.model.head_dim(), AttentionImpl::kFlashV2)) {
+        c.tflops_flash_v2 = kernels_.achieved_tflops(
+            c.model, batch_seqs, seq, AttentionImpl::kFlashV2);
+      }
+      out.push_back(c);
+    }
+  }
+  MGPT_CHECK(!out.empty(), "no feasible architectures in the search grid");
+  return out;
+}
+
+const ArchCandidate& ArchitectureSearch::best(
+    const std::vector<ArchCandidate>& cands) {
+  MGPT_CHECK(!cands.empty(), "best() of an empty candidate list");
+  const ArchCandidate* best = &cands.front();
+  for (const auto& c : cands) {
+    if (c.tflops_base > best->tflops_base) best = &c;
+  }
+  return *best;
+}
+
+std::vector<std::int64_t> ArchitectureSearch::default_layer_grid() {
+  return {16, 20, 24, 28, 32};
+}
+
+std::vector<std::int64_t> ArchitectureSearch::default_hidden_grid() {
+  // Around the ~1B-parameter band; mixes 8-aligned and unaligned head dims.
+  return {1920, 2016, 2112, 2208, 2304, 2400, 2496, 2560, 2688, 2816};
+}
+
+}  // namespace matgpt::sim

@@ -1,0 +1,73 @@
+#pragma once
+// Computationally-efficient architecture search (the paper's Sec. III method
+// and Fig. 4 heatmap).
+//
+// Enumerates (layers, hidden) grid points near a parameter budget, applies
+// the divisibility constraints of Eqs. 1–5, and scores each candidate by
+// simulated training throughput on one Frontier GCD — with and without
+// flash attention v1/v2 (eligible only when head_dim % 8 == 0).
+// Following the paper's Table II convention, the head count equals the
+// layer count (24 heads / 24 layers, 32 / 32).
+
+#include <vector>
+
+#include "simfrontier/parallelism.h"
+
+namespace matgpt::sim {
+
+/// The paper's Eqs. 1–5 feasibility constraints.
+struct SearchConstraints {
+  int tp = 1;
+  int pp = 1;
+  int dp = 8;
+  /// Devices must come in node multiples of 8 on Frontier (Eq. 5).
+  int device_multiple = 8;
+  /// Parameter band for "model size around X" searches (0 = unbounded).
+  std::int64_t min_params = 0;
+  std::int64_t max_params = 0;
+
+  bool feasible(std::int64_t hidden, std::int64_t n_layers,
+                std::int64_t n_heads) const;
+};
+
+struct ArchCandidate {
+  ModelDesc model;
+  double tflops_base = 0.0;      // materialized attention
+  double tflops_flash_v1 = 0.0;  // 0 when ineligible
+  double tflops_flash_v2 = 0.0;
+  bool head_dim_aligned = false;  // head_dim % 8 == 0 (the A–H marks)
+
+  std::int64_t head_dim() const { return model.head_dim(); }
+  double flash_v1_boost() const {
+    return tflops_flash_v1 > 0.0 ? tflops_flash_v1 / tflops_base - 1.0 : 0.0;
+  }
+  double flash_v2_boost() const {
+    return tflops_flash_v2 > 0.0 ? tflops_flash_v2 / tflops_base - 1.0 : 0.0;
+  }
+};
+
+class ArchitectureSearch {
+ public:
+  explicit ArchitectureSearch(Platform platform);
+
+  /// Score every feasible (layers, hidden) combination. batch_seqs/seq set
+  /// the measurement workload (the paper uses batch 16, seq 2048).
+  std::vector<ArchCandidate> search(
+      ArchFamily arch, std::int64_t vocab,
+      const std::vector<std::int64_t>& layer_grid,
+      const std::vector<std::int64_t>& hidden_grid,
+      const SearchConstraints& constraints, std::int64_t batch_seqs,
+      std::int64_t seq) const;
+
+  /// Highest base-throughput candidate (the paper's selection criterion).
+  static const ArchCandidate& best(const std::vector<ArchCandidate>& cands);
+
+  /// The grids used for the paper's ~1B-class Fig. 4 heatmap.
+  static std::vector<std::int64_t> default_layer_grid();
+  static std::vector<std::int64_t> default_hidden_grid();
+
+ private:
+  KernelModel kernels_;
+};
+
+}  // namespace matgpt::sim

@@ -1,0 +1,22 @@
+#include "simfrontier/device.h"
+
+#include "common/error.h"
+
+namespace matgpt::sim {
+
+double FrontierTopology::group_bandwidth(int group_size) const {
+  MGPT_CHECK(group_size >= 1, "group size must be at least 1");
+  if (group_size <= 1) return intra_mi250x_bw;  // degenerate: no traffic
+  if (group_size == 2) return intra_mi250x_bw;
+  if (group_size <= gcds_per_node) return intra_node_bw;
+  return inter_node_bw;
+}
+
+double FrontierTopology::group_latency(int group_size) const {
+  MGPT_CHECK(group_size >= 1, "group size must be at least 1");
+  if (group_size <= 2) return intra_mi250x_latency_s;
+  if (group_size <= gcds_per_node) return intra_node_latency_s;
+  return inter_node_latency_s;
+}
+
+}  // namespace matgpt::sim

@@ -1,0 +1,57 @@
+#pragma once
+// GEMM execution-time model for one MI250X GCD.
+//
+// Captures the two effects the paper's Fig. 4 heatmap hinges on:
+//  1. Matrix cores operate on 8-wide fragments: a dimension that is not a
+//     multiple of 8 pads up and wastes lanes, so efficiency scales with
+//     d / ceil8(d) per dimension (the paper's Observation 1: pick head
+//     dimensions that are multiples of 8).
+//  2. Small GEMMs cannot fill the 110 compute units, so efficiency ramps
+//     with total work.
+// Constants are calibrated so an aligned, large GEMM reaches ~52% of the
+// 191.5 TFLOPS GCD peak, and end-to-end transformer steps land in the
+// paper's measured 58–76 TFLOPS band (82–84 with flash attention).
+
+#include <cstdint>
+
+#include "simfrontier/device.h"
+
+namespace matgpt::sim {
+
+/// Lane utilization of one dimension on 8-wide matrix-core fragments.
+double dim_utilization(std::int64_t d);
+
+struct GemmShape {
+  std::int64_t m;
+  std::int64_t n;
+  std::int64_t k;
+  /// Number of independent GEMMs in the batch (e.g. B*H attention GEMMs).
+  std::int64_t count = 1;
+  /// FLOP discount for structured sparsity (0.5 for causal attention).
+  double flop_fraction = 1.0;
+
+  double flops() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k) * static_cast<double>(count) *
+           flop_fraction;
+  }
+};
+
+class GemmModel {
+ public:
+  explicit GemmModel(GcdSpec spec) : spec_(spec) {}
+
+  /// Fraction of peak achieved for this shape, in (0, max_efficiency].
+  double efficiency(const GemmShape& shape) const;
+
+  /// Execution time in seconds on one GCD.
+  double time(const GemmShape& shape) const;
+
+  /// Peak fraction for a large perfectly aligned GEMM.
+  static constexpr double kMaxEfficiency = 0.47;
+
+ private:
+  GcdSpec spec_;
+};
+
+}  // namespace matgpt::sim

@@ -1,0 +1,218 @@
+#include "simfrontier/kernel_model.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "nn/layers.h"
+
+namespace matgpt::sim {
+
+const char* attention_impl_name(AttentionImpl impl) {
+  switch (impl) {
+    case AttentionImpl::kMaterialized:
+      return "no-flash";
+    case AttentionImpl::kFlashV1:
+      return "flash-v1";
+    case AttentionImpl::kFlashV2:
+      return "flash-v2";
+  }
+  return "unknown";
+}
+
+bool flash_eligible(std::int64_t head_dim, AttentionImpl impl) {
+  if (impl == AttentionImpl::kMaterialized) return true;
+  if (head_dim % 8 != 0) return false;
+  return head_dim <= (impl == AttentionImpl::kFlashV1 ? 128 : 256);
+}
+
+std::vector<std::pair<std::string, KernelAggregate>> aggregate_by_name(
+    const std::vector<Kernel>& kernels) {
+  std::map<std::string, KernelAggregate> agg;
+  for (const auto& k : kernels) {
+    auto& a = agg[k.name];
+    a.seconds += k.seconds;
+    a.flops += k.flops;
+    a.bytes += k.bytes;
+  }
+  return {agg.begin(), agg.end()};
+}
+
+double total_seconds(const std::vector<Kernel>& kernels) {
+  double s = 0.0;
+  for (const auto& k : kernels) s += k.seconds;
+  return s;
+}
+
+double total_flops(const std::vector<Kernel>& kernels) {
+  double f = 0.0;
+  for (const auto& k : kernels) f += k.flops;
+  return f;
+}
+
+KernelModel::KernelModel(Platform platform)
+    : platform_(platform), gemm_(platform.gcd) {}
+
+Kernel KernelModel::make_gemm(const std::string& name,
+                              const GemmShape& shape) const {
+  Kernel k;
+  k.name = name;
+  k.cls = KernelClass::kCompute;
+  k.flops = shape.flops();
+  // 5 us launch overhead per kernel: the reason a 3-GEMM SwiGLU MLP runs
+  // marginally behind a 2-GEMM GELU MLP of equal FLOPs (Fig. 6's NeoX edge).
+  k.seconds = gemm_.time(shape) + 5.0e-6;
+  k.bytes = 2.0 * (static_cast<double>(shape.m) * shape.k +
+                   static_cast<double>(shape.k) * shape.n +
+                   static_cast<double>(shape.m) * shape.n) *
+            static_cast<double>(shape.count);
+  k.is_gemm = true;
+  return k;
+}
+
+Kernel KernelModel::make_io(const std::string& name, double bytes) const {
+  Kernel k;
+  k.name = name;
+  k.cls = KernelClass::kCompute;  // elementwise kernels occupy the GPU
+  k.bytes = bytes;
+  k.seconds = bytes / platform_.gcd.hbm_bandwidth;
+  return k;
+}
+
+std::vector<Kernel> KernelModel::layer_forward(const ModelDesc& model,
+                                               std::int64_t batch_seqs,
+                                               std::int64_t seq,
+                                               AttentionImpl attn,
+                                               int tp) const {
+  MGPT_CHECK(batch_seqs > 0 && seq > 0, "workload must be positive");
+  MGPT_CHECK(tp >= 1, "tensor parallel degree must be >= 1");
+  MGPT_CHECK(model.n_heads % tp == 0,
+             "n_heads must divide by TP (paper Eq. 4)");
+  const std::int64_t n = batch_seqs * seq;  // tokens
+  const std::int64_t h = model.hidden;
+  const std::int64_t d = model.head_dim();
+  const std::int64_t heads_local = model.n_heads / tp;
+  const std::int64_t h_local = heads_local * d;
+  const double bf16 = 2.0;
+
+  std::vector<Kernel> ks;
+  const char* norm_name = model.arch == ArchFamily::kNeoX ? "LN" : "LN";
+  ks.push_back(make_io(norm_name, 2.0 * n * h * bf16));
+  ks.push_back(make_gemm("QKV", {n, 3 * h_local, h}));
+  ks.push_back(make_io("rope", 4.0 * n * h_local * bf16));
+
+  const GemmShape score{seq, seq, d, batch_seqs * heads_local, 0.5};
+  const GemmShape aov{seq, d, seq, batch_seqs * heads_local, 0.5};
+  if (attn == AttentionImpl::kMaterialized) {
+    ks.push_back(make_gemm("score", score));
+    // Softmax reads and writes the [B, H, T, T] score tensor (plus the AOV
+    // read) — the quadratic HBM traffic flash attention eliminates.
+    const double score_elems =
+        0.5 * static_cast<double>(batch_seqs) * heads_local * seq * seq;
+    ks.push_back(make_io("softmax", 3.0 * score_elems * bf16));
+    ks.push_back(make_gemm("AOV", aov));
+  } else {
+    MGPT_CHECK(flash_eligible(d, attn),
+               "head dim " << d << " not eligible for "
+                           << attention_impl_name(attn));
+    Kernel flash;
+    flash.name = "flash";
+    flash.cls = KernelClass::kCompute;
+    flash.is_gemm = true;
+    flash.flops = score.flops() + aov.flops();
+    // Fused kernel efficiency: v1 tiles well; v2 improves work partitioning
+    // across the sequence dimension.
+    const double base = attn == AttentionImpl::kFlashV1 ? 0.50 : 0.64;
+    const double align = dim_utilization(d) * dim_utilization(d);
+    flash.seconds = flash.flops / (platform_.gcd.peak_flops * base * align);
+    flash.bytes = 4.0 * n * h_local * bf16;  // q, k, v in; out
+    ks.push_back(flash);
+  }
+
+  ks.push_back(make_gemm("Linproj", {n, h, h_local}));
+  ks.push_back(make_io("DR", 3.0 * n * h * bf16));
+  ks.push_back(make_io(norm_name, 2.0 * n * h * bf16));
+
+  if (model.arch == ArchFamily::kNeoX) {
+    const std::int64_t inner = 4 * h / tp;
+    ks.push_back(make_gemm("MLP", {n, inner, h}));
+    ks.push_back(make_io("gelu", 2.0 * n * inner * bf16));
+    ks.push_back(make_gemm("MLP", {n, h, inner}));
+  } else {
+    const std::int64_t inner = nn::SwiGluMlp::inner_dim_for(h) / tp;
+    ks.push_back(make_gemm("MLP", {n, inner, h}));
+    ks.push_back(make_gemm("MLP", {n, inner, h}));
+    ks.push_back(make_io("silu", 3.0 * n * inner * bf16));
+    ks.push_back(make_gemm("MLP", {n, h, inner}));
+  }
+  ks.push_back(make_io("DR", 3.0 * n * h * bf16));
+  ks.push_back(make_io("residual", 3.0 * n * h * bf16));
+  return ks;
+}
+
+std::vector<Kernel> KernelModel::layer_backward(const ModelDesc& model,
+                                                std::int64_t batch_seqs,
+                                                std::int64_t seq,
+                                                AttentionImpl attn,
+                                                int tp) const {
+  // Backward ~ 2x forward for GEMMs (dgrad + wgrad) and elementwise ops.
+  // Flash backward additionally recomputes the score matrix (~2.5x).
+  std::vector<Kernel> ks = layer_forward(model, batch_seqs, seq, attn, tp);
+  for (auto& k : ks) {
+    const double factor = (k.name == "flash") ? 2.5 : 2.0;
+    k.name += "_bwd";
+    k.seconds *= factor;
+    k.flops *= factor;
+    k.bytes *= factor;
+  }
+  return ks;
+}
+
+std::vector<Kernel> KernelModel::head_forward(const ModelDesc& model,
+                                              std::int64_t batch_seqs,
+                                              std::int64_t seq,
+                                              int tp) const {
+  const std::int64_t n = batch_seqs * seq;
+  std::vector<Kernel> ks;
+  // Embedding lookup is a gather: pure HBM traffic.
+  ks.push_back(make_io("embed", 2.0 * n * model.hidden * 2.0));
+  ks.push_back(make_gemm("lm_head", {n, model.vocab / tp, model.hidden}));
+  // Softmax + loss over the vocab logits.
+  ks.push_back(
+      make_io("loss", 2.0 * n * (model.vocab / tp) * 2.0));
+  return ks;
+}
+
+std::vector<Kernel> KernelModel::optimizer_step(double local_params) const {
+  MGPT_CHECK(local_params >= 0.0, "local_params must be non-negative");
+  std::vector<Kernel> ks;
+  // Adam/LAMB: read grad (2B), param (2B), m (4B), v (4B); write param, m, v
+  // (10B) => ~22 bytes per local parameter.
+  ks.push_back(make_io("optimizer", 22.0 * local_params));
+  return ks;
+}
+
+double KernelModel::step_time(const ModelDesc& model, std::int64_t batch_seqs,
+                              std::int64_t seq, AttentionImpl attn, int tp,
+                              double local_params) const {
+  if (local_params < 0.0) local_params = static_cast<double>(model.params());
+  double t = 0.0;
+  t += total_seconds(layer_forward(model, batch_seqs, seq, attn, tp)) *
+       static_cast<double>(model.n_layers);
+  t += total_seconds(layer_backward(model, batch_seqs, seq, attn, tp)) *
+       static_cast<double>(model.n_layers);
+  const auto head = head_forward(model, batch_seqs, seq, tp);
+  t += total_seconds(head) * 3.0;  // forward + ~2x backward
+  t += total_seconds(optimizer_step(local_params));
+  return t;
+}
+
+double KernelModel::achieved_tflops(const ModelDesc& model,
+                                    std::int64_t batch_seqs, std::int64_t seq,
+                                    AttentionImpl attn) const {
+  const double step = step_time(model, batch_seqs, seq, attn);
+  const double model_flops = model.train_flops(batch_seqs * seq, seq);
+  return model_flops / step / 1e12;
+}
+
+}  // namespace matgpt::sim

@@ -1,0 +1,104 @@
+#pragma once
+// Per-kernel inventory of a transformer training step on one GCD.
+//
+// Generates the kernel stream (GEMMs + memory-bound elementwise ops) for a
+// layer forward/backward, with three attention implementations:
+//   kMaterialized — pre-flash baseline: explicit score GEMM, softmax over a
+//                   [B, H, T, T] tensor in HBM, AOV GEMM (quadratic memory
+//                   traffic).
+//   kFlashV1/V2  — fused streaming attention: no T^2 HBM traffic, higher
+//                   matrix-core efficiency (v2 improves work partitioning);
+//                   eligible only when head_dim % 8 == 0 (<=128 for v1,
+//                   <=256 for v2), as the paper notes.
+// The inventory feeds Fig. 4 (throughput), Fig. 9 (step trace), and Fig. 10
+// (latency shares), and the tensor-parallel variant underlies Figs. 7–8.
+
+#include <string>
+#include <vector>
+
+#include "simfrontier/device.h"
+#include "simfrontier/gemm_model.h"
+#include "simfrontier/model_desc.h"
+
+namespace matgpt::sim {
+
+enum class AttentionImpl { kMaterialized, kFlashV1, kFlashV2 };
+
+const char* attention_impl_name(AttentionImpl impl);
+
+/// Whether a head dimension can use the given flash implementation.
+bool flash_eligible(std::int64_t head_dim, AttentionImpl impl);
+
+enum class KernelClass { kCompute, kComm, kIo };
+
+struct Kernel {
+  std::string name;   // "QKV", "score", "softmax", "AOV", "flash", ...
+  KernelClass cls = KernelClass::kCompute;
+  double seconds = 0.0;
+  double flops = 0.0;
+  double bytes = 0.0;
+  bool is_gemm = false;
+};
+
+struct KernelAggregate {
+  double seconds = 0.0;
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+/// Sum kernel times grouped by name.
+std::vector<std::pair<std::string, KernelAggregate>> aggregate_by_name(
+    const std::vector<Kernel>& kernels);
+
+double total_seconds(const std::vector<Kernel>& kernels);
+double total_flops(const std::vector<Kernel>& kernels);
+
+class KernelModel {
+ public:
+  explicit KernelModel(Platform platform);
+
+  /// Kernel stream of one layer's forward pass for `batch_seqs` sequences of
+  /// length `seq`, with tensor parallelism degree `tp` (heads and MLP inner
+  /// width are partitioned; TP communication is added by the parallelism
+  /// layer, not here).
+  std::vector<Kernel> layer_forward(const ModelDesc& model,
+                                    std::int64_t batch_seqs, std::int64_t seq,
+                                    AttentionImpl attn, int tp = 1) const;
+
+  /// Backward kernel stream (GEMMs double for dgrad+wgrad; flash recomputes).
+  std::vector<Kernel> layer_backward(const ModelDesc& model,
+                                     std::int64_t batch_seqs,
+                                     std::int64_t seq, AttentionImpl attn,
+                                     int tp = 1) const;
+
+  /// Embedding lookup + LM head + loss kernels (forward).
+  std::vector<Kernel> head_forward(const ModelDesc& model,
+                                   std::int64_t batch_seqs, std::int64_t seq,
+                                   int tp = 1) const;
+
+  /// Optimizer update kernels for `local_params` parameters held on this GCD
+  /// (Adam/LAMB: read grad + m + v + param, write m + v + param; fp32 state).
+  std::vector<Kernel> optimizer_step(double local_params) const;
+
+  /// Total on-GCD compute+IO time of one training step (fwd + bwd + update).
+  double step_time(const ModelDesc& model, std::int64_t batch_seqs,
+                   std::int64_t seq, AttentionImpl attn, int tp = 1,
+                   double local_params = -1.0) const;
+
+  /// Achieved training TFLOPS/GCD using the standard 3x-forward accounting
+  /// (model FLOPs, not hardware FLOPs — recomputation is not credited).
+  double achieved_tflops(const ModelDesc& model, std::int64_t batch_seqs,
+                         std::int64_t seq, AttentionImpl attn) const;
+
+  const Platform& platform() const { return platform_; }
+  const GemmModel& gemm() const { return gemm_; }
+
+ private:
+  Kernel make_gemm(const std::string& name, const GemmShape& shape) const;
+  Kernel make_io(const std::string& name, double bytes) const;
+
+  Platform platform_;
+  GemmModel gemm_;
+};
+
+}  // namespace matgpt::sim

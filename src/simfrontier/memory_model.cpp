@@ -1,0 +1,85 @@
+#include "simfrontier/memory_model.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace matgpt::sim {
+
+std::string ParallelConfig::describe() const {
+  std::ostringstream os;
+  if (zero_stage >= 1) {
+    os << "ZeRO=" << zero_stage << " DP=" << dp;
+  } else {
+    os << "DP=" << dp;
+  }
+  if (tp > 1) os << " TP=" << tp;
+  if (pp > 1) os << " PP=" << pp;
+  return os.str();
+}
+
+MemoryBreakdown MemoryModel::training_memory(
+    const ModelDesc& model, std::int64_t batch_seqs, std::int64_t seq,
+    AttentionImpl attn, const ParallelConfig& parallel,
+    bool checkpoint_activations) const {
+  MGPT_CHECK(batch_seqs > 0 && seq > 0, "workload must be positive");
+  MGPT_CHECK(parallel.dp >= 1 && parallel.tp >= 1 && parallel.pp >= 1,
+             "parallel degrees must be >= 1");
+  const double shard = static_cast<double>(parallel.tp) * parallel.pp;
+  const double local_params = static_cast<double>(model.params()) / shard;
+
+  MemoryBreakdown mem;
+  // ZeRO shards progressively across the DP group: stage 1 the fp32
+  // optimizer moments, stage 2 also the gradients, stage 3 also the
+  // parameters themselves.
+  mem.param_bytes =
+      2.0 * local_params / (parallel.zero_stage >= 3 ? parallel.dp : 1);
+  mem.grad_bytes =
+      2.0 * local_params / (parallel.zero_stage >= 2 ? parallel.dp : 1);
+  mem.optimizer_bytes =
+      8.0 * local_params / (parallel.zero_stage >= 1 ? parallel.dp : 1);
+
+  const double tokens =
+      static_cast<double>(batch_seqs) * static_cast<double>(seq);
+  const double layers_local =
+      static_cast<double>(model.n_layers) / parallel.pp;
+  const double hidden_local =
+      static_cast<double>(model.hidden) / parallel.tp;
+  if (checkpoint_activations) {
+    // Stored: bf16 inputs of every layer; live: one layer's activations.
+    mem.activation_bytes =
+        layers_local * 2.0 * tokens * hidden_local +
+        kActBytesPerTokenHidden * tokens * hidden_local;
+  } else {
+    mem.activation_bytes =
+        layers_local * kActBytesPerTokenHidden * tokens * hidden_local;
+  }
+  if (attn == AttentionImpl::kMaterialized) {
+    // One layer's score matrix is live at a time (selective recomputation).
+    const double heads_local =
+        static_cast<double>(model.n_heads) / parallel.tp;
+    mem.activation_bytes += kScoreBytesPerElement *
+                            static_cast<double>(batch_seqs) * heads_local *
+                            static_cast<double>(seq) *
+                            static_cast<double>(seq);
+  }
+  // Vocab logits + their gradient in fp32 on the final pipeline stage.
+  mem.logits_bytes =
+      6.0 * tokens * static_cast<double>(model.vocab) / parallel.tp;
+  return mem;
+}
+
+std::int64_t MemoryModel::max_sequence_length(
+    const ModelDesc& model, AttentionImpl attn,
+    const ParallelConfig& parallel, std::int64_t limit) const {
+  std::int64_t best = 0;
+  for (std::int64_t seq = 1024; seq <= limit; seq *= 2) {
+    const auto mem = training_memory(model, /*batch_seqs=*/1, seq, attn,
+                                     parallel);
+    if (!fits(mem)) break;
+    best = seq;
+  }
+  return best;
+}
+
+}  // namespace matgpt::sim

@@ -1,0 +1,86 @@
+#pragma once
+// Per-GCD training memory model.
+//
+// Static state follows the paper's 12-bytes-per-parameter rule of thumb:
+// bf16 parameters (2) + bf16 gradients (2) + fp32 Adam/LAMB moments (8).
+// ZeRO stage 1 shards the optimizer moments across the data-parallel group;
+// tensor/pipeline parallelism shard parameters, gradients, and moments.
+//
+// Activations are modeled with selective attention recomputation (the
+// GPT-NeoX default at long context): a linear term per layer plus — for
+// materialized attention only — one live [B, H, T, T] score workspace.
+// This reproduces Fig. 5: without flash attention the 1.7B model OOMs
+// beyond 8K context; with flash the limit extends ~4x to 32K.
+
+#include <cstdint>
+
+#include "simfrontier/device.h"
+#include "simfrontier/kernel_model.h"
+#include "simfrontier/model_desc.h"
+
+namespace matgpt::sim {
+
+/// How the training state is distributed.
+struct ParallelConfig {
+  int dp = 1;  // data parallel degree
+  int tp = 1;  // tensor parallel degree
+  int pp = 1;  // pipeline parallel degree
+  /// DeepSpeed ZeRO stage across the DP group: 0 = off; 1 shards optimizer
+  /// states (the paper's configuration); 2 additionally shards gradients;
+  /// 3 additionally shards parameters (at the cost of an extra parameter
+  /// allgather in every forward pass). Brace-initializing with `true`
+  /// selects stage 1, matching the paper's ZeRO=1 runs.
+  int zero_stage = 0;
+
+  int total_gcds() const { return dp * tp * pp; }
+  std::string describe() const;
+};
+
+struct MemoryBreakdown {
+  double param_bytes = 0.0;
+  double grad_bytes = 0.0;
+  double optimizer_bytes = 0.0;
+  double activation_bytes = 0.0;
+  double logits_bytes = 0.0;
+
+  double total() const {
+    return param_bytes + grad_bytes + optimizer_bytes + activation_bytes +
+           logits_bytes;
+  }
+  double fraction_of(double hbm_bytes) const { return total() / hbm_bytes; }
+};
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(Platform platform) : platform_(platform) {}
+
+  /// Peak training memory on one GCD. With `checkpoint_activations` only
+  /// bf16 layer inputs are stored and one layer's activations are live at a
+  /// time (full recomputation in backward, the DeepSpeed/GPT-NeoX fallback
+  /// when activations would not fit).
+  MemoryBreakdown training_memory(const ModelDesc& model,
+                                  std::int64_t batch_seqs, std::int64_t seq,
+                                  AttentionImpl attn,
+                                  const ParallelConfig& parallel,
+                                  bool checkpoint_activations = false) const;
+
+  bool fits(const MemoryBreakdown& mem) const {
+    return mem.total() <= platform_.gcd.hbm_bytes;
+  }
+
+  /// Largest power-of-two sequence length (from 1K) that fits with one
+  /// sequence per GCD; 0 if even 1K does not fit.
+  std::int64_t max_sequence_length(const ModelDesc& model, AttentionImpl attn,
+                                   const ParallelConfig& parallel,
+                                   std::int64_t limit = 1 << 20) const;
+
+  /// Activation bytes stored per layer per token (linear term).
+  static constexpr double kActBytesPerTokenHidden = 17.0;
+  /// Live score-workspace bytes per attention score element (materialized).
+  static constexpr double kScoreBytesPerElement = 5.0;
+
+ private:
+  Platform platform_;
+};
+
+}  // namespace matgpt::sim

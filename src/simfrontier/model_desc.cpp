@@ -1,0 +1,76 @@
+#include "simfrontier/model_desc.h"
+
+#include "common/error.h"
+#include "nn/layers.h"
+
+namespace matgpt::sim {
+
+std::int64_t ModelDesc::layer_params() const {
+  MGPT_CHECK(hidden > 0 && n_layers > 0 && n_heads > 0 && vocab > 0,
+             "model dimensions must be positive");
+  MGPT_CHECK(hidden % n_heads == 0, "hidden must divide into n_heads");
+  const std::int64_t h = hidden;
+  if (arch == ArchFamily::kNeoX) {
+    // Attention: 4 h*h weights + 4 h biases. MLP: h*4h + 4h and 4h*h + h.
+    // Two LayerNorms: 2 * 2h.
+    return 4 * h * h + 4 * h + (8 * h * h + 5 * h) + 4 * h;
+  }
+  // LLaMA: 4 h*h attention (no bias), 3 h*inner SwiGLU, two RMSNorms (h).
+  const std::int64_t inner = nn::SwiGluMlp::inner_dim_for(h);
+  return 4 * h * h + 3 * h * inner + 2 * h;
+}
+
+std::int64_t ModelDesc::embedding_params() const {
+  // Untied token embedding + LM head, plus the final norm.
+  const std::int64_t final_norm =
+      arch == ArchFamily::kNeoX ? 2 * hidden : hidden;
+  return 2 * vocab * hidden + final_norm;
+}
+
+double ModelDesc::layer_forward_flops(std::int64_t tokens,
+                                      std::int64_t seq) const {
+  const auto n = static_cast<double>(tokens);
+  const auto h = static_cast<double>(hidden);
+  const auto t = static_cast<double>(seq);
+  // QKV + output projection GEMMs.
+  double flops = 2.0 * n * h * 3.0 * h + 2.0 * n * h * h;
+  // Attention score + attention-over-value, causal (half the T^2 work).
+  flops += 0.5 * (2.0 * n * t * h + 2.0 * n * t * h);
+  // MLP GEMMs (both families sized to ~8h^2 params -> ~16 n h^2 FLOPs).
+  if (arch == ArchFamily::kNeoX) {
+    flops += 2.0 * n * h * 4.0 * h * 2.0;
+  } else {
+    const auto inner = static_cast<double>(nn::SwiGluMlp::inner_dim_for(hidden));
+    flops += 3.0 * 2.0 * n * h * inner;
+  }
+  return flops;
+}
+
+double ModelDesc::forward_flops(std::int64_t tokens, std::int64_t seq) const {
+  return static_cast<double>(n_layers) * layer_forward_flops(tokens, seq) +
+         2.0 * static_cast<double>(tokens) * static_cast<double>(hidden) *
+             static_cast<double>(vocab);
+}
+
+double ModelDesc::train_flops(std::int64_t tokens, std::int64_t seq) const {
+  // Backward costs ~2x forward (grad wrt activations and weights).
+  return 3.0 * forward_flops(tokens, seq);
+}
+
+std::string ModelDesc::name() const {
+  const double billions = static_cast<double>(params()) / 1e9;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "MatGPT-%s %.1fB", nn::arch_name(arch),
+                billions);
+  return buf;
+}
+
+ModelDesc ModelDesc::matgpt_1_7b(ArchFamily arch) {
+  return ModelDesc{arch, 2304, 24, 24, 52000};
+}
+
+ModelDesc ModelDesc::matgpt_6_7b(ArchFamily arch) {
+  return ModelDesc{arch, 4096, 32, 32, 52000};
+}
+
+}  // namespace matgpt::sim

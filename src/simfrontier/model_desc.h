@@ -1,0 +1,51 @@
+#pragma once
+// Analytic description of a GPT model for the performance models.
+//
+// Mirrors the real nn::GptConfig but carries only what the simulator needs:
+// dimensions, family, and derived parameter/FLOP counts. Parameter formulas
+// are validated in tests against the real nn::GptModel::param_count() so the
+// analytic and executable models can never drift apart.
+
+#include <cstdint>
+#include <string>
+
+#include "nn/gpt.h"
+
+namespace matgpt::sim {
+
+using nn::ArchFamily;
+
+struct ModelDesc {
+  ArchFamily arch = ArchFamily::kNeoX;
+  std::int64_t hidden = 2304;
+  std::int64_t n_layers = 24;
+  std::int64_t n_heads = 24;
+  std::int64_t vocab = 52000;
+
+  std::int64_t head_dim() const { return hidden / n_heads; }
+
+  /// Parameters of one transformer layer (attention + MLP + norms).
+  std::int64_t layer_params() const;
+  /// Embedding + LM-head parameters.
+  std::int64_t embedding_params() const;
+  /// Total model parameters.
+  std::int64_t params() const { return n_layers * layer_params() + embedding_params(); }
+
+  /// Forward-pass GEMM FLOPs of one layer for `tokens` tokens at sequence
+  /// length `seq` (attention score/AOV FLOPs grow with seq).
+  double layer_forward_flops(std::int64_t tokens, std::int64_t seq) const;
+
+  /// Full-model forward FLOPs (layers + LM head).
+  double forward_flops(std::int64_t tokens, std::int64_t seq) const;
+
+  /// Training step FLOPs (forward + 2x backward, the standard 3x rule).
+  double train_flops(std::int64_t tokens, std::int64_t seq) const;
+
+  std::string name() const;
+
+  /// The paper's Table II model grid.
+  static ModelDesc matgpt_1_7b(ArchFamily arch);
+  static ModelDesc matgpt_6_7b(ArchFamily arch);
+};
+
+}  // namespace matgpt::sim

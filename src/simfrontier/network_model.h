@@ -1,0 +1,74 @@
+#pragma once
+// RCCL collective cost model and per-step message logging.
+//
+// Collectives use the standard ring α–β model with the bandwidth of the
+// narrowest link the group spans (GCD pair 200 GB/s, node 100 GB/s,
+// Slingshot 100 GB/s) — the topology effect behind the paper's finding that
+// TP=2 mapped onto an MI250X's two GCDs out-scales ZeRO-1's all-device
+// collectives. The message log reproduces Fig. 11 (call-count histogram and
+// aggregated per-step volume per GPU).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "simfrontier/device.h"
+
+namespace matgpt::sim {
+
+enum class Collective {
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kBroadcast,
+  kSendRecv,
+};
+
+const char* collective_name(Collective c);
+
+struct MessageRecord {
+  Collective collective;
+  double bytes;     // payload per call per GPU
+  int group_size;   // ranks participating
+  int count;        // identical calls per training step
+};
+
+/// Per-step, per-GPU communication log.
+class MessageLog {
+ public:
+  void record(Collective c, double bytes, int group_size, int count = 1);
+
+  const std::vector<MessageRecord>& records() const { return records_; }
+
+  /// Total calls per step.
+  std::int64_t total_calls() const;
+  /// Sum over calls of payload bytes (per GPU per step).
+  double total_bytes() const;
+  /// Wire traffic per GPU per step: ring allreduce moves ~2x its payload
+  /// (reduce-scatter + allgather phases), the others ~1x. This is the
+  /// accounting behind the paper's "DP/ZeRO ~2X model size, TP ~3X" Fig. 11
+  /// observation.
+  double total_transferred_bytes() const;
+  /// Power-of-two histogram of message sizes (weighted by call count).
+  Log2Histogram size_histogram() const;
+
+ private:
+  std::vector<MessageRecord> records_;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(Platform platform) : platform_(platform) {}
+
+  /// Ring α–β time for one collective call.
+  double collective_time(Collective c, double bytes, int group_size) const;
+
+  /// Total time of everything in a message log.
+  double log_time(const MessageLog& log) const;
+
+ private:
+  Platform platform_;
+};
+
+}  // namespace matgpt::sim

@@ -1,0 +1,193 @@
+#include "simfrontier/parallelism.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace matgpt::sim {
+
+namespace {
+/// RCCL gradient-bucket size used for plain-DP allreduce bucketing.
+constexpr double kGradBucketBytes = 25.0e6;
+
+/// Distinct parameter tensors per layer (ZeRO's per-tensor collectives):
+/// q/k/v/o + their biases or norms + MLP weights — ~12 for NeoX, ~9 LLaMA.
+int tensors_per_layer(ArchFamily arch) {
+  return arch == ArchFamily::kNeoX ? 12 : 9;
+}
+}  // namespace
+
+TrainingSimulator::TrainingSimulator(Platform platform)
+    : platform_(platform),
+      kernels_(platform),
+      memory_(platform),
+      network_(platform) {}
+
+StepProfile TrainingSimulator::simulate_step(const ModelDesc& model,
+                                             const ParallelConfig& parallel,
+                                             std::int64_t tokens_per_gcd,
+                                             std::int64_t seq,
+                                             AttentionImpl attn,
+                                             int pipeline_microbatches) const {
+  MGPT_CHECK(tokens_per_gcd > 0 && seq > 0, "workload must be positive");
+  MGPT_CHECK(parallel.dp >= 1 && parallel.tp >= 1 && parallel.pp >= 1,
+             "parallel degrees must be >= 1");
+  MGPT_CHECK(model.n_layers % parallel.pp == 0,
+             "layers must divide by PP (paper Eq. 3)");
+  MGPT_CHECK(model.hidden % parallel.tp == 0,
+             "hidden must divide by TP (paper Eq. 2)");
+  MGPT_CHECK(model.n_heads % parallel.tp == 0,
+             "heads must divide by TP (paper Eq. 4)");
+  MGPT_CHECK(pipeline_microbatches >= 1, "need at least one microbatch");
+
+  StepProfile p;
+  p.parallel = parallel;
+  p.tokens_per_gcd = tokens_per_gcd;
+  p.seq = seq;
+
+  // Each model replica (a TP*PP group) processes the tokens of its GCDs.
+  const std::int64_t replica_tokens =
+      tokens_per_gcd * parallel.tp * parallel.pp;
+  const std::int64_t replica_seqs = std::max<std::int64_t>(
+      1, replica_tokens / seq);
+  const std::int64_t layers_local = model.n_layers / parallel.pp;
+  const double local_params =
+      static_cast<double>(model.params()) / (parallel.tp * parallel.pp);
+
+  // ---- compute -------------------------------------------------------------
+  const double fwd = total_seconds(
+      kernels_.layer_forward(model, replica_seqs, seq, attn, parallel.tp));
+  const double bwd = total_seconds(
+      kernels_.layer_backward(model, replica_seqs, seq, attn, parallel.tp));
+  p.compute_s = (fwd + bwd) * static_cast<double>(layers_local);
+  const auto head =
+      kernels_.head_forward(model, replica_seqs, seq, parallel.tp);
+  p.compute_s += total_seconds(head) * 3.0;
+  // Tensor parallelism serializes a blocking allreduce after every attention
+  // and MLP block; the lost pipelining and fragmented launches cost a few
+  // percent of compute on top of the wire time.
+  p.compute_s *= 1.0 + 0.03 * (parallel.tp - 1);
+
+  // Pipeline bubble: (pp - 1) / m of the compute is idle ramp-up/down.
+  if (parallel.pp > 1) {
+    p.bubble_s = p.compute_s * static_cast<double>(parallel.pp - 1) /
+                 static_cast<double>(pipeline_microbatches);
+  }
+
+  // ---- IO (optimizer state + embedding traffic) -----------------------------
+  const double opt_params =
+      local_params / (parallel.zero_stage >= 1 ? parallel.dp : 1);
+  p.io_s = total_seconds(kernels_.optimizer_step(opt_params));
+
+  // ---- communication --------------------------------------------------------
+  const double bf16 = 2.0;
+  // Tensor parallelism: two activation allreduces per layer in forward and
+  // two in backward, within the TP group (2 GCDs of one MI250X when TP=2).
+  if (parallel.tp > 1) {
+    const double act_bytes =
+        static_cast<double>(replica_tokens) * model.hidden * bf16;
+    p.messages.record(Collective::kAllReduce, act_bytes, parallel.tp,
+                      static_cast<int>(4 * layers_local));
+  }
+  // Pipeline parallelism: boundary activations per microbatch, fwd + bwd.
+  if (parallel.pp > 1) {
+    const double micro_bytes = static_cast<double>(replica_tokens) /
+                               pipeline_microbatches * model.hidden * bf16;
+    p.messages.record(Collective::kSendRecv, micro_bytes,
+                      parallel.tp * parallel.pp,
+                      2 * pipeline_microbatches);
+  }
+  // Data parallelism over gradients.
+  if (parallel.dp > 1) {
+    const double grad_bytes = bf16 * local_params;
+    if (parallel.zero_stage >= 1) {
+      // ZeRO: per-tensor reduce-scatter of grads, then allgather of the
+      // updated parameters — all-device collectives, many small calls.
+      // Stages 1 and 2 have identical wire traffic (stage 2 only changes
+      // what is retained in memory); stage 3 must additionally allgather
+      // the sharded parameters for every forward pass.
+      const int n_tensors =
+          tensors_per_layer(model.arch) * static_cast<int>(layers_local) + 2;
+      const double per_tensor = grad_bytes / n_tensors;
+      p.messages.record(Collective::kReduceScatter, per_tensor, parallel.dp,
+                        n_tensors);
+      p.messages.record(Collective::kAllGather, per_tensor, parallel.dp,
+                        n_tensors);
+      if (parallel.zero_stage >= 3) {
+        p.messages.record(Collective::kAllGather, per_tensor, parallel.dp,
+                          n_tensors);
+      }
+    } else {
+      // Plain DP: bucketed ring allreduce over the full gradient.
+      const int buckets = static_cast<int>(
+          std::max(1.0, std::ceil(grad_bytes / kGradBucketBytes)));
+      p.messages.record(Collective::kAllReduce, grad_bytes / buckets,
+                        parallel.dp, buckets);
+    }
+  }
+  p.comm_s = network_.log_time(p.messages);
+
+  // ---- memory ----------------------------------------------------------------
+  const std::int64_t batch_seqs_per_gcd =
+      std::max<std::int64_t>(1, tokens_per_gcd / seq);
+  p.memory = memory_.training_memory(model, batch_seqs_per_gcd, seq, attn,
+                                     parallel);
+  if (!memory_.fits(p.memory)) {
+    // Fall back to activation checkpointing (the DeepSpeed behaviour):
+    // memory shrinks to layer inputs, backward recomputes each forward.
+    p.checkpointed = true;
+    p.memory = memory_.training_memory(model, batch_seqs_per_gcd, seq, attn,
+                                       parallel, /*checkpoint=*/true);
+    p.compute_s += fwd * static_cast<double>(layers_local);
+  }
+  p.fits_memory = memory_.fits(p.memory);
+
+  // ---- throughput -------------------------------------------------------------
+  const double global_tokens =
+      static_cast<double>(tokens_per_gcd) * parallel.total_gcds();
+  const double flops_per_gcd =
+      model.train_flops(static_cast<std::int64_t>(global_tokens), seq) /
+      parallel.total_gcds();
+  p.per_gcd_tflops = flops_per_gcd / p.total_s() / 1e12;
+  p.aggregate_pflops =
+      p.per_gcd_tflops * parallel.total_gcds() / 1000.0;
+  return p;
+}
+
+double TrainingSimulator::scaling_efficiency(
+    const StepProfile& baseline, const StepProfile& profile) const {
+  MGPT_CHECK(baseline.per_gcd_tflops > 0.0, "invalid baseline profile");
+  return profile.per_gcd_tflops / baseline.per_gcd_tflops;
+}
+
+TrainingSimulator::TrainingRunEstimate TrainingSimulator::estimate_run(
+    const ModelDesc& model, const ParallelConfig& parallel,
+    std::int64_t tokens_per_gcd, std::int64_t seq, AttentionImpl attn,
+    double total_tokens) const {
+  MGPT_CHECK(total_tokens > 0.0, "total_tokens must be positive");
+  const StepProfile step =
+      simulate_step(model, parallel, tokens_per_gcd, seq, attn);
+  TrainingRunEstimate est;
+  const double tokens_per_step =
+      static_cast<double>(tokens_per_gcd) * parallel.total_gcds();
+  est.steps = total_tokens / tokens_per_step;
+  const double seconds = est.steps * step.total_s();
+  est.hours = seconds / 3600.0;
+  // Phase-weighted mean power per GCD: compute phases run the matrix cores
+  // near full tilt; communication/IO phases draw far less (the oscillation
+  // visible in the paper's Fig. 9/12 power traces).
+  const auto& gcd = platform_.gcd;
+  const double util = step.compute_fraction() * 0.95 +
+                      step.comm_fraction() * 0.45 +
+                      (step.io_fraction() +
+                       step.bubble_s / step.total_s()) * 0.55;
+  est.mean_power_per_gcd_w =
+      gcd.idle_power_w + (gcd.max_power_w - gcd.idle_power_w) * util;
+  est.energy_joules =
+      est.mean_power_per_gcd_w * parallel.total_gcds() * seconds;
+  est.tflops_per_watt = step.per_gcd_tflops / est.mean_power_per_gcd_w;
+  return est;
+}
+
+}  // namespace matgpt::sim

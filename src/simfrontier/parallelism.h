@@ -1,0 +1,89 @@
+#pragma once
+// End-to-end training-step simulator: composes the kernel, memory, and
+// network models under a 3D-parallel configuration (DP / ZeRO-1 / TP / PP).
+//
+// Composition is deliberately non-overlapped (compute, then communication):
+// the paper's profiling shows communication fully exposed on Frontier, and
+// its Observation 2 — keep model parallelism minimal, give the rest to data
+// parallelism — emerges from exactly this cost structure.
+
+#include <vector>
+
+#include "simfrontier/kernel_model.h"
+#include "simfrontier/memory_model.h"
+#include "simfrontier/network_model.h"
+
+namespace matgpt::sim {
+
+struct StepProfile {
+  ParallelConfig parallel;
+  std::int64_t tokens_per_gcd = 0;
+  std::int64_t seq = 0;
+
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double io_s = 0.0;
+  double bubble_s = 0.0;  // pipeline idle time
+
+  double total_s() const { return compute_s + comm_s + io_s + bubble_s; }
+  double compute_fraction() const { return compute_s / total_s(); }
+  double comm_fraction() const { return comm_s / total_s(); }
+  double io_fraction() const { return io_s / total_s(); }
+
+  /// Achieved model TFLOPS per GCD (3x-forward accounting).
+  double per_gcd_tflops = 0.0;
+  /// Aggregate PFLOPS across the whole job.
+  double aggregate_pflops = 0.0;
+
+  MemoryBreakdown memory;
+  bool fits_memory = true;
+  /// Activation checkpointing was engaged because activations did not fit
+  /// (adds one recomputed forward pass to backward).
+  bool checkpointed = false;
+  MessageLog messages;
+};
+
+class TrainingSimulator {
+ public:
+  explicit TrainingSimulator(Platform platform);
+
+  /// One optimizer step with `tokens_per_gcd` tokens of work per GCD (the
+  /// paper fixes per-device batch size when scaling out).
+  StepProfile simulate_step(const ModelDesc& model,
+                            const ParallelConfig& parallel,
+                            std::int64_t tokens_per_gcd, std::int64_t seq,
+                            AttentionImpl attn,
+                            int pipeline_microbatches = 8) const;
+
+  /// Scaling efficiency of `profile` relative to a single-`unit` baseline
+  /// with the same per-GCD workload (the Fig. 8 metric).
+  double scaling_efficiency(const StepProfile& baseline,
+                            const StepProfile& profile) const;
+
+  /// Wall-clock and energy to train on `total_tokens` (Table IV).
+  struct TrainingRunEstimate {
+    double hours = 0.0;
+    double steps = 0.0;
+    double energy_joules = 0.0;       // whole job
+    double tflops_per_watt = 0.0;     // per-GCD efficiency
+    double mean_power_per_gcd_w = 0.0;
+  };
+  TrainingRunEstimate estimate_run(const ModelDesc& model,
+                                   const ParallelConfig& parallel,
+                                   std::int64_t tokens_per_gcd,
+                                   std::int64_t seq, AttentionImpl attn,
+                                   double total_tokens) const;
+
+  const KernelModel& kernels() const { return kernels_; }
+  const MemoryModel& memory() const { return memory_; }
+  const NetworkModel& network() const { return network_; }
+  const Platform& platform() const { return platform_; }
+
+ private:
+  Platform platform_;
+  KernelModel kernels_;
+  MemoryModel memory_;
+  NetworkModel network_;
+};
+
+}  // namespace matgpt::sim

@@ -1,0 +1,120 @@
+#include "simfrontier/pipeline_schedule.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace matgpt::sim {
+
+const char* pipeline_schedule_name(PipelineSchedule s) {
+  return s == PipelineSchedule::kGpipe ? "GPipe" : "1F1B";
+}
+
+PipelineResult simulate_pipeline(int stages, int microbatches, double fwd_s,
+                                 double bwd_s, PipelineSchedule schedule) {
+  MGPT_CHECK(stages >= 1 && microbatches >= 1,
+             "need at least one stage and one microbatch");
+  MGPT_CHECK(fwd_s > 0.0 && bwd_s > 0.0, "unit times must be positive");
+  const int p = stages;
+  const int m = microbatches;
+  constexpr double kUnscheduled = -1.0;
+
+  // End times, kUnscheduled until the unit is placed.
+  std::vector<std::vector<double>> fwd_end(
+      static_cast<std::size_t>(p),
+      std::vector<double>(static_cast<std::size_t>(m), kUnscheduled));
+  std::vector<std::vector<double>> bwd_end = fwd_end;
+  std::vector<double> stage_free(static_cast<std::size_t>(p), 0.0);
+  std::vector<double> stage_busy(static_cast<std::size_t>(p), 0.0);
+  std::vector<int> fwd_next(static_cast<std::size_t>(p), 0);
+  std::vector<int> bwd_next(static_cast<std::size_t>(p), 0);
+  std::vector<int> peak_live(static_cast<std::size_t>(p), 0);
+
+  PipelineResult result;
+  int remaining = 2 * p * m;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (int s = 0; s < p; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      // Keep scheduling on this stage while its policy-chosen unit is ready.
+      for (;;) {
+        bool want_forward;
+        if (schedule == PipelineSchedule::kGpipe) {
+          // All forwards first, then all backwards.
+          want_forward = fwd_next[su] < m;
+        } else {
+          // 1F1B: run forwards during warmup until this stage holds its
+          // in-flight quota (p - s), then strictly alternate.
+          const int live = fwd_next[su] - bwd_next[su];
+          const int quota = p - s;
+          if (fwd_next[su] < m && live < quota) {
+            want_forward = true;
+          } else if (bwd_next[su] < fwd_next[su]) {
+            want_forward = false;
+          } else if (fwd_next[su] < m) {
+            want_forward = true;
+          } else {
+            break;  // stage finished everything
+          }
+        }
+        if (want_forward && fwd_next[su] >= m) break;
+        if (!want_forward && bwd_next[su] >= fwd_next[su]) break;
+
+        const int mb = want_forward ? fwd_next[su] : bwd_next[su];
+        const auto mu = static_cast<std::size_t>(mb);
+        // Dependency end time (kUnscheduled => not ready yet).
+        double dep;
+        if (want_forward) {
+          dep = s == 0 ? 0.0 : fwd_end[su - 1][mu];
+        } else {
+          dep = s == p - 1 ? fwd_end[su][mu] : bwd_end[su + 1][mu];
+        }
+        if (dep == kUnscheduled) break;  // stall until the producer runs
+
+        const double dur = want_forward ? fwd_s : bwd_s;
+        const double start = std::max(stage_free[su], dep);
+        const double end = start + dur;
+        StageUnit unit;
+        unit.stage = s;
+        unit.microbatch = mb;
+        unit.forward = want_forward;
+        unit.start_s = start;
+        unit.end_s = end;
+        result.units.push_back(unit);
+        stage_free[su] = end;
+        stage_busy[su] += dur;
+        if (want_forward) {
+          ++fwd_next[su];
+        } else {
+          ++bwd_next[su];
+        }
+        peak_live[su] = std::max(peak_live[su],
+                                 fwd_next[su] - bwd_next[su]);
+        if (want_forward) {
+          fwd_end[su][mu] = end;
+        } else {
+          bwd_end[su][mu] = end;
+        }
+        --remaining;
+        progressed = true;
+      }
+    }
+    MGPT_CHECK(progressed, "pipeline schedule deadlocked (bug)");
+  }
+
+  std::sort(result.units.begin(), result.units.end(),
+            [](const StageUnit& a, const StageUnit& b) {
+              return a.start_s < b.start_s;
+            });
+  for (double f : stage_free) result.total_s = std::max(result.total_s, f);
+  double idle = 0.0;
+  for (int s = 0; s < p; ++s) {
+    idle += 1.0 - stage_busy[static_cast<std::size_t>(s)] / result.total_s;
+  }
+  result.bubble_fraction = idle / p;
+  result.peak_live_microbatches =
+      *std::max_element(peak_live.begin(), peak_live.end());
+  return result;
+}
+
+}  // namespace matgpt::sim

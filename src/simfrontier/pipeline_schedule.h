@@ -1,0 +1,45 @@
+#pragma once
+// Discrete pipeline-schedule simulation: GPipe vs. 1F1B.
+//
+// The paper observes that pipeline parallelism performs worst because of
+// sequential "bubble" stages. This module makes the bubble explicit: it
+// schedules every (stage, microbatch, direction) unit under dependency and
+// occupancy constraints and reports the resulting timeline, the bubble
+// fraction, and the peak number of in-flight microbatch activations per
+// stage — the quantity that separates GPipe (stores all m microbatches)
+// from 1F1B (stores at most p), even though both have the same
+// (p-1)/(m+p-1) idle fraction.
+
+#include <cstdint>
+#include <vector>
+
+namespace matgpt::sim {
+
+enum class PipelineSchedule { kGpipe, k1F1B };
+
+const char* pipeline_schedule_name(PipelineSchedule s);
+
+struct StageUnit {
+  int stage = 0;
+  int microbatch = 0;
+  bool forward = true;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct PipelineResult {
+  std::vector<StageUnit> units;  // ordered by start time
+  double total_s = 0.0;
+  /// Mean idle fraction across stages: 1 - busy / total.
+  double bubble_fraction = 0.0;
+  /// Max simultaneously live forward activations on any stage (a microbatch
+  /// is live from its forward until its backward completes on that stage).
+  int peak_live_microbatches = 0;
+};
+
+/// Simulate `microbatches` through `stages` pipeline stages where each
+/// stage's forward takes fwd_s and backward takes bwd_s.
+PipelineResult simulate_pipeline(int stages, int microbatches, double fwd_s,
+                                 double bwd_s, PipelineSchedule schedule);
+
+}  // namespace matgpt::sim

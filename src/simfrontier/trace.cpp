@@ -1,0 +1,194 @@
+#include "simfrontier/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace matgpt::sim {
+
+void StepTrace::push(std::string name, KernelClass cls, double duration) {
+  if (duration <= 0.0) return;
+  events_.push_back({std::move(name), cls, cursor_s_, duration});
+  cursor_s_ += duration;
+}
+
+StepTrace StepTrace::build(const TrainingSimulator& simulator,
+                           const ModelDesc& model,
+                           const ParallelConfig& parallel,
+                           std::int64_t tokens_per_gcd, std::int64_t seq,
+                           AttentionImpl attn) {
+  const KernelModel& km = simulator.kernels();
+  const NetworkModel& nm = simulator.network();
+  const std::int64_t replica_tokens =
+      tokens_per_gcd * parallel.tp * parallel.pp;
+  const std::int64_t replica_seqs =
+      std::max<std::int64_t>(1, replica_tokens / seq);
+  const std::int64_t layers_local = model.n_layers / parallel.pp;
+  const double local_params =
+      static_cast<double>(model.params()) / (parallel.tp * parallel.pp);
+  const double bf16 = 2.0;
+
+  StepTrace trace;
+  // Per-layer TP activation allreduce (one call after attention, one after
+  // the MLP, in both passes).
+  const double tp_allreduce =
+      parallel.tp > 1
+          ? nm.collective_time(
+                Collective::kAllReduce,
+                static_cast<double>(replica_tokens) * model.hidden * bf16,
+                parallel.tp)
+          : 0.0;
+
+  // ---- forward ---------------------------------------------------------------
+  for (std::int64_t l = 0; l < layers_local; ++l) {
+    const std::string tag = "L" + std::to_string(l) + ".";
+    for (const auto& k :
+         km.layer_forward(model, replica_seqs, seq, attn, parallel.tp)) {
+      trace.push(tag + k.name, k.cls, k.seconds);
+    }
+    if (tp_allreduce > 0.0) {
+      trace.push(tag + "tp_allreduce", KernelClass::kComm, 2.0 * tp_allreduce);
+    }
+  }
+  for (const auto& k :
+       km.head_forward(model, replica_seqs, seq, parallel.tp)) {
+    trace.push(k.name, k.cls, k.seconds);
+  }
+  trace.forward_end_s_ = trace.cursor_s_;
+
+  // ---- backward --------------------------------------------------------------
+  trace.push("loss_bwd", KernelClass::kCompute,
+             total_seconds(km.head_forward(model, replica_seqs, seq,
+                                           parallel.tp)) *
+                 2.0);
+  for (std::int64_t l = layers_local; l-- > 0;) {
+    const std::string tag = "L" + std::to_string(l) + ".";
+    for (const auto& k :
+         km.layer_backward(model, replica_seqs, seq, attn, parallel.tp)) {
+      trace.push(tag + k.name, k.cls, k.seconds);
+    }
+    if (tp_allreduce > 0.0) {
+      trace.push(tag + "tp_allreduce", KernelClass::kComm, 2.0 * tp_allreduce);
+    }
+  }
+
+  // ---- gradient synchronization ------------------------------------------------
+  if (parallel.dp > 1) {
+    const double grad_bytes = bf16 * local_params;
+    if (parallel.zero_stage >= 1) {
+      trace.push("zero1_reduce_scatter", KernelClass::kComm,
+                 nm.collective_time(Collective::kReduceScatter, grad_bytes,
+                                    parallel.dp));
+    } else {
+      trace.push("grad_allreduce", KernelClass::kComm,
+                 nm.collective_time(Collective::kAllReduce, grad_bytes,
+                                    parallel.dp));
+    }
+  }
+  trace.backward_end_s_ = trace.cursor_s_;
+
+  // ---- optimizer -----------------------------------------------------------------
+  const double opt_params =
+      local_params / (parallel.zero_stage >= 1 ? parallel.dp : 1);
+  for (const auto& k : km.optimizer_step(opt_params)) {
+    trace.push(k.name, KernelClass::kIo, k.seconds);
+  }
+  if (parallel.zero_stage >= 1 && parallel.dp > 1) {
+    trace.push("zero1_param_allgather", KernelClass::kComm,
+               nm.collective_time(Collective::kAllGather,
+                                  bf16 * local_params, parallel.dp));
+  }
+  return trace;
+}
+
+double StepTrace::duration_s() const { return cursor_s_; }
+
+ProfileBreakdown StepTrace::breakdown() const {
+  ProfileBreakdown b;
+  for (const auto& e : events_) {
+    switch (e.cls) {
+      case KernelClass::kCompute:
+        b.compute_s += e.duration_s;
+        break;
+      case KernelClass::kComm:
+        b.comm_s += e.duration_s;
+        break;
+      case KernelClass::kIo:
+        b.io_s += e.duration_s;
+        break;
+    }
+  }
+  return b;
+}
+
+namespace {
+double class_utilization(KernelClass cls) {
+  switch (cls) {
+    case KernelClass::kCompute:
+      return 0.95;
+    case KernelClass::kComm:
+      return 0.45;
+    case KernelClass::kIo:
+      return 0.55;
+  }
+  return 0.0;
+}
+}  // namespace
+
+std::vector<Sample> StepTrace::power_trace(double dt_s,
+                                           const GcdSpec& gcd) const {
+  MGPT_CHECK(dt_s > 0.0, "sample interval must be positive");
+  std::vector<Sample> out;
+  std::size_t cursor = 0;
+  for (double t = 0.0; t <= duration_s(); t += dt_s) {
+    while (cursor < events_.size() && events_[cursor].end_s() < t) ++cursor;
+    double util = 0.0;
+    if (cursor < events_.size() && events_[cursor].start_s <= t) {
+      util = class_utilization(events_[cursor].cls);
+    }
+    const double per_gcd =
+        gcd.idle_power_w + (gcd.max_power_w - gcd.idle_power_w) * util;
+    out.push_back({t, 2.0 * per_gcd});  // MI250X sensor reports 2 GCDs
+  }
+  return out;
+}
+
+std::vector<Sample> StepTrace::utilization_trace(double dt_s) const {
+  MGPT_CHECK(dt_s > 0.0, "sample interval must be positive");
+  std::vector<Sample> out;
+  std::size_t cursor = 0;
+  for (double t = 0.0; t <= duration_s(); t += dt_s) {
+    while (cursor < events_.size() && events_[cursor].end_s() < t) ++cursor;
+    // Any kernel — including RCCL — keeps the GPU busy; the paper notes
+    // near-100% utilization is therefore a poor compute indicator.
+    const bool busy =
+        cursor < events_.size() && events_[cursor].start_s <= t;
+    out.push_back({t, busy ? 1.0 : 0.0});
+  }
+  return out;
+}
+
+std::vector<Sample> StepTrace::memory_trace(double dt_s,
+                                            const MemoryBreakdown& mem,
+                                            const GcdSpec& gcd) const {
+  MGPT_CHECK(dt_s > 0.0, "sample interval must be positive");
+  const double static_bytes =
+      mem.param_bytes + mem.grad_bytes + mem.optimizer_bytes;
+  const double dynamic_bytes = mem.activation_bytes + mem.logits_bytes;
+  std::vector<Sample> out;
+  for (double t = 0.0; t <= duration_s(); t += dt_s) {
+    double act_frac = 0.0;
+    if (t <= forward_end_s_ && forward_end_s_ > 0.0) {
+      act_frac = t / forward_end_s_;  // activations accumulate over forward
+    } else if (t <= backward_end_s_) {
+      act_frac = 1.0 - (t - forward_end_s_) /
+                           std::max(1e-12, backward_end_s_ - forward_end_s_);
+    }
+    const double bytes = static_bytes + act_frac * dynamic_bytes;
+    out.push_back({t, bytes / gcd.hbm_bytes});
+  }
+  return out;
+}
+
+}  // namespace matgpt::sim

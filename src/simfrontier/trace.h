@@ -1,0 +1,79 @@
+#pragma once
+// Step-level execution traces and system-metric samplers.
+//
+// Plays the role of the paper's three observability tools:
+//   * OmniTrace  -> the ordered kernel timeline of one training step (Fig. 9)
+//   * rocprof    -> aggregation of kernel time into compute / RCCL / IO
+//                   categories (Fig. 8, bottom)
+//   * rocm-smi   -> sampled power / memory / utilization traces (Figs. 9, 12)
+
+#include <string>
+#include <vector>
+
+#include "simfrontier/parallelism.h"
+
+namespace matgpt::sim {
+
+struct TraceEvent {
+  std::string name;
+  KernelClass cls = KernelClass::kCompute;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+
+  double end_s() const { return start_s + duration_s; }
+};
+
+/// rocprof-style run-time split.
+struct ProfileBreakdown {
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double io_s = 0.0;
+
+  double total() const { return compute_s + comm_s + io_s; }
+  double compute_fraction() const { return compute_s / total(); }
+  double comm_fraction() const { return comm_s / total(); }
+  double io_fraction() const { return io_s / total(); }
+};
+
+/// One sampled metric point (rocm-smi update cadence).
+struct Sample {
+  double t_s = 0.0;
+  double value = 0.0;
+};
+
+class StepTrace {
+ public:
+  /// Lay out one training step as an ordered timeline: forward layers,
+  /// LM head, backward layers (with ZeRO/TP/DP collectives where the
+  /// schedule places them), optimizer update.
+  static StepTrace build(const TrainingSimulator& simulator,
+                         const ModelDesc& model,
+                         const ParallelConfig& parallel,
+                         std::int64_t tokens_per_gcd, std::int64_t seq,
+                         AttentionImpl attn);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  double duration_s() const;
+
+  ProfileBreakdown breakdown() const;
+
+  /// Sampled per-MI250X power (the board sensor sums its two GCDs).
+  std::vector<Sample> power_trace(double dt_s, const GcdSpec& gcd) const;
+  /// Sampled GPU utilization in [0, 1]; communication kernels also occupy
+  /// the GPU, so utilization stays pinned near 1 (the paper's caveat).
+  std::vector<Sample> utilization_trace(double dt_s) const;
+  /// Sampled HBM usage fraction: static state plus an activation ramp that
+  /// grows over forward and drains over backward.
+  std::vector<Sample> memory_trace(double dt_s, const MemoryBreakdown& mem,
+                                   const GcdSpec& gcd) const;
+
+ private:
+  void push(std::string name, KernelClass cls, double duration);
+
+  std::vector<TraceEvent> events_;
+  double cursor_s_ = 0.0;
+  double forward_end_s_ = 0.0;
+  double backward_end_s_ = 0.0;
+};
+
+}  // namespace matgpt::sim

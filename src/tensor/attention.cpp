@@ -1,0 +1,335 @@
+// Fused attention ops: rotary position embedding and scaled dot-product
+// attention in two variants.
+//
+//  * Materialized ("v0"): stores the full [B, H, T, T] probability tensor for
+//    backward — quadratic activation memory in sequence length, the
+//    pre-flash-attention behaviour the paper's Fig. 5 shows running OOM.
+//  * Flash: streaming online-softmax forward that keeps only the per-row
+//    logsumexp, recomputing probabilities in backward — linear activation
+//    memory, the FlashAttention algorithm (Dao et al.) on CPU.
+//
+// Both produce bit-comparable outputs (up to float summation order), which a
+// property test asserts.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+namespace matgpt::ops {
+
+namespace {
+
+struct AttnShape {
+  std::int64_t b, t, h, d;
+};
+
+AttnShape check_bthd(const Tensor& x, const char* what) {
+  MGPT_CHECK(x.ndim() == 4, what << " must be [B, T, H, D]");
+  return {x.dim(0), x.dim(1), x.dim(2), x.dim(3)};
+}
+
+/// Flat offset of (b, t, h, 0) in a [B, T, H, D] tensor.
+inline std::size_t bthd_off(const AttnShape& s, std::int64_t b,
+                            std::int64_t t, std::int64_t h) {
+  return static_cast<std::size_t>(((b * s.t + t) * s.h + h) * s.d);
+}
+
+inline float dot_d(const float* a, const float* b, std::int64_t d) {
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < d; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+Var rope(Tape& tape, const Var& x, float theta, float rotary_fraction,
+         std::int64_t position_offset) {
+  const AttnShape s = check_bthd(x.value(), "rope input");
+  MGPT_CHECK(rotary_fraction > 0.0f && rotary_fraction <= 1.0f,
+             "rope rotary_fraction must be in (0, 1]");
+  MGPT_CHECK(position_offset >= 0, "position_offset must be non-negative");
+  auto rot = static_cast<std::int64_t>(
+      std::lround(static_cast<double>(s.d) * rotary_fraction));
+  rot -= rot % 2;  // rotary dims must pair up
+  MGPT_CHECK(rot >= 2, "rope needs at least one rotated pair");
+  const std::int64_t half = rot / 2;
+
+  // Precompute cos/sin per (t, pair).
+  std::vector<float> cos_tbl(static_cast<std::size_t>(s.t * half));
+  std::vector<float> sin_tbl(static_cast<std::size_t>(s.t * half));
+  for (std::int64_t t = 0; t < s.t; ++t) {
+    for (std::int64_t i = 0; i < half; ++i) {
+      const double freq =
+          std::pow(static_cast<double>(theta),
+                   -2.0 * static_cast<double>(i) / static_cast<double>(rot));
+      const double angle =
+          static_cast<double>(t + position_offset) * freq;
+      cos_tbl[static_cast<std::size_t>(t * half + i)] =
+          static_cast<float>(std::cos(angle));
+      sin_tbl[static_cast<std::size_t>(t * half + i)] =
+          static_cast<float>(std::sin(angle));
+    }
+  }
+
+  Tensor out = x.value().clone();
+  float* o = out.data();
+  for (std::int64_t b = 0; b < s.b; ++b) {
+    for (std::int64_t t = 0; t < s.t; ++t) {
+      for (std::int64_t h = 0; h < s.h; ++h) {
+        float* vec = o + bthd_off(s, b, t, h);
+        for (std::int64_t i = 0; i < half; ++i) {
+          const float c = cos_tbl[static_cast<std::size_t>(t * half + i)];
+          const float sn = sin_tbl[static_cast<std::size_t>(t * half + i)];
+          const float x0 = vec[i];
+          const float x1 = vec[i + half];
+          vec[i] = x0 * c - x1 * sn;
+          vec[i + half] = x0 * sn + x1 * c;
+        }
+      }
+    }
+  }
+  Var result = tape.intermediate(std::move(out), x.requires_grad());
+  if (result.requires_grad()) {
+    tape.record([xn = x.node(), rn = result.node(), s, half,
+                 cos_tbl = std::move(cos_tbl), sin_tbl = std::move(sin_tbl)] {
+      Tensor& xg = xn->ensure_grad();
+      const float* g = rn->grad.data();
+      float* xgd = xg.data();
+      for (std::int64_t b = 0; b < s.b; ++b) {
+        for (std::int64_t t = 0; t < s.t; ++t) {
+          for (std::int64_t h = 0; h < s.h; ++h) {
+            const std::size_t off = bthd_off(s, b, t, h);
+            const float* gv = g + off;
+            float* xv = xgd + off;
+            for (std::int64_t i = 0; i < half; ++i) {
+              const float c = cos_tbl[static_cast<std::size_t>(t * half + i)];
+              const float sn = sin_tbl[static_cast<std::size_t>(t * half + i)];
+              // Inverse rotation of the upstream gradient pair.
+              xv[i] += gv[i] * c + gv[i + half] * sn;
+              xv[i + half] += -gv[i] * sn + gv[i + half] * c;
+            }
+            // Pass-through for the non-rotated tail of each head.
+            for (std::int64_t i = 2 * half; i < s.d; ++i) xv[i] += gv[i];
+          }
+        }
+      }
+    });
+  }
+  return result;
+}
+
+namespace {
+
+/// Materialized-probabilities attention (quadratic memory).
+Var attention_materialized(Tape& tape, const Var& q, const Var& k,
+                           const Var& v, bool causal, const AttnShape& s,
+                           const AttnShape& skv) {
+  const std::int64_t group = s.h / skv.h;  // query heads per kv head
+  const float scl = 1.0f / std::sqrt(static_cast<float>(s.d));
+  Tensor out({s.b, s.t, s.h, s.d});
+  Tensor probs({s.b, s.h, s.t, skv.t});
+  const float* qp = q.value().data();
+  const float* kp = k.value().data();
+  const float* vp = v.value().data();
+  float* op = out.data();
+  float* pp = probs.data();
+  for (std::int64_t b = 0; b < s.b; ++b) {
+    for (std::int64_t h = 0; h < s.h; ++h) {
+      for (std::int64_t tq = 0; tq < s.t; ++tq) {
+        const std::int64_t limit = causal ? tq + 1 : skv.t;
+        float* prow = pp + static_cast<std::size_t>(
+                                 ((b * s.h + h) * s.t + tq) * skv.t);
+        const std::int64_t hkv = h / group;
+        const float* qv = qp + bthd_off(s, b, tq, h);
+        for (std::int64_t tk = 0; tk < limit; ++tk) {
+          prow[tk] = scl * dot_d(qv, kp + bthd_off(skv, b, tk, hkv), s.d);
+        }
+        kernels::softmax_row(prow, limit);
+        float* ov = op + bthd_off(s, b, tq, h);
+        for (std::int64_t tk = 0; tk < limit; ++tk) {
+          const float w = prow[tk];
+          const float* vv = vp + bthd_off(skv, b, tk, hkv);
+          for (std::int64_t i = 0; i < s.d; ++i) ov[i] += w * vv[i];
+        }
+      }
+    }
+  }
+  Var result = tape.intermediate(
+      std::move(out),
+      q.requires_grad() || k.requires_grad() || v.requires_grad());
+  if (result.requires_grad()) {
+    tape.record([qn = q.node(), kn = k.node(), vn = v.node(),
+                 rn = result.node(), probs = std::move(probs), s, skv,
+                 group, causal, scl] {
+      Tensor& qg = qn->ensure_grad();
+      Tensor& kg = kn->ensure_grad();
+      Tensor& vg = vn->ensure_grad();
+      const float* g = rn->grad.data();
+      const float* qp = qn->value.data();
+      const float* kp = kn->value.data();
+      const float* vp = vn->value.data();
+      const float* pp = probs.data();
+      std::vector<float> dprow(static_cast<std::size_t>(skv.t));
+      for (std::int64_t b = 0; b < s.b; ++b) {
+        for (std::int64_t h = 0; h < s.h; ++h) {
+          const std::int64_t hkv = h / group;
+          for (std::int64_t tq = 0; tq < s.t; ++tq) {
+            const std::int64_t limit = causal ? tq + 1 : skv.t;
+            const float* prow = pp + static_cast<std::size_t>(
+                                         ((b * s.h + h) * s.t + tq) * skv.t);
+            const float* gv = g + bthd_off(s, b, tq, h);
+            double row_dot = 0.0;
+            for (std::int64_t tk = 0; tk < limit; ++tk) {
+              const float dp =
+                  dot_d(gv, vp + bthd_off(skv, b, tk, hkv), s.d);
+              dprow[static_cast<std::size_t>(tk)] = dp;
+              row_dot += static_cast<double>(prow[tk]) * dp;
+            }
+            float* qgv = qg.data() + bthd_off(s, b, tq, h);
+            const float* qv = qp + bthd_off(s, b, tq, h);
+            for (std::int64_t tk = 0; tk < limit; ++tk) {
+              const float ds =
+                  prow[tk] * (dprow[static_cast<std::size_t>(tk)] -
+                              static_cast<float>(row_dot));
+              const float* kv = kp + bthd_off(skv, b, tk, hkv);
+              float* kgv = kg.data() + bthd_off(skv, b, tk, hkv);
+              float* vgv = vg.data() + bthd_off(skv, b, tk, hkv);
+              for (std::int64_t i = 0; i < s.d; ++i) {
+                qgv[i] += scl * ds * kv[i];
+                kgv[i] += scl * ds * qv[i];
+                vgv[i] += prow[tk] * gv[i];
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  return result;
+}
+
+/// Flash attention: online softmax forward, recomputation backward.
+Var attention_flash(Tape& tape, const Var& q, const Var& k, const Var& v,
+                    bool causal, const AttnShape& s, const AttnShape& skv) {
+  const std::int64_t group = s.h / skv.h;  // query heads per kv head
+  const float scl = 1.0f / std::sqrt(static_cast<float>(s.d));
+  Tensor out({s.b, s.t, s.h, s.d});
+  Tensor lse({s.b, s.h, s.t});  // per-row logsumexp — the only saved state
+  const float* qp = q.value().data();
+  const float* kp = k.value().data();
+  const float* vp = v.value().data();
+  float* op = out.data();
+  float* lp = lse.data();
+  std::vector<float> acc(static_cast<std::size_t>(s.d));
+  for (std::int64_t b = 0; b < s.b; ++b) {
+    for (std::int64_t h = 0; h < s.h; ++h) {
+      const std::int64_t hkv = h / group;
+      for (std::int64_t tq = 0; tq < s.t; ++tq) {
+        const std::int64_t limit = causal ? tq + 1 : skv.t;
+        const float* qv = qp + bthd_off(s, b, tq, h);
+        float m = -std::numeric_limits<float>::infinity();
+        double l = 0.0;
+        std::fill(acc.begin(), acc.end(), 0.0f);
+        for (std::int64_t tk = 0; tk < limit; ++tk) {
+          const float sc =
+              scl * dot_d(qv, kp + bthd_off(skv, b, tk, hkv), s.d);
+          if (sc > m) {
+            const float rescale = std::exp(m - sc);
+            for (float& a : acc) a *= rescale;
+            l *= rescale;
+            m = sc;
+          }
+          const float w = std::exp(sc - m);
+          l += w;
+          const float* vv = vp + bthd_off(skv, b, tk, hkv);
+          for (std::int64_t i = 0; i < s.d; ++i) {
+            acc[static_cast<std::size_t>(i)] += w * vv[i];
+          }
+        }
+        const auto inv = static_cast<float>(1.0 / l);
+        float* ov = op + bthd_off(s, b, tq, h);
+        for (std::int64_t i = 0; i < s.d; ++i) {
+          ov[i] = acc[static_cast<std::size_t>(i)] * inv;
+        }
+        lp[(b * s.h + h) * s.t + tq] = m + static_cast<float>(std::log(l));
+      }
+    }
+  }
+  Var result = tape.intermediate(
+      std::move(out),
+      q.requires_grad() || k.requires_grad() || v.requires_grad());
+  if (result.requires_grad()) {
+    tape.record([qn = q.node(), kn = k.node(), vn = v.node(),
+                 rn = result.node(), lse = std::move(lse), s, skv, group,
+                 causal, scl] {
+      Tensor& qg = qn->ensure_grad();
+      Tensor& kg = kn->ensure_grad();
+      Tensor& vg = vn->ensure_grad();
+      const float* g = rn->grad.data();
+      const float* o = rn->value.data();
+      const float* qp = qn->value.data();
+      const float* kp = kn->value.data();
+      const float* vp = vn->value.data();
+      const float* lp = lse.data();
+      for (std::int64_t b = 0; b < s.b; ++b) {
+        for (std::int64_t h = 0; h < s.h; ++h) {
+          const std::int64_t hkv = h / group;
+          for (std::int64_t tq = 0; tq < s.t; ++tq) {
+            const std::int64_t limit = causal ? tq + 1 : skv.t;
+            const float* qv = qp + bthd_off(s, b, tq, h);
+            const float* gv = g + bthd_off(s, b, tq, h);
+            const float* ov = o + bthd_off(s, b, tq, h);
+            const float row_lse = lp[(b * s.h + h) * s.t + tq];
+            // D = sum_k P_k dP_k collapses to dO·O (flash backward trick).
+            const float row_dot = dot_d(gv, ov, s.d);
+            float* qgv = qg.data() + bthd_off(s, b, tq, h);
+            for (std::int64_t tk = 0; tk < limit; ++tk) {
+              const float* kv = kp + bthd_off(skv, b, tk, hkv);
+              const float* vv = vp + bthd_off(skv, b, tk, hkv);
+              const float p =
+                  std::exp(scl * dot_d(qv, kv, s.d) - row_lse);
+              const float dp = dot_d(gv, vv, s.d);
+              const float ds = p * (dp - row_dot);
+              float* kgv = kg.data() + bthd_off(skv, b, tk, hkv);
+              float* vgv = vg.data() + bthd_off(skv, b, tk, hkv);
+              for (std::int64_t i = 0; i < s.d; ++i) {
+                qgv[i] += scl * ds * kv[i];
+                kgv[i] += scl * ds * qv[i];
+                vgv[i] += p * gv[i];
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace
+
+Var attention(Tape& tape, const Var& q, const Var& k, const Var& v,
+              bool causal, bool flash) {
+  const AttnShape s = check_bthd(q.value(), "attention q");
+  const AttnShape sk = check_bthd(k.value(), "attention k");
+  const AttnShape sv = check_bthd(v.value(), "attention v");
+  MGPT_CHECK(s.b == sk.b && s.d == sk.d && sk.b == sv.b && sk.t == sv.t &&
+                 sk.h == sv.h && sk.d == sv.d,
+             "attention q/k/v shape mismatch");
+  MGPT_CHECK(s.t == sk.t || !causal,
+             "causal attention requires matching q/kv lengths; incremental "
+             "decode uses causal=false with the full kv history");
+  MGPT_CHECK(sk.h >= 1 && s.h % sk.h == 0,
+             "GQA requires kv heads (" << sk.h
+                                       << ") to divide query heads (" << s.h
+                                       << ")");
+  return flash ? attention_flash(tape, q, k, v, causal, s, sk)
+               : attention_materialized(tape, q, k, v, causal, s, sk);
+}
+
+}  // namespace matgpt::ops

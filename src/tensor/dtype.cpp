@@ -1,0 +1,46 @@
+#include "tensor/dtype.h"
+
+#include <cmath>
+#include <limits>
+
+namespace matgpt {
+
+float round_fp16(float x) {
+  if (!std::isfinite(x)) return x;
+  const float ax = std::fabs(x);
+  // 65520 is the midpoint between fp16 max (65504) and the next step; values
+  // at or above it round to infinity, matching a hardware cast.
+  if (ax >= 65520.0f) {
+    return std::copysign(std::numeric_limits<float>::infinity(), x);
+  }
+  if (ax < 0x1.0p-14f) {
+    // Subnormal range: quantize to multiples of 2^-24 (ties away handled by
+    // nearbyint's current rounding mode, default round-to-nearest-even).
+    const float step = 0x1.0p-24f;
+    return std::copysign(std::nearbyint(ax / step) * step, x);
+  }
+  // Normal range: keep 10 mantissa bits with round-to-nearest-even.
+  auto bits = std::bit_cast<std::uint32_t>(x);
+  const std::uint32_t lsb = (bits >> 13) & 1u;
+  bits += 0xfffu + lsb;
+  bits &= 0xffffe000u;
+  const float rounded = std::bit_cast<float>(bits);
+  // Rounding can carry into the exponent and overflow past fp16 max.
+  return std::fabs(rounded) > 65504.0f
+             ? std::copysign(65504.0f, x)
+             : rounded;
+}
+
+const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return "float32";
+    case DType::kBFloat16:
+      return "bfloat16";
+    case DType::kFloat16:
+      return "float16";
+  }
+  return "unknown";
+}
+
+}  // namespace matgpt

@@ -1,0 +1,95 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "parallel/thread_pool.h"
+
+namespace matgpt::kernels {
+
+namespace {
+// Rows-of-C below which threading overhead outweighs the win.
+constexpr std::int64_t kParallelRowThreshold = 64;
+
+void for_rows(std::int64_t m,
+              const std::function<void(std::size_t, std::size_t)>& body) {
+  auto& pool = ThreadPool::global();
+  if (m < kParallelRowThreshold || pool.worker_count() == 0) {
+    body(0, static_cast<std::size_t>(m));
+  } else {
+    pool.parallel_for(0, static_cast<std::size_t>(m), body);
+  }
+}
+}  // namespace
+
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate) {
+  for_rows(m, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* crow = c + i * static_cast<std::size_t>(n);
+      if (!accumulate) std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+      const float* arow = a + i * static_cast<std::size_t>(k);
+      for (std::int64_t l = 0; l < k; ++l) {
+        const float av = arow[l];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(l) * static_cast<std::size_t>(n);
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate) {
+  for_rows(m, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* arow = a + i * static_cast<std::size_t>(k);
+      float* crow = c + i * static_cast<std::size_t>(n);
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<std::size_t>(j) * static_cast<std::size_t>(k);
+        float acc = 0.0f;
+        for (std::int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+        crow[j] = accumulate ? crow[j] + acc : acc;
+      }
+    }
+  });
+}
+
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate) {
+  for_rows(m, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* crow = c + i * static_cast<std::size_t>(n);
+      if (!accumulate) std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+      for (std::int64_t l = 0; l < k; ++l) {
+        const float av = a[static_cast<std::size_t>(l) * static_cast<std::size_t>(m) + i];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(l) * static_cast<std::size_t>(n);
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void softmax_row(float* row, std::int64_t n) {
+  float mx = row[0];
+  for (std::int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+  double denom = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    row[i] = std::exp(row[i] - mx);
+    denom += row[i];
+  }
+  const auto inv = static_cast<float>(1.0 / denom);
+  for (std::int64_t i = 0; i < n; ++i) row[i] *= inv;
+}
+
+double logsumexp_row(const float* row, std::int64_t n) {
+  float mx = row[0];
+  for (std::int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) acc += std::exp(row[i] - mx);
+  return static_cast<double>(mx) + std::log(acc);
+}
+
+}  // namespace matgpt::kernels

@@ -1,0 +1,33 @@
+#pragma once
+// Raw float kernels beneath the autograd layer.
+//
+// All matmuls are row-major. Loop orders are chosen so the innermost loop
+// streams contiguously (i-k-j for NN, l-i-j for TN, dot-rows for NT), which
+// is the same cache-blocking reasoning the paper applies at the MI250X
+// matrix-core level. Row-parallelism goes through ThreadPool::global() and
+// degrades to serial on one core.
+
+#include <cstdint>
+#include <span>
+
+namespace matgpt::kernels {
+
+/// C[m,n] (+)= A[m,k] * B[k,n]
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate);
+
+/// C[m,n] (+)= A[m,k] * B[n,k]^T
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate);
+
+/// C[m,n] (+)= A[k,m]^T * B[k,n]
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate);
+
+/// In-place numerically-stable softmax over a row of length n.
+void softmax_row(float* row, std::int64_t n);
+
+/// log(sum(exp(row))) with the max-subtraction trick.
+double logsumexp_row(const float* row, std::int64_t n);
+
+}  // namespace matgpt::kernels

@@ -1,0 +1,266 @@
+#include "tokenizer/bpe.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace matgpt::tok {
+
+const char* tokenizer_kind_name(TokenizerKind kind) {
+  return kind == TokenizerKind::kHuggingFace ? "HF" : "SPM";
+}
+
+namespace {
+
+constexpr std::int32_t kByteBase = SpecialTokens::kCount;
+
+bool is_letter(unsigned char c) { return std::isalpha(c) != 0; }
+bool is_digit(unsigned char c) { return std::isdigit(c) != 0; }
+
+/// SPM-mode split points inside a word: lower->upper transitions and
+/// letter<->digit transitions ("LiFePO4" -> "Li", "Fe", "P", "O", "4").
+bool spm_boundary(unsigned char prev, unsigned char cur) {
+  if (std::islower(prev) && std::isupper(cur)) return true;
+  if (is_letter(prev) && is_digit(cur)) return true;
+  if (is_digit(prev) && is_letter(cur)) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> BpeTokenizer::pre_tokenize(
+    const std::string& text) const {
+  // Whitespace split, keeping the leading space inside each word (GPT-2
+  // convention) so decode is a plain concatenation.
+  std::vector<std::string> words;
+  std::string current;
+  bool pending_space = false;
+  auto flush = [&] {
+    if (current.empty()) return;
+    if (kind_ == TokenizerKind::kSentencePiece && current.size() > 1) {
+      // Split at case/digit transitions; the space stays with the first
+      // fragment.
+      std::string frag;
+      frag.push_back(current[0]);
+      for (std::size_t i = 1; i < current.size(); ++i) {
+        const auto prev = static_cast<unsigned char>(current[i - 1]);
+        const auto cur = static_cast<unsigned char>(current[i]);
+        if (prev != ' ' && spm_boundary(prev, cur)) {
+          words.push_back(frag);
+          frag.clear();
+        }
+        frag.push_back(current[i]);
+      }
+      if (!frag.empty()) words.push_back(frag);
+    } else {
+      words.push_back(current);
+    }
+    current.clear();
+  };
+  for (char ch : text) {
+    if (ch == ' ' || ch == '\n' || ch == '\t' || ch == '\r') {
+      flush();
+      pending_space = true;
+      continue;
+    }
+    if (current.empty() && pending_space) {
+      current.push_back(' ');
+      pending_space = false;
+    }
+    current.push_back(ch);
+  }
+  flush();
+  return words;
+}
+
+BpeTokenizer BpeTokenizer::train(const std::vector<std::string>& corpus,
+                                 TokenizerKind kind,
+                                 std::int32_t target_vocab) {
+  MGPT_CHECK(target_vocab >= SpecialTokens::kCount + 256,
+             "target_vocab must cover specials + 256 byte tokens");
+  BpeTokenizer tk;
+  tk.kind_ = kind;
+  tk.vocab_.assign(SpecialTokens::kCount, "");
+  for (int b = 0; b < 256; ++b) {
+    tk.vocab_.push_back(std::string(1, static_cast<char>(b)));
+  }
+
+  // Collect word frequencies.
+  std::unordered_map<std::string, std::int64_t> word_counts;
+  for (const auto& doc : corpus) {
+    for (auto& w : tk.pre_tokenize(doc)) ++word_counts[w];
+  }
+
+  // Represent each distinct word as a sequence of token ids.
+  struct WordEntry {
+    std::vector<std::int32_t> ids;
+    std::int64_t count;
+  };
+  std::vector<WordEntry> words;
+  words.reserve(word_counts.size());
+  for (auto& [w, c] : word_counts) {
+    WordEntry e;
+    e.count = c;
+    e.ids.reserve(w.size());
+    for (char ch : w) {
+      e.ids.push_back(kByteBase +
+                      static_cast<std::int32_t>(static_cast<unsigned char>(ch)));
+    }
+    words.push_back(std::move(e));
+  }
+
+  while (static_cast<std::int32_t>(tk.vocab_.size()) < target_vocab) {
+    // Count adjacent pairs.
+    std::map<std::pair<std::int32_t, std::int32_t>, std::int64_t> pair_counts;
+    for (const auto& w : words) {
+      for (std::size_t i = 0; i + 1 < w.ids.size(); ++i) {
+        pair_counts[{w.ids[i], w.ids[i + 1]}] += w.count;
+      }
+    }
+    if (pair_counts.empty()) break;  // corpus exhausted: no more merges exist
+    auto best = pair_counts.begin();
+    for (auto it = pair_counts.begin(); it != pair_counts.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    if (best->second < 2) break;  // merging singletons adds no compression
+    const auto [left, right] = best->first;
+    const auto merged_id = static_cast<std::int32_t>(tk.vocab_.size());
+    tk.vocab_.push_back(tk.vocab_[static_cast<std::size_t>(left)] +
+                        tk.vocab_[static_cast<std::size_t>(right)]);
+    tk.merge_rank_[{left, right}] = {
+        static_cast<std::int32_t>(tk.merge_rank_.size()), merged_id};
+    // Apply the merge to every word.
+    for (auto& w : words) {
+      if (w.ids.size() < 2) continue;
+      std::vector<std::int32_t> out;
+      out.reserve(w.ids.size());
+      for (std::size_t i = 0; i < w.ids.size(); ++i) {
+        if (i + 1 < w.ids.size() && w.ids[i] == left &&
+            w.ids[i + 1] == right) {
+          out.push_back(merged_id);
+          ++i;
+        } else {
+          out.push_back(w.ids[i]);
+        }
+      }
+      w.ids = std::move(out);
+    }
+  }
+  return tk;
+}
+
+std::vector<std::int32_t> BpeTokenizer::bpe_word(
+    const std::string& word) const {
+  std::vector<std::int32_t> ids;
+  ids.reserve(word.size());
+  for (char ch : word) {
+    ids.push_back(kByteBase +
+                  static_cast<std::int32_t>(static_cast<unsigned char>(ch)));
+  }
+  // Greedy lowest-rank merging, the standard BPE encode loop.
+  while (ids.size() >= 2) {
+    std::int32_t best_rank = -1;
+    std::size_t best_pos = 0;
+    std::int32_t best_id = -1;
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+      const auto it = merge_rank_.find({ids[i], ids[i + 1]});
+      if (it == merge_rank_.end()) continue;
+      if (best_rank < 0 || it->second.first < best_rank) {
+        best_rank = it->second.first;
+        best_pos = i;
+        best_id = it->second.second;
+      }
+    }
+    if (best_rank < 0) break;
+    ids[best_pos] = best_id;
+    ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(best_pos) + 1);
+  }
+  return ids;
+}
+
+std::vector<std::int32_t> BpeTokenizer::encode(const std::string& text) const {
+  std::vector<std::int32_t> out;
+  for (const auto& word : pre_tokenize(text)) {
+    const auto ids = bpe_word(word);
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  return out;
+}
+
+std::string BpeTokenizer::decode(const std::vector<std::int32_t>& ids) const {
+  std::string out;
+  for (std::int32_t id : ids) {
+    MGPT_CHECK(id >= 0 && id < vocab_size(),
+               "decode: token id " << id << " out of range");
+    out += vocab_[static_cast<std::size_t>(id)];
+  }
+  // Strip the leading space carried by the first word, if any.
+  if (!out.empty() && out.front() == ' ') out.erase(out.begin());
+  return out;
+}
+
+const std::string& BpeTokenizer::token_bytes(std::int32_t id) const {
+  MGPT_CHECK(id >= 0 && id < vocab_size(), "token id out of range");
+  return vocab_[static_cast<std::size_t>(id)];
+}
+
+double BpeTokenizer::tokens_per_word(const std::string& text) const {
+  std::istringstream is(text);
+  std::string w;
+  std::int64_t n_words = 0;
+  while (is >> w) ++n_words;
+  if (n_words == 0) return 0.0;
+  return static_cast<double>(encode(text).size()) /
+         static_cast<double>(n_words);
+}
+
+std::string BpeTokenizer::save() const {
+  std::ostringstream os;
+  os << "bpe-v1 " << tokenizer_kind_name(kind_) << " " << vocab_.size()
+     << " " << merge_rank_.size() << "\n";
+  // Merges in rank order fully determine the vocabulary tail.
+  std::vector<std::tuple<std::int32_t, std::int32_t, std::int32_t>> merges(
+      merge_rank_.size());
+  for (const auto& [pair, rank_id] : merge_rank_) {
+    merges[static_cast<std::size_t>(rank_id.first)] = {pair.first, pair.second,
+                                                       rank_id.second};
+  }
+  for (const auto& [l, r, id] : merges) {
+    os << l << " " << r << " " << id << "\n";
+  }
+  return os.str();
+}
+
+BpeTokenizer BpeTokenizer::load(const std::string& serialized) {
+  std::istringstream is(serialized);
+  std::string magic, kind_str;
+  std::size_t vocab_count = 0, merge_count = 0;
+  is >> magic >> kind_str >> vocab_count >> merge_count;
+  MGPT_CHECK(magic == "bpe-v1", "unrecognized tokenizer format");
+  BpeTokenizer tk;
+  tk.kind_ = kind_str == "HF" ? TokenizerKind::kHuggingFace
+                              : TokenizerKind::kSentencePiece;
+  tk.vocab_.assign(SpecialTokens::kCount, "");
+  for (int b = 0; b < 256; ++b) {
+    tk.vocab_.push_back(std::string(1, static_cast<char>(b)));
+  }
+  for (std::size_t i = 0; i < merge_count; ++i) {
+    std::int32_t l = 0, r = 0, id = 0;
+    is >> l >> r >> id;
+    MGPT_CHECK(is.good() || is.eof(), "truncated tokenizer data");
+    MGPT_CHECK(id == static_cast<std::int32_t>(tk.vocab_.size()),
+               "merge ids must be contiguous");
+    MGPT_CHECK(l >= 0 && l < id && r >= 0 && r < id,
+               "merge references undefined token");
+    tk.vocab_.push_back(tk.vocab_[static_cast<std::size_t>(l)] +
+                        tk.vocab_[static_cast<std::size_t>(r)]);
+    tk.merge_rank_[{l, r}] = {static_cast<std::int32_t>(i), id};
+  }
+  MGPT_CHECK(tk.vocab_.size() == vocab_count,
+             "vocabulary size mismatch after load");
+  return tk;
+}
+
+}  // namespace matgpt::tok

@@ -1,0 +1,88 @@
+#pragma once
+// Trainable byte-level BPE tokenizer with two pre-tokenization modes.
+//
+// The paper contrasts the HuggingFace tokenizer (52K vocab) against
+// SentencePiece (32K) and attributes downstream differences to how finely
+// domain terms — chemical formulas in particular — are split. This
+// implementation reproduces that contrast:
+//
+//   * kHuggingFace: GPT-2-style — words carry their leading space; merges
+//     never cross whitespace boundaries.
+//   * kSentencePiece: additionally splits at letter-case and letter-digit
+//     transitions before merging ("LiFePO4" -> Li|Fe|P|O|4 fragments),
+//     modelling SPM's finer-grained subword control over formulas.
+//
+// Both share a 256-byte base alphabet plus special tokens, so any byte
+// string round-trips losslessly.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace matgpt::tok {
+
+enum class TokenizerKind { kHuggingFace, kSentencePiece };
+
+const char* tokenizer_kind_name(TokenizerKind kind);
+
+/// Well-known special token ids (always present, always first).
+struct SpecialTokens {
+  static constexpr std::int32_t kPad = 0;
+  static constexpr std::int32_t kUnk = 1;
+  static constexpr std::int32_t kBos = 2;
+  static constexpr std::int32_t kEos = 3;
+  static constexpr std::int32_t kMask = 4;
+  static constexpr std::int32_t kCount = 5;
+};
+
+class BpeTokenizer {
+ public:
+  /// Learn merges from a corpus until the vocabulary reaches target_vocab
+  /// (special tokens + 256 byte tokens + merges). target_vocab must be at
+  /// least kCount + 256.
+  static BpeTokenizer train(const std::vector<std::string>& corpus,
+                            TokenizerKind kind, std::int32_t target_vocab);
+
+  /// Encode text to token ids (no BOS/EOS added).
+  std::vector<std::int32_t> encode(const std::string& text) const;
+
+  /// Decode ids back to text. Special tokens decode to "".
+  std::string decode(const std::vector<std::int32_t>& ids) const;
+
+  std::int32_t vocab_size() const {
+    return static_cast<std::int32_t>(vocab_.size());
+  }
+  TokenizerKind kind() const { return kind_; }
+  std::size_t merge_count() const { return merge_rank_.size(); }
+
+  /// Byte string of a token id (empty for specials).
+  const std::string& token_bytes(std::int32_t id) const;
+
+  /// Mean tokens produced per whitespace word of the given text — the
+  /// granularity statistic behind the paper's tokenizer observations.
+  double tokens_per_word(const std::string& text) const;
+
+  /// Serialize / restore (textual, hex-escaped).
+  std::string save() const;
+  static BpeTokenizer load(const std::string& serialized);
+
+ private:
+  BpeTokenizer() = default;
+
+  /// Split text into BPE "words" (merge-boundary units) per mode.
+  std::vector<std::string> pre_tokenize(const std::string& text) const;
+
+  /// Apply learned merges to one word's byte sequence.
+  std::vector<std::int32_t> bpe_word(const std::string& word) const;
+
+  TokenizerKind kind_ = TokenizerKind::kHuggingFace;
+  std::vector<std::string> vocab_;  // id -> byte string ("" for specials)
+  // pair of ids -> (rank, merged id); lower rank merges first.
+  std::map<std::pair<std::int32_t, std::int32_t>,
+           std::pair<std::int32_t, std::int32_t>>
+      merge_rank_;
+};
+
+}  // namespace matgpt::tok

@@ -1,0 +1,280 @@
+// Unit tests for src/common: RNG determinism and distributions, streaming
+// statistics, histograms, table rendering, and unit formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace matgpt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(std::uint64_t{10})];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 500);  // ~5 sigma for a binomial(1e5, 0.1)
+  }
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(std::uint64_t{0}), Error);
+}
+
+TEST(Rng, SignedUniformIntInclusiveBounds) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 20000.0, 0.6, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(1);
+  std::vector<double> neg{1.0, -0.5};
+  EXPECT_THROW(rng.categorical(neg), Error);
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zero), Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSinglePass) {
+  Rng rng(29);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(percentile({}, 50), Error);
+  EXPECT_THROW(percentile({1.0}, 101), Error);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> yneg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, yneg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero) {
+  std::vector<double> xs{1, 2, 3};
+  std::vector<double> ys{5, 5, 5};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, MeanAbsoluteError) {
+  EXPECT_DOUBLE_EQ(mean_absolute_error({1.0, 2.0}, {2.0, 0.0}), 1.5);
+  EXPECT_THROW(mean_absolute_error({1.0}, {}), Error);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(3.5);
+  h.add(-100.0);  // clamps into first bin
+  h.add(999.0);   // clamps into last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  double integral = 0.0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    integral += h.density()[i] * (h.bin_hi(i) - h.bin_lo(i));
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Log2Histogram, PowerOfTwoClasses) {
+  Log2Histogram h;
+  h.add(1.0);
+  h.add(1.5);
+  h.add(2.0);
+  h.add(1024.0);
+  const auto items = h.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_DOUBLE_EQ(items[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(items[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(items[1].first, 2.0);
+  EXPECT_DOUBLE_EQ(items[2].first, 1024.0);
+}
+
+TEST(Log2Histogram, RejectsNonPositive) {
+  Log2Histogram h;
+  EXPECT_THROW(h.add(0.0), Error);
+  EXPECT_THROW(h.add(-1.0), Error);
+}
+
+TEST(Table, RendersAlignedRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumericFormatting) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_int(-42), "-42");
+  EXPECT_EQ(TablePrinter::fmt_percent(0.1234), "12.3%");
+}
+
+TEST(Table, CsvEscaping) {
+  const std::string csv =
+      to_csv({"a", "b"}, {{"x,y", "has \"quote\""}, {"plain", "2"}});
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has \"\"quote\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("plain,2"), std::string::npos);
+}
+
+TEST(Units, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(64.0 * kGiB), "64.00 GiB");
+}
+
+TEST(Units, Flops) {
+  EXPECT_EQ(format_flops(82.0 * kTera), "82.00 TFLOPS");
+  EXPECT_EQ(format_flops(18.5 * kPeta), "18.50 PFLOPS");
+}
+
+TEST(Units, Duration) {
+  EXPECT_EQ(format_duration(4.1 * 3600), "4.10 h");
+  EXPECT_EQ(format_duration(90), "1.50 min");
+  EXPECT_EQ(format_duration(0.002), "2.00 ms");
+}
+
+TEST(Units, Energy) {
+  EXPECT_EQ(format_energy(0.23 * 3.6e9), "0.23 MWh");
+  EXPECT_EQ(format_energy(2.0 * 3.6e6), "2.00 kWh");
+}
+
+}  // namespace
+}  // namespace matgpt

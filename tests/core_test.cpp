@@ -1,0 +1,288 @@
+// Tests for the core pipeline: trainer mechanics (loss descent, schedules,
+// precision emulation, data-parallel lockstep), config tables, and the
+// comparative-study driver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/study.h"
+
+namespace matgpt::core {
+namespace {
+
+data::TokenDataset tiny_dataset(const tok::BpeTokenizer& tk) {
+  data::MaterialGenerator mgen(51);
+  data::AbstractGenerator agen(52);
+  std::vector<data::Document> docs;
+  const auto mats = mgen.sample_unique(30);
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& m : mats) {
+      docs.push_back({"X", agen.materials_abstract(m), false,
+                      data::DocDomain::kMaterials});
+    }
+  }
+  return data::TokenDataset(docs, tk, 0.1, 7);
+}
+
+tok::BpeTokenizer tiny_tokenizer() {
+  data::MaterialGenerator mgen(51);
+  data::AbstractGenerator agen(52);
+  std::vector<std::string> texts;
+  for (const auto& m : mgen.sample_unique(30)) {
+    texts.push_back(agen.materials_abstract(m));
+  }
+  return tok::BpeTokenizer::train(texts, tok::TokenizerKind::kHuggingFace,
+                                  380);
+}
+
+nn::GptConfig tiny_gpt(std::int32_t vocab) {
+  nn::GptConfig c;
+  c.vocab_size = vocab;
+  c.hidden = 32;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.max_seq = 32;
+  return c;
+}
+
+TEST(TrainConfig, Validation) {
+  TrainConfig c;
+  c.batch_seqs = 7;
+  c.dp_ranks = 2;
+  EXPECT_THROW(c.validate(), Error);  // 7 % 2 != 0
+  c.batch_seqs = 8;
+  EXPECT_NO_THROW(c.validate());
+  c.steps = 0;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(Trainer, LossDecreasesOnSyntheticCorpus) {
+  const auto tk = tiny_tokenizer();
+  const auto ds = tiny_dataset(tk);
+  nn::GptModel model(tiny_gpt(tk.vocab_size()));
+  TrainConfig tc;
+  tc.steps = 60;
+  tc.batch_seqs = 4;
+  tc.seq = 24;
+  tc.eval_every = 20;
+  const auto curve = train_gpt(model, ds, tc);
+  ASSERT_GE(curve.points.size(), 3u);
+  EXPECT_LT(curve.final_train_loss(), curve.points.front().train_loss * 0.8);
+  EXPECT_LT(curve.final_val_loss(), curve.points.front().val_loss);
+  EXPECT_GT(curve.tail_val_loss(2), 0.0);
+}
+
+TEST(Trainer, LambPathRuns) {
+  const auto tk = tiny_tokenizer();
+  const auto ds = tiny_dataset(tk);
+  nn::GptModel model(tiny_gpt(tk.vocab_size()));
+  TrainConfig tc;
+  tc.steps = 30;
+  tc.batch_seqs = 8;
+  tc.seq = 24;
+  tc.optimizer = OptimizerKind::kLamb;
+  tc.lr = 6e-3;
+  const auto curve = train_gpt(model, ds, tc);
+  EXPECT_LT(curve.final_train_loss(), curve.points.front().train_loss);
+}
+
+TEST(Trainer, DataParallelMatchesSerialTraining) {
+  // The lockstep property: DP across 2 ranks with the same global batch
+  // produces (numerically near-)identical weights to serial training.
+  const auto tk = tiny_tokenizer();
+  const auto ds = tiny_dataset(tk);
+  TrainConfig tc;
+  tc.steps = 10;
+  tc.batch_seqs = 4;
+  tc.seq = 16;
+  tc.eval_every = 5;
+
+  nn::GptModel serial(tiny_gpt(tk.vocab_size()));
+  tc.dp_ranks = 1;
+  train_gpt(serial, ds, tc);
+
+  nn::GptModel parallel(tiny_gpt(tk.vocab_size()));
+  tc.dp_ranks = 2;
+  train_gpt(parallel, ds, tc);
+
+  const auto ps = serial.parameters();
+  const auto pp = parallel.parameters();
+  ASSERT_EQ(ps.size(), pp.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (std::int64_t j = 0; j < ps[i].var.value().numel(); ++j) {
+      max_diff = std::max(
+          max_diff, static_cast<double>(std::fabs(
+                        ps[i].var.value()[j] - pp[i].var.value()[j])));
+    }
+  }
+  EXPECT_LT(max_diff, 5e-3) << "replicas drifted from the serial reference";
+}
+
+TEST(Trainer, PrecisionEmulationQuantizesWeights) {
+  const auto tk = tiny_tokenizer();
+  const auto ds = tiny_dataset(tk);
+  nn::GptModel model(tiny_gpt(tk.vocab_size()));
+  TrainConfig tc;
+  tc.steps = 5;
+  tc.batch_seqs = 2;
+  tc.seq = 16;
+  tc.precision = DType::kBFloat16;
+  train_gpt(model, ds, tc);
+  // Every weight must sit exactly on the bf16 grid.
+  for (const auto& p : model.parameters()) {
+    for (std::int64_t j = 0; j < p.var.value().numel(); ++j) {
+      const float v = p.var.value()[j];
+      EXPECT_EQ(v, round_bf16(v)) << p.name;
+    }
+  }
+}
+
+TEST(Trainer, BertPathReducesMlmLoss) {
+  const auto tk = tiny_tokenizer();
+  const auto ds = tiny_dataset(tk);
+  nn::BertConfig bc;
+  bc.vocab_size = tk.vocab_size();
+  bc.hidden = 32;
+  bc.n_layers = 2;
+  bc.n_heads = 2;
+  bc.max_seq = 32;
+  nn::BertEncoder bert(bc);
+  TrainConfig tc;
+  tc.steps = 40;
+  tc.batch_seqs = 4;
+  tc.seq = 24;
+  const auto curve = train_bert(bert, ds, tc);
+  EXPECT_LT(curve.final_train_loss(), curve.points.front().train_loss);
+}
+
+TEST(Configs, Table2MatchesThePaper) {
+  const auto specs = table2_specs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].hidden, 2304);
+  EXPECT_EQ(specs[0].head_dim, 96);
+  EXPECT_EQ(specs[1].hidden, 4096);
+  EXPECT_EQ(specs[1].head_dim, 128);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.hidden / s.n_heads, s.head_dim);
+  }
+}
+
+TEST(Configs, Table3MatchesThePaper) {
+  const auto rows = table3_rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_STREQ(rows[0].optimizer, "Adam");
+  EXPECT_DOUBLE_EQ(rows[0].beta2, 0.95);
+  EXPECT_STREQ(rows[1].optimizer, "LAMB");
+  EXPECT_DOUBLE_EQ(rows[1].beta2, 0.999);
+  EXPECT_DOUBLE_EQ(rows[1].lr, 0.01);
+  EXPECT_STREQ(rows[2].batch_tokens, "4M");
+}
+
+TEST(Configs, Fig13GridCoversTheStudyDimensions) {
+  const auto specs = fig13_experiments();
+  ASSERT_GE(specs.size(), 8u);
+  bool has_spm = false, has_small_vocab = false, has_adam = false,
+       has_big = false, has_neox = false;
+  for (const auto& s : specs) {
+    has_spm |= s.tokenizer == tok::TokenizerKind::kSentencePiece;
+    has_small_vocab |= s.vocab < 512;
+    has_adam |= s.optimizer == OptimizerKind::kAdam;
+    has_big |= s.big_model;
+    has_neox |= s.arch == nn::ArchFamily::kNeoX;
+  }
+  EXPECT_TRUE(has_spm && has_small_vocab && has_adam && has_big && has_neox);
+}
+
+TEST(Configs, ScaledModelsKeepTheSizeOrdering) {
+  ExperimentSpec small;
+  ExperimentSpec big;
+  big.big_model = true;
+  const auto cs = scaled_model_config(small, 32);
+  const auto cb = scaled_model_config(big, 32);
+  nn::GptModel ms(cs), mb(cb);
+  EXPECT_GT(mb.param_count(), 2 * ms.param_count());
+}
+
+TEST(Study, PipelinePreparesAndScreens) {
+  StudyConfig sc;
+  sc.corpus_scale = 4e-6;
+  sc.n_materials = 60;
+  sc.steps = 10;
+  sc.seq = 24;
+  ComparativeStudy study(sc);
+  study.prepare_corpus();
+  EXPECT_FALSE(study.screened_corpus().empty());
+  EXPECT_EQ(study.materials().size(), 60u);
+  EXPECT_GT(study.screen_quality().precision, 0.8);
+  EXPECT_GT(study.screen_quality().recall, 0.8);
+  // Screened corpus keeps mostly materials docs.
+  std::size_t mat = 0;
+  for (const auto& d : study.screened_corpus()) {
+    mat += d.domain == data::DocDomain::kMaterials;
+  }
+  EXPECT_GT(static_cast<double>(mat) / study.screened_corpus().size(), 0.8);
+}
+
+TEST(Study, DiskCacheRoundTripsExperiments) {
+  StudyConfig sc;
+  sc.corpus_scale = 4e-6;
+  sc.n_materials = 60;
+  sc.steps = 8;
+  sc.seq = 24;
+  sc.cache_dir = "/tmp/matgpt_study_cache_test";
+  std::filesystem::remove_all(sc.cache_dir);
+  std::filesystem::create_directories(sc.cache_dir);
+  ExperimentSpec spec{"cached", nn::ArchFamily::kLLaMA,
+                      tok::TokenizerKind::kHuggingFace, 400,
+                      OptimizerKind::kAdam, 4, false, DType::kFloat32};
+  ComparativeStudy study(sc);
+  const auto first = study.run_experiment(spec);
+
+  // A fresh study instance must reload identical weights from disk.
+  ComparativeStudy reloaded(sc);
+  const auto second = reloaded.run_experiment(spec);
+  const auto pa = first.model->parameters();
+  const auto pb = second.model->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i].var.value().numel(); ++j) {
+      ASSERT_EQ(pa[i].var.value()[j], pb[i].var.value()[j]) << pa[i].name;
+    }
+  }
+  ASSERT_EQ(first.curve.points.size(), second.curve.points.size());
+  EXPECT_EQ(first.curve.final_val_loss(), second.curve.final_val_loss());
+
+  // A different spec must miss the cache (different key).
+  ExperimentSpec other = spec;
+  other.batch_seqs = 8;
+  const auto third = reloaded.run_experiment(other);
+  EXPECT_NE(third.curve.final_val_loss(), first.curve.final_val_loss());
+}
+
+TEST(Study, TokenizersAreCachedAndExperimentsRun) {
+  StudyConfig sc;
+  sc.corpus_scale = 4e-6;
+  sc.n_materials = 60;
+  sc.steps = 8;
+  sc.seq = 24;
+  ComparativeStudy study(sc);
+  ExperimentSpec a{"a", nn::ArchFamily::kLLaMA,
+                   tok::TokenizerKind::kHuggingFace, 400,
+                   OptimizerKind::kAdam, 4, false, DType::kFloat32};
+  ExperimentSpec b = a;
+  b.label = "b";
+  b.arch = nn::ArchFamily::kNeoX;
+  const auto ra = study.run_experiment(a);
+  const auto rb = study.run_experiment(b);
+  // Same (kind, vocab) => the identical tokenizer object (controlled study).
+  EXPECT_EQ(ra.tokenizer.get(), rb.tokenizer.get());
+  EXPECT_FALSE(ra.curve.points.empty());
+  EXPECT_EQ(ra.model->config().arch, nn::ArchFamily::kLLaMA);
+  EXPECT_EQ(rb.model->config().arch, nn::ArchFamily::kNeoX);
+}
+
+}  // namespace
+}  // namespace matgpt::core

@@ -1,0 +1,218 @@
+// Tests for the embedding analysis toolkit: distance/cosine statistics,
+// Jacobi eigensolver and PCA, t-SNE structure preservation, k-means and
+// cluster metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/cluster.h"
+#include "embed/embedding.h"
+#include "embed/reduce.h"
+
+namespace matgpt::embed {
+namespace {
+
+TEST(Distances, EuclideanAndCosineBasics) {
+  const std::vector<float> a{1.0f, 0.0f};
+  const std::vector<float> b{0.0f, 1.0f};
+  EXPECT_NEAR(euclidean(a, b), std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(cosine(a, b), 0.0, 1e-9);
+  EXPECT_NEAR(cosine(a, a), 1.0, 1e-9);
+  const std::vector<float> neg{-1.0f, 0.0f};
+  EXPECT_NEAR(cosine(a, neg), -1.0, 1e-9);
+  const std::vector<float> zero{0.0f, 0.0f};
+  EXPECT_EQ(cosine(a, zero), 0.0);
+}
+
+TEST(Distances, PairwiseStatsSeparateTightFromLooseSets) {
+  // The Fig. 16 contrast: GPT embeddings sit closer together (small
+  // distances, cosines near 1) than BERT embeddings.
+  Rng rng(5);
+  EmbeddingSet tight, loose;
+  std::vector<float> center(8);
+  for (auto& v : center) v = static_cast<float>(rng.normal(1.0, 0.1));
+  for (int i = 0; i < 40; ++i) {
+    std::vector<float> t(8), l(8);
+    for (std::size_t d = 0; d < 8; ++d) {
+      t[d] = center[d] + static_cast<float>(rng.normal(0.0, 0.05));
+      l[d] = static_cast<float>(rng.normal(0.0, 2.0));
+    }
+    tight.vectors.push_back(t);
+    loose.vectors.push_back(l);
+  }
+  Rng r1(1), r2(1);
+  const auto ts = pairwise_stats(tight, 400, r1);
+  const auto ls = pairwise_stats(loose, 400, r2);
+  EXPECT_LT(ts.mean_distance, ls.mean_distance);
+  EXPECT_GT(ts.mean_cosine, 0.9);
+  EXPECT_LT(ls.mean_cosine, 0.5);
+  EXPECT_DOUBLE_EQ(ts.distance_hist.total(), 400.0);
+}
+
+TEST(Eigen, DiagonalizesKnownMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  const auto r = symmetric_eigen({{2.0, 1.0}, {1.0, 2.0}});
+  ASSERT_EQ(r.values.size(), 2u);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-9);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-9);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(r.vectors[0][0]), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(r.vectors[0][0], r.vectors[0][1], 1e-9);
+}
+
+TEST(Eigen, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(7);
+  const std::size_t n = 6;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m[i][j] = m[j][i] = rng.normal();
+    }
+  }
+  const auto r = symmetric_eigen(m);
+  // A v = lambda v for every pair.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < n; ++j) av += m[i][j] * r.vectors[k][j];
+      EXPECT_NEAR(av, r.values[k] * r.vectors[k][i], 1e-8);
+    }
+  }
+  // Values sorted descending.
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_GE(r.values[k - 1], r.values[k]);
+  }
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points stretched along (1, 1, 0): first component must capture it.
+  Rng rng(11);
+  Matrix rows;
+  for (int i = 0; i < 200; ++i) {
+    const float t = static_cast<float>(rng.normal(0.0, 3.0));
+    rows.push_back({t + static_cast<float>(rng.normal(0.0, 0.1)),
+                    t + static_cast<float>(rng.normal(0.0, 0.1)),
+                    static_cast<float>(rng.normal(0.0, 0.1))});
+  }
+  const Matrix reduced = pca(rows, 1);
+  ASSERT_EQ(reduced.size(), rows.size());
+  // Correlation between the projection and the latent t (via x+y).
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double a = reduced[i][0];
+    const double b = rows[i][0] + rows[i][1];
+    num += a * b;
+    da += a * a;
+    db += b * b;
+  }
+  EXPECT_GT(std::fabs(num) / std::sqrt(da * db), 0.99);
+}
+
+TEST(Pca, ValidatesArguments) {
+  Matrix rows{{1.0f, 2.0f}};
+  EXPECT_THROW(pca(rows, 3), Error);
+  EXPECT_THROW(pca({}, 1), Error);
+}
+
+TEST(Tsne, PreservesClusterNeighborhoods) {
+  // Two well-separated blobs in 10D must stay separated in 2D.
+  Rng rng(13);
+  Matrix rows;
+  std::vector<std::size_t> labels;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      std::vector<float> p(10);
+      for (auto& v : p) {
+        v = static_cast<float>(rng.normal(c * 12.0, 0.3));
+      }
+      rows.push_back(p);
+      labels.push_back(static_cast<std::size_t>(c));
+    }
+  }
+  TsneOptions opts;
+  opts.iterations = 200;
+  Rng trng(17);
+  const Matrix y = tsne_2d(rows, opts, trng);
+  // Mean intra-cluster distance << inter-cluster distance in 2D.
+  double intra = 0.0, inter = 0.0;
+  int ni = 0, nx = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    for (std::size_t j = i + 1; j < y.size(); ++j) {
+      const double d = euclidean(y[i], y[j]);
+      if (labels[i] == labels[j]) {
+        intra += d;
+        ++ni;
+      } else {
+        inter += d;
+        ++nx;
+      }
+    }
+  }
+  EXPECT_LT(intra / ni, 0.5 * inter / nx);
+}
+
+TEST(Tsne, ValidatesPerplexity) {
+  Matrix rows(8, std::vector<float>(3, 0.0f));
+  Rng rng(1);
+  TsneOptions opts;
+  opts.perplexity = 100.0;
+  EXPECT_THROW(tsne_2d(rows, opts, rng), Error);
+}
+
+TEST(KMeans, RecoversPlantedClusters) {
+  Rng rng(19);
+  Matrix points;
+  std::vector<std::size_t> truth;
+  const std::vector<std::pair<float, float>> centers{{0, 0}, {10, 0}, {0, 10}};
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    for (int i = 0; i < 25; ++i) {
+      points.push_back(
+          {centers[c].first + static_cast<float>(rng.normal(0.0, 0.4)),
+           centers[c].second + static_cast<float>(rng.normal(0.0, 0.4))});
+      truth.push_back(c);
+    }
+  }
+  Rng krng(23);
+  const auto result = kmeans(points, 3, krng);
+  EXPECT_GT(purity(result.assignment, truth), 0.95);
+  EXPECT_GT(silhouette(points, result.assignment), 0.7);
+}
+
+TEST(KMeans, EstimateFindsPlantedK) {
+  Rng rng(29);
+  Matrix points;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      points.push_back(
+          {static_cast<float>(c * 8 + rng.normal(0.0, 0.3)),
+           static_cast<float>((c % 2) * 8 + rng.normal(0.0, 0.3))});
+    }
+  }
+  Rng krng(31);
+  const auto est = estimate_clusters(points, 6, krng);
+  EXPECT_EQ(est.k, 3u);
+  EXPECT_GT(est.silhouette, 0.6);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng rng(37);
+  Matrix points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({static_cast<float>(rng.normal(0.0, 3.0)),
+                      static_cast<float>(rng.normal(0.0, 3.0))});
+  }
+  Rng k1(5), k2(5);
+  const auto two = kmeans(points, 2, k1);
+  const auto six = kmeans(points, 6, k2);
+  EXPECT_LT(six.inertia, two.inertia);
+}
+
+TEST(Purity, PerfectAndWorstCase) {
+  EXPECT_DOUBLE_EQ(purity({0, 0, 1, 1}, {5, 5, 7, 7}), 1.0);
+  EXPECT_DOUBLE_EQ(purity({0, 0, 0, 0}, {1, 2, 3, 4}), 0.25);
+  EXPECT_THROW(purity({0}, {0, 1}), Error);
+}
+
+}  // namespace
+}  // namespace matgpt::embed

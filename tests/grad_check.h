@@ -1,0 +1,53 @@
+#pragma once
+// Finite-difference gradient checking harness for autograd ops.
+//
+// Usage: build the op under test inside `fn`, returning a scalar Var; the
+// checker compares analytic grads of every listed leaf against central
+// differences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace matgpt::testing {
+
+/// Compare analytic vs. numeric gradients of `fn` w.r.t. each leaf.
+/// `fn` must be a pure function of the leaf values (re-invocable).
+inline void check_gradients(
+    std::vector<Var>& leaves,
+    const std::function<Var(Tape&)>& fn, float eps = 1e-3f,
+    float rtol = 2e-2f, float atol = 2e-3f) {
+  // Analytic pass.
+  Tape tape;
+  Var loss = fn(tape);
+  tape.backward(loss);
+
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    Var& leaf = leaves[li];
+    ASSERT_TRUE(leaf.requires_grad()) << "leaf " << li;
+    const Tensor analytic = leaf.grad().defined()
+                                ? leaf.grad().clone()
+                                : Tensor::zeros(leaf.value().shape());
+    for (std::int64_t i = 0; i < leaf.value().numel(); ++i) {
+      const float original = leaf.value()[i];
+      leaf.value()[i] = original + eps;
+      Tape tp;
+      const float up = fn(tp).item();
+      leaf.value()[i] = original - eps;
+      Tape tm;
+      const float down = fn(tm).item();
+      leaf.value()[i] = original;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float got = analytic[i];
+      const float tol = atol + rtol * std::fabs(numeric);
+      EXPECT_NEAR(got, numeric, tol)
+          << "leaf " << li << " element " << i;
+    }
+  }
+}
+
+}  // namespace matgpt::testing

@@ -1,0 +1,124 @@
+// Tests for the pipeline-schedule simulator: classic GPipe/1F1B facts that
+// must fall out of the dependency-driven schedule.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "simfrontier/pipeline_schedule.h"
+
+namespace matgpt::sim {
+namespace {
+
+TEST(Pipeline, SingleStageHasNoBubble) {
+  const auto r = simulate_pipeline(1, 4, 1.0, 2.0, PipelineSchedule::kGpipe);
+  EXPECT_NEAR(r.total_s, 4.0 * 3.0, 1e-9);
+  EXPECT_NEAR(r.bubble_fraction, 0.0, 1e-9);
+  EXPECT_EQ(r.units.size(), 8u);
+}
+
+class Schedules : public ::testing::TestWithParam<PipelineSchedule> {};
+
+TEST_P(Schedules, TotalTimeMatchesClassicFormula) {
+  // With uniform unit times, both schedules finish in
+  // (m + p - 1) * (f + b): the textbook pipeline makespan.
+  const double f = 1.0, b = 2.0;
+  for (int p : {2, 4}) {
+    for (int m : {4, 8}) {
+      const auto r = simulate_pipeline(p, m, f, b, GetParam());
+      EXPECT_NEAR(r.total_s, (m + p - 1) * (f + b), 1e-9)
+          << "p=" << p << " m=" << m;
+    }
+  }
+}
+
+TEST_P(Schedules, BubbleFractionMatchesPaperFormula) {
+  // Idle fraction (p - 1) / (m + p - 1) — the quantity behind the paper's
+  // "sequential stages (leading to the so-called bubble)".
+  const auto r = simulate_pipeline(4, 8, 1.0, 2.0, GetParam());
+  EXPECT_NEAR(r.bubble_fraction, 3.0 / 11.0, 1e-9);
+}
+
+TEST_P(Schedules, MoreMicrobatchesShrinkTheBubble) {
+  double prev = 1.0;
+  for (int m : {2, 4, 8, 16, 32}) {
+    const auto r = simulate_pipeline(4, m, 1.0, 2.0, GetParam());
+    EXPECT_LT(r.bubble_fraction, prev);
+    prev = r.bubble_fraction;
+  }
+  EXPECT_LT(prev, 0.1);  // 32 microbatches nearly hide the 4-stage bubble
+}
+
+TEST_P(Schedules, DependenciesAreNeverViolated) {
+  const auto r = simulate_pipeline(3, 5, 1.0, 1.5, GetParam());
+  // Reconstruct end times.
+  double fwd_end[3][5] = {}, bwd_end[3][5] = {};
+  for (const auto& u : r.units) {
+    (u.forward ? fwd_end : bwd_end)[u.stage][u.microbatch] = u.end_s;
+  }
+  for (const auto& u : r.units) {
+    if (u.forward && u.stage > 0) {
+      EXPECT_GE(u.start_s, fwd_end[u.stage - 1][u.microbatch] - 1e-9);
+    }
+    if (!u.forward) {
+      EXPECT_GE(u.start_s, fwd_end[u.stage][u.microbatch] - 1e-9);
+      if (u.stage < 2) {
+        EXPECT_GE(u.start_s, bwd_end[u.stage + 1][u.microbatch] - 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(Schedules, StagesNeverOverlapThemselves) {
+  const auto r = simulate_pipeline(4, 6, 1.0, 2.0, GetParam());
+  for (std::size_t i = 0; i < r.units.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.units.size(); ++j) {
+      if (r.units[i].stage != r.units[j].stage) continue;
+      const bool disjoint = r.units[i].end_s <= r.units[j].start_s + 1e-9 ||
+                            r.units[j].end_s <= r.units[i].start_s + 1e-9;
+      EXPECT_TRUE(disjoint);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, Schedules,
+                         ::testing::Values(PipelineSchedule::kGpipe,
+                                           PipelineSchedule::k1F1B));
+
+TEST(Pipeline, OneFOneBCapsInFlightActivations) {
+  // The schedules tie on time but differ on memory: GPipe keeps all m
+  // microbatches live on stage 0; 1F1B caps it at p.
+  const int p = 4, m = 16;
+  const auto gpipe =
+      simulate_pipeline(p, m, 1.0, 2.0, PipelineSchedule::kGpipe);
+  const auto f1b =
+      simulate_pipeline(p, m, 1.0, 2.0, PipelineSchedule::k1F1B);
+  EXPECT_EQ(gpipe.peak_live_microbatches, m);
+  EXPECT_LE(f1b.peak_live_microbatches, p);
+  EXPECT_NEAR(gpipe.total_s, f1b.total_s, 1e-9);
+}
+
+TEST(Pipeline, MatchesTrainingSimulatorBubbleModel) {
+  // The TrainingSimulator charges bubble_s = compute * (pp-1)/microbatches;
+  // the explicit schedule gives (p-1)/(m+p-1) of total — consistent views:
+  // bubble/compute = (p-1)/m.
+  const int p = 2, m = 8;
+  const auto r = simulate_pipeline(p, m, 1.0, 2.0, PipelineSchedule::k1F1B);
+  const double compute_per_stage = m * 3.0;
+  const double bubble = r.total_s - compute_per_stage;
+  EXPECT_NEAR(bubble / compute_per_stage,
+              static_cast<double>(p - 1) / m, 1e-9);
+}
+
+TEST(Pipeline, Validation) {
+  EXPECT_THROW(simulate_pipeline(0, 4, 1.0, 1.0, PipelineSchedule::kGpipe),
+               Error);
+  EXPECT_THROW(simulate_pipeline(2, 0, 1.0, 1.0, PipelineSchedule::kGpipe),
+               Error);
+  EXPECT_THROW(simulate_pipeline(2, 2, 0.0, 1.0, PipelineSchedule::kGpipe),
+               Error);
+}
+
+}  // namespace
+}  // namespace matgpt::sim

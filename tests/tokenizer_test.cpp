@@ -1,0 +1,195 @@
+// Unit and property tests for the BPE tokenizer: round-trips, merge
+// behaviour, HF vs SPM pre-tokenization, vocab-size effects, save/load.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "common/rng.h"
+#include "tokenizer/bpe.h"
+
+namespace matgpt::tok {
+namespace {
+
+std::vector<std::string> science_corpus() {
+  return {
+      "The band gap of LiFePO4 is 3.4 eV .",
+      "LiFePO4 is an insulator used for battery electrodes .",
+      "The band gap of GaAs is 1.4 eV .",
+      "GaAs is a semiconductor used for photovoltaics .",
+      "The band gap of TiO2 is 3.2 eV .",
+      "TiO2 is promising for photocatalysis .",
+      "We report CuZn prepared by solid state reaction .",
+      "CuZn is a conductor .",
+  };
+}
+
+TEST(Bpe, TrainRespectsTargetVocab) {
+  const auto tk = BpeTokenizer::train(science_corpus(),
+                                      TokenizerKind::kHuggingFace, 300);
+  EXPECT_LE(tk.vocab_size(), 300);
+  EXPECT_GT(tk.merge_count(), 0u);
+}
+
+TEST(Bpe, RoundTripsArbitraryText) {
+  const auto tk = BpeTokenizer::train(science_corpus(),
+                                      TokenizerKind::kHuggingFace, 300);
+  for (const std::string text :
+       {std::string("The band gap of LiFePO4 is 3.4 eV ."),
+        std::string("completely unseen words zyxwv"),
+        std::string("punctuation!?\"#$% and    spacing")}) {
+    const auto ids = tk.encode(text);
+    // Decoding normalizes runs of whitespace to single spaces (the
+    // pre-tokenizer's behaviour); compare normalized forms.
+    std::string expect;
+    bool space = false;
+    for (char c : text) {
+      if (c == ' ' || c == '\n' || c == '\t') {
+        space = !expect.empty();
+      } else {
+        if (space) expect += ' ';
+        space = false;
+        expect += c;
+      }
+    }
+    EXPECT_EQ(tk.decode(ids), expect) << text;
+  }
+}
+
+TEST(Bpe, RoundTripsRandomByteStrings) {
+  const auto tk = BpeTokenizer::train(science_corpus(),
+                                      TokenizerKind::kHuggingFace, 280);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string s;
+    for (int i = 0; i < 30; ++i) {
+      // Printable non-space bytes: byte-level fallback must cover them all.
+      s += static_cast<char>(33 + rng.uniform_int(std::uint64_t{94}));
+    }
+    EXPECT_EQ(tk.decode(tk.encode(s)), s);
+  }
+}
+
+TEST(Bpe, LargerVocabYieldsFewerTokens) {
+  const auto corpus = science_corpus();
+  const auto small = BpeTokenizer::train(corpus,
+                                         TokenizerKind::kHuggingFace, 270);
+  const auto large = BpeTokenizer::train(corpus,
+                                         TokenizerKind::kHuggingFace, 330);
+  const std::string text = "The band gap of LiFePO4 is 3.4 eV .";
+  EXPECT_LE(large.encode(text).size(), small.encode(text).size());
+  EXPECT_LT(large.tokens_per_word(text), small.tokens_per_word(text) + 1e-9);
+}
+
+TEST(Bpe, MergesCompressRepeatedPhrases) {
+  const auto tk = BpeTokenizer::train(science_corpus(),
+                                      TokenizerKind::kHuggingFace, 340);
+  // "band" recurs; after training it should be far fewer than 4 byte tokens.
+  const auto ids = tk.encode("band");
+  EXPECT_LT(ids.size(), 4u);
+}
+
+TEST(Bpe, SpmSplitsFormulasFinerThanHf) {
+  // The paper's tokenizer contrast: SPM has finer-grained control over
+  // subwords; our SPM mode splits at case/digit transitions, so chemical
+  // formulas fragment more.
+  const auto corpus = science_corpus();
+  const auto hf = BpeTokenizer::train(corpus, TokenizerKind::kHuggingFace,
+                                      340);
+  const auto spm = BpeTokenizer::train(corpus,
+                                       TokenizerKind::kSentencePiece, 340);
+  const std::string formula = "LiFePO4";
+  EXPECT_GE(spm.encode(formula).size(), hf.encode(formula).size());
+  // Both must still round-trip formulas.
+  EXPECT_EQ(hf.decode(hf.encode(formula)), formula);
+  EXPECT_EQ(spm.decode(spm.encode(formula)), formula);
+}
+
+TEST(Bpe, SpmNeverMergesAcrossCaseBoundary) {
+  const auto spm = BpeTokenizer::train(science_corpus(),
+                                       TokenizerKind::kSentencePiece, 400);
+  // Every token of a formula should stay within one element fragment:
+  // no token may contain a lower->upper transition.
+  for (const std::string formula : {"LiFePO4", "CuZn", "GaAs"}) {
+    for (std::int32_t id : spm.encode(formula)) {
+      const std::string& bytes = spm.token_bytes(id);
+      for (std::size_t i = 1; i < bytes.size(); ++i) {
+        const bool boundary = std::islower(bytes[i - 1]) &&
+                              std::isupper(bytes[i]);
+        EXPECT_FALSE(boundary) << "token '" << bytes << "'";
+      }
+    }
+  }
+}
+
+TEST(Bpe, EncodeNeverEmitsSpecialsAndDecodeSkipsThem) {
+  const auto tk = BpeTokenizer::train(science_corpus(),
+                                      TokenizerKind::kHuggingFace, 300);
+  for (std::int32_t id : tk.encode("some text"))
+    EXPECT_GE(id, SpecialTokens::kCount);
+  std::vector<std::int32_t> with_specials{SpecialTokens::kBos};
+  const auto body = tk.encode("abc");
+  with_specials.insert(with_specials.end(), body.begin(), body.end());
+  with_specials.push_back(SpecialTokens::kEos);
+  EXPECT_EQ(tk.decode(with_specials), "abc");
+}
+
+TEST(Bpe, SaveLoadPreservesEncoding) {
+  const auto tk = BpeTokenizer::train(science_corpus(),
+                                      TokenizerKind::kSentencePiece, 320);
+  const auto restored = BpeTokenizer::load(tk.save());
+  EXPECT_EQ(restored.vocab_size(), tk.vocab_size());
+  EXPECT_EQ(restored.kind(), tk.kind());
+  for (const std::string text :
+       {std::string("The band gap of LiFePO4 is 3.4 eV ."),
+        std::string("unseen Zr2O7 compound")}) {
+    EXPECT_EQ(restored.encode(text), tk.encode(text)) << text;
+  }
+}
+
+TEST(Bpe, LoadRejectsGarbage) {
+  EXPECT_THROW(BpeTokenizer::load("not-a-tokenizer"), Error);
+}
+
+TEST(Bpe, TrainValidatesVocabFloor) {
+  EXPECT_THROW(
+      BpeTokenizer::train(science_corpus(), TokenizerKind::kHuggingFace, 100),
+      Error);
+}
+
+TEST(Bpe, DecodeRejectsOutOfRangeIds) {
+  const auto tk = BpeTokenizer::train(science_corpus(),
+                                      TokenizerKind::kHuggingFace, 300);
+  EXPECT_THROW(tk.decode({tk.vocab_size()}), Error);
+  EXPECT_THROW(tk.decode({-1}), Error);
+}
+
+TEST(Bpe, TokensPerWordOnEmptyTextIsZero) {
+  const auto tk = BpeTokenizer::train(science_corpus(),
+                                      TokenizerKind::kHuggingFace, 300);
+  EXPECT_EQ(tk.tokens_per_word(""), 0.0);
+}
+
+// Property sweep: round-trip holds for every kind x vocab combination.
+class BpeProperty
+    : public ::testing::TestWithParam<std::tuple<TokenizerKind, int>> {};
+
+TEST_P(BpeProperty, RoundTripAndDeterminism) {
+  const auto [kind, vocab] = GetParam();
+  const auto tk = BpeTokenizer::train(science_corpus(), kind, vocab);
+  const auto tk2 = BpeTokenizer::train(science_corpus(), kind, vocab);
+  for (const auto& doc : science_corpus()) {
+    const auto ids = tk.encode(doc);
+    EXPECT_EQ(ids, tk2.encode(doc)) << "training must be deterministic";
+    EXPECT_EQ(tk.decode(ids), doc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndVocabs, BpeProperty,
+    ::testing::Combine(::testing::Values(TokenizerKind::kHuggingFace,
+                                         TokenizerKind::kSentencePiece),
+                       ::testing::Values(265, 300, 380)));
+
+}  // namespace
+}  // namespace matgpt::tok
