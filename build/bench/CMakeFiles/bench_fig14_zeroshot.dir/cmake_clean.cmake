@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_zeroshot.dir/bench_fig14_zeroshot.cpp.o"
+  "CMakeFiles/bench_fig14_zeroshot.dir/bench_fig14_zeroshot.cpp.o.d"
+  "bench_fig14_zeroshot"
+  "bench_fig14_zeroshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_zeroshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

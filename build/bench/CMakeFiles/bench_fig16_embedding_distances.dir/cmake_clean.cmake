@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_embedding_distances.dir/bench_fig16_embedding_distances.cpp.o"
+  "CMakeFiles/bench_fig16_embedding_distances.dir/bench_fig16_embedding_distances.cpp.o.d"
+  "bench_fig16_embedding_distances"
+  "bench_fig16_embedding_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_embedding_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_kernels_microbench.cpp" "bench/CMakeFiles/bench_kernels_microbench.dir/bench_kernels_microbench.cpp.o" "gcc" "bench/CMakeFiles/bench_kernels_microbench.dir/bench_kernels_microbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/matgpt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/matgpt_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/matgpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_corpus.cpp" "bench/CMakeFiles/bench_table1_corpus.dir/bench_table1_corpus.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_corpus.dir/bench_table1_corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/matgpt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/matgpt_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/matgpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_architectures.dir/bench_table2_architectures.cpp.o"
+  "CMakeFiles/bench_table2_architectures.dir/bench_table2_architectures.cpp.o.d"
+  "bench_table2_architectures"
+  "bench_table2_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_bandgap.dir/bench_table5_bandgap.cpp.o"
+  "CMakeFiles/bench_table5_bandgap.dir/bench_table5_bandgap.cpp.o.d"
+  "bench_table5_bandgap"
+  "bench_table5_bandgap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_bandgap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

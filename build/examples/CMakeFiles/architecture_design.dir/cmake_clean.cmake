@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_design.dir/architecture_design.cpp.o"
+  "CMakeFiles/architecture_design.dir/architecture_design.cpp.o.d"
+  "architecture_design"
+  "architecture_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

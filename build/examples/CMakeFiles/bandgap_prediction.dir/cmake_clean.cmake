@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandgap_prediction.dir/bandgap_prediction.cpp.o"
+  "CMakeFiles/bandgap_prediction.dir/bandgap_prediction.cpp.o.d"
+  "bandgap_prediction"
+  "bandgap_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandgap_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

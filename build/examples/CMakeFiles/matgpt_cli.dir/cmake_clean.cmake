@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_cli.dir/matgpt_cli.cpp.o"
+  "CMakeFiles/matgpt_cli.dir/matgpt_cli.cpp.o.d"
+  "matgpt_cli"
+  "matgpt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/matgpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/matgpt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/matgpt_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/matgpt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/matgpt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/matgpt_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/matgpt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/matgpt_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/matgpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_common.dir/histogram.cpp.o"
+  "CMakeFiles/matgpt_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/matgpt_common.dir/stats.cpp.o"
+  "CMakeFiles/matgpt_common.dir/stats.cpp.o.d"
+  "CMakeFiles/matgpt_common.dir/table.cpp.o"
+  "CMakeFiles/matgpt_common.dir/table.cpp.o.d"
+  "CMakeFiles/matgpt_common.dir/units.cpp.o"
+  "CMakeFiles/matgpt_common.dir/units.cpp.o.d"
+  "libmatgpt_common.a"
+  "libmatgpt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

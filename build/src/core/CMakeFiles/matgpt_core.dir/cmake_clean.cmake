@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_core.dir/configs.cpp.o"
+  "CMakeFiles/matgpt_core.dir/configs.cpp.o.d"
+  "CMakeFiles/matgpt_core.dir/study.cpp.o"
+  "CMakeFiles/matgpt_core.dir/study.cpp.o.d"
+  "CMakeFiles/matgpt_core.dir/trainer.cpp.o"
+  "CMakeFiles/matgpt_core.dir/trainer.cpp.o.d"
+  "libmatgpt_core.a"
+  "libmatgpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

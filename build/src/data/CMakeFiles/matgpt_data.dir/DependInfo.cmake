@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/classifier.cpp" "src/data/CMakeFiles/matgpt_data.dir/classifier.cpp.o" "gcc" "src/data/CMakeFiles/matgpt_data.dir/classifier.cpp.o.d"
+  "/root/repo/src/data/corpus.cpp" "src/data/CMakeFiles/matgpt_data.dir/corpus.cpp.o" "gcc" "src/data/CMakeFiles/matgpt_data.dir/corpus.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/matgpt_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/matgpt_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/elements.cpp" "src/data/CMakeFiles/matgpt_data.dir/elements.cpp.o" "gcc" "src/data/CMakeFiles/matgpt_data.dir/elements.cpp.o.d"
+  "/root/repo/src/data/export.cpp" "src/data/CMakeFiles/matgpt_data.dir/export.cpp.o" "gcc" "src/data/CMakeFiles/matgpt_data.dir/export.cpp.o.d"
+  "/root/repo/src/data/materials.cpp" "src/data/CMakeFiles/matgpt_data.dir/materials.cpp.o" "gcc" "src/data/CMakeFiles/matgpt_data.dir/materials.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/matgpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/matgpt_tokenizer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_data.dir/classifier.cpp.o"
+  "CMakeFiles/matgpt_data.dir/classifier.cpp.o.d"
+  "CMakeFiles/matgpt_data.dir/corpus.cpp.o"
+  "CMakeFiles/matgpt_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/matgpt_data.dir/dataset.cpp.o"
+  "CMakeFiles/matgpt_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/matgpt_data.dir/elements.cpp.o"
+  "CMakeFiles/matgpt_data.dir/elements.cpp.o.d"
+  "CMakeFiles/matgpt_data.dir/export.cpp.o"
+  "CMakeFiles/matgpt_data.dir/export.cpp.o.d"
+  "CMakeFiles/matgpt_data.dir/materials.cpp.o"
+  "CMakeFiles/matgpt_data.dir/materials.cpp.o.d"
+  "libmatgpt_data.a"
+  "libmatgpt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

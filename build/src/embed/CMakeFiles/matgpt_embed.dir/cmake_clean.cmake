@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_embed.dir/cluster.cpp.o"
+  "CMakeFiles/matgpt_embed.dir/cluster.cpp.o.d"
+  "CMakeFiles/matgpt_embed.dir/embedding.cpp.o"
+  "CMakeFiles/matgpt_embed.dir/embedding.cpp.o.d"
+  "CMakeFiles/matgpt_embed.dir/reduce.cpp.o"
+  "CMakeFiles/matgpt_embed.dir/reduce.cpp.o.d"
+  "libmatgpt_embed.a"
+  "libmatgpt_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

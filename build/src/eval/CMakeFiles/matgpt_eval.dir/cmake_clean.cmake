@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_eval.dir/perplexity.cpp.o"
+  "CMakeFiles/matgpt_eval.dir/perplexity.cpp.o.d"
+  "CMakeFiles/matgpt_eval.dir/scorer.cpp.o"
+  "CMakeFiles/matgpt_eval.dir/scorer.cpp.o.d"
+  "CMakeFiles/matgpt_eval.dir/tasks.cpp.o"
+  "CMakeFiles/matgpt_eval.dir/tasks.cpp.o.d"
+  "libmatgpt_eval.a"
+  "libmatgpt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

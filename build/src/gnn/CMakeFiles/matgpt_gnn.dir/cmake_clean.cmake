@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_gnn.dir/bandgap.cpp.o"
+  "CMakeFiles/matgpt_gnn.dir/bandgap.cpp.o.d"
+  "CMakeFiles/matgpt_gnn.dir/crystal.cpp.o"
+  "CMakeFiles/matgpt_gnn.dir/crystal.cpp.o.d"
+  "CMakeFiles/matgpt_gnn.dir/model.cpp.o"
+  "CMakeFiles/matgpt_gnn.dir/model.cpp.o.d"
+  "libmatgpt_gnn.a"
+  "libmatgpt_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

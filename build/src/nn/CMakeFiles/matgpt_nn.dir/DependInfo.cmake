@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/bert.cpp" "src/nn/CMakeFiles/matgpt_nn.dir/bert.cpp.o" "gcc" "src/nn/CMakeFiles/matgpt_nn.dir/bert.cpp.o.d"
+  "/root/repo/src/nn/gpt.cpp" "src/nn/CMakeFiles/matgpt_nn.dir/gpt.cpp.o" "gcc" "src/nn/CMakeFiles/matgpt_nn.dir/gpt.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/matgpt_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/matgpt_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/matgpt_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/matgpt_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/sampling.cpp" "src/nn/CMakeFiles/matgpt_nn.dir/sampling.cpp.o" "gcc" "src/nn/CMakeFiles/matgpt_nn.dir/sampling.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/matgpt_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/matgpt_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/matgpt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/matgpt_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/matgpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_nn.dir/bert.cpp.o"
+  "CMakeFiles/matgpt_nn.dir/bert.cpp.o.d"
+  "CMakeFiles/matgpt_nn.dir/gpt.cpp.o"
+  "CMakeFiles/matgpt_nn.dir/gpt.cpp.o.d"
+  "CMakeFiles/matgpt_nn.dir/layers.cpp.o"
+  "CMakeFiles/matgpt_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/matgpt_nn.dir/module.cpp.o"
+  "CMakeFiles/matgpt_nn.dir/module.cpp.o.d"
+  "CMakeFiles/matgpt_nn.dir/sampling.cpp.o"
+  "CMakeFiles/matgpt_nn.dir/sampling.cpp.o.d"
+  "CMakeFiles/matgpt_nn.dir/serialize.cpp.o"
+  "CMakeFiles/matgpt_nn.dir/serialize.cpp.o.d"
+  "libmatgpt_nn.a"
+  "libmatgpt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

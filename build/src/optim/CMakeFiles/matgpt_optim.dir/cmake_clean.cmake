@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/matgpt_optim.dir/optimizer.cpp.o.d"
+  "libmatgpt_optim.a"
+  "libmatgpt_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_parallel.dir/comm.cpp.o"
+  "CMakeFiles/matgpt_parallel.dir/comm.cpp.o.d"
+  "CMakeFiles/matgpt_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/matgpt_parallel.dir/thread_pool.cpp.o.d"
+  "libmatgpt_parallel.a"
+  "libmatgpt_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simfrontier/archsearch.cpp" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/archsearch.cpp.o" "gcc" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/archsearch.cpp.o.d"
+  "/root/repo/src/simfrontier/device.cpp" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/device.cpp.o" "gcc" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/device.cpp.o.d"
+  "/root/repo/src/simfrontier/gemm_model.cpp" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/gemm_model.cpp.o" "gcc" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/gemm_model.cpp.o.d"
+  "/root/repo/src/simfrontier/kernel_model.cpp" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/kernel_model.cpp.o" "gcc" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/kernel_model.cpp.o.d"
+  "/root/repo/src/simfrontier/memory_model.cpp" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/memory_model.cpp.o" "gcc" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/memory_model.cpp.o.d"
+  "/root/repo/src/simfrontier/model_desc.cpp" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/model_desc.cpp.o" "gcc" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/model_desc.cpp.o.d"
+  "/root/repo/src/simfrontier/network_model.cpp" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/network_model.cpp.o" "gcc" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/network_model.cpp.o.d"
+  "/root/repo/src/simfrontier/parallelism.cpp" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/parallelism.cpp.o" "gcc" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/parallelism.cpp.o.d"
+  "/root/repo/src/simfrontier/pipeline_schedule.cpp" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/pipeline_schedule.cpp.o" "gcc" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/pipeline_schedule.cpp.o.d"
+  "/root/repo/src/simfrontier/trace.cpp" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/trace.cpp.o" "gcc" "src/simfrontier/CMakeFiles/matgpt_simfrontier.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/matgpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/matgpt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/matgpt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/matgpt_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_simfrontier.dir/archsearch.cpp.o"
+  "CMakeFiles/matgpt_simfrontier.dir/archsearch.cpp.o.d"
+  "CMakeFiles/matgpt_simfrontier.dir/device.cpp.o"
+  "CMakeFiles/matgpt_simfrontier.dir/device.cpp.o.d"
+  "CMakeFiles/matgpt_simfrontier.dir/gemm_model.cpp.o"
+  "CMakeFiles/matgpt_simfrontier.dir/gemm_model.cpp.o.d"
+  "CMakeFiles/matgpt_simfrontier.dir/kernel_model.cpp.o"
+  "CMakeFiles/matgpt_simfrontier.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/matgpt_simfrontier.dir/memory_model.cpp.o"
+  "CMakeFiles/matgpt_simfrontier.dir/memory_model.cpp.o.d"
+  "CMakeFiles/matgpt_simfrontier.dir/model_desc.cpp.o"
+  "CMakeFiles/matgpt_simfrontier.dir/model_desc.cpp.o.d"
+  "CMakeFiles/matgpt_simfrontier.dir/network_model.cpp.o"
+  "CMakeFiles/matgpt_simfrontier.dir/network_model.cpp.o.d"
+  "CMakeFiles/matgpt_simfrontier.dir/parallelism.cpp.o"
+  "CMakeFiles/matgpt_simfrontier.dir/parallelism.cpp.o.d"
+  "CMakeFiles/matgpt_simfrontier.dir/pipeline_schedule.cpp.o"
+  "CMakeFiles/matgpt_simfrontier.dir/pipeline_schedule.cpp.o.d"
+  "CMakeFiles/matgpt_simfrontier.dir/trace.cpp.o"
+  "CMakeFiles/matgpt_simfrontier.dir/trace.cpp.o.d"
+  "libmatgpt_simfrontier.a"
+  "libmatgpt_simfrontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_simfrontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

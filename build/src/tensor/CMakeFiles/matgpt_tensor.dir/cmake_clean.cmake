@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_tensor.dir/attention.cpp.o"
+  "CMakeFiles/matgpt_tensor.dir/attention.cpp.o.d"
+  "CMakeFiles/matgpt_tensor.dir/autograd.cpp.o"
+  "CMakeFiles/matgpt_tensor.dir/autograd.cpp.o.d"
+  "CMakeFiles/matgpt_tensor.dir/dtype.cpp.o"
+  "CMakeFiles/matgpt_tensor.dir/dtype.cpp.o.d"
+  "CMakeFiles/matgpt_tensor.dir/kernels.cpp.o"
+  "CMakeFiles/matgpt_tensor.dir/kernels.cpp.o.d"
+  "CMakeFiles/matgpt_tensor.dir/ops.cpp.o"
+  "CMakeFiles/matgpt_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/matgpt_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/matgpt_tensor.dir/tensor.cpp.o.d"
+  "libmatgpt_tensor.a"
+  "libmatgpt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgpt_tokenizer.dir/bpe.cpp.o"
+  "CMakeFiles/matgpt_tokenizer.dir/bpe.cpp.o.d"
+  "libmatgpt_tokenizer.a"
+  "libmatgpt_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgpt_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simfrontier_test.dir/simfrontier_test.cpp.o"
+  "CMakeFiles/simfrontier_test.dir/simfrontier_test.cpp.o.d"
+  "simfrontier_test"
+  "simfrontier_test.pdb"
+  "simfrontier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simfrontier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
