@@ -6,21 +6,30 @@
 //   matgpt_cli generate <dir> <prompt...>      sample from a checkpoint
 //   matgpt_cli simulate <1.7b|6.7b> <gcds> <dp|zero1|tp2|pp2>
 //   matgpt_cli search  <min_B> <max_B>         architecture search
+//   matgpt_cli serve-bench [requests] [clients]   continuous-batching demo
 //
 // Checkpoints written by `train` (model.ckpt + tokenizer.txt) are reloaded
 // by `generate`.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/table.h"
 #include "common/units.h"
 #include "core/study.h"
 #include "nn/serialize.h"
+#include "parallel/thread_pool.h"
+#include "serve/engine.h"
+#include "serve/trace.h"
 #include "simfrontier/archsearch.h"
 
 using namespace matgpt;
@@ -34,7 +43,8 @@ int usage() {
                "  matgpt_cli train <neox|llama> [steps] [dir]\n"
                "  matgpt_cli generate <dir> <prompt...>\n"
                "  matgpt_cli simulate <1.7b|6.7b> <gcds> <dp|zero1|tp2|pp2>\n"
-               "  matgpt_cli search <min_params_B> <max_params_B>\n");
+               "  matgpt_cli search <min_params_B> <max_params_B>\n"
+               "  matgpt_cli serve-bench [requests] [clients]\n");
   return 2;
 }
 
@@ -168,6 +178,73 @@ int cmd_search(double min_b, double max_b) {
   return 0;
 }
 
+// Continuous-batching serving demo: client threads (a dedicated ThreadPool)
+// replay a synthetic trace through the engine's bounded admission queue while
+// this thread drives the scheduler loop — the deployment shape, minus the
+// network. The model is random-init (the point is the engine, not the prose);
+// GQA and a serving-sized vocab keep it honest about where decode time goes.
+int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients) {
+  nn::GptConfig mc;
+  mc.arch = nn::ArchFamily::kLLaMA;
+  mc.vocab_size = 8192;
+  mc.hidden = 256;
+  mc.n_layers = 4;
+  mc.n_heads = 8;
+  mc.n_kv_heads = 2;
+  mc.max_seq = 128;
+  nn::GptModel model(mc);
+
+  serve::TraceSpec spec;
+  spec.n_requests = n_requests;
+  spec.vocab_size = mc.vocab_size;
+  const auto trace = serve::synth_trace(spec);
+
+  serve::EngineConfig ec;
+  ec.max_batch = 8;
+  ec.kv_slots = 8;
+  ec.queue_capacity = 16;  // small enough that clients feel backpressure
+  serve::InferenceEngine engine(model, ec);
+
+  std::printf("serve-bench: %zu requests, %zu client threads, batch %lld, "
+              "queue %zu\n",
+              trace.size(), n_clients,
+              static_cast<long long>(ec.max_batch), ec.queue_capacity);
+
+  std::vector<std::future<serve::RequestResult>> futures(trace.size());
+  std::atomic<std::size_t> clients_done{0};
+  ThreadPool clients(n_clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<void>> client_futures;
+  for (std::size_t cidx = 0; cidx < n_clients; ++cidx) {
+    client_futures.push_back(clients.submit([&, cidx] {
+      // Client cidx owns every n_clients-th request; submit() blocks while
+      // the admission queue is full, so a slow scheduler throttles clients
+      // instead of dropping work.
+      for (std::size_t i = cidx; i < trace.size(); i += n_clients) {
+        futures[i] = engine.submit(trace[i]);
+      }
+      clients_done.fetch_add(1);
+    }));
+  }
+  while (clients_done.load() < n_clients || engine.queue_depth() > 0 ||
+         engine.active_count() > 0) {
+    if (engine.step() == 0) std::this_thread::yield();
+  }
+  for (auto& f : client_futures) f.get();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::uint64_t tokens = 0;
+  for (auto& f : futures) tokens += f.get().tokens.size();
+  std::printf("\n%s", engine.stats().report(wall).c_str());
+  std::printf("\nwall time %.3f s, kv pool high-water <= %zu slots "
+              "(%.1f MB reserved)\n",
+              wall, engine.kv_pool().slot_count(),
+              static_cast<double>(engine.kv_pool().reserved_bytes()) / 1e6);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,6 +271,14 @@ int main(int argc, char** argv) {
     }
     if (cmd == "search" && argc == 4) {
       return cmd_search(std::atof(argv[2]), std::atof(argv[3]));
+    }
+    if (cmd == "serve-bench") {
+      const auto reqs =
+          argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 32;
+      const auto cl =
+          argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 4;
+      if (reqs == 0 || cl == 0) return usage();
+      return cmd_serve_bench(reqs, cl);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -44,6 +44,27 @@ std::vector<double> Histogram::density() const {
   return d;
 }
 
+double Histogram::quantile(double q) const {
+  MGPT_CHECK(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+  MGPT_CHECK(total_ > 0.0, "quantile of an empty histogram");
+  const double target = q * total_;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] <= 0.0) continue;
+    if (cum + counts_[i] >= target) {
+      const double frac =
+          std::clamp((target - cum) / counts_[i], 0.0, 1.0);
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    cum += counts_[i];
+  }
+  // Rounding left target past the last occupied bin; return its upper edge.
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] > 0.0) return bin_hi(i);
+  }
+  return hi_;
+}
+
 std::string Histogram::ascii(std::size_t width) const {
   double peak = 0.0;
   for (double c : counts_) peak = std::max(peak, c);
@@ -78,6 +99,22 @@ std::vector<std::pair<double, double>> Log2Histogram::items() const {
     }
   }
   return out;
+}
+
+double Log2Histogram::quantile(double q) const {
+  MGPT_CHECK(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+  MGPT_CHECK(total_ > 0.0, "quantile of an empty histogram");
+  const double target = q * total_;
+  double cum = 0.0;
+  const auto occupied = items();
+  for (const auto& [lo, c] : occupied) {
+    if (cum + c >= target) {
+      const double frac = std::clamp((target - cum) / c, 0.0, 1.0);
+      return lo * std::exp2(frac);  // geometric position within [lo, 2*lo)
+    }
+    cum += c;
+  }
+  return 2.0 * occupied.back().first;
 }
 
 std::string Log2Histogram::ascii(std::size_t width) const {

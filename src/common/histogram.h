@@ -28,6 +28,11 @@ class Histogram {
   /// Normalized density (counts / (total * bin_width)); zeros when empty.
   std::vector<double> density() const;
 
+  /// Interpolated quantile: the value below which a fraction q in [0, 1] of
+  /// the recorded weight lies, linearly interpolated inside the containing
+  /// bin (the serving-latency p50/p95/p99 primitive). Requires samples.
+  double quantile(double q) const;
+
   /// Render an ASCII bar chart, one line per bin.
   std::string ascii(std::size_t width = 50) const;
 
@@ -47,6 +52,10 @@ class Log2Histogram {
   /// Occupied size classes in ascending order as (lower_bound, count).
   std::vector<std::pair<double, double>> items() const;
   double total() const { return total_; }
+
+  /// Interpolated quantile (geometric interpolation within the power-of-two
+  /// size class, matching the log-scale binning). Requires samples.
+  double quantile(double q) const;
 
   std::string ascii(std::size_t width = 50) const;
 

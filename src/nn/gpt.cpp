@@ -50,6 +50,74 @@ SelfAttention::SelfAttention(const GptConfig& config, bool causal, Rng& rng)
   register_submodule("o", o_proj_);
 }
 
+void KvCacheLayer::reserve(std::int64_t capacity, std::int64_t kv_heads,
+                           std::int64_t head_dim) {
+  MGPT_CHECK(capacity > 0 && kv_heads > 0 && head_dim > 0,
+             "KvCacheLayer::reserve requires positive dimensions");
+  MGPT_CHECK(length() == 0, "cannot reserve a non-empty KV cache layer");
+  if (capacity == this->capacity() && key_slab_.dim(2) == kv_heads &&
+      key_slab_.dim(3) == head_dim) {
+    return;  // already reserved with this geometry
+  }
+  key_slab_ = Tensor({1, capacity, kv_heads, head_dim});
+  value_slab_ = Tensor({1, capacity, kv_heads, head_dim});
+}
+
+void KvCacheLayer::append(const float* k, const float* v,
+                          std::int64_t n_tokens, std::int64_t kv_heads,
+                          std::int64_t head_dim) {
+  MGPT_CHECK(n_tokens > 0, "KV append requires tokens");
+  const std::int64_t row = kv_heads * head_dim;
+  const std::int64_t len = length();
+  if (key_slab_.defined()) {
+    MGPT_CHECK(key_slab_.dim(2) == kv_heads && key_slab_.dim(3) == head_dim,
+               "kv cache shape mismatch");
+    MGPT_CHECK(len + n_tokens <= capacity(),
+               "kv slot capacity " << capacity() << " exceeded (have " << len
+                                   << ", appending " << n_tokens << ")");
+    std::copy(k, k + n_tokens * row, key_slab_.data() + len * row);
+    std::copy(v, v + n_tokens * row, value_slab_.data() + len * row);
+    keys = key_slab_.prefix_view({1, len + n_tokens, kv_heads, head_dim});
+    values = value_slab_.prefix_view({1, len + n_tokens, kv_heads, head_dim});
+    return;
+  }
+  // Dynamic mode: reallocate and copy the history (the pre-pool behaviour).
+  if (len > 0) {
+    MGPT_CHECK(keys.dim(2) == kv_heads && keys.dim(3) == head_dim,
+               "kv cache shape mismatch");
+  }
+  Tensor new_keys({1, len + n_tokens, kv_heads, head_dim});
+  Tensor new_values({1, len + n_tokens, kv_heads, head_dim});
+  if (len > 0) {
+    std::copy(keys.data(), keys.data() + keys.numel(), new_keys.data());
+    std::copy(values.data(), values.data() + values.numel(),
+              new_values.data());
+  }
+  std::copy(k, k + n_tokens * row, new_keys.data() + len * row);
+  std::copy(v, v + n_tokens * row, new_values.data() + len * row);
+  keys = std::move(new_keys);
+  values = std::move(new_values);
+}
+
+void KvCacheLayer::reset() {
+  keys = Tensor();
+  values = Tensor();
+}
+
+void KvCache::reserve(const GptConfig& config, std::int64_t capacity_tokens) {
+  const std::int64_t cap =
+      capacity_tokens > 0 ? capacity_tokens : config.max_seq;
+  layers.resize(static_cast<std::size_t>(config.n_layers));
+  for (auto& layer : layers) {
+    layer.reserve(cap, config.kv_heads(), config.head_dim());
+  }
+}
+
+void KvCache::reset() {
+  for (auto& layer : layers) layer.reset();
+  length = 0;
+}
+
 double KvCache::bytes() const {
   double elems = 0.0;
   for (const auto& layer : layers) {
@@ -59,24 +127,6 @@ double KvCache::bytes() const {
   }
   return 2.0 * elems;  // bf16 on the accelerator
 }
-
-namespace {
-/// Append `extra` to `history` along the time axis ([1, T, H, D] tensors).
-Tensor concat_time(const Tensor& history, const Tensor& extra) {
-  if (!history.defined()) return extra.clone();
-  MGPT_CHECK(history.ndim() == 4 && extra.ndim() == 4 &&
-                 history.dim(0) == 1 && extra.dim(0) == 1 &&
-                 history.dim(2) == extra.dim(2) &&
-                 history.dim(3) == extra.dim(3),
-             "kv cache shape mismatch");
-  Tensor out({1, history.dim(1) + extra.dim(1), history.dim(2),
-              history.dim(3)});
-  std::copy(history.data(), history.data() + history.numel(), out.data());
-  std::copy(extra.data(), extra.data() + extra.numel(),
-            out.data() + history.numel());
-  return out;
-}
-}  // namespace
 
 Var SelfAttention::forward_cached(Tape& tape, const Var& x, std::int64_t seq,
                                   KvCacheLayer& slot,
@@ -94,8 +144,8 @@ Var SelfAttention::forward_cached(Tape& tape, const Var& x, std::int64_t seq,
                         rotary_fraction_, past_len);
   Var v_new = heads(v_proj_, n_kv_heads_);
 
-  slot.keys = concat_time(slot.keys, k_new.value());
-  slot.values = concat_time(slot.values, v_new.value());
+  slot.append(k_new.value().data(), v_new.value().data(), seq, n_kv_heads_,
+              head_dim);
   Var k_all = tape.leaf(slot.keys, /*requires_grad=*/false);
   Var v_all = tape.leaf(slot.values, /*requires_grad=*/false);
   // Prefill runs the normal causal kernel; decode attends over the whole
@@ -103,6 +153,43 @@ Var SelfAttention::forward_cached(Tape& tape, const Var& x, std::int64_t seq,
   const bool causal = past_len == 0;
   Var attn = ops::attention(tape, q, k_all, v_all, causal, flash_);
   return o_proj_.forward(tape, ops::reshape(tape, attn, {seq, hidden_}));
+}
+
+Var SelfAttention::decode_step(Tape& tape, const Var& x,
+                               std::span<KvCacheLayer* const> slots,
+                               std::span<const std::int64_t> past_lens) const {
+  const std::int64_t n = x.value().dim(0);
+  MGPT_CHECK(static_cast<std::int64_t>(slots.size()) == n &&
+                 static_cast<std::int64_t>(past_lens.size()) == n,
+             "decode_step needs one KV slot and past length per sequence");
+  const std::int64_t head_dim = hidden_ / n_heads_;
+  // One batched projection per matrix amortizes op and allocation overhead
+  // across the whole batch — the sequential path pays it once per sequence.
+  Var q = ops::rope_rows(
+      tape,
+      ops::reshape(tape, q_proj_.forward(tape, x), {n, n_heads_, head_dim}),
+      past_lens, rope_theta_, rotary_fraction_);
+  Var k_new = ops::rope_rows(
+      tape,
+      ops::reshape(tape, k_proj_.forward(tape, x), {n, n_kv_heads_, head_dim}),
+      past_lens, rope_theta_, rotary_fraction_);
+  Var v_new = ops::reshape(tape, v_proj_.forward(tape, x),
+                           {n, n_kv_heads_, head_dim});
+
+  const std::int64_t row = n_kv_heads_ * head_dim;
+  std::vector<ops::RaggedKv> histories(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    KvCacheLayer& slot = *slots[static_cast<std::size_t>(i)];
+    MGPT_CHECK(slot.length() == past_lens[static_cast<std::size_t>(i)],
+               "KV slot length disagrees with past_len");
+    slot.append(k_new.value().data() + i * row,
+                v_new.value().data() + i * row, 1, n_kv_heads_, head_dim);
+    histories[static_cast<std::size_t>(i)] = {slot.keys.data(),
+                                              slot.values.data(),
+                                              slot.length()};
+  }
+  Var attn = ops::decode_attention(tape, q, histories, n_kv_heads_, flash_);
+  return o_proj_.forward(tape, attn);
 }
 
 Var SelfAttention::forward(Tape& tape, const Var& x, std::int64_t batch,
@@ -180,6 +267,22 @@ Var TransformerBlock::forward_cached(Tape& tape, const Var& x,
   Var h = ops::add(tape, x,
                    attn_.forward_cached(tape, rms1_->forward(tape, x), seq,
                                         slot, past_len));
+  return ops::add(tape, h,
+                  swiglu_mlp_->forward(tape, rms2_->forward(tape, h)));
+}
+
+Var TransformerBlock::decode_step(
+    Tape& tape, const Var& x, std::span<KvCacheLayer* const> slots,
+    std::span<const std::int64_t> past_lens) const {
+  if (arch_ == ArchFamily::kNeoX) {
+    Var attn_out = attn_.decode_step(tape, ln1_->forward(tape, x), slots,
+                                     past_lens);
+    Var mlp_out = gelu_mlp_->forward(tape, ln2_->forward(tape, x));
+    return ops::add(tape, x, ops::add(tape, attn_out, mlp_out));
+  }
+  Var h = ops::add(tape, x,
+                   attn_.decode_step(tape, rms1_->forward(tape, x), slots,
+                                     past_lens));
   return ops::add(tape, h,
                   swiglu_mlp_->forward(tape, rms2_->forward(tape, h)));
 }
@@ -273,6 +376,47 @@ Var GptModel::forward_incremental(Tape& tape,
                                    cache.length);
   }
   cache.length += seq;
+  // Only the last position's logits are ever sampled, so prefill skips the
+  // final norm + lm_head for every other row — at serving vocab sizes the
+  // projection is the bulk of a prompt pass. Both ops are row-wise, so the
+  // surviving row is bit-identical to its row in a full-width projection.
+  if (seq > 1) h = ops::slice_rows(tape, h, seq - 1, seq);
+  h = final_ln_ ? final_ln_->forward(tape, h) : final_rms_->forward(tape, h);
+  return lm_head_->forward(tape, h);
+}
+
+Var GptModel::decode_batch(Tape& tape, std::span<const std::int32_t> tokens,
+                           std::span<KvCache* const> caches) const {
+  const auto n = static_cast<std::int64_t>(tokens.size());
+  MGPT_CHECK(n > 0, "decode_batch requires sequences");
+  MGPT_CHECK(static_cast<std::int64_t>(caches.size()) == n,
+             "decode_batch needs one KV cache per token");
+  std::vector<std::int64_t> past(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    KvCache& cache = *caches[static_cast<std::size_t>(i)];
+    MGPT_CHECK(cache.length > 0,
+               "decode_batch requires prefilled caches (prime each sequence "
+               "with forward_incremental)");
+    MGPT_CHECK(cache.length + 1 <= config_.max_seq,
+               "kv cache would exceed max_seq");
+    MGPT_CHECK(static_cast<std::int64_t>(cache.layers.size()) ==
+                   config_.n_layers,
+               "kv cache layer count mismatch");
+    past[static_cast<std::size_t>(i)] = cache.length;
+  }
+  NoGradGuard guard(tape);
+  Var h = ops::embedding(tape, tok_emb_, tokens);  // [N, C]
+  std::vector<KvCacheLayer*> slots(static_cast<std::size_t>(n));
+  for (std::size_t layer = 0; layer < blocks_.size(); ++layer) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      slots[static_cast<std::size_t>(i)] =
+          &caches[static_cast<std::size_t>(i)]->layers[layer];
+    }
+    h = blocks_[layer]->decode_step(tape, h, slots, past);
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    caches[static_cast<std::size_t>(i)]->length += 1;
+  }
   h = final_ln_ ? final_ln_->forward(tape, h) : final_rms_->forward(tape, h);
   return lm_head_->forward(tape, h);
 }
@@ -303,8 +447,7 @@ std::vector<std::int32_t> GptModel::generate_cached(
   };
   Tape prefill;
   Var logits = forward_incremental(prefill, prompt, cache);
-  std::int32_t next = sample_from(
-      logits, static_cast<std::int64_t>(prompt.size()) - 1);
+  std::int32_t next = sample_from(logits, 0);
   for (std::int64_t step = 0; step < max_new_tokens; ++step) {
     tokens.push_back(next);
     if (step + 1 == max_new_tokens) break;

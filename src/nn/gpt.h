@@ -9,6 +9,7 @@
 // embeddings — exactly the controlled contrast of the paper's Fig. 2.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,17 +50,57 @@ struct GptConfig {
   void validate() const;
 };
 
-/// Per-layer key/value history for incremental decoding. Tensors are
+/// Per-layer key/value history for incremental decoding. `keys`/`values` are
 /// [1, length, Hkv, D]; undefined while empty. Inference-only state.
+///
+/// Two storage modes:
+///  * dynamic (default): every append reallocates and copies the history —
+///    fine for one-off generation.
+///  * reserved: reserve() preallocates [1, capacity, Hkv, D] slabs once and
+///    append() writes in place, exposing the occupied prefix as a zero-copy
+///    view — O(new tokens) per step, recyclable across requests (the serving
+///    KV pool's mode).
 struct KvCacheLayer {
   Tensor keys;
   Tensor values;
+
+  /// Preallocate fixed-capacity slabs (switches to reserved mode).
+  void reserve(std::int64_t capacity, std::int64_t kv_heads,
+               std::int64_t head_dim);
+  /// Append `n_tokens` time steps of contiguous [kv_heads * head_dim] rows.
+  /// Throws when a reserved slab would overflow its capacity.
+  void append(const float* k, const float* v, std::int64_t n_tokens,
+              std::int64_t kv_heads, std::int64_t head_dim);
+  /// Drop the history; reserved slabs are kept for reuse.
+  void reset();
+
+  std::int64_t length() const { return keys.defined() ? keys.dim(1) : 0; }
+  /// Reserved slab capacity in tokens (0 = dynamic mode).
+  std::int64_t capacity() const {
+    return key_slab_.defined() ? key_slab_.dim(1) : 0;
+  }
+
+ private:
+  Tensor key_slab_;    // [1, capacity, Hkv, D] when reserved
+  Tensor value_slab_;
 };
 
 /// Whole-model decode cache (one slot per layer).
 struct KvCache {
   std::vector<KvCacheLayer> layers;
   std::int64_t length = 0;
+
+  /// Preallocate every layer for `capacity_tokens` (0 = config.max_seq) so
+  /// decoding never reallocates. Used by the serving KV pool.
+  void reserve(const GptConfig& config, std::int64_t capacity_tokens = 0);
+  /// Forget the cached history but keep reserved storage for the next
+  /// request.
+  void reset();
+
+  /// Reserved per-layer capacity in tokens (0 when dynamic).
+  std::int64_t capacity_tokens() const {
+    return layers.empty() ? 0 : layers.front().capacity();
+  }
 
   /// Bytes a real accelerator would hold for this cache at bf16.
   double bytes() const;
@@ -80,6 +121,15 @@ class SelfAttention : public Module {
   /// attends over the full history. past_len > 0 requires seq == 1.
   Var forward_cached(Tape& tape, const Var& x, std::int64_t seq,
                      KvCacheLayer& slot, std::int64_t past_len) const;
+
+  /// Ragged-batch decode: x is [N, C], one new token per sequence; slot i
+  /// holds sequence i's history with past_lens[i] cached tokens. Appends
+  /// each token's K/V and attends per sequence. Projections and the output
+  /// matmul run batched, so per-op overhead is amortized across the batch;
+  /// results are bit-identical to N batch-1 forward_cached calls.
+  Var decode_step(Tape& tape, const Var& x,
+                  std::span<KvCacheLayer* const> slots,
+                  std::span<const std::int64_t> past_lens) const;
 
  private:
   std::int64_t hidden_;
@@ -106,6 +156,12 @@ class TransformerBlock : public Module {
   /// Incremental-decode counterpart of forward (batch 1, no dropout).
   Var forward_cached(Tape& tape, const Var& x, std::int64_t seq,
                      KvCacheLayer& slot, std::int64_t past_len) const;
+
+  /// Ragged-batch decode counterpart of forward_cached (see
+  /// SelfAttention::decode_step).
+  Var decode_step(Tape& tape, const Var& x,
+                  std::span<KvCacheLayer* const> slots,
+                  std::span<const std::int64_t> past_lens) const;
 
  private:
   ArchFamily arch_;
@@ -154,11 +210,21 @@ class GptModel : public Module {
                                      std::int64_t max_new_tokens,
                                      float temperature, Rng& rng) const;
 
-  /// Logits for new tokens given the cached history (batch 1). Appends the
-  /// tokens' K/V to `cache`. Either the cache is empty (prompt prefill) or
-  /// tokens.size() == 1 (decode step).
+  /// Logits [1, V] for the LAST of the new tokens given the cached history
+  /// (batch 1) — earlier prompt rows skip the lm_head, which dominates a
+  /// prefill at serving vocab sizes. Appends every token's K/V to `cache`.
+  /// Either the cache is empty (prompt prefill) or tokens.size() == 1
+  /// (decode step).
   Var forward_incremental(Tape& tape, std::span<const std::int32_t> tokens,
                           KvCache& cache) const;
+
+  /// Ragged-batch decode: one new token per sequence (tokens[i] against
+  /// caches[i], which must be primed by a prefill). Returns logits [N, V]
+  /// where row i is bit-identical to a batch-1 forward_incremental of
+  /// tokens[i] on caches[i]. Advances every cache by one token. The serving
+  /// engine's continuous-batching hot path.
+  Var decode_batch(Tape& tape, std::span<const std::int32_t> tokens,
+                   std::span<KvCache* const> caches) const;
 
   /// KV-cache decoding: one prefill plus one single-token step per output —
   /// O(T) attention per step instead of the O(T^2) re-forward of generate().

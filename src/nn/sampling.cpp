@@ -28,15 +28,25 @@ std::int32_t sample_token(std::span<const float> logits,
   kernels::softmax_row(probs.data(), static_cast<std::int64_t>(probs.size()));
 
   // Rank tokens by probability once; both filters work on the ranking.
+  // With top-k active only the leading k ranks matter, so a partial sort
+  // (O(n + k log k)) replaces the full vocab sort — at serving vocab sizes
+  // the full sort would dominate the decode step itself.
   std::vector<std::size_t> order(probs.size());
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+  const auto by_prob = [&](std::size_t a, std::size_t b) {
     return probs[a] > probs[b];
-  });
+  };
   std::size_t keep = probs.size();
   if (options.top_k > 0) {
     keep = std::min<std::size_t>(keep,
                                  static_cast<std::size_t>(options.top_k));
+  }
+  if (keep < order.size()) {
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(keep),
+                      order.end(), by_prob);
+  } else {
+    std::sort(order.begin(), order.end(), by_prob);
   }
   if (options.top_p < 1.0f) {
     double cumulative = 0.0;

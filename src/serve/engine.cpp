@@ -1,0 +1,213 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "nn/sampling.h"
+
+namespace matgpt::serve {
+
+namespace {
+double secs(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+}  // namespace
+
+InferenceEngine::InferenceEngine(const nn::GptModel& model,
+                                 EngineConfig config)
+    : model_(model),
+      config_(config),
+      pool_(model.config(), config.kv_slots, config.kv_capacity_tokens),
+      stats_(config.stats) {
+  MGPT_CHECK(config_.max_batch > 0, "max_batch must be positive");
+  MGPT_CHECK(config_.queue_capacity > 0, "queue_capacity must be positive");
+}
+
+std::future<RequestResult> InferenceEngine::submit(Request request) {
+  MGPT_CHECK(!request.prompt.empty(), "request requires a non-empty prompt");
+  MGPT_CHECK(request.max_new_tokens > 0,
+             "request must generate at least one token");
+  request.sampling.validate();
+  const std::int64_t budget =
+      static_cast<std::int64_t>(request.prompt.size()) +
+      request.max_new_tokens;
+  MGPT_CHECK(budget <= model_.config().max_seq,
+             "request needs " << budget << " tokens; model max_seq is "
+                              << model_.config().max_seq);
+  MGPT_CHECK(budget <= pool_.capacity_tokens(),
+             "request needs " << budget << " tokens; KV slots hold "
+                              << pool_.capacity_tokens());
+  Pending pending;
+  pending.request = std::move(request);
+  pending.submitted = Clock::now();  // client-observed latency includes
+                                     // queue backpressure
+  auto future = pending.promise.get_future();
+  {
+    std::unique_lock lock(queue_mutex_);
+    queue_cv_.wait(lock, [this] {
+      return waiting_.size() < config_.queue_capacity;
+    });
+    waiting_.push_back(std::move(pending));
+  }
+  return future;
+}
+
+std::size_t InferenceEngine::queue_depth() const {
+  std::lock_guard lock(queue_mutex_);
+  return waiting_.size();
+}
+
+void InferenceEngine::admit() {
+  while (static_cast<std::int64_t>(active_.size()) < config_.max_batch) {
+    nn::KvCache* slot = pool_.try_acquire();
+    if (slot == nullptr) return;  // every slot is in flight
+    Pending pending;
+    bool have_request = false;
+    {
+      std::lock_guard lock(queue_mutex_);
+      if (!waiting_.empty()) {
+        pending = std::move(waiting_.front());
+        waiting_.pop_front();
+        have_request = true;
+      }
+    }
+    if (!have_request) {
+      pool_.release(slot);
+      return;
+    }
+    queue_cv_.notify_one();  // queue space freed; unblock one submitter
+
+    ActiveSeq seq;
+    seq.request = std::move(pending.request);
+    seq.promise = std::move(pending.promise);
+    seq.submitted = pending.submitted;
+    seq.kv = slot;
+    seq.rng = Rng(seq.request.seed);
+    seq.tokens = seq.request.prompt;
+
+    Tape tape;
+    // forward_incremental returns logits for the last prompt position only.
+    Var logits = model_.forward_incremental(tape, seq.request.prompt, *slot);
+    const auto now = Clock::now();
+    seq.tokens.push_back(sample_row(logits, 0, seq));
+    seq.emitted = 1;
+    seq.ttft_s = secs(now - seq.submitted);
+    stats_.record_ttft(seq.ttft_s);
+    seq.last_token = now;
+    if (seq.emitted == seq.request.max_new_tokens) {
+      finish(seq, now);
+    } else {
+      active_.push_back(std::move(seq));
+    }
+  }
+}
+
+std::int32_t InferenceEngine::sample_row(const Var& logits, std::int64_t row,
+                                         ActiveSeq& seq) const {
+  const std::int64_t v = model_.config().vocab_size;
+  return nn::sample_token(
+      std::span<const float>(logits.value().data() + row * v,
+                             static_cast<std::size_t>(v)),
+      seq.request.sampling, seq.rng);
+}
+
+void InferenceEngine::finish(ActiveSeq& seq, Clock::time_point now) {
+  RequestResult result;
+  result.id = seq.request.id;
+  result.generated_tokens = seq.emitted;
+  result.tokens = std::move(seq.tokens);
+  result.ttft_s = seq.ttft_s;
+  result.total_s = secs(now - seq.submitted);
+  result.tokens_per_s =
+      result.total_s > 0.0
+          ? static_cast<double>(result.generated_tokens) / result.total_s
+          : 0.0;
+  pool_.release(seq.kv);
+  seq.kv = nullptr;
+  stats_.record_request(result);
+  seq.promise.set_value(std::move(result));
+}
+
+std::size_t InferenceEngine::step() {
+  const std::size_t active_before = active_.size();
+  admit();
+  const std::size_t admitted = active_.size() - active_before;
+  if (active_.empty()) return admitted;
+
+  const std::size_t n = active_.size();
+  std::vector<std::int32_t> feed(n);
+  std::vector<nn::KvCache*> caches(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    feed[i] = active_[i].tokens.back();
+    caches[i] = active_[i].kv;
+  }
+
+  auto advance = [this](ActiveSeq& seq, std::int32_t token,
+                        Clock::time_point now) {
+    seq.tokens.push_back(token);
+    seq.emitted += 1;
+    stats_.record_inter_token(secs(now - seq.last_token));
+    seq.last_token = now;
+  };
+
+  if (config_.batched_decode) {
+    Tape tape;
+    Var logits = model_.decode_batch(tape, feed, caches);
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      advance(active_[i], sample_row(logits, static_cast<std::int64_t>(i),
+                                     active_[i]),
+              now);
+    }
+  } else {
+    // Sequential baseline: one batch-1 step per sequence.
+    for (std::size_t i = 0; i < n; ++i) {
+      Tape tape;
+      Var logits = model_.forward_incremental(
+          tape, std::span<const std::int32_t>(&feed[i], 1), *caches[i]);
+      const auto now = Clock::now();
+      advance(active_[i], sample_row(logits, 0, active_[i]), now);
+    }
+  }
+
+  // Retire finished sequences; their slots are free for the next admit().
+  std::vector<ActiveSeq> survivors;
+  survivors.reserve(active_.size());
+  for (auto& seq : active_) {
+    if (seq.emitted == seq.request.max_new_tokens) {
+      finish(seq, seq.last_token);
+    } else {
+      survivors.push_back(std::move(seq));
+    }
+  }
+  active_ = std::move(survivors);
+  return admitted + n;
+}
+
+void InferenceEngine::run_until_idle() {
+  while (step() > 0) {
+  }
+}
+
+std::vector<RequestResult> InferenceEngine::run_trace(
+    std::vector<Request> requests) {
+  std::vector<std::future<RequestResult>> futures;
+  futures.reserve(requests.size());
+  std::size_t next = 0;
+  while (next < requests.size()) {
+    // submit() would block on a full queue; feed what fits, then step.
+    while (next < requests.size() &&
+           queue_depth() < config_.queue_capacity) {
+      futures.push_back(submit(std::move(requests[next++])));
+    }
+    step();
+  }
+  run_until_idle();
+  std::vector<RequestResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+}  // namespace matgpt::serve

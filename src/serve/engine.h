@@ -1,0 +1,118 @@
+#pragma once
+// Continuous-batching inference engine.
+//
+// Requests enter a bounded admission queue (submit() blocks when it is
+// full — backpressure, not a crash). Each scheduler step:
+//
+//   1. admit: while the decode batch has room AND the KV pool has a free
+//      slot, pop a waiting request, prefill its prompt (batch-1), and sample
+//      its first token (TTFT);
+//   2. decode: one ragged-batch GptModel::decode_batch step across every
+//      active sequence — one new token each;
+//   3. retire: finished sequences release their KV slot back to the pool and
+//      resolve their future; the freed capacity is re-usable in the next
+//      step's admissions — no drain barrier between request generations.
+//
+// Per-request sampling streams are seeded from Request::seed, so each
+// request's tokens are bit-identical to a standalone batch-1
+// GptModel::generate_cached run regardless of what it was batched with.
+//
+// Threading: submit() is safe from any thread; step()/run_*() must be driven
+// by one scheduler thread.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "nn/gpt.h"
+#include "serve/kv_pool.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+
+namespace matgpt::serve {
+
+struct EngineConfig {
+  /// Maximum sequences decoded together per step.
+  std::int64_t max_batch = 8;
+  /// Pooled KV slots; admission stalls (requests stay queued) when all slots
+  /// are in flight, so the pool can never be oversubscribed.
+  std::size_t kv_slots = 8;
+  /// Admission queue bound; submit() blocks while the queue is full.
+  std::size_t queue_capacity = 64;
+  /// Per-slot token capacity (0 = model max_seq).
+  std::int64_t kv_capacity_tokens = 0;
+  /// false: decode active sequences one at a time (the pre-batching
+  /// behaviour) — kept for apples-to-apples benchmarking.
+  bool batched_decode = true;
+  StatsConfig stats;
+};
+
+class InferenceEngine {
+ public:
+  InferenceEngine(const nn::GptModel& model, EngineConfig config = {});
+
+  /// Enqueue a request; blocks while the admission queue is full. The future
+  /// resolves when the request finishes decoding.
+  std::future<RequestResult> submit(Request request);
+
+  /// One scheduler iteration (admit -> batched decode -> retire). Returns
+  /// the number of sequences that advanced (0 = nothing waiting or active).
+  std::size_t step();
+
+  /// Drive step() until the queue and the active batch are both empty.
+  void run_until_idle();
+
+  /// Single-threaded convenience for tests and benches: feed the trace
+  /// through the bounded queue (interleaving admission with scheduler steps,
+  /// exactly as a saturated server would) and return results in input order.
+  std::vector<RequestResult> run_trace(std::vector<Request> requests);
+
+  const ServerStats& stats() const { return stats_; }
+  const KvCachePool& kv_pool() const { return pool_; }
+  std::size_t queue_depth() const;
+  std::size_t active_count() const { return active_.size(); }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Request request;
+    std::promise<RequestResult> promise;
+    Clock::time_point submitted;
+  };
+
+  struct ActiveSeq {
+    Request request;
+    std::promise<RequestResult> promise;
+    Clock::time_point submitted;
+    Clock::time_point last_token;
+    nn::KvCache* kv = nullptr;
+    Rng rng{0};
+    std::vector<std::int32_t> tokens;  // prompt + generated so far
+    std::int64_t emitted = 0;
+    double ttft_s = 0.0;
+  };
+
+  void admit();
+  std::int32_t sample_row(const Var& logits, std::int64_t row,
+                          ActiveSeq& seq) const;
+  void finish(ActiveSeq& seq, Clock::time_point now);
+
+  const nn::GptModel& model_;
+  EngineConfig config_;
+  KvCachePool pool_;
+  ServerStats stats_;
+
+  std::deque<Pending> waiting_;
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+
+  std::vector<ActiveSeq> active_;
+};
+
+}  // namespace matgpt::serve

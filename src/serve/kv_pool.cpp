@@ -1,0 +1,71 @@
+#include "serve/kv_pool.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace matgpt::serve {
+
+KvCachePool::KvCachePool(const nn::GptConfig& config, std::size_t slots,
+                         std::int64_t capacity_tokens)
+    : capacity_tokens_(capacity_tokens > 0 ? capacity_tokens
+                                           : config.max_seq) {
+  MGPT_CHECK(slots > 0, "KvCachePool requires at least one slot");
+  MGPT_CHECK(capacity_tokens_ <= config.max_seq,
+             "pool capacity_tokens " << capacity_tokens_
+                                     << " exceeds model max_seq "
+                                     << config.max_seq);
+  slots_.reserve(slots);
+  free_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    auto cache = std::make_unique<nn::KvCache>();
+    cache->reserve(config, capacity_tokens_);
+    free_.push_back(cache.get());
+    slots_.push_back(std::move(cache));
+  }
+  // bf16 K + V per layer at full capacity, as KvCache::bytes() would report.
+  reserved_bytes_ = 2.0 * 2.0 * static_cast<double>(slots) *
+                    static_cast<double>(config.n_layers) *
+                    static_cast<double>(capacity_tokens_) *
+                    static_cast<double>(config.kv_heads()) *
+                    static_cast<double>(config.head_dim());
+}
+
+std::size_t KvCachePool::available() const {
+  std::lock_guard lock(mutex_);
+  return free_.size();
+}
+
+nn::KvCache* KvCachePool::acquire() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !free_.empty(); });
+  nn::KvCache* cache = free_.back();
+  free_.pop_back();
+  return cache;
+}
+
+nn::KvCache* KvCachePool::try_acquire() {
+  std::lock_guard lock(mutex_);
+  if (free_.empty()) return nullptr;
+  nn::KvCache* cache = free_.back();
+  free_.pop_back();
+  return cache;
+}
+
+void KvCachePool::release(nn::KvCache* cache) {
+  MGPT_CHECK(cache != nullptr, "release of a null KV cache");
+  const bool owned =
+      std::any_of(slots_.begin(), slots_.end(),
+                  [cache](const auto& slot) { return slot.get() == cache; });
+  MGPT_CHECK(owned, "release of a cache this pool does not own");
+  cache->reset();
+  {
+    std::lock_guard lock(mutex_);
+    MGPT_CHECK(std::find(free_.begin(), free_.end(), cache) == free_.end(),
+               "double release of a KV cache slot");
+    free_.push_back(cache);
+  }
+  cv_.notify_one();
+}
+
+}  // namespace matgpt::serve

@@ -1,0 +1,56 @@
+#pragma once
+// Pooled KV-cache allocator for serving.
+//
+// Pre-allocates a fixed number of full-capacity KvCache slots sized from the
+// model config (respecting kv_heads() so GQA shrinks the pool by
+// n_heads / n_kv_heads) and recycles them across requests: release() resets
+// a slot's history but keeps its slabs, so steady-state serving never
+// allocates KV memory. The slot count is a hard admission limit — acquire()
+// blocks until a slot frees, and the pool can never hand out more caches
+// than it owns.
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/gpt.h"
+
+namespace matgpt::serve {
+
+class KvCachePool {
+ public:
+  /// `capacity_tokens == 0` sizes every slot for config.max_seq.
+  KvCachePool(const nn::GptConfig& config, std::size_t slots,
+              std::int64_t capacity_tokens = 0);
+
+  KvCachePool(const KvCachePool&) = delete;
+  KvCachePool& operator=(const KvCachePool&) = delete;
+
+  std::size_t slot_count() const { return slots_.size(); }
+  std::int64_t capacity_tokens() const { return capacity_tokens_; }
+  /// Slots currently free (thread-safe snapshot).
+  std::size_t available() const;
+  /// Accelerator bf16 bytes the fully-reserved pool pins.
+  double reserved_bytes() const { return reserved_bytes_; }
+
+  /// Take a slot, blocking until one frees. The returned cache is empty and
+  /// fully reserved; ownership stays with the pool — return it via release().
+  nn::KvCache* acquire();
+  /// Non-blocking acquire; nullptr when the pool is exhausted.
+  nn::KvCache* try_acquire();
+  /// Reset the slot (keeping its reserved slabs) and return it to the free
+  /// list, waking one blocked acquire().
+  void release(nn::KvCache* cache);
+
+ private:
+  std::vector<std::unique_ptr<nn::KvCache>> slots_;
+  std::vector<nn::KvCache*> free_;
+  std::int64_t capacity_tokens_;
+  double reserved_bytes_ = 0.0;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace matgpt::serve

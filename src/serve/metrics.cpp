@@ -1,0 +1,56 @@
+#include "serve/metrics.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace matgpt::serve {
+
+ServerStats::ServerStats(const StatsConfig& config)
+    : ttft_ms_(0.0, config.max_ttft_ms, config.bins),
+      inter_token_ms_(0.0, config.max_inter_token_ms, config.bins) {
+  MGPT_CHECK(config.max_ttft_ms > 0.0 && config.max_inter_token_ms > 0.0,
+             "latency bounds must be positive");
+}
+
+void ServerStats::record_ttft(double seconds) {
+  ttft_ms_.add(seconds * 1e3);
+}
+
+void ServerStats::record_inter_token(double seconds) {
+  inter_token_ms_.add(seconds * 1e3);
+}
+
+void ServerStats::record_request(const RequestResult& result) {
+  requests_completed_ += 1;
+  tokens_generated_ += static_cast<std::uint64_t>(result.generated_tokens);
+  sum_request_tokens_per_s_ += result.tokens_per_s;
+}
+
+double ServerStats::mean_request_tokens_per_s() const {
+  return requests_completed_ == 0
+             ? 0.0
+             : sum_request_tokens_per_s_ /
+                   static_cast<double>(requests_completed_);
+}
+
+std::string ServerStats::report(double wall_s) const {
+  std::ostringstream os;
+  os << "requests completed:  " << requests_completed_ << "\n";
+  os << "tokens generated:    " << tokens_generated_ << "\n";
+  if (wall_s > 0.0) {
+    os << "aggregate tokens/s:  "
+       << static_cast<double>(tokens_generated_) / wall_s << "\n";
+  }
+  auto row = [&os](const char* label, const Histogram& h) {
+    os << label << "p50 " << h.quantile(0.50) << " ms, p95 "
+       << h.quantile(0.95) << " ms, p99 " << h.quantile(0.99) << " ms\n";
+  };
+  if (ttft_ms_.total() > 0.0) row("ttft:                ", ttft_ms_);
+  if (inter_token_ms_.total() > 0.0) {
+    row("inter-token latency: ", inter_token_ms_);
+  }
+  return os.str();
+}
+
+}  // namespace matgpt::serve

@@ -1,0 +1,60 @@
+#pragma once
+// Serving latency metrics: time-to-first-token, inter-token latency, and
+// per-request throughput, recorded into common/histogram with p50/p95/p99
+// quantile queries.
+//
+// Written only by the engine's scheduler thread; read once the run settles
+// (or from the same thread) — no internal locking.
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "serve/request.h"
+
+namespace matgpt::serve {
+
+/// Bounds for the fixed-bin latency histograms. Samples above the bound are
+/// clamped into the top bin (Histogram semantics), so quantiles saturate
+/// rather than lose data.
+struct StatsConfig {
+  double max_ttft_ms = 10000.0;
+  double max_inter_token_ms = 1000.0;
+  std::size_t bins = 4000;
+};
+
+class ServerStats {
+ public:
+  explicit ServerStats(const StatsConfig& config = {});
+
+  void record_ttft(double seconds);
+  void record_inter_token(double seconds);
+  void record_request(const RequestResult& result);
+
+  std::uint64_t requests_completed() const { return requests_completed_; }
+  std::uint64_t tokens_generated() const { return tokens_generated_; }
+
+  /// Quantiles in milliseconds (q in [0, 1]); require recorded samples.
+  double ttft_ms(double q) const { return ttft_ms_.quantile(q); }
+  double inter_token_ms(double q) const {
+    return inter_token_ms_.quantile(q);
+  }
+  double ttft_count() const { return ttft_ms_.total(); }
+  double inter_token_count() const { return inter_token_ms_.total(); }
+
+  /// Mean per-request decode throughput (tokens/s) over completed requests.
+  double mean_request_tokens_per_s() const;
+
+  /// Human-readable report: aggregate throughput over `wall_s` plus the
+  /// p50/p95/p99 latency table.
+  std::string report(double wall_s) const;
+
+ private:
+  Histogram ttft_ms_;
+  Histogram inter_token_ms_;
+  std::uint64_t requests_completed_ = 0;
+  std::uint64_t tokens_generated_ = 0;
+  double sum_request_tokens_per_s_ = 0.0;
+};
+
+}  // namespace matgpt::serve

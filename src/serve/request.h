@@ -1,0 +1,38 @@
+#pragma once
+// Serving request/response types shared by the engine, metrics, and traces.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sampling.h"
+
+namespace matgpt::serve {
+
+/// One generation request as a client would submit it.
+struct Request {
+  std::uint64_t id = 0;
+  std::vector<std::int32_t> prompt;
+  nn::SamplingOptions sampling;
+  std::int64_t max_new_tokens = 16;
+  /// Per-request sampling stream: the engine draws from Rng(seed), so a
+  /// request's tokens are independent of batch composition and identical to
+  /// a batch-1 GptModel::generate_cached run with the same seed.
+  std::uint64_t seed = 0;
+};
+
+/// Completed request: prompt + generated tokens (the generate_cached layout)
+/// plus per-request latency accounting.
+struct RequestResult {
+  std::uint64_t id = 0;
+  std::vector<std::int32_t> tokens;
+  /// Tokens the engine generated (tokens.size() minus the prompt).
+  std::int64_t generated_tokens = 0;
+  /// Submit-to-first-token latency (queue wait + prefill).
+  double ttft_s = 0.0;
+  /// Submit-to-completion latency.
+  double total_s = 0.0;
+  /// Decode throughput: generated tokens / total_s.
+  double tokens_per_s = 0.0;
+};
+
+}  // namespace matgpt::serve

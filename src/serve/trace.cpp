@@ -1,0 +1,42 @@
+#include "serve/trace.h"
+
+#include "common/error.h"
+
+namespace matgpt::serve {
+
+std::vector<Request> synth_trace(const TraceSpec& spec) {
+  MGPT_CHECK(spec.n_requests > 0, "trace requires requests");
+  MGPT_CHECK(spec.vocab_size > 0, "trace requires a vocabulary");
+  MGPT_CHECK(spec.prompt_len_min >= 1 &&
+                 spec.prompt_len_min <= spec.prompt_len_max,
+             "invalid prompt length range");
+  MGPT_CHECK(spec.max_new_min >= 1 && spec.max_new_min <= spec.max_new_max,
+             "invalid max_new_tokens range");
+  Rng rng(spec.seed);
+  std::vector<Request> trace;
+  trace.reserve(spec.n_requests);
+  for (std::size_t i = 0; i < spec.n_requests; ++i) {
+    Request req;
+    req.id = i;
+    const std::int64_t prompt_len =
+        rng.uniform_int(spec.prompt_len_min, spec.prompt_len_max);
+    req.prompt.reserve(static_cast<std::size_t>(prompt_len));
+    for (std::int64_t t = 0; t < prompt_len; ++t) {
+      req.prompt.push_back(static_cast<std::int32_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(spec.vocab_size))));
+    }
+    req.max_new_tokens = rng.uniform_int(spec.max_new_min, spec.max_new_max);
+    if (rng.uniform() < spec.greedy_fraction) {
+      req.sampling.temperature = 0.0f;  // greedy
+    } else {
+      req.sampling.temperature = 0.8f;
+      req.sampling.top_k = 40;
+      req.sampling.top_p = 0.95f;
+    }
+    req.seed = rng.next();
+    trace.push_back(std::move(req));
+  }
+  return trace;
+}
+
+}  // namespace matgpt::serve

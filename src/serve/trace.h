@@ -1,0 +1,30 @@
+#pragma once
+// Synthetic request traces for serving benchmarks and tests: a reproducible
+// mix of prompt lengths, generation budgets, and sampling settings.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/request.h"
+
+namespace matgpt::serve {
+
+struct TraceSpec {
+  std::size_t n_requests = 32;
+  std::int64_t vocab_size = 512;
+  std::int64_t prompt_len_min = 4;
+  std::int64_t prompt_len_max = 24;
+  std::int64_t max_new_min = 8;
+  std::int64_t max_new_max = 32;
+  /// Fraction of requests decoded greedily (temperature 0); the rest use
+  /// temperature 0.8 with light top-k/top-p, the common serving mix.
+  double greedy_fraction = 0.25;
+  std::uint64_t seed = 0x7eace;
+};
+
+/// Deterministic trace: the same spec always produces the same requests
+/// (ids 0..n-1 and per-request sampling seeds included).
+std::vector<Request> synth_trace(const TraceSpec& spec);
+
+}  // namespace matgpt::serve

@@ -20,6 +20,11 @@
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MATGPT_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace matgpt::ops {
 
 namespace {
@@ -39,10 +44,116 @@ inline std::size_t bthd_off(const AttnShape& s, std::int64_t b,
   return static_cast<std::size_t>(((b * s.t + t) * s.h + h) * s.d);
 }
 
+#ifdef MATGPT_X86_DISPATCH
+#pragma GCC push_options
+#pragma GCC target("avx2,fma")
+
+__attribute__((noinline)) float dot_d_avx2(const float* a, const float* b,
+                                           std::int64_t d) {
+  __m256 acc = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  __m128 lo = _mm256_castps256_ps128(acc);
+  lo = _mm_add_ps(lo, _mm256_extractf128_ps(acc, 1));
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  float out = _mm_cvtss_f32(lo);
+  for (; i < d; ++i) out = std::fmaf(a[i], b[i], out);
+  return out;
+}
+
+__attribute__((noinline)) void axpy_d_avx2(float* out, float w, const float* v,
+                                           std::int64_t d) {
+  const __m256 wv = _mm256_set1_ps(w);
+  std::int64_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_fmadd_ps(wv, _mm256_loadu_ps(v + i),
+                                              _mm256_loadu_ps(out + i)));
+  }
+  for (; i < d; ++i) out[i] = std::fmaf(w, v[i], out[i]);
+}
+
+#pragma GCC pop_options
+
+bool attn_use_avx2() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+#endif  // MATGPT_X86_DISPATCH
+
+// Every attention path — full forwards, ragged decode, flash and
+// materialized alike — funnels its dot products and weighted accumulations
+// through these two helpers, so the dispatch decision (made once per
+// process) can never make two paths disagree bitwise.
 inline float dot_d(const float* a, const float* b, std::int64_t d) {
+#ifdef MATGPT_X86_DISPATCH
+  if (attn_use_avx2()) return dot_d_avx2(a, b, d);
+#endif
   float acc = 0.0f;
   for (std::int64_t i = 0; i < d; ++i) acc += a[i] * b[i];
   return acc;
+}
+
+/// out[0..d) += w * v[0..d)
+inline void axpy_d(float* out, float w, const float* v, std::int64_t d) {
+#ifdef MATGPT_X86_DISPATCH
+  if (attn_use_avx2()) {
+    axpy_d_avx2(out, w, v, d);
+    return;
+  }
+#endif
+  for (std::int64_t i = 0; i < d; ++i) out[i] = std::fmaf(w, v[i], out[i]);
+}
+
+// The two per-query-row attention kernels. Both the full [B, T, H, D]
+// forwards below and the ragged-batch decode_attention op run these exact
+// routines, so batched serving decode is bit-identical to the batch-1 path.
+// Consecutive kv time steps are `stride` floats apart starting at k0/v0
+// (already offset to the right batch and kv head).
+
+/// Flash variant: online softmax over `len` kv rows. Writes the attended
+/// output to `out` and returns the row's logsumexp. `acc` is caller scratch
+/// of length d.
+inline float flash_attend_row(const float* qv, const float* k0,
+                              const float* v0, std::int64_t len,
+                              std::int64_t stride, std::int64_t d, float scl,
+                              float* out, float* acc) {
+  float m = -std::numeric_limits<float>::infinity();
+  double l = 0.0;
+  std::fill(acc, acc + d, 0.0f);
+  for (std::int64_t tk = 0; tk < len; ++tk) {
+    const float sc = scl * dot_d(qv, k0 + tk * stride, d);
+    if (sc > m) {
+      const float rescale = std::exp(m - sc);
+      for (std::int64_t i = 0; i < d; ++i) acc[i] *= rescale;
+      l *= rescale;
+      m = sc;
+    }
+    const float w = std::exp(sc - m);
+    l += w;
+    axpy_d(acc, w, v0 + tk * stride, d);
+  }
+  const auto inv = static_cast<float>(1.0 / l);
+  for (std::int64_t i = 0; i < d; ++i) out[i] = acc[i] * inv;
+  return m + static_cast<float>(std::log(l));
+}
+
+/// Materialized variant: scores into `prow` (softmaxed in place, length >=
+/// len), attended output accumulated into `out` (caller provides zeros).
+inline void materialized_attend_row(const float* qv, const float* k0,
+                                    const float* v0, std::int64_t len,
+                                    std::int64_t stride, std::int64_t d,
+                                    float scl, float* out, float* prow) {
+  for (std::int64_t tk = 0; tk < len; ++tk) {
+    prow[tk] = scl * dot_d(qv, k0 + tk * stride, d);
+  }
+  kernels::softmax_row(prow, len);
+  for (std::int64_t tk = 0; tk < len; ++tk) {
+    axpy_d(out, prow[tk], v0 + tk * stride, d);
+  }
 }
 
 }  // namespace
@@ -138,24 +249,19 @@ Var attention_materialized(Tape& tape, const Var& q, const Var& k,
   const float* vp = v.value().data();
   float* op = out.data();
   float* pp = probs.data();
+  const std::int64_t kv_stride = skv.h * skv.d;
   for (std::int64_t b = 0; b < s.b; ++b) {
     for (std::int64_t h = 0; h < s.h; ++h) {
+      const std::int64_t hkv = h / group;
+      const float* k0 = kp + bthd_off(skv, b, 0, hkv);
+      const float* v0 = vp + bthd_off(skv, b, 0, hkv);
       for (std::int64_t tq = 0; tq < s.t; ++tq) {
         const std::int64_t limit = causal ? tq + 1 : skv.t;
         float* prow = pp + static_cast<std::size_t>(
                                  ((b * s.h + h) * s.t + tq) * skv.t);
-        const std::int64_t hkv = h / group;
-        const float* qv = qp + bthd_off(s, b, tq, h);
-        for (std::int64_t tk = 0; tk < limit; ++tk) {
-          prow[tk] = scl * dot_d(qv, kp + bthd_off(skv, b, tk, hkv), s.d);
-        }
-        kernels::softmax_row(prow, limit);
-        float* ov = op + bthd_off(s, b, tq, h);
-        for (std::int64_t tk = 0; tk < limit; ++tk) {
-          const float w = prow[tk];
-          const float* vv = vp + bthd_off(skv, b, tk, hkv);
-          for (std::int64_t i = 0; i < s.d; ++i) ov[i] += w * vv[i];
-        }
+        materialized_attend_row(qp + bthd_off(s, b, tq, h), k0, v0, limit,
+                                kv_stride, s.d, scl,
+                                op + bthd_off(s, b, tq, h), prow);
       }
     }
   }
@@ -226,37 +332,17 @@ Var attention_flash(Tape& tape, const Var& q, const Var& k, const Var& v,
   float* op = out.data();
   float* lp = lse.data();
   std::vector<float> acc(static_cast<std::size_t>(s.d));
+  const std::int64_t kv_stride = skv.h * skv.d;
   for (std::int64_t b = 0; b < s.b; ++b) {
     for (std::int64_t h = 0; h < s.h; ++h) {
       const std::int64_t hkv = h / group;
+      const float* k0 = kp + bthd_off(skv, b, 0, hkv);
+      const float* v0 = vp + bthd_off(skv, b, 0, hkv);
       for (std::int64_t tq = 0; tq < s.t; ++tq) {
         const std::int64_t limit = causal ? tq + 1 : skv.t;
-        const float* qv = qp + bthd_off(s, b, tq, h);
-        float m = -std::numeric_limits<float>::infinity();
-        double l = 0.0;
-        std::fill(acc.begin(), acc.end(), 0.0f);
-        for (std::int64_t tk = 0; tk < limit; ++tk) {
-          const float sc =
-              scl * dot_d(qv, kp + bthd_off(skv, b, tk, hkv), s.d);
-          if (sc > m) {
-            const float rescale = std::exp(m - sc);
-            for (float& a : acc) a *= rescale;
-            l *= rescale;
-            m = sc;
-          }
-          const float w = std::exp(sc - m);
-          l += w;
-          const float* vv = vp + bthd_off(skv, b, tk, hkv);
-          for (std::int64_t i = 0; i < s.d; ++i) {
-            acc[static_cast<std::size_t>(i)] += w * vv[i];
-          }
-        }
-        const auto inv = static_cast<float>(1.0 / l);
-        float* ov = op + bthd_off(s, b, tq, h);
-        for (std::int64_t i = 0; i < s.d; ++i) {
-          ov[i] = acc[static_cast<std::size_t>(i)] * inv;
-        }
-        lp[(b * s.h + h) * s.t + tq] = m + static_cast<float>(std::log(l));
+        lp[(b * s.h + h) * s.t + tq] = flash_attend_row(
+            qp + bthd_off(s, b, tq, h), k0, v0, limit, kv_stride, s.d, scl,
+            op + bthd_off(s, b, tq, h), acc.data());
       }
     }
   }
@@ -330,6 +416,104 @@ Var attention(Tape& tape, const Var& q, const Var& k, const Var& v,
                                        << ")");
   return flash ? attention_flash(tape, q, k, v, causal, s, sk)
                : attention_materialized(tape, q, k, v, causal, s, sk);
+}
+
+Var rope_rows(Tape& tape, const Var& x,
+              std::span<const std::int64_t> positions, float theta,
+              float rotary_fraction) {
+  const Tensor& xv = x.value();
+  MGPT_CHECK(xv.ndim() == 3, "rope_rows input must be [N, H, D]");
+  const std::int64_t n = xv.dim(0);
+  const std::int64_t heads = xv.dim(1);
+  const std::int64_t d = xv.dim(2);
+  MGPT_CHECK(static_cast<std::int64_t>(positions.size()) == n,
+             "rope_rows needs one position per row");
+  MGPT_CHECK(!(tape.recording() && x.requires_grad()),
+             "rope_rows is inference-only");
+  MGPT_CHECK(rotary_fraction > 0.0f && rotary_fraction <= 1.0f,
+             "rope rotary_fraction must be in (0, 1]");
+  auto rot = static_cast<std::int64_t>(
+      std::lround(static_cast<double>(d) * rotary_fraction));
+  rot -= rot % 2;
+  MGPT_CHECK(rot >= 2, "rope needs at least one rotated pair");
+  const std::int64_t half = rot / 2;
+
+  // Same frequency/angle arithmetic as rope() so a ragged decode batch
+  // rotates each row exactly as the batch-1 path would at that position.
+  std::vector<double> freqs(static_cast<std::size_t>(half));
+  for (std::int64_t i = 0; i < half; ++i) {
+    freqs[static_cast<std::size_t>(i)] =
+        std::pow(static_cast<double>(theta),
+                 -2.0 * static_cast<double>(i) / static_cast<double>(rot));
+  }
+  Tensor out = xv.clone();
+  float* o = out.data();
+  for (std::int64_t row = 0; row < n; ++row) {
+    MGPT_CHECK(positions[static_cast<std::size_t>(row)] >= 0,
+               "rope_rows positions must be non-negative");
+    const auto pos =
+        static_cast<double>(positions[static_cast<std::size_t>(row)]);
+    for (std::int64_t h = 0; h < heads; ++h) {
+      float* vec = o + (row * heads + h) * d;
+      for (std::int64_t i = 0; i < half; ++i) {
+        const double angle = pos * freqs[static_cast<std::size_t>(i)];
+        const auto c = static_cast<float>(std::cos(angle));
+        const auto sn = static_cast<float>(std::sin(angle));
+        const float x0 = vec[i];
+        const float x1 = vec[i + half];
+        vec[i] = x0 * c - x1 * sn;
+        vec[i + half] = x0 * sn + x1 * c;
+      }
+    }
+  }
+  return tape.intermediate(std::move(out), false);
+}
+
+Var decode_attention(Tape& tape, const Var& q, std::span<const RaggedKv> kv,
+                     std::int64_t n_kv_heads, bool flash) {
+  const Tensor& qv = q.value();
+  MGPT_CHECK(qv.ndim() == 3, "decode_attention q must be [N, Hq, D]");
+  const std::int64_t n = qv.dim(0);
+  const std::int64_t hq = qv.dim(1);
+  const std::int64_t d = qv.dim(2);
+  MGPT_CHECK(static_cast<std::int64_t>(kv.size()) == n,
+             "decode_attention needs one KV history per row");
+  MGPT_CHECK(n_kv_heads >= 1 && hq % n_kv_heads == 0,
+             "GQA requires kv heads (" << n_kv_heads
+                                       << ") to divide query heads (" << hq
+                                       << ")");
+  MGPT_CHECK(!(tape.recording() && q.requires_grad()),
+             "decode_attention is inference-only");
+  const std::int64_t group = hq / n_kv_heads;
+  const std::int64_t stride = n_kv_heads * d;
+  const float scl = 1.0f / std::sqrt(static_cast<float>(d));
+  std::int64_t max_len = 0;
+  for (const RaggedKv& s : kv) {
+    MGPT_CHECK(s.len > 0 && s.keys != nullptr && s.values != nullptr,
+               "decode_attention requires a primed KV history per sequence");
+    max_len = std::max(max_len, s.len);
+  }
+  Tensor out({n, hq * d});  // 2D, ready for the output projection
+  float* op = out.data();
+  const float* qp = qv.data();
+  std::vector<float> acc(static_cast<std::size_t>(d));
+  std::vector<float> prow(static_cast<std::size_t>(max_len));
+  for (std::int64_t row = 0; row < n; ++row) {
+    const RaggedKv& s = kv[static_cast<std::size_t>(row)];
+    for (std::int64_t h = 0; h < hq; ++h) {
+      const std::int64_t hkv = h / group;
+      const float* qrow = qp + (row * hq + h) * d;
+      float* orow = op + row * hq * d + h * d;
+      if (flash) {
+        flash_attend_row(qrow, s.keys + hkv * d, s.values + hkv * d, s.len,
+                         stride, d, scl, orow, acc.data());
+      } else {
+        materialized_attend_row(qrow, s.keys + hkv * d, s.values + hkv * d,
+                                s.len, stride, d, scl, orow, prow.data());
+      }
+    }
+  }
+  return tape.intermediate(std::move(out), false);
 }
 
 }  // namespace matgpt::ops

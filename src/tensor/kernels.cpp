@@ -6,6 +6,11 @@
 
 #include "parallel/thread_pool.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MATGPT_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace matgpt::kernels {
 
 namespace {
@@ -21,10 +26,171 @@ void for_rows(std::int64_t m,
     pool.parallel_for(0, static_cast<std::size_t>(m), body);
   }
 }
+
+#ifdef MATGPT_X86_DISPATCH
+#pragma GCC push_options
+#pragma GCC target("avx2,fma")
+
+// Streaming NN microkernel, templated on the number of C rows it carries.
+//
+// Loop order is (column chunk, k-block of 4, columns): B is read exactly
+// once per call in contiguous row segments (prefetch-friendly — a
+// column-tiled kernel would walk B at stride n and die of cache-miss
+// latency on serving-sized weight matrices), while the ROWS x 512-float C
+// chunk stays L1-resident. Sharing each B load across ROWS rows is the
+// whole point: one row (batch-1 decode) is B-bandwidth-bound, eight rows
+// (a full serving batch) run at FMA throughput from the same traffic.
+//
+// Numerics: every C element accumulates its k terms in ascending order with
+// single-rounding FMAs — identical in the vector body, the scalar column
+// tail, and for every ROWS. A row's result depends only on (its A row, B),
+// never on how many rows share the call or how columns are chunked, which
+// is what keeps the serving engine's ragged-batch decode bit-identical to
+// batch-1 decoding.
+template <int ROWS>
+void gemm_nn_stream_avx2(const float* a, const float* b, float* c,
+                         std::int64_t i0, std::int64_t n, std::int64_t k,
+                         bool accumulate) {
+  constexpr std::int64_t kChunk = 512;  // floats of C per row per chunk
+  const float* arow[ROWS];
+  float* crow[ROWS];
+  for (int r = 0; r < ROWS; ++r) {
+    arow[r] = a + static_cast<std::size_t>(i0 + r) * static_cast<std::size_t>(k);
+    crow[r] = c + static_cast<std::size_t>(i0 + r) * static_cast<std::size_t>(n);
+  }
+  for (std::int64_t j0 = 0; j0 < n; j0 += kChunk) {
+    const std::int64_t jend = std::min(n, j0 + kChunk);
+    const std::int64_t jvec = j0 + ((jend - j0) / 8) * 8;
+    if (!accumulate) {
+      for (int r = 0; r < ROWS; ++r) {
+        std::memset(crow[r] + j0, 0,
+                    sizeof(float) * static_cast<std::size_t>(jend - j0));
+      }
+    }
+    std::int64_t l = 0;
+    for (; l + 4 <= k; l += 4) {
+      const float* b0 = b + static_cast<std::size_t>(l) * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      // Row pairs with all eight broadcasts hoisted into registers: each
+      // B load feeds two C rows, and after the first pair streams this
+      // 4-row B segment in, later pairs re-read it from L1 (8 KB).
+      int r = 0;
+      for (; r + 2 <= ROWS; r += 2) {
+        const __m256 a0 = _mm256_broadcast_ss(arow[r] + l);
+        const __m256 a1 = _mm256_broadcast_ss(arow[r] + l + 1);
+        const __m256 a2 = _mm256_broadcast_ss(arow[r] + l + 2);
+        const __m256 a3 = _mm256_broadcast_ss(arow[r] + l + 3);
+        const __m256 a4 = _mm256_broadcast_ss(arow[r + 1] + l);
+        const __m256 a5 = _mm256_broadcast_ss(arow[r + 1] + l + 1);
+        const __m256 a6 = _mm256_broadcast_ss(arow[r + 1] + l + 2);
+        const __m256 a7 = _mm256_broadcast_ss(arow[r + 1] + l + 3);
+        float* c0 = crow[r];
+        float* c1 = crow[r + 1];
+        for (std::int64_t j = j0; j < jvec; j += 8) {
+          const __m256 bv0 = _mm256_loadu_ps(b0 + j);
+          const __m256 bv1 = _mm256_loadu_ps(b1 + j);
+          const __m256 bv2 = _mm256_loadu_ps(b2 + j);
+          const __m256 bv3 = _mm256_loadu_ps(b3 + j);
+          __m256 cv0 = _mm256_loadu_ps(c0 + j);
+          cv0 = _mm256_fmadd_ps(a0, bv0, cv0);
+          cv0 = _mm256_fmadd_ps(a1, bv1, cv0);
+          cv0 = _mm256_fmadd_ps(a2, bv2, cv0);
+          cv0 = _mm256_fmadd_ps(a3, bv3, cv0);
+          _mm256_storeu_ps(c0 + j, cv0);
+          __m256 cv1 = _mm256_loadu_ps(c1 + j);
+          cv1 = _mm256_fmadd_ps(a4, bv0, cv1);
+          cv1 = _mm256_fmadd_ps(a5, bv1, cv1);
+          cv1 = _mm256_fmadd_ps(a6, bv2, cv1);
+          cv1 = _mm256_fmadd_ps(a7, bv3, cv1);
+          _mm256_storeu_ps(c1 + j, cv1);
+        }
+      }
+      for (; r < ROWS; ++r) {
+        const __m256 a0 = _mm256_broadcast_ss(arow[r] + l);
+        const __m256 a1 = _mm256_broadcast_ss(arow[r] + l + 1);
+        const __m256 a2 = _mm256_broadcast_ss(arow[r] + l + 2);
+        const __m256 a3 = _mm256_broadcast_ss(arow[r] + l + 3);
+        float* crr = crow[r];
+        for (std::int64_t j = j0; j < jvec; j += 8) {
+          __m256 cv = _mm256_loadu_ps(crr + j);
+          cv = _mm256_fmadd_ps(a0, _mm256_loadu_ps(b0 + j), cv);
+          cv = _mm256_fmadd_ps(a1, _mm256_loadu_ps(b1 + j), cv);
+          cv = _mm256_fmadd_ps(a2, _mm256_loadu_ps(b2 + j), cv);
+          cv = _mm256_fmadd_ps(a3, _mm256_loadu_ps(b3 + j), cv);
+          _mm256_storeu_ps(crr + j, cv);
+        }
+      }
+      for (std::int64_t j = jvec; j < jend; ++j) {
+        for (int rr = 0; rr < ROWS; ++rr) {
+          float acc = crow[rr][j];
+          acc = std::fmaf(arow[rr][l], b0[j], acc);
+          acc = std::fmaf(arow[rr][l + 1], b1[j], acc);
+          acc = std::fmaf(arow[rr][l + 2], b2[j], acc);
+          acc = std::fmaf(arow[rr][l + 3], b3[j], acc);
+          crow[rr][j] = acc;
+        }
+      }
+    }
+    for (; l < k; ++l) {
+      const float* brow = b + static_cast<std::size_t>(l) * n;
+      for (int r = 0; r < ROWS; ++r) {
+        const __m256 av = _mm256_broadcast_ss(arow[r] + l);
+        float* crr = crow[r];
+        for (std::int64_t j = j0; j < jvec; j += 8) {
+          const __m256 cv = _mm256_loadu_ps(crr + j);
+          _mm256_storeu_ps(crr + j,
+                           _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + j), cv));
+        }
+        for (std::int64_t j = jvec; j < jend; ++j) {
+          crr[j] = std::fmaf(arow[r][l], brow[j], crr[j]);
+        }
+      }
+    }
+  }
+}
+
+void gemm_nn_avx2_rows(const float* a, const float* b, float* c,
+                       std::int64_t lo, std::int64_t hi, std::int64_t n,
+                       std::int64_t k, bool accumulate) {
+  std::int64_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    gemm_nn_stream_avx2<8>(a, b, c, i, n, k, accumulate);
+  }
+  switch (hi - i) {
+    case 7: gemm_nn_stream_avx2<7>(a, b, c, i, n, k, accumulate); break;
+    case 6: gemm_nn_stream_avx2<6>(a, b, c, i, n, k, accumulate); break;
+    case 5: gemm_nn_stream_avx2<5>(a, b, c, i, n, k, accumulate); break;
+    case 4: gemm_nn_stream_avx2<4>(a, b, c, i, n, k, accumulate); break;
+    case 3: gemm_nn_stream_avx2<3>(a, b, c, i, n, k, accumulate); break;
+    case 2: gemm_nn_stream_avx2<2>(a, b, c, i, n, k, accumulate); break;
+    case 1: gemm_nn_stream_avx2<1>(a, b, c, i, n, k, accumulate); break;
+    default: break;
+  }
+}
+
+#pragma GCC pop_options
+
+bool use_avx2_fma() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+#endif  // MATGPT_X86_DISPATCH
 }  // namespace
 
 void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t n, std::int64_t k, bool accumulate) {
+#ifdef MATGPT_X86_DISPATCH
+  if (use_avx2_fma()) {
+    for_rows(m, [=](std::size_t lo, std::size_t hi) {
+      gemm_nn_avx2_rows(a, b, c, static_cast<std::int64_t>(lo),
+                        static_cast<std::int64_t>(hi), n, k, accumulate);
+    });
+    return;
+  }
+#endif
   for_rows(m, [=](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       float* crow = c + i * static_cast<std::size_t>(n);

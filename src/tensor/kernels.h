@@ -6,6 +6,16 @@
 // is the same cache-blocking reasoning the paper applies at the MI250X
 // matrix-core level. Row-parallelism goes through ThreadPool::global() and
 // degrades to serial on one core.
+//
+// On x86 with AVX2+FMA (runtime-dispatched), gemm_nn uses a streaming
+// multi-row microkernel: B is read once per up-to-8-row block in contiguous,
+// prefetch-friendly segments while an L1-resident chunk of C accumulates.
+// Batch-1 decode is therefore weight-bandwidth-bound and a full serving
+// batch rides the same B traffic at FMA throughput. Every C element still
+// accumulates its k terms in ascending order with single-rounding FMAs, so
+// results are identical no matter how many rows a call covers — the
+// property the serving engine relies on for batched-vs-batch-1 token
+// identity.
 
 #include <cstdint>
 #include <span>

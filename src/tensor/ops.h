@@ -90,6 +90,31 @@ Var rope(Tape& tape, const Var& x, float theta = 10000.0f,
 Var attention(Tape& tape, const Var& q, const Var& k, const Var& v,
               bool causal = true, bool flash = true);
 
+/// RoPE over [N, H, D] where row i is rotated at absolute position
+/// positions[i] — the ragged-batch decode counterpart of rope(), which
+/// applies one shared offset. Bit-identical to rope() at the same position.
+/// Inference-only (no backward is recorded).
+Var rope_rows(Tape& tape, const Var& x,
+              std::span<const std::int64_t> positions, float theta = 10000.0f,
+              float rotary_fraction = 1.0f);
+
+/// One sequence's KV history for ragged-batch decode: `len` time steps of
+/// [n_kv_heads, head_dim] rows, contiguous (the layout of a KvCacheLayer
+/// prefix).
+struct RaggedKv {
+  const float* keys = nullptr;
+  const float* values = nullptr;
+  std::int64_t len = 0;
+};
+
+/// Single-token-per-sequence decode attention over a ragged batch: q is
+/// [N, Hq, D] (one new token per sequence), kv[i] is sequence i's full
+/// history. Returns [N, Hq*D]. Runs the same per-row flash/materialized
+/// kernels as attention(), so results are bit-identical to N batch-1 calls.
+/// Inference-only (no backward is recorded).
+Var decode_attention(Tape& tape, const Var& q, std::span<const RaggedKv> kv,
+                     std::int64_t n_kv_heads, bool flash = true);
+
 // ---- losses ----------------------------------------------------------------
 
 /// Mean token cross-entropy. logits [N, V]; targets length N; positions

@@ -192,9 +192,22 @@ Tensor Tensor::reshape(std::vector<std::int64_t> new_shape) const {
   return view;
 }
 
+Tensor Tensor::prefix_view(std::vector<std::int64_t> new_shape) const {
+  check_defined();
+  const std::int64_t n = shape_numel(new_shape);
+  MGPT_CHECK(n <= numel_, "prefix_view numel " << n << " exceeds "
+                                               << shape_str());
+  Tensor view;
+  view.storage_ = storage_;
+  view.shape_ = std::move(new_shape);
+  view.numel_ = n;
+  return view;
+}
+
 Tensor Tensor::clone() const {
   check_defined();
-  return from_data(shape_, storage_->values);
+  return from_data(shape_,
+                   std::vector<float>(data(), data() + numel_));
 }
 
 Tensor Tensor::transposed_2d() const {
@@ -214,7 +227,7 @@ Tensor Tensor::transposed_2d() const {
 
 Tensor& Tensor::fill_(float value) {
   check_defined();
-  std::fill(storage_->values.begin(), storage_->values.end(), value);
+  std::fill(data(), data() + numel_, value);
   return *this;
 }
 
@@ -231,35 +244,35 @@ Tensor& Tensor::add_(const Tensor& other, float scale) {
 
 Tensor& Tensor::scale_(float factor) {
   check_defined();
-  for (float& v : storage_->values) v *= factor;
+  for (float& v : span()) v *= factor;
   return *this;
 }
 
 Tensor& Tensor::quantize_(DType dtype) {
   check_defined();
   if (dtype == DType::kFloat32) return *this;
-  for (float& v : storage_->values) v = round_to(dtype, v);
+  for (float& v : span()) v = round_to(dtype, v);
   return *this;
 }
 
 double Tensor::l2_norm() const {
   check_defined();
   double acc = 0.0;
-  for (float v : storage_->values) acc += static_cast<double>(v) * v;
+  for (float v : span()) acc += static_cast<double>(v) * v;
   return std::sqrt(acc);
 }
 
 double Tensor::sum() const {
   check_defined();
   double acc = 0.0;
-  for (float v : storage_->values) acc += v;
+  for (float v : span()) acc += v;
   return acc;
 }
 
 float Tensor::max_abs() const {
   check_defined();
   float m = 0.0f;
-  for (float v : storage_->values) m = std::max(m, std::fabs(v));
+  for (float v : span()) m = std::max(m, std::fabs(v));
   return m;
 }
 

@@ -82,6 +82,12 @@ class Tensor {
   /// is inferred.
   Tensor reshape(std::vector<std::int64_t> new_shape) const;
 
+  /// Zero-copy view of the leading prefix of this tensor's elements with the
+  /// given shape (numel(shape) <= this->numel()). Used by the pooled KV cache
+  /// to expose the occupied [1, len, H, D] prefix of a fixed-capacity slab
+  /// without copying. The view aliases this tensor's storage.
+  Tensor prefix_view(std::vector<std::int64_t> new_shape) const;
+
   /// Deep copy.
   Tensor clone() const;
 

@@ -226,6 +226,32 @@ TEST(Log2Histogram, RejectsNonPositive) {
   EXPECT_THROW(h.add(-1.0), Error);
 }
 
+TEST(Histogram, QuantilesInterpolateWithinBins) {
+  Histogram h(0.0, 100.0, 100);
+  for (int k = 1; k <= 100; ++k) h.add(k - 0.5);  // one sample per bin
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1e-9);
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+  EXPECT_THROW(h.quantile(1.5), Error);
+  Histogram empty(0.0, 1.0, 4);
+  EXPECT_THROW(empty.quantile(0.5), Error);
+}
+
+TEST(Log2Histogram, QuantileInterpolatesGeometrically) {
+  Log2Histogram h;
+  for (int i = 0; i < 4; ++i) h.add(1.0);  // all land in [1, 2)
+  EXPECT_NEAR(h.quantile(0.5), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(h.quantile(1.0), 2.0, 1e-12);
+  h.add(64.0);  // tail sample: p99 must land in [64, 128)
+  EXPECT_GE(h.quantile(0.99), 64.0);
+  EXPECT_LT(h.quantile(0.99), 128.0);
+  Log2Histogram empty;
+  EXPECT_THROW(empty.quantile(0.5), Error);
+}
+
 TEST(Table, RendersAlignedRows) {
   TablePrinter t({"name", "value"});
   t.add_row({"alpha", "1"});

@@ -247,6 +247,29 @@ TEST(Gpt, GenerateExtendsPromptWithinVocab) {
   EXPECT_EQ(g1, g2);
 }
 
+TEST(Gpt, CachedGenerationMatchesFullForwardWithGqa) {
+  // Regression: the KV-cache decode path must stay token-identical to the
+  // re-forward path when n_kv_heads < n_heads (grouped-query attention).
+  nn::GptConfig c = tiny_config(nn::ArchFamily::kLLaMA);
+  c.n_kv_heads = 1;  // 2 query heads share one KV head
+  nn::GptModel model(c);
+  const std::vector<std::int32_t> prompt{4, 8, 15, 16};
+
+  nn::SamplingOptions greedy;
+  greedy.temperature = 0.0f;
+  Rng rg1(7), rg2(7);
+  EXPECT_EQ(model.generate(prompt, 6, greedy, rg1),
+            model.generate_cached(prompt, 6, greedy, rg2));
+
+  nn::SamplingOptions sampled;
+  sampled.temperature = 0.8f;
+  sampled.top_k = 10;
+  sampled.top_p = 0.9f;
+  Rng rs1(23), rs2(23);
+  EXPECT_EQ(model.generate(prompt, 6, sampled, rs1),
+            model.generate_cached(prompt, 6, sampled, rs2));
+}
+
 TEST(Gpt, LossIgnoresMaskedTargets) {
   nn::GptModel model(tiny_config(nn::ArchFamily::kNeoX));
   const std::vector<std::int32_t> tokens{1, 2, 3, 4};

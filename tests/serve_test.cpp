@@ -1,0 +1,284 @@
+// Unit tests for src/serve: pooled KV allocator, continuous-batching engine
+// (token-identical to batch-1 generate_cached), admission backpressure, and
+// serving metrics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "nn/gpt.h"
+#include "serve/engine.h"
+#include "serve/kv_pool.h"
+#include "serve/metrics.h"
+#include "serve/trace.h"
+
+namespace matgpt {
+namespace {
+
+nn::GptConfig serve_config(nn::ArchFamily arch, std::int64_t n_kv_heads) {
+  nn::GptConfig c;
+  c.arch = arch;
+  c.vocab_size = 50;
+  c.hidden = 16;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.n_kv_heads = n_kv_heads;
+  c.max_seq = 64;
+  return c;
+}
+
+serve::TraceSpec tiny_trace_spec() {
+  serve::TraceSpec spec;
+  spec.n_requests = 10;
+  spec.vocab_size = 50;
+  spec.prompt_len_min = 2;
+  spec.prompt_len_max = 6;
+  spec.max_new_min = 1;
+  spec.max_new_max = 8;
+  return spec;
+}
+
+TEST(ServeDecodeBatch, MatchesSequentialForwardBitExact) {
+  for (auto arch : {nn::ArchFamily::kNeoX, nn::ArchFamily::kLLaMA}) {
+    const std::int64_t gqa = arch == nn::ArchFamily::kLLaMA ? 1 : 0;
+    const nn::GptConfig c = serve_config(arch, gqa);
+    nn::GptModel model(c);
+    const std::vector<std::vector<std::int32_t>> prompts{
+        {1, 2, 3}, {7}, {9, 8, 7, 6, 5}};
+
+    // Two identical cache sets: one consumed by the ragged batch, one by the
+    // batch-1 reference path.
+    std::vector<nn::KvCache> batched(prompts.size()), reference(prompts.size());
+    std::vector<std::int32_t> feed;
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+      batched[i].reserve(c);
+      reference[i].reserve(c);
+      Tape t1, t2;
+      model.forward_incremental(t1, prompts[i], batched[i]);
+      model.forward_incremental(t2, prompts[i], reference[i]);
+      feed.push_back(static_cast<std::int32_t>((prompts[i].back() + 1) %
+                                               c.vocab_size));
+    }
+
+    std::vector<nn::KvCache*> cache_ptrs;
+    for (auto& cache : batched) cache_ptrs.push_back(&cache);
+    Tape tape;
+    Var logits = model.decode_batch(tape, feed, cache_ptrs);
+    ASSERT_EQ(logits.value().dim(0), static_cast<std::int64_t>(prompts.size()));
+    ASSERT_EQ(logits.value().dim(1), c.vocab_size);
+
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+      Tape t;
+      std::span<const std::int32_t> one(&feed[i], 1);
+      Var ref = model.forward_incremental(t, one, reference[i]);
+      for (std::int64_t v = 0; v < c.vocab_size; ++v) {
+        EXPECT_EQ(logits.value().at(static_cast<std::int64_t>(i), v),
+                  ref.value().at(0, v))
+            << "arch " << static_cast<int>(arch) << " seq " << i << " vocab "
+            << v;
+      }
+      EXPECT_EQ(batched[i].length, reference[i].length);
+    }
+  }
+}
+
+TEST(ServeEngine, TokenIdenticalToGenerateCached) {
+  for (auto arch : {nn::ArchFamily::kNeoX, nn::ArchFamily::kLLaMA}) {
+    const std::int64_t gqa = arch == nn::ArchFamily::kLLaMA ? 1 : 0;
+    nn::GptModel model(serve_config(arch, gqa));
+
+    serve::EngineConfig ec;
+    ec.max_batch = 3;
+    ec.kv_slots = 3;  // fewer slots than requests: forces recycling
+    ec.queue_capacity = 4;
+    serve::InferenceEngine engine(model, ec);
+
+    auto trace = serve::synth_trace(tiny_trace_spec());
+    const auto reference_trace = trace;  // run_trace consumes its argument
+    const auto results = engine.run_trace(std::move(trace));
+    ASSERT_EQ(results.size(), reference_trace.size());
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& req = reference_trace[i];
+      EXPECT_EQ(results[i].id, req.id);
+      EXPECT_EQ(results[i].generated_tokens, req.max_new_tokens);
+      Rng rng(req.seed);
+      const auto expected =
+          model.generate_cached(req.prompt, req.max_new_tokens, req.sampling,
+                                rng);
+      EXPECT_EQ(results[i].tokens, expected) << "request " << i;
+    }
+
+    // Every slot returned to the pool; stats saw every request.
+    EXPECT_EQ(engine.kv_pool().available(), ec.kv_slots);
+    EXPECT_EQ(engine.active_count(), 0u);
+    EXPECT_EQ(engine.queue_depth(), 0u);
+    EXPECT_EQ(engine.stats().requests_completed(), reference_trace.size());
+  }
+}
+
+TEST(ServeEngine, SequentialFallbackMatchesBatchedTokens) {
+  nn::GptModel model(serve_config(nn::ArchFamily::kLLaMA, 1));
+  auto spec = tiny_trace_spec();
+  spec.n_requests = 6;
+
+  serve::EngineConfig batched;
+  batched.max_batch = 3;
+  batched.kv_slots = 3;
+  serve::EngineConfig sequential = batched;
+  sequential.batched_decode = false;
+
+  serve::InferenceEngine a(model, batched), b(model, sequential);
+  const auto ra = a.run_trace(serve::synth_trace(spec));
+  const auto rb = b.run_trace(serve::synth_trace(spec));
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].tokens, rb[i].tokens) << "request " << i;
+  }
+}
+
+TEST(ServeEngine, SubmitAndStepFromCallerThread) {
+  nn::GptModel model(serve_config(nn::ArchFamily::kNeoX, 0));
+  serve::InferenceEngine engine(model);
+  serve::Request req;
+  req.id = 42;
+  req.prompt = {3, 1, 4};
+  req.max_new_tokens = 5;
+  req.sampling.temperature = 0.0f;
+  req.seed = 99;
+  auto future = engine.submit(req);
+  engine.run_until_idle();
+  const auto result = future.get();
+  EXPECT_EQ(result.id, 42u);
+  Rng rng(99);
+  EXPECT_EQ(result.tokens,
+            model.generate_cached(req.prompt, 5, req.sampling, rng));
+  EXPECT_GE(result.ttft_s, 0.0);
+  EXPECT_GE(result.total_s, result.ttft_s);
+}
+
+TEST(ServeKvPool, AcquireBlocksUntilReleaseAndRecyclesSlot) {
+  const nn::GptConfig c = serve_config(nn::ArchFamily::kLLaMA, 1);
+  serve::KvCachePool pool(c, 1);
+  EXPECT_EQ(pool.slot_count(), 1u);
+  EXPECT_EQ(pool.capacity_tokens(), c.max_seq);
+  EXPECT_GT(pool.reserved_bytes(), 0.0);
+
+  nn::KvCache* slot = pool.acquire();
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.try_acquire(), nullptr);
+
+  // Dirty the slot so we can observe release() resetting it.
+  nn::GptModel model(c);
+  Tape tape;
+  const std::vector<std::int32_t> prompt{1, 2, 3};
+  model.forward_incremental(tape, prompt, *slot);
+  EXPECT_EQ(slot->length, 3);
+
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    nn::KvCache* again = pool.acquire();  // blocks until release below
+    acquired.store(true);
+    EXPECT_EQ(again, slot);      // same slab recycled
+    EXPECT_EQ(again->length, 0);  // history cleared
+    pool.release(again);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  pool.release(slot);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(ServeKvPool, RejectsForeignAndDoubleRelease) {
+  const nn::GptConfig c = serve_config(nn::ArchFamily::kNeoX, 0);
+  serve::KvCachePool pool(c, 2);
+  nn::KvCache stranger;
+  EXPECT_THROW(pool.release(&stranger), Error);
+  nn::KvCache* slot = pool.acquire();
+  pool.release(slot);
+  EXPECT_THROW(pool.release(slot), Error);
+}
+
+TEST(ServeKvPool, SlotCapacityIsEnforced) {
+  const nn::GptConfig c = serve_config(nn::ArchFamily::kLLaMA, 1);
+  serve::KvCachePool pool(c, 1, /*capacity_tokens=*/4);
+  nn::GptModel model(c);
+  nn::KvCache* slot = pool.acquire();
+  const std::vector<std::int32_t> too_long{1, 2, 3, 4, 5};
+  Tape tape;
+  EXPECT_THROW(model.forward_incremental(tape, too_long, *slot), Error);
+
+  // The engine refuses such a request up front instead of corrupting a slot.
+  serve::EngineConfig ec;
+  ec.kv_slots = 1;
+  ec.kv_capacity_tokens = 4;
+  serve::InferenceEngine engine(model, ec);
+  serve::Request req;
+  req.prompt = {1, 2, 3};
+  req.max_new_tokens = 8;  // 3 + 8 > 4
+  EXPECT_THROW(engine.submit(req), Error);
+}
+
+TEST(ServeEngine, SubmitBlocksWhenQueueSaturated) {
+  nn::GptModel model(serve_config(nn::ArchFamily::kNeoX, 0));
+  serve::EngineConfig ec;
+  ec.queue_capacity = 1;
+  serve::InferenceEngine engine(model, ec);
+
+  serve::Request req;
+  req.prompt = {5, 6};
+  req.max_new_tokens = 2;
+  req.sampling.temperature = 0.0f;
+
+  auto first = engine.submit(req);  // fills the queue
+  std::atomic<bool> second_submitted{false};
+  std::future<serve::RequestResult> second;
+  std::thread submitter([&] {
+    second = engine.submit(req);  // must block, not throw
+    second_submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_submitted.load());
+
+  engine.step();  // admits the first request, freeing queue space
+  submitter.join();
+  EXPECT_TRUE(second_submitted.load());
+  engine.run_until_idle();
+  EXPECT_EQ(first.get().generated_tokens, 2);
+  EXPECT_EQ(second.get().generated_tokens, 2);
+}
+
+TEST(ServeStats, QuantilesAndReport) {
+  serve::ServerStats stats{serve::StatsConfig{}};
+  for (int ms = 1; ms <= 100; ++ms) stats.record_ttft(ms * 1e-3);
+  stats.record_inter_token(5e-3);
+  serve::RequestResult r;
+  r.generated_tokens = 10;
+  r.total_s = 2.0;
+  r.tokens_per_s = 5.0;
+  stats.record_request(r);
+
+  EXPECT_NEAR(stats.ttft_ms(0.50), 50.0, 5.0);
+  EXPECT_NEAR(stats.ttft_ms(0.95), 95.0, 5.0);
+  EXPECT_NEAR(stats.ttft_ms(0.99), 99.0, 5.0);
+  EXPECT_LE(stats.ttft_ms(0.50), stats.ttft_ms(0.95));
+  EXPECT_LE(stats.ttft_ms(0.95), stats.ttft_ms(0.99));
+  EXPECT_EQ(stats.requests_completed(), 1u);
+  EXPECT_EQ(stats.tokens_generated(), 10u);
+  EXPECT_DOUBLE_EQ(stats.mean_request_tokens_per_s(), 5.0);
+
+  const std::string report = stats.report(2.0);
+  EXPECT_NE(report.find("ttft"), std::string::npos);
+  EXPECT_NE(report.find("aggregate tokens/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace matgpt

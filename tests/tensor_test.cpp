@@ -53,6 +53,27 @@ TEST(Tensor, CloneIsDeep) {
   EXPECT_FLOAT_EQ(t[0], 1.0f);
 }
 
+TEST(Tensor, PrefixViewSharesLeadingStorage) {
+  Tensor t = Tensor::from_data({4, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor v = t.prefix_view({2, 2});
+  EXPECT_EQ(v.numel(), 4);
+  EXPECT_EQ(v.data(), t.data());  // zero-copy over the leading prefix
+  EXPECT_FLOAT_EQ(v.at(1, 1), 4.0f);
+  v.at(0, 0) = 99.0f;
+  EXPECT_FLOAT_EQ(t.at(0, 0), 99.0f);
+  EXPECT_THROW(t.prefix_view({5, 2}), Error);
+}
+
+TEST(Tensor, PrefixViewReductionsIgnoreBackingTail) {
+  Tensor t = Tensor::from_data({4}, {1, 2, 3, 1000});
+  Tensor v = t.prefix_view({3});
+  EXPECT_DOUBLE_EQ(v.sum(), 6.0);
+  EXPECT_FLOAT_EQ(v.max_abs(), 3.0f);
+  Tensor c = v.clone();
+  EXPECT_EQ(c.numel(), 3);  // clone copies the view, not the slab
+  EXPECT_DOUBLE_EQ(c.sum(), 6.0);
+}
+
 TEST(Tensor, Transposed2d) {
   Tensor t = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
   Tensor tt = t.transposed_2d();
