@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "nn/gpt.h"
 #include "serve/engine.h"
 #include "serve/trace.h"
@@ -137,6 +138,14 @@ int main() {
   const double speedup = eng_tps / seq_tps;
   std::printf("\nspeedup: %.2fx aggregate tokens/s at batch %lld\n", speedup,
               static_cast<long long>(ec.max_batch));
+
+  bench::write_bench_json(
+      "BENCH_serving.json",
+      {{"sequential_tokens_per_s", seq_tps},
+       {"engine_tokens_per_s", eng_tps},
+       {"speedup", speedup},
+       {"tokens_generated", static_cast<double>(eng_tokens)},
+       {"max_batch", static_cast<double>(ec.max_batch)}});
   const bool pass = mismatches == 0 && speedup >= 2.0;
   std::printf("%s: continuous batching %s the >=2x gate\n",
               pass ? "PASS" : "FAIL", speedup >= 2.0 ? "clears" : "misses");

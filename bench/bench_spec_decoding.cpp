@@ -1,0 +1,211 @@
+// Speculative decoding: batched multi-token verify vs sequential decode.
+//
+// Replays one greedy synthetic trace through the single-stream engine
+// (max_batch 1 — the latency regime speculative decoding targets) four ways:
+//
+//   baseline     plain decoding, one sequential step per token;
+//   oracle       ScriptedDraft replaying the baseline's own outputs —
+//                acceptance exactly 1.0 at zero draft cost, isolating the
+//                win of folding k+1 sequential steps into one verify GEMM;
+//   layer-skip   self-speculative draft (first half of the target's layers),
+//                the deployable no-second-model configuration;
+//   adversarial  a tiny random IndependentDraft that agrees with the target
+//                only by chance — the worst-case overhead bound.
+//
+// Every speculative run must be BYTE-IDENTICAL to the baseline (greedy
+// exactness contract). Acceptance gates:
+//   oracle:      >= 1.5x decode throughput, acceptance == 1.0;
+//   adversarial: >= 0.5x (speculation may slow decoding, never corrupt it).
+//
+// The model is weight-bandwidth-bound at batch 1 (same sizing argument as
+// bench_serving_throughput), so a (k+1)-token verify costs much less than
+// k+1 single-token steps — the regime the paper's serving analysis assumes.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "nn/gpt.h"
+#include "serve/engine.h"
+#include "serve/spec/proposer.h"
+#include "serve/trace.h"
+
+using namespace matgpt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct RunResult {
+  double tokens_per_s = 0.0;
+  double acceptance = 0.0;
+  std::vector<std::vector<std::int32_t>> tokens;
+};
+
+// Replay the trace through a fresh single-stream engine; best wall time of
+// kReps (the runs are deterministic, reps only shed scheduler noise).
+RunResult run_engine(const nn::GptModel& model,
+                     std::shared_ptr<serve::spec::DraftProposer> proposer,
+                     const std::vector<serve::Request>& trace,
+                     std::int64_t spec_k, int reps) {
+  RunResult out;
+  double best_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    serve::EngineConfig ec;
+    ec.max_batch = 1;
+    ec.kv_slots = 1;
+    ec.proposer = proposer;
+    serve::InferenceEngine engine(model, ec);
+    auto replay = trace;
+    for (auto& req : replay) req.spec_k = spec_k;
+    const auto t0 = Clock::now();
+    auto results = engine.run_trace(std::move(replay));
+    const double s = secs_since(t0);
+    if (rep == 0 || s < best_s) {
+      best_s = s;
+      out.tokens_per_s =
+          static_cast<double>(engine.stats().tokens_generated()) / s;
+      out.acceptance = engine.stats().acceptance_rate();
+      out.tokens.clear();
+      out.tokens.reserve(results.size());
+      for (auto& r : results) out.tokens.push_back(std::move(r.tokens));
+    }
+  }
+  return out;
+}
+
+std::size_t count_mismatches(
+    const std::vector<std::vector<std::int32_t>>& got,
+    const std::vector<std::vector<std::int32_t>>& want) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != want[i]) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== speculative decoding: multi-token verify vs sequential ===\n");
+
+  // Same serving-shaped target as bench_serving_throughput: large enough to
+  // be weight-bandwidth-bound at batch 1, where batching k+1 verify rows
+  // into one GEMM is nearly free.
+  nn::GptConfig c;
+  c.arch = nn::ArchFamily::kLLaMA;
+  c.vocab_size = 8192;
+  c.hidden = 256;
+  c.n_layers = 4;
+  c.n_heads = 8;
+  c.n_kv_heads = 2;
+  c.max_seq = 128;
+  nn::GptModel model(c);
+
+  serve::TraceSpec spec;
+  spec.n_requests = 16;
+  spec.vocab_size = c.vocab_size;
+  spec.max_new_min = 16;
+  spec.max_new_max = 64;
+  spec.greedy_fraction = 1.0;  // greedy: every run must be byte-identical
+  const auto trace = serve::synth_trace(spec);
+  constexpr std::int64_t kSpecK = 4;
+  constexpr int kReps = 3;
+
+  std::printf("model: llama %lld hidden, %lld layers, %lld heads (%lld kv)\n",
+              static_cast<long long>(c.hidden),
+              static_cast<long long>(c.n_layers),
+              static_cast<long long>(c.n_heads),
+              static_cast<long long>(c.kv_heads()));
+  std::printf("trace: %zu greedy requests, max_new %lld..%lld, k=%lld\n\n",
+              trace.size(), static_cast<long long>(spec.max_new_min),
+              static_cast<long long>(spec.max_new_max),
+              static_cast<long long>(kSpecK));
+
+  {
+    Rng warm(1);
+    model.generate_cached(trace[0].prompt, 4, trace[0].sampling, warm);
+  }
+
+  const RunResult baseline = run_engine(model, nullptr, trace, 0, kReps);
+  std::printf("baseline (plain):      %8.1f tokens/s\n",
+              baseline.tokens_per_s);
+
+  // Oracle: scripts are the baseline's own outputs, so every draft token is
+  // the target's argmax — acceptance 1.0, zero draft cost.
+  auto oracle = std::make_shared<serve::spec::ScriptedDraft>(
+      baseline.tokens, c.vocab_size, c.max_seq);
+  const RunResult oracle_run = run_engine(model, oracle, trace, kSpecK, kReps);
+  const double oracle_speedup = oracle_run.tokens_per_s / baseline.tokens_per_s;
+  std::printf("oracle draft:          %8.1f tokens/s  (%.2fx, acceptance %.3f)\n",
+              oracle_run.tokens_per_s, oracle_speedup, oracle_run.acceptance);
+
+  // Self-speculative layer skip: first half of the target's own layers.
+  auto skip = std::make_shared<serve::spec::LayerSkipDraft>(model,
+                                                            c.n_layers / 2);
+  const RunResult skip_run = run_engine(model, skip, trace, kSpecK, kReps);
+  const double skip_speedup = skip_run.tokens_per_s / baseline.tokens_per_s;
+  std::printf("layer-skip draft (%lld): %8.1f tokens/s  (%.2fx, acceptance %.3f)\n",
+              static_cast<long long>(c.n_layers / 2), skip_run.tokens_per_s,
+              skip_speedup, skip_run.acceptance);
+
+  // Adversarial: a tiny random model sharing only the vocabulary. Its
+  // proposals are noise; speculation must degrade gracefully, never corrupt.
+  nn::GptConfig ac;
+  ac.arch = nn::ArchFamily::kLLaMA;
+  ac.vocab_size = c.vocab_size;
+  ac.hidden = 16;
+  ac.n_layers = 1;
+  ac.n_heads = 1;
+  ac.max_seq = c.max_seq;
+  ac.seed = 777;  // decorrelate from the target's init
+  auto adversary = std::make_shared<serve::spec::IndependentDraft>(ac);
+  const RunResult adv_run = run_engine(model, adversary, trace, kSpecK, kReps);
+  const double adv_speedup = adv_run.tokens_per_s / baseline.tokens_per_s;
+  std::printf("adversarial draft:     %8.1f tokens/s  (%.2fx, acceptance %.3f)\n\n",
+              adv_run.tokens_per_s, adv_speedup, adv_run.acceptance);
+
+  const std::size_t oracle_bad = count_mismatches(oracle_run.tokens,
+                                                  baseline.tokens);
+  const std::size_t skip_bad = count_mismatches(skip_run.tokens,
+                                                baseline.tokens);
+  const std::size_t adv_bad = count_mismatches(adv_run.tokens,
+                                               baseline.tokens);
+  std::printf("byte identity vs baseline: oracle %zu, layer-skip %zu, "
+              "adversarial %zu mismatched requests\n",
+              oracle_bad, skip_bad, adv_bad);
+
+  bench::write_bench_json(
+      "BENCH_spec.json",
+      {{"baseline_tokens_per_s", baseline.tokens_per_s},
+       {"oracle_tokens_per_s", oracle_run.tokens_per_s},
+       {"oracle_speedup", oracle_speedup},
+       {"oracle_acceptance", oracle_run.acceptance},
+       {"layer_skip_tokens_per_s", skip_run.tokens_per_s},
+       {"layer_skip_speedup", skip_speedup},
+       {"layer_skip_acceptance", skip_run.acceptance},
+       {"adversarial_tokens_per_s", adv_run.tokens_per_s},
+       {"adversarial_speedup", adv_speedup},
+       {"adversarial_acceptance", adv_run.acceptance},
+       {"spec_k", static_cast<double>(kSpecK)}});
+
+  const bool identical = oracle_bad == 0 && skip_bad == 0 && adv_bad == 0;
+  const bool oracle_gate = oracle_speedup >= 1.5 &&
+                           oracle_run.acceptance == 1.0;
+  const bool adv_gate = adv_speedup >= 0.5;
+  std::printf("\n%s: byte identity %s; oracle %s the >=1.5x gate "
+              "(acceptance %.3f); adversarial %s the >=0.5x floor\n",
+              identical && oracle_gate && adv_gate ? "PASS" : "FAIL",
+              identical ? "holds" : "BROKEN",
+              oracle_speedup >= 1.5 ? "clears" : "misses",
+              oracle_run.acceptance,
+              adv_gate ? "clears" : "misses");
+  return identical && oracle_gate && adv_gate ? 0 : 1;
+}

@@ -27,6 +27,27 @@ inline void print_section(const std::string& title) {
   std::printf("\n--- %s ---\n", title.c_str());
 }
 
+/// Emit a flat {"metric": value, ...} JSON file so CI and tooling can track
+/// bench results without scraping stdout. Values print with enough digits to
+/// round-trip a double.
+inline void write_bench_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.17g%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 /// Standard scaled-down study configuration shared by the real-experiment
 /// benches. One instance trains everything it is asked for on the same
 /// screened corpus (the controlled-comparison requirement).

@@ -6,7 +6,9 @@
 //   matgpt_cli generate <dir> <prompt...>      sample from a checkpoint
 //   matgpt_cli simulate <1.7b|6.7b> <gcds> <dp|zero1|tp2|pp2>
 //   matgpt_cli search  <min_B> <max_B>         architecture search
-//   matgpt_cli serve-bench [requests] [clients]   continuous-batching demo
+//   matgpt_cli serve-bench [requests] [clients] [--spec-k N] [--draft-layers M]
+//       continuous-batching demo; --spec-k enables speculative decoding with
+//       a self-speculative layer-skip draft of M layers
 //
 // Checkpoints written by `train` (model.ckpt + tokenizer.txt) are reloaded
 // by `generate`.
@@ -44,7 +46,8 @@ int usage() {
                "  matgpt_cli generate <dir> <prompt...>\n"
                "  matgpt_cli simulate <1.7b|6.7b> <gcds> <dp|zero1|tp2|pp2>\n"
                "  matgpt_cli search <min_params_B> <max_params_B>\n"
-               "  matgpt_cli serve-bench [requests] [clients]\n");
+               "  matgpt_cli serve-bench [requests] [clients]"
+               " [--spec-k N] [--draft-layers M]\n");
   return 2;
 }
 
@@ -183,7 +186,8 @@ int cmd_search(double min_b, double max_b) {
 // this thread drives the scheduler loop — the deployment shape, minus the
 // network. The model is random-init (the point is the engine, not the prose);
 // GQA and a serving-sized vocab keep it honest about where decode time goes.
-int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients) {
+int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
+                    std::int64_t spec_k, std::int64_t draft_layers) {
   nn::GptConfig mc;
   mc.arch = nn::ArchFamily::kLLaMA;
   mc.vocab_size = 8192;
@@ -197,18 +201,34 @@ int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients) {
   serve::TraceSpec spec;
   spec.n_requests = n_requests;
   spec.vocab_size = mc.vocab_size;
-  const auto trace = serve::synth_trace(spec);
+  auto trace = serve::synth_trace(spec);
+  if (spec_k > 0) {
+    for (auto& req : trace) req.spec_k = spec_k;
+  }
 
   serve::EngineConfig ec;
   ec.max_batch = 8;
   ec.kv_slots = 8;
   ec.queue_capacity = 16;  // small enough that clients feel backpressure
+  if (spec_k > 0) {
+    MGPT_CHECK(draft_layers >= 1 && draft_layers <= mc.n_layers,
+               "--draft-layers must be in [1, " << mc.n_layers << "]");
+    ec.proposer =
+        std::make_shared<serve::spec::LayerSkipDraft>(model, draft_layers);
+  }
   serve::InferenceEngine engine(model, ec);
 
   std::printf("serve-bench: %zu requests, %zu client threads, batch %lld, "
               "queue %zu\n",
               trace.size(), n_clients,
               static_cast<long long>(ec.max_batch), ec.queue_capacity);
+  if (spec_k > 0) {
+    std::printf("speculative decoding: k=%lld, layer-skip draft %lld/%lld "
+                "layers\n",
+                static_cast<long long>(spec_k),
+                static_cast<long long>(draft_layers),
+                static_cast<long long>(mc.n_layers));
+  }
 
   std::vector<std::future<serve::RequestResult>> futures(trace.size());
   std::atomic<std::size_t> clients_done{0};
@@ -273,12 +293,24 @@ int main(int argc, char** argv) {
       return cmd_search(std::atof(argv[2]), std::atof(argv[3]));
     }
     if (cmd == "serve-bench") {
-      const auto reqs =
-          argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 32;
-      const auto cl =
-          argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 4;
-      if (reqs == 0 || cl == 0) return usage();
-      return cmd_serve_bench(reqs, cl);
+      std::size_t reqs = 32, cl = 4;
+      std::int64_t spec_k = 0, draft_layers = 2;
+      std::vector<std::size_t*> positional{&reqs, &cl};
+      std::size_t pos = 0;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--spec-k" && i + 1 < argc) {
+          spec_k = std::atoll(argv[++i]);
+        } else if (arg == "--draft-layers" && i + 1 < argc) {
+          draft_layers = std::atoll(argv[++i]);
+        } else if (pos < positional.size()) {
+          *positional[pos++] = static_cast<std::size_t>(std::atoll(argv[i]));
+        } else {
+          return usage();
+        }
+      }
+      if (reqs == 0 || cl == 0 || spec_k < 0) return usage();
+      return cmd_serve_bench(reqs, cl, spec_k, draft_layers);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

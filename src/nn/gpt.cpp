@@ -104,6 +104,27 @@ void KvCacheLayer::reset() {
   values = Tensor();
 }
 
+void KvCacheLayer::truncate(std::int64_t len) {
+  MGPT_CHECK(len >= 0 && len <= length(),
+             "truncate length " << len << " outside cached history of "
+                                << length() << " tokens");
+  if (len == length()) return;
+  if (len == 0) {
+    keys = Tensor();
+    values = Tensor();
+    return;
+  }
+  // Both storage modes keep the history contiguous and oldest-first, so the
+  // accepted prefix is exposed as a shorter view of the same rows — no data
+  // moves, and the next append lands at position `len`.
+  const std::int64_t kv_heads = keys.dim(2);
+  const std::int64_t head_dim = keys.dim(3);
+  const Tensor& key_src = key_slab_.defined() ? key_slab_ : keys;
+  const Tensor& value_src = key_slab_.defined() ? value_slab_ : values;
+  keys = key_src.prefix_view({1, len, kv_heads, head_dim});
+  values = value_src.prefix_view({1, len, kv_heads, head_dim});
+}
+
 void KvCache::reserve(const GptConfig& config, std::int64_t capacity_tokens) {
   const std::int64_t cap =
       capacity_tokens > 0 ? capacity_tokens : config.max_seq;
@@ -116,6 +137,14 @@ void KvCache::reserve(const GptConfig& config, std::int64_t capacity_tokens) {
 void KvCache::reset() {
   for (auto& layer : layers) layer.reset();
   length = 0;
+}
+
+void KvCache::truncate(std::int64_t len) {
+  MGPT_CHECK(len >= 0 && len <= length,
+             "truncate length " << len << " outside cached history of "
+                                << length << " tokens");
+  for (auto& layer : layers) layer.truncate(len);
+  length = len;
 }
 
 double KvCache::bytes() const {
@@ -187,6 +216,45 @@ Var SelfAttention::decode_step(Tape& tape, const Var& x,
     histories[static_cast<std::size_t>(i)] = {slot.keys.data(),
                                               slot.values.data(),
                                               slot.length()};
+  }
+  Var attn = ops::decode_attention(tape, q, histories, n_kv_heads_, flash_);
+  return o_proj_.forward(tape, attn);
+}
+
+Var SelfAttention::verify_append(Tape& tape, const Var& x, std::int64_t seq,
+                                 KvCacheLayer& slot,
+                                 std::int64_t past_len) const {
+  MGPT_CHECK(seq > 0, "verify_append requires tokens");
+  MGPT_CHECK(slot.length() == past_len,
+             "KV slot length disagrees with past_len");
+  const std::int64_t head_dim = hidden_ / n_heads_;
+  // Absolute positions past_len .. past_len + seq - 1, rotated per row —
+  // rope_rows is bit-identical to rope() at the same offset, so every row
+  // matches what a single-token forward_cached at that position computes.
+  std::vector<std::int64_t> positions(static_cast<std::size_t>(seq));
+  for (std::int64_t t = 0; t < seq; ++t) {
+    positions[static_cast<std::size_t>(t)] = past_len + t;
+  }
+  auto heads = [&](const Linear& proj, std::int64_t n_heads) {
+    return ops::reshape(tape, proj.forward(tape, x),
+                        {seq, n_heads, head_dim});
+  };
+  Var q = ops::rope_rows(tape, heads(q_proj_, n_heads_), positions,
+                         rope_theta_, rotary_fraction_);
+  Var k_new = ops::rope_rows(tape, heads(k_proj_, n_kv_heads_), positions,
+                             rope_theta_, rotary_fraction_);
+  Var v_new = heads(v_proj_, n_kv_heads_);
+  slot.append(k_new.value().data(), v_new.value().data(), seq, n_kv_heads_,
+              head_dim);
+  // Causal masking by construction: query row t sees the history prefix of
+  // length past_len + t + 1 (its own K/V is the last entry). The prefixes
+  // all alias the slot's contiguous slab, so no K/V is copied per row, and
+  // the ragged decode kernel makes each row bit-identical to a batch-1 step.
+  std::vector<ops::RaggedKv> histories(static_cast<std::size_t>(seq));
+  for (std::int64_t t = 0; t < seq; ++t) {
+    histories[static_cast<std::size_t>(t)] = {slot.keys.data(),
+                                              slot.values.data(),
+                                              past_len + t + 1};
   }
   Var attn = ops::decode_attention(tape, q, histories, n_kv_heads_, flash_);
   return o_proj_.forward(tape, attn);
@@ -287,6 +355,22 @@ Var TransformerBlock::decode_step(
                   swiglu_mlp_->forward(tape, rms2_->forward(tape, h)));
 }
 
+Var TransformerBlock::verify_append(Tape& tape, const Var& x,
+                                    std::int64_t seq, KvCacheLayer& slot,
+                                    std::int64_t past_len) const {
+  if (arch_ == ArchFamily::kNeoX) {
+    Var attn_out = attn_.verify_append(tape, ln1_->forward(tape, x), seq,
+                                       slot, past_len);
+    Var mlp_out = gelu_mlp_->forward(tape, ln2_->forward(tape, x));
+    return ops::add(tape, x, ops::add(tape, attn_out, mlp_out));
+  }
+  Var h = ops::add(tape, x,
+                   attn_.verify_append(tape, rms1_->forward(tape, x), seq,
+                                       slot, past_len));
+  return ops::add(tape, h,
+                  swiglu_mlp_->forward(tape, rms2_->forward(tape, h)));
+}
+
 GptModel::GptModel(GptConfig config)
     : config_(config), dropout_rng_(config.seed ^ 0xd70906e5ULL) {
   config_.validate();
@@ -381,6 +465,34 @@ Var GptModel::forward_incremental(Tape& tape,
   // projection is the bulk of a prompt pass. Both ops are row-wise, so the
   // surviving row is bit-identical to its row in a full-width projection.
   if (seq > 1) h = ops::slice_rows(tape, h, seq - 1, seq);
+  h = final_ln_ ? final_ln_->forward(tape, h) : final_rms_->forward(tape, h);
+  return lm_head_->forward(tape, h);
+}
+
+Var GptModel::verify_append(Tape& tape, std::span<const std::int32_t> tokens,
+                            KvCache& cache, std::int64_t n_layers) const {
+  const std::int64_t n_used = n_layers > 0 ? n_layers : config_.n_layers;
+  MGPT_CHECK(n_used >= 1 && n_used <= config_.n_layers,
+             "verify_append n_layers " << n_used << " outside [1, "
+                                       << config_.n_layers << "]");
+  MGPT_CHECK(!tokens.empty(), "verify_append requires tokens");
+  const auto seq = static_cast<std::int64_t>(tokens.size());
+  MGPT_CHECK(cache.length + seq <= config_.max_seq,
+             "kv cache would exceed max_seq");
+  if (cache.layers.empty()) {
+    cache.layers.resize(static_cast<std::size_t>(n_used));
+  }
+  MGPT_CHECK(static_cast<std::int64_t>(cache.layers.size()) == n_used,
+             "kv cache holds " << cache.layers.size() << " layers; verify "
+                               << "runs " << n_used);
+  NoGradGuard guard(tape);
+  Var h = ops::embedding(tape, tok_emb_, tokens);  // [T, C]
+  for (std::int64_t i = 0; i < n_used; ++i) {
+    h = blocks_[static_cast<std::size_t>(i)]->verify_append(
+        tape, h, seq, cache.layers[static_cast<std::size_t>(i)],
+        cache.length);
+  }
+  cache.length += seq;
   h = final_ln_ ? final_ln_->forward(tape, h) : final_rms_->forward(tape, h);
   return lm_head_->forward(tape, h);
 }

@@ -73,6 +73,10 @@ struct KvCacheLayer {
               std::int64_t kv_heads, std::int64_t head_dim);
   /// Drop the history; reserved slabs are kept for reuse.
   void reset();
+  /// Shrink the history to its first `len` tokens (speculative-decoding
+  /// rollback). The surviving prefix is untouched in both storage modes, so
+  /// the next append continues from position `len`.
+  void truncate(std::int64_t len);
 
   std::int64_t length() const { return keys.defined() ? keys.dim(1) : 0; }
   /// Reserved slab capacity in tokens (0 = dynamic mode).
@@ -96,6 +100,11 @@ struct KvCache {
   /// Forget the cached history but keep reserved storage for the next
   /// request.
   void reset();
+  /// Roll every layer back to `len` tokens (len <= length). Speculative
+  /// decoding appends draft tokens optimistically and truncates to the
+  /// accepted prefix; the result is bit-identical to a cache that never saw
+  /// the rejected tokens.
+  void truncate(std::int64_t len);
 
   /// Reserved per-layer capacity in tokens (0 when dynamic).
   std::int64_t capacity_tokens() const {
@@ -131,6 +140,14 @@ class SelfAttention : public Module {
                   std::span<KvCacheLayer* const> slots,
                   std::span<const std::int64_t> past_lens) const;
 
+  /// Multi-token verify step (batch 1): x is [T, C], T new tokens appended
+  /// after `past_len` cached ones. Appends all T K/V rows to `slot` and
+  /// attends each query row t causally over history [0, past_len + t] —
+  /// row t is bit-identical to a batch-1 forward_cached of token t alone
+  /// (the speculative-decoding acceptance contract). past_len may be 0.
+  Var verify_append(Tape& tape, const Var& x, std::int64_t seq,
+                    KvCacheLayer& slot, std::int64_t past_len) const;
+
  private:
   std::int64_t hidden_;
   std::int64_t n_heads_;
@@ -162,6 +179,11 @@ class TransformerBlock : public Module {
   Var decode_step(Tape& tape, const Var& x,
                   std::span<KvCacheLayer* const> slots,
                   std::span<const std::int64_t> past_lens) const;
+
+  /// Multi-token verify counterpart of forward_cached (see
+  /// SelfAttention::verify_append).
+  Var verify_append(Tape& tape, const Var& x, std::int64_t seq,
+                    KvCacheLayer& slot, std::int64_t past_len) const;
 
  private:
   ArchFamily arch_;
@@ -225,6 +247,18 @@ class GptModel : public Module {
   /// engine's continuous-batching hot path.
   Var decode_batch(Tape& tape, std::span<const std::int32_t> tokens,
                    std::span<KvCache* const> caches) const;
+
+  /// Speculative-decoding verify path: process `tokens` (k >= 1 new tokens)
+  /// against `cache` in ONE forward and return logits [k, V] for every
+  /// position — row t is bit-identical to feeding token t alone through
+  /// forward_incremental, so exact acceptance checks need no tolerance.
+  /// Appends all k tokens' K/V to the cache (advance by k); callers roll
+  /// back to the accepted length with KvCache::truncate. `n_layers` > 0
+  /// runs only the first n transformer layers before the final norm and
+  /// lm_head — the self-speculative layer-skip draft; 0 = the full model.
+  /// The cache must hold exactly the layers the call uses.
+  Var verify_append(Tape& tape, std::span<const std::int32_t> tokens,
+                    KvCache& cache, std::int64_t n_layers = 0) const;
 
   /// KV-cache decoding: one prefill plus one single-token step per output —
   /// O(T) attention per step instead of the O(T^2) re-forward of generate().

@@ -15,15 +15,23 @@ void SamplingOptions::validate() const {
   MGPT_CHECK(top_p > 0.0f && top_p <= 1.0f, "top_p must be in (0, 1]");
 }
 
-std::int32_t sample_token(std::span<const float> logits,
-                          const SamplingOptions& options, Rng& rng) {
-  MGPT_CHECK(!logits.empty(), "sample_token requires logits");
-  options.validate();
-  if (options.temperature <= 0.0f) {
-    return static_cast<std::int32_t>(
-        std::max_element(logits.begin(), logits.end()) - logits.begin());
-  }
-  std::vector<float> probs(logits.begin(), logits.end());
+std::int32_t argmax_token(std::span<const float> logits) {
+  MGPT_CHECK(!logits.empty(), "argmax_token requires logits");
+  return static_cast<std::int32_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+namespace {
+
+/// Shared stochastic-path filtering: softmax at temperature, then rank and
+/// clip to the top-k/top-p survivor set. Fills `probs` with the full-vocab
+/// softmax and `order` with token ids ranked by probability; returns how
+/// many leading ranks survive the filters.
+std::size_t filtered_ranking(std::span<const float> logits,
+                             const SamplingOptions& options,
+                             std::vector<float>& probs,
+                             std::vector<std::size_t>& order) {
+  probs.assign(logits.begin(), logits.end());
   for (float& z : probs) z /= options.temperature;
   kernels::softmax_row(probs.data(), static_cast<std::int64_t>(probs.size()));
 
@@ -31,7 +39,7 @@ std::int32_t sample_token(std::span<const float> logits,
   // With top-k active only the leading k ranks matter, so a partial sort
   // (O(n + k log k)) replaces the full vocab sort — at serving vocab sizes
   // the full sort would dominate the decode step itself.
-  std::vector<std::size_t> order(probs.size());
+  order.resize(probs.size());
   std::iota(order.begin(), order.end(), 0);
   const auto by_prob = [&](std::size_t a, std::size_t b) {
     return probs[a] > probs[b];
@@ -57,11 +65,46 @@ std::int32_t sample_token(std::span<const float> logits,
     }
     keep = std::max<std::size_t>(1, nucleus);
   }
+  return keep;
+}
+
+}  // namespace
+
+std::int32_t sample_token(std::span<const float> logits,
+                          const SamplingOptions& options, Rng& rng) {
+  MGPT_CHECK(!logits.empty(), "sample_token requires logits");
+  options.validate();
+  if (options.temperature <= 0.0f) {
+    return argmax_token(logits);
+  }
+  std::vector<float> probs;
+  std::vector<std::size_t> order;
+  const std::size_t keep = filtered_ranking(logits, options, probs, order);
   std::vector<double> weights(keep);
   for (std::size_t i = 0; i < keep; ++i) {
     weights[i] = probs[order[i]];
   }
   return static_cast<std::int32_t>(order[rng.categorical(weights)]);
+}
+
+std::vector<float> sampling_probs(std::span<const float> logits,
+                                  const SamplingOptions& options) {
+  MGPT_CHECK(!logits.empty(), "sampling_probs requires logits");
+  options.validate();
+  MGPT_CHECK(options.temperature > 0.0f,
+             "sampling_probs requires temperature > 0 (greedy decoding "
+             "compares argmax tokens, not distributions)");
+  std::vector<float> probs;
+  std::vector<std::size_t> order;
+  const std::size_t keep = filtered_ranking(logits, options, probs, order);
+  std::vector<float> filtered(probs.size(), 0.0f);
+  double total = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) total += probs[order[i]];
+  const auto inv = static_cast<float>(1.0 / total);
+  for (std::size_t i = 0; i < keep; ++i) {
+    filtered[order[i]] = probs[order[i]] * inv;
+  }
+  return filtered;
 }
 
 }  // namespace matgpt::nn

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -24,5 +25,20 @@ struct SamplingOptions {
 /// Sample a token id from a raw logits row under the given options.
 std::int32_t sample_token(std::span<const float> logits,
                           const SamplingOptions& options, Rng& rng);
+
+/// Greedy argmax with a deterministic tie-break: among equal maxima the
+/// LOWEST token id wins (std::max_element keeps the first). sample_token's
+/// greedy path uses exactly this, which is what makes speculative-decoding
+/// acceptance checks exact — two bit-identical logits rows always argmax to
+/// the same token.
+std::int32_t argmax_token(std::span<const float> logits);
+
+/// The filtered next-token distribution the stochastic sampler draws from:
+/// temperature softmax with top-k/top-p zeroing, renormalized to sum 1.
+/// Requires temperature > 0. Speculative decoding's residual sampling needs
+/// the full vector (accept with prob min(1, q/p), resample from
+/// max(q - p, 0)), not just one draw.
+std::vector<float> sampling_probs(std::span<const float> logits,
+                                  const SamplingOptions& options);
 
 }  // namespace matgpt::nn

@@ -22,6 +22,17 @@ InferenceEngine::InferenceEngine(const nn::GptModel& model,
       stats_(config.stats) {
   MGPT_CHECK(config_.max_batch > 0, "max_batch must be positive");
   MGPT_CHECK(config_.queue_capacity > 0, "queue_capacity must be positive");
+  if (config_.proposer != nullptr) {
+    const nn::GptConfig& dc = config_.proposer->cache_config();
+    MGPT_CHECK(dc.max_seq >= pool_.capacity_tokens(),
+               "draft proposer max_seq " << dc.max_seq
+                                         << " cannot cover KV slot capacity "
+                                         << pool_.capacity_tokens());
+    draft_pool_ = std::make_unique<KvCachePool>(dc, config_.kv_slots,
+                                                pool_.capacity_tokens());
+    spec_decoder_ =
+        std::make_unique<spec::SpeculativeDecoder>(model_, config_.proposer);
+  }
 }
 
 std::future<RequestResult> InferenceEngine::submit(Request request) {
@@ -38,6 +49,11 @@ std::future<RequestResult> InferenceEngine::submit(Request request) {
   MGPT_CHECK(budget <= pool_.capacity_tokens(),
              "request needs " << budget << " tokens; KV slots hold "
                               << pool_.capacity_tokens());
+  MGPT_CHECK(request.spec_k >= 0, "spec_k must be non-negative");
+  MGPT_CHECK(request.spec_k == 0 || spec_decoder_ != nullptr,
+             "speculative request (spec_k " << request.spec_k
+                                            << ") needs an engine built "
+                                               "with a draft proposer");
   Pending pending;
   pending.request = std::move(request);
   pending.submitted = Clock::now();  // client-observed latency includes
@@ -76,6 +92,20 @@ void InferenceEngine::admit() {
       pool_.release(slot);
       return;
     }
+
+    // Speculative requests also hold a draft slot; when the draft pool is
+    // drained the request goes back to the queue head and admission stops —
+    // the slot frees when a speculative sequence retires.
+    nn::KvCache* draft_slot = nullptr;
+    if (pending.request.spec_k > 0) {
+      draft_slot = draft_pool_->try_acquire();
+      if (draft_slot == nullptr) {
+        pool_.release(slot);
+        std::lock_guard lock(queue_mutex_);
+        waiting_.push_front(std::move(pending));
+        return;
+      }
+    }
     queue_cv_.notify_one();  // queue space freed; unblock one submitter
 
     ActiveSeq seq;
@@ -83,6 +113,7 @@ void InferenceEngine::admit() {
     seq.promise = std::move(pending.promise);
     seq.submitted = pending.submitted;
     seq.kv = slot;
+    seq.draft_kv = draft_slot;
     seq.rng = Rng(seq.request.seed);
     seq.tokens = seq.request.prompt;
 
@@ -123,8 +154,18 @@ void InferenceEngine::finish(ActiveSeq& seq, Clock::time_point now) {
       result.total_s > 0.0
           ? static_cast<double>(result.generated_tokens) / result.total_s
           : 0.0;
+  result.drafts_proposed = seq.spec.drafts_proposed;
+  result.drafts_accepted = seq.spec.drafts_accepted;
+  // The prefill forward counts as a verify round so steps-saved compares
+  // like with like against a plain request's forward count.
+  result.verify_rounds =
+      seq.spec.drafts_proposed > 0 ? seq.spec.verify_rounds + 1 : 0;
   pool_.release(seq.kv);
   seq.kv = nullptr;
+  if (seq.draft_kv != nullptr) {
+    draft_pool_->release(seq.draft_kv);
+    seq.draft_kv = nullptr;
+  }
   stats_.record_request(result);
   seq.promise.set_value(std::move(result));
 }
@@ -136,11 +177,15 @@ std::size_t InferenceEngine::step() {
   if (active_.empty()) return admitted;
 
   const std::size_t n = active_.size();
-  std::vector<std::int32_t> feed(n);
-  std::vector<nn::KvCache*> caches(n);
+  // Plain sequences share one ragged decode_batch step; speculative ones
+  // each run a propose/verify round (1..k+1 tokens) against their own
+  // target + draft slots. Both paths emit the same tokens a batch-1
+  // generate_cached would under greedy sampling.
+  std::vector<std::size_t> plain;
+  std::vector<std::size_t> speculative;
+  plain.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    feed[i] = active_[i].tokens.back();
-    caches[i] = active_[i].kv;
+    (active_[i].request.spec_k > 0 ? speculative : plain).push_back(i);
   }
 
   auto advance = [this](ActiveSeq& seq, std::int32_t token,
@@ -151,23 +196,48 @@ std::size_t InferenceEngine::step() {
     seq.last_token = now;
   };
 
-  if (config_.batched_decode) {
-    Tape tape;
-    Var logits = model_.decode_batch(tape, feed, caches);
-    const auto now = Clock::now();
-    for (std::size_t i = 0; i < n; ++i) {
-      advance(active_[i], sample_row(logits, static_cast<std::int64_t>(i),
-                                     active_[i]),
-              now);
+  if (!plain.empty()) {
+    std::vector<std::int32_t> feed(plain.size());
+    std::vector<nn::KvCache*> caches(plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      feed[i] = active_[plain[i]].tokens.back();
+      caches[i] = active_[plain[i]].kv;
     }
-  } else {
-    // Sequential baseline: one batch-1 step per sequence.
-    for (std::size_t i = 0; i < n; ++i) {
+    if (config_.batched_decode) {
       Tape tape;
-      Var logits = model_.forward_incremental(
-          tape, std::span<const std::int32_t>(&feed[i], 1), *caches[i]);
+      Var logits = model_.decode_batch(tape, feed, caches);
       const auto now = Clock::now();
-      advance(active_[i], sample_row(logits, 0, active_[i]), now);
+      for (std::size_t i = 0; i < plain.size(); ++i) {
+        ActiveSeq& seq = active_[plain[i]];
+        advance(seq, sample_row(logits, static_cast<std::int64_t>(i), seq),
+                now);
+      }
+    } else {
+      // Sequential baseline: one batch-1 step per sequence.
+      for (std::size_t i = 0; i < plain.size(); ++i) {
+        ActiveSeq& seq = active_[plain[i]];
+        Tape tape;
+        Var logits = model_.forward_incremental(
+            tape, std::span<const std::int32_t>(&feed[i], 1), *caches[i]);
+        const auto now = Clock::now();
+        advance(seq, sample_row(logits, 0, seq), now);
+      }
+    }
+  }
+
+  for (std::size_t idx : speculative) {
+    ActiveSeq& seq = active_[idx];
+    const std::int64_t remaining = seq.request.max_new_tokens - seq.emitted;
+    const std::int64_t got = spec_decoder_->step(
+        seq.tokens, *seq.kv, *seq.draft_kv, seq.request.sampling, seq.rng,
+        seq.request.spec_k, remaining, seq.spec);
+    const auto now = Clock::now();
+    // One verify round lands a burst of tokens at once; each is recorded so
+    // inter-token quantiles reflect what a streaming client observes.
+    for (std::int64_t t = 0; t < got; ++t) {
+      seq.emitted += 1;
+      stats_.record_inter_token(secs(now - seq.last_token));
+      seq.last_token = now;
     }
   }
 

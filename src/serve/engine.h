@@ -8,10 +8,18 @@
 //      slot, pop a waiting request, prefill its prompt (batch-1), and sample
 //      its first token (TTFT);
 //   2. decode: one ragged-batch GptModel::decode_batch step across every
-//      active sequence — one new token each;
-//   3. retire: finished sequences release their KV slot back to the pool and
-//      resolve their future; the freed capacity is re-usable in the next
-//      step's admissions — no drain barrier between request generations.
+//      plain sequence — one new token each — plus one speculative
+//      propose/verify round per speculative sequence (1..k+1 tokens each);
+//   3. retire: finished sequences release their KV slot (and draft slot)
+//      back to the pool and resolve their future; the freed capacity is
+//      re-usable in the next step's admissions — no drain barrier between
+//      request generations.
+//
+// Speculative and plain requests coexist: a request with spec_k > 0 (the
+// engine must be configured with a DraftProposer) additionally holds a slot
+// from a draft KV pool and advances through SpeculativeDecoder::step each
+// scheduler iteration. Greedy speculative requests produce byte-identical
+// tokens to their plain-decoded selves.
 //
 // Per-request sampling streams are seeded from Request::seed, so each
 // request's tokens are bit-identical to a standalone batch-1
@@ -25,6 +33,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -32,6 +41,7 @@
 #include "serve/kv_pool.h"
 #include "serve/metrics.h"
 #include "serve/request.h"
+#include "serve/spec/speculative.h"
 
 namespace matgpt::serve {
 
@@ -48,6 +58,10 @@ struct EngineConfig {
   /// false: decode active sequences one at a time (the pre-batching
   /// behaviour) — kept for apples-to-apples benchmarking.
   bool batched_decode = true;
+  /// Draft proposer for speculative requests (spec_k > 0). When set, the
+  /// engine reserves a second KV pool with `kv_slots` draft slots sized by
+  /// the proposer's cache_config(). Null = plain decoding only.
+  std::shared_ptr<spec::DraftProposer> proposer;
   StatsConfig stats;
 };
 
@@ -73,6 +87,8 @@ class InferenceEngine {
 
   const ServerStats& stats() const { return stats_; }
   const KvCachePool& kv_pool() const { return pool_; }
+  /// Draft-slot pool; null unless the engine was built with a proposer.
+  const KvCachePool* draft_pool() const { return draft_pool_.get(); }
   std::size_t queue_depth() const;
   std::size_t active_count() const { return active_.size(); }
   const EngineConfig& config() const { return config_; }
@@ -92,10 +108,12 @@ class InferenceEngine {
     Clock::time_point submitted;
     Clock::time_point last_token;
     nn::KvCache* kv = nullptr;
+    nn::KvCache* draft_kv = nullptr;  // speculative requests only
     Rng rng{0};
     std::vector<std::int32_t> tokens;  // prompt + generated so far
     std::int64_t emitted = 0;
     double ttft_s = 0.0;
+    spec::SpecStats spec;
   };
 
   void admit();
@@ -106,6 +124,8 @@ class InferenceEngine {
   const nn::GptModel& model_;
   EngineConfig config_;
   KvCachePool pool_;
+  std::unique_ptr<KvCachePool> draft_pool_;
+  std::unique_ptr<spec::SpeculativeDecoder> spec_decoder_;
   ServerStats stats_;
 
   std::deque<Pending> waiting_;

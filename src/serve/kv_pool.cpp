@@ -52,12 +52,15 @@ nn::KvCache* KvCachePool::try_acquire() {
   return cache;
 }
 
+bool KvCachePool::owns(const nn::KvCache* cache) const {
+  return std::any_of(slots_.begin(), slots_.end(), [cache](const auto& slot) {
+    return slot.get() == cache;
+  });
+}
+
 void KvCachePool::release(nn::KvCache* cache) {
   MGPT_CHECK(cache != nullptr, "release of a null KV cache");
-  const bool owned =
-      std::any_of(slots_.begin(), slots_.end(),
-                  [cache](const auto& slot) { return slot.get() == cache; });
-  MGPT_CHECK(owned, "release of a cache this pool does not own");
+  MGPT_CHECK(owns(cache), "release of a cache this pool does not own");
   cache->reset();
   {
     std::lock_guard lock(mutex_);
@@ -66,6 +69,17 @@ void KvCachePool::release(nn::KvCache* cache) {
     free_.push_back(cache);
   }
   cv_.notify_one();
+}
+
+void KvCachePool::truncate(nn::KvCache* cache, std::int64_t len) {
+  MGPT_CHECK(cache != nullptr, "truncate of a null KV cache");
+  MGPT_CHECK(owns(cache), "truncate of a cache this pool does not own");
+  {
+    std::lock_guard lock(mutex_);
+    MGPT_CHECK(std::find(free_.begin(), free_.end(), cache) == free_.end(),
+               "truncate of a slot that is not checked out");
+  }
+  cache->truncate(len);
 }
 
 }  // namespace matgpt::serve

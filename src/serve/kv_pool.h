@@ -44,7 +44,13 @@ class KvCachePool {
   /// list, waking one blocked acquire().
   void release(nn::KvCache* cache);
 
+  /// Roll an in-flight slot back to `len` cached tokens (speculative
+  /// rollback). Enforces the same ownership discipline as release(): the
+  /// slot must belong to this pool and must currently be checked out.
+  void truncate(nn::KvCache* cache, std::int64_t len);
+
  private:
+  bool owns(const nn::KvCache* cache) const;
   std::vector<std::unique_ptr<nn::KvCache>> slots_;
   std::vector<nn::KvCache*> free_;
   std::int64_t capacity_tokens_;

@@ -25,6 +25,12 @@ void ServerStats::record_request(const RequestResult& result) {
   requests_completed_ += 1;
   tokens_generated_ += static_cast<std::uint64_t>(result.generated_tokens);
   sum_request_tokens_per_s_ += result.tokens_per_s;
+  drafts_proposed_ += static_cast<std::uint64_t>(result.drafts_proposed);
+  drafts_accepted_ += static_cast<std::uint64_t>(result.drafts_accepted);
+  if (result.drafts_proposed > 0) {
+    spec_steps_saved_ += static_cast<std::uint64_t>(
+        result.generated_tokens - result.verify_rounds);
+  }
 }
 
 double ServerStats::mean_request_tokens_per_s() const {
@@ -49,6 +55,11 @@ std::string ServerStats::report(double wall_s) const {
   if (ttft_ms_.total() > 0.0) row("ttft:                ", ttft_ms_);
   if (inter_token_ms_.total() > 0.0) {
     row("inter-token latency: ", inter_token_ms_);
+  }
+  if (drafts_proposed_ > 0) {
+    os << "spec acceptance:     " << 100.0 * acceptance_rate() << "% ("
+       << drafts_accepted_ << "/" << drafts_proposed_ << " drafts, "
+       << spec_steps_saved_ << " decode steps saved)\n";
   }
   return os.str();
 }

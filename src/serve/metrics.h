@@ -34,6 +34,19 @@ class ServerStats {
   std::uint64_t requests_completed() const { return requests_completed_; }
   std::uint64_t tokens_generated() const { return tokens_generated_; }
 
+  /// Speculative-decoding aggregates over completed requests (all zero when
+  /// no request speculated).
+  std::uint64_t drafts_proposed() const { return drafts_proposed_; }
+  std::uint64_t drafts_accepted() const { return drafts_accepted_; }
+  /// Sequential decode steps avoided by accepted drafts.
+  std::uint64_t spec_steps_saved() const { return spec_steps_saved_; }
+  double acceptance_rate() const {
+    return drafts_proposed_ == 0
+               ? 0.0
+               : static_cast<double>(drafts_accepted_) /
+                     static_cast<double>(drafts_proposed_);
+  }
+
   /// Quantiles in milliseconds (q in [0, 1]); require recorded samples.
   double ttft_ms(double q) const { return ttft_ms_.quantile(q); }
   double inter_token_ms(double q) const {
@@ -55,6 +68,9 @@ class ServerStats {
   std::uint64_t requests_completed_ = 0;
   std::uint64_t tokens_generated_ = 0;
   double sum_request_tokens_per_s_ = 0.0;
+  std::uint64_t drafts_proposed_ = 0;
+  std::uint64_t drafts_accepted_ = 0;
+  std::uint64_t spec_steps_saved_ = 0;
 };
 
 }  // namespace matgpt::serve

@@ -18,6 +18,11 @@ struct Request {
   /// request's tokens are independent of batch composition and identical to
   /// a batch-1 GptModel::generate_cached run with the same seed.
   std::uint64_t seed = 0;
+  /// Draft tokens proposed per speculative round; 0 = plain decoding. A
+  /// positive value requires the engine to be built with a DraftProposer.
+  /// Greedy speculative requests still produce tokens byte-identical to the
+  /// plain path — speculation only changes how fast they arrive.
+  std::int64_t spec_k = 0;
 };
 
 /// Completed request: prompt + generated tokens (the generate_cached layout)
@@ -33,6 +38,20 @@ struct RequestResult {
   double total_s = 0.0;
   /// Decode throughput: generated tokens / total_s.
   double tokens_per_s = 0.0;
+  /// Speculative accounting (zero for plain requests): draft tokens
+  /// proposed/accepted and target forwards taken. generated_tokens minus
+  /// verify_rounds is the number of sequential decode steps speculation
+  /// saved.
+  std::int64_t drafts_proposed = 0;
+  std::int64_t drafts_accepted = 0;
+  std::int64_t verify_rounds = 0;
+
+  double acceptance_rate() const {
+    return drafts_proposed == 0
+               ? 0.0
+               : static_cast<double>(drafts_accepted) /
+                     static_cast<double>(drafts_proposed);
+  }
 };
 
 }  // namespace matgpt::serve

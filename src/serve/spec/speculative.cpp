@@ -1,0 +1,188 @@
+#include "serve/spec/speculative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace matgpt::serve::spec {
+
+SpeculativeDecoder::SpeculativeDecoder(const nn::GptModel& target,
+                                       std::shared_ptr<DraftProposer> proposer)
+    : target_(target), proposer_(std::move(proposer)) {
+  MGPT_CHECK(proposer_ != nullptr,
+             "SpeculativeDecoder requires a draft proposer");
+  MGPT_CHECK(proposer_->cache_config().vocab_size ==
+                 target_.config().vocab_size,
+             "draft vocab " << proposer_->cache_config().vocab_size
+                            << " != target vocab "
+                            << target_.config().vocab_size);
+}
+
+std::int64_t SpeculativeDecoder::step(std::vector<std::int32_t>& tokens,
+                                      nn::KvCache& target_cache,
+                                      nn::KvCache& draft_cache,
+                                      const nn::SamplingOptions& sampling,
+                                      Rng& rng, std::int64_t k,
+                                      std::int64_t remaining,
+                                      SpecStats& stats) const {
+  MGPT_CHECK(!tokens.empty(), "speculative step requires an accepted prefix");
+  MGPT_CHECK(remaining > 0, "speculative step requires emission budget");
+  MGPT_CHECK(k > 0, "speculative step requires k > 0");
+  const auto len = static_cast<std::int64_t>(tokens.size());
+  MGPT_CHECK(target_cache.length == len - 1,
+             "target cache holds " << target_cache.length
+                                   << " tokens; accepted sequence needs "
+                                   << len - 1);
+  const std::int64_t vocab = target_.config().vocab_size;
+  const bool greedy = sampling.temperature <= 0.0f;
+  auto row_of = [&](const Var& logits, std::int64_t row) {
+    return std::span<const float>(logits.value().data() + row * vocab,
+                                  static_cast<std::size_t>(vocab));
+  };
+
+  // Budget for drafts: each round emits the accepted drafts PLUS one
+  // corrected/bonus token, so with one token left there is nothing to
+  // speculate on — fall back to a plain single decode step (verify_append
+  // of one token is exactly a decode_batch step).
+  std::int64_t k_round = std::min(k, remaining - 1);
+  // Adaptive depth: a (k+1)-row verify costs more than a single step, so
+  // proposing deep into a draft the target keeps rejecting only adds
+  // overhead. Once the request has real evidence (>= k drafts judged),
+  // scale the depth by its observed acceptance — an adversarial draft
+  // degrades to ~1 draft/round (bounded overhead) while a strong one keeps
+  // the full depth. Greedy output is identical for every depth, so this
+  // changes speed, never tokens.
+  if (stats.drafts_proposed >= k && k_round > 1) {
+    const auto scaled = static_cast<std::int64_t>(
+        std::ceil(stats.acceptance_rate() * static_cast<double>(k)));
+    k_round = std::min(k_round, std::max<std::int64_t>(1, scaled));
+  }
+  if (k_round < 1) {
+    Tape tape;
+    const std::int32_t last = tokens.back();
+    Var logits = target_.verify_append(
+        tape, std::span<const std::int32_t>(&last, 1), target_cache);
+    tokens.push_back(nn::sample_token(row_of(logits, 0), sampling, rng));
+    stats.verify_rounds += 1;
+    stats.tokens_emitted += 1;
+    return 1;
+  }
+
+  DraftProposal proposal =
+      proposer_->propose(tokens, k_round, draft_cache, sampling, rng);
+  MGPT_CHECK(static_cast<std::int64_t>(proposal.tokens.size()) == k_round,
+             "proposer returned " << proposal.tokens.size() << " drafts; "
+                                  << "asked for " << k_round);
+
+  // One batched verify over [tokens.back(), d_1 .. d_k]: row i is the
+  // target's next-token logits after the accepted prefix plus the first i
+  // fed tokens — all k+1 sequential decode steps in a single forward.
+  std::vector<std::int32_t> feed;
+  feed.reserve(static_cast<std::size_t>(k_round) + 1);
+  feed.push_back(tokens.back());
+  feed.insert(feed.end(), proposal.tokens.begin(), proposal.tokens.end());
+  Tape tape;
+  Var logits = target_.verify_append(tape, feed, target_cache);
+
+  // Accept the longest draft prefix the target agrees with, then emit one
+  // token from the first disagreeing row (correction) or the final row
+  // (bonus, all drafts accepted).
+  std::int64_t accepted = 0;
+  std::int32_t next = -1;
+  if (greedy) {
+    while (accepted < k_round &&
+           proposal.tokens[static_cast<std::size_t>(accepted)] ==
+               nn::argmax_token(row_of(logits, accepted))) {
+      ++accepted;
+    }
+    next = nn::argmax_token(row_of(logits, accepted));
+  } else {
+    MGPT_CHECK(proposal.probs.size() == proposal.tokens.size(),
+               "stochastic proposal is missing draft distributions");
+    while (accepted < k_round) {
+      const auto i = static_cast<std::size_t>(accepted);
+      const std::int32_t draft = proposal.tokens[i];
+      const std::vector<float> target_probs =
+          nn::sampling_probs(row_of(logits, accepted), sampling);
+      const std::vector<float>& draft_probs = proposal.probs[i];
+      const double q = target_probs[static_cast<std::size_t>(draft)];
+      const double p = draft_probs[static_cast<std::size_t>(draft)];
+      MGPT_CHECK(p > 0.0, "draft proposed a token it gave zero probability");
+      if (rng.uniform() < q / p) {
+        ++accepted;
+        continue;
+      }
+      // Residual: the leftover target mass the draft under-covered.
+      std::vector<double> residual(target_probs.size());
+      double total = 0.0;
+      for (std::size_t v = 0; v < target_probs.size(); ++v) {
+        residual[v] = std::max(
+            0.0, static_cast<double>(target_probs[v]) - draft_probs[v]);
+        total += residual[v];
+      }
+      next = total > 0.0
+                 ? static_cast<std::int32_t>(rng.categorical(residual))
+                 : nn::sample_token(row_of(logits, accepted), sampling, rng);
+      break;
+    }
+    if (next < 0) {  // every draft accepted: bonus from the last verify row
+      next = nn::sample_token(row_of(logits, k_round), sampling, rng);
+    }
+  }
+
+  tokens.insert(tokens.end(), proposal.tokens.begin(),
+                proposal.tokens.begin() + accepted);
+  tokens.push_back(next);
+
+  // Roll both caches back to the accepted sequence. The target fed k+1
+  // tokens and must end at new_len - 1 (everything but the new last token);
+  // the draft may lag (fully-accepted round) but must never run ahead.
+  const std::int64_t new_fed = len + accepted;
+  target_cache.truncate(new_fed);
+  if (draft_cache.length > new_fed) draft_cache.truncate(new_fed);
+
+  stats.drafts_proposed += k_round;
+  stats.drafts_accepted += accepted;
+  stats.verify_rounds += 1;
+  stats.tokens_emitted += accepted + 1;
+  return accepted + 1;
+}
+
+std::vector<std::int32_t> SpeculativeDecoder::generate(
+    std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
+    const nn::SamplingOptions& sampling, Rng& rng, std::int64_t k,
+    SpecStats* stats) const {
+  MGPT_CHECK(!prompt.empty(), "generate requires a non-empty prompt");
+  MGPT_CHECK(max_new_tokens > 0, "generate requires max_new_tokens > 0");
+  MGPT_CHECK(static_cast<std::int64_t>(prompt.size()) + max_new_tokens <=
+                 target_.config().max_seq,
+             "speculative generate cannot slide the window; shorten the "
+             "request");
+  std::vector<std::int32_t> tokens(prompt.begin(), prompt.end());
+  nn::KvCache target_cache;
+  nn::KvCache draft_cache;
+  SpecStats local;
+  SpecStats& s = stats != nullptr ? *stats : local;
+
+  // Prefill + first token exactly as generate_cached does it, so the two
+  // paths share the first sample bit-for-bit.
+  {
+    Tape tape;
+    Var logits = target_.forward_incremental(tape, prompt, target_cache);
+    const std::int64_t vocab = target_.config().vocab_size;
+    tokens.push_back(nn::sample_token(
+        std::span<const float>(logits.value().data(),
+                               static_cast<std::size_t>(vocab)),
+        sampling, rng));
+  }
+  std::int64_t emitted = 1;
+  while (emitted < max_new_tokens) {
+    emitted += step(tokens, target_cache, draft_cache, sampling, rng, k,
+                    max_new_tokens - emitted, s);
+  }
+  return tokens;
+}
+
+}  // namespace matgpt::serve::spec

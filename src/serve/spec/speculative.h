@@ -1,0 +1,95 @@
+#pragma once
+// Speculative decoding: turn k sequential decode steps into one batched
+// verify GEMM.
+//
+// Each round: a DraftProposer guesses k continuation tokens; the target
+// model scores [last accepted token, draft_1 .. draft_k] in ONE multi-token
+// cached forward (GptModel::verify_append — k+1 logits rows, causally
+// masked); the longest draft prefix the target agrees with is accepted,
+// plus one corrected/bonus token from the first disagreeing row. Both KV
+// caches are then truncated to the accepted length, so the next round (and
+// every later token) is computed from exactly the state a non-speculative
+// decode would hold.
+//
+// Exactness contract (greedy): because verify_append's row t is
+// bit-identical to feeding token t alone through forward_incremental, and
+// greedy argmax tie-breaks deterministically (lowest id), the emitted
+// sequence is BYTE-IDENTICAL to GptModel::generate_cached — for any draft.
+// A perfect draft only makes it faster (k+1 tokens per round); an
+// adversarial draft only slower (1 token per round, never wrong).
+//
+// Stochastic sampling uses standard residual (leftover) speculative
+// sampling: accept draft d with probability min(1, q(d)/p(d)), else emit a
+// sample from norm(max(q - p, 0)) — unbiased w.r.t. the target
+// distribution, though not stream-identical to generate_cached.
+//
+// Speculation depth adapts per request: once >= k drafts have been judged,
+// the round's depth is scaled by the observed acceptance rate (floor 1), so
+// a draft the target keeps rejecting costs ~one extra verify row per round
+// instead of k. Depth never changes greedy output, only speed.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/gpt.h"
+#include "nn/sampling.h"
+#include "serve/spec/proposer.h"
+
+namespace matgpt::serve::spec {
+
+/// Per-request speculation accounting.
+struct SpecStats {
+  /// Draft tokens proposed / accepted by verification.
+  std::int64_t drafts_proposed = 0;
+  std::int64_t drafts_accepted = 0;
+  /// Target forwards taken (verify rounds plus degenerate single steps).
+  std::int64_t verify_rounds = 0;
+  /// Tokens emitted through the speculative loop.
+  std::int64_t tokens_emitted = 0;
+
+  double acceptance_rate() const {
+    return drafts_proposed == 0
+               ? 0.0
+               : static_cast<double>(drafts_accepted) /
+                     static_cast<double>(drafts_proposed);
+  }
+  /// Sequential decode steps avoided: emitted tokens minus target forwards.
+  std::int64_t steps_saved() const { return tokens_emitted - verify_rounds; }
+};
+
+class SpeculativeDecoder {
+ public:
+  SpeculativeDecoder(const nn::GptModel& target,
+                     std::shared_ptr<DraftProposer> proposer);
+
+  const DraftProposer& proposer() const { return *proposer_; }
+
+  /// One propose -> verify -> accept -> rollback round. `tokens` is the
+  /// accepted sequence (prompt + generated; the target cache has fed every
+  /// token but the last). Appends between 1 and min(k, remaining-1)+1
+  /// tokens — never more than `remaining` — and leaves both caches
+  /// consistent with the new accepted sequence. Returns the number of
+  /// tokens emitted.
+  std::int64_t step(std::vector<std::int32_t>& tokens,
+                    nn::KvCache& target_cache, nn::KvCache& draft_cache,
+                    const nn::SamplingOptions& sampling, Rng& rng,
+                    std::int64_t k, std::int64_t remaining,
+                    SpecStats& stats) const;
+
+  /// Full speculative generation, mirroring generate_cached's signature and
+  /// (under greedy) its exact output. Uses throwaway dynamic KV caches.
+  std::vector<std::int32_t> generate(std::span<const std::int32_t> prompt,
+                                     std::int64_t max_new_tokens,
+                                     const nn::SamplingOptions& sampling,
+                                     Rng& rng, std::int64_t k,
+                                     SpecStats* stats = nullptr) const;
+
+ private:
+  const nn::GptModel& target_;
+  std::shared_ptr<DraftProposer> proposer_;
+};
+
+}  // namespace matgpt::serve::spec

@@ -270,6 +270,40 @@ TEST(Gpt, CachedGenerationMatchesFullForwardWithGqa) {
             model.generate_cached(prompt, 6, sampled, rs2));
 }
 
+TEST(Sampling, GreedyTieBreaksToLowestTokenId) {
+  // Speculative decoding's exact-acceptance contract leans on this: when
+  // logits tie, greedy argmax must deterministically pick the LOWEST token
+  // id, so the verify path and the plain decode path agree bit for bit.
+  const std::vector<float> tied{0.5f, 2.0f, 2.0f, -1.0f, 2.0f};
+  EXPECT_EQ(nn::argmax_token(tied), 1);
+
+  const std::vector<float> all_equal(7, 3.25f);
+  EXPECT_EQ(nn::argmax_token(all_equal), 0);
+
+  // sample_token at temperature 0 must route through the same argmax.
+  nn::SamplingOptions greedy;
+  greedy.temperature = 0.0f;
+  Rng rng(1);
+  EXPECT_EQ(nn::sample_token(tied, greedy, rng), 1);
+  EXPECT_EQ(nn::sample_token(all_equal, greedy, rng), 0);
+}
+
+TEST(Sampling, SamplingProbsIsFilteredRenormalizedDistribution) {
+  const std::vector<float> logits{1.0f, 0.0f, -1.0f, 2.0f};
+  nn::SamplingOptions opts;
+  opts.temperature = 1.0f;
+  opts.top_k = 2;
+  const std::vector<float> probs = nn::sampling_probs(logits, opts);
+  ASSERT_EQ(probs.size(), logits.size());
+  // Only the top-2 logits (ids 3 and 0) survive the filter.
+  EXPECT_EQ(probs[1], 0.0f);
+  EXPECT_EQ(probs[2], 0.0f);
+  EXPECT_GT(probs[3], probs[0]);
+  float sum = 0.0f;
+  for (float p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
 TEST(Gpt, LossIgnoresMaskedTargets) {
   nn::GptModel model(tiny_config(nn::ArchFamily::kNeoX));
   const std::vector<std::int32_t> tokens{1, 2, 3, 4};

@@ -207,6 +207,54 @@ TEST(ServeKvPool, RejectsForeignAndDoubleRelease) {
   EXPECT_THROW(pool.release(slot), Error);
 }
 
+TEST(ServeKvPool, RejectsSlotFromAnotherPool) {
+  const nn::GptConfig c = serve_config(nn::ArchFamily::kNeoX, 0);
+  serve::KvCachePool pool_a(c, 1);
+  serve::KvCachePool pool_b(c, 1);
+  nn::KvCache* slot_b = pool_b.acquire();
+  // A perfectly valid slot — of the wrong pool. Must not enter pool_a's free
+  // list (that would let pool_a hand out memory it doesn't own).
+  EXPECT_THROW(pool_a.release(slot_b), Error);
+  EXPECT_EQ(pool_a.available(), 1u);
+  pool_b.release(slot_b);
+}
+
+TEST(ServeKvPool, TryAcquireReturnsNullWhenExhausted) {
+  const nn::GptConfig c = serve_config(nn::ArchFamily::kNeoX, 0);
+  serve::KvCachePool pool(c, 2);
+  nn::KvCache* a = pool.acquire();
+  nn::KvCache* b = pool.try_acquire();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.try_acquire(), nullptr);
+  EXPECT_EQ(pool.available(), 0u);
+  pool.release(a);
+  EXPECT_NE(pool.try_acquire(), nullptr);  // reacquires the freed slot
+  pool.release(b);
+}
+
+TEST(ServeKvPool, TruncateRollsBackCheckedOutSlotOnly) {
+  const nn::GptConfig c = serve_config(nn::ArchFamily::kLLaMA, 1);
+  serve::KvCachePool pool(c, 2);
+  nn::GptModel model(c);
+  nn::KvCache* slot = pool.acquire();
+  const std::vector<std::int32_t> prompt{1, 2, 3, 4, 5};
+  Tape tape;
+  model.forward_incremental(tape, prompt, *slot);
+  ASSERT_EQ(slot->length, 5);
+
+  pool.truncate(slot, 3);
+  EXPECT_EQ(slot->length, 3);
+  for (const auto& layer : slot->layers) EXPECT_EQ(layer.length(), 3);
+  EXPECT_THROW(pool.truncate(slot, 4), Error);  // can't grow by truncating
+
+  nn::KvCache stranger;
+  EXPECT_THROW(pool.truncate(&stranger, 0), Error);
+
+  // A slot sitting in the free list is nobody's to roll back.
+  pool.release(slot);
+  EXPECT_THROW(pool.truncate(slot, 0), Error);
+}
+
 TEST(ServeKvPool, SlotCapacityIsEnforced) {
   const nn::GptConfig c = serve_config(nn::ArchFamily::kLLaMA, 1);
   serve::KvCachePool pool(c, 1, /*capacity_tokens=*/4);
