@@ -1,0 +1,163 @@
+// Prefix-cache prefill throughput: radix-tree prompt reuse vs cold prefill.
+//
+// Replays a prefill-dominated trace (long prompts, 1-2 generated tokens,
+// 80% of requests opening with one shared system-prompt span) through the
+// InferenceEngine twice: once with the prefix cache disabled and once with
+// it enabled. A hit copies the shared rows into the request's KV slot
+// (memcpy) and prefills only the unshared tail, so the cached run should
+// complete the same trace in a fraction of the prompt-processing time.
+// Verifies the cached run's tokens are byte-identical to the cold run's,
+// then reports prompt tokens/s, hit-rate counters, and the speedup.
+//
+// Acceptance gate: >= 1.5x prompt-token throughput at 80% shared-prefix
+// traffic.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "nn/gpt.h"
+#include "serve/engine.h"
+#include "serve/trace.h"
+
+using namespace matgpt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== prefix-cache prefill throughput: radix reuse vs cold ===\n");
+
+  // Same serving-shaped model as bench_serving_throughput: large enough
+  // that prefill time is real compute, GQA so the KV economics are honest.
+  nn::GptConfig c;
+  c.arch = nn::ArchFamily::kLLaMA;
+  c.vocab_size = 8192;
+  c.hidden = 256;
+  c.n_layers = 4;
+  c.n_heads = 8;
+  c.n_kv_heads = 2;
+  c.max_seq = 128;
+  nn::GptModel model(c);
+
+  // Prefill-dominated workload: long prompts, almost no decode, and 80% of
+  // requests opening with the same 48-token span (system prompt + few-shot
+  // header, the traffic prefix caching exists for).
+  serve::TraceSpec spec;
+  spec.n_requests = 32;
+  spec.vocab_size = c.vocab_size;
+  spec.prompt_len_min = 48;
+  spec.prompt_len_max = 64;
+  spec.max_new_min = 1;
+  spec.max_new_max = 2;
+  spec.shared_prefix_fraction = 0.8;
+  spec.shared_prefix_len = 48;
+  const auto trace = serve::synth_trace(spec);
+
+  std::int64_t prompt_tokens = 0;
+  for (const auto& req : trace) {
+    prompt_tokens += static_cast<std::int64_t>(req.prompt.size());
+  }
+  std::printf("model: llama %lld hidden, %lld layers, %lld heads (%lld kv)\n",
+              static_cast<long long>(c.hidden),
+              static_cast<long long>(c.n_layers),
+              static_cast<long long>(c.n_heads),
+              static_cast<long long>(c.kv_heads()));
+  std::printf("trace: %zu requests, %lld prompt tokens, prompts %lld..%lld, "
+              "%.0f%% sharing a %lld-token prefix\n\n",
+              trace.size(), static_cast<long long>(prompt_tokens),
+              static_cast<long long>(spec.prompt_len_min),
+              static_cast<long long>(spec.prompt_len_max),
+              100.0 * spec.shared_prefix_fraction,
+              static_cast<long long>(spec.shared_prefix_len));
+
+  // Warm up allocators and instruction caches on an off-trace request.
+  {
+    Rng warm(1);
+    model.generate_cached(trace[0].prompt, 2, trace[0].sampling, warm);
+  }
+
+  serve::EngineConfig base;
+  base.max_batch = 8;
+  base.kv_slots = 8;
+
+  // Deterministic paths; best-of-reps removes shared-box scheduler noise.
+  constexpr int kReps = 3;
+  auto run = [&](const serve::EngineConfig& ec, double& best_s,
+                 std::string& report, std::uint64_t& reused,
+                 double& hit_rate) {
+    std::vector<serve::RequestResult> best;
+    for (int rep = 0; rep < kReps; ++rep) {
+      serve::InferenceEngine engine(model, ec);
+      auto replay = trace;
+      const auto t0 = Clock::now();
+      auto results = engine.run_trace(std::move(replay));
+      const double s = secs_since(t0);
+      if (rep == 0 || s < best_s) {
+        best_s = s;
+        best = std::move(results);
+        report = engine.stats().report(s);
+        reused = engine.stats().prefix_tokens_reused();
+        hit_rate = engine.stats().prefix_hit_rate();
+      }
+    }
+    return best;
+  };
+
+  double cold_s = 0.0, cold_hit = 0.0;
+  std::uint64_t cold_reused = 0;
+  std::string cold_report;
+  const auto cold = run(base, cold_s, cold_report, cold_reused, cold_hit);
+  const double cold_tps = static_cast<double>(prompt_tokens) / cold_s;
+  std::printf("cold prefill:  %.3f s -> %.1f prompt tokens/s (best of %d)\n",
+              cold_s, cold_tps, kReps);
+
+  serve::EngineConfig cached_ec = base;
+  cached_ec.prefix_cache_bytes = 4u << 20;  // plenty for one shared span
+  double cached_s = 0.0, hit_rate = 0.0;
+  std::uint64_t reused = 0;
+  std::string cached_report;
+  const auto cached = run(cached_ec, cached_s, cached_report, reused,
+                          hit_rate);
+  const double cached_tps = static_cast<double>(prompt_tokens) / cached_s;
+  std::printf("prefix cache:  %.3f s -> %.1f prompt tokens/s (best of %d)\n",
+              cached_s, cached_tps, kReps);
+
+  // Byte identity: reusing cached rows must not change a single token.
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    if (cached[i].tokens != cold[i].tokens) ++mismatches;
+  }
+  std::printf("token identity vs cold prefill: %s (%zu/%zu requests match)\n",
+              mismatches == 0 ? "OK" : "MISMATCH",
+              cached.size() - mismatches, cached.size());
+
+  std::printf("\n%s", cached_report.c_str());
+  const double speedup = cached_tps / cold_tps;
+  std::printf("\nspeedup: %.2fx prompt-token throughput (%.0f%% hit rate, "
+              "%llu tokens reused)\n",
+              speedup, 100.0 * hit_rate,
+              static_cast<unsigned long long>(reused));
+
+  bench::write_bench_json(
+      "BENCH_prefix.json",
+      {{"cold_prompt_tokens_per_s", cold_tps},
+       {"cached_prompt_tokens_per_s", cached_tps},
+       {"speedup", speedup},
+       {"prefix_hit_rate", hit_rate},
+       {"prefix_tokens_reused", static_cast<double>(reused)},
+       {"prompt_tokens", static_cast<double>(prompt_tokens)},
+       {"shared_prefix_fraction", spec.shared_prefix_fraction}});
+  const bool pass = mismatches == 0 && speedup >= 1.5;
+  std::printf("%s: prefix caching %s the >=1.5x gate\n",
+              pass ? "PASS" : "FAIL", speedup >= 1.5 ? "clears" : "misses");
+  return pass ? 0 : 1;
+}

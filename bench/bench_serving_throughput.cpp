@@ -86,7 +86,7 @@ int main() {
     generated = 0;
     const auto t_seq = Clock::now();
     for (const auto& req : trace) {
-      Rng rng(req.seed);
+      Rng rng(req.sampling.seed);
       expected.push_back(
           model.generate_cached(req.prompt, req.max_new_tokens, req.sampling,
                                 rng));

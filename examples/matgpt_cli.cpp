@@ -3,12 +3,16 @@
 //
 //   matgpt_cli corpus  [scale]                 synthesize + screen a corpus
 //   matgpt_cli train   <neox|llama> [steps] [dir]   pre-train + checkpoint
-//   matgpt_cli generate <dir> <prompt...>      sample from a checkpoint
+//   matgpt_cli generate <dir> [--temp T] [--top-k K] [--top-p P] [--seed S]
+//       <prompt...>                            sample from a checkpoint
 //   matgpt_cli simulate <1.7b|6.7b> <gcds> <dp|zero1|tp2|pp2>
 //   matgpt_cli search  <min_B> <max_B>         architecture search
 //   matgpt_cli serve-bench [requests] [clients] [--spec-k N] [--draft-layers M]
+//       [--prefix-cache-mb B]
 //       continuous-batching demo; --spec-k enables speculative decoding with
-//       a self-speculative layer-skip draft of M layers
+//       a self-speculative layer-skip draft of M layers; --prefix-cache-mb
+//       gives the prompt prefix cache a budget of B MB and switches the trace
+//       to a shared-system-prompt workload
 //
 // Checkpoints written by `train` (model.ckpt + tokenizer.txt) are reloaded
 // by `generate`.
@@ -43,11 +47,12 @@ int usage() {
                "usage:\n"
                "  matgpt_cli corpus [scale]\n"
                "  matgpt_cli train <neox|llama> [steps] [dir]\n"
-               "  matgpt_cli generate <dir> <prompt...>\n"
+               "  matgpt_cli generate <dir> [--temp T] [--top-k K]"
+               " [--top-p P] [--seed S] <prompt...>\n"
                "  matgpt_cli simulate <1.7b|6.7b> <gcds> <dp|zero1|tp2|pp2>\n"
                "  matgpt_cli search <min_params_B> <max_params_B>\n"
                "  matgpt_cli serve-bench [requests] [clients]"
-               " [--spec-k N] [--draft-layers M]\n");
+               " [--spec-k N] [--draft-layers M] [--prefix-cache-mb B]\n");
   return 2;
 }
 
@@ -100,7 +105,8 @@ int cmd_train(const std::string& arch, std::int64_t steps,
   return 0;
 }
 
-int cmd_generate(const std::string& dir, const std::string& prompt) {
+int cmd_generate(const std::string& dir, const std::string& prompt,
+                 const nn::SamplingParams& sampling) {
   std::ifstream meta(dir + "/config.txt");
   MGPT_CHECK(meta.is_open(), "missing " << dir << "/config.txt — run train");
   std::string arch;
@@ -118,10 +124,11 @@ int cmd_generate(const std::string& dir, const std::string& prompt) {
   nn::GptModel model(mc);
   nn::load_parameters_file(model, dir + "/model.ckpt");
 
-  Rng rng(0xC11);
+  sampling.validate();
+  Rng rng = sampling.make_rng();
   const auto ids = tokenizer.encode(prompt);
   MGPT_CHECK(!ids.empty(), "prompt tokenized to nothing");
-  const auto out = model.generate(ids, 24, 0.7f, rng);
+  const auto out = model.generate_cached(ids, 24, sampling, rng);
   std::printf("%s\n", tokenizer.decode(out).c_str());
   return 0;
 }
@@ -187,7 +194,8 @@ int cmd_search(double min_b, double max_b) {
 // network. The model is random-init (the point is the engine, not the prose);
 // GQA and a serving-sized vocab keep it honest about where decode time goes.
 int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
-                    std::int64_t spec_k, std::int64_t draft_layers) {
+                    std::int64_t spec_k, std::int64_t draft_layers,
+                    std::int64_t prefix_cache_mb) {
   nn::GptConfig mc;
   mc.arch = nn::ArchFamily::kLLaMA;
   mc.vocab_size = 8192;
@@ -201,6 +209,12 @@ int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
   serve::TraceSpec spec;
   spec.n_requests = n_requests;
   spec.vocab_size = mc.vocab_size;
+  if (prefix_cache_mb > 0) {
+    // Shared-system-prompt workload: most requests open with the same span,
+    // the shape prefix caching exists for.
+    spec.shared_prefix_fraction = 0.8;
+    spec.shared_prefix_len = 12;
+  }
   auto trace = serve::synth_trace(spec);
   if (spec_k > 0) {
     for (auto& req : trace) req.spec_k = spec_k;
@@ -210,6 +224,8 @@ int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
   ec.max_batch = 8;
   ec.kv_slots = 8;
   ec.queue_capacity = 16;  // small enough that clients feel backpressure
+  ec.prefix_cache_bytes =
+      static_cast<std::size_t>(prefix_cache_mb) * 1000 * 1000;
   if (spec_k > 0) {
     MGPT_CHECK(draft_layers >= 1 && draft_layers <= mc.n_layers,
                "--draft-layers must be in [1, " << mc.n_layers << "]");
@@ -228,6 +244,13 @@ int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
                 static_cast<long long>(spec_k),
                 static_cast<long long>(draft_layers),
                 static_cast<long long>(mc.n_layers));
+  }
+  if (prefix_cache_mb > 0) {
+    std::printf("prefix cache: %lld MB budget, %.0f%% of prompts share a "
+                "%lld-token prefix\n",
+                static_cast<long long>(prefix_cache_mb),
+                100.0 * spec.shared_prefix_fraction,
+                static_cast<long long>(spec.shared_prefix_len));
   }
 
   std::vector<std::future<serve::RequestResult>> futures(trace.size());
@@ -262,6 +285,14 @@ int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
               "(%.1f MB reserved)\n",
               wall, engine.kv_pool().slot_count(),
               static_cast<double>(engine.kv_pool().reserved_bytes()) / 1e6);
+  if (const serve::PrefixCache* pc = engine.prefix_cache()) {
+    std::printf("prefix cache residency: %.2f/%.2f MB, %lld tokens in %zu "
+                "nodes (%llu evicted)\n",
+                static_cast<double>(pc->bytes_used()) / 1e6,
+                static_cast<double>(pc->byte_budget()) / 1e6,
+                static_cast<long long>(pc->cached_tokens()), pc->node_count(),
+                static_cast<unsigned long long>(pc->stats().nodes_evicted));
+  }
   return 0;
 }
 
@@ -279,12 +310,27 @@ int main(int argc, char** argv) {
                        argc > 4 ? argv[4] : "matgpt_checkpoint");
     }
     if (cmd == "generate" && argc >= 4) {
+      nn::SamplingParams sampling;
+      sampling.temperature = 0.7f;
+      sampling.seed = 0xC11;
       std::string prompt;
       for (int i = 3; i < argc; ++i) {
-        if (i > 3) prompt += " ";
-        prompt += argv[i];
+        const std::string arg = argv[i];
+        if (arg == "--temp" && i + 1 < argc) {
+          sampling.temperature = static_cast<float>(std::atof(argv[++i]));
+        } else if (arg == "--top-k" && i + 1 < argc) {
+          sampling.top_k = std::atoi(argv[++i]);
+        } else if (arg == "--top-p" && i + 1 < argc) {
+          sampling.top_p = static_cast<float>(std::atof(argv[++i]));
+        } else if (arg == "--seed" && i + 1 < argc) {
+          sampling.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else {
+          if (!prompt.empty()) prompt += " ";
+          prompt += arg;
+        }
       }
-      return cmd_generate(argv[2], prompt);
+      if (prompt.empty()) return usage();
+      return cmd_generate(argv[2], prompt, sampling);
     }
     if (cmd == "simulate" && argc == 5) {
       return cmd_simulate(argv[2], std::atoi(argv[3]), argv[4]);
@@ -294,7 +340,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "serve-bench") {
       std::size_t reqs = 32, cl = 4;
-      std::int64_t spec_k = 0, draft_layers = 2;
+      std::int64_t spec_k = 0, draft_layers = 2, prefix_cache_mb = 0;
       std::vector<std::size_t*> positional{&reqs, &cl};
       std::size_t pos = 0;
       for (int i = 2; i < argc; ++i) {
@@ -303,14 +349,18 @@ int main(int argc, char** argv) {
           spec_k = std::atoll(argv[++i]);
         } else if (arg == "--draft-layers" && i + 1 < argc) {
           draft_layers = std::atoll(argv[++i]);
+        } else if (arg == "--prefix-cache-mb" && i + 1 < argc) {
+          prefix_cache_mb = std::atoll(argv[++i]);
         } else if (pos < positional.size()) {
           *positional[pos++] = static_cast<std::size_t>(std::atoll(argv[i]));
         } else {
           return usage();
         }
       }
-      if (reqs == 0 || cl == 0 || spec_k < 0) return usage();
-      return cmd_serve_bench(reqs, cl, spec_k, draft_layers);
+      if (reqs == 0 || cl == 0 || spec_k < 0 || prefix_cache_mb < 0) {
+        return usage();
+      }
+      return cmd_serve_bench(reqs, cl, spec_k, draft_layers, prefix_cache_mb);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -125,6 +125,19 @@ void KvCacheLayer::truncate(std::int64_t len) {
   values = value_src.prefix_view({1, len, kv_heads, head_dim});
 }
 
+void KvCacheLayer::copy_rows(std::int64_t start, std::int64_t len,
+                             float* k_out, float* v_out) const {
+  MGPT_CHECK(start >= 0 && len > 0 && start + len <= length(),
+             "copy_rows range [" << start << ", " << start + len
+                                 << ") outside cached history of " << length()
+                                 << " tokens");
+  const std::int64_t row = keys.dim(2) * keys.dim(3);
+  std::copy(keys.data() + start * row, keys.data() + (start + len) * row,
+            k_out);
+  std::copy(values.data() + start * row, values.data() + (start + len) * row,
+            v_out);
+}
+
 void KvCache::reserve(const GptConfig& config, std::int64_t capacity_tokens) {
   const std::int64_t cap =
       capacity_tokens > 0 ? capacity_tokens : config.max_seq;
@@ -144,6 +157,26 @@ void KvCache::truncate(std::int64_t len) {
              "truncate length " << len << " outside cached history of "
                                 << length << " tokens");
   for (auto& layer : layers) layer.truncate(len);
+  length = len;
+}
+
+void KvCache::copy_prefix_from(const KvCache& src, std::int64_t len) {
+  MGPT_CHECK(length == 0, "copy_prefix_from requires an empty destination");
+  MGPT_CHECK(len > 0 && len <= src.length,
+             "prefix length " << len << " outside source history of "
+                              << src.length << " tokens");
+  MGPT_CHECK(layers.size() == src.layers.size(),
+             "copy_prefix_from layer count mismatch");
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const KvCacheLayer& from = src.layers[l];
+    const std::int64_t kv_heads = from.keys.dim(2);
+    const std::int64_t head_dim = from.keys.dim(3);
+    const std::int64_t row = kv_heads * head_dim;
+    std::vector<float> k(static_cast<std::size_t>(len * row));
+    std::vector<float> v(static_cast<std::size_t>(len * row));
+    from.copy_rows(0, len, k.data(), v.data());
+    layers[l].append(k.data(), v.data(), len, kv_heads, head_dim);
+  }
   length = len;
 }
 
@@ -444,8 +477,6 @@ Var GptModel::forward_incremental(Tape& tape,
                                   std::span<const std::int32_t> tokens,
                                   KvCache& cache) const {
   MGPT_CHECK(!tokens.empty(), "forward_incremental requires tokens");
-  MGPT_CHECK(cache.length == 0 || tokens.size() == 1,
-             "append one token at a time once the cache is primed");
   MGPT_CHECK(cache.length + static_cast<std::int64_t>(tokens.size()) <=
                  config_.max_seq,
              "kv cache would exceed max_seq");
@@ -455,9 +486,16 @@ Var GptModel::forward_incremental(Tape& tape,
   NoGradGuard guard(tape);
   const auto seq = static_cast<std::int64_t>(tokens.size());
   Var h = ops::embedding(tape, tok_emb_, tokens);
+  // Partial prefill (primed cache + several tokens — the prefix-cache hit
+  // path) goes through the blocks' verify_append, whose per-row causal
+  // attention makes every suffix row bit-identical to the row a cold
+  // full-prompt prefill computes at the same position.
+  const bool partial = cache.length > 0 && seq > 1;
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
-    h = blocks_[i]->forward_cached(tape, h, seq, cache.layers[i],
-                                   cache.length);
+    h = partial ? blocks_[i]->verify_append(tape, h, seq, cache.layers[i],
+                                            cache.length)
+                : blocks_[i]->forward_cached(tape, h, seq, cache.layers[i],
+                                             cache.length);
   }
   cache.length += seq;
   // Only the last position's logits are ever sampled, so prefill skips the

@@ -77,6 +77,12 @@ struct KvCacheLayer {
   /// rollback). The surviving prefix is untouched in both storage modes, so
   /// the next append continues from position `len`.
   void truncate(std::int64_t len);
+  /// Copy cached rows [start, start + len) into contiguous
+  /// [len, kv_heads * head_dim] destination buffers — the export half of the
+  /// prefix-cache copy path (append() is the import half). Pure memcpy; no
+  /// forward pass.
+  void copy_rows(std::int64_t start, std::int64_t len, float* k_out,
+                 float* v_out) const;
 
   std::int64_t length() const { return keys.defined() ? keys.dim(1) : 0; }
   /// Reserved slab capacity in tokens (0 = dynamic mode).
@@ -105,6 +111,11 @@ struct KvCache {
   /// accepted prefix; the result is bit-identical to a cache that never saw
   /// the rejected tokens.
   void truncate(std::int64_t len);
+  /// Adopt the first `len` cached tokens of `src` (which must share this
+  /// cache's layer geometry) by slab memcpy — no forward pass. This cache
+  /// must be empty; afterwards it is bit-identical to one that fed the same
+  /// `len` tokens itself. The serving prefix cache's restore path.
+  void copy_prefix_from(const KvCache& src, std::int64_t len);
 
   /// Reserved per-layer capacity in tokens (0 when dynamic).
   std::int64_t capacity_tokens() const {
@@ -235,8 +246,12 @@ class GptModel : public Module {
   /// Logits [1, V] for the LAST of the new tokens given the cached history
   /// (batch 1) — earlier prompt rows skip the lm_head, which dominates a
   /// prefill at serving vocab sizes. Appends every token's K/V to `cache`.
-  /// Either the cache is empty (prompt prefill) or tokens.size() == 1
-  /// (decode step).
+  /// Three shapes: empty cache + many tokens (prompt prefill), primed cache
+  /// + one token (decode step), and primed cache + many tokens (PARTIAL
+  /// prefill — a prompt whose first cache.length tokens were restored from
+  /// the serving prefix cache; the suffix rows go through the same per-row
+  /// causal path as verify_append, so the surviving logits row is
+  /// bit-identical to a cold full-prompt prefill's).
   Var forward_incremental(Tape& tape, std::span<const std::int32_t> tokens,
                           KvCache& cache) const;
 

@@ -10,7 +10,7 @@
 
 namespace matgpt::nn {
 
-void SamplingOptions::validate() const {
+void SamplingParams::validate() const {
   MGPT_CHECK(top_k >= 0, "top_k must be non-negative");
   MGPT_CHECK(top_p > 0.0f && top_p <= 1.0f, "top_p must be in (0, 1]");
 }
@@ -28,7 +28,7 @@ namespace {
 /// softmax and `order` with token ids ranked by probability; returns how
 /// many leading ranks survive the filters.
 std::size_t filtered_ranking(std::span<const float> logits,
-                             const SamplingOptions& options,
+                             const SamplingParams& options,
                              std::vector<float>& probs,
                              std::vector<std::size_t>& order) {
   probs.assign(logits.begin(), logits.end());
@@ -71,7 +71,7 @@ std::size_t filtered_ranking(std::span<const float> logits,
 }  // namespace
 
 std::int32_t sample_token(std::span<const float> logits,
-                          const SamplingOptions& options, Rng& rng) {
+                          const SamplingParams& options, Rng& rng) {
   MGPT_CHECK(!logits.empty(), "sample_token requires logits");
   options.validate();
   if (options.temperature <= 0.0f) {
@@ -88,7 +88,7 @@ std::int32_t sample_token(std::span<const float> logits,
 }
 
 std::vector<float> sampling_probs(std::span<const float> logits,
-                                  const SamplingOptions& options) {
+                                  const SamplingParams& options) {
   MGPT_CHECK(!logits.empty(), "sampling_probs requires logits");
   options.validate();
   MGPT_CHECK(options.temperature > 0.0f,

@@ -1,6 +1,11 @@
 #pragma once
 // Token sampling strategies for generation: greedy, temperature, top-k, and
 // nucleus (top-p) — the standard decoding controls a released LM ships.
+//
+// SamplingParams is THE sampling knob set for the whole stack: the nn
+// generation helpers, serve::Request, and the matgpt_cli flags all speak this
+// one struct, so greedy/temperature/top-k/top-p and the per-stream seed live
+// in exactly one place instead of being duplicated per layer.
 
 #include <cstdint>
 #include <span>
@@ -10,7 +15,7 @@
 
 namespace matgpt::nn {
 
-struct SamplingOptions {
+struct SamplingParams {
   /// <= 0 selects greedy argmax decoding.
   float temperature = 1.0f;
   /// Keep only the k most likely tokens (0 = disabled).
@@ -18,13 +23,36 @@ struct SamplingOptions {
   /// Keep the smallest set of tokens with cumulative probability >= top_p
   /// (1.0 = disabled).
   float top_p = 1.0f;
+  /// Seed of the per-request sampling stream. The serving engine draws every
+  /// stochastic token for a request from Rng(seed), which is what makes a
+  /// request's output independent of batch composition. Ignored by the
+  /// stateless helpers below, which take an explicit Rng.
+  std::uint64_t seed = 0;
+
+  bool greedy() const { return temperature <= 0.0f; }
+  /// The stream this parameter set seeds (Rng(seed)).
+  Rng make_rng() const { return Rng(seed); }
+  /// Greedy decoding (temperature 0) with an optional stream seed.
+  static SamplingParams greedy_params(std::uint64_t seed = 0) {
+    SamplingParams p;
+    p.temperature = 0.0f;
+    p.seed = seed;
+    return p;
+  }
 
   void validate() const;
 };
 
-/// Sample a token id from a raw logits row under the given options.
+/// DEPRECATED (kept for one PR): the historical name for SamplingParams.
+/// Former call sites that carried a separate seed next to a SamplingOptions
+/// should fold it into SamplingParams::seed.
+using SamplingOptions = SamplingParams;
+
+/// Sample a token id from a raw logits row under the given params. Draws
+/// from the caller's `rng` stream (params.seed is NOT consulted here — the
+/// caller owns the stream's lifetime across a generation).
 std::int32_t sample_token(std::span<const float> logits,
-                          const SamplingOptions& options, Rng& rng);
+                          const SamplingParams& params, Rng& rng);
 
 /// Greedy argmax with a deterministic tie-break: among equal maxima the
 /// LOWEST token id wins (std::max_element keeps the first). sample_token's
@@ -39,6 +67,6 @@ std::int32_t argmax_token(std::span<const float> logits);
 /// the full vector (accept with prob min(1, q/p), resample from
 /// max(q - p, 0)), not just one draw.
 std::vector<float> sampling_probs(std::span<const float> logits,
-                                  const SamplingOptions& options);
+                                  const SamplingParams& params);
 
 }  // namespace matgpt::nn

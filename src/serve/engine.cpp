@@ -12,16 +12,34 @@ namespace {
 double secs(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double>(d).count();
 }
+
+// Validates before the member-init list runs, so a bad config throws its
+// own message instead of whatever the KV pool's constructor says first.
+EngineConfig validated(EngineConfig config) {
+  config.validate();
+  return config;
+}
 }  // namespace
+
+void EngineConfig::validate() const {
+  MGPT_CHECK(max_batch > 0, "EngineConfig: max_batch must be positive (got "
+                                << max_batch << ")");
+  MGPT_CHECK(kv_slots != 0, "EngineConfig: kv_slots must be non-zero");
+  MGPT_CHECK(queue_capacity != 0,
+             "EngineConfig: queue_capacity must be non-zero");
+}
 
 InferenceEngine::InferenceEngine(const nn::GptModel& model,
                                  EngineConfig config)
     : model_(model),
-      config_(config),
-      pool_(model.config(), config.kv_slots, config.kv_capacity_tokens),
-      stats_(config.stats) {
-  MGPT_CHECK(config_.max_batch > 0, "max_batch must be positive");
-  MGPT_CHECK(config_.queue_capacity > 0, "queue_capacity must be positive");
+      config_(validated(std::move(config))),
+      pool_(model.config(), config_.kv_slots, config_.kv_capacity_tokens),
+      stats_(config_.stats) {
+  if (config_.prefix_cache_bytes > 0) {
+    // Throws here if the budget cannot hold even one token block.
+    prefix_cache_ = std::make_unique<PrefixCache>(
+        model_.config(), config_.prefix_cache_bytes);
+  }
   if (config_.proposer != nullptr) {
     const nn::GptConfig& dc = config_.proposer->cache_config();
     MGPT_CHECK(dc.max_seq >= pool_.capacity_tokens(),
@@ -76,8 +94,8 @@ std::size_t InferenceEngine::queue_depth() const {
 
 void InferenceEngine::admit() {
   while (static_cast<std::int64_t>(active_.size()) < config_.max_batch) {
-    nn::KvCache* slot = pool_.try_acquire();
-    if (slot == nullptr) return;  // every slot is in flight
+    KvLease slot = pool_.try_lease();
+    if (!slot) return;  // every slot is in flight
     Pending pending;
     bool have_request = false;
     {
@@ -88,19 +106,15 @@ void InferenceEngine::admit() {
         have_request = true;
       }
     }
-    if (!have_request) {
-      pool_.release(slot);
-      return;
-    }
+    if (!have_request) return;  // lease returns the slot on scope exit
 
     // Speculative requests also hold a draft slot; when the draft pool is
     // drained the request goes back to the queue head and admission stops —
     // the slot frees when a speculative sequence retires.
-    nn::KvCache* draft_slot = nullptr;
+    KvLease draft_slot;
     if (pending.request.spec_k > 0) {
-      draft_slot = draft_pool_->try_acquire();
-      if (draft_slot == nullptr) {
-        pool_.release(slot);
+      draft_slot = draft_pool_->try_lease();
+      if (!draft_slot) {
         std::lock_guard lock(queue_mutex_);
         waiting_.push_front(std::move(pending));
         return;
@@ -112,14 +126,38 @@ void InferenceEngine::admit() {
     seq.request = std::move(pending.request);
     seq.promise = std::move(pending.promise);
     seq.submitted = pending.submitted;
-    seq.kv = slot;
-    seq.draft_kv = draft_slot;
-    seq.rng = Rng(seq.request.seed);
+    seq.kv = std::move(slot);
+    seq.draft_kv = std::move(draft_slot);
+    seq.rng = seq.request.sampling.make_rng();
     seq.tokens = seq.request.prompt;
 
+    // Prefix cache: copy the longest cached prefix into the slot (memcpy,
+    // no forward pass) and prefill only the suffix. The match is capped at
+    // prompt_len - 1 so at least one token flows through the model — the
+    // first sample needs the last position's logits. Unpin before insert so
+    // our own pins never block edge splits. Restored rows are bit-identical
+    // to recomputed ones, so the suffix prefill (and every later decode)
+    // sees exactly the cold-path cache state.
+    const std::span<const std::int32_t> prompt(seq.request.prompt);
+    const auto prompt_len = static_cast<std::int64_t>(prompt.size());
+    std::int64_t reused = 0;
+    if (prefix_cache_ != nullptr) {
+      PrefixCache::Match m = prefix_cache_->match(prompt, prompt_len - 1);
+      reused = m.tokens;
+      if (reused > 0) prefix_cache_->restore(m, *seq.kv);
+      prefix_cache_->unpin(m);
+    }
     Tape tape;
-    // forward_incremental returns logits for the last prompt position only.
-    Var logits = model_.forward_incremental(tape, seq.request.prompt, *slot);
+    // forward_incremental returns logits for the last fed position only.
+    Var logits =
+        model_.forward_incremental(tape, prompt.subspan(
+                                             static_cast<std::size_t>(reused)),
+                                   *seq.kv);
+    if (prefix_cache_ != nullptr) {
+      stats_.record_prefix(reused, prompt_len);
+      // The slot now holds the full prompt's rows; cache the uncached tail.
+      prefix_cache_->insert(prompt, prompt_len, *seq.kv);
+    }
     const auto now = Clock::now();
     seq.tokens.push_back(sample_row(logits, 0, seq));
     seq.emitted = 1;
@@ -160,12 +198,8 @@ void InferenceEngine::finish(ActiveSeq& seq, Clock::time_point now) {
   // like with like against a plain request's forward count.
   result.verify_rounds =
       seq.spec.drafts_proposed > 0 ? seq.spec.verify_rounds + 1 : 0;
-  pool_.release(seq.kv);
-  seq.kv = nullptr;
-  if (seq.draft_kv != nullptr) {
-    draft_pool_->release(seq.draft_kv);
-    seq.draft_kv = nullptr;
-  }
+  seq.kv.release();
+  seq.draft_kv.release();  // no-op for plain requests
   stats_.record_request(result);
   seq.promise.set_value(std::move(result));
 }
@@ -201,7 +235,7 @@ std::size_t InferenceEngine::step() {
     std::vector<nn::KvCache*> caches(plain.size());
     for (std::size_t i = 0; i < plain.size(); ++i) {
       feed[i] = active_[plain[i]].tokens.back();
-      caches[i] = active_[plain[i]].kv;
+      caches[i] = active_[plain[i]].kv.get();
     }
     if (config_.batched_decode) {
       Tape tape;

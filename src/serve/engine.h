@@ -5,8 +5,10 @@
 // full — backpressure, not a crash). Each scheduler step:
 //
 //   1. admit: while the decode batch has room AND the KV pool has a free
-//      slot, pop a waiting request, prefill its prompt (batch-1), and sample
-//      its first token (TTFT);
+//      slot, pop a waiting request; with prefix caching enabled, copy its
+//      longest cached prompt prefix into the slot (memcpy, no forward pass)
+//      and prefill only the remaining suffix, else prefill the whole prompt
+//      (batch-1); then sample its first token (TTFT);
 //   2. decode: one ragged-batch GptModel::decode_batch step across every
 //      plain sequence — one new token each — plus one speculative
 //      propose/verify round per speculative sequence (1..k+1 tokens each);
@@ -21,9 +23,11 @@
 // scheduler iteration. Greedy speculative requests produce byte-identical
 // tokens to their plain-decoded selves.
 //
-// Per-request sampling streams are seeded from Request::seed, so each
-// request's tokens are bit-identical to a standalone batch-1
-// GptModel::generate_cached run regardless of what it was batched with.
+// Per-request sampling streams are seeded from Request::sampling.seed, so
+// each request's tokens are bit-identical to a standalone batch-1
+// GptModel::generate_cached run regardless of what it was batched with —
+// and regardless of whether its prefix came from the cache or a cold
+// prefill (cached rows are bit-identical to recomputed ones).
 //
 // Threading: submit() is safe from any thread; step()/run_*() must be driven
 // by one scheduler thread.
@@ -40,6 +44,7 @@
 #include "nn/gpt.h"
 #include "serve/kv_pool.h"
 #include "serve/metrics.h"
+#include "serve/prefix_cache.h"
 #include "serve/request.h"
 #include "serve/spec/speculative.h"
 
@@ -62,7 +67,18 @@ struct EngineConfig {
   /// engine reserves a second KV pool with `kv_slots` draft slots sized by
   /// the proposer's cache_config(). Null = plain decoding only.
   std::shared_ptr<spec::DraftProposer> proposer;
+  /// Prompt prefix-cache byte budget (bf16 KV accounting; see
+  /// PrefixCache). 0 disables the cache; a non-zero budget must hold at
+  /// least one token's KV block. Draft slots never touch the cache — it
+  /// holds target-model rows only.
+  std::size_t prefix_cache_bytes = 0;
   StatsConfig stats;
+
+  /// Throws (MGPT_CHECK) on unserviceable knobs: max_batch <= 0,
+  /// kv_slots == 0, queue_capacity == 0. Called by the engine constructor
+  /// before any allocation; the prefix-cache budget-vs-block check lives in
+  /// the PrefixCache constructor on the same path.
+  void validate() const;
 };
 
 class InferenceEngine {
@@ -89,6 +105,8 @@ class InferenceEngine {
   const KvCachePool& kv_pool() const { return pool_; }
   /// Draft-slot pool; null unless the engine was built with a proposer.
   const KvCachePool* draft_pool() const { return draft_pool_.get(); }
+  /// Prompt prefix cache; null unless prefix_cache_bytes > 0.
+  const PrefixCache* prefix_cache() const { return prefix_cache_.get(); }
   std::size_t queue_depth() const;
   std::size_t active_count() const { return active_.size(); }
   const EngineConfig& config() const { return config_; }
@@ -107,8 +125,8 @@ class InferenceEngine {
     std::promise<RequestResult> promise;
     Clock::time_point submitted;
     Clock::time_point last_token;
-    nn::KvCache* kv = nullptr;
-    nn::KvCache* draft_kv = nullptr;  // speculative requests only
+    KvLease kv;
+    KvLease draft_kv;  // speculative requests only
     Rng rng{0};
     std::vector<std::int32_t> tokens;  // prompt + generated so far
     std::int64_t emitted = 0;
@@ -125,6 +143,7 @@ class InferenceEngine {
   EngineConfig config_;
   KvCachePool pool_;
   std::unique_ptr<KvCachePool> draft_pool_;
+  std::unique_ptr<PrefixCache> prefix_cache_;
   std::unique_ptr<spec::SpeculativeDecoder> spec_decoder_;
   ServerStats stats_;
 

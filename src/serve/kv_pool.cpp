@@ -6,6 +6,50 @@
 
 namespace matgpt::serve {
 
+KvLease::~KvLease() {
+  if (cache_ != nullptr) pool_->release(cache_);
+}
+
+KvLease::KvLease(KvLease&& other) noexcept
+    : pool_(other.pool_), cache_(other.cache_) {
+  other.pool_ = nullptr;
+  other.cache_ = nullptr;
+}
+
+KvLease& KvLease::operator=(KvLease&& other) noexcept {
+  if (this != &other) {
+    if (cache_ != nullptr) pool_->release(cache_);
+    pool_ = other.pool_;
+    cache_ = other.cache_;
+    other.pool_ = nullptr;
+    other.cache_ = nullptr;
+  }
+  return *this;
+}
+
+nn::KvCache& KvLease::operator*() const {
+  MGPT_CHECK(cache_ != nullptr, "dereference of an empty KV lease");
+  return *cache_;
+}
+
+nn::KvCache* KvLease::operator->() const {
+  MGPT_CHECK(cache_ != nullptr, "dereference of an empty KV lease");
+  return cache_;
+}
+
+void KvLease::truncate(std::int64_t len) {
+  MGPT_CHECK(cache_ != nullptr, "truncate of an empty KV lease");
+  pool_->truncate(cache_, len);
+}
+
+void KvLease::release() {
+  if (cache_ != nullptr) {
+    pool_->release(cache_);
+    pool_ = nullptr;
+    cache_ = nullptr;
+  }
+}
+
 KvCachePool::KvCachePool(const nn::GptConfig& config, std::size_t slots,
                          std::int64_t capacity_tokens)
     : capacity_tokens_(capacity_tokens > 0 ? capacity_tokens
@@ -34,6 +78,13 @@ KvCachePool::KvCachePool(const nn::GptConfig& config, std::size_t slots,
 std::size_t KvCachePool::available() const {
   std::lock_guard lock(mutex_);
   return free_.size();
+}
+
+KvLease KvCachePool::lease() { return KvLease(this, acquire()); }
+
+KvLease KvCachePool::try_lease() {
+  nn::KvCache* cache = try_acquire();
+  return cache != nullptr ? KvLease(this, cache) : KvLease();
 }
 
 nn::KvCache* KvCachePool::acquire() {

@@ -3,11 +3,17 @@
 //
 // Pre-allocates a fixed number of full-capacity KvCache slots sized from the
 // model config (respecting kv_heads() so GQA shrinks the pool by
-// n_heads / n_kv_heads) and recycles them across requests: release() resets
-// a slot's history but keeps its slabs, so steady-state serving never
-// allocates KV memory. The slot count is a hard admission limit — acquire()
-// blocks until a slot frees, and the pool can never hand out more caches
-// than it owns.
+// n_heads / n_kv_heads) and recycles them across requests: releasing a lease
+// resets the slot's history but keeps its slabs, so steady-state serving
+// never allocates KV memory. The slot count is a hard admission limit —
+// lease() blocks until a slot frees, and the pool can never hand out more
+// caches than it owns.
+//
+// Slots are checked out as move-only KvLease handles that return themselves
+// to the pool on destruction, so a slot cannot leak on an early return or an
+// exception, and a double release is unrepresentable. The raw
+// acquire()/release()/truncate() trio is a deprecated shim over the same
+// free list, kept for one PR while callers migrate.
 
 #include <condition_variable>
 #include <cstddef>
@@ -18,6 +24,40 @@
 #include "nn/gpt.h"
 
 namespace matgpt::serve {
+
+class KvCachePool;
+
+/// Move-only ownership of one pooled KV slot. Destroying (or release()-ing)
+/// the lease resets the slot and returns it to the pool, waking one blocked
+/// lease() call. A default-constructed or moved-from lease is empty
+/// (`!lease`); dereferencing it is a checked error.
+class KvLease {
+ public:
+  KvLease() = default;
+  ~KvLease();
+
+  KvLease(KvLease&& other) noexcept;
+  KvLease& operator=(KvLease&& other) noexcept;
+  KvLease(const KvLease&) = delete;
+  KvLease& operator=(const KvLease&) = delete;
+
+  explicit operator bool() const { return cache_ != nullptr; }
+  nn::KvCache* get() const { return cache_; }
+  nn::KvCache& operator*() const;
+  nn::KvCache* operator->() const;
+
+  /// Roll the slot back to `len` cached tokens (speculative rollback).
+  void truncate(std::int64_t len);
+  /// Return the slot to the pool now instead of at destruction.
+  void release();
+
+ private:
+  friend class KvCachePool;
+  KvLease(KvCachePool* pool, nn::KvCache* cache)
+      : pool_(pool), cache_(cache) {}
+  KvCachePool* pool_ = nullptr;
+  nn::KvCache* cache_ = nullptr;
+};
 
 class KvCachePool {
  public:
@@ -35,18 +75,26 @@ class KvCachePool {
   /// Accelerator bf16 bytes the fully-reserved pool pins.
   double reserved_bytes() const { return reserved_bytes_; }
 
-  /// Take a slot, blocking until one frees. The returned cache is empty and
-  /// fully reserved; ownership stays with the pool — return it via release().
-  nn::KvCache* acquire();
-  /// Non-blocking acquire; nullptr when the pool is exhausted.
-  nn::KvCache* try_acquire();
-  /// Reset the slot (keeping its reserved slabs) and return it to the free
-  /// list, waking one blocked acquire().
-  void release(nn::KvCache* cache);
+  /// Take a slot, blocking until one frees. The leased cache is empty and
+  /// fully reserved; it returns to the pool when the lease dies.
+  KvLease lease();
+  /// Non-blocking lease; empty (`!lease`) when the pool is exhausted.
+  KvLease try_lease();
 
-  /// Roll an in-flight slot back to `len` cached tokens (speculative
-  /// rollback). Enforces the same ownership discipline as release(): the
-  /// slot must belong to this pool and must currently be checked out.
+  // ---- deprecated raw-pointer shims (removed next PR; use lease()) ----
+
+  /// DEPRECATED: use lease(). Blocking checkout returning a raw pointer the
+  /// caller must hand back via release().
+  nn::KvCache* acquire();
+  /// DEPRECATED: use try_lease(). nullptr when the pool is exhausted.
+  nn::KvCache* try_acquire();
+  /// DEPRECATED: use KvLease's destructor or KvLease::release(). Resets the
+  /// slot (keeping its reserved slabs) and returns it to the free list,
+  /// waking one blocked checkout.
+  void release(nn::KvCache* cache);
+  /// DEPRECATED: use KvLease::truncate(). Rolls an in-flight slot back to
+  /// `len` cached tokens, enforcing the same ownership discipline as
+  /// release(): the slot must belong to this pool and be checked out.
   void truncate(nn::KvCache* cache, std::int64_t len);
 
  private:

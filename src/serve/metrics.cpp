@@ -33,6 +33,16 @@ void ServerStats::record_request(const RequestResult& result) {
   }
 }
 
+void ServerStats::record_prefix(std::int64_t tokens_reused,
+                                std::int64_t prompt_tokens) {
+  MGPT_CHECK(tokens_reused >= 0 && tokens_reused <= prompt_tokens,
+             "prefix reuse of " << tokens_reused << " tokens from a "
+                                << prompt_tokens << "-token prompt");
+  (tokens_reused > 0 ? prefix_hits_ : prefix_misses_) += 1;
+  prefix_tokens_reused_ += static_cast<std::uint64_t>(tokens_reused);
+  prefix_prompt_tokens_ += static_cast<std::uint64_t>(prompt_tokens);
+}
+
 double ServerStats::mean_request_tokens_per_s() const {
   return requests_completed_ == 0
              ? 0.0
@@ -60,6 +70,12 @@ std::string ServerStats::report(double wall_s) const {
     os << "spec acceptance:     " << 100.0 * acceptance_rate() << "% ("
        << drafts_accepted_ << "/" << drafts_proposed_ << " drafts, "
        << spec_steps_saved_ << " decode steps saved)\n";
+  }
+  if (prefix_hits_ + prefix_misses_ > 0) {
+    os << "prefix cache:        " << 100.0 * prefix_hit_rate() << "% hit rate ("
+       << prefix_hits_ << "/" << prefix_hits_ + prefix_misses_
+       << " admissions), " << prefix_tokens_reused_ << "/"
+       << prefix_prompt_tokens_ << " prompt tokens skipped prefill\n";
   }
   return os.str();
 }

@@ -30,9 +30,25 @@ class ServerStats {
   void record_ttft(double seconds);
   void record_inter_token(double seconds);
   void record_request(const RequestResult& result);
+  /// One admission's prefix-cache outcome: `tokens_reused` of a
+  /// `prompt_tokens`-long prompt were restored from cache (0 = miss).
+  void record_prefix(std::int64_t tokens_reused, std::int64_t prompt_tokens);
 
   std::uint64_t requests_completed() const { return requests_completed_; }
   std::uint64_t tokens_generated() const { return tokens_generated_; }
+
+  /// Prefix-cache aggregates over admissions (all zero when the cache is
+  /// disabled). A hit is any admission that reused >= 1 cached token.
+  std::uint64_t prefix_hits() const { return prefix_hits_; }
+  std::uint64_t prefix_misses() const { return prefix_misses_; }
+  std::uint64_t prefix_tokens_reused() const { return prefix_tokens_reused_; }
+  std::uint64_t prefix_prompt_tokens() const { return prefix_prompt_tokens_; }
+  double prefix_hit_rate() const {
+    const std::uint64_t lookups = prefix_hits_ + prefix_misses_;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(prefix_hits_) /
+                              static_cast<double>(lookups);
+  }
 
   /// Speculative-decoding aggregates over completed requests (all zero when
   /// no request speculated).
@@ -71,6 +87,10 @@ class ServerStats {
   std::uint64_t drafts_proposed_ = 0;
   std::uint64_t drafts_accepted_ = 0;
   std::uint64_t spec_steps_saved_ = 0;
+  std::uint64_t prefix_hits_ = 0;
+  std::uint64_t prefix_misses_ = 0;
+  std::uint64_t prefix_tokens_reused_ = 0;
+  std::uint64_t prefix_prompt_tokens_ = 0;
 };
 
 }  // namespace matgpt::serve

@@ -1,0 +1,256 @@
+#include "serve/prefix_cache.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace matgpt::serve {
+
+// One radix edge: the token span `edge` entering this node from its parent,
+// plus that span's K/V rows for every layer ([edge.size() * kv_heads *
+// head_dim] floats each, oldest-first — the KvCacheLayer row layout, so
+// restore() can hand the buffers straight to append()).
+struct PrefixCache::Node {
+  std::vector<std::int32_t> edge;
+  std::vector<std::vector<float>> k;  // [n_layers][len * row]
+  std::vector<std::vector<float>> v;
+  std::map<std::int32_t, std::unique_ptr<Node>> children;  // by first token
+  Node* parent = nullptr;
+  std::int64_t refcount = 0;
+  std::uint64_t last_used = 0;
+
+  std::int64_t len() const { return static_cast<std::int64_t>(edge.size()); }
+};
+
+PrefixCache::PrefixCache(const nn::GptConfig& config, std::size_t byte_budget)
+    : config_(config), byte_budget_(byte_budget) {
+  // bf16 K + V across every layer for one token — the accounting unit
+  // ("block") of the budget, matching KvCache::bytes().
+  token_bytes_ = static_cast<std::size_t>(
+      2 * 2 * config_.n_layers * config_.kv_heads() * config_.head_dim());
+  MGPT_CHECK(byte_budget_ >= token_bytes_,
+             "prefix-cache budget " << byte_budget_
+                                    << " B is smaller than one token block ("
+                                    << token_bytes_ << " B)");
+  root_ = std::make_unique<Node>();
+}
+
+PrefixCache::~PrefixCache() = default;
+
+PrefixCache::Node* PrefixCache::child_of(Node* node,
+                                         std::int32_t first) const {
+  auto it = node->children.find(first);
+  return it == node->children.end() ? nullptr : it->second.get();
+}
+
+void PrefixCache::touch(Node* node) { node->last_used = ++clock_; }
+
+PrefixCache::Match PrefixCache::match(std::span<const std::int32_t> tokens,
+                                      std::int64_t max_tokens) {
+  Match m;
+  const std::int64_t limit =
+      std::min<std::int64_t>(static_cast<std::int64_t>(tokens.size()),
+                             max_tokens);
+  Node* node = root_.get();
+  std::int64_t pos = 0;
+  while (pos < limit) {
+    Node* next = child_of(node, tokens[static_cast<std::size_t>(pos)]);
+    if (next == nullptr) break;
+    // Consume as much of the edge as both the prompt and the cap allow; a
+    // partial consume still reuses that many rows of the node's buffers.
+    std::int64_t used = 0;
+    while (used < next->len() && pos + used < limit &&
+           next->edge[static_cast<std::size_t>(used)] ==
+               tokens[static_cast<std::size_t>(pos + used)]) {
+      ++used;
+    }
+    if (used == 0) break;
+    next->refcount += 1;
+    touch(next);
+    m.path.push_back(next);
+    m.last_partial = used;
+    pos += used;
+    if (used < next->len()) break;  // diverged (or capped) mid-edge
+    node = next;
+  }
+  m.tokens = pos;
+  if (m.tokens > 0) {
+    stats_.hits += 1;
+    stats_.tokens_reused += static_cast<std::uint64_t>(m.tokens);
+  } else {
+    stats_.misses += 1;
+  }
+  return m;
+}
+
+void PrefixCache::restore(const Match& m, nn::KvCache& dst) const {
+  if (m.tokens == 0) return;
+  MGPT_CHECK(dst.length == 0, "restore requires an empty KV cache");
+  MGPT_CHECK(static_cast<std::int64_t>(dst.layers.size()) == config_.n_layers,
+             "restore: KV cache holds " << dst.layers.size()
+                                        << " layers; model has "
+                                        << config_.n_layers);
+  MGPT_CHECK(dst.capacity_tokens() >= m.tokens,
+             "restore: slot capacity " << dst.capacity_tokens()
+                                       << " cannot hold a " << m.tokens
+                                       << "-token prefix");
+  const std::int64_t kv_heads = config_.kv_heads();
+  const std::int64_t head_dim = config_.head_dim();
+  for (std::size_t i = 0; i < m.path.size(); ++i) {
+    const Node* node = static_cast<const Node*>(m.path[i]);
+    const std::int64_t rows =
+        i + 1 < m.path.size() ? node->len() : m.last_partial;
+    for (std::size_t l = 0; l < node->k.size(); ++l) {
+      dst.layers[l].append(node->k[l].data(), node->v[l].data(), rows,
+                           kv_heads, head_dim);
+    }
+  }
+  dst.length = m.tokens;
+}
+
+void PrefixCache::unpin(Match& m) {
+  for (void* p : m.path) {
+    Node* node = static_cast<Node*>(p);
+    MGPT_CHECK(node->refcount > 0, "unpin of an unpinned prefix-cache node");
+    node->refcount -= 1;
+  }
+  m.path.clear();
+  m.tokens = 0;
+  m.last_partial = 0;
+}
+
+bool PrefixCache::split(Node* node, std::int64_t offset) {
+  // Splitting moves the edge's tail (rows, children) into a fresh child.
+  // A pinned node's rows must stay put — pins were taken on this exact
+  // object — so the caller gives up instead (documented contract).
+  if (node->refcount > 0) return false;
+  MGPT_CHECK(offset > 0 && offset < node->len(),
+             "split offset " << offset << " outside edge of " << node->len()
+                             << " tokens");
+  const std::int64_t kv_heads = config_.kv_heads();
+  const std::int64_t head_dim = config_.head_dim();
+  const std::int64_t row = kv_heads * head_dim;
+  auto tail = std::make_unique<Node>();
+  tail->edge.assign(node->edge.begin() + offset, node->edge.end());
+  tail->k.resize(node->k.size());
+  tail->v.resize(node->v.size());
+  for (std::size_t l = 0; l < node->k.size(); ++l) {
+    tail->k[l].assign(node->k[l].begin() + offset * row, node->k[l].end());
+    tail->v[l].assign(node->v[l].begin() + offset * row, node->v[l].end());
+    node->k[l].resize(static_cast<std::size_t>(offset * row));
+    node->v[l].resize(static_cast<std::size_t>(offset * row));
+  }
+  node->edge.resize(static_cast<std::size_t>(offset));
+  tail->children = std::move(node->children);
+  node->children.clear();
+  for (auto& [first, child] : tail->children) {
+    (void)first;
+    child->parent = tail.get();
+  }
+  tail->parent = node;
+  tail->last_used = node->last_used;
+  const std::int32_t tail_first = tail->edge.front();
+  node->children.emplace(tail_first, std::move(tail));
+  node_count_ += 1;  // same tokens, one more node
+  return true;
+}
+
+void PrefixCache::insert(std::span<const std::int32_t> tokens,
+                         std::int64_t len, const nn::KvCache& kv) {
+  MGPT_CHECK(len > 0 && len <= static_cast<std::int64_t>(tokens.size()),
+             "insert length " << len << " outside prompt of " << tokens.size()
+                              << " tokens");
+  MGPT_CHECK(len <= kv.length,
+             "insert length " << len << " exceeds prefilled history of "
+                              << kv.length << " tokens");
+  MGPT_CHECK(static_cast<std::int64_t>(kv.layers.size()) == config_.n_layers,
+             "insert: KV cache layer count mismatch");
+  Node* node = root_.get();
+  std::int64_t pos = 0;
+  while (pos < len) {
+    Node* next = child_of(node, tokens[static_cast<std::size_t>(pos)]);
+    if (next == nullptr) break;
+    std::int64_t used = 0;
+    while (used < next->len() && pos + used < len &&
+           next->edge[static_cast<std::size_t>(used)] ==
+               tokens[static_cast<std::size_t>(pos + used)]) {
+      ++used;
+    }
+    touch(next);
+    if (used == next->len()) {  // edge fully shared; descend
+      pos += used;
+      node = next;
+      continue;
+    }
+    // Diverged (or the prompt ended) mid-edge — `used` >= 1 since children
+    // are keyed by first edge token. Split so the shared rows become an
+    // exact node, then branch from it. A pinned edge cannot be split — stop
+    // caching here this round.
+    if (!split(next, used)) return;
+    pos += used;
+    node = next;
+    if (pos == len) return;  // prompt ends exactly at the split
+  }
+  if (pos >= len) return;  // everything already cached
+
+  // Create one leaf holding the whole uncached suffix [pos, len): rows are
+  // copied out of the freshly prefilled slot — memcpy, no forward pass.
+  const std::int64_t rows = len - pos;
+  const std::int64_t kv_heads = config_.kv_heads();
+  const std::int64_t head_dim = config_.head_dim();
+  const std::int64_t row = kv_heads * head_dim;
+  auto leaf = std::make_unique<Node>();
+  leaf->edge.assign(tokens.begin() + pos, tokens.begin() + len);
+  leaf->k.resize(static_cast<std::size_t>(config_.n_layers));
+  leaf->v.resize(static_cast<std::size_t>(config_.n_layers));
+  for (std::size_t l = 0; l < leaf->k.size(); ++l) {
+    leaf->k[l].resize(static_cast<std::size_t>(rows * row));
+    leaf->v[l].resize(static_cast<std::size_t>(rows * row));
+    kv.layers[l].copy_rows(pos, rows, leaf->k[l].data(), leaf->v[l].data());
+  }
+  leaf->parent = node;
+  touch(leaf.get());
+  const std::int32_t first = leaf->edge.front();
+  node->children.emplace(first, std::move(leaf));
+  node_count_ += 1;
+  cached_tokens_ += rows;
+  bytes_used_ += static_cast<std::size_t>(rows) * token_bytes_;
+  stats_.tokens_inserted += static_cast<std::uint64_t>(rows);
+
+  trim(byte_budget_);
+}
+
+void PrefixCache::evict_leaf(Node* leaf) {
+  stats_.nodes_evicted += 1;
+  stats_.tokens_evicted += static_cast<std::uint64_t>(leaf->len());
+  cached_tokens_ -= leaf->len();
+  bytes_used_ -= static_cast<std::size_t>(leaf->len()) * token_bytes_;
+  node_count_ -= 1;
+  leaf->parent->children.erase(leaf->edge.front());
+}
+
+void PrefixCache::trim(std::size_t target_bytes) {
+  while (bytes_used_ > target_bytes) {
+    // LRU scan over evictable leaves. The tree stays small (hundreds of
+    // nodes at realistic budgets), so a full walk beats maintaining an
+    // intrusive LRU list through splits and re-touches.
+    Node* victim = nullptr;
+    std::vector<Node*> stack{root_.get()};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      for (auto& [first, child] : n->children) {
+        (void)first;
+        stack.push_back(child.get());
+      }
+      if (n == root_.get() || !n->children.empty() || n->refcount > 0) {
+        continue;  // interior and pinned nodes are never evicted
+      }
+      if (victim == nullptr || n->last_used < victim->last_used) victim = n;
+    }
+    if (victim == nullptr) return;  // everything left is pinned or interior
+    evict_leaf(victim);
+  }
+}
+
+}  // namespace matgpt::serve

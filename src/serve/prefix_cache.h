@@ -1,0 +1,139 @@
+#pragma once
+// Radix-tree prompt prefix cache over KV rows.
+//
+// Requests that share a prompt prefix (system prompts, few-shot headers,
+// chat history) currently pay a full prefill from token zero. Because a
+// token's K/V rows depend only on the tokens at or before its position,
+// the rows for a shared prefix are bit-identical across every request that
+// starts with it — so they can be computed once and thereafter copied
+// (slab memcpy, no forward pass) into each new request's KV slot, leaving
+// only the unshared suffix to prefill.
+//
+// Structure: a path-compressed radix tree keyed by token ids. Each node owns
+// the K/V rows for its edge's token span (per layer, contiguous rows), a
+// reference count, and an LRU stamp:
+//
+//   match()    walks the longest cached prefix of a prompt and PINS every
+//              node on the path (refcount +1) so eviction cannot touch it;
+//   restore()  memcpys the matched rows into an empty pooled KvCache slot
+//              via KvCacheLayer::append — after which the slot is
+//              bit-identical to one that prefilled those tokens itself;
+//   unpin()    drops the match's pins;
+//   insert()   walks a freshly prefilled prompt into the tree, splitting
+//              edges at divergence points and copying the uncached suffix
+//              rows out of the slot (KvCacheLayer::copy_rows), then evicts
+//              LRU refcount-zero leaves until the byte budget holds.
+//
+// Eviction is leaf-only and never touches a pinned node (an interior node is
+// structurally pinned by its children — its rows are a dependency of every
+// descendant's). Splitting a pinned node is refused: insert() simply stops
+// caching at that boundary for the round, so pinned spans are never
+// restructured. Callers therefore unpin before inserting (the engine's
+// admission order: match -> restore -> unpin -> partial prefill -> insert).
+//
+// Byte accounting matches KvCache::bytes(): 2 bytes (bf16) x K and V x
+// n_layers x kv_heads x head_dim per cached token — what the rows would pin
+// on a real accelerator, not this emulation's fp32 footprint.
+//
+// Threading: like ServerStats, the cache is written only by the engine's
+// scheduler thread — no internal locking.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/gpt.h"
+
+namespace matgpt::serve {
+
+/// Lifetime counters (monotonic; never reset by eviction).
+struct PrefixCacheStats {
+  std::uint64_t hits = 0;            // match() found >= 1 cached token
+  std::uint64_t misses = 0;          // match() found nothing
+  std::uint64_t tokens_reused = 0;   // sum of matched prefix lengths
+  std::uint64_t tokens_inserted = 0; // newly cached tokens (post-dedup)
+  std::uint64_t nodes_evicted = 0;
+  std::uint64_t tokens_evicted = 0;
+};
+
+class PrefixCache {
+ public:
+  /// `byte_budget` caps resident KV bytes (bf16 accounting, see above) and
+  /// must hold at least one token block (token_bytes()).
+  PrefixCache(const nn::GptConfig& config, std::size_t byte_budget);
+
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+  ~PrefixCache();
+
+  /// A pinned longest-prefix match. Valid until unpin(); movable so the
+  /// engine can stash it across the restore step.
+  struct Match {
+    /// Matched prefix length in tokens (0 = miss; nothing pinned).
+    std::int64_t tokens = 0;
+
+   private:
+    friend class PrefixCache;
+    std::vector<void*> path;       // pinned nodes, root-most first
+    std::int64_t last_partial = 0; // rows used of the final node's edge
+  };
+
+  /// Longest cached prefix of `tokens`, capped at `max_tokens` (callers cap
+  /// at prompt_len - 1 so at least one token remains to prefill — sampling
+  /// needs the last position's logits). Pins the matched path; every match
+  /// with tokens > 0 must be released via unpin().
+  Match match(std::span<const std::int32_t> tokens, std::int64_t max_tokens);
+
+  /// Copy the matched rows into `dst`, which must be empty with this
+  /// config's layer geometry and capacity for the whole prefix. Afterwards
+  /// dst is bit-identical to a cache that prefilled the prefix itself.
+  void restore(const Match& m, nn::KvCache& dst) const;
+
+  /// Drop the match's pins (idempotent; clears the handle).
+  void unpin(Match& m);
+
+  /// Cache tokens[0, len) whose K/V rows are rows [0, len) of `kv` (a slot
+  /// that just prefilled this prompt). Already-cached spans are deduplicated
+  /// by the walk; only uncached suffix rows are copied. Finishes by evicting
+  /// LRU unpinned leaves until bytes_used() <= byte_budget() (pinned paths
+  /// can transiently hold the total above budget).
+  void insert(std::span<const std::int32_t> tokens, std::int64_t len,
+              const nn::KvCache& kv);
+
+  /// Evict LRU refcount-zero leaves until bytes_used() <= target_bytes or
+  /// nothing evictable remains. insert() calls this with the budget;
+  /// exposed for tests and manual shrinking.
+  void trim(std::size_t target_bytes);
+
+  /// Accelerator bytes one cached token costs (K+V, all layers, bf16).
+  std::size_t token_bytes() const { return token_bytes_; }
+  std::size_t byte_budget() const { return byte_budget_; }
+  std::size_t bytes_used() const { return bytes_used_; }
+  /// Cached tokens and tree nodes currently resident (root excluded).
+  std::int64_t cached_tokens() const { return cached_tokens_; }
+  std::size_t node_count() const { return node_count_; }
+  const PrefixCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Node;
+
+  Node* child_of(Node* node, std::int32_t first) const;
+  void evict_leaf(Node* leaf);
+  bool split(Node* node, std::int64_t offset);
+  void touch(Node* node);
+
+  nn::GptConfig config_;
+  std::size_t byte_budget_;
+  std::size_t token_bytes_;
+  std::size_t bytes_used_ = 0;
+  std::int64_t cached_tokens_ = 0;
+  std::size_t node_count_ = 0;
+  std::uint64_t clock_ = 0;  // logical LRU clock, bumped per touch
+  std::unique_ptr<Node> root_;
+  PrefixCacheStats stats_;
+};
+
+}  // namespace matgpt::serve

@@ -12,12 +12,12 @@ namespace matgpt::serve {
 struct Request {
   std::uint64_t id = 0;
   std::vector<std::int32_t> prompt;
-  nn::SamplingOptions sampling;
+  /// All sampling knobs, including the per-request stream seed: the engine
+  /// draws from Rng(sampling.seed), so a request's tokens are independent of
+  /// batch composition and identical to a batch-1 GptModel::generate_cached
+  /// run with the same params.
+  nn::SamplingParams sampling;
   std::int64_t max_new_tokens = 16;
-  /// Per-request sampling stream: the engine draws from Rng(seed), so a
-  /// request's tokens are independent of batch composition and identical to
-  /// a batch-1 GptModel::generate_cached run with the same seed.
-  std::uint64_t seed = 0;
   /// Draft tokens proposed per speculative round; 0 = plain decoding. A
   /// positive value requires the engine to be built with a DraftProposer.
   /// Greedy speculative requests still produce tokens byte-identical to the

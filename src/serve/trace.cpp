@@ -1,5 +1,7 @@
 #include "serve/trace.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace matgpt::serve {
@@ -12,7 +14,25 @@ std::vector<Request> synth_trace(const TraceSpec& spec) {
              "invalid prompt length range");
   MGPT_CHECK(spec.max_new_min >= 1 && spec.max_new_min <= spec.max_new_max,
              "invalid max_new_tokens range");
+  MGPT_CHECK(spec.shared_prefix_fraction >= 0.0 &&
+                 spec.shared_prefix_fraction <= 1.0,
+             "shared_prefix_fraction outside [0, 1]");
+  MGPT_CHECK(spec.shared_prefix_len >= 0, "negative shared_prefix_len");
   Rng rng(spec.seed);
+  // Separate stream for the shared-prefix decoration: the main stream's
+  // draw order is untouched, so disabling the feature reproduces earlier
+  // traces bit-for-bit.
+  Rng prefix_rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+  const bool share = spec.shared_prefix_len > 0 &&
+                     spec.shared_prefix_fraction > 0.0;
+  std::vector<std::int32_t> shared;
+  if (share) {
+    shared.reserve(static_cast<std::size_t>(spec.shared_prefix_len));
+    for (std::int64_t t = 0; t < spec.shared_prefix_len; ++t) {
+      shared.push_back(static_cast<std::int32_t>(prefix_rng.uniform_int(
+          static_cast<std::uint64_t>(spec.vocab_size))));
+    }
+  }
   std::vector<Request> trace;
   trace.reserve(spec.n_requests);
   for (std::size_t i = 0; i < spec.n_requests; ++i) {
@@ -33,7 +53,17 @@ std::vector<Request> synth_trace(const TraceSpec& spec) {
       req.sampling.top_k = 40;
       req.sampling.top_p = 0.95f;
     }
-    req.seed = rng.next();
+    req.sampling.seed = rng.next();
+    if (share && prefix_rng.uniform() < spec.shared_prefix_fraction) {
+      // Overwrite in place (prompt length and main-stream draws unchanged);
+      // keep >= 1 unshared tail token so there is always a suffix to
+      // prefill.
+      const auto n = static_cast<std::size_t>(
+          std::min<std::int64_t>(spec.shared_prefix_len, prompt_len - 1));
+      std::copy(shared.begin(),
+                shared.begin() + static_cast<std::ptrdiff_t>(n),
+                req.prompt.begin());
+    }
     trace.push_back(std::move(req));
   }
   return trace;

@@ -20,6 +20,14 @@ struct TraceSpec {
   /// Fraction of requests decoded greedily (temperature 0); the rest use
   /// temperature 0.8 with light top-k/top-p, the common serving mix.
   double greedy_fraction = 0.25;
+  /// Shared-prompt-prefix workload (system prompts, few-shot headers):
+  /// this fraction of requests has its first `shared_prefix_len` prompt
+  /// tokens replaced by one trace-wide token span (capped so every prompt
+  /// keeps >= 1 unshared token). Drawn from a separate rng stream, so a
+  /// spec with either knob zeroed produces traces bit-identical to
+  /// pre-feature versions. Either 0 disables.
+  double shared_prefix_fraction = 0.0;
+  std::int64_t shared_prefix_len = 0;
   std::uint64_t seed = 0x7eace;
 };
 

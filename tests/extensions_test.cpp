@@ -238,9 +238,19 @@ TEST(KvCacheDecode, EnforcesContract) {
   Tape t1;
   const std::vector<std::int32_t> prompt{1, 2};
   model.forward_incremental(t1, prompt, cache);
-  // Multi-token append onto a primed cache is rejected.
-  Tape t2;
-  EXPECT_THROW(model.forward_incremental(t2, prompt, cache), Error);
+  // Multi-token append onto a primed cache is a partial prefill (the
+  // prefix-cache restore path): the suffix lands bit-identically to a cold
+  // prefill of the whole sequence.
+  Tape t2, t3;
+  const std::vector<std::int32_t> suffix{3, 4};
+  Var hot = model.forward_incremental(t2, suffix, cache);
+  EXPECT_EQ(cache.length, 4);
+  nn::KvCache cold_cache;
+  const std::vector<std::int32_t> full{1, 2, 3, 4};
+  Var cold = model.forward_incremental(t3, full, cold_cache);
+  for (std::int64_t v = 0; v < model.config().vocab_size; ++v) {
+    ASSERT_EQ(hot.value().at(0, v), cold.value().at(0, v)) << "vocab " << v;
+  }
   // Window overflow is rejected up front.
   Rng rng(1);
   const std::vector<std::int32_t> long_prompt(16, 1);

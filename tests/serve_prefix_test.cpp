@@ -1,0 +1,503 @@
+// Unit tests for src/serve/prefix_cache and the API redesign riding along
+// with it: radix insert/match/split/evict mechanics, pin semantics, KvCache
+// prefix copy, KvLease RAII, EngineConfig::validate, and the engine-level
+// guarantee that a prefix-cache hit decodes byte-identically to a cold
+// prefill (greedy and seeded-stochastic, plain and speculative).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "nn/gpt.h"
+#include "serve/engine.h"
+#include "serve/kv_pool.h"
+#include "serve/prefix_cache.h"
+#include "serve/spec/proposer.h"
+#include "serve/trace.h"
+
+namespace matgpt {
+namespace {
+
+nn::GptConfig prefix_config(nn::ArchFamily arch = nn::ArchFamily::kLLaMA) {
+  nn::GptConfig c;
+  c.arch = arch;
+  c.vocab_size = 50;
+  c.hidden = 16;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.n_kv_heads = arch == nn::ArchFamily::kLLaMA ? 1 : 0;
+  c.max_seq = 64;
+  return c;
+}
+
+// Deterministic synthetic KV rows: element j of token t in layer l is a
+// unique value, so any row mix-up shows as an exact mismatch.
+void fill_cache(nn::KvCache& cache, const nn::GptConfig& c, std::int64_t n,
+                float salt) {
+  const std::int64_t row = c.kv_heads() * c.head_dim();
+  for (std::size_t l = 0; l < cache.layers.size(); ++l) {
+    std::vector<float> k(static_cast<std::size_t>(n * row));
+    std::vector<float> v(k.size());
+    for (std::size_t i = 0; i < k.size(); ++i) {
+      k[i] = salt + 1000.0f * static_cast<float>(l) + static_cast<float>(i);
+      v[i] = -k[i];
+    }
+    cache.layers[l].append(k.data(), v.data(), n, c.kv_heads(), c.head_dim());
+  }
+  cache.length = n;
+}
+
+// First `tokens` rows of `got` must equal `src`'s bit for bit.
+void expect_prefix_rows_equal(const nn::KvCache& got, const nn::KvCache& src,
+                              std::int64_t tokens, const nn::GptConfig& c) {
+  ASSERT_EQ(got.length, tokens);
+  const std::int64_t row = c.kv_heads() * c.head_dim();
+  ASSERT_EQ(got.layers.size(), src.layers.size());
+  for (std::size_t l = 0; l < got.layers.size(); ++l) {
+    for (std::int64_t i = 0; i < tokens * row; ++i) {
+      ASSERT_EQ(got.layers[l].keys.data()[i], src.layers[l].keys.data()[i])
+          << "layer " << l << " key elem " << i;
+      ASSERT_EQ(got.layers[l].values.data()[i], src.layers[l].values.data()[i])
+          << "layer " << l << " value elem " << i;
+    }
+  }
+}
+
+TEST(PrefixCacheRadix, InsertThenLongestPrefixMatch) {
+  const nn::GptConfig c = prefix_config();
+  serve::PrefixCache pc(c, 1 << 20);
+  const std::vector<std::int32_t> prompt{4, 8, 15, 16, 23, 42};
+
+  nn::KvCache kv;
+  kv.reserve(c);
+  fill_cache(kv, c, static_cast<std::int64_t>(prompt.size()), 1.0f);
+  pc.insert(prompt, static_cast<std::int64_t>(prompt.size()), kv);
+  EXPECT_EQ(pc.cached_tokens(), 6);
+  EXPECT_EQ(pc.node_count(), 1u);
+  EXPECT_EQ(pc.bytes_used(), 6u * pc.token_bytes());
+
+  // Full match (capped at the prompt length).
+  auto m = pc.match(prompt, 6);
+  EXPECT_EQ(m.tokens, 6);
+  nn::KvCache dst;
+  dst.reserve(c);
+  pc.restore(m, dst);
+  expect_prefix_rows_equal(dst, kv, 6, c);
+  pc.unpin(m);
+
+  // The engine-style cap: never match the whole prompt.
+  auto capped = pc.match(prompt, 5);
+  EXPECT_EQ(capped.tokens, 5);
+  pc.unpin(capped);
+
+  // A prompt with a different first token misses entirely.
+  const std::vector<std::int32_t> other{9, 8, 15};
+  auto miss = pc.match(other, 2);
+  EXPECT_EQ(miss.tokens, 0);
+  pc.unpin(miss);
+
+  EXPECT_EQ(pc.stats().hits, 2u);
+  EXPECT_EQ(pc.stats().misses, 1u);
+  EXPECT_EQ(pc.stats().tokens_reused, 11u);
+}
+
+TEST(PrefixCacheRadix, PartialEdgeMatchRestoresOnlySharedRows) {
+  const nn::GptConfig c = prefix_config();
+  serve::PrefixCache pc(c, 1 << 20);
+  const std::vector<std::int32_t> cached{1, 2, 3, 4, 5};
+  nn::KvCache kv;
+  kv.reserve(c);
+  fill_cache(kv, c, 5, 2.0f);
+  pc.insert(cached, 5, kv);
+
+  // Shares only the first three tokens, then diverges mid-edge.
+  const std::vector<std::int32_t> query{1, 2, 3, 9, 9, 9};
+  auto m = pc.match(query, 5);
+  EXPECT_EQ(m.tokens, 3);
+  nn::KvCache dst;
+  dst.reserve(c);
+  pc.restore(m, dst);
+  expect_prefix_rows_equal(dst, kv, 3, c);
+  pc.unpin(m);
+}
+
+TEST(PrefixCacheRadix, DivergingInsertSplitsTheSharedEdge) {
+  const nn::GptConfig c = prefix_config();
+  serve::PrefixCache pc(c, 1 << 20);
+  const std::vector<std::int32_t> a{1, 2, 3, 4};
+  const std::vector<std::int32_t> b{1, 2, 8, 9};
+  nn::KvCache kva, kvb;
+  kva.reserve(c);
+  kvb.reserve(c);
+  fill_cache(kva, c, 4, 3.0f);
+  fill_cache(kvb, c, 4, 4.0f);
+  // Identical token prefixes have identical rows (the model is a pure
+  // function of the prefix) — mirror that invariant in the synthetic data
+  // so the shared "1 2" node's rows are valid for both prompts.
+  const std::int64_t row = c.kv_heads() * c.head_dim();
+  for (std::size_t l = 0; l < kvb.layers.size(); ++l) {
+    for (std::int64_t i = 0; i < 2 * row; ++i) {
+      kvb.layers[l].keys.data()[i] = kva.layers[l].keys.data()[i];
+      kvb.layers[l].values.data()[i] = kva.layers[l].values.data()[i];
+    }
+  }
+
+  pc.insert(a, 4, kva);
+  pc.insert(b, 4, kvb);
+  // Shared "1 2" node plus the two 2-token tails.
+  EXPECT_EQ(pc.node_count(), 3u);
+  EXPECT_EQ(pc.cached_tokens(), 6);  // 2 shared + 2 + 2
+  EXPECT_EQ(pc.stats().tokens_inserted, 6u);
+
+  // Both prompts still fully matchable, rows bit-correct across the split.
+  for (const auto* p : {&a, &b}) {
+    auto m = pc.match(*p, 4);
+    EXPECT_EQ(m.tokens, 4);
+    nn::KvCache dst;
+    dst.reserve(c);
+    pc.restore(m, dst);
+    expect_prefix_rows_equal(dst, p == &a ? kva : kvb, 4, c);
+    pc.unpin(m);
+  }
+}
+
+TEST(PrefixCacheRadix, EvictionIsLruAndSkipsPinnedNodes) {
+  const nn::GptConfig c = prefix_config();
+  // Room for exactly 8 tokens.
+  serve::PrefixCache pc(c, 8 * (2 * 2 * static_cast<std::size_t>(
+                                            c.n_layers * c.kv_heads() *
+                                            c.head_dim())));
+  const std::vector<std::int32_t> a{10, 11, 12, 13};
+  const std::vector<std::int32_t> b{20, 21, 22, 23};
+  const std::vector<std::int32_t> d{30, 31, 32, 33};
+  nn::KvCache kv;
+  kv.reserve(c);
+  fill_cache(kv, c, 4, 5.0f);
+
+  pc.insert(a, 4, kv);
+  pc.insert(b, 4, kv);
+  EXPECT_EQ(pc.bytes_used(), pc.byte_budget());
+
+  // Touch `a` so `b` becomes least recently used.
+  {
+    auto m = pc.match(a, 4);
+    EXPECT_EQ(m.tokens, 4);
+    pc.unpin(m);
+  }
+  pc.insert(d, 4, kv);  // over budget: must evict exactly one leaf — b
+  EXPECT_EQ(pc.stats().nodes_evicted, 1u);
+  EXPECT_EQ(pc.stats().tokens_evicted, 4u);
+  {
+    auto m = pc.match(b, 4);
+    EXPECT_EQ(m.tokens, 0) << "LRU prompt should have been evicted";
+    pc.unpin(m);
+  }
+  for (const auto* p : {&a, &d}) {
+    auto m = pc.match(*p, 4);
+    EXPECT_EQ(m.tokens, 4) << "recently used prompt evicted";
+    pc.unpin(m);
+  }
+
+  // A pinned leaf survives even a trim-to-zero; unpinning frees it.
+  auto pin = pc.match(a, 4);
+  ASSERT_EQ(pin.tokens, 4);
+  pc.trim(0);
+  {
+    auto m = pc.match(a, 4);
+    EXPECT_EQ(m.tokens, 4) << "eviction touched a pinned node";
+    pc.unpin(m);
+  }
+  pc.unpin(pin);
+  pc.trim(0);
+  EXPECT_EQ(pc.bytes_used(), 0u);
+  EXPECT_EQ(pc.cached_tokens(), 0);
+  EXPECT_EQ(pc.node_count(), 0u);
+}
+
+TEST(PrefixCacheRadix, SplitOfPinnedEdgeIsRefused) {
+  const nn::GptConfig c = prefix_config();
+  serve::PrefixCache pc(c, 1 << 20);
+  const std::vector<std::int32_t> a{1, 2, 3, 4};
+  const std::vector<std::int32_t> b{1, 2, 8, 9};
+  nn::KvCache kva, kvb;
+  kva.reserve(c);
+  kvb.reserve(c);
+  fill_cache(kva, c, 4, 6.0f);
+  fill_cache(kvb, c, 4, 7.0f);
+  pc.insert(a, 4, kva);
+
+  auto pin = pc.match(a, 4);  // pins the single leaf
+  ASSERT_EQ(pin.tokens, 4);
+  pc.insert(b, 4, kvb);  // would split the pinned edge at offset 2: refused
+  EXPECT_EQ(pc.node_count(), 1u);
+  EXPECT_EQ(pc.cached_tokens(), 4);
+  EXPECT_EQ(pc.stats().tokens_inserted, 4u);
+  pc.unpin(pin);
+
+  pc.insert(b, 4, kvb);  // now the split goes through
+  EXPECT_EQ(pc.node_count(), 3u);
+  auto m = pc.match(b, 4);
+  EXPECT_EQ(m.tokens, 4);
+  pc.unpin(m);
+}
+
+TEST(PrefixCacheRadix, BudgetSmallerThanOneTokenBlockThrows) {
+  const nn::GptConfig c = prefix_config();
+  EXPECT_THROW(serve::PrefixCache(c, 1), Error);
+}
+
+// --- KvCache::copy_prefix_from: the nn-layer half of the restore path ---
+
+TEST(KvCachePrefixCopy, CopiedPrefixMatchesColdPrefillBitExact) {
+  for (auto arch : {nn::ArchFamily::kNeoX, nn::ArchFamily::kLLaMA}) {
+    const nn::GptConfig c = prefix_config(arch);
+    nn::GptModel model(c);
+    const std::vector<std::int32_t> prompt{3, 14, 15, 9, 2, 6, 5};
+    const std::int64_t prefix_len = 4;
+
+    nn::KvCache full;
+    full.reserve(c);
+    {
+      Tape tape;
+      model.forward_incremental(tape, prompt, full);
+    }
+
+    // Adopt the first 4 rows by memcpy, then prefill the suffix: the cache
+    // AND the last-position logits must equal the cold full-prompt run.
+    nn::KvCache copied;
+    copied.reserve(c);
+    copied.copy_prefix_from(full, prefix_len);
+    expect_prefix_rows_equal(copied, full, prefix_len, c);
+
+    nn::KvCache cold;
+    cold.reserve(c);
+    Tape t_hot, t_cold;
+    Var hot_logits = model.forward_incremental(
+        t_hot,
+        std::span<const std::int32_t>(prompt).subspan(
+            static_cast<std::size_t>(prefix_len)),
+        copied);
+    Var cold_logits = model.forward_incremental(t_cold, prompt, cold);
+    for (std::int64_t v = 0; v < c.vocab_size; ++v) {
+      ASSERT_EQ(hot_logits.value().at(0, v), cold_logits.value().at(0, v))
+          << "arch " << static_cast<int>(arch) << " vocab " << v;
+    }
+    expect_prefix_rows_equal(copied, cold,
+                             static_cast<std::int64_t>(prompt.size()), c);
+  }
+}
+
+// --- KvLease RAII over the pool ---
+
+TEST(KvLease, ReturnsSlotOnScopeExit) {
+  const nn::GptConfig c = prefix_config();
+  serve::KvCachePool pool(c, 1);
+  {
+    serve::KvLease lease = pool.try_lease();
+    ASSERT_TRUE(lease);
+    EXPECT_EQ(pool.available(), 0u);
+    EXPECT_EQ(lease->length, 0);
+    // Pool drained: the non-blocking path reports exhaustion.
+    serve::KvLease second = pool.try_lease();
+    EXPECT_FALSE(second);
+  }
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(KvLease, MoveTransfersOwnershipWithoutDoubleRelease) {
+  const nn::GptConfig c = prefix_config();
+  serve::KvCachePool pool(c, 2);
+  serve::KvLease a = pool.lease();
+  serve::KvLease b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  ASSERT_TRUE(b);
+  EXPECT_EQ(pool.available(), 1u);
+
+  // Move-assign over a live lease releases the overwritten slot.
+  serve::KvLease d = pool.lease();
+  EXPECT_EQ(pool.available(), 0u);
+  d = std::move(b);
+  EXPECT_EQ(pool.available(), 1u);
+  d.release();
+  EXPECT_EQ(pool.available(), 2u);
+  EXPECT_FALSE(d);
+  EXPECT_THROW(*d, Error);
+}
+
+TEST(KvLease, TruncateRollsBackThroughTheHandle) {
+  const nn::GptConfig c = prefix_config();
+  nn::GptModel model(c);
+  serve::KvCachePool pool(c, 1);
+  serve::KvLease lease = pool.lease();
+  Tape tape;
+  const std::vector<std::int32_t> prompt{1, 2, 3, 4, 5};
+  model.forward_incremental(tape, prompt, *lease);
+  EXPECT_EQ(lease->length, 5);
+  lease.truncate(2);
+  EXPECT_EQ(lease->length, 2);
+}
+
+// --- EngineConfig::validate ---
+
+TEST(EngineConfigValidate, EachBadKnobThrowsFromTheConstructor) {
+  const nn::GptConfig c = prefix_config();
+  nn::GptModel model(c);
+  {
+    serve::EngineConfig ec;
+    ec.max_batch = 0;
+    EXPECT_THROW(serve::InferenceEngine(model, ec), Error);
+  }
+  {
+    serve::EngineConfig ec;
+    ec.kv_slots = 0;
+    EXPECT_THROW(serve::InferenceEngine(model, ec), Error);
+  }
+  {
+    serve::EngineConfig ec;
+    ec.queue_capacity = 0;
+    EXPECT_THROW(serve::InferenceEngine(model, ec), Error);
+  }
+  {
+    serve::EngineConfig ec;
+    ec.prefix_cache_bytes = 1;  // smaller than one token block
+    EXPECT_THROW(serve::InferenceEngine(model, ec), Error);
+  }
+}
+
+// --- Engine integration: hits must not change a single byte ---
+
+std::vector<serve::Request> shared_prefix_requests(bool greedy) {
+  const std::vector<std::int32_t> shared{5, 6, 7, 8, 9, 10, 11, 12};
+  std::vector<serve::Request> reqs;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    serve::Request r;
+    r.id = i;
+    r.prompt = shared;
+    r.prompt.push_back(static_cast<std::int32_t>(20 + i));
+    r.prompt.push_back(static_cast<std::int32_t>(30 + (i * 3) % 7));
+    r.max_new_tokens = 6;
+    if (greedy) {
+      r.sampling.temperature = 0.0f;
+    } else {
+      r.sampling.temperature = 0.8f;
+      r.sampling.top_k = 10;
+      r.sampling.top_p = 0.9f;
+    }
+    r.sampling.seed = 1000 + i;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+TEST(ServePrefixEngine, HitTokensByteIdenticalToColdPrefill) {
+  for (bool greedy : {true, false}) {
+    const nn::GptConfig c = prefix_config();
+    nn::GptModel model(c);
+    serve::EngineConfig cold_ec;
+    cold_ec.max_batch = 3;
+    cold_ec.kv_slots = 3;
+    serve::EngineConfig hot_ec = cold_ec;
+    hot_ec.prefix_cache_bytes = 1 << 20;
+
+    serve::InferenceEngine cold(model, cold_ec), hot(model, hot_ec);
+    const auto cold_results = cold.run_trace(shared_prefix_requests(greedy));
+    const auto hot_results = hot.run_trace(shared_prefix_requests(greedy));
+    ASSERT_EQ(cold_results.size(), hot_results.size());
+    for (std::size_t i = 0; i < hot_results.size(); ++i) {
+      EXPECT_EQ(hot_results[i].tokens, cold_results[i].tokens)
+          << (greedy ? "greedy" : "stochastic") << " request " << i;
+      // And both equal the standalone batch-1 reference.
+      const auto reqs = shared_prefix_requests(greedy);
+      Rng rng(reqs[i].sampling.seed);
+      EXPECT_EQ(hot_results[i].tokens,
+                model.generate_cached(reqs[i].prompt, reqs[i].max_new_tokens,
+                                      reqs[i].sampling, rng))
+          << (greedy ? "greedy" : "stochastic") << " request " << i;
+    }
+
+    // The cache actually participated: first request misses, the rest hit
+    // the 8-token shared span.
+    EXPECT_EQ(hot.stats().prefix_misses(), 1u);
+    EXPECT_EQ(hot.stats().prefix_hits(), 5u);
+    EXPECT_GE(hot.stats().prefix_tokens_reused(), 5u * 8u);
+    EXPECT_GT(hot.stats().prefix_hit_rate(), 0.8);
+    EXPECT_EQ(cold.stats().prefix_hits() + cold.stats().prefix_misses(), 0u);
+    ASSERT_NE(hot.prefix_cache(), nullptr);
+    EXPECT_EQ(hot.prefix_cache()->stats().hits, 5u);
+  }
+}
+
+TEST(ServePrefixEngine, TinyBudgetEvictsButStaysByteIdentical) {
+  const nn::GptConfig c = prefix_config();
+  nn::GptModel model(c);
+  serve::EngineConfig ec;
+  ec.max_batch = 2;
+  ec.kv_slots = 2;
+  // Room for ~6 tokens: every insert fights the budget, forcing eviction
+  // churn while requests are in flight.
+  ec.prefix_cache_bytes = 6 * (2 * 2 * static_cast<std::size_t>(
+                                           c.n_layers * c.kv_heads() *
+                                           c.head_dim()));
+  serve::TraceSpec spec;
+  spec.n_requests = 12;
+  spec.vocab_size = c.vocab_size;
+  spec.prompt_len_min = 4;
+  spec.prompt_len_max = 10;
+  spec.max_new_min = 1;
+  spec.max_new_max = 4;
+  spec.shared_prefix_fraction = 0.7;
+  spec.shared_prefix_len = 5;
+
+  serve::InferenceEngine engine(model, ec);
+  auto trace = serve::synth_trace(spec);
+  const auto reference = trace;
+  const auto results = engine.run_trace(std::move(trace));
+  ASSERT_EQ(results.size(), reference.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    Rng rng(reference[i].sampling.seed);
+    EXPECT_EQ(results[i].tokens,
+              model.generate_cached(reference[i].prompt,
+                                    reference[i].max_new_tokens,
+                                    reference[i].sampling, rng))
+        << "request " << i;
+  }
+  ASSERT_NE(engine.prefix_cache(), nullptr);
+  EXPECT_GT(engine.prefix_cache()->stats().nodes_evicted, 0u);
+  EXPECT_LE(engine.prefix_cache()->bytes_used(), ec.prefix_cache_bytes);
+}
+
+TEST(ServePrefixEngine, SpeculativeRequestsDecodeIdenticallyThroughTheCache) {
+  const nn::GptConfig c = prefix_config();
+  nn::GptModel model(c);
+  serve::EngineConfig ec;
+  ec.max_batch = 3;
+  ec.kv_slots = 3;
+  ec.prefix_cache_bytes = 1 << 20;
+  ec.proposer = std::make_shared<serve::spec::LayerSkipDraft>(model, 1);
+
+  auto reqs = shared_prefix_requests(/*greedy=*/true);
+  for (auto& r : reqs) r.spec_k = 2;
+  const auto reference = reqs;
+
+  serve::InferenceEngine engine(model, ec);
+  const auto results = engine.run_trace(std::move(reqs));
+  ASSERT_EQ(results.size(), reference.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    Rng rng(reference[i].sampling.seed);
+    EXPECT_EQ(results[i].tokens,
+              model.generate_cached(reference[i].prompt,
+                                    reference[i].max_new_tokens,
+                                    reference[i].sampling, rng))
+        << "speculative request " << i;
+  }
+  EXPECT_EQ(engine.stats().prefix_hits(), 5u);
+  // Draft slots never touch the prefix cache — every draft prefill is cold.
+  ASSERT_NE(engine.draft_pool(), nullptr);
+  EXPECT_EQ(engine.draft_pool()->available(), ec.kv_slots);
+}
+
+}  // namespace
+}  // namespace matgpt

@@ -300,7 +300,7 @@ TEST(SpecEngine, MixedSpeculativeAndPlainBatches) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& req = reference_trace[i];
     EXPECT_EQ(results[i].generated_tokens, req.max_new_tokens);
-    Rng rng(req.seed);
+    Rng rng(req.sampling.seed);
     const auto expected =
         model.generate_cached(req.prompt, req.max_new_tokens, req.sampling,
                               rng);

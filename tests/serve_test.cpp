@@ -107,7 +107,7 @@ TEST(ServeEngine, TokenIdenticalToGenerateCached) {
       const auto& req = reference_trace[i];
       EXPECT_EQ(results[i].id, req.id);
       EXPECT_EQ(results[i].generated_tokens, req.max_new_tokens);
-      Rng rng(req.seed);
+      Rng rng(req.sampling.seed);
       const auto expected =
           model.generate_cached(req.prompt, req.max_new_tokens, req.sampling,
                                 rng);
@@ -150,7 +150,7 @@ TEST(ServeEngine, SubmitAndStepFromCallerThread) {
   req.prompt = {3, 1, 4};
   req.max_new_tokens = 5;
   req.sampling.temperature = 0.0f;
-  req.seed = 99;
+  req.sampling.seed = 99;
   auto future = engine.submit(req);
   engine.run_until_idle();
   const auto result = future.get();
