@@ -3,9 +3,10 @@
 // Replays a prefill-dominated trace (long prompts, 1-2 generated tokens,
 // 80% of requests opening with one shared system-prompt span) through the
 // InferenceEngine twice: once with the prefix cache disabled and once with
-// it enabled. A hit copies the shared rows into the request's KV slot
-// (memcpy) and prefills only the unshared tail, so the cached run should
-// complete the same trace in a fraction of the prompt-processing time.
+// it enabled. A hit aliases the shared span's KV blocks into the request's
+// block table (zero-copy, refcounted) and prefills only the unshared tail,
+// so the cached run should complete the same trace in a fraction of the
+// prompt-processing time.
 // Verifies the cached run's tokens are byte-identical to the cold run's,
 // then reports prompt tokens/s, hit-rate counters, and the speedup.
 //

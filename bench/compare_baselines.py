@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare freshly produced BENCH_*.json files against committed baselines.
+
+The serving benches emit flat {"metric": value} JSON files. CI runs them
+with continue-on-error (absolute throughput is noisy on shared runners),
+then runs this script as a HARD step: it checks only the ratio metrics
+listed in bench/baselines/gates.json, which divide out machine speed, and
+fails on a >tolerance regression vs the committed baseline.
+
+Usage:
+    python3 bench/compare_baselines.py --results-dir build \
+        [--baselines-dir bench/baselines]
+
+Exit status: 0 when every gate holds, 1 otherwise. A bench that produced no
+results file fails its gates (the bench crashed before writing JSON).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as exc:
+        print(f"  cannot read {path}: {exc}")
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results-dir", required=True,
+                        help="directory holding the BENCH_*.json files the "
+                             "benches just wrote")
+    parser.add_argument("--baselines-dir", default="bench/baselines",
+                        help="directory with committed baselines + gates.json")
+    args = parser.parse_args()
+
+    manifest = load_json(os.path.join(args.baselines_dir, "gates.json"))
+    if manifest is None:
+        print("FAIL: gates manifest missing or unreadable")
+        return 1
+    tolerance = float(manifest.get("tolerance", 0.30))
+
+    failures = 0
+    checked = 0
+    results_cache = {}
+    baselines_cache = {}
+    for gate in manifest["gates"]:
+        fname, metric = gate["file"], gate["metric"]
+        if fname not in results_cache:
+            results_cache[fname] = load_json(
+                os.path.join(args.results_dir, fname))
+        if fname not in baselines_cache:
+            baselines_cache[fname] = load_json(
+                os.path.join(args.baselines_dir, fname))
+        current_doc, baseline_doc = results_cache[fname], baselines_cache[fname]
+        label = f"{fname}:{metric}"
+        checked += 1
+        if current_doc is None:
+            print(f"FAIL  {label}: no results file (bench crashed?)")
+            failures += 1
+            continue
+        if baseline_doc is None or metric not in baseline_doc:
+            print(f"FAIL  {label}: no committed baseline")
+            failures += 1
+            continue
+        if metric not in current_doc:
+            print(f"FAIL  {label}: metric missing from results")
+            failures += 1
+            continue
+        current = float(current_doc[metric])
+        baseline = float(baseline_doc[metric])
+        if "exact_max" in gate:
+            bound = float(gate["exact_max"])
+            ok = current <= bound
+            detail = f"current {current:g} (must be <= {bound:g})"
+        else:
+            floor = baseline * (1.0 - tolerance)
+            ok = current >= floor
+            detail = (f"current {current:.4g} vs baseline {baseline:.4g} "
+                      f"(floor {floor:.4g})")
+        print(f"{'ok   ' if ok else 'FAIL '} {label}: {detail}")
+        failures += 0 if ok else 1
+
+    print(f"\n{checked - failures}/{checked} bench gates hold "
+          f"(tolerance {tolerance:.0%})")
+    if failures:
+        print("FAIL: bench regression vs committed baselines — if the change "
+              "is intentional, refresh bench/baselines/*.json")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

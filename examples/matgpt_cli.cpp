@@ -281,10 +281,18 @@ int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
   std::uint64_t tokens = 0;
   for (auto& f : futures) tokens += f.get().tokens.size();
   std::printf("\n%s", engine.stats().report(wall).c_str());
-  std::printf("\nwall time %.3f s, kv pool high-water <= %zu slots "
-              "(%.1f MB reserved)\n",
-              wall, engine.kv_pool().slot_count(),
-              static_cast<double>(engine.kv_pool().reserved_bytes()) / 1e6);
+  if (engine.kv_pool().paged()) {
+    std::printf("\nwall time %.3f s, paged kv pool: %lld blocks x %lld "
+                "tokens (%.1f MB reserved)\n",
+                wall, static_cast<long long>(engine.kv_pool().total_blocks()),
+                static_cast<long long>(engine.kv_pool().block_tokens()),
+                static_cast<double>(engine.kv_pool().reserved_bytes()) / 1e6);
+  } else {
+    std::printf("\nwall time %.3f s, kv pool high-water <= %zu slots "
+                "(%.1f MB reserved)\n",
+                wall, engine.kv_pool().slot_count(),
+                static_cast<double>(engine.kv_pool().reserved_bytes()) / 1e6);
+  }
   if (const serve::PrefixCache* pc = engine.prefix_cache()) {
     std::printf("prefix cache residency: %.2f/%.2f MB, %lld tokens in %zu "
                 "nodes (%llu evicted)\n",

@@ -54,6 +54,7 @@ void KvCacheLayer::reserve(std::int64_t capacity, std::int64_t kv_heads,
                            std::int64_t head_dim) {
   MGPT_CHECK(capacity > 0 && kv_heads > 0 && head_dim > 0,
              "KvCacheLayer::reserve requires positive dimensions");
+  MGPT_CHECK(!paged(), "cannot reserve slabs for a paged KV cache layer");
   MGPT_CHECK(length() == 0, "cannot reserve a non-empty KV cache layer");
   if (capacity == this->capacity() && key_slab_.dim(2) == kv_heads &&
       key_slab_.dim(3) == head_dim) {
@@ -63,10 +64,41 @@ void KvCacheLayer::reserve(std::int64_t capacity, std::int64_t kv_heads,
   value_slab_ = Tensor({1, capacity, kv_heads, head_dim});
 }
 
+void KvCacheLayer::attach_paged(PagedKvSeq* seq, std::int64_t layer) {
+  MGPT_CHECK(seq != nullptr, "attach_paged requires a sequence");
+  MGPT_CHECK(!key_slab_.defined() && length() == 0,
+             "attach_paged requires an empty, slab-free layer");
+  MGPT_CHECK(layer >= 0 && layer < seq->arena()->layout().n_layers,
+             "attach_paged layer " << layer << " outside arena layout");
+  paged_seq_ = seq;
+  paged_layer_ = layer;
+}
+
+std::int64_t KvCacheLayer::kv_heads() const {
+  if (paged()) return paged_seq_->arena()->layout().kv_heads;
+  if (key_slab_.defined()) return key_slab_.dim(2);
+  MGPT_CHECK(keys.defined(), "KV layer geometry unknown before first append");
+  return keys.dim(2);
+}
+
+std::int64_t KvCacheLayer::head_dim() const {
+  if (paged()) return paged_seq_->arena()->layout().head_dim;
+  if (key_slab_.defined()) return key_slab_.dim(3);
+  MGPT_CHECK(keys.defined(), "KV layer geometry unknown before first append");
+  return keys.dim(3);
+}
+
 void KvCacheLayer::append(const float* k, const float* v,
                           std::int64_t n_tokens, std::int64_t kv_heads,
                           std::int64_t head_dim) {
   MGPT_CHECK(n_tokens > 0, "KV append requires tokens");
+  if (paged()) {
+    const PagedKvLayout& layout = paged_seq_->arena()->layout();
+    MGPT_CHECK(layout.kv_heads == kv_heads && layout.head_dim == head_dim,
+               "kv cache shape mismatch");
+    paged_seq_->append(paged_layer_, k, v, n_tokens);
+    return;
+  }
   const std::int64_t row = kv_heads * head_dim;
   const std::int64_t len = length();
   if (key_slab_.defined()) {
@@ -100,6 +132,10 @@ void KvCacheLayer::append(const float* k, const float* v,
 }
 
 void KvCacheLayer::reset() {
+  if (paged()) {
+    paged_seq_->truncate_layer(paged_layer_, 0);
+    return;
+  }
   keys = Tensor();
   values = Tensor();
 }
@@ -108,6 +144,10 @@ void KvCacheLayer::truncate(std::int64_t len) {
   MGPT_CHECK(len >= 0 && len <= length(),
              "truncate length " << len << " outside cached history of "
                                 << length() << " tokens");
+  if (paged()) {
+    paged_seq_->truncate_layer(paged_layer_, len);
+    return;
+  }
   if (len == length()) return;
   if (len == 0) {
     keys = Tensor();
@@ -131,6 +171,10 @@ void KvCacheLayer::copy_rows(std::int64_t start, std::int64_t len,
              "copy_rows range [" << start << ", " << start + len
                                  << ") outside cached history of " << length()
                                  << " tokens");
+  if (paged()) {
+    paged_seq_->copy_rows(paged_layer_, start, len, k_out, v_out);
+    return;
+  }
   const std::int64_t row = keys.dim(2) * keys.dim(3);
   std::copy(keys.data() + start * row, keys.data() + (start + len) * row,
             k_out);
@@ -147,7 +191,26 @@ void KvCache::reserve(const GptConfig& config, std::int64_t capacity_tokens) {
   }
 }
 
+void KvCache::attach_paged(PagedKvSeq* seq) {
+  MGPT_CHECK(seq != nullptr, "attach_paged requires a sequence");
+  MGPT_CHECK(length == 0, "attach_paged requires an empty cache");
+  const std::int64_t n_layers = seq->arena()->layout().n_layers;
+  layers.clear();
+  layers.resize(static_cast<std::size_t>(n_layers));
+  for (std::int64_t l = 0; l < n_layers; ++l) {
+    layers[static_cast<std::size_t>(l)].attach_paged(seq, l);
+  }
+  paged = seq;
+}
+
 void KvCache::reset() {
+  if (paged != nullptr) {
+    // Full teardown: releases every block reference AND leftover
+    // reservation, so a recycled pool slot holds nothing.
+    paged->reset();
+    length = 0;
+    return;
+  }
   for (auto& layer : layers) layer.reset();
   length = 0;
 }
@@ -169,8 +232,8 @@ void KvCache::copy_prefix_from(const KvCache& src, std::int64_t len) {
              "copy_prefix_from layer count mismatch");
   for (std::size_t l = 0; l < layers.size(); ++l) {
     const KvCacheLayer& from = src.layers[l];
-    const std::int64_t kv_heads = from.keys.dim(2);
-    const std::int64_t head_dim = from.keys.dim(3);
+    const std::int64_t kv_heads = from.kv_heads();
+    const std::int64_t head_dim = from.head_dim();
     const std::int64_t row = kv_heads * head_dim;
     std::vector<float> k(static_cast<std::size_t>(len * row));
     std::vector<float> v(static_cast<std::size_t>(len * row));
@@ -183,7 +246,11 @@ void KvCache::copy_prefix_from(const KvCache& src, std::int64_t len) {
 double KvCache::bytes() const {
   double elems = 0.0;
   for (const auto& layer : layers) {
-    if (layer.keys.defined()) {
+    if (layer.paged()) {
+      const PagedKvLayout& layout = layer.paged_seq()->arena()->layout();
+      elems += 2.0 * static_cast<double>(layer.length()) *
+               static_cast<double>(layout.row());
+    } else if (layer.keys.defined()) {
       elems += static_cast<double>(layer.keys.numel()) + layer.values.numel();
     }
   }
@@ -193,6 +260,14 @@ double KvCache::bytes() const {
 Var SelfAttention::forward_cached(Tape& tape, const Var& x, std::int64_t seq,
                                   KvCacheLayer& slot,
                                   std::int64_t past_len) const {
+  if (slot.paged()) {
+    // Paged slots have no contiguous keys/values view for ops::attention to
+    // read, so every shape routes through verify_append's per-row causal
+    // path — already contractually bit-identical to this one (prefill row t
+    // attends over [0, t]; the single decode token attends over the full
+    // history with itself last).
+    return verify_append(tape, x, seq, slot, past_len);
+  }
   MGPT_CHECK(past_len == 0 || seq == 1,
              "incremental decode appends one token at a time");
   const std::int64_t head_dim = hidden_ / n_heads_;
@@ -246,9 +321,19 @@ Var SelfAttention::decode_step(Tape& tape, const Var& x,
                "KV slot length disagrees with past_len");
     slot.append(k_new.value().data() + i * row,
                 v_new.value().data() + i * row, 1, n_kv_heads_, head_dim);
-    histories[static_cast<std::size_t>(i)] = {slot.keys.data(),
-                                              slot.values.data(),
-                                              slot.length()};
+    ops::RaggedKv& h = histories[static_cast<std::size_t>(i)];
+    h.len = slot.length();
+    if (slot.paged()) {
+      // Mixed paged/contiguous batches are fine: each history carries its
+      // own addressing mode into the same per-row kernels.
+      const PagedKvSeq* s = slot.paged_seq();
+      h.k_blocks = s->k_blocks(slot.paged_layer());
+      h.v_blocks = s->v_blocks(slot.paged_layer());
+      h.block_tokens = s->block_tokens();
+    } else {
+      h.keys = slot.keys.data();
+      h.values = slot.values.data();
+    }
   }
   Var attn = ops::decode_attention(tape, q, histories, n_kv_heads_, flash_);
   return o_proj_.forward(tape, attn);
@@ -281,13 +366,22 @@ Var SelfAttention::verify_append(Tape& tape, const Var& x, std::int64_t seq,
               head_dim);
   // Causal masking by construction: query row t sees the history prefix of
   // length past_len + t + 1 (its own K/V is the last entry). The prefixes
-  // all alias the slot's contiguous slab, so no K/V is copied per row, and
-  // the ragged decode kernel makes each row bit-identical to a batch-1 step.
+  // all alias the slot's storage (contiguous slab or block table), so no
+  // K/V is copied per row, and the ragged decode kernel makes each row
+  // bit-identical to a batch-1 step.
   std::vector<ops::RaggedKv> histories(static_cast<std::size_t>(seq));
   for (std::int64_t t = 0; t < seq; ++t) {
-    histories[static_cast<std::size_t>(t)] = {slot.keys.data(),
-                                              slot.values.data(),
-                                              past_len + t + 1};
+    ops::RaggedKv& h = histories[static_cast<std::size_t>(t)];
+    h.len = past_len + t + 1;
+    if (slot.paged()) {
+      const PagedKvSeq* s = slot.paged_seq();
+      h.k_blocks = s->k_blocks(slot.paged_layer());
+      h.v_blocks = s->v_blocks(slot.paged_layer());
+      h.block_tokens = s->block_tokens();
+    } else {
+      h.keys = slot.keys.data();
+      h.values = slot.values.data();
+    }
   }
   Var attn = ops::decode_attention(tape, q, histories, n_kv_heads_, flash_);
   return o_proj_.forward(tape, attn);
@@ -574,14 +668,14 @@ Var GptModel::decode_batch(Tape& tape, std::span<const std::int32_t> tokens,
 std::vector<std::int32_t> GptModel::generate_cached(
     std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
     float temperature, Rng& rng) const {
-  SamplingOptions sampling;
+  SamplingParams sampling;
   sampling.temperature = temperature;
   return generate_cached(prompt, max_new_tokens, sampling, rng);
 }
 
 std::vector<std::int32_t> GptModel::generate_cached(
     std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
-    const SamplingOptions& sampling, Rng& rng) const {
+    const SamplingParams& sampling, Rng& rng) const {
   MGPT_CHECK(!prompt.empty(), "generate requires a non-empty prompt");
   MGPT_CHECK(static_cast<std::int64_t>(prompt.size()) + max_new_tokens <=
                  config_.max_seq,
@@ -613,14 +707,14 @@ std::vector<std::int32_t> GptModel::generate_cached(
 std::vector<std::int32_t> GptModel::generate(
     std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
     float temperature, Rng& rng) const {
-  SamplingOptions sampling;
+  SamplingParams sampling;
   sampling.temperature = temperature;
   return generate(prompt, max_new_tokens, sampling, rng);
 }
 
 std::vector<std::int32_t> GptModel::generate(
     std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
-    const SamplingOptions& sampling, Rng& rng) const {
+    const SamplingParams& sampling, Rng& rng) const {
   MGPT_CHECK(!prompt.empty(), "generate requires a non-empty prompt");
   std::vector<std::int32_t> tokens(prompt.begin(), prompt.end());
   for (std::int64_t step = 0; step < max_new_tokens; ++step) {

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "nn/layers.h"
 #include "nn/module.h"
+#include "nn/paged_kv.h"
 #include "nn/sampling.h"
 
 namespace matgpt::nn {
@@ -53,13 +54,17 @@ struct GptConfig {
 /// Per-layer key/value history for incremental decoding. `keys`/`values` are
 /// [1, length, Hkv, D]; undefined while empty. Inference-only state.
 ///
-/// Two storage modes:
+/// Three storage modes:
 ///  * dynamic (default): every append reallocates and copies the history —
 ///    fine for one-off generation.
 ///  * reserved: reserve() preallocates [1, capacity, Hkv, D] slabs once and
 ///    append() writes in place, exposing the occupied prefix as a zero-copy
-///    view — O(new tokens) per step, recyclable across requests (the serving
-///    KV pool's mode).
+///    view — O(new tokens) per step, recyclable across requests (the legacy
+///    slotted serving pool's mode).
+///  * paged: attach_paged() binds the layer to one layer index of a
+///    PagedKvSeq block table; append/truncate/copy_rows dispatch there and
+///    `keys`/`values` stay undefined — attention reads through the block
+///    table instead (see ops::RaggedKv's paged fields).
 struct KvCacheLayer {
   Tensor keys;
   Tensor values;
@@ -67,42 +72,67 @@ struct KvCacheLayer {
   /// Preallocate fixed-capacity slabs (switches to reserved mode).
   void reserve(std::int64_t capacity, std::int64_t kv_heads,
                std::int64_t head_dim);
+  /// Bind this layer to layer `layer` of a paged block table (switches to
+  /// paged mode). The layer must be empty and must not hold reserved slabs.
+  void attach_paged(PagedKvSeq* seq, std::int64_t layer);
   /// Append `n_tokens` time steps of contiguous [kv_heads * head_dim] rows.
-  /// Throws when a reserved slab would overflow its capacity.
+  /// Throws when a reserved slab would overflow its capacity (or, paged,
+  /// when the sequence's token capacity or the arena is exhausted).
   void append(const float* k, const float* v, std::int64_t n_tokens,
               std::int64_t kv_heads, std::int64_t head_dim);
-  /// Drop the history; reserved slabs are kept for reuse.
+  /// Drop the history; reserved slabs (and the paged binding) are kept for
+  /// reuse.
   void reset();
   /// Shrink the history to its first `len` tokens (speculative-decoding
-  /// rollback). The surviving prefix is untouched in both storage modes, so
+  /// rollback). The surviving prefix is untouched in every storage mode, so
   /// the next append continues from position `len`.
   void truncate(std::int64_t len);
   /// Copy cached rows [start, start + len) into contiguous
   /// [len, kv_heads * head_dim] destination buffers — the export half of the
-  /// prefix-cache copy path (append() is the import half). Pure memcpy; no
-  /// forward pass.
+  /// prefix-cache copy path (append() is the import half). Pure memcpy (a
+  /// block gather in paged mode); no forward pass.
   void copy_rows(std::int64_t start, std::int64_t len, float* k_out,
                  float* v_out) const;
 
-  std::int64_t length() const { return keys.defined() ? keys.dim(1) : 0; }
-  /// Reserved slab capacity in tokens (0 = dynamic mode).
+  bool paged() const { return paged_seq_ != nullptr; }
+  PagedKvSeq* paged_seq() const { return paged_seq_; }
+  std::int64_t paged_layer() const { return paged_layer_; }
+
+  std::int64_t length() const {
+    if (paged()) return paged_seq_->length(paged_layer_);
+    return keys.defined() ? keys.dim(1) : 0;
+  }
+  /// Reserved slab capacity in tokens (0 = dynamic mode). Paged layers
+  /// report the sequence's token capacity.
   std::int64_t capacity() const {
+    if (paged()) return paged_seq_->token_capacity();
     return key_slab_.defined() ? key_slab_.dim(1) : 0;
   }
+  /// Geometry, valid in any mode once rows exist (always in reserved/paged).
+  std::int64_t kv_heads() const;
+  std::int64_t head_dim() const;
 
  private:
   Tensor key_slab_;    // [1, capacity, Hkv, D] when reserved
   Tensor value_slab_;
+  PagedKvSeq* paged_seq_ = nullptr;  // non-owning; set by attach_paged
+  std::int64_t paged_layer_ = 0;
 };
 
 /// Whole-model decode cache (one slot per layer).
 struct KvCache {
   std::vector<KvCacheLayer> layers;
   std::int64_t length = 0;
+  /// Non-null when the cache is backed by a paged block table (set by
+  /// attach_paged); reset()/bytes() dispatch through it.
+  PagedKvSeq* paged = nullptr;
 
   /// Preallocate every layer for `capacity_tokens` (0 = config.max_seq) so
-  /// decoding never reallocates. Used by the serving KV pool.
+  /// decoding never reallocates. Used by the legacy slotted serving pool.
   void reserve(const GptConfig& config, std::int64_t capacity_tokens = 0);
+  /// Bind every layer to `seq`'s block table (sized from the arena layout).
+  /// The cache must be empty; the binding survives reset() for reuse.
+  void attach_paged(PagedKvSeq* seq);
   /// Forget the cached history but keep reserved storage for the next
   /// request.
   void reset();
@@ -233,10 +263,10 @@ class GptModel : public Module {
 
   /// Continuation of a prompt, re-running the full forward pass every step
   /// (the no-KV-cache baseline). Supports greedy/temperature/top-k/top-p
-  /// through SamplingOptions.
+  /// through SamplingParams.
   std::vector<std::int32_t> generate(std::span<const std::int32_t> prompt,
                                      std::int64_t max_new_tokens,
-                                     const SamplingOptions& sampling,
+                                     const SamplingParams& sampling,
                                      Rng& rng) const;
   /// Temperature-only convenience overload.
   std::vector<std::int32_t> generate(std::span<const std::int32_t> prompt,
@@ -280,7 +310,7 @@ class GptModel : public Module {
   /// Produces exactly generate()'s output for the same sampling stream.
   std::vector<std::int32_t> generate_cached(
       std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
-      const SamplingOptions& sampling, Rng& rng) const;
+      const SamplingParams& sampling, Rng& rng) const;
   std::vector<std::int32_t> generate_cached(
       std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
       float temperature, Rng& rng) const;

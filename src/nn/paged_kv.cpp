@@ -1,0 +1,366 @@
+#include "nn/paged_kv.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace matgpt::nn {
+
+namespace {
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+void PagedKvLayout::validate() const {
+  MGPT_CHECK(block_tokens > 0 && n_layers > 0 && kv_heads > 0 && head_dim > 0,
+             "paged KV layout dimensions must be positive");
+}
+
+PagedKvArena::PagedKvArena(const PagedKvLayout& layout, std::int64_t n_blocks)
+    : layout_(layout), n_blocks_(n_blocks) {
+  layout_.validate();
+  MGPT_CHECK(n_blocks > 0, "paged KV arena requires at least one block");
+  storage_.resize(static_cast<std::size_t>(n_blocks * layout_.block_floats()));
+  refcounts_.assign(static_cast<std::size_t>(n_blocks), 0);
+  free_.reserve(static_cast<std::size_t>(n_blocks));
+  // Pop order is back-first; seed descending so block 0 is handed out first
+  // (deterministic layouts make the tests readable).
+  for (std::int64_t b = n_blocks - 1; b >= 0; --b) {
+    free_.push_back(static_cast<std::int32_t>(b));
+  }
+}
+
+std::int64_t PagedKvArena::free_blocks() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::int64_t>(free_.size());
+}
+
+std::int64_t PagedKvArena::used_blocks() const {
+  std::lock_guard lock(mutex_);
+  return n_blocks_ - static_cast<std::int64_t>(free_.size());
+}
+
+std::int64_t PagedKvArena::unreserved_free_blocks() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::int64_t>(free_.size()) - reserved_;
+}
+
+std::int64_t PagedKvArena::reserved_blocks() const {
+  std::lock_guard lock(mutex_);
+  return reserved_;
+}
+
+std::int64_t PagedKvArena::shared_blocks() const {
+  std::lock_guard lock(mutex_);
+  return shared_;
+}
+
+std::uint64_t PagedKvArena::cow_forks() const {
+  std::lock_guard lock(mutex_);
+  return cow_forks_;
+}
+
+std::uint64_t PagedKvArena::cow_rows() const {
+  std::lock_guard lock(mutex_);
+  return cow_rows_;
+}
+
+bool PagedKvArena::try_reserve(std::int64_t n) {
+  MGPT_CHECK(n >= 0, "cannot reserve a negative block count");
+  std::lock_guard lock(mutex_);
+  if (static_cast<std::int64_t>(free_.size()) - reserved_ < n) return false;
+  reserved_ += n;
+  return true;
+}
+
+void PagedKvArena::unreserve(std::int64_t n) {
+  std::lock_guard lock(mutex_);
+  MGPT_CHECK(n >= 0 && n <= reserved_,
+             "unreserve of " << n << " blocks exceeds " << reserved_
+                             << " outstanding reservations");
+  reserved_ -= n;
+}
+
+std::int32_t PagedKvArena::allocate(std::int64_t* caller_reserved) {
+  std::lock_guard lock(mutex_);
+  if (caller_reserved != nullptr && *caller_reserved > 0) {
+    // A reservation is a promise backed by the free list: try_reserve only
+    // granted it against unreserved free blocks, and reserved blocks are
+    // never handed to anyone else.
+    MGPT_CHECK(!free_.empty() && reserved_ > 0,
+               "paged KV arena reservation invariant violated");
+    *caller_reserved -= 1;
+    reserved_ -= 1;
+  } else if (static_cast<std::int64_t>(free_.size()) - reserved_ <= 0) {
+    return -1;  // exhausted (free blocks are all spoken for)
+  }
+  const std::int32_t id = free_.back();
+  free_.pop_back();
+  refcounts_[static_cast<std::size_t>(id)] = 1;
+  return id;
+}
+
+void PagedKvArena::check_id(std::int32_t id) const {
+  MGPT_CHECK(id >= 0 && id < n_blocks_,
+             "paged KV block id " << id << " outside arena of " << n_blocks_
+                                  << " blocks");
+}
+
+void PagedKvArena::add_ref(std::int32_t id) {
+  check_id(id);
+  std::lock_guard lock(mutex_);
+  std::int32_t& rc = refcounts_[static_cast<std::size_t>(id)];
+  MGPT_CHECK(rc > 0, "add_ref of a free paged KV block");
+  rc += 1;
+  if (rc == 2) shared_ += 1;
+}
+
+void PagedKvArena::release(std::int32_t id, std::int64_t* reclaim) {
+  check_id(id);
+  std::lock_guard lock(mutex_);
+  std::int32_t& rc = refcounts_[static_cast<std::size_t>(id)];
+  MGPT_CHECK(rc > 0, "release of a free paged KV block");
+  if (rc == 2) shared_ -= 1;
+  rc -= 1;
+  if (rc == 0) {
+    free_.push_back(id);
+    if (reclaim != nullptr) {
+      reserved_ += 1;
+      *reclaim += 1;
+    }
+  }
+}
+
+std::int32_t PagedKvArena::ref_count(std::int32_t id) const {
+  check_id(id);
+  std::lock_guard lock(mutex_);
+  return refcounts_[static_cast<std::size_t>(id)];
+}
+
+float* PagedKvArena::k_data(std::int32_t id, std::int64_t layer) {
+  check_id(id);
+  return storage_.data() + id * layout_.block_floats() +
+         layer * 2 * layout_.side_floats();
+}
+
+float* PagedKvArena::v_data(std::int32_t id, std::int64_t layer) {
+  return k_data(id, layer) + layout_.side_floats();
+}
+
+const float* PagedKvArena::k_data(std::int32_t id, std::int64_t layer) const {
+  return const_cast<PagedKvArena*>(this)->k_data(id, layer);
+}
+
+const float* PagedKvArena::v_data(std::int32_t id, std::int64_t layer) const {
+  return const_cast<PagedKvArena*>(this)->v_data(id, layer);
+}
+
+void PagedKvArena::note_cow(std::int64_t rows_copied) {
+  std::lock_guard lock(mutex_);
+  cow_forks_ += 1;
+  cow_rows_ += static_cast<std::uint64_t>(rows_copied);
+}
+
+PagedKvSeq::PagedKvSeq(PagedKvArena* arena, std::int64_t token_capacity)
+    : arena_(arena), token_capacity_(token_capacity) {
+  MGPT_CHECK(arena_ != nullptr, "PagedKvSeq requires an arena");
+  const auto layers = static_cast<std::size_t>(arena_->layout().n_layers);
+  lengths_.assign(layers, 0);
+  k_ptrs_.resize(layers);
+  v_ptrs_.resize(layers);
+}
+
+PagedKvSeq::~PagedKvSeq() { reset(); }
+
+void PagedKvSeq::adopt_reservation(std::int64_t blocks) {
+  MGPT_CHECK(blocks >= 0, "cannot adopt a negative reservation");
+  reserved_ += blocks;
+}
+
+std::int64_t PagedKvSeq::length(std::int64_t layer) const {
+  return lengths_[static_cast<std::size_t>(layer)];
+}
+
+std::int64_t PagedKvSeq::max_length() const {
+  return *std::max_element(lengths_.begin(), lengths_.end());
+}
+
+const float* const* PagedKvSeq::k_blocks(std::int64_t layer) const {
+  return k_ptrs_[static_cast<std::size_t>(layer)].data();
+}
+
+const float* const* PagedKvSeq::v_blocks(std::int64_t layer) const {
+  return v_ptrs_[static_cast<std::size_t>(layer)].data();
+}
+
+void PagedKvSeq::refresh_ptrs(std::int64_t block_idx) {
+  const std::int32_t id = blocks_[static_cast<std::size_t>(block_idx)];
+  for (std::size_t l = 0; l < k_ptrs_.size(); ++l) {
+    k_ptrs_[l][static_cast<std::size_t>(block_idx)] =
+        arena_->k_data(id, static_cast<std::int64_t>(l));
+    v_ptrs_[l][static_cast<std::size_t>(block_idx)] =
+        arena_->v_data(id, static_cast<std::int64_t>(l));
+  }
+}
+
+void PagedKvSeq::ensure_block(std::int64_t block_idx) {
+  while (static_cast<std::int64_t>(blocks_.size()) <= block_idx) {
+    const std::int32_t id = arena_->allocate(&reserved_);
+    MGPT_CHECK(id >= 0,
+               "paged KV arena out of blocks (reservation exhausted and no "
+               "unreserved block free)");
+    blocks_.push_back(id);
+    for (auto& p : k_ptrs_) p.push_back(nullptr);
+    for (auto& p : v_ptrs_) p.push_back(nullptr);
+    refresh_ptrs(static_cast<std::int64_t>(blocks_.size()) - 1);
+  }
+}
+
+void PagedKvSeq::make_private(std::int64_t block_idx) {
+  const std::int32_t old_id = blocks_[static_cast<std::size_t>(block_idx)];
+  if (arena_->ref_count(old_id) <= 1) return;  // already exclusive
+  // Copy-on-write fork: materialize a private copy of every layer's valid
+  // rows, then drop our reference on the shared original. Only the rows the
+  // table currently covers are copied — at most one block's worth per hit,
+  // never the whole prefix.
+  const std::int32_t new_id = arena_->allocate(&reserved_);
+  MGPT_CHECK(new_id >= 0, "paged KV arena out of blocks during CoW fork");
+  const PagedKvLayout& layout = arena_->layout();
+  const std::int64_t bs = layout.block_tokens;
+  const std::int64_t row = layout.row();
+  std::int64_t max_rows = 0;
+  for (std::size_t l = 0; l < lengths_.size(); ++l) {
+    const std::int64_t rows = std::clamp<std::int64_t>(
+        lengths_[l] - block_idx * bs, 0, bs);
+    if (rows > 0) {
+      const auto layer = static_cast<std::int64_t>(l);
+      std::copy_n(arena_->k_data(old_id, layer), rows * row,
+                  arena_->k_data(new_id, layer));
+      std::copy_n(arena_->v_data(old_id, layer), rows * row,
+                  arena_->v_data(new_id, layer));
+    }
+    max_rows = std::max(max_rows, rows);
+  }
+  blocks_[static_cast<std::size_t>(block_idx)] = new_id;
+  refresh_ptrs(block_idx);
+  arena_->release(old_id);
+  arena_->note_cow(max_rows);
+  cow_forks_ += 1;
+}
+
+void PagedKvSeq::append(std::int64_t layer, const float* k, const float* v,
+                        std::int64_t n_tokens) {
+  MGPT_CHECK(n_tokens > 0, "KV append requires tokens");
+  const PagedKvLayout& layout = arena_->layout();
+  const std::int64_t bs = layout.block_tokens;
+  const std::int64_t row = layout.row();
+  std::int64_t len = lengths_[static_cast<std::size_t>(layer)];
+  MGPT_CHECK(token_capacity_ == 0 || len + n_tokens <= token_capacity_,
+             "kv slot capacity " << token_capacity_ << " exceeded (have "
+                                 << len << ", appending " << n_tokens << ")");
+  while (n_tokens > 0) {
+    const std::int64_t b = len / bs;
+    const std::int64_t o = len % bs;
+    ensure_block(b);
+    make_private(b);
+    const std::int64_t take = std::min(n_tokens, bs - o);
+    std::copy_n(k, take * row,
+                k_ptrs_[static_cast<std::size_t>(layer)]
+                       [static_cast<std::size_t>(b)] +
+                    o * row);
+    std::copy_n(v, take * row,
+                v_ptrs_[static_cast<std::size_t>(layer)]
+                       [static_cast<std::size_t>(b)] +
+                    o * row);
+    len += take;
+    k += take * row;
+    v += take * row;
+    n_tokens -= take;
+  }
+  lengths_[static_cast<std::size_t>(layer)] = len;
+}
+
+void PagedKvSeq::free_tail_blocks() {
+  const std::int64_t bs = arena_->layout().block_tokens;
+  const std::int64_t keep = ceil_div(max_length(), bs);
+  while (static_cast<std::int64_t>(blocks_.size()) > keep) {
+    // Whole blocks past every layer's length go back to this sequence's
+    // reservation (if we were their last holder), so a rolled-back sequence
+    // can always re-grow to its admitted budget.
+    arena_->release(blocks_.back(), &reserved_);
+    blocks_.pop_back();
+    for (auto& p : k_ptrs_) p.pop_back();
+    for (auto& p : v_ptrs_) p.pop_back();
+  }
+}
+
+void PagedKvSeq::truncate_layer(std::int64_t layer, std::int64_t len) {
+  std::int64_t& cur = lengths_[static_cast<std::size_t>(layer)];
+  MGPT_CHECK(len >= 0 && len <= cur,
+             "truncate length " << len << " outside cached history of " << cur
+                                << " tokens");
+  cur = len;
+  free_tail_blocks();
+}
+
+void PagedKvSeq::copy_rows(std::int64_t layer, std::int64_t start,
+                           std::int64_t len, float* k_out,
+                           float* v_out) const {
+  MGPT_CHECK(start >= 0 && len > 0 && start + len <= length(layer),
+             "copy_rows range [" << start << ", " << start + len
+                                 << ") outside cached history of "
+                                 << length(layer) << " tokens");
+  const PagedKvLayout& layout = arena_->layout();
+  const std::int64_t bs = layout.block_tokens;
+  const std::int64_t row = layout.row();
+  const auto& kp = k_ptrs_[static_cast<std::size_t>(layer)];
+  const auto& vp = v_ptrs_[static_cast<std::size_t>(layer)];
+  std::int64_t pos = start;
+  while (pos < start + len) {
+    const std::int64_t b = pos / bs;
+    const std::int64_t o = pos % bs;
+    const std::int64_t take = std::min(start + len - pos, bs - o);
+    std::copy_n(kp[static_cast<std::size_t>(b)] + o * row, take * row, k_out);
+    std::copy_n(vp[static_cast<std::size_t>(b)] + o * row, take * row, v_out);
+    k_out += take * row;
+    v_out += take * row;
+    pos += take;
+  }
+}
+
+void PagedKvSeq::alias_blocks(std::span<const std::int32_t> ids,
+                              std::int64_t tokens) {
+  MGPT_CHECK(blocks_.empty() && max_length() == 0,
+             "alias_blocks requires an empty sequence");
+  const std::int64_t bs = arena_->layout().block_tokens;
+  MGPT_CHECK(tokens > 0 &&
+                 static_cast<std::int64_t>(ids.size()) == ceil_div(tokens, bs),
+             "alias of " << ids.size() << " blocks cannot cover " << tokens
+                         << " tokens at block size " << bs);
+  MGPT_CHECK(token_capacity_ == 0 || tokens <= token_capacity_,
+             "aliased prefix of " << tokens << " tokens exceeds slot capacity "
+                                  << token_capacity_);
+  for (const std::int32_t id : ids) {
+    arena_->add_ref(id);
+    blocks_.push_back(id);
+    for (auto& p : k_ptrs_) p.push_back(nullptr);
+    for (auto& p : v_ptrs_) p.push_back(nullptr);
+    refresh_ptrs(static_cast<std::int64_t>(blocks_.size()) - 1);
+  }
+  std::fill(lengths_.begin(), lengths_.end(), tokens);
+}
+
+void PagedKvSeq::reset() {
+  for (const std::int32_t id : blocks_) arena_->release(id);
+  blocks_.clear();
+  for (auto& p : k_ptrs_) p.clear();
+  for (auto& p : v_ptrs_) p.clear();
+  std::fill(lengths_.begin(), lengths_.end(), 0);
+  if (reserved_ > 0) {
+    arena_->unreserve(reserved_);
+    reserved_ = 0;
+  }
+}
+
+}  // namespace matgpt::nn

@@ -43,11 +43,6 @@ struct SamplingParams {
   void validate() const;
 };
 
-/// DEPRECATED (kept for one PR): the historical name for SamplingParams.
-/// Former call sites that carried a separate seed next to a SamplingOptions
-/// should fold it into SamplingParams::seed.
-using SamplingOptions = SamplingParams;
-
 /// Sample a token id from a raw logits row under the given params. Draws
 /// from the caller's `rng` stream (params.seed is NOT consulted here — the
 /// caller owns the stream's lifetime across a generation).

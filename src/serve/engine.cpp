@@ -27,18 +27,50 @@ void EngineConfig::validate() const {
   MGPT_CHECK(kv_slots != 0, "EngineConfig: kv_slots must be non-zero");
   MGPT_CHECK(queue_capacity != 0,
              "EngineConfig: queue_capacity must be non-zero");
+  MGPT_CHECK(!paged_kv || kv_block_tokens > 0,
+             "EngineConfig: kv_block_tokens must be positive (got "
+                 << kv_block_tokens << ")");
+  MGPT_CHECK(prefix_cache_bytes == 0 || paged_kv,
+             "EngineConfig: the prefix cache shares paged KV blocks; enable "
+             "paged_kv or disable prefix_cache_bytes");
 }
+
+namespace {
+
+// Pool sizing for the engine: the prefix cache's residency budget becomes
+// extra arena blocks, so cached prefixes never eat admission headroom.
+KvPoolConfig pool_config(const nn::GptConfig& model,
+                         const EngineConfig& config) {
+  KvPoolConfig pool;
+  pool.slots = config.kv_slots;
+  pool.capacity_tokens = config.kv_capacity_tokens;
+  pool.paged = config.paged_kv;
+  pool.block_tokens = config.kv_block_tokens;
+  if (config.paged_kv && config.prefix_cache_bytes > 0) {
+    nn::PagedKvLayout layout;
+    layout.block_tokens = config.kv_block_tokens;
+    layout.n_layers = model.n_layers;
+    layout.kv_heads = model.kv_heads();
+    layout.head_dim = model.head_dim();
+    const double bb = layout.block_bytes_bf16();
+    pool.extra_blocks = static_cast<std::int64_t>(
+        (static_cast<double>(config.prefix_cache_bytes) + bb - 1.0) / bb);
+  }
+  return pool;
+}
+
+}  // namespace
 
 InferenceEngine::InferenceEngine(const nn::GptModel& model,
                                  EngineConfig config)
     : model_(model),
       config_(validated(std::move(config))),
-      pool_(model.config(), config_.kv_slots, config_.kv_capacity_tokens),
+      pool_(model.config(), pool_config(model.config(), config_)),
       stats_(config_.stats) {
   if (config_.prefix_cache_bytes > 0) {
-    // Throws here if the budget cannot hold even one token block.
+    // Throws here if the budget cannot hold even one KV block.
     prefix_cache_ = std::make_unique<PrefixCache>(
-        model_.config(), config_.prefix_cache_bytes);
+        model_.config(), config_.prefix_cache_bytes, &pool_);
   }
   if (config_.proposer != nullptr) {
     const nn::GptConfig& dc = config_.proposer->cache_config();
@@ -46,8 +78,12 @@ InferenceEngine::InferenceEngine(const nn::GptModel& model,
                "draft proposer max_seq " << dc.max_seq
                                          << " cannot cover KV slot capacity "
                                          << pool_.capacity_tokens());
-    draft_pool_ = std::make_unique<KvCachePool>(dc, config_.kv_slots,
-                                                pool_.capacity_tokens());
+    KvPoolConfig draft_cfg;
+    draft_cfg.slots = config_.kv_slots;
+    draft_cfg.capacity_tokens = pool_.capacity_tokens();
+    draft_cfg.paged = config_.paged_kv;
+    draft_cfg.block_tokens = config_.kv_block_tokens;
+    draft_pool_ = std::make_unique<KvCachePool>(dc, draft_cfg);
     spec_decoder_ =
         std::make_unique<spec::SpeculativeDecoder>(model_, config_.proposer);
   }
@@ -94,8 +130,6 @@ std::size_t InferenceEngine::queue_depth() const {
 
 void InferenceEngine::admit() {
   while (static_cast<std::int64_t>(active_.size()) < config_.max_batch) {
-    KvLease slot = pool_.try_lease();
-    if (!slot) return;  // every slot is in flight
     Pending pending;
     bool have_request = false;
     {
@@ -106,19 +140,47 @@ void InferenceEngine::admit() {
         have_request = true;
       }
     }
-    if (!have_request) return;  // lease returns the slot on scope exit
+    if (!have_request) return;
 
+    const std::span<const std::int32_t> prompt(pending.request.prompt);
+    const auto prompt_len = static_cast<std::int64_t>(prompt.size());
+    const std::int64_t budget =
+        prompt_len + pending.request.max_new_tokens;
+
+    // Match before leasing so the lease can discount the blocks an aliased
+    // prefix supplies for free. The match is capped at prompt_len - 1 so at
+    // least one token flows through the model — the first sample needs the
+    // last position's logits. The pins also shield the matched path from
+    // the eviction fallback below.
+    PrefixCache::Match m;
+    std::int64_t reused = 0;
+    if (prefix_cache_ != nullptr) {
+      m = prefix_cache_->match(prompt, prompt_len - 1);
+      reused = m.tokens;
+    }
+
+    KvLease slot = pool_.try_lease(budget, reused);
+    if (!slot && prefix_cache_ != nullptr &&
+        prefix_cache_->evict_for_blocks(
+            pool_.blocks_needed(budget, reused))) {
+      // Arena exhausted: cold cached prefixes were traded for headroom.
+      slot = pool_.try_lease(budget, reused);
+    }
     // Speculative requests also hold a draft slot; when the draft pool is
     // drained the request goes back to the queue head and admission stops —
-    // the slot frees when a speculative sequence retires.
+    // capacity frees when a sequence retires.
     KvLease draft_slot;
-    if (pending.request.spec_k > 0) {
-      draft_slot = draft_pool_->try_lease();
-      if (!draft_slot) {
-        std::lock_guard lock(queue_mutex_);
-        waiting_.push_front(std::move(pending));
-        return;
-      }
+    bool draft_failed = false;
+    if (slot && pending.request.spec_k > 0) {
+      draft_slot = draft_pool_->try_lease(budget);
+      draft_failed = !draft_slot;
+    }
+    if (!slot || draft_failed) {
+      if (prefix_cache_ != nullptr) prefix_cache_->unpin(m);
+      slot.release();
+      std::lock_guard lock(queue_mutex_);
+      waiting_.push_front(std::move(pending));
+      return;
     }
     queue_cv_.notify_one();  // queue space freed; unblock one submitter
 
@@ -131,22 +193,13 @@ void InferenceEngine::admit() {
     seq.rng = seq.request.sampling.make_rng();
     seq.tokens = seq.request.prompt;
 
-    // Prefix cache: copy the longest cached prefix into the slot (memcpy,
-    // no forward pass) and prefill only the suffix. The match is capped at
-    // prompt_len - 1 so at least one token flows through the model — the
-    // first sample needs the last position's logits. Unpin before insert so
-    // our own pins never block edge splits. Restored rows are bit-identical
-    // to recomputed ones, so the suffix prefill (and every later decode)
+    // Prefix cache: alias the matched blocks into the lease's table (zero
+    // copy) and prefill only the suffix. Unpin before insert so our own
+    // pins never block edge splits. Aliased rows ARE the rows a cold
+    // prefill would compute, so the suffix prefill (and every later decode)
     // sees exactly the cold-path cache state.
-    const std::span<const std::int32_t> prompt(seq.request.prompt);
-    const auto prompt_len = static_cast<std::int64_t>(prompt.size());
-    std::int64_t reused = 0;
-    if (prefix_cache_ != nullptr) {
-      PrefixCache::Match m = prefix_cache_->match(prompt, prompt_len - 1);
-      reused = m.tokens;
-      if (reused > 0) prefix_cache_->restore(m, *seq.kv);
-      prefix_cache_->unpin(m);
-    }
+    if (reused > 0) prefix_cache_->restore(m, *seq.kv);
+    if (prefix_cache_ != nullptr) prefix_cache_->unpin(m);
     Tape tape;
     // forward_incremental returns logits for the last fed position only.
     Var logits =
@@ -208,6 +261,13 @@ std::size_t InferenceEngine::step() {
   const std::size_t active_before = active_.size();
   admit();
   const std::size_t admitted = active_.size() - active_before;
+  if (pool_.paged()) {
+    stats_.record_kv(active_.size(), pool_.used_blocks(),
+                     pool_.total_blocks(), pool_.shared_blocks(),
+                     pool_.cow_forks(), pool_.cow_rows());
+  } else {
+    stats_.record_kv(active_.size(), 0, 0, 0, 0, 0);
+  }
   if (active_.empty()) return admitted;
 
   const std::size_t n = active_.size();

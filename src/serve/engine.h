@@ -4,11 +4,15 @@
 // Requests enter a bounded admission queue (submit() blocks when it is
 // full — backpressure, not a crash). Each scheduler step:
 //
-//   1. admit: while the decode batch has room AND the KV pool has a free
-//      slot, pop a waiting request; with prefix caching enabled, copy its
-//      longest cached prompt prefix into the slot (memcpy, no forward pass)
-//      and prefill only the remaining suffix, else prefill the whole prompt
-//      (batch-1); then sample its first token (TTFT);
+//   1. admit: while the decode batch has room, pop a waiting request and
+//      try to lease KV for its token budget (paged mode reserves exactly the
+//      blocks the budget needs, minus what a cached prefix supplies; slotted
+//      mode takes a whole slot). With prefix caching enabled, the longest
+//      cached prompt prefix is aliased into the lease's block table
+//      (refcounted, zero-copy) and only the remaining suffix prefills, else
+//      the whole prompt prefills (batch-1); then sample its first token
+//      (TTFT). When the arena is out of blocks, cold cached prefixes are
+//      evicted to make room before giving up;
 //   2. decode: one ragged-batch GptModel::decode_batch step across every
 //      plain sequence — one new token each — plus one speculative
 //      propose/verify round per speculative sequence (1..k+1 tokens each);
@@ -53,13 +57,22 @@ namespace matgpt::serve {
 struct EngineConfig {
   /// Maximum sequences decoded together per step.
   std::int64_t max_batch = 8;
-  /// Pooled KV slots; admission stalls (requests stay queued) when all slots
-  /// are in flight, so the pool can never be oversubscribed.
+  /// KV pool sizing in full-length sequences. Slotted mode: a hard
+  /// admission limit (all slots in flight = requests stay queued). Paged
+  /// mode: the arena holds this many worst-case sequences' worth of blocks,
+  /// but admission is bounded by block reservations — short requests pack
+  /// denser, so more than kv_slots sequences can be in flight.
   std::size_t kv_slots = 8;
   /// Admission queue bound; submit() blocks while the queue is full.
   std::size_t queue_capacity = 64;
-  /// Per-slot token capacity (0 = model max_seq).
+  /// Per-request token capacity (0 = model max_seq).
   std::int64_t kv_capacity_tokens = 0;
+  /// Block-paged KV pool (per-sequence block tables, refcounted prefix
+  /// sharing, copy-on-write). false = legacy fixed-slot slabs, the baseline
+  /// the paged gate measures against.
+  bool paged_kv = true;
+  /// Tokens per KV block in paged mode.
+  std::int64_t kv_block_tokens = 16;
   /// false: decode active sequences one at a time (the pre-batching
   /// behaviour) — kept for apples-to-apples benchmarking.
   bool batched_decode = true;
@@ -69,13 +82,16 @@ struct EngineConfig {
   std::shared_ptr<spec::DraftProposer> proposer;
   /// Prompt prefix-cache byte budget (bf16 KV accounting; see
   /// PrefixCache). 0 disables the cache; a non-zero budget must hold at
-  /// least one token's KV block. Draft slots never touch the cache — it
-  /// holds target-model rows only.
+  /// least one KV block and requires paged_kv (the cache shares arena
+  /// blocks). The engine grows the arena by the budget's worth of blocks so
+  /// cache residency never eats admission headroom. Draft slots never touch
+  /// the cache — it holds target-model rows only.
   std::size_t prefix_cache_bytes = 0;
   StatsConfig stats;
 
   /// Throws (MGPT_CHECK) on unserviceable knobs: max_batch <= 0,
-  /// kv_slots == 0, queue_capacity == 0. Called by the engine constructor
+  /// kv_slots == 0, queue_capacity == 0, kv_block_tokens <= 0 (paged), or a
+  /// prefix cache on a slotted pool. Called by the engine constructor
   /// before any allocation; the prefix-cache budget-vs-block check lives in
   /// the PrefixCache constructor on the same path.
   void validate() const;

@@ -6,6 +6,14 @@
 
 namespace matgpt::serve {
 
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
 KvLease::~KvLease() {
   if (cache_ != nullptr) pool_->release(cache_);
 }
@@ -52,23 +60,44 @@ void KvLease::release() {
 
 KvCachePool::KvCachePool(const nn::GptConfig& config, std::size_t slots,
                          std::int64_t capacity_tokens)
-    : capacity_tokens_(capacity_tokens > 0 ? capacity_tokens
-                                           : config.max_seq) {
-  MGPT_CHECK(slots > 0, "KvCachePool requires at least one slot");
+    : KvCachePool(config, KvPoolConfig{slots, capacity_tokens,
+                                       /*paged=*/true, /*block_tokens=*/16,
+                                       /*extra_blocks=*/0}) {}
+
+KvCachePool::KvCachePool(const nn::GptConfig& config, const KvPoolConfig& pool)
+    : slot_count_(pool.slots),
+      capacity_tokens_(pool.capacity_tokens > 0 ? pool.capacity_tokens
+                                                : config.max_seq) {
+  MGPT_CHECK(pool.slots > 0, "KvCachePool requires at least one slot");
   MGPT_CHECK(capacity_tokens_ <= config.max_seq,
              "pool capacity_tokens " << capacity_tokens_
                                      << " exceeds model max_seq "
                                      << config.max_seq);
-  slots_.reserve(slots);
-  free_.reserve(slots);
-  for (std::size_t i = 0; i < slots; ++i) {
+  if (pool.paged) {
+    MGPT_CHECK(pool.block_tokens > 0, "block_tokens must be positive");
+    MGPT_CHECK(pool.extra_blocks >= 0, "extra_blocks must be non-negative");
+    nn::PagedKvLayout layout;
+    layout.block_tokens = pool.block_tokens;
+    layout.n_layers = config.n_layers;
+    layout.kv_heads = config.kv_heads();
+    layout.head_dim = config.head_dim();
+    const std::int64_t per_seq = ceil_div(capacity_tokens_, pool.block_tokens);
+    const std::int64_t n_blocks =
+        static_cast<std::int64_t>(pool.slots) * per_seq + pool.extra_blocks;
+    arena_ = std::make_unique<nn::PagedKvArena>(layout, n_blocks);
+    reserved_bytes_ = static_cast<double>(n_blocks) * layout.block_bytes_bf16();
+    return;
+  }
+  slots_.reserve(pool.slots);
+  free_.reserve(pool.slots);
+  for (std::size_t i = 0; i < pool.slots; ++i) {
     auto cache = std::make_unique<nn::KvCache>();
     cache->reserve(config, capacity_tokens_);
     free_.push_back(cache.get());
     slots_.push_back(std::move(cache));
   }
   // bf16 K + V per layer at full capacity, as KvCache::bytes() would report.
-  reserved_bytes_ = 2.0 * 2.0 * static_cast<double>(slots) *
+  reserved_bytes_ = 2.0 * 2.0 * static_cast<double>(pool.slots) *
                     static_cast<double>(config.n_layers) *
                     static_cast<double>(capacity_tokens_) *
                     static_cast<double>(config.kv_heads()) *
@@ -76,34 +105,138 @@ KvCachePool::KvCachePool(const nn::GptConfig& config, std::size_t slots,
 }
 
 std::size_t KvCachePool::available() const {
+  if (paged()) {
+    return static_cast<std::size_t>(arena_->unreserved_free_blocks());
+  }
   std::lock_guard lock(mutex_);
   return free_.size();
 }
 
-KvLease KvCachePool::lease() { return KvLease(this, acquire()); }
-
-KvLease KvCachePool::try_lease() {
-  nn::KvCache* cache = try_acquire();
-  return cache != nullptr ? KvLease(this, cache) : KvLease();
+bool KvCachePool::all_free() const {
+  std::lock_guard lock(mutex_);
+  return paged() ? paged_leased_ == 0 : free_.size() == slots_.size();
 }
 
-nn::KvCache* KvCachePool::acquire() {
+std::int64_t KvCachePool::block_tokens() const {
+  MGPT_CHECK(paged(), "block_tokens() on a slotted pool");
+  return arena_->layout().block_tokens;
+}
+
+std::int64_t KvCachePool::total_blocks() const {
+  MGPT_CHECK(paged(), "total_blocks() on a slotted pool");
+  return arena_->n_blocks();
+}
+
+std::int64_t KvCachePool::free_blocks() const {
+  MGPT_CHECK(paged(), "free_blocks() on a slotted pool");
+  return arena_->free_blocks();
+}
+
+std::int64_t KvCachePool::used_blocks() const {
+  MGPT_CHECK(paged(), "used_blocks() on a slotted pool");
+  return arena_->used_blocks();
+}
+
+std::int64_t KvCachePool::shared_blocks() const {
+  MGPT_CHECK(paged(), "shared_blocks() on a slotted pool");
+  return arena_->shared_blocks();
+}
+
+std::uint64_t KvCachePool::cow_forks() const {
+  MGPT_CHECK(paged(), "cow_forks() on a slotted pool");
+  return arena_->cow_forks();
+}
+
+std::uint64_t KvCachePool::cow_rows() const {
+  MGPT_CHECK(paged(), "cow_rows() on a slotted pool");
+  return arena_->cow_rows();
+}
+
+std::int64_t KvCachePool::blocks_needed(std::int64_t total_tokens,
+                                        std::int64_t aliased_tokens) const {
+  MGPT_CHECK(paged(), "blocks_needed() on a slotted pool");
+  const std::int64_t bs = arena_->layout().block_tokens;
+  const std::int64_t needed = ceil_div(total_tokens, bs) - aliased_tokens / bs;
+  return std::max<std::int64_t>(needed, 0);
+}
+
+void KvCachePool::validate_budget(std::int64_t& total_tokens,
+                                  std::int64_t aliased_tokens) const {
+  if (total_tokens < 0) total_tokens = capacity_tokens_;
+  MGPT_CHECK(total_tokens > 0, "lease requires a positive token budget");
+  MGPT_CHECK(total_tokens <= capacity_tokens_,
+             "lease budget " << total_tokens << " exceeds per-request cap "
+                             << capacity_tokens_);
+  MGPT_CHECK(aliased_tokens >= 0 && aliased_tokens <= total_tokens,
+             "aliased prefix " << aliased_tokens
+                               << " outside the lease budget of "
+                               << total_tokens << " tokens");
+  MGPT_CHECK(aliased_tokens == 0 || paged(),
+             "prefix aliasing requires a paged pool");
+}
+
+nn::KvCache* KvCachePool::checkout_paged(std::int64_t total_tokens,
+                                         std::int64_t needed) {
+  PagedSlot* slot;
+  if (!paged_free_.empty()) {
+    slot = paged_free_.back();
+    paged_free_.pop_back();
+  } else {
+    auto fresh = std::make_unique<PagedSlot>();
+    fresh->seq = std::make_unique<nn::PagedKvSeq>(arena_.get());
+    fresh->cache.attach_paged(fresh->seq.get());
+    slot = fresh.get();
+    paged_slots_.push_back(std::move(fresh));
+  }
+  slot->seq->set_token_capacity(total_tokens);
+  slot->seq->adopt_reservation(needed);
+  ++paged_leased_;
+  return &slot->cache;
+}
+
+KvLease KvCachePool::lease(std::int64_t total_tokens,
+                           std::int64_t aliased_tokens) {
+  validate_budget(total_tokens, aliased_tokens);
   std::unique_lock lock(mutex_);
+  if (paged()) {
+    const std::int64_t needed = blocks_needed(total_tokens, aliased_tokens);
+    // The predicate reserves on success, so waking up means admission.
+    cv_.wait(lock, [&] { return arena_->try_reserve(needed); });
+    return KvLease(this, checkout_paged(total_tokens, needed));
+  }
   cv_.wait(lock, [this] { return !free_.empty(); });
   nn::KvCache* cache = free_.back();
   free_.pop_back();
-  return cache;
+  return KvLease(this, cache);
 }
 
-nn::KvCache* KvCachePool::try_acquire() {
+KvLease KvCachePool::try_lease(std::int64_t total_tokens,
+                               std::int64_t aliased_tokens) {
+  validate_budget(total_tokens, aliased_tokens);
   std::lock_guard lock(mutex_);
-  if (free_.empty()) return nullptr;
+  if (paged()) {
+    const std::int64_t needed = blocks_needed(total_tokens, aliased_tokens);
+    if (!arena_->try_reserve(needed)) return KvLease();
+    return KvLease(this, checkout_paged(total_tokens, needed));
+  }
+  if (free_.empty()) return KvLease();
   nn::KvCache* cache = free_.back();
   free_.pop_back();
-  return cache;
+  return KvLease(this, cache);
+}
+
+void KvCachePool::notify_freed() { cv_.notify_all(); }
+
+KvCachePool::PagedSlot* KvCachePool::find_paged(
+    const nn::KvCache* cache) const {
+  for (const auto& slot : paged_slots_) {
+    if (&slot->cache == cache) return slot.get();
+  }
+  return nullptr;
 }
 
 bool KvCachePool::owns(const nn::KvCache* cache) const {
+  if (paged()) return find_paged(cache) != nullptr;
   return std::any_of(slots_.begin(), slots_.end(), [cache](const auto& slot) {
     return slot.get() == cache;
   });
@@ -111,24 +244,43 @@ bool KvCachePool::owns(const nn::KvCache* cache) const {
 
 void KvCachePool::release(nn::KvCache* cache) {
   MGPT_CHECK(cache != nullptr, "release of a null KV cache");
-  MGPT_CHECK(owns(cache), "release of a cache this pool does not own");
-  cache->reset();
   {
     std::lock_guard lock(mutex_);
-    MGPT_CHECK(std::find(free_.begin(), free_.end(), cache) == free_.end(),
-               "double release of a KV cache slot");
-    free_.push_back(cache);
+    if (paged()) {
+      PagedSlot* slot = find_paged(cache);
+      MGPT_CHECK(slot != nullptr, "release of a cache this pool does not own");
+      MGPT_CHECK(std::find(paged_free_.begin(), paged_free_.end(), slot) ==
+                     paged_free_.end(),
+                 "double release of a KV cache slot");
+      cache->reset();  // drops block refs and any leftover reservation
+      paged_free_.push_back(slot);
+      --paged_leased_;
+    } else {
+      MGPT_CHECK(owns(cache), "release of a cache this pool does not own");
+      MGPT_CHECK(std::find(free_.begin(), free_.end(), cache) == free_.end(),
+                 "double release of a KV cache slot");
+      cache->reset();
+      free_.push_back(cache);
+    }
   }
-  cv_.notify_one();
+  cv_.notify_all();
 }
 
 void KvCachePool::truncate(nn::KvCache* cache, std::int64_t len) {
   MGPT_CHECK(cache != nullptr, "truncate of a null KV cache");
-  MGPT_CHECK(owns(cache), "truncate of a cache this pool does not own");
   {
     std::lock_guard lock(mutex_);
-    MGPT_CHECK(std::find(free_.begin(), free_.end(), cache) == free_.end(),
-               "truncate of a slot that is not checked out");
+    if (paged()) {
+      PagedSlot* slot = find_paged(cache);
+      MGPT_CHECK(slot != nullptr, "truncate of a cache this pool does not own");
+      MGPT_CHECK(std::find(paged_free_.begin(), paged_free_.end(), slot) ==
+                     paged_free_.end(),
+                 "truncate of a slot that is not checked out");
+    } else {
+      MGPT_CHECK(owns(cache), "truncate of a cache this pool does not own");
+      MGPT_CHECK(std::find(free_.begin(), free_.end(), cache) == free_.end(),
+                 "truncate of a slot that is not checked out");
+    }
   }
   cache->truncate(len);
 }

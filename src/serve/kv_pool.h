@@ -1,35 +1,44 @@
 #pragma once
 // Pooled KV-cache allocator for serving.
 //
-// Pre-allocates a fixed number of full-capacity KvCache slots sized from the
-// model config (respecting kv_heads() so GQA shrinks the pool by
-// n_heads / n_kv_heads) and recycles them across requests: releasing a lease
-// resets the slot's history but keeps its slabs, so steady-state serving
-// never allocates KV memory. The slot count is a hard admission limit —
-// lease() blocks until a slot frees, and the pool can never hand out more
-// caches than it owns.
+// Two storage modes behind one lease API:
+//
+//  - Paged (default): KV memory is one PagedKvArena of fixed-size blocks
+//    (block_tokens tokens x layers x K+V). A lease reserves only the blocks
+//    its token budget needs — short requests stop stranding a max_seq-sized
+//    slab, so the same byte budget admits more concurrent sequences. The
+//    prefix cache aliases cached blocks straight into a new lease's block
+//    table (refcounted, zero-copy) with copy-on-write on first divergence.
+//    `slots` is a sizing knob (arena = slots full-length sequences, plus
+//    extra_blocks headroom); concurrency is bounded by blocks, not slots.
+//
+//  - Slotted (legacy, paged=false): a fixed number of full-capacity KvCache
+//    slabs recycled across requests. The slot count is the hard admission
+//    limit. Kept as the baseline the paged gate measures against.
 //
 // Slots are checked out as move-only KvLease handles that return themselves
 // to the pool on destruction, so a slot cannot leak on an early return or an
-// exception, and a double release is unrepresentable. The raw
-// acquire()/release()/truncate() trio is a deprecated shim over the same
-// free list, kept for one PR while callers migrate.
+// exception, and a double release is unrepresentable. (The historical raw
+// acquire()/release()/truncate() shims are gone; KvLease is the only way
+// in or out.)
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "nn/gpt.h"
+#include "nn/paged_kv.h"
 
 namespace matgpt::serve {
 
 class KvCachePool;
 
 /// Move-only ownership of one pooled KV slot. Destroying (or release()-ing)
-/// the lease resets the slot and returns it to the pool, waking one blocked
-/// lease() call. A default-constructed or moved-from lease is empty
+/// the lease resets the slot and returns it to the pool, waking blocked
+/// lease() calls. A default-constructed or moved-from lease is empty
 /// (`!lease`); dereferencing it is a checked error.
 class KvLease {
  public:
@@ -46,7 +55,9 @@ class KvLease {
   nn::KvCache& operator*() const;
   nn::KvCache* operator->() const;
 
-  /// Roll the slot back to `len` cached tokens (speculative rollback).
+  /// Roll the slot back to `len` cached tokens (speculative rollback). In
+  /// paged mode whole blocks freed by the rollback return to this lease's
+  /// reservation, so the sequence can still grow to its admitted budget.
   void truncate(std::int64_t len);
   /// Return the slot to the pool now instead of at destruction.
   void release();
@@ -59,50 +70,106 @@ class KvLease {
   nn::KvCache* cache_ = nullptr;
 };
 
+struct KvPoolConfig {
+  /// Arena sizing in full-length sequences (paged) or hard slot count
+  /// (slotted).
+  std::size_t slots = 8;
+  /// Per-request token cap; 0 = model max_seq.
+  std::int64_t capacity_tokens = 0;
+  bool paged = true;
+  std::int64_t block_tokens = 16;
+  /// Extra arena blocks beyond slots * blocks-per-sequence (paged only) —
+  /// e.g. residency for the prefix cache's pinned blocks.
+  std::int64_t extra_blocks = 0;
+};
+
 class KvCachePool {
  public:
-  /// `capacity_tokens == 0` sizes every slot for config.max_seq.
+  /// Paged pool with default block size; `capacity_tokens == 0` budgets
+  /// every request at config.max_seq.
   KvCachePool(const nn::GptConfig& config, std::size_t slots,
               std::int64_t capacity_tokens = 0);
+  KvCachePool(const nn::GptConfig& config, const KvPoolConfig& pool);
 
   KvCachePool(const KvCachePool&) = delete;
   KvCachePool& operator=(const KvCachePool&) = delete;
 
-  std::size_t slot_count() const { return slots_.size(); }
+  bool paged() const { return arena_ != nullptr; }
+  /// The sizing knob: hard concurrency limit when slotted, arena size in
+  /// full-length sequences when paged.
+  std::size_t slot_count() const { return slot_count_; }
+  /// Per-request token cap (identical semantics in both modes).
   std::int64_t capacity_tokens() const { return capacity_tokens_; }
-  /// Slots currently free (thread-safe snapshot).
+  /// Admission headroom snapshot: free slots (slotted) or unreserved free
+  /// blocks (paged).
   std::size_t available() const;
-  /// Accelerator bf16 bytes the fully-reserved pool pins.
+  /// True when every lease has been returned and (paged) every block freed.
+  bool all_free() const;
+  /// Accelerator bf16 bytes the pool's storage pins.
   double reserved_bytes() const { return reserved_bytes_; }
 
-  /// Take a slot, blocking until one frees. The leased cache is empty and
-  /// fully reserved; it returns to the pool when the lease dies.
-  KvLease lease();
-  /// Non-blocking lease; empty (`!lease`) when the pool is exhausted.
-  KvLease try_lease();
+  // ---- paged-mode introspection (checked errors when slotted) ----
+  nn::PagedKvArena* arena() const { return arena_.get(); }
+  std::int64_t block_tokens() const;
+  std::int64_t total_blocks() const;
+  std::int64_t free_blocks() const;
+  std::int64_t used_blocks() const;
+  std::int64_t shared_blocks() const;
+  std::uint64_t cow_forks() const;
+  std::uint64_t cow_rows() const;
+  /// Blocks a lease(total, aliased) call must reserve: ceil(total / bs)
+  /// minus the full blocks an aliased prefix supplies for free.
+  std::int64_t blocks_needed(std::int64_t total_tokens,
+                             std::int64_t aliased_tokens) const;
 
-  // ---- deprecated raw-pointer shims (removed next PR; use lease()) ----
+  /// Take a slot, blocking until admissible. `total_tokens` is the
+  /// request's worst-case KV length (< 0 = capacity_tokens()); in paged
+  /// mode the lease reserves exactly the blocks that budget needs, of which
+  /// `aliased_tokens` worth of full blocks are expected to arrive by prefix
+  /// aliasing instead of allocation. The leased cache is empty; it returns
+  /// to the pool when the lease dies.
+  KvLease lease(std::int64_t total_tokens = -1,
+                std::int64_t aliased_tokens = 0);
+  /// Non-blocking lease; empty (`!lease`) when the pool cannot admit.
+  KvLease try_lease(std::int64_t total_tokens = -1,
+                    std::int64_t aliased_tokens = 0);
 
-  /// DEPRECATED: use lease(). Blocking checkout returning a raw pointer the
-  /// caller must hand back via release().
-  nn::KvCache* acquire();
-  /// DEPRECATED: use try_lease(). nullptr when the pool is exhausted.
-  nn::KvCache* try_acquire();
-  /// DEPRECATED: use KvLease's destructor or KvLease::release(). Resets the
-  /// slot (keeping its reserved slabs) and returns it to the free list,
-  /// waking one blocked checkout.
-  void release(nn::KvCache* cache);
-  /// DEPRECATED: use KvLease::truncate(). Rolls an in-flight slot back to
-  /// `len` cached tokens, enforcing the same ownership discipline as
-  /// release(): the slot must belong to this pool and be checked out.
-  void truncate(nn::KvCache* cache, std::int64_t len);
+  /// Wake blocked lease() calls after blocks were freed outside the lease
+  /// lifecycle (prefix-cache eviction releases arena refs directly).
+  void notify_freed();
 
  private:
+  friend class KvLease;
+
+  struct PagedSlot {
+    nn::KvCache cache;
+    std::unique_ptr<nn::PagedKvSeq> seq;
+  };
+
+  void validate_budget(std::int64_t& total_tokens,
+                       std::int64_t aliased_tokens) const;
+  /// Pop or lazily build a paged slot; caller holds mutex_ and already owns
+  /// a `needed`-block reservation that the slot adopts.
+  nn::KvCache* checkout_paged(std::int64_t total_tokens, std::int64_t needed);
+  PagedSlot* find_paged(const nn::KvCache* cache) const;
   bool owns(const nn::KvCache* cache) const;
-  std::vector<std::unique_ptr<nn::KvCache>> slots_;
-  std::vector<nn::KvCache*> free_;
+  void release(nn::KvCache* cache);
+  void truncate(nn::KvCache* cache, std::int64_t len);
+
+  std::size_t slot_count_;
   std::int64_t capacity_tokens_;
   double reserved_bytes_ = 0.0;
+
+  // Slotted mode.
+  std::vector<std::unique_ptr<nn::KvCache>> slots_;
+  std::vector<nn::KvCache*> free_;
+
+  // Paged mode.
+  std::unique_ptr<nn::PagedKvArena> arena_;
+  std::vector<std::unique_ptr<PagedSlot>> paged_slots_;
+  std::vector<PagedSlot*> paged_free_;
+  std::size_t paged_leased_ = 0;
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
 };

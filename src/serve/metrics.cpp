@@ -1,5 +1,6 @@
 #include "serve/metrics.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/error.h"
@@ -43,6 +44,18 @@ void ServerStats::record_prefix(std::int64_t tokens_reused,
   prefix_prompt_tokens_ += static_cast<std::uint64_t>(prompt_tokens);
 }
 
+void ServerStats::record_kv(std::size_t active, std::int64_t used_blocks,
+                            std::int64_t total_blocks,
+                            std::int64_t shared_blocks,
+                            std::uint64_t cow_forks, std::uint64_t cow_rows) {
+  peak_active_ = std::max(peak_active_, active);
+  peak_used_blocks_ = std::max(peak_used_blocks_, used_blocks);
+  peak_shared_blocks_ = std::max(peak_shared_blocks_, shared_blocks);
+  kv_total_blocks_ = total_blocks;
+  cow_forks_ = cow_forks;
+  cow_rows_ = cow_rows;
+}
+
 double ServerStats::mean_request_tokens_per_s() const {
   return requests_completed_ == 0
              ? 0.0
@@ -76,6 +89,16 @@ std::string ServerStats::report(double wall_s) const {
        << prefix_hits_ << "/" << prefix_hits_ + prefix_misses_
        << " admissions), " << prefix_tokens_reused_ << "/"
        << prefix_prompt_tokens_ << " prompt tokens skipped prefill\n";
+  }
+  if (peak_active_ > 0) {
+    os << "kv concurrency:      peak " << peak_active_ << " active sequences\n";
+  }
+  if (kv_total_blocks_ > 0) {
+    os << "kv blocks:           peak " << peak_used_blocks_ << "/"
+       << kv_total_blocks_ << " used ("
+       << 100.0 * peak_block_utilization() << "% utilization), peak "
+       << peak_shared_blocks_ << " shared, " << cow_forks_
+       << " CoW forks (" << cow_rows_ << " rows copied)\n";
   }
   return os.str();
 }

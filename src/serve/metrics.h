@@ -33,6 +33,11 @@ class ServerStats {
   /// One admission's prefix-cache outcome: `tokens_reused` of a
   /// `prompt_tokens`-long prompt were restored from cache (0 = miss).
   void record_prefix(std::int64_t tokens_reused, std::int64_t prompt_tokens);
+  /// Per-step KV occupancy snapshot (peaks are kept; counters overwrite).
+  /// Slotted pools pass zero blocks; `active` is the post-admission batch.
+  void record_kv(std::size_t active, std::int64_t used_blocks,
+                 std::int64_t total_blocks, std::int64_t shared_blocks,
+                 std::uint64_t cow_forks, std::uint64_t cow_rows);
 
   std::uint64_t requests_completed() const { return requests_completed_; }
   std::uint64_t tokens_generated() const { return tokens_generated_; }
@@ -63,6 +68,22 @@ class ServerStats {
                      static_cast<double>(drafts_proposed_);
   }
 
+  /// KV occupancy aggregates (record_kv). peak_active is the largest
+  /// concurrent decode batch observed — the paged-vs-slotted capacity gate's
+  /// numerator. Block counters are zero on slotted pools.
+  std::size_t peak_active() const { return peak_active_; }
+  std::int64_t peak_used_blocks() const { return peak_used_blocks_; }
+  std::int64_t peak_shared_blocks() const { return peak_shared_blocks_; }
+  std::int64_t kv_total_blocks() const { return kv_total_blocks_; }
+  std::uint64_t cow_forks() const { return cow_forks_; }
+  std::uint64_t cow_rows() const { return cow_rows_; }
+  double peak_block_utilization() const {
+    return kv_total_blocks_ == 0
+               ? 0.0
+               : static_cast<double>(peak_used_blocks_) /
+                     static_cast<double>(kv_total_blocks_);
+  }
+
   /// Quantiles in milliseconds (q in [0, 1]); require recorded samples.
   double ttft_ms(double q) const { return ttft_ms_.quantile(q); }
   double inter_token_ms(double q) const {
@@ -91,6 +112,12 @@ class ServerStats {
   std::uint64_t prefix_misses_ = 0;
   std::uint64_t prefix_tokens_reused_ = 0;
   std::uint64_t prefix_prompt_tokens_ = 0;
+  std::size_t peak_active_ = 0;
+  std::int64_t peak_used_blocks_ = 0;
+  std::int64_t peak_shared_blocks_ = 0;
+  std::int64_t kv_total_blocks_ = 0;
+  std::uint64_t cow_forks_ = 0;
+  std::uint64_t cow_rows_ = 0;
 };
 
 }  // namespace matgpt::serve

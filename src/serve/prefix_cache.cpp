@@ -6,14 +6,24 @@
 
 namespace matgpt::serve {
 
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
 // One radix edge: the token span `edge` entering this node from its parent,
-// plus that span's K/V rows for every layer ([edge.size() * kv_heads *
-// head_dim] floats each, oldest-first — the KvCacheLayer row layout, so
-// restore() can hand the buffers straight to append()).
+// covering absolute token positions [start, start + len()). `blocks` holds
+// one arena reference per KV block that span touches — blocks[i] is global
+// block index start / block_tokens + i. When start is not block-aligned the
+// first block is shared with the parent edge (both hold a reference to it,
+// or to their own bit-identical version of the boundary block).
 struct PrefixCache::Node {
   std::vector<std::int32_t> edge;
-  std::vector<std::vector<float>> k;  // [n_layers][len * row]
-  std::vector<std::vector<float>> v;
+  std::int64_t start = 0;
+  std::vector<std::int32_t> blocks;  // arena block ids, refcounted
   std::map<std::int32_t, std::unique_ptr<Node>> children;  // by first token
   Node* parent = nullptr;
   std::int64_t refcount = 0;
@@ -22,20 +32,43 @@ struct PrefixCache::Node {
   std::int64_t len() const { return static_cast<std::int64_t>(edge.size()); }
 };
 
-PrefixCache::PrefixCache(const nn::GptConfig& config, std::size_t byte_budget)
-    : config_(config), byte_budget_(byte_budget) {
-  // bf16 K + V across every layer for one token — the accounting unit
-  // ("block") of the budget, matching KvCache::bytes().
-  token_bytes_ = static_cast<std::size_t>(
-      2 * 2 * config_.n_layers * config_.kv_heads() * config_.head_dim());
-  MGPT_CHECK(byte_budget_ >= token_bytes_,
+PrefixCache::PrefixCache(const nn::GptConfig& config, std::size_t byte_budget,
+                         KvCachePool* pool)
+    : config_(config), pool_(pool), byte_budget_(byte_budget) {
+  MGPT_CHECK(pool_ != nullptr && pool_->paged(),
+             "PrefixCache requires a paged KV pool to share blocks with");
+  block_tokens_ = pool_->block_tokens();
+  // bf16 K + V across every layer for one whole block — the accounting unit
+  // of the budget, matching the arena's per-block residency.
+  block_bytes_ = static_cast<std::size_t>(
+      pool_->arena()->layout().block_bytes_bf16());
+  MGPT_CHECK(byte_budget_ >= block_bytes_,
              "prefix-cache budget " << byte_budget_
-                                    << " B is smaller than one token block ("
-                                    << token_bytes_ << " B)");
+                                    << " B is smaller than one KV block ("
+                                    << block_bytes_ << " B)");
   root_ = std::make_unique<Node>();
 }
 
-PrefixCache::~PrefixCache() = default;
+PrefixCache::~PrefixCache() {
+  // Drop every arena reference so the pool's blocks return to the free
+  // list; the pool outlives the cache (engine member order).
+  std::vector<Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    for (auto& [first, child] : n->children) {
+      (void)first;
+      stack.push_back(child.get());
+    }
+    release_blocks(n);
+  }
+}
+
+void PrefixCache::release_blocks(Node* node) {
+  for (std::int32_t id : node->blocks) pool_->arena()->release(id);
+  block_refs_ -= static_cast<std::int64_t>(node->blocks.size());
+  node->blocks.clear();
+}
 
 PrefixCache::Node* PrefixCache::child_of(Node* node,
                                          std::int32_t first) const {
@@ -57,7 +90,7 @@ PrefixCache::Match PrefixCache::match(std::span<const std::int32_t> tokens,
     Node* next = child_of(node, tokens[static_cast<std::size_t>(pos)]);
     if (next == nullptr) break;
     // Consume as much of the edge as both the prompt and the cap allow; a
-    // partial consume still reuses that many rows of the node's buffers.
+    // partial consume still reuses that many rows of the node's blocks.
     std::int64_t used = 0;
     while (used < next->len() && pos + used < limit &&
            next->edge[static_cast<std::size_t>(used)] ==
@@ -83,29 +116,34 @@ PrefixCache::Match PrefixCache::match(std::span<const std::int32_t> tokens,
   return m;
 }
 
-void PrefixCache::restore(const Match& m, nn::KvCache& dst) const {
+void PrefixCache::restore(const Match& m, nn::KvCache& dst) {
   if (m.tokens == 0) return;
   MGPT_CHECK(dst.length == 0, "restore requires an empty KV cache");
-  MGPT_CHECK(static_cast<std::int64_t>(dst.layers.size()) == config_.n_layers,
-             "restore: KV cache holds " << dst.layers.size()
-                                        << " layers; model has "
-                                        << config_.n_layers);
-  MGPT_CHECK(dst.capacity_tokens() >= m.tokens,
-             "restore: slot capacity " << dst.capacity_tokens()
-                                       << " cannot hold a " << m.tokens
-                                       << "-token prefix");
-  const std::int64_t kv_heads = config_.kv_heads();
-  const std::int64_t head_dim = config_.head_dim();
+  MGPT_CHECK(dst.paged != nullptr,
+             "restore requires a paged KV cache to alias blocks into");
+  MGPT_CHECK(dst.paged->arena() == pool_->arena(),
+             "restore: KV cache is bound to a different arena");
+  // Assemble the prefix's block table root-most first; a deeper node
+  // overwrites the boundary block it shares with its parent. That is
+  // correct because the deeper node's version of the boundary block holds
+  // bit-identical rows for the parent's span (both were written by
+  // sequences that agreed on those tokens) plus the deeper edge's own rows.
+  std::vector<std::int32_t> table(
+      static_cast<std::size_t>(ceil_div(m.tokens, block_tokens_)));
   for (std::size_t i = 0; i < m.path.size(); ++i) {
     const Node* node = static_cast<const Node*>(m.path[i]);
     const std::int64_t rows =
         i + 1 < m.path.size() ? node->len() : m.last_partial;
-    for (std::size_t l = 0; l < node->k.size(); ++l) {
-      dst.layers[l].append(node->k[l].data(), node->v[l].data(), rows,
-                           kv_heads, head_dim);
+    const std::int64_t node_first = node->start / block_tokens_;
+    const std::int64_t last = (node->start + rows - 1) / block_tokens_;
+    for (std::int64_t b = node_first; b <= last; ++b) {
+      table[static_cast<std::size_t>(b)] =
+          node->blocks[static_cast<std::size_t>(b - node_first)];
     }
   }
+  dst.paged->alias_blocks(table, m.tokens);
   dst.length = m.tokens;
+  stats_.tokens_aliased += static_cast<std::uint64_t>(m.tokens);
 }
 
 void PrefixCache::unpin(Match& m) {
@@ -120,27 +158,34 @@ void PrefixCache::unpin(Match& m) {
 }
 
 bool PrefixCache::split(Node* node, std::int64_t offset) {
-  // Splitting moves the edge's tail (rows, children) into a fresh child.
-  // A pinned node's rows must stay put — pins were taken on this exact
+  // Splitting re-partitions the edge's block references between head and
+  // tail. A pinned node must stay put — pins were taken on this exact
   // object — so the caller gives up instead (documented contract).
   if (node->refcount > 0) return false;
   MGPT_CHECK(offset > 0 && offset < node->len(),
              "split offset " << offset << " outside edge of " << node->len()
                              << " tokens");
-  const std::int64_t kv_heads = config_.kv_heads();
-  const std::int64_t head_dim = config_.head_dim();
-  const std::int64_t row = kv_heads * head_dim;
   auto tail = std::make_unique<Node>();
   tail->edge.assign(node->edge.begin() + offset, node->edge.end());
-  tail->k.resize(node->k.size());
-  tail->v.resize(node->v.size());
-  for (std::size_t l = 0; l < node->k.size(); ++l) {
-    tail->k[l].assign(node->k[l].begin() + offset * row, node->k[l].end());
-    tail->v[l].assign(node->v[l].begin() + offset * row, node->v[l].end());
-    node->k[l].resize(static_cast<std::size_t>(offset * row));
-    node->v[l].resize(static_cast<std::size_t>(offset * row));
-  }
+  tail->start = node->start + offset;
   node->edge.resize(static_cast<std::size_t>(offset));
+  // node keeps blocks for [start, start + offset); tail takes the rest.
+  // When the cut is mid-block the boundary block belongs to both — the
+  // tail takes an extra arena reference on it.
+  const std::int64_t node_first = node->start / block_tokens_;
+  const std::int64_t tail_first = tail->start / block_tokens_;
+  tail->blocks.assign(
+      node->blocks.begin() + static_cast<std::ptrdiff_t>(tail_first -
+                                                         node_first),
+      node->blocks.end());
+  const std::int64_t node_last = (node->start + offset - 1) / block_tokens_;
+  node->blocks.resize(static_cast<std::size_t>(node_last - node_first + 1));
+  if (tail->start % block_tokens_ != 0) {
+    // Boundary block now referenced by both head and tail.
+    pool_->arena()->add_ref(tail->blocks.front());
+    block_refs_ += 1;
+    bytes_used_ += block_bytes_;
+  }
   tail->children = std::move(node->children);
   node->children.clear();
   for (auto& [first, child] : tail->children) {
@@ -149,8 +194,8 @@ bool PrefixCache::split(Node* node, std::int64_t offset) {
   }
   tail->parent = node;
   tail->last_used = node->last_used;
-  const std::int32_t tail_first = tail->edge.front();
-  node->children.emplace(tail_first, std::move(tail));
+  const std::int32_t tail_edge_first = tail->edge.front();
+  node->children.emplace(tail_edge_first, std::move(tail));
   node_count_ += 1;  // same tokens, one more node
   return true;
 }
@@ -163,8 +208,10 @@ void PrefixCache::insert(std::span<const std::int32_t> tokens,
   MGPT_CHECK(len <= kv.length,
              "insert length " << len << " exceeds prefilled history of "
                               << kv.length << " tokens");
-  MGPT_CHECK(static_cast<std::int64_t>(kv.layers.size()) == config_.n_layers,
-             "insert: KV cache layer count mismatch");
+  MGPT_CHECK(kv.paged != nullptr,
+             "insert requires a paged KV cache to share blocks from");
+  MGPT_CHECK(kv.paged->arena() == pool_->arena(),
+             "insert: KV cache is bound to a different arena");
   Node* node = root_.get();
   std::int64_t pos = 0;
   while (pos < len) {
@@ -183,7 +230,7 @@ void PrefixCache::insert(std::span<const std::int32_t> tokens,
       continue;
     }
     // Diverged (or the prompt ended) mid-edge — `used` >= 1 since children
-    // are keyed by first edge token. Split so the shared rows become an
+    // are keyed by first edge token. Split so the shared span becomes an
     // exact node, then branch from it. A pinned edge cannot be split — stop
     // caching here this round.
     if (!split(next, used)) return;
@@ -193,28 +240,33 @@ void PrefixCache::insert(std::span<const std::int32_t> tokens,
   }
   if (pos >= len) return;  // everything already cached
 
-  // Create one leaf holding the whole uncached suffix [pos, len): rows are
-  // copied out of the freshly prefilled slot — memcpy, no forward pass.
+  // Create one leaf holding the whole uncached suffix [pos, len): the leaf
+  // takes one arena reference per block of the freshly prefilled lease that
+  // the suffix touches — zero rows copied. The lease keeps decoding into
+  // its own table; its first append past `len` copy-on-write forks the
+  // boundary block, so the cached rows are immutable from here on.
   const std::int64_t rows = len - pos;
-  const std::int64_t kv_heads = config_.kv_heads();
-  const std::int64_t head_dim = config_.head_dim();
-  const std::int64_t row = kv_heads * head_dim;
   auto leaf = std::make_unique<Node>();
   leaf->edge.assign(tokens.begin() + pos, tokens.begin() + len);
-  leaf->k.resize(static_cast<std::size_t>(config_.n_layers));
-  leaf->v.resize(static_cast<std::size_t>(config_.n_layers));
-  for (std::size_t l = 0; l < leaf->k.size(); ++l) {
-    leaf->k[l].resize(static_cast<std::size_t>(rows * row));
-    leaf->v[l].resize(static_cast<std::size_t>(rows * row));
-    kv.layers[l].copy_rows(pos, rows, leaf->k[l].data(), leaf->v[l].data());
+  leaf->start = pos;
+  const std::int64_t first_block = pos / block_tokens_;
+  const std::int64_t last_block = (len - 1) / block_tokens_;
+  std::span<const std::int32_t> seq_blocks = kv.paged->block_ids();
+  MGPT_CHECK(last_block < static_cast<std::int64_t>(seq_blocks.size()),
+             "insert: lease block table shorter than the prefilled span");
+  for (std::int64_t b = first_block; b <= last_block; ++b) {
+    const std::int32_t id = seq_blocks[static_cast<std::size_t>(b)];
+    pool_->arena()->add_ref(id);
+    leaf->blocks.push_back(id);
   }
+  block_refs_ += static_cast<std::int64_t>(leaf->blocks.size());
+  bytes_used_ += leaf->blocks.size() * block_bytes_;
   leaf->parent = node;
   touch(leaf.get());
   const std::int32_t first = leaf->edge.front();
   node->children.emplace(first, std::move(leaf));
   node_count_ += 1;
   cached_tokens_ += rows;
-  bytes_used_ += static_cast<std::size_t>(rows) * token_bytes_;
   stats_.tokens_inserted += static_cast<std::uint64_t>(rows);
 
   trim(byte_budget_);
@@ -224,33 +276,59 @@ void PrefixCache::evict_leaf(Node* leaf) {
   stats_.nodes_evicted += 1;
   stats_.tokens_evicted += static_cast<std::uint64_t>(leaf->len());
   cached_tokens_ -= leaf->len();
-  bytes_used_ -= static_cast<std::size_t>(leaf->len()) * token_bytes_;
+  bytes_used_ -= leaf->blocks.size() * block_bytes_;
   node_count_ -= 1;
+  release_blocks(leaf);
   leaf->parent->children.erase(leaf->edge.front());
 }
 
-void PrefixCache::trim(std::size_t target_bytes) {
-  while (bytes_used_ > target_bytes) {
-    // LRU scan over evictable leaves. The tree stays small (hundreds of
-    // nodes at realistic budgets), so a full walk beats maintaining an
-    // intrusive LRU list through splits and re-touches.
-    Node* victim = nullptr;
-    std::vector<Node*> stack{root_.get()};
-    while (!stack.empty()) {
-      Node* n = stack.back();
-      stack.pop_back();
-      for (auto& [first, child] : n->children) {
-        (void)first;
-        stack.push_back(child.get());
-      }
-      if (n == root_.get() || !n->children.empty() || n->refcount > 0) {
-        continue;  // interior and pinned nodes are never evicted
-      }
-      if (victim == nullptr || n->last_used < victim->last_used) victim = n;
+namespace {
+
+/// LRU scan over evictable leaves. The tree stays small (hundreds of nodes
+/// at realistic budgets), so a full walk beats maintaining an intrusive LRU
+/// list through splits and re-touches.
+template <typename Node>
+Node* find_victim(Node* root) {
+  Node* victim = nullptr;
+  std::vector<Node*> stack{root};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    for (auto& [first, child] : n->children) {
+      (void)first;
+      stack.push_back(child.get());
     }
-    if (victim == nullptr) return;  // everything left is pinned or interior
-    evict_leaf(victim);
+    if (n == root || !n->children.empty() || n->refcount > 0) {
+      continue;  // interior and pinned nodes are never evicted
+    }
+    if (victim == nullptr || n->last_used < victim->last_used) victim = n;
   }
+  return victim;
+}
+
+}  // namespace
+
+void PrefixCache::trim(std::size_t target_bytes) {
+  bool freed = false;
+  while (bytes_used_ > target_bytes) {
+    Node* victim = find_victim(root_.get());
+    if (victim == nullptr) break;  // everything left is pinned or interior
+    evict_leaf(victim);
+    freed = true;
+  }
+  if (freed) pool_->notify_freed();
+}
+
+bool PrefixCache::evict_for_blocks(std::int64_t needed) {
+  bool freed = false;
+  while (pool_->arena()->unreserved_free_blocks() < needed) {
+    Node* victim = find_victim(root_.get());
+    if (victim == nullptr) break;
+    evict_leaf(victim);
+    freed = true;
+  }
+  if (freed) pool_->notify_freed();
+  return pool_->arena()->unreserved_free_blocks() >= needed;
 }
 
 }  // namespace matgpt::serve

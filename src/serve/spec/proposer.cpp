@@ -9,7 +9,7 @@ namespace matgpt::serve::spec {
 
 DraftProposal DraftProposer::propose(std::span<const std::int32_t> tokens,
                                      std::int64_t k, nn::KvCache& cache,
-                                     const nn::SamplingOptions& sampling,
+                                     const nn::SamplingParams& sampling,
                                      Rng& rng) const {
   MGPT_CHECK(!tokens.empty(), "propose requires an accepted sequence");
   MGPT_CHECK(k > 0, "propose requires k > 0");
@@ -96,7 +96,7 @@ Var ScriptedDraft::forward(Tape&, std::span<const std::int32_t>,
 
 DraftProposal ScriptedDraft::propose(std::span<const std::int32_t> tokens,
                                      std::int64_t k, nn::KvCache&,
-                                     const nn::SamplingOptions& sampling,
+                                     const nn::SamplingParams& sampling,
                                      Rng&) const {
   MGPT_CHECK(k > 0, "propose requires k > 0");
   const std::vector<std::int32_t>* script = nullptr;

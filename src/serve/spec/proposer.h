@@ -65,7 +65,7 @@ class DraftProposer {
   /// tokens plus the first k-1 proposals.
   virtual DraftProposal propose(std::span<const std::int32_t> tokens,
                                 std::int64_t k, nn::KvCache& cache,
-                                const nn::SamplingOptions& sampling,
+                                const nn::SamplingParams& sampling,
                                 Rng& rng) const;
 };
 
@@ -128,7 +128,7 @@ class ScriptedDraft : public DraftProposer {
               nn::KvCache& cache) const override;
   DraftProposal propose(std::span<const std::int32_t> tokens, std::int64_t k,
                         nn::KvCache& cache,
-                        const nn::SamplingOptions& sampling,
+                        const nn::SamplingParams& sampling,
                         Rng& rng) const override;
 
  private:

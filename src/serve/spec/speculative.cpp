@@ -23,7 +23,7 @@ SpeculativeDecoder::SpeculativeDecoder(const nn::GptModel& target,
 std::int64_t SpeculativeDecoder::step(std::vector<std::int32_t>& tokens,
                                       nn::KvCache& target_cache,
                                       nn::KvCache& draft_cache,
-                                      const nn::SamplingOptions& sampling,
+                                      const nn::SamplingParams& sampling,
                                       Rng& rng, std::int64_t k,
                                       std::int64_t remaining,
                                       SpecStats& stats) const {
@@ -152,7 +152,7 @@ std::int64_t SpeculativeDecoder::step(std::vector<std::int32_t>& tokens,
 
 std::vector<std::int32_t> SpeculativeDecoder::generate(
     std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
-    const nn::SamplingOptions& sampling, Rng& rng, std::int64_t k,
+    const nn::SamplingParams& sampling, Rng& rng, std::int64_t k,
     SpecStats* stats) const {
   MGPT_CHECK(!prompt.empty(), "generate requires a non-empty prompt");
   MGPT_CHECK(max_new_tokens > 0, "generate requires max_new_tokens > 0");

@@ -75,7 +75,7 @@ class SpeculativeDecoder {
   /// tokens emitted.
   std::int64_t step(std::vector<std::int32_t>& tokens,
                     nn::KvCache& target_cache, nn::KvCache& draft_cache,
-                    const nn::SamplingOptions& sampling, Rng& rng,
+                    const nn::SamplingParams& sampling, Rng& rng,
                     std::int64_t k, std::int64_t remaining,
                     SpecStats& stats) const;
 
@@ -83,7 +83,7 @@ class SpeculativeDecoder {
   /// (under greedy) its exact output. Uses throwaway dynamic KV caches.
   std::vector<std::int32_t> generate(std::span<const std::int32_t> prompt,
                                      std::int64_t max_new_tokens,
-                                     const nn::SamplingOptions& sampling,
+                                     const nn::SamplingParams& sampling,
                                      Rng& rng, std::int64_t k,
                                      SpecStats* stats = nullptr) const;
 

@@ -156,6 +156,55 @@ inline void materialized_attend_row(const float* qv, const float* k0,
   }
 }
 
+// Paged counterparts: kv row tk lives at kb[tk / bt] + off + (tk % bt) *
+// stride (a gather over block base pointers) instead of k0 + tk * stride.
+// Everything else — the visit order, dot_d/axpy_d, the online-softmax
+// rescale — is byte-for-byte the same sequence of float ops as the
+// contiguous kernels above, which is what makes block-paged KV storage
+// bit-identical to slab storage.
+
+inline float flash_attend_row_paged(const float* qv, const float* const* kb,
+                                    const float* const* vb, std::int64_t len,
+                                    std::int64_t bt, std::int64_t off,
+                                    std::int64_t stride, std::int64_t d,
+                                    float scl, float* out, float* acc) {
+  float m = -std::numeric_limits<float>::infinity();
+  double l = 0.0;
+  std::fill(acc, acc + d, 0.0f);
+  for (std::int64_t tk = 0; tk < len; ++tk) {
+    const std::int64_t boff = off + (tk % bt) * stride;
+    const float sc = scl * dot_d(qv, kb[tk / bt] + boff, d);
+    if (sc > m) {
+      const float rescale = std::exp(m - sc);
+      for (std::int64_t i = 0; i < d; ++i) acc[i] *= rescale;
+      l *= rescale;
+      m = sc;
+    }
+    const float w = std::exp(sc - m);
+    l += w;
+    axpy_d(acc, w, vb[tk / bt] + boff, d);
+  }
+  const auto inv = static_cast<float>(1.0 / l);
+  for (std::int64_t i = 0; i < d; ++i) out[i] = acc[i] * inv;
+  return m + static_cast<float>(std::log(l));
+}
+
+inline void materialized_attend_row_paged(const float* qv,
+                                          const float* const* kb,
+                                          const float* const* vb,
+                                          std::int64_t len, std::int64_t bt,
+                                          std::int64_t off, std::int64_t stride,
+                                          std::int64_t d, float scl, float* out,
+                                          float* prow) {
+  for (std::int64_t tk = 0; tk < len; ++tk) {
+    prow[tk] = scl * dot_d(qv, kb[tk / bt] + off + (tk % bt) * stride, d);
+  }
+  kernels::softmax_row(prow, len);
+  for (std::int64_t tk = 0; tk < len; ++tk) {
+    axpy_d(out, prow[tk], vb[tk / bt] + off + (tk % bt) * stride, d);
+  }
+}
+
 }  // namespace
 
 Var rope(Tape& tape, const Var& x, float theta, float rotary_fraction,
@@ -489,8 +538,14 @@ Var decode_attention(Tape& tape, const Var& q, std::span<const RaggedKv> kv,
   const float scl = 1.0f / std::sqrt(static_cast<float>(d));
   std::int64_t max_len = 0;
   for (const RaggedKv& s : kv) {
-    MGPT_CHECK(s.len > 0 && s.keys != nullptr && s.values != nullptr,
-               "decode_attention requires a primed KV history per sequence");
+    if (s.k_blocks != nullptr) {
+      MGPT_CHECK(s.len > 0 && s.v_blocks != nullptr && s.block_tokens > 0,
+                 "decode_attention paged history needs v_blocks and a "
+                 "positive block size");
+    } else {
+      MGPT_CHECK(s.len > 0 && s.keys != nullptr && s.values != nullptr,
+                 "decode_attention requires a primed KV history per sequence");
+    }
     max_len = std::max(max_len, s.len);
   }
   Tensor out({n, hq * d});  // 2D, ready for the output projection
@@ -504,7 +559,17 @@ Var decode_attention(Tape& tape, const Var& q, std::span<const RaggedKv> kv,
       const std::int64_t hkv = h / group;
       const float* qrow = qp + (row * hq + h) * d;
       float* orow = op + row * hq * d + h * d;
-      if (flash) {
+      if (s.k_blocks != nullptr) {
+        if (flash) {
+          flash_attend_row_paged(qrow, s.k_blocks, s.v_blocks, s.len,
+                                 s.block_tokens, hkv * d, stride, d, scl, orow,
+                                 acc.data());
+        } else {
+          materialized_attend_row_paged(qrow, s.k_blocks, s.v_blocks, s.len,
+                                        s.block_tokens, hkv * d, stride, d,
+                                        scl, orow, prow.data());
+        }
+      } else if (flash) {
         flash_attend_row(qrow, s.keys + hkv * d, s.values + hkv * d, s.len,
                          stride, d, scl, orow, acc.data());
       } else {

@@ -105,6 +105,15 @@ struct RaggedKv {
   const float* keys = nullptr;
   const float* values = nullptr;
   std::int64_t len = 0;
+  // Paged mode (block-paged KV pool): when k_blocks != nullptr, keys/values
+  // are ignored and kv row tk lives at
+  //   k_blocks[tk / block_tokens] + (tk % block_tokens) * stride (+ head
+  //   offset), same for v_blocks — a gather over possibly non-contiguous
+  // blocks. The paged kernels visit rows in the same ascending-tk order with
+  // the same per-row ops as the contiguous path, so outputs are bit-identical.
+  const float* const* k_blocks = nullptr;
+  const float* const* v_blocks = nullptr;
+  std::int64_t block_tokens = 0;
 };
 
 /// Single-token-per-sequence decode attention over a ragged batch: q is

@@ -338,7 +338,7 @@ TEST(Serialize, FileRoundTrip) {
 TEST(Sampling, GreedyPicksArgmax) {
   Rng rng(1);
   const std::vector<float> logits{0.1f, 2.5f, -1.0f, 2.4f};
-  nn::SamplingOptions greedy;
+  nn::SamplingParams greedy;
   greedy.temperature = 0.0f;
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(nn::sample_token(logits, greedy, rng), 1);
@@ -348,7 +348,7 @@ TEST(Sampling, GreedyPicksArgmax) {
 TEST(Sampling, TopKRestrictsSupport) {
   Rng rng(2);
   const std::vector<float> logits{5.0f, 4.0f, 3.0f, -10.0f, -10.0f};
-  nn::SamplingOptions opts;
+  nn::SamplingParams opts;
   opts.temperature = 2.0f;  // flatten so the tail would get sampled
   opts.top_k = 2;
   for (int i = 0; i < 200; ++i) {
@@ -361,7 +361,7 @@ TEST(Sampling, TopPKeepsTheNucleus) {
   Rng rng(3);
   // Probabilities ~ (0.87, 0.12, tiny...): top_p = 0.9 keeps two tokens.
   const std::vector<float> logits{4.0f, 2.0f, -3.0f, -3.0f};
-  nn::SamplingOptions opts;
+  nn::SamplingParams opts;
   opts.top_p = 0.9f;
   for (int i = 0; i < 200; ++i) {
     const auto t = nn::sample_token(logits, opts, rng);
@@ -372,7 +372,7 @@ TEST(Sampling, TopPKeepsTheNucleus) {
 TEST(Sampling, TemperatureSharpensDistribution) {
   Rng r1(4), r2(4);
   const std::vector<float> logits{1.0f, 0.0f};
-  nn::SamplingOptions cold, hot;
+  nn::SamplingParams cold, hot;
   cold.temperature = 0.2f;
   hot.temperature = 5.0f;
   int cold_zero = 0, hot_zero = 0;
@@ -388,7 +388,7 @@ TEST(Sampling, TemperatureSharpensDistribution) {
 TEST(Sampling, Validation) {
   Rng rng(5);
   const std::vector<float> logits{1.0f};
-  nn::SamplingOptions bad;
+  nn::SamplingParams bad;
   bad.top_p = 0.0f;
   EXPECT_THROW(nn::sample_token(logits, bad, rng), Error);
   bad.top_p = 1.0f;
@@ -398,7 +398,7 @@ TEST(Sampling, Validation) {
 
 TEST(Sampling, GenerateAcceptsOptionsAndStaysCachedEquivalent) {
   nn::GptModel model(decode_config(nn::ArchFamily::kLLaMA, 2));
-  nn::SamplingOptions opts;
+  nn::SamplingParams opts;
   opts.temperature = 0.9f;
   opts.top_k = 8;
   opts.top_p = 0.95f;

@@ -255,13 +255,13 @@ TEST(Gpt, CachedGenerationMatchesFullForwardWithGqa) {
   nn::GptModel model(c);
   const std::vector<std::int32_t> prompt{4, 8, 15, 16};
 
-  nn::SamplingOptions greedy;
+  nn::SamplingParams greedy;
   greedy.temperature = 0.0f;
   Rng rg1(7), rg2(7);
   EXPECT_EQ(model.generate(prompt, 6, greedy, rg1),
             model.generate_cached(prompt, 6, greedy, rg2));
 
-  nn::SamplingOptions sampled;
+  nn::SamplingParams sampled;
   sampled.temperature = 0.8f;
   sampled.top_k = 10;
   sampled.top_p = 0.9f;
@@ -281,7 +281,7 @@ TEST(Sampling, GreedyTieBreaksToLowestTokenId) {
   EXPECT_EQ(nn::argmax_token(all_equal), 0);
 
   // sample_token at temperature 0 must route through the same argmax.
-  nn::SamplingOptions greedy;
+  nn::SamplingParams greedy;
   greedy.temperature = 0.0f;
   Rng rng(1);
   EXPECT_EQ(nn::sample_token(tied, greedy, rng), 1);
@@ -290,7 +290,7 @@ TEST(Sampling, GreedyTieBreaksToLowestTokenId) {
 
 TEST(Sampling, SamplingProbsIsFilteredRenormalizedDistribution) {
   const std::vector<float> logits{1.0f, 0.0f, -1.0f, 2.0f};
-  nn::SamplingOptions opts;
+  nn::SamplingParams opts;
   opts.temperature = 1.0f;
   opts.top_k = 2;
   const std::vector<float> probs = nn::sampling_probs(logits, opts);

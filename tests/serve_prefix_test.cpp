@@ -1,12 +1,14 @@
-// Unit tests for src/serve/prefix_cache and the API redesign riding along
-// with it: radix insert/match/split/evict mechanics, pin semantics, KvCache
-// prefix copy, KvLease RAII, EngineConfig::validate, and the engine-level
-// guarantee that a prefix-cache hit decodes byte-identically to a cold
-// prefill (greedy and seeded-stochastic, plain and speculative).
+// Unit tests for src/serve/prefix_cache over refcounted paged-KV blocks:
+// radix insert/match/split/evict mechanics (now zero-copy block sharing),
+// pin semantics, KvCache prefix copy, KvLease RAII, EngineConfig::validate,
+// and the engine-level guarantee that a prefix-cache hit decodes
+// byte-identically to a cold prefill (greedy and seeded-stochastic, plain
+// and speculative).
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -33,60 +35,95 @@ nn::GptConfig prefix_config(nn::ArchFamily arch = nn::ArchFamily::kLLaMA) {
   return c;
 }
 
+// A small-block paged pool for radix unit tests: 4-token blocks make block
+// boundaries land inside the short test prompts, and extra headroom keeps
+// the cache's own references from starving leases.
+serve::KvPoolConfig radix_pool_config() {
+  serve::KvPoolConfig pc;
+  pc.slots = 4;
+  pc.paged = true;
+  pc.block_tokens = 4;
+  pc.extra_blocks = 64;
+  return pc;
+}
+
 // Deterministic synthetic KV rows: element j of token t in layer l is a
-// unique value, so any row mix-up shows as an exact mismatch.
-void fill_cache(nn::KvCache& cache, const nn::GptConfig& c, std::int64_t n,
-                float salt) {
+// unique value derived from token_salts[t], so any row mix-up shows as an
+// exact mismatch — and two caches given equal salts for a shared span hold
+// bit-identical rows for it (the invariant real prefills provide).
+void fill_cache(nn::KvCache& cache, const nn::GptConfig& c,
+                std::span<const float> token_salts) {
   const std::int64_t row = c.kv_heads() * c.head_dim();
+  const auto n = static_cast<std::int64_t>(token_salts.size());
   for (std::size_t l = 0; l < cache.layers.size(); ++l) {
     std::vector<float> k(static_cast<std::size_t>(n * row));
     std::vector<float> v(k.size());
-    for (std::size_t i = 0; i < k.size(); ++i) {
-      k[i] = salt + 1000.0f * static_cast<float>(l) + static_cast<float>(i);
-      v[i] = -k[i];
+    for (std::int64_t t = 0; t < n; ++t) {
+      for (std::int64_t j = 0; j < row; ++j) {
+        const auto i = static_cast<std::size_t>(t * row + j);
+        k[i] = token_salts[static_cast<std::size_t>(t)] +
+               1000.0f * static_cast<float>(l) + static_cast<float>(i);
+        v[i] = -k[i];
+      }
     }
     cache.layers[l].append(k.data(), v.data(), n, c.kv_heads(), c.head_dim());
   }
   cache.length = n;
 }
 
-// First `tokens` rows of `got` must equal `src`'s bit for bit.
+std::vector<float> uniform_salts(std::int64_t n, float salt) {
+  return std::vector<float>(static_cast<std::size_t>(n), salt);
+}
+
+// First `tokens` rows of `got` must equal `src`'s bit for bit. Gathers
+// through KvCacheLayer::copy_rows so slab, dynamic, and paged storage all
+// compare the same way.
 void expect_prefix_rows_equal(const nn::KvCache& got, const nn::KvCache& src,
                               std::int64_t tokens, const nn::GptConfig& c) {
   ASSERT_EQ(got.length, tokens);
   const std::int64_t row = c.kv_heads() * c.head_dim();
   ASSERT_EQ(got.layers.size(), src.layers.size());
+  std::vector<float> gk(static_cast<std::size_t>(tokens * row));
+  std::vector<float> gv(gk.size()), sk(gk.size()), sv(gk.size());
   for (std::size_t l = 0; l < got.layers.size(); ++l) {
-    for (std::int64_t i = 0; i < tokens * row; ++i) {
-      ASSERT_EQ(got.layers[l].keys.data()[i], src.layers[l].keys.data()[i])
-          << "layer " << l << " key elem " << i;
-      ASSERT_EQ(got.layers[l].values.data()[i], src.layers[l].values.data()[i])
-          << "layer " << l << " value elem " << i;
+    got.layers[l].copy_rows(0, tokens, gk.data(), gv.data());
+    src.layers[l].copy_rows(0, tokens, sk.data(), sv.data());
+    for (std::size_t i = 0; i < gk.size(); ++i) {
+      ASSERT_EQ(gk[i], sk[i]) << "layer " << l << " key elem " << i;
+      ASSERT_EQ(gv[i], sv[i]) << "layer " << l << " value elem " << i;
     }
   }
 }
 
-TEST(PrefixCacheRadix, InsertThenLongestPrefixMatch) {
+TEST(PrefixCacheRadix, InsertThenLongestPrefixMatchAliasesBlocks) {
   const nn::GptConfig c = prefix_config();
-  serve::PrefixCache pc(c, 1 << 20);
+  serve::KvCachePool pool(c, radix_pool_config());
+  serve::PrefixCache pc(c, 1 << 20, &pool);
   const std::vector<std::int32_t> prompt{4, 8, 15, 16, 23, 42};
 
-  nn::KvCache kv;
-  kv.reserve(c);
-  fill_cache(kv, c, static_cast<std::int64_t>(prompt.size()), 1.0f);
-  pc.insert(prompt, static_cast<std::int64_t>(prompt.size()), kv);
+  serve::KvLease kv = pool.lease();
+  fill_cache(*kv, c, uniform_salts(6, 1.0f));
+  pc.insert(prompt, 6, *kv);
   EXPECT_EQ(pc.cached_tokens(), 6);
   EXPECT_EQ(pc.node_count(), 1u);
-  EXPECT_EQ(pc.bytes_used(), 6u * pc.token_bytes());
+  // 6 tokens at 4 tokens/block = 2 block references, counted whole.
+  EXPECT_EQ(pc.block_refs(), 2);
+  EXPECT_EQ(pc.bytes_used(), 2u * pc.block_bytes());
+  // Insert took references, not copies: the lease's blocks are now shared.
+  EXPECT_EQ(pool.shared_blocks(), 2);
 
-  // Full match (capped at the prompt length).
+  // Full match (capped at the prompt length) aliases, never copies.
   auto m = pc.match(prompt, 6);
   EXPECT_EQ(m.tokens, 6);
-  nn::KvCache dst;
-  dst.reserve(c);
-  pc.restore(m, dst);
-  expect_prefix_rows_equal(dst, kv, 6, c);
+  serve::KvLease dst = pool.try_lease(-1, m.tokens);
+  ASSERT_TRUE(dst);
+  const std::uint64_t cow_before = pool.cow_rows();
+  pc.restore(m, *dst);
+  EXPECT_EQ(pool.cow_rows(), cow_before);  // zero-copy restore
+  expect_prefix_rows_equal(*dst, *kv, 6, c);
   pc.unpin(m);
+  EXPECT_EQ(pc.stats().tokens_aliased, 6u);
+  dst.release();
 
   // The engine-style cap: never match the whole prompt.
   auto capped = pc.match(prompt, 5);
@@ -106,79 +143,76 @@ TEST(PrefixCacheRadix, InsertThenLongestPrefixMatch) {
 
 TEST(PrefixCacheRadix, PartialEdgeMatchRestoresOnlySharedRows) {
   const nn::GptConfig c = prefix_config();
-  serve::PrefixCache pc(c, 1 << 20);
+  serve::KvCachePool pool(c, radix_pool_config());
+  serve::PrefixCache pc(c, 1 << 20, &pool);
   const std::vector<std::int32_t> cached{1, 2, 3, 4, 5};
-  nn::KvCache kv;
-  kv.reserve(c);
-  fill_cache(kv, c, 5, 2.0f);
-  pc.insert(cached, 5, kv);
+  serve::KvLease kv = pool.lease();
+  fill_cache(*kv, c, uniform_salts(5, 2.0f));
+  pc.insert(cached, 5, *kv);
 
   // Shares only the first three tokens, then diverges mid-edge.
   const std::vector<std::int32_t> query{1, 2, 3, 9, 9, 9};
   auto m = pc.match(query, 5);
   EXPECT_EQ(m.tokens, 3);
-  nn::KvCache dst;
-  dst.reserve(c);
-  pc.restore(m, dst);
-  expect_prefix_rows_equal(dst, kv, 3, c);
+  serve::KvLease dst = pool.try_lease(-1, m.tokens);
+  ASSERT_TRUE(dst);
+  pc.restore(m, *dst);
+  expect_prefix_rows_equal(*dst, *kv, 3, c);
   pc.unpin(m);
 }
 
 TEST(PrefixCacheRadix, DivergingInsertSplitsTheSharedEdge) {
   const nn::GptConfig c = prefix_config();
-  serve::PrefixCache pc(c, 1 << 20);
+  serve::KvCachePool pool(c, radix_pool_config());
+  serve::PrefixCache pc(c, 1 << 20, &pool);
   const std::vector<std::int32_t> a{1, 2, 3, 4};
   const std::vector<std::int32_t> b{1, 2, 8, 9};
-  nn::KvCache kva, kvb;
-  kva.reserve(c);
-  kvb.reserve(c);
-  fill_cache(kva, c, 4, 3.0f);
-  fill_cache(kvb, c, 4, 4.0f);
+  serve::KvLease kva = pool.lease();
+  serve::KvLease kvb = pool.lease();
   // Identical token prefixes have identical rows (the model is a pure
   // function of the prefix) — mirror that invariant in the synthetic data
-  // so the shared "1 2" node's rows are valid for both prompts.
-  const std::int64_t row = c.kv_heads() * c.head_dim();
-  for (std::size_t l = 0; l < kvb.layers.size(); ++l) {
-    for (std::int64_t i = 0; i < 2 * row; ++i) {
-      kvb.layers[l].keys.data()[i] = kva.layers[l].keys.data()[i];
-      kvb.layers[l].values.data()[i] = kva.layers[l].values.data()[i];
-    }
-  }
+  // so the shared "1 2" span's rows are valid for both prompts.
+  fill_cache(*kva, c, {{3.0f, 3.0f, 3.0f, 3.0f}});
+  fill_cache(*kvb, c, {{3.0f, 3.0f, 4.0f, 4.0f}});
 
-  pc.insert(a, 4, kva);
-  pc.insert(b, 4, kvb);
-  // Shared "1 2" node plus the two 2-token tails.
+  pc.insert(a, 4, *kva);
+  pc.insert(b, 4, *kvb);
+  // Shared "1 2" node plus the two 2-token tails. The 4-token block is cut
+  // mid-block, so head and tail each hold a reference to their boundary
+  // block: a's block (head + a-tail) and b's block (b-tail) = 3 refs.
   EXPECT_EQ(pc.node_count(), 3u);
   EXPECT_EQ(pc.cached_tokens(), 6);  // 2 shared + 2 + 2
   EXPECT_EQ(pc.stats().tokens_inserted, 6u);
+  EXPECT_EQ(pc.block_refs(), 3);
 
-  // Both prompts still fully matchable, rows bit-correct across the split.
+  // Both prompts still fully matchable, rows bit-correct across the split
+  // (deepest node wins the boundary block on restore).
   for (const auto* p : {&a, &b}) {
     auto m = pc.match(*p, 4);
     EXPECT_EQ(m.tokens, 4);
-    nn::KvCache dst;
-    dst.reserve(c);
-    pc.restore(m, dst);
-    expect_prefix_rows_equal(dst, p == &a ? kva : kvb, 4, c);
+    serve::KvLease dst = pool.try_lease(-1, m.tokens);
+    ASSERT_TRUE(dst);
+    pc.restore(m, *dst);
+    expect_prefix_rows_equal(*dst, p == &a ? *kva : *kvb, 4, c);
     pc.unpin(m);
   }
 }
 
 TEST(PrefixCacheRadix, EvictionIsLruAndSkipsPinnedNodes) {
   const nn::GptConfig c = prefix_config();
-  // Room for exactly 8 tokens.
-  serve::PrefixCache pc(c, 8 * (2 * 2 * static_cast<std::size_t>(
-                                            c.n_layers * c.kv_heads() *
-                                            c.head_dim())));
+  serve::KvCachePool pool(c, radix_pool_config());
+  // Room for exactly 2 block references (each prompt below takes 1).
+  serve::PrefixCache pc(c, 2 * static_cast<std::size_t>(
+                                   pool.arena()->layout().block_bytes_bf16()),
+                        &pool);
   const std::vector<std::int32_t> a{10, 11, 12, 13};
   const std::vector<std::int32_t> b{20, 21, 22, 23};
   const std::vector<std::int32_t> d{30, 31, 32, 33};
-  nn::KvCache kv;
-  kv.reserve(c);
-  fill_cache(kv, c, 4, 5.0f);
+  serve::KvLease kv = pool.lease();
+  fill_cache(*kv, c, uniform_salts(4, 5.0f));
 
-  pc.insert(a, 4, kv);
-  pc.insert(b, 4, kv);
+  pc.insert(a, 4, *kv);
+  pc.insert(b, 4, *kv);
   EXPECT_EQ(pc.bytes_used(), pc.byte_budget());
 
   // Touch `a` so `b` becomes least recently used.
@@ -187,7 +221,7 @@ TEST(PrefixCacheRadix, EvictionIsLruAndSkipsPinnedNodes) {
     EXPECT_EQ(m.tokens, 4);
     pc.unpin(m);
   }
-  pc.insert(d, 4, kv);  // over budget: must evict exactly one leaf — b
+  pc.insert(d, 4, *kv);  // over budget: must evict exactly one leaf — b
   EXPECT_EQ(pc.stats().nodes_evicted, 1u);
   EXPECT_EQ(pc.stats().tokens_evicted, 4u);
   {
@@ -215,41 +249,80 @@ TEST(PrefixCacheRadix, EvictionIsLruAndSkipsPinnedNodes) {
   EXPECT_EQ(pc.bytes_used(), 0u);
   EXPECT_EQ(pc.cached_tokens(), 0);
   EXPECT_EQ(pc.node_count(), 0u);
+  EXPECT_EQ(pc.block_refs(), 0);
+  // Every cache reference is gone; only the lease still holds its blocks.
+  kv.release();
+  EXPECT_EQ(pool.used_blocks(), 0);
+}
+
+TEST(PrefixCacheRadix, EvictForBlocksFreesAdmissionHeadroom) {
+  const nn::GptConfig c = prefix_config();
+  serve::KvPoolConfig pcfg;
+  pcfg.slots = 1;
+  pcfg.paged = true;
+  pcfg.block_tokens = 4;  // 64-token capacity = 16 blocks, no headroom
+  serve::KvCachePool pool(c, pcfg);
+  serve::PrefixCache pc(c, 1 << 20, &pool);
+
+  const std::vector<std::int32_t> prompt{1, 2, 3, 4, 5, 6, 7, 8};
+  {
+    serve::KvLease kv = pool.lease();
+    fill_cache(*kv, c, uniform_salts(8, 1.0f));
+    pc.insert(prompt, 8, *kv);
+  }
+  // The cache's 2 block refs keep those blocks used after the lease died.
+  EXPECT_EQ(pool.used_blocks(), 2);
+  // A full-capacity lease needs all 16 blocks — only 14 are free.
+  EXPECT_FALSE(pool.try_lease());
+  EXPECT_TRUE(pc.evict_for_blocks(pool.blocks_needed(64, 0)));
+  EXPECT_EQ(pc.node_count(), 0u);
+  serve::KvLease full = pool.try_lease();
+  EXPECT_TRUE(full);
 }
 
 TEST(PrefixCacheRadix, SplitOfPinnedEdgeIsRefused) {
   const nn::GptConfig c = prefix_config();
-  serve::PrefixCache pc(c, 1 << 20);
+  serve::KvCachePool pool(c, radix_pool_config());
+  serve::PrefixCache pc(c, 1 << 20, &pool);
   const std::vector<std::int32_t> a{1, 2, 3, 4};
   const std::vector<std::int32_t> b{1, 2, 8, 9};
-  nn::KvCache kva, kvb;
-  kva.reserve(c);
-  kvb.reserve(c);
-  fill_cache(kva, c, 4, 6.0f);
-  fill_cache(kvb, c, 4, 7.0f);
-  pc.insert(a, 4, kva);
+  serve::KvLease kva = pool.lease();
+  serve::KvLease kvb = pool.lease();
+  fill_cache(*kva, c, {{6.0f, 6.0f, 6.0f, 6.0f}});
+  fill_cache(*kvb, c, {{6.0f, 6.0f, 7.0f, 7.0f}});
+  pc.insert(a, 4, *kva);
 
   auto pin = pc.match(a, 4);  // pins the single leaf
   ASSERT_EQ(pin.tokens, 4);
-  pc.insert(b, 4, kvb);  // would split the pinned edge at offset 2: refused
+  pc.insert(b, 4, *kvb);  // would split the pinned edge at offset 2: refused
   EXPECT_EQ(pc.node_count(), 1u);
   EXPECT_EQ(pc.cached_tokens(), 4);
   EXPECT_EQ(pc.stats().tokens_inserted, 4u);
   pc.unpin(pin);
 
-  pc.insert(b, 4, kvb);  // now the split goes through
+  pc.insert(b, 4, *kvb);  // now the split goes through
   EXPECT_EQ(pc.node_count(), 3u);
   auto m = pc.match(b, 4);
   EXPECT_EQ(m.tokens, 4);
   pc.unpin(m);
 }
 
-TEST(PrefixCacheRadix, BudgetSmallerThanOneTokenBlockThrows) {
+TEST(PrefixCacheRadix, BudgetSmallerThanOneBlockThrows) {
   const nn::GptConfig c = prefix_config();
-  EXPECT_THROW(serve::PrefixCache(c, 1), Error);
+  serve::KvCachePool pool(c, radix_pool_config());
+  EXPECT_THROW(serve::PrefixCache(c, 1, &pool), Error);
 }
 
-// --- KvCache::copy_prefix_from: the nn-layer half of the restore path ---
+TEST(PrefixCacheRadix, RequiresPagedPool) {
+  const nn::GptConfig c = prefix_config();
+  serve::KvPoolConfig pcfg;
+  pcfg.slots = 2;
+  pcfg.paged = false;
+  serve::KvCachePool slotted(c, pcfg);
+  EXPECT_THROW(serve::PrefixCache(c, 1 << 20, &slotted), Error);
+}
+
+// --- KvCache::copy_prefix_from: the nn-layer half of the slab restore ---
 
 TEST(KvCachePrefixCopy, CopiedPrefixMatchesColdPrefillBitExact) {
   for (auto arch : {nn::ArchFamily::kNeoX, nn::ArchFamily::kLLaMA}) {
@@ -295,6 +368,7 @@ TEST(KvCachePrefixCopy, CopiedPrefixMatchesColdPrefillBitExact) {
 TEST(KvLease, ReturnsSlotOnScopeExit) {
   const nn::GptConfig c = prefix_config();
   serve::KvCachePool pool(c, 1);
+  const std::size_t idle = pool.available();
   {
     serve::KvLease lease = pool.try_lease();
     ASSERT_TRUE(lease);
@@ -304,27 +378,32 @@ TEST(KvLease, ReturnsSlotOnScopeExit) {
     serve::KvLease second = pool.try_lease();
     EXPECT_FALSE(second);
   }
-  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.available(), idle);
+  EXPECT_TRUE(pool.all_free());
 }
 
 TEST(KvLease, MoveTransfersOwnershipWithoutDoubleRelease) {
   const nn::GptConfig c = prefix_config();
   serve::KvCachePool pool(c, 2);
+  const std::size_t idle = pool.available();
   serve::KvLease a = pool.lease();
+  const std::size_t after_one = pool.available();
+  EXPECT_LT(after_one, idle);
   serve::KvLease b = std::move(a);
   EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
   ASSERT_TRUE(b);
-  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.available(), after_one);
 
   // Move-assign over a live lease releases the overwritten slot.
   serve::KvLease d = pool.lease();
-  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_LT(pool.available(), after_one);
   d = std::move(b);
-  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.available(), after_one);
   d.release();
-  EXPECT_EQ(pool.available(), 2u);
+  EXPECT_EQ(pool.available(), idle);
+  EXPECT_TRUE(pool.all_free());
   EXPECT_FALSE(d);
-  EXPECT_THROW(*d, Error);
+  EXPECT_THROW((void)*d, Error);
 }
 
 TEST(KvLease, TruncateRollsBackThroughTheHandle) {
@@ -362,7 +441,18 @@ TEST(EngineConfigValidate, EachBadKnobThrowsFromTheConstructor) {
   }
   {
     serve::EngineConfig ec;
-    ec.prefix_cache_bytes = 1;  // smaller than one token block
+    ec.prefix_cache_bytes = 1;  // smaller than one KV block
+    EXPECT_THROW(serve::InferenceEngine(model, ec), Error);
+  }
+  {
+    serve::EngineConfig ec;
+    ec.kv_block_tokens = 0;  // paged pool needs a block size
+    EXPECT_THROW(serve::InferenceEngine(model, ec), Error);
+  }
+  {
+    serve::EngineConfig ec;
+    ec.paged_kv = false;
+    ec.prefix_cache_bytes = 1 << 20;  // cache needs block sharing
     EXPECT_THROW(serve::InferenceEngine(model, ec), Error);
   }
 }
@@ -419,7 +509,7 @@ TEST(ServePrefixEngine, HitTokensByteIdenticalToColdPrefill) {
     }
 
     // The cache actually participated: first request misses, the rest hit
-    // the 8-token shared span.
+    // the 8-token shared span — and every hit was aliased, never copied.
     EXPECT_EQ(hot.stats().prefix_misses(), 1u);
     EXPECT_EQ(hot.stats().prefix_hits(), 5u);
     EXPECT_GE(hot.stats().prefix_tokens_reused(), 5u * 8u);
@@ -427,6 +517,8 @@ TEST(ServePrefixEngine, HitTokensByteIdenticalToColdPrefill) {
     EXPECT_EQ(cold.stats().prefix_hits() + cold.stats().prefix_misses(), 0u);
     ASSERT_NE(hot.prefix_cache(), nullptr);
     EXPECT_EQ(hot.prefix_cache()->stats().hits, 5u);
+    EXPECT_EQ(hot.prefix_cache()->stats().tokens_aliased,
+              hot.prefix_cache()->stats().tokens_reused);
   }
 }
 
@@ -436,8 +528,9 @@ TEST(ServePrefixEngine, TinyBudgetEvictsButStaysByteIdentical) {
   serve::EngineConfig ec;
   ec.max_batch = 2;
   ec.kv_slots = 2;
-  // Room for ~6 tokens: every insert fights the budget, forcing eviction
-  // churn while requests are in flight.
+  ec.kv_block_tokens = 4;
+  // Room for ~6 tokens (1.5 blocks): every insert fights the budget,
+  // forcing eviction churn while requests are in flight.
   ec.prefix_cache_bytes = 6 * (2 * 2 * static_cast<std::size_t>(
                                            c.n_layers * c.kv_heads() *
                                            c.head_dim()));
@@ -496,7 +589,7 @@ TEST(ServePrefixEngine, SpeculativeRequestsDecodeIdenticallyThroughTheCache) {
   EXPECT_EQ(engine.stats().prefix_hits(), 5u);
   // Draft slots never touch the prefix cache — every draft prefill is cold.
   ASSERT_NE(engine.draft_pool(), nullptr);
-  EXPECT_EQ(engine.draft_pool()->available(), ec.kv_slots);
+  EXPECT_TRUE(engine.draft_pool()->all_free());
 }
 
 }  // namespace

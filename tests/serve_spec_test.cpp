@@ -151,7 +151,7 @@ TEST(SpecDecoder, GreedyByteIdenticalForEveryProposer) {
     nn::GptModel model(c);
     const std::vector<std::int32_t> prompt{9, 8, 7};
     const std::int64_t max_new = 17;
-    nn::SamplingOptions greedy;
+    nn::SamplingParams greedy;
     greedy.temperature = 0.0f;
     Rng ref_rng(1);
     const auto expected =
@@ -216,7 +216,7 @@ TEST(SpecDecoder, OracleScriptReachesFullAcceptance) {
   nn::GptModel model(c);
   const std::vector<std::int32_t> prompt{5, 6, 7, 8};
   const std::int64_t max_new = 16;
-  nn::SamplingOptions greedy;
+  nn::SamplingParams greedy;
   greedy.temperature = 0.0f;
   Rng ref_rng(3);
   const auto expected =
@@ -245,7 +245,7 @@ TEST(SpecDecoder, StochasticResidualSamplingIsReproducible) {
   nn::GptModel model(c);
   const std::vector<std::int32_t> prompt{2, 4, 6};
   const std::int64_t max_new = 12;
-  nn::SamplingOptions sampling;
+  nn::SamplingParams sampling;
   sampling.temperature = 0.8f;
   sampling.top_k = 20;
   sampling.top_p = 0.95f;
@@ -314,8 +314,8 @@ TEST(SpecEngine, MixedSpeculativeAndPlainBatches) {
     }
   }
 
-  EXPECT_EQ(engine.kv_pool().available(), ec.kv_slots);
-  EXPECT_EQ(engine.draft_pool()->available(), ec.kv_slots);
+  EXPECT_TRUE(engine.kv_pool().all_free());
+  EXPECT_TRUE(engine.draft_pool()->all_free());
   EXPECT_EQ(engine.active_count(), 0u);
   EXPECT_EQ(engine.stats().requests_completed(), reference_trace.size());
   EXPECT_GT(engine.stats().drafts_proposed(), 0u);

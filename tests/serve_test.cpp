@@ -115,7 +115,7 @@ TEST(ServeEngine, TokenIdenticalToGenerateCached) {
     }
 
     // Every slot returned to the pool; stats saw every request.
-    EXPECT_EQ(engine.kv_pool().available(), ec.kv_slots);
+    EXPECT_TRUE(engine.kv_pool().all_free());
     EXPECT_EQ(engine.active_count(), 0u);
     EXPECT_EQ(engine.queue_depth(), 0u);
     EXPECT_EQ(engine.stats().requests_completed(), reference_trace.size());
@@ -162,117 +162,129 @@ TEST(ServeEngine, SubmitAndStepFromCallerThread) {
   EXPECT_GE(result.total_s, result.ttft_s);
 }
 
-TEST(ServeKvPool, AcquireBlocksUntilReleaseAndRecyclesSlot) {
-  const nn::GptConfig c = serve_config(nn::ArchFamily::kLLaMA, 1);
-  serve::KvCachePool pool(c, 1);
-  EXPECT_EQ(pool.slot_count(), 1u);
-  EXPECT_EQ(pool.capacity_tokens(), c.max_seq);
-  EXPECT_GT(pool.reserved_bytes(), 0.0);
+TEST(ServeKvPool, LeaseBlocksUntilReleaseAndRecyclesSlot) {
+  for (const bool paged : {true, false}) {
+    const nn::GptConfig c = serve_config(nn::ArchFamily::kLLaMA, 1);
+    serve::KvPoolConfig pc;
+    pc.slots = 1;
+    pc.paged = paged;
+    serve::KvCachePool pool(c, pc);
+    EXPECT_EQ(pool.slot_count(), 1u);
+    EXPECT_EQ(pool.capacity_tokens(), c.max_seq);
+    EXPECT_GT(pool.reserved_bytes(), 0.0);
+    EXPECT_EQ(pool.paged(), paged);
 
-  nn::KvCache* slot = pool.acquire();
-  ASSERT_NE(slot, nullptr);
-  EXPECT_EQ(pool.available(), 0u);
-  EXPECT_EQ(pool.try_acquire(), nullptr);
+    serve::KvLease slot = pool.lease();
+    ASSERT_TRUE(slot);
+    EXPECT_EQ(pool.available(), 0u);
+    EXPECT_FALSE(pool.try_lease());
+    EXPECT_FALSE(pool.all_free());
 
-  // Dirty the slot so we can observe release() resetting it.
-  nn::GptModel model(c);
-  Tape tape;
-  const std::vector<std::int32_t> prompt{1, 2, 3};
-  model.forward_incremental(tape, prompt, *slot);
-  EXPECT_EQ(slot->length, 3);
+    // Dirty the slot so we can observe release() resetting it.
+    nn::GptModel model(c);
+    Tape tape;
+    const std::vector<std::int32_t> prompt{1, 2, 3};
+    model.forward_incremental(tape, prompt, *slot);
+    EXPECT_EQ(slot->length, 3);
 
-  std::atomic<bool> acquired{false};
-  std::thread waiter([&] {
-    nn::KvCache* again = pool.acquire();  // blocks until release below
-    acquired.store(true);
-    EXPECT_EQ(again, slot);      // same slab recycled
-    EXPECT_EQ(again->length, 0);  // history cleared
-    pool.release(again);
-  });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_FALSE(acquired.load());
-  pool.release(slot);
-  waiter.join();
-  EXPECT_TRUE(acquired.load());
-  EXPECT_EQ(pool.available(), 1u);
+    nn::KvCache* raw = slot.get();
+    std::atomic<bool> acquired{false};
+    std::thread waiter([&] {
+      serve::KvLease again = pool.lease();  // blocks until release below
+      acquired.store(true);
+      EXPECT_EQ(again.get(), raw);    // same storage recycled
+      EXPECT_EQ(again->length, 0);    // history cleared
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(acquired.load());
+    slot.release();
+    waiter.join();
+    EXPECT_TRUE(acquired.load());
+    EXPECT_TRUE(pool.all_free());
+  }
 }
 
-TEST(ServeKvPool, RejectsForeignAndDoubleRelease) {
+TEST(ServeKvPool, EmptyLeaseIsCheckedAndReleaseIdempotent) {
   const nn::GptConfig c = serve_config(nn::ArchFamily::kNeoX, 0);
   serve::KvCachePool pool(c, 2);
-  nn::KvCache stranger;
-  EXPECT_THROW(pool.release(&stranger), Error);
-  nn::KvCache* slot = pool.acquire();
-  pool.release(slot);
-  EXPECT_THROW(pool.release(slot), Error);
+  serve::KvLease lease = pool.lease();
+  lease.release();
+  lease.release();  // idempotent, not a double free
+  EXPECT_TRUE(pool.all_free());
+  EXPECT_THROW((void)*lease, Error);
+  EXPECT_THROW((void)lease->length, Error);
+  serve::KvLease moved = pool.lease();
+  serve::KvLease stolen = std::move(moved);
+  EXPECT_FALSE(moved);  // NOLINT(bugprone-use-after-move): checked empty
+  EXPECT_TRUE(stolen);
 }
 
-TEST(ServeKvPool, RejectsSlotFromAnotherPool) {
-  const nn::GptConfig c = serve_config(nn::ArchFamily::kNeoX, 0);
-  serve::KvCachePool pool_a(c, 1);
-  serve::KvCachePool pool_b(c, 1);
-  nn::KvCache* slot_b = pool_b.acquire();
-  // A perfectly valid slot — of the wrong pool. Must not enter pool_a's free
-  // list (that would let pool_a hand out memory it doesn't own).
-  EXPECT_THROW(pool_a.release(slot_b), Error);
-  EXPECT_EQ(pool_a.available(), 1u);
-  pool_b.release(slot_b);
+TEST(ServeKvPool, TryLeaseEmptyWhenExhausted) {
+  for (const bool paged : {true, false}) {
+    const nn::GptConfig c = serve_config(nn::ArchFamily::kNeoX, 0);
+    serve::KvPoolConfig pc;
+    pc.slots = 2;
+    pc.paged = paged;
+    serve::KvCachePool pool(c, pc);
+    serve::KvLease a = pool.lease();
+    serve::KvLease b = pool.try_lease();
+    ASSERT_TRUE(b);
+    EXPECT_FALSE(pool.try_lease());
+    EXPECT_EQ(pool.available(), 0u);
+    a.release();
+    EXPECT_TRUE(pool.try_lease());  // reacquires the freed capacity
+  }
 }
 
-TEST(ServeKvPool, TryAcquireReturnsNullWhenExhausted) {
-  const nn::GptConfig c = serve_config(nn::ArchFamily::kNeoX, 0);
-  serve::KvCachePool pool(c, 2);
-  nn::KvCache* a = pool.acquire();
-  nn::KvCache* b = pool.try_acquire();
-  ASSERT_NE(b, nullptr);
-  EXPECT_EQ(pool.try_acquire(), nullptr);
-  EXPECT_EQ(pool.available(), 0u);
-  pool.release(a);
-  EXPECT_NE(pool.try_acquire(), nullptr);  // reacquires the freed slot
-  pool.release(b);
-}
+TEST(ServeKvPool, LeaseTruncateRollsBack) {
+  for (const bool paged : {true, false}) {
+    const nn::GptConfig c = serve_config(nn::ArchFamily::kLLaMA, 1);
+    serve::KvPoolConfig pc;
+    pc.slots = 2;
+    pc.paged = paged;
+    serve::KvCachePool pool(c, pc);
+    nn::GptModel model(c);
+    serve::KvLease slot = pool.lease();
+    const std::vector<std::int32_t> prompt{1, 2, 3, 4, 5};
+    Tape tape;
+    model.forward_incremental(tape, prompt, *slot);
+    ASSERT_EQ(slot->length, 5);
 
-TEST(ServeKvPool, TruncateRollsBackCheckedOutSlotOnly) {
-  const nn::GptConfig c = serve_config(nn::ArchFamily::kLLaMA, 1);
-  serve::KvCachePool pool(c, 2);
-  nn::GptModel model(c);
-  nn::KvCache* slot = pool.acquire();
-  const std::vector<std::int32_t> prompt{1, 2, 3, 4, 5};
-  Tape tape;
-  model.forward_incremental(tape, prompt, *slot);
-  ASSERT_EQ(slot->length, 5);
+    slot.truncate(3);
+    EXPECT_EQ(slot->length, 3);
+    for (const auto& layer : slot->layers) EXPECT_EQ(layer.length(), 3);
+    EXPECT_THROW(slot.truncate(4), Error);  // can't grow by truncating
 
-  pool.truncate(slot, 3);
-  EXPECT_EQ(slot->length, 3);
-  for (const auto& layer : slot->layers) EXPECT_EQ(layer.length(), 3);
-  EXPECT_THROW(pool.truncate(slot, 4), Error);  // can't grow by truncating
-
-  nn::KvCache stranger;
-  EXPECT_THROW(pool.truncate(&stranger, 0), Error);
-
-  // A slot sitting in the free list is nobody's to roll back.
-  pool.release(slot);
-  EXPECT_THROW(pool.truncate(slot, 0), Error);
+    serve::KvLease empty;
+    EXPECT_THROW(empty.truncate(0), Error);
+  }
 }
 
 TEST(ServeKvPool, SlotCapacityIsEnforced) {
-  const nn::GptConfig c = serve_config(nn::ArchFamily::kLLaMA, 1);
-  serve::KvCachePool pool(c, 1, /*capacity_tokens=*/4);
-  nn::GptModel model(c);
-  nn::KvCache* slot = pool.acquire();
-  const std::vector<std::int32_t> too_long{1, 2, 3, 4, 5};
-  Tape tape;
-  EXPECT_THROW(model.forward_incremental(tape, too_long, *slot), Error);
+  for (const bool paged : {true, false}) {
+    const nn::GptConfig c = serve_config(nn::ArchFamily::kLLaMA, 1);
+    serve::KvPoolConfig pc;
+    pc.slots = 1;
+    pc.capacity_tokens = 4;
+    pc.paged = paged;
+    serve::KvCachePool pool(c, pc);
+    nn::GptModel model(c);
+    serve::KvLease slot = pool.lease();
+    const std::vector<std::int32_t> too_long{1, 2, 3, 4, 5};
+    Tape tape;
+    EXPECT_THROW(model.forward_incremental(tape, too_long, *slot), Error);
 
-  // The engine refuses such a request up front instead of corrupting a slot.
-  serve::EngineConfig ec;
-  ec.kv_slots = 1;
-  ec.kv_capacity_tokens = 4;
-  serve::InferenceEngine engine(model, ec);
-  serve::Request req;
-  req.prompt = {1, 2, 3};
-  req.max_new_tokens = 8;  // 3 + 8 > 4
-  EXPECT_THROW(engine.submit(req), Error);
+    // The engine refuses such a request up front instead of corrupting KV.
+    serve::EngineConfig ec;
+    ec.kv_slots = 1;
+    ec.kv_capacity_tokens = 4;
+    ec.paged_kv = paged;
+    serve::InferenceEngine engine(model, ec);
+    serve::Request req;
+    req.prompt = {1, 2, 3};
+    req.max_new_tokens = 8;  // 3 + 8 > 4
+    EXPECT_THROW(engine.submit(req), Error);
+  }
 }
 
 TEST(ServeEngine, SubmitBlocksWhenQueueSaturated) {
