@@ -1,0 +1,202 @@
+// SLO-aware scheduling: priority/EDF admission vs FCFS under load.
+//
+// Replays one mixed-priority trace (25% high / 25% low, no deadlines so
+// every request runs to completion and throughput is comparable) through
+// the InferenceEngine twice on a deliberately tight KV budget: once with
+// the FCFS scheduler (arrival order, head-of-line blocking) and once with
+// the priority scheduler (aged-class + EDF admission, preemption of lower
+// classes under memory pressure). High-priority requests should reach
+// their first token far sooner under the priority policy while total token
+// throughput stays close to FCFS — the scheduler reorders work, it does
+// not add any.
+//
+// A third informational run enables chunked prefill on top of the priority
+// policy to show long prompts no longer stall the decode batch.
+//
+// Acceptance gate: priority cuts high-class p99 TTFT >= 2x vs FCFS at
+// >= 0.9x total token throughput, with zero starved (non-ok) requests.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "nn/gpt.h"
+#include "serve/engine.h"
+#include "serve/trace.h"
+
+using namespace matgpt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct RunStats {
+  double wall_s = 0.0;
+  double tokens_per_s = 0.0;
+  double high_p50_ms = 0.0;
+  double high_p99_ms = 0.0;
+  double low_p99_ms = 0.0;
+  double queue_p99_ms = 0.0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t starved = 0;  // requests that did not retire kOk
+  std::string report;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== scheduler: priority/EDF + preemption vs FCFS ===\n");
+
+  // Same serving-shaped model as the other serve benches: big enough that
+  // prefill and decode are real compute, GQA so KV economics are honest.
+  nn::GptConfig c;
+  c.arch = nn::ArchFamily::kLLaMA;
+  c.vocab_size = 8192;
+  c.hidden = 256;
+  c.n_layers = 4;
+  c.n_heads = 8;
+  c.n_kv_heads = 2;
+  c.max_seq = 128;
+  nn::GptModel model(c);
+
+  // Mixed-SLO workload: a quarter of the traffic is latency-sensitive, a
+  // quarter is batch-class, and a slice of long prompts stresses prefill.
+  // No deadlines: every request must finish, so the two runs produce the
+  // same tokens and throughput is apples-to-apples.
+  serve::TraceSpec spec;
+  spec.n_requests = 64;
+  spec.vocab_size = c.vocab_size;
+  spec.prompt_len_min = 16;
+  spec.prompt_len_max = 48;
+  spec.max_new_min = 16;
+  spec.max_new_max = 32;
+  spec.high_fraction = 0.25;
+  spec.low_fraction = 0.25;
+  spec.long_prompt_fraction = 0.15;
+  spec.long_prompt_len = 96;
+  const auto trace = serve::synth_trace(spec);
+
+  std::int64_t total_tokens = 0;  // prompt + decoded, same in both runs
+  std::size_t n_high = 0, n_low = 0;
+  for (const auto& req : trace) {
+    total_tokens += static_cast<std::int64_t>(req.prompt.size()) +
+                    req.max_new_tokens;
+    n_high += req.priority == serve::Priority::kHigh ? 1 : 0;
+    n_low += req.priority == serve::Priority::kLow ? 1 : 0;
+  }
+  std::printf("model: llama %lld hidden, %lld layers, %lld heads (%lld kv)\n",
+              static_cast<long long>(c.hidden),
+              static_cast<long long>(c.n_layers),
+              static_cast<long long>(c.n_heads),
+              static_cast<long long>(c.kv_heads()));
+  std::printf("trace: %zu requests (%zu high / %zu low), %lld total tokens, "
+              "%.0f%% long prompts of %lld\n\n",
+              trace.size(), n_high, n_low,
+              static_cast<long long>(total_tokens),
+              100.0 * spec.long_prompt_fraction,
+              static_cast<long long>(spec.long_prompt_len));
+
+  // Warm up allocators and instruction caches on an off-trace request.
+  {
+    Rng warm(1);
+    model.generate_cached(trace[0].prompt, 2, trace[0].sampling, warm);
+  }
+
+  // Tight shared budget so a queue actually forms and scheduling matters:
+  // 4-sequence decode batch over a 4-slot paged arena.
+  serve::EngineConfig base;
+  base.max_batch = 4;
+  base.kv_slots = 4;
+  base.queue_capacity = 32;
+
+  // Deterministic token paths; best-of-reps (by wall time) removes
+  // shared-box scheduler noise from the latency quantiles.
+  constexpr int kReps = 3;
+  auto run = [&](const serve::EngineConfig& ec) {
+    RunStats best;
+    for (int rep = 0; rep < kReps; ++rep) {
+      serve::InferenceEngine engine(model, ec);
+      auto replay = trace;
+      const auto t0 = Clock::now();
+      const auto results = engine.run_trace(std::move(replay));
+      const double s = secs_since(t0);
+      if (rep > 0 && s >= best.wall_s) continue;
+      best.wall_s = s;
+      best.tokens_per_s = static_cast<double>(total_tokens) / s;
+      const auto& st = engine.stats();
+      best.high_p50_ms = st.ttft_class_ms(serve::Priority::kHigh, 0.5);
+      best.high_p99_ms = st.ttft_class_ms(serve::Priority::kHigh, 0.99);
+      best.low_p99_ms = st.ttft_class_ms(serve::Priority::kLow, 0.99);
+      best.queue_p99_ms = st.queue_delay_ms(0.99);
+      best.preemptions = st.preemptions();
+      best.starved = 0;
+      for (const auto& r : results) {
+        best.starved += r.status == serve::RequestStatus::kOk ? 0 : 1;
+      }
+      best.report = st.report(s);
+    }
+    return best;
+  };
+
+  serve::EngineConfig fcfs_ec = base;
+  fcfs_ec.scheduler = serve::sched::Policy::kFcfs;
+  const auto fcfs = run(fcfs_ec);
+  std::printf("fcfs:             %.3f s, %.0f tok/s | high TTFT p50 %.1f ms "
+              "p99 %.1f ms | low p99 %.1f ms\n",
+              fcfs.wall_s, fcfs.tokens_per_s, fcfs.high_p50_ms,
+              fcfs.high_p99_ms, fcfs.low_p99_ms);
+
+  serve::EngineConfig prio_ec = base;
+  prio_ec.scheduler = serve::sched::Policy::kPriority;
+  prio_ec.preempt_mode = serve::sched::PreemptMode::kSwap;
+  const auto prio = run(prio_ec);
+  std::printf("priority:         %.3f s, %.0f tok/s | high TTFT p50 %.1f ms "
+              "p99 %.1f ms | low p99 %.1f ms | %llu preemptions\n",
+              prio.wall_s, prio.tokens_per_s, prio.high_p50_ms,
+              prio.high_p99_ms, prio.low_p99_ms,
+              static_cast<unsigned long long>(prio.preemptions));
+
+  serve::EngineConfig chunk_ec = prio_ec;
+  chunk_ec.prefill_chunk_tokens = 32;
+  const auto chunked = run(chunk_ec);
+  std::printf("priority+chunked: %.3f s, %.0f tok/s | high TTFT p50 %.1f ms "
+              "p99 %.1f ms | low p99 %.1f ms (informational)\n",
+              chunked.wall_s, chunked.tokens_per_s, chunked.high_p50_ms,
+              chunked.high_p99_ms, chunked.low_p99_ms);
+
+  std::printf("\n%s", prio.report.c_str());
+
+  const double ttft_cut = fcfs.high_p99_ms / prio.high_p99_ms;
+  const double throughput_ratio = prio.tokens_per_s / fcfs.tokens_per_s;
+  const std::uint64_t starved = fcfs.starved + prio.starved + chunked.starved;
+  std::printf("\nhigh-class p99 TTFT cut: %.2fx (%.1f ms -> %.1f ms)\n",
+              ttft_cut, fcfs.high_p99_ms, prio.high_p99_ms);
+  std::printf("total throughput ratio:  %.2fx (%.0f -> %.0f tok/s)\n",
+              throughput_ratio, fcfs.tokens_per_s, prio.tokens_per_s);
+  std::printf("starved requests:        %llu\n",
+              static_cast<unsigned long long>(starved));
+
+  bench::write_bench_json(
+      "BENCH_sched.json",
+      {{"ttft_cut", ttft_cut},
+       {"throughput_ratio", throughput_ratio},
+       {"starved_requests", static_cast<double>(starved)},
+       {"fcfs_high_p99_ttft_ms", fcfs.high_p99_ms},
+       {"priority_high_p99_ttft_ms", prio.high_p99_ms},
+       {"priority_low_p99_ttft_ms", prio.low_p99_ms},
+       {"fcfs_tokens_per_s", fcfs.tokens_per_s},
+       {"priority_tokens_per_s", prio.tokens_per_s},
+       {"chunked_high_p99_ttft_ms", chunked.high_p99_ms},
+       {"preemptions", static_cast<double>(prio.preemptions)}});
+  const bool pass =
+      ttft_cut >= 2.0 && throughput_ratio >= 0.9 && starved == 0;
+  std::printf("%s: priority scheduling %s the >=2x TTFT / >=0.9x throughput "
+              "gate\n",
+              pass ? "PASS" : "FAIL", pass ? "clears" : "misses");
+  return pass ? 0 : 1;
+}

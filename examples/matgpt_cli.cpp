@@ -8,11 +8,15 @@
 //   matgpt_cli simulate <1.7b|6.7b> <gcds> <dp|zero1|tp2|pp2>
 //   matgpt_cli search  <min_B> <max_B>         architecture search
 //   matgpt_cli serve-bench [requests] [clients] [--spec-k N] [--draft-layers M]
-//       [--prefix-cache-mb B]
+//       [--prefix-cache-mb B] [--scheduler fcfs|priority] [--prefill-chunk C]
+//       [--priority-mix H:L] [--deadline-ms D]
 //       continuous-batching demo; --spec-k enables speculative decoding with
 //       a self-speculative layer-skip draft of M layers; --prefix-cache-mb
 //       gives the prompt prefix cache a budget of B MB and switches the trace
-//       to a shared-system-prompt workload
+//       to a shared-system-prompt workload; --scheduler picks the admission
+//       policy, --prefill-chunk caps prefill slices at C tokens,
+//       --priority-mix tags fractions H/L of requests high/low priority, and
+//       --deadline-ms gives high-priority requests a D-ms SLO deadline
 //
 // Checkpoints written by `train` (model.ckpt + tokenizer.txt) are reloaded
 // by `generate`.
@@ -52,7 +56,9 @@ int usage() {
                "  matgpt_cli simulate <1.7b|6.7b> <gcds> <dp|zero1|tp2|pp2>\n"
                "  matgpt_cli search <min_params_B> <max_params_B>\n"
                "  matgpt_cli serve-bench [requests] [clients]"
-               " [--spec-k N] [--draft-layers M] [--prefix-cache-mb B]\n");
+               " [--spec-k N] [--draft-layers M] [--prefix-cache-mb B]\n"
+               "      [--scheduler fcfs|priority] [--prefill-chunk C]"
+               " [--priority-mix H:L] [--deadline-ms D]\n");
   return 2;
 }
 
@@ -193,9 +199,25 @@ int cmd_search(double min_b, double max_b) {
 // this thread drives the scheduler loop — the deployment shape, minus the
 // network. The model is random-init (the point is the engine, not the prose);
 // GQA and a serving-sized vocab keep it honest about where decode time goes.
-int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
-                    std::int64_t spec_k, std::int64_t draft_layers,
-                    std::int64_t prefix_cache_mb) {
+struct ServeBenchOpts {
+  std::size_t n_requests = 32;
+  std::size_t n_clients = 4;
+  std::int64_t spec_k = 0;
+  std::int64_t draft_layers = 2;
+  std::int64_t prefix_cache_mb = 0;
+  serve::sched::Policy scheduler = serve::sched::Policy::kFcfs;
+  std::int64_t prefill_chunk = 0;
+  double high_fraction = 0.0;
+  double low_fraction = 0.0;
+  double deadline_ms = 0.0;
+};
+
+int cmd_serve_bench(const ServeBenchOpts& opts) {
+  const std::size_t n_requests = opts.n_requests;
+  const std::size_t n_clients = opts.n_clients;
+  const std::int64_t spec_k = opts.spec_k;
+  const std::int64_t draft_layers = opts.draft_layers;
+  const std::int64_t prefix_cache_mb = opts.prefix_cache_mb;
   nn::GptConfig mc;
   mc.arch = nn::ArchFamily::kLLaMA;
   mc.vocab_size = 8192;
@@ -215,6 +237,9 @@ int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
     spec.shared_prefix_fraction = 0.8;
     spec.shared_prefix_len = 12;
   }
+  spec.high_fraction = opts.high_fraction;
+  spec.low_fraction = opts.low_fraction;
+  spec.high_deadline_ms = opts.deadline_ms;
   auto trace = serve::synth_trace(spec);
   if (spec_k > 0) {
     for (auto& req : trace) req.spec_k = spec_k;
@@ -226,6 +251,8 @@ int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
   ec.queue_capacity = 16;  // small enough that clients feel backpressure
   ec.prefix_cache_bytes =
       static_cast<std::size_t>(prefix_cache_mb) * 1000 * 1000;
+  ec.scheduler = opts.scheduler;
+  ec.prefill_chunk_tokens = opts.prefill_chunk;
   if (spec_k > 0) {
     MGPT_CHECK(draft_layers >= 1 && draft_layers <= mc.n_layers,
                "--draft-layers must be in [1, " << mc.n_layers << "]");
@@ -238,6 +265,17 @@ int cmd_serve_bench(std::size_t n_requests, std::size_t n_clients,
               "queue %zu\n",
               trace.size(), n_clients,
               static_cast<long long>(ec.max_batch), ec.queue_capacity);
+  std::printf("scheduler: %s, prefill chunk %lld tokens%s\n",
+              serve::sched::policy_name(ec.scheduler),
+              static_cast<long long>(ec.prefill_chunk_tokens),
+              ec.prefill_chunk_tokens == 0 ? " (whole-prompt)" : "");
+  if (opts.high_fraction + opts.low_fraction > 0.0) {
+    std::printf("priority mix: %.0f%% high / %.0f%% normal / %.0f%% low, "
+                "high-class deadline %.0f ms\n",
+                100.0 * opts.high_fraction,
+                100.0 * (1.0 - opts.high_fraction - opts.low_fraction),
+                100.0 * opts.low_fraction, opts.deadline_ms);
+  }
   if (spec_k > 0) {
     std::printf("speculative decoding: k=%lld, layer-skip draft %lld/%lld "
                 "layers\n",
@@ -347,28 +385,50 @@ int main(int argc, char** argv) {
       return cmd_search(std::atof(argv[2]), std::atof(argv[3]));
     }
     if (cmd == "serve-bench") {
-      std::size_t reqs = 32, cl = 4;
-      std::int64_t spec_k = 0, draft_layers = 2, prefix_cache_mb = 0;
-      std::vector<std::size_t*> positional{&reqs, &cl};
+      ServeBenchOpts opts;
+      std::vector<std::size_t*> positional{&opts.n_requests, &opts.n_clients};
       std::size_t pos = 0;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--spec-k" && i + 1 < argc) {
-          spec_k = std::atoll(argv[++i]);
+          opts.spec_k = std::atoll(argv[++i]);
         } else if (arg == "--draft-layers" && i + 1 < argc) {
-          draft_layers = std::atoll(argv[++i]);
+          opts.draft_layers = std::atoll(argv[++i]);
         } else if (arg == "--prefix-cache-mb" && i + 1 < argc) {
-          prefix_cache_mb = std::atoll(argv[++i]);
+          opts.prefix_cache_mb = std::atoll(argv[++i]);
+        } else if (arg == "--scheduler" && i + 1 < argc) {
+          const std::string policy = argv[++i];
+          if (policy == "fcfs") {
+            opts.scheduler = serve::sched::Policy::kFcfs;
+          } else if (policy == "priority") {
+            opts.scheduler = serve::sched::Policy::kPriority;
+          } else {
+            return usage();
+          }
+        } else if (arg == "--prefill-chunk" && i + 1 < argc) {
+          opts.prefill_chunk = std::atoll(argv[++i]);
+        } else if (arg == "--priority-mix" && i + 1 < argc) {
+          // H:L fractions of high-/low-priority requests, e.g. 0.2:0.3.
+          if (std::sscanf(argv[++i], "%lf:%lf", &opts.high_fraction,
+                          &opts.low_fraction) != 2) {
+            return usage();
+          }
+        } else if (arg == "--deadline-ms" && i + 1 < argc) {
+          opts.deadline_ms = std::atof(argv[++i]);
         } else if (pos < positional.size()) {
           *positional[pos++] = static_cast<std::size_t>(std::atoll(argv[i]));
         } else {
           return usage();
         }
       }
-      if (reqs == 0 || cl == 0 || spec_k < 0 || prefix_cache_mb < 0) {
+      if (opts.n_requests == 0 || opts.n_clients == 0 || opts.spec_k < 0 ||
+          opts.prefix_cache_mb < 0 || opts.prefill_chunk < 0 ||
+          opts.high_fraction < 0.0 || opts.low_fraction < 0.0 ||
+          opts.high_fraction + opts.low_fraction > 1.0 ||
+          opts.deadline_ms < 0.0) {
         return usage();
       }
-      return cmd_serve_bench(reqs, cl, spec_k, draft_layers, prefix_cache_mb);
+      return cmd_serve_bench(opts);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

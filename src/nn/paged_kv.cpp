@@ -351,6 +351,48 @@ void PagedKvSeq::alias_blocks(std::span<const std::int32_t> ids,
   std::fill(lengths_.begin(), lengths_.end(), tokens);
 }
 
+std::int64_t PagedKvSeq::swap_floats(std::int64_t tokens) const {
+  return static_cast<std::int64_t>(lengths_.size()) * 2 * tokens *
+         arena_->layout().row();
+}
+
+void PagedKvSeq::swap_out(std::vector<float>& host) const {
+  const std::int64_t tokens = max_length();
+  MGPT_CHECK(tokens > 0, "swap_out of an empty sequence");
+  for (std::int64_t l = 0; l < static_cast<std::int64_t>(lengths_.size());
+       ++l) {
+    MGPT_CHECK(length(l) == tokens,
+               "swap_out requires lockstep layers (layer " << l << " holds "
+                                                           << length(l)
+                                                           << " of " << tokens
+                                                           << " tokens)");
+  }
+  const std::int64_t row = arena_->layout().row();
+  const std::int64_t side = tokens * row;
+  host.resize(static_cast<std::size_t>(swap_floats(tokens)));
+  float* out = host.data();
+  for (std::size_t l = 0; l < lengths_.size(); ++l) {
+    copy_rows(static_cast<std::int64_t>(l), 0, tokens, out, out + side);
+    out += 2 * side;
+  }
+}
+
+void PagedKvSeq::swap_in(std::span<const float> host, std::int64_t tokens) {
+  MGPT_CHECK(blocks_.empty() && max_length() == 0,
+             "swap_in requires an empty sequence");
+  MGPT_CHECK(tokens > 0, "swap_in requires tokens");
+  MGPT_CHECK(static_cast<std::int64_t>(host.size()) == swap_floats(tokens),
+             "swap_in buffer holds " << host.size() << " floats; " << tokens
+                                     << " tokens need "
+                                     << swap_floats(tokens));
+  const std::int64_t side = tokens * arena_->layout().row();
+  const float* in = host.data();
+  for (std::size_t l = 0; l < lengths_.size(); ++l) {
+    append(static_cast<std::int64_t>(l), in, in + side, tokens);
+    in += 2 * side;
+  }
+}
+
 void PagedKvSeq::reset() {
   for (const std::int32_t id : blocks_) arena_->release(id);
   blocks_.clear();

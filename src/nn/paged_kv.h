@@ -150,6 +150,17 @@ class PagedKvSeq {
   void copy_rows(std::int64_t layer, std::int64_t start, std::int64_t len,
                  float* k_out, float* v_out) const;
 
+  /// Gather the whole sequence (all layers, lockstep lengths required) into
+  /// one contiguous host buffer laid out [layer][K rows][V rows] — the
+  /// serving scheduler's swap-preemption format. The sequence itself is
+  /// untouched; freeing its blocks is the owning lease's job.
+  void swap_out(std::vector<float>& host) const;
+  /// Inverse of swap_out: append `tokens` rows per layer from `host` into
+  /// this (empty) sequence, drawing on its adopted reservation.
+  void swap_in(std::span<const float> host, std::int64_t tokens);
+  /// Floats swap_out produces / swap_in expects for `tokens` tokens.
+  std::int64_t swap_floats(std::int64_t tokens) const;
+
   /// Adopt a shared prefix: take one reference on each of `ids` (in table
   /// order) and set every layer's length to `tokens`. The sequence must be
   /// empty. The last block may be partial — the first append into it forks

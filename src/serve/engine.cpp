@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "common/error.h"
@@ -33,6 +34,12 @@ void EngineConfig::validate() const {
   MGPT_CHECK(prefix_cache_bytes == 0 || paged_kv,
              "EngineConfig: the prefix cache shares paged KV blocks; enable "
              "paged_kv or disable prefix_cache_bytes");
+  MGPT_CHECK(prefill_chunk_tokens >= 0,
+             "EngineConfig: prefill_chunk_tokens must be >= 0 (got "
+                 << prefill_chunk_tokens << "); 0 means whole-prompt prefill");
+  MGPT_CHECK(sched_aging_ms >= 0.0,
+             "EngineConfig: sched_aging_ms must be >= 0 (got "
+                 << sched_aging_ms << "); 0 disables aging");
 }
 
 namespace {
@@ -59,6 +66,48 @@ KvPoolConfig pool_config(const nn::GptConfig& model,
   return pool;
 }
 
+// Gather a cache's rows into the SwapArena layout ([layer][K rows][V rows])
+// — paged caches via the block-table gather, slotted ones layer by layer.
+sched::SwapArena::Entry gather_kv(const nn::KvCache& cache,
+                                  const nn::GptConfig& model) {
+  sched::SwapArena::Entry entry;
+  entry.tokens = cache.length;
+  if (cache.paged != nullptr) {
+    cache.paged->swap_out(entry.data);
+    return entry;
+  }
+  const std::int64_t side = entry.tokens * model.kv_heads() * model.head_dim();
+  entry.data.resize(
+      static_cast<std::size_t>(model.n_layers * 2 * side));
+  float* out = entry.data.data();
+  for (const nn::KvCacheLayer& layer : cache.layers) {
+    layer.copy_rows(0, entry.tokens, out, out + side);
+    out += 2 * side;
+  }
+  return entry;
+}
+
+// Inverse of gather_kv into a fresh (empty) lease. Pure memcpy — the rows
+// are the exact bytes the forward pass wrote, so the resumed sequence is
+// indistinguishable from one that was never preempted.
+void restore_kv(nn::KvCache& cache, const sched::SwapArena::Entry& entry,
+                const nn::GptConfig& model) {
+  MGPT_CHECK(cache.length == 0, "swap restore needs an empty lease");
+  if (cache.paged != nullptr) {
+    cache.paged->swap_in(std::span<const float>(entry.data), entry.tokens);
+  } else {
+    const std::int64_t side =
+        entry.tokens * model.kv_heads() * model.head_dim();
+    const float* in = entry.data.data();
+    for (nn::KvCacheLayer& layer : cache.layers) {
+      layer.append(in, in + side, entry.tokens, model.kv_heads(),
+                   model.head_dim());
+      in += 2 * side;
+    }
+  }
+  cache.length = entry.tokens;
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(const nn::GptModel& model,
@@ -66,6 +115,9 @@ InferenceEngine::InferenceEngine(const nn::GptModel& model,
     : model_(model),
       config_(validated(std::move(config))),
       pool_(model.config(), pool_config(model.config(), config_)),
+      scheduler_(
+          sched::make_scheduler(config_.scheduler, config_.sched_aging_ms)),
+      swap_arena_(config_.swap_arena_bytes),
       stats_(config_.stats) {
   if (config_.prefix_cache_bytes > 0) {
     // Throws here if the budget cannot hold even one KV block.
@@ -89,7 +141,8 @@ InferenceEngine::InferenceEngine(const nn::GptModel& model,
   }
 }
 
-std::future<RequestResult> InferenceEngine::submit(Request request) {
+InferenceEngine::Pending InferenceEngine::make_pending(
+    Request request) const {
   MGPT_CHECK(!request.prompt.empty(), "request requires a non-empty prompt");
   MGPT_CHECK(request.max_new_tokens > 0,
              "request must generate at least one token");
@@ -108,10 +161,24 @@ std::future<RequestResult> InferenceEngine::submit(Request request) {
              "speculative request (spec_k " << request.spec_k
                                             << ") needs an engine built "
                                                "with a draft proposer");
+  MGPT_CHECK(request.deadline_ms >= 0.0,
+             "deadline_ms must be >= 0 (got " << request.deadline_ms << ")");
   Pending pending;
   pending.request = std::move(request);
   pending.submitted = Clock::now();  // client-observed latency includes
                                      // queue backpressure
+  if (pending.request.deadline_ms > 0.0) {
+    pending.deadline =
+        pending.submitted +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                pending.request.deadline_ms));
+  }
+  return pending;
+}
+
+std::future<RequestResult> InferenceEngine::submit(Request request) {
+  Pending pending = make_pending(std::move(request));
   auto future = pending.promise.get_future();
   {
     std::unique_lock lock(queue_mutex_);
@@ -123,42 +190,168 @@ std::future<RequestResult> InferenceEngine::submit(Request request) {
   return future;
 }
 
+std::optional<std::future<RequestResult>> InferenceEngine::try_submit(
+    Request request) {
+  Pending pending = make_pending(std::move(request));
+  auto future = pending.promise.get_future();
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (waiting_.size() >= config_.queue_capacity) return std::nullopt;
+    waiting_.push_back(std::move(pending));
+  }
+  return future;
+}
+
+void InferenceEngine::cancel(std::uint64_t id) {
+  std::lock_guard lock(queue_mutex_);
+  cancel_ids_.push_back(id);
+}
+
 std::size_t InferenceEngine::queue_depth() const {
   std::lock_guard lock(queue_mutex_);
   return waiting_.size();
 }
 
-void InferenceEngine::admit() {
-  while (static_cast<std::int64_t>(active_.size()) < config_.max_batch) {
-    Pending pending;
-    bool have_request = false;
+void InferenceEngine::apply_cancellations(Clock::time_point now) {
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard lock(queue_mutex_);
+    ids.swap(cancel_ids_);
+  }
+  for (std::uint64_t id : ids) {
+    Pending victim;
+    bool in_queue = false;
     {
       std::lock_guard lock(queue_mutex_);
-      if (!waiting_.empty()) {
-        pending = std::move(waiting_.front());
-        waiting_.pop_front();
-        have_request = true;
+      for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+        if (it->request.id != id) continue;
+        victim = std::move(*it);
+        waiting_.erase(it);
+        in_queue = true;
+        break;
       }
     }
-    if (!have_request) return;
-
-    const std::span<const std::int32_t> prompt(pending.request.prompt);
-    const auto prompt_len = static_cast<std::int64_t>(prompt.size());
-    const std::int64_t budget =
-        prompt_len + pending.request.max_new_tokens;
-
-    // Match before leasing so the lease can discount the blocks an aliased
-    // prefix supplies for free. The match is capped at prompt_len - 1 so at
-    // least one token flows through the model — the first sample needs the
-    // last position's logits. The pins also shield the matched path from
-    // the eviction fallback below.
-    PrefixCache::Match m;
-    std::int64_t reused = 0;
-    if (prefix_cache_ != nullptr) {
-      m = prefix_cache_->match(prompt, prompt_len - 1);
-      reused = m.tokens;
+    if (in_queue) {
+      finish_pending(victim, RequestStatus::kCancelled, now);
+      queue_cv_.notify_one();
+      continue;
     }
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].request.id != id) continue;
+      finish(active_[i], RequestStatus::kCancelled, now);
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
 
+void InferenceEngine::expire_deadlines(Clock::time_point now) {
+  std::vector<Pending> expired;
+  {
+    std::lock_guard lock(queue_mutex_);
+    for (auto it = waiting_.begin(); it != waiting_.end();) {
+      if (it->deadline <= now) {
+        expired.push_back(std::move(*it));
+        it = waiting_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (Pending& pending : expired) {
+    finish_pending(pending, RequestStatus::kTimeout, now);
+    queue_cv_.notify_one();
+  }
+  for (std::size_t i = 0; i < active_.size();) {
+    if (active_[i].deadline <= now) {
+      finish(active_[i], RequestStatus::kTimeout, now);
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::size_t InferenceEngine::admit(Clock::time_point now) {
+  std::size_t activated = 0;
+  // Requests that could not get memory this step (priority bypass): left in
+  // the queue but hidden from pick_next so admission cannot spin on them.
+  std::vector<std::uint64_t> deferred;
+  while (static_cast<std::int64_t>(active_.size()) < config_.max_batch) {
+    Pending pending;
+    bool have = false;
+    {
+      std::lock_guard lock(queue_mutex_);
+      std::vector<sched::QueueItem> items;
+      std::vector<std::size_t> index;  // items[i] -> waiting_ position
+      items.reserve(waiting_.size());
+      index.reserve(waiting_.size());
+      for (std::size_t i = 0; i < waiting_.size(); ++i) {
+        const Pending& p = waiting_[i];
+        if (std::find(deferred.begin(), deferred.end(), p.request.id) !=
+            deferred.end()) {
+          continue;
+        }
+        sched::QueueItem item;
+        item.id = p.request.id;
+        item.priority = p.request.priority;
+        item.submitted = p.submitted;
+        item.deadline = p.deadline;
+        item.resuming = p.resuming;
+        items.push_back(item);
+        index.push_back(i);
+      }
+      const std::size_t pick = scheduler_->pick_next(items, now);
+      if (pick != sched::kNone) {
+        const std::size_t pos = index[pick];
+        pending = std::move(waiting_[pos]);
+        waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(pos));
+        have = true;
+      }
+    }
+    if (!have) break;
+    const std::uint64_t id = pending.request.id;
+    if (try_activate(std::move(pending), now)) {
+      queue_cv_.notify_one();  // queue space freed; unblock one submitter
+      activated += 1;
+      continue;
+    }
+    // try_activate pushed the request back to the queue front.
+    if (!scheduler_->allows_bypass()) break;
+    deferred.push_back(id);
+  }
+  return activated;
+}
+
+bool InferenceEngine::try_activate(Pending pending, Clock::time_point now) {
+  const Request& req = pending.request;
+  const std::span<const std::int32_t> prompt(req.prompt);
+  const auto prompt_len = static_cast<std::int64_t>(prompt.size());
+  const std::int64_t budget = prompt_len + req.max_new_tokens;
+  const bool fresh = !pending.resuming;
+
+  // Match before leasing so the lease can discount the blocks an aliased
+  // prefix supplies for free. The match is capped at prompt_len - 1 so at
+  // least one token flows through the model — the first sample needs the
+  // last position's logits. The pins also shield the matched path from the
+  // eviction fallback below. Resumed sequences skip the cache: their rows
+  // come back by swap restore or re-prefill, and hit-rate stats stay a
+  // fresh-admission signal.
+  PrefixCache::Match m;
+  std::int64_t reused = 0;
+  if (fresh && prefix_cache_ != nullptr) {
+    m = prefix_cache_->match(prompt, prompt_len - 1);
+    reused = m.tokens;
+  }
+
+  sched::QueueItem incoming;
+  incoming.id = req.id;
+  incoming.priority = req.priority;
+  incoming.submitted = pending.submitted;
+  incoming.deadline = pending.deadline;
+  incoming.resuming = pending.resuming;
+
+  auto lease_target = [&]() -> KvLease {
     KvLease slot = pool_.try_lease(budget, reused);
     if (!slot && prefix_cache_ != nullptr &&
         prefix_cache_->evict_for_blocks(
@@ -166,62 +359,179 @@ void InferenceEngine::admit() {
       // Arena exhausted: cold cached prefixes were traded for headroom.
       slot = pool_.try_lease(budget, reused);
     }
-    // Speculative requests also hold a draft slot; when the draft pool is
-    // drained the request goes back to the queue head and admission stops —
-    // capacity frees when a sequence retires.
-    KvLease draft_slot;
-    bool draft_failed = false;
-    if (slot && pending.request.spec_k > 0) {
-      draft_slot = draft_pool_->try_lease(budget);
-      draft_failed = !draft_slot;
-    }
-    if (!slot || draft_failed) {
-      if (prefix_cache_ != nullptr) prefix_cache_->unpin(m);
-      slot.release();
-      std::lock_guard lock(queue_mutex_);
-      waiting_.push_front(std::move(pending));
-      return;
-    }
-    queue_cv_.notify_one();  // queue space freed; unblock one submitter
+    return slot;
+  };
 
-    ActiveSeq seq;
-    seq.request = std::move(pending.request);
-    seq.promise = std::move(pending.promise);
-    seq.submitted = pending.submitted;
-    seq.kv = std::move(slot);
-    seq.draft_kv = std::move(draft_slot);
+  KvLease slot;
+  KvLease draft_slot;
+  auto acquire = [&]() -> bool {
+    if (!slot) slot = lease_target();
+    if (!slot) return false;
+    if (req.spec_k == 0) return true;
+    if (!draft_slot) draft_slot = draft_pool_->try_lease(budget);
+    return static_cast<bool>(draft_slot);
+  };
+
+  // Preemption loop: while memory is short, ask the policy to name an
+  // active victim (it sees the post-preemption active set each round).
+  bool acquired = acquire();
+  while (!acquired) {
+    std::vector<sched::ActiveItem> items;
+    items.reserve(active_.size());
+    for (const ActiveSeq& seq : active_) {
+      sched::ActiveItem item;
+      item.id = seq.request.id;
+      item.priority = seq.request.priority;
+      item.submitted = seq.submitted;
+      item.emitted = seq.emitted;
+      items.push_back(item);
+    }
+    const std::size_t victim = scheduler_->pick_victim(items, incoming, now);
+    if (victim == sched::kNone) break;
+    preempt(victim);
+    acquired = acquire();
+  }
+  if (!acquired) {
+    if (fresh && prefix_cache_ != nullptr) prefix_cache_->unpin(m);
+    slot.release();
+    draft_slot.release();
+    std::lock_guard lock(queue_mutex_);
+    waiting_.push_front(std::move(pending));
+    return false;
+  }
+
+  ActiveSeq seq;
+  seq.request = std::move(pending.request);
+  seq.promise = std::move(pending.promise);
+  seq.submitted = pending.submitted;
+  seq.deadline = pending.deadline;
+  seq.kv = std::move(slot);
+  seq.draft_kv = std::move(draft_slot);
+  if (fresh) {
     seq.rng = seq.request.sampling.make_rng();
     seq.tokens = seq.request.prompt;
+  } else {
+    // Byte-identical resume: the rng state and tokens carry over exactly.
+    seq.rng = pending.rng;
+    seq.tokens = std::move(pending.tokens);
+  }
+  seq.emitted = pending.emitted;
+  seq.ttft_s = pending.ttft_s;
+  seq.queue_delay_s = pending.queue_delay_s;
+  seq.preemptions = pending.preemptions;
+  seq.spec = pending.spec;
+  seq.last_token = pending.last_token;
 
+  // Prefill target: a sequence that never sampled needs the whole prompt
+  // resident and then samples from the last position's logits; one that
+  // already emitted resumes with its cache at len - 1, exactly where a
+  // never-preempted sequence's cache sits between decode steps.
+  const auto len = static_cast<std::int64_t>(seq.tokens.size());
+  seq.sample_first = seq.emitted == 0;
+  seq.prefill_target = seq.sample_first ? len : len - 1;
+
+  if (fresh) {
     // Prefix cache: alias the matched blocks into the lease's table (zero
-    // copy) and prefill only the suffix. Unpin before insert so our own
-    // pins never block edge splits. Aliased rows ARE the rows a cold
-    // prefill would compute, so the suffix prefill (and every later decode)
-    // sees exactly the cold-path cache state.
+    // copy). Unpin before the prefill phase so our own pins never block
+    // edge splits. Aliased rows ARE the rows a cold prefill would compute,
+    // so the chunked prefill (and every later decode) sees exactly the
+    // cold-path cache state.
     if (reused > 0) prefix_cache_->restore(m, *seq.kv);
-    if (prefix_cache_ != nullptr) prefix_cache_->unpin(m);
-    Tape tape;
-    // forward_incremental returns logits for the last fed position only.
-    Var logits =
-        model_.forward_incremental(tape, prompt.subspan(
-                                             static_cast<std::size_t>(reused)),
-                                   *seq.kv);
     if (prefix_cache_ != nullptr) {
+      prefix_cache_->unpin(m);
       stats_.record_prefix(reused, prompt_len);
-      // The slot now holds the full prompt's rows; cache the uncached tail.
-      prefix_cache_->insert(prompt, prompt_len, *seq.kv);
     }
-    const auto now = Clock::now();
-    seq.tokens.push_back(sample_row(logits, 0, seq));
-    seq.emitted = 1;
-    seq.ttft_s = secs(now - seq.submitted);
-    stats_.record_ttft(seq.ttft_s);
-    seq.last_token = now;
-    if (seq.emitted == seq.request.max_new_tokens) {
-      finish(seq, now);
-    } else {
-      active_.push_back(std::move(seq));
-    }
+  } else if (pending.swapped) {
+    sched::SwapArena::Entry entry = swap_arena_.take(seq.request.id);
+    restore_kv(*seq.kv, entry, model_.config());
+  }
+  seq.prefill_done = seq.kv->length == seq.prefill_target;
+  // First prefill chunk happens at admission (with chunking disabled this
+  // is the whole prompt), so a prompt admitted-and-prefilled here is
+  // already in the prefix cache when a sibling admitted later in the same
+  // step looks it up — the pre-scheduler admission behaviour.
+  if (!seq.prefill_done) prefill_step(seq, now);
+  active_.push_back(std::move(seq));
+  return true;
+}
+
+void InferenceEngine::prefill_step(ActiveSeq& seq, Clock::time_point now) {
+  if (seq.queue_delay_s < 0.0) {
+    // First time this request reaches the model: pure scheduling delay.
+    seq.queue_delay_s = secs(now - seq.submitted);
+    stats_.record_queue_delay(seq.queue_delay_s);
+  }
+  const std::int64_t cur = seq.kv->length;
+  const std::int64_t want = seq.prefill_target - cur;
+  MGPT_CHECK(want > 0, "prefill step on a fully-prefilled sequence");
+  const std::int64_t chunk =
+      config_.prefill_chunk_tokens > 0
+          ? std::min(want, config_.prefill_chunk_tokens)
+          : want;
+  Tape tape;
+  // forward_incremental returns logits for the last fed position only.
+  Var logits = model_.forward_incremental(
+      tape,
+      std::span<const std::int32_t>(seq.tokens)
+          .subspan(static_cast<std::size_t>(cur),
+                   static_cast<std::size_t>(chunk)),
+      *seq.kv);
+  if (seq.kv->length < seq.prefill_target) return;  // more chunks next step
+  seq.prefill_done = true;
+  if (!seq.sample_first) return;  // resume: decode feeds tokens.back()
+  if (seq.preemptions == 0 && prefix_cache_ != nullptr) {
+    // The lease now holds the full prompt's rows; cache the uncached tail.
+    prefix_cache_->insert(
+        seq.request.prompt,
+        static_cast<std::int64_t>(seq.request.prompt.size()), *seq.kv);
+  }
+  const auto t = Clock::now();
+  seq.tokens.push_back(sample_row(logits, 0, seq));
+  seq.emitted = 1;
+  seq.ttft_s = secs(t - seq.submitted);
+  stats_.record_ttft(seq.ttft_s, seq.request.priority);
+  seq.last_token = t;
+}
+
+void InferenceEngine::preempt(std::size_t idx) {
+  ActiveSeq seq = std::move(active_[idx]);
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(idx));
+
+  Pending pending;
+  pending.request = std::move(seq.request);
+  pending.promise = std::move(seq.promise);
+  pending.submitted = seq.submitted;  // original arrival: aging and EDF keep
+                                      // measuring real waiting time
+  pending.deadline = seq.deadline;
+  pending.tokens = std::move(seq.tokens);
+  pending.rng = seq.rng;
+  pending.emitted = seq.emitted;
+  pending.ttft_s = seq.ttft_s;
+  pending.queue_delay_s = seq.queue_delay_s;
+  pending.preemptions = seq.preemptions + 1;
+  pending.resuming = true;
+  pending.spec = seq.spec;
+  pending.last_token = seq.last_token;
+
+  bool swapped = false;
+  if (config_.preempt_mode == sched::PreemptMode::kSwap &&
+      seq.kv->length > 0) {
+    // Park the rows host-side; a full arena falls back to recompute.
+    swapped = swap_arena_.try_store(pending.request.id,
+                                    gather_kv(*seq.kv, model_.config()));
+  }
+  pending.swapped = swapped;
+  seq.kv.release();
+  seq.draft_kv.release();  // the proposer re-prefills deterministically
+  stats_.record_preemption(swapped);
+
+  std::lock_guard lock(queue_mutex_);
+  waiting_.push_front(std::move(pending));
+}
+
+void InferenceEngine::prefill_phase(Clock::time_point now) {
+  for (ActiveSeq& seq : active_) {
+    if (!seq.prefill_done) prefill_step(seq, now);
   }
 }
 
@@ -234,17 +544,22 @@ std::int32_t InferenceEngine::sample_row(const Var& logits, std::int64_t row,
       seq.request.sampling, seq.rng);
 }
 
-void InferenceEngine::finish(ActiveSeq& seq, Clock::time_point now) {
+void InferenceEngine::finish(ActiveSeq& seq, RequestStatus status,
+                             Clock::time_point now) {
   RequestResult result;
   result.id = seq.request.id;
+  result.status = status;
+  result.priority = seq.request.priority;
   result.generated_tokens = seq.emitted;
   result.tokens = std::move(seq.tokens);
   result.ttft_s = seq.ttft_s;
+  result.queue_delay_s = seq.queue_delay_s;
   result.total_s = secs(now - seq.submitted);
   result.tokens_per_s =
       result.total_s > 0.0
           ? static_cast<double>(result.generated_tokens) / result.total_s
           : 0.0;
+  result.preemptions = seq.preemptions;
   result.drafts_proposed = seq.spec.drafts_proposed;
   result.drafts_accepted = seq.spec.drafts_accepted;
   // The prefill forward counts as a verify round so steps-saved compares
@@ -257,29 +572,48 @@ void InferenceEngine::finish(ActiveSeq& seq, Clock::time_point now) {
   seq.promise.set_value(std::move(result));
 }
 
-std::size_t InferenceEngine::step() {
-  const std::size_t active_before = active_.size();
-  admit();
-  const std::size_t admitted = active_.size() - active_before;
-  if (pool_.paged()) {
-    stats_.record_kv(active_.size(), pool_.used_blocks(),
-                     pool_.total_blocks(), pool_.shared_blocks(),
-                     pool_.cow_forks(), pool_.cow_rows());
-  } else {
-    stats_.record_kv(active_.size(), 0, 0, 0, 0, 0);
-  }
-  if (active_.empty()) return admitted;
+void InferenceEngine::finish_pending(Pending& pending, RequestStatus status,
+                                     Clock::time_point now) {
+  if (pending.swapped) swap_arena_.drop(pending.request.id);
+  RequestResult result;
+  result.id = pending.request.id;
+  result.status = status;
+  result.priority = pending.request.priority;
+  result.generated_tokens = pending.emitted;
+  // Fresh pendings never grew a token vector; keep the prompt-plus-generated
+  // result layout either way.
+  result.tokens = pending.resuming ? std::move(pending.tokens)
+                                   : std::move(pending.request.prompt);
+  result.ttft_s = pending.ttft_s;
+  result.queue_delay_s = pending.queue_delay_s;
+  result.total_s = secs(now - pending.submitted);
+  result.tokens_per_s =
+      result.total_s > 0.0
+          ? static_cast<double>(result.generated_tokens) / result.total_s
+          : 0.0;
+  result.preemptions = pending.preemptions;
+  result.drafts_proposed = pending.spec.drafts_proposed;
+  result.drafts_accepted = pending.spec.drafts_accepted;
+  result.verify_rounds =
+      pending.spec.drafts_proposed > 0 ? pending.spec.verify_rounds + 1 : 0;
+  stats_.record_request(result);
+  pending.promise.set_value(std::move(result));
+}
 
-  const std::size_t n = active_.size();
+std::size_t InferenceEngine::decode_phase() {
   // Plain sequences share one ragged decode_batch step; speculative ones
   // each run a propose/verify round (1..k+1 tokens) against their own
   // target + draft slots. Both paths emit the same tokens a batch-1
-  // generate_cached would under greedy sampling.
+  // generate_cached would under greedy sampling. Sequences still mid-way
+  // through a chunked prefill sit this phase out.
   std::vector<std::size_t> plain;
   std::vector<std::size_t> speculative;
-  plain.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    (active_[i].request.spec_k > 0 ? speculative : plain).push_back(i);
+  plain.reserve(active_.size());
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    ActiveSeq& seq = active_[i];
+    if (!seq.prefill_done) continue;
+    if (seq.emitted >= seq.request.max_new_tokens) continue;
+    (seq.request.spec_k > 0 ? speculative : plain).push_back(i);
   }
 
   auto advance = [this](ActiveSeq& seq, std::int32_t token,
@@ -334,18 +668,40 @@ std::size_t InferenceEngine::step() {
       seq.last_token = now;
     }
   }
+  return plain.size() + speculative.size();
+}
 
+void InferenceEngine::retire_finished() {
   // Retire finished sequences; their slots are free for the next admit().
   std::vector<ActiveSeq> survivors;
   survivors.reserve(active_.size());
-  for (auto& seq : active_) {
+  for (ActiveSeq& seq : active_) {
     if (seq.emitted == seq.request.max_new_tokens) {
-      finish(seq, seq.last_token);
+      finish(seq, RequestStatus::kOk, seq.last_token);
     } else {
       survivors.push_back(std::move(seq));
     }
   }
   active_ = std::move(survivors);
+}
+
+std::size_t InferenceEngine::step() {
+  const auto now = Clock::now();
+  apply_cancellations(now);
+  expire_deadlines(now);
+  const std::size_t admitted = admit(now);
+  if (pool_.paged()) {
+    stats_.record_kv(active_.size(), pool_.used_blocks(),
+                     pool_.total_blocks(), pool_.shared_blocks(),
+                     pool_.cow_forks(), pool_.cow_rows());
+  } else {
+    stats_.record_kv(active_.size(), 0, 0, 0, 0, 0);
+  }
+  if (active_.empty()) return admitted;
+  const std::size_t n = active_.size();
+  prefill_phase(now);
+  decode_phase();
+  retire_finished();
   return admitted + n;
 }
 

@@ -1,40 +1,48 @@
 #pragma once
-// Continuous-batching inference engine.
+// Continuous-batching inference engine with pluggable scheduling.
 //
 // Requests enter a bounded admission queue (submit() blocks when it is
-// full — backpressure, not a crash). Each scheduler step:
+// full — backpressure, not a crash; try_submit() refuses instead). Each
+// scheduler step:
 //
-//   1. admit: while the decode batch has room, pop a waiting request and
-//      try to lease KV for its token budget (paged mode reserves exactly the
-//      blocks the budget needs, minus what a cached prefix supplies; slotted
-//      mode takes a whole slot). With prefix caching enabled, the longest
-//      cached prompt prefix is aliased into the lease's block table
-//      (refcounted, zero-copy) and only the remaining suffix prefills, else
-//      the whole prompt prefills (batch-1); then sample its first token
-//      (TTFT). When the arena is out of blocks, cold cached prefixes are
-//      evicted to make room before giving up;
-//   2. decode: one ragged-batch GptModel::decode_batch step across every
-//      plain sequence — one new token each — plus one speculative
-//      propose/verify round per speculative sequence (1..k+1 tokens each);
-//   3. retire: finished sequences release their KV slot (and draft slot)
-//      back to the pool and resolve their future; the freed capacity is
-//      re-usable in the next step's admissions — no drain barrier between
-//      request generations.
+//   1. retire staged cancellations and expired deadlines (waiting AND
+//      active) through the normal retirement path, with
+//      RequestResult::status telling the client what happened;
+//   2. admit: while the decode batch has room, ask the configured
+//      sched::Scheduler which waiting request to admit next (FCFS keeps
+//      arrival order; the priority policy runs aged-class + EDF ordering)
+//      and try to lease KV for its token budget. When the lease fails the
+//      scheduler may name an active victim to PREEMPT (release its blocks
+//      and re-queue it) until the lease fits, set the pick aside and try
+//      another (priority bypass), or stop admission (strict FCFS);
+//   3. prefill: every admitted sequence that has not finished prefilling
+//      feeds up to prefill_chunk_tokens prompt tokens (0 = the whole
+//      remainder) through the partial-prefill path, so a long prompt no
+//      longer stalls other sequences' decode steps for its entire length.
+//      A sequence whose prefill completes samples its first token (TTFT);
+//   4. decode: one ragged-batch GptModel::decode_batch step across every
+//      fully-prefilled plain sequence plus one speculative propose/verify
+//      round per speculative sequence;
+//   5. retire: finished sequences release their KV back to the pool and
+//      resolve their future.
 //
-// Speculative and plain requests coexist: a request with spec_k > 0 (the
-// engine must be configured with a DraftProposer) additionally holds a slot
-// from a draft KV pool and advances through SpeculativeDecoder::step each
-// scheduler iteration. Greedy speculative requests produce byte-identical
-// tokens to their plain-decoded selves.
+// Preemption is transparent to the client: a victim's request state
+// (tokens generated so far, its sampling-rng state, its latency clocks) is
+// re-queued, and on re-admission the engine either re-prefills
+// prompt + generated-so-far (PreemptMode::kRecompute) or memcpy-restores
+// the KV rows it parked in a host-side SwapArena (PreemptMode::kSwap).
+// Cached K/V rows depend only on (token, position), so both paths resume
+// byte-identical to a never-preempted run — including speculative
+// requests, whose draft cache is simply dropped and deterministically
+// re-prefilled by the proposer.
 //
-// Per-request sampling streams are seeded from Request::sampling.seed, so
-// each request's tokens are bit-identical to a standalone batch-1
-// GptModel::generate_cached run regardless of what it was batched with —
-// and regardless of whether its prefix came from the cache or a cold
-// prefill (cached rows are bit-identical to recomputed ones).
+// Per-request sampling streams are seeded from Request::sampling.seed and
+// carried by value across preemptions, so each request's tokens are
+// bit-identical to a standalone batch-1 GptModel::generate_cached run
+// regardless of batching, chunking, or how often it was preempted.
 //
-// Threading: submit() is safe from any thread; step()/run_*() must be driven
-// by one scheduler thread.
+// Threading: submit()/try_submit()/cancel() are safe from any thread;
+// step()/run_*() must be driven by one scheduler thread.
 
 #include <chrono>
 #include <condition_variable>
@@ -43,6 +51,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "nn/gpt.h"
@@ -50,6 +59,8 @@
 #include "serve/metrics.h"
 #include "serve/prefix_cache.h"
 #include "serve/request.h"
+#include "serve/sched/scheduler.h"
+#include "serve/sched/swap_arena.h"
 #include "serve/spec/speculative.h"
 
 namespace matgpt::serve {
@@ -76,6 +87,23 @@ struct EngineConfig {
   /// false: decode active sequences one at a time (the pre-batching
   /// behaviour) — kept for apples-to-apples benchmarking.
   bool batched_decode = true;
+  /// Admission/preemption policy (see sched::Policy). kFcfs reproduces the
+  /// pre-scheduler engine exactly; kPriority enables class + EDF ordering
+  /// with aging and preemption.
+  sched::Policy scheduler = sched::Policy::kFcfs;
+  /// PriorityScheduler aging quantum: a request's effective class improves
+  /// one step per aging window waited, so low-priority work cannot starve.
+  /// 0 disables aging. Ignored by FCFS.
+  double sched_aging_ms = 500.0;
+  /// Prefill chunk size in tokens; 0 = prefill whole prompts in one
+  /// forward. Chunked prefill interleaves long-prompt prefills with other
+  /// sequences' decode steps and is byte-identical to whole-prompt prefill.
+  std::int64_t prefill_chunk_tokens = 0;
+  /// What happens to a preemption victim's KV (see sched::PreemptMode).
+  sched::PreemptMode preempt_mode = sched::PreemptMode::kRecompute;
+  /// Host-byte budget for swap-mode preemption (0 = unbounded). When a
+  /// victim's KV does not fit, that preemption falls back to recompute.
+  std::size_t swap_arena_bytes = 0;
   /// Draft proposer for speculative requests (spec_k > 0). When set, the
   /// engine reserves a second KV pool with `kv_slots` draft slots sized by
   /// the proposer's cache_config(). Null = plain decoding only.
@@ -90,10 +118,11 @@ struct EngineConfig {
   StatsConfig stats;
 
   /// Throws (MGPT_CHECK) on unserviceable knobs: max_batch <= 0,
-  /// kv_slots == 0, queue_capacity == 0, kv_block_tokens <= 0 (paged), or a
-  /// prefix cache on a slotted pool. Called by the engine constructor
-  /// before any allocation; the prefix-cache budget-vs-block check lives in
-  /// the PrefixCache constructor on the same path.
+  /// kv_slots == 0, queue_capacity == 0, kv_block_tokens <= 0 (paged), a
+  /// prefix cache on a slotted pool, prefill_chunk_tokens < 0, or
+  /// sched_aging_ms < 0. Called by the engine constructor before any
+  /// allocation; the prefix-cache budget-vs-block check lives in the
+  /// PrefixCache constructor on the same path.
   void validate() const;
 };
 
@@ -102,11 +131,23 @@ class InferenceEngine {
   InferenceEngine(const nn::GptModel& model, EngineConfig config = {});
 
   /// Enqueue a request; blocks while the admission queue is full. The future
-  /// resolves when the request finishes decoding.
+  /// resolves when the request retires (finished, cancelled, or timed out —
+  /// see RequestResult::status).
   std::future<RequestResult> submit(Request request);
 
-  /// One scheduler iteration (admit -> batched decode -> retire). Returns
-  /// the number of sequences that advanced (0 = nothing waiting or active).
+  /// Non-blocking submit: std::nullopt when the admission queue is full
+  /// (load-shedding callers pick their own fallback instead of blocking).
+  std::optional<std::future<RequestResult>> try_submit(Request request);
+
+  /// Stage a cancellation for `id`; the next step() retires the request
+  /// (waiting or active) with RequestStatus::kCancelled and resolves its
+  /// future with whatever tokens it had. Unknown or already-retired ids are
+  /// ignored. Safe from any thread.
+  void cancel(std::uint64_t id);
+
+  /// One scheduler iteration (cancel/expire -> admit -> chunked prefill ->
+  /// batched decode -> retire). Returns the number of sequences that
+  /// advanced (0 = nothing waiting or active).
   std::size_t step();
 
   /// Drive step() until the queue and the active batch are both empty.
@@ -123,6 +164,10 @@ class InferenceEngine {
   const KvCachePool* draft_pool() const { return draft_pool_.get(); }
   /// Prompt prefix cache; null unless prefix_cache_bytes > 0.
   const PrefixCache* prefix_cache() const { return prefix_cache_.get(); }
+  /// The admission/preemption policy the engine was built with.
+  const sched::Scheduler& scheduler() const { return *scheduler_; }
+  /// Host-side residency for swap-preempted sequences.
+  const sched::SwapArena& swap_arena() const { return swap_arena_; }
   std::size_t queue_depth() const;
   std::size_t active_count() const { return active_.size(); }
   const EngineConfig& config() const { return config_; }
@@ -130,16 +175,33 @@ class InferenceEngine {
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// A waiting request. Fresh submissions carry only the request; a
+  /// preempted-requeued one additionally carries everything needed to
+  /// resume byte-identically: tokens generated so far, the sampling-rng
+  /// state, latency clocks, speculative accounting, and (swap mode) a
+  /// SwapArena entry under its request id.
   struct Pending {
     Request request;
     std::promise<RequestResult> promise;
     Clock::time_point submitted;
+    Clock::time_point deadline = Clock::time_point::max();
+    std::vector<std::int32_t> tokens;  // prompt + generated (resume only)
+    Rng rng{0};
+    std::int64_t emitted = 0;
+    double ttft_s = 0.0;
+    double queue_delay_s = -1.0;
+    std::int64_t preemptions = 0;
+    bool resuming = false;
+    bool swapped = false;  // KV parked in swap_arena_ under request.id
+    spec::SpecStats spec;
+    Clock::time_point last_token;
   };
 
   struct ActiveSeq {
     Request request;
     std::promise<RequestResult> promise;
     Clock::time_point submitted;
+    Clock::time_point deadline = Clock::time_point::max();
     Clock::time_point last_token;
     KvLease kv;
     KvLease draft_kv;  // speculative requests only
@@ -147,13 +209,38 @@ class InferenceEngine {
     std::vector<std::int32_t> tokens;  // prompt + generated so far
     std::int64_t emitted = 0;
     double ttft_s = 0.0;
+    double queue_delay_s = -1.0;
+    std::int64_t preemptions = 0;
     spec::SpecStats spec;
+    // Chunked-prefill state: the KV cache must reach `prefill_target`
+    // tokens before the sequence may decode; `sample_first` samples the
+    // first token from the final chunk's logits (false when resuming a
+    // sequence that already emitted — its cache stops at len - 1 and the
+    // next decode step feeds tokens.back()).
+    std::int64_t prefill_target = 0;
+    bool sample_first = true;
+    bool prefill_done = false;
   };
 
-  void admit();
+  std::future<RequestResult> enqueue(Pending pending);
+  Pending make_pending(Request request) const;
+  void apply_cancellations(Clock::time_point now);
+  void expire_deadlines(Clock::time_point now);
+  std::size_t admit(Clock::time_point now);
+  bool try_activate(Pending pending, Clock::time_point now);
+  /// Preempt active_[idx]: release its KV (after parking it host-side in
+  /// swap mode), fold its state back into a Pending, and push it to the
+  /// queue FRONT so FCFS snapshots keep it ahead of younger arrivals.
+  void preempt(std::size_t idx);
+  void prefill_step(ActiveSeq& seq, Clock::time_point now);
+  void prefill_phase(Clock::time_point now);
+  std::size_t decode_phase();
+  void retire_finished();
   std::int32_t sample_row(const Var& logits, std::int64_t row,
                           ActiveSeq& seq) const;
-  void finish(ActiveSeq& seq, Clock::time_point now);
+  void finish(ActiveSeq& seq, RequestStatus status, Clock::time_point now);
+  void finish_pending(Pending& pending, RequestStatus status,
+                      Clock::time_point now);
 
   const nn::GptModel& model_;
   EngineConfig config_;
@@ -161,9 +248,12 @@ class InferenceEngine {
   std::unique_ptr<KvCachePool> draft_pool_;
   std::unique_ptr<PrefixCache> prefix_cache_;
   std::unique_ptr<spec::SpeculativeDecoder> spec_decoder_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  sched::SwapArena swap_arena_;
   ServerStats stats_;
 
   std::deque<Pending> waiting_;
+  std::vector<std::uint64_t> cancel_ids_;  // staged by cancel()
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
 

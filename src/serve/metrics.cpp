@@ -9,21 +9,38 @@ namespace matgpt::serve {
 
 ServerStats::ServerStats(const StatsConfig& config)
     : ttft_ms_(0.0, config.max_ttft_ms, config.bins),
-      inter_token_ms_(0.0, config.max_inter_token_ms, config.bins) {
-  MGPT_CHECK(config.max_ttft_ms > 0.0 && config.max_inter_token_ms > 0.0,
+      inter_token_ms_(0.0, config.max_inter_token_ms, config.bins),
+      queue_delay_ms_(0.0, config.max_queue_delay_ms, config.bins) {
+  MGPT_CHECK(config.max_ttft_ms > 0.0 && config.max_inter_token_ms > 0.0 &&
+                 config.max_queue_delay_ms > 0.0,
              "latency bounds must be positive");
+  ttft_class_ms_.reserve(kPriorityClasses);
+  for (std::size_t i = 0; i < kPriorityClasses; ++i) {
+    ttft_class_ms_.emplace_back(0.0, config.max_ttft_ms, config.bins);
+  }
 }
 
-void ServerStats::record_ttft(double seconds) {
+void ServerStats::record_ttft(double seconds, Priority cls) {
   ttft_ms_.add(seconds * 1e3);
+  ttft_class_ms_[static_cast<std::size_t>(cls)].add(seconds * 1e3);
 }
 
 void ServerStats::record_inter_token(double seconds) {
   inter_token_ms_.add(seconds * 1e3);
 }
 
+void ServerStats::record_queue_delay(double seconds) {
+  queue_delay_ms_.add(seconds * 1e3);
+}
+
+void ServerStats::record_preemption(bool swapped) {
+  (swapped ? preempt_swaps_ : preempt_recomputes_) += 1;
+}
+
 void ServerStats::record_request(const RequestResult& result) {
   requests_completed_ += 1;
+  if (result.status == RequestStatus::kCancelled) cancelled_ += 1;
+  if (result.status == RequestStatus::kTimeout) timed_out_ += 1;
   tokens_generated_ += static_cast<std::uint64_t>(result.generated_tokens);
   sum_request_tokens_per_s_ += result.tokens_per_s;
   drafts_proposed_ += static_cast<std::uint64_t>(result.drafts_proposed);
@@ -76,8 +93,26 @@ std::string ServerStats::report(double wall_s) const {
        << h.quantile(0.95) << " ms, p99 " << h.quantile(0.99) << " ms\n";
   };
   if (ttft_ms_.total() > 0.0) row("ttft:                ", ttft_ms_);
+  for (std::size_t c = 0; c < ttft_class_ms_.size(); ++c) {
+    const Histogram& h = ttft_class_ms_[c];
+    if (h.total() == 0.0 || h.total() == ttft_ms_.total()) continue;
+    os << "  ttft[" << priority_name(static_cast<Priority>(c)) << "]:      "
+       << "p50 " << h.quantile(0.50) << " ms, p95 " << h.quantile(0.95)
+       << " ms, p99 " << h.quantile(0.99) << " ms\n";
+  }
+  if (queue_delay_ms_.total() > 0.0) {
+    row("queue delay:         ", queue_delay_ms_);
+  }
   if (inter_token_ms_.total() > 0.0) {
     row("inter-token latency: ", inter_token_ms_);
+  }
+  if (preemptions() > 0) {
+    os << "preemptions:         " << preemptions() << " (" << preempt_swaps_
+       << " swapped, " << preempt_recomputes_ << " recompute)\n";
+  }
+  if (cancelled_ + timed_out_ > 0) {
+    os << "early retirements:   " << cancelled_ << " cancelled, "
+       << timed_out_ << " timed out\n";
   }
   if (drafts_proposed_ > 0) {
     os << "spec acceptance:     " << 100.0 * acceptance_rate() << "% ("

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "serve/request.h"
@@ -20,6 +21,7 @@ namespace matgpt::serve {
 struct StatsConfig {
   double max_ttft_ms = 10000.0;
   double max_inter_token_ms = 1000.0;
+  double max_queue_delay_ms = 10000.0;
   std::size_t bins = 4000;
 };
 
@@ -27,8 +29,15 @@ class ServerStats {
  public:
   explicit ServerStats(const StatsConfig& config = {});
 
-  void record_ttft(double seconds);
+  /// TTFT lands in the aggregate histogram and the request's class
+  /// histogram — the priority scheduler's SLO claims are per-class claims.
+  void record_ttft(double seconds, Priority cls = Priority::kNormal);
   void record_inter_token(double seconds);
+  /// Submit-to-first-prefill-work delay — the part of TTFT the scheduler
+  /// (not the model) is responsible for.
+  void record_queue_delay(double seconds);
+  /// One preemption event; `swapped` = KV parked host-side (vs recompute).
+  void record_preemption(bool swapped);
   void record_request(const RequestResult& result);
   /// One admission's prefix-cache outcome: `tokens_reused` of a
   /// `prompt_tokens`-long prompt were restored from cache (0 = miss).
@@ -84,13 +93,32 @@ class ServerStats {
                      static_cast<double>(kv_total_blocks_);
   }
 
+  /// Scheduling aggregates: preemption events by KV disposition, and
+  /// retirements that did not complete normally (record_request's status).
+  std::uint64_t preemptions() const {
+    return preempt_swaps_ + preempt_recomputes_;
+  }
+  std::uint64_t preempt_swaps() const { return preempt_swaps_; }
+  std::uint64_t preempt_recomputes() const { return preempt_recomputes_; }
+  std::uint64_t cancelled() const { return cancelled_; }
+  std::uint64_t timed_out() const { return timed_out_; }
+
   /// Quantiles in milliseconds (q in [0, 1]); require recorded samples.
   double ttft_ms(double q) const { return ttft_ms_.quantile(q); }
   double inter_token_ms(double q) const {
     return inter_token_ms_.quantile(q);
   }
+  double queue_delay_ms(double q) const { return queue_delay_ms_.quantile(q); }
+  /// Per-priority-class TTFT quantile (requires samples in that class).
+  double ttft_class_ms(Priority cls, double q) const {
+    return ttft_class_ms_[static_cast<std::size_t>(cls)].quantile(q);
+  }
   double ttft_count() const { return ttft_ms_.total(); }
   double inter_token_count() const { return inter_token_ms_.total(); }
+  double queue_delay_count() const { return queue_delay_ms_.total(); }
+  double ttft_class_count(Priority cls) const {
+    return ttft_class_ms_[static_cast<std::size_t>(cls)].total();
+  }
 
   /// Mean per-request decode throughput (tokens/s) over completed requests.
   double mean_request_tokens_per_s() const;
@@ -102,6 +130,12 @@ class ServerStats {
  private:
   Histogram ttft_ms_;
   Histogram inter_token_ms_;
+  Histogram queue_delay_ms_;
+  std::vector<Histogram> ttft_class_ms_;  // indexed by Priority
+  std::uint64_t preempt_swaps_ = 0;
+  std::uint64_t preempt_recomputes_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t timed_out_ = 0;
   std::uint64_t requests_completed_ = 0;
   std::uint64_t tokens_generated_ = 0;
   double sum_request_tokens_per_s_ = 0.0;

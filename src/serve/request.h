@@ -1,5 +1,6 @@
 #pragma once
-// Serving request/response types shared by the engine, metrics, and traces.
+// Serving request/response types shared by the engine, scheduler, metrics,
+// and traces.
 
 #include <cstdint>
 #include <vector>
@@ -7,6 +8,45 @@
 #include "nn/sampling.h"
 
 namespace matgpt::serve {
+
+/// Scheduling class of a request. Lower value = more urgent; the
+/// PriorityScheduler admits strictly by (aged) class before anything else.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr std::size_t kPriorityClasses = 3;
+
+inline const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kHigh:
+      return "high";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kLow:
+      return "low";
+  }
+  return "?";
+}
+
+/// How a request left the engine. Cancelled/timed-out requests still resolve
+/// their future (with whatever tokens they had) — retirement is one path.
+enum class RequestStatus : std::uint8_t {
+  kOk = 0,
+  /// Retired by InferenceEngine::cancel() before completing.
+  kCancelled,
+  /// Deadline expired (waiting or mid-decode) before completing.
+  kTimeout,
+};
+
+inline const char* status_name(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kCancelled:
+      return "cancelled";
+    case RequestStatus::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
 
 /// One generation request as a client would submit it.
 struct Request {
@@ -23,21 +63,37 @@ struct Request {
   /// Greedy speculative requests still produce tokens byte-identical to the
   /// plain path — speculation only changes how fast they arrive.
   std::int64_t spec_k = 0;
+  /// Scheduling class (see Priority). FCFS ignores it; the
+  /// PriorityScheduler orders admission by it (with aging and EDF).
+  Priority priority = Priority::kNormal;
+  /// Relative SLO deadline in milliseconds from submit (0 = none). The
+  /// PriorityScheduler runs EDF on submit + deadline_ms within a class; a
+  /// request whose deadline passes before it completes is retired with
+  /// RequestStatus::kTimeout.
+  double deadline_ms = 0.0;
 };
 
 /// Completed request: prompt + generated tokens (the generate_cached layout)
 /// plus per-request latency accounting.
 struct RequestResult {
   std::uint64_t id = 0;
+  RequestStatus status = RequestStatus::kOk;
+  Priority priority = Priority::kNormal;
   std::vector<std::int32_t> tokens;
   /// Tokens the engine generated (tokens.size() minus the prompt).
   std::int64_t generated_tokens = 0;
   /// Submit-to-first-token latency (queue wait + prefill).
   double ttft_s = 0.0;
+  /// Submit-to-first-prefill-work latency: pure queueing delay, what the
+  /// scheduler controls. ttft_s minus this is the prefill cost. Negative
+  /// when the request never reached the model (cancelled/expired in queue).
+  double queue_delay_s = -1.0;
   /// Submit-to-completion latency.
   double total_s = 0.0;
   /// Decode throughput: generated tokens / total_s.
   double tokens_per_s = 0.0;
+  /// Times this request was preempted and re-queued (recompute or swap).
+  std::int64_t preemptions = 0;
   /// Speculative accounting (zero for plain requests): draft tokens
   /// proposed/accepted and target forwards taken. generated_tokens minus
   /// verify_rounds is the number of sequential decode steps speculation

@@ -1,0 +1,16 @@
+#include "serve/sched/fcfs.h"
+
+namespace matgpt::serve::sched {
+
+std::size_t FcfsScheduler::pick_next(std::span<const QueueItem> waiting,
+                                     Clock::time_point /*now*/) const {
+  return waiting.empty() ? kNone : 0;
+}
+
+std::size_t FcfsScheduler::pick_victim(std::span<const ActiveItem> /*active*/,
+                                       const QueueItem& /*incoming*/,
+                                       Clock::time_point /*now*/) const {
+  return kNone;  // FCFS never preempts
+}
+
+}  // namespace matgpt::serve::sched

@@ -1,0 +1,28 @@
+#pragma once
+// Strict first-come-first-served scheduling: the exact admission behaviour
+// the engine had before the scheduler subsystem existed, kept as the
+// baseline bench_scheduler measures the PriorityScheduler against.
+
+#include "serve/sched/scheduler.h"
+
+namespace matgpt::serve::sched {
+
+/// Admit in arrival order, never preempt, never bypass the head of the
+/// queue: a request that cannot get KV memory blocks everyone behind it
+/// until capacity frees — the head-of-line behaviour whose cost the
+/// priority policy exists to remove.
+class FcfsScheduler : public Scheduler {
+ public:
+  const char* name() const override { return "fcfs"; }
+
+  std::size_t pick_next(std::span<const QueueItem> waiting,
+                        Clock::time_point now) const override;
+
+  std::size_t pick_victim(std::span<const ActiveItem> active,
+                          const QueueItem& incoming,
+                          Clock::time_point now) const override;
+
+  bool allows_bypass() const override { return false; }
+};
+
+}  // namespace matgpt::serve::sched

@@ -1,0 +1,84 @@
+#include "serve/sched/priority.h"
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace matgpt::serve::sched {
+
+namespace {
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// EDF key: the explicit deadline, or the implied one for requests without.
+Clock::time_point edf_deadline(const QueueItem& item) {
+  if (item.deadline != Clock::time_point::max()) return item.deadline;
+  return item.submitted + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  kImpliedDeadlineMs));
+}
+
+}  // namespace
+
+PriorityScheduler::PriorityScheduler(double aging_ms) : aging_ms_(aging_ms) {
+  MGPT_CHECK(aging_ms_ >= 0.0,
+             "PriorityScheduler aging_ms must be >= 0 (got " << aging_ms_
+                                                             << ")");
+}
+
+int PriorityScheduler::effective_class(const QueueItem& item,
+                                       Clock::time_point now) const {
+  const int cls = static_cast<int>(item.priority);
+  if (aging_ms_ <= 0.0) return cls;
+  const double waited = ms_between(item.submitted, now);
+  const int promoted = static_cast<int>(std::floor(waited / aging_ms_));
+  return promoted >= cls ? 0 : cls - promoted;
+}
+
+std::size_t PriorityScheduler::pick_next(std::span<const QueueItem> waiting,
+                                         Clock::time_point now) const {
+  std::size_t best = kNone;
+  std::tuple<int, Clock::time_point, Clock::time_point, std::uint64_t>
+      best_key;
+  for (std::size_t i = 0; i < waiting.size(); ++i) {
+    const QueueItem& item = waiting[i];
+    const auto key = std::make_tuple(effective_class(item, now),
+                                     edf_deadline(item), item.submitted,
+                                     item.id);
+    if (best == kNone || key < best_key) {
+      best = i;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+std::size_t PriorityScheduler::pick_victim(std::span<const ActiveItem> active,
+                                           const QueueItem& incoming,
+                                           Clock::time_point /*now*/) const {
+  // Victim = strictly lower class than the incoming request's ORIGINAL
+  // class (aging promotes admission order, not the right to evict others),
+  // worst class first, youngest submission within it — tie on id so the
+  // choice is deterministic.
+  std::size_t victim = kNone;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const ActiveItem& seq = active[i];
+    if (seq.priority <= incoming.priority) continue;
+    if (victim == kNone) {
+      victim = i;
+      continue;
+    }
+    const ActiveItem& cur = active[victim];
+    const auto key = std::make_tuple(static_cast<int>(seq.priority),
+                                     seq.submitted, seq.id);
+    const auto cur_key = std::make_tuple(static_cast<int>(cur.priority),
+                                         cur.submitted, cur.id);
+    if (key > cur_key) victim = i;
+  }
+  return victim;
+}
+
+}  // namespace matgpt::serve::sched

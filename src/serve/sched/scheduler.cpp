@@ -1,0 +1,15 @@
+#include "serve/sched/scheduler.h"
+
+#include "serve/sched/fcfs.h"
+#include "serve/sched/priority.h"
+
+namespace matgpt::serve::sched {
+
+std::unique_ptr<Scheduler> make_scheduler(Policy policy, double aging_ms) {
+  if (policy == Policy::kPriority) {
+    return std::make_unique<PriorityScheduler>(aging_ms);
+  }
+  return std::make_unique<FcfsScheduler>();
+}
+
+}  // namespace matgpt::serve::sched

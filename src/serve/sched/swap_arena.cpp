@@ -1,0 +1,45 @@
+#include "serve/sched/swap_arena.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace matgpt::serve::sched {
+
+SwapArena::SwapArena(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+bool SwapArena::try_store(std::uint64_t id, Entry entry) {
+  const std::size_t bytes = entry.data.size() * sizeof(float);
+  if (byte_budget_ != 0 && bytes_used_ + bytes > byte_budget_) return false;
+  if (entries_.count(id) != 0) return false;
+  bytes_used_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, bytes_used_);
+  swaps_ += 1;
+  swapped_bytes_ += bytes;
+  entries_.emplace(id, std::move(entry));
+  return true;
+}
+
+SwapArena::Entry SwapArena::take(std::uint64_t id) {
+  auto it = entries_.find(id);
+  MGPT_CHECK(it != entries_.end(),
+             "swap arena holds no entry for request " << id);
+  Entry entry = std::move(it->second);
+  bytes_used_ -= entry.data.size() * sizeof(float);
+  entries_.erase(it);
+  return entry;
+}
+
+void SwapArena::drop(std::uint64_t id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  bytes_used_ -= it->second.data.size() * sizeof(float);
+  entries_.erase(it);
+}
+
+bool SwapArena::contains(std::uint64_t id) const {
+  return entries_.count(id) != 0;
+}
+
+}  // namespace matgpt::serve::sched

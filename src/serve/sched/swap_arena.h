@@ -1,0 +1,59 @@
+#pragma once
+// Host-side residency for preempted sequences' KV state (PreemptMode::kSwap).
+//
+// On preemption the engine gathers a victim's cached rows into one
+// contiguous host buffer ([layer][K rows][V rows], PagedKvSeq::swap_out's
+// layout) and parks it here keyed by request id; on resume it takes the
+// entry back and memcpy-appends the rows into a fresh lease — no forward
+// pass, byte-identical KV. A byte budget bounds how much host memory
+// preempted sequences may pin; when storing an entry would exceed it,
+// try_store refuses and the engine falls back to recompute preemption.
+//
+// Accessed only from the engine's scheduler thread — no locking.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace matgpt::serve::sched {
+
+class SwapArena {
+ public:
+  /// `byte_budget` caps resident host bytes (fp32 accounting, the buffers'
+  /// real size); 0 = unbounded.
+  explicit SwapArena(std::size_t byte_budget = 0);
+
+  struct Entry {
+    /// [layer][K rows][V rows], `tokens` rows per side per layer.
+    std::vector<float> data;
+    std::int64_t tokens = 0;
+  };
+
+  /// Park `entry` under `id`. Refuses (false, no side effects) when the
+  /// budget would be exceeded or the id is already resident.
+  bool try_store(std::uint64_t id, Entry entry);
+  /// Remove and return the entry for `id` (checked error when absent).
+  Entry take(std::uint64_t id);
+  /// Drop a parked entry without restoring it (cancelled/expired requests).
+  void drop(std::uint64_t id);
+  bool contains(std::uint64_t id) const;
+
+  std::size_t byte_budget() const { return byte_budget_; }
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t peak_bytes() const { return peak_bytes_; }
+  std::size_t count() const { return entries_.size(); }
+  /// Lifetime swap-out totals (entries stored / bytes moved to host).
+  std::uint64_t swaps() const { return swaps_; }
+  std::uint64_t swapped_bytes() const { return swapped_bytes_; }
+
+ private:
+  std::size_t byte_budget_;
+  std::size_t bytes_used_ = 0;
+  std::size_t peak_bytes_ = 0;
+  std::uint64_t swaps_ = 0;
+  std::uint64_t swapped_bytes_ = 0;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace matgpt::serve::sched

@@ -18,11 +18,26 @@ std::vector<Request> synth_trace(const TraceSpec& spec) {
                  spec.shared_prefix_fraction <= 1.0,
              "shared_prefix_fraction outside [0, 1]");
   MGPT_CHECK(spec.shared_prefix_len >= 0, "negative shared_prefix_len");
+  MGPT_CHECK(spec.high_fraction >= 0.0 && spec.low_fraction >= 0.0 &&
+                 spec.high_fraction + spec.low_fraction <= 1.0,
+             "priority fractions must be >= 0 and sum to <= 1");
+  MGPT_CHECK(spec.high_deadline_ms >= 0.0, "negative high_deadline_ms");
+  MGPT_CHECK(spec.long_prompt_fraction >= 0.0 &&
+                 spec.long_prompt_fraction <= 1.0,
+             "long_prompt_fraction outside [0, 1]");
+  MGPT_CHECK(spec.long_prompt_len >= 0, "negative long_prompt_len");
   Rng rng(spec.seed);
   // Separate stream for the shared-prefix decoration: the main stream's
   // draw order is untouched, so disabling the feature reproduces earlier
   // traces bit-for-bit.
   Rng prefix_rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+  // Third stream for the scheduling decorations (priority classes,
+  // deadlines, long prompts) under the same contract: zeroed knobs draw
+  // nothing and reproduce earlier traces bit-for-bit.
+  Rng sched_rng(spec.seed ^ 0xc2b2ae3d27d4eb4fULL);
+  const bool classify = spec.high_fraction > 0.0 || spec.low_fraction > 0.0;
+  const bool lengthen =
+      spec.long_prompt_fraction > 0.0 && spec.long_prompt_len > 0;
   const bool share = spec.shared_prefix_len > 0 &&
                      spec.shared_prefix_fraction > 0.0;
   std::vector<std::int32_t> shared;
@@ -63,6 +78,26 @@ std::vector<Request> synth_trace(const TraceSpec& spec) {
       std::copy(shared.begin(),
                 shared.begin() + static_cast<std::ptrdiff_t>(n),
                 req.prompt.begin());
+    }
+    if (classify) {
+      // One draw per request whenever classification is on, so the stream
+      // stays aligned regardless of which class each request lands in.
+      const double u = sched_rng.uniform();
+      if (u < spec.high_fraction) {
+        req.priority = Priority::kHigh;
+        req.deadline_ms = spec.high_deadline_ms;
+      } else if (u < spec.high_fraction + spec.low_fraction) {
+        req.priority = Priority::kLow;
+      }
+    }
+    if (lengthen && sched_rng.uniform() < spec.long_prompt_fraction) {
+      // Extend (never rewrite) the prompt from the sched stream: the main
+      // stream's draws are untouched.
+      while (static_cast<std::int64_t>(req.prompt.size()) <
+             spec.long_prompt_len) {
+        req.prompt.push_back(static_cast<std::int32_t>(sched_rng.uniform_int(
+            static_cast<std::uint64_t>(spec.vocab_size))));
+      }
     }
     trace.push_back(std::move(req));
   }

@@ -28,6 +28,18 @@ struct TraceSpec {
   /// pre-feature versions. Either 0 disables.
   double shared_prefix_fraction = 0.0;
   std::int64_t shared_prefix_len = 0;
+  /// Scheduling decoration, drawn from a third rng stream (same
+  /// bit-compatibility contract as the prefix knobs: all zeros reproduces
+  /// earlier traces exactly). Fractions of requests tagged Priority::kHigh
+  /// and Priority::kLow (the remainder stays kNormal; high is drawn first).
+  double high_fraction = 0.0;
+  double low_fraction = 0.0;
+  /// Deadline for high-priority requests in milliseconds (0 = none).
+  double high_deadline_ms = 0.0;
+  /// This fraction of requests gets a `long_prompt_len`-token prompt —
+  /// the chunked-prefill stressor. Either 0 disables.
+  double long_prompt_fraction = 0.0;
+  std::int64_t long_prompt_len = 0;
   std::uint64_t seed = 0x7eace;
 };
 
