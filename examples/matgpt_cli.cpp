@@ -16,13 +16,27 @@
 //       to a shared-system-prompt workload; --scheduler picks the admission
 //       policy, --prefill-chunk caps prefill slices at C tokens,
 //       --priority-mix tags fractions H/L of requests high/low priority, and
-//       --deadline-ms gives high-priority requests a D-ms SLO deadline
+//       --deadline-ms gives high-priority requests a D-ms SLO deadline;
+//       --json prints the run's ServerStats as one JSON document instead of
+//       the human-readable report
+//   matgpt_cli serve-http [--port P]
+//       start the epoll HTTP front end (POST /v1/generate streams tokens as
+//       chunked transfer encoding, DELETE /v1/requests/{id} cancels,
+//       GET /v1/stats reports) over a random-init serving-shaped model;
+//       runs until SIGINT/SIGTERM, then drains gracefully
+//   matgpt_cli load-gen --port P [--requests N] [--rate R] [--concurrency C]
+//       [--seed S] [--slo-ms M]
+//       socket-level load harness against a running serve-http: open-loop
+//       Poisson arrivals at R req/s (deterministic per seed), or closed-loop
+//       at fixed concurrency when --rate is omitted; prints a JSON report
+//       with goodput-under-SLO, p99 TTFT, and shed rate
 //
 // Checkpoints written by `train` (model.ckpt + tokenizer.txt) are reloaded
 // by `generate`.
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -36,6 +50,8 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "core/study.h"
+#include "net/loadgen.h"
+#include "net/server.h"
 #include "nn/serialize.h"
 #include "parallel/thread_pool.h"
 #include "serve/engine.h"
@@ -58,7 +74,10 @@ int usage() {
                "  matgpt_cli serve-bench [requests] [clients]"
                " [--spec-k N] [--draft-layers M] [--prefix-cache-mb B]\n"
                "      [--scheduler fcfs|priority] [--prefill-chunk C]"
-               " [--priority-mix H:L] [--deadline-ms D]\n");
+               " [--priority-mix H:L] [--deadline-ms D] [--json]\n"
+               "  matgpt_cli serve-http [--port P]\n"
+               "  matgpt_cli load-gen --port P [--requests N] [--rate R]"
+               " [--concurrency C] [--seed S] [--slo-ms M]\n");
   return 2;
 }
 
@@ -210,14 +229,12 @@ struct ServeBenchOpts {
   double high_fraction = 0.0;
   double low_fraction = 0.0;
   double deadline_ms = 0.0;
+  bool json = false;
 };
 
-int cmd_serve_bench(const ServeBenchOpts& opts) {
-  const std::size_t n_requests = opts.n_requests;
-  const std::size_t n_clients = opts.n_clients;
-  const std::int64_t spec_k = opts.spec_k;
-  const std::int64_t draft_layers = opts.draft_layers;
-  const std::int64_t prefix_cache_mb = opts.prefix_cache_mb;
+/// The serving-shaped model every serving subcommand uses: random-init
+/// (the point is the engine, not the prose), GQA, serving-sized vocab.
+nn::GptConfig serving_model_config() {
   nn::GptConfig mc;
   mc.arch = nn::ArchFamily::kLLaMA;
   mc.vocab_size = 8192;
@@ -226,6 +243,16 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
   mc.n_heads = 8;
   mc.n_kv_heads = 2;
   mc.max_seq = 128;
+  return mc;
+}
+
+int cmd_serve_bench(const ServeBenchOpts& opts) {
+  const std::size_t n_requests = opts.n_requests;
+  const std::size_t n_clients = opts.n_clients;
+  const std::int64_t spec_k = opts.spec_k;
+  const std::int64_t draft_layers = opts.draft_layers;
+  const std::int64_t prefix_cache_mb = opts.prefix_cache_mb;
+  const nn::GptConfig mc = serving_model_config();
   nn::GptModel model(mc);
 
   serve::TraceSpec spec;
@@ -261,34 +288,36 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
   }
   serve::InferenceEngine engine(model, ec);
 
-  std::printf("serve-bench: %zu requests, %zu client threads, batch %lld, "
-              "queue %zu\n",
-              trace.size(), n_clients,
-              static_cast<long long>(ec.max_batch), ec.queue_capacity);
-  std::printf("scheduler: %s, prefill chunk %lld tokens%s\n",
-              serve::sched::policy_name(ec.scheduler),
-              static_cast<long long>(ec.prefill_chunk_tokens),
-              ec.prefill_chunk_tokens == 0 ? " (whole-prompt)" : "");
-  if (opts.high_fraction + opts.low_fraction > 0.0) {
-    std::printf("priority mix: %.0f%% high / %.0f%% normal / %.0f%% low, "
-                "high-class deadline %.0f ms\n",
-                100.0 * opts.high_fraction,
-                100.0 * (1.0 - opts.high_fraction - opts.low_fraction),
-                100.0 * opts.low_fraction, opts.deadline_ms);
-  }
-  if (spec_k > 0) {
-    std::printf("speculative decoding: k=%lld, layer-skip draft %lld/%lld "
-                "layers\n",
-                static_cast<long long>(spec_k),
-                static_cast<long long>(draft_layers),
-                static_cast<long long>(mc.n_layers));
-  }
-  if (prefix_cache_mb > 0) {
-    std::printf("prefix cache: %lld MB budget, %.0f%% of prompts share a "
-                "%lld-token prefix\n",
-                static_cast<long long>(prefix_cache_mb),
-                100.0 * spec.shared_prefix_fraction,
-                static_cast<long long>(spec.shared_prefix_len));
+  if (!opts.json) {
+    std::printf("serve-bench: %zu requests, %zu client threads, batch %lld, "
+                "queue %zu\n",
+                trace.size(), n_clients,
+                static_cast<long long>(ec.max_batch), ec.queue_capacity);
+    std::printf("scheduler: %s, prefill chunk %lld tokens%s\n",
+                serve::sched::policy_name(ec.scheduler),
+                static_cast<long long>(ec.prefill_chunk_tokens),
+                ec.prefill_chunk_tokens == 0 ? " (whole-prompt)" : "");
+    if (opts.high_fraction + opts.low_fraction > 0.0) {
+      std::printf("priority mix: %.0f%% high / %.0f%% normal / %.0f%% low, "
+                  "high-class deadline %.0f ms\n",
+                  100.0 * opts.high_fraction,
+                  100.0 * (1.0 - opts.high_fraction - opts.low_fraction),
+                  100.0 * opts.low_fraction, opts.deadline_ms);
+    }
+    if (spec_k > 0) {
+      std::printf("speculative decoding: k=%lld, layer-skip draft %lld/%lld "
+                  "layers\n",
+                  static_cast<long long>(spec_k),
+                  static_cast<long long>(draft_layers),
+                  static_cast<long long>(mc.n_layers));
+    }
+    if (prefix_cache_mb > 0) {
+      std::printf("prefix cache: %lld MB budget, %.0f%% of prompts share a "
+                  "%lld-token prefix\n",
+                  static_cast<long long>(prefix_cache_mb),
+                  100.0 * spec.shared_prefix_fraction,
+                  static_cast<long long>(spec.shared_prefix_len));
+    }
   }
 
   std::vector<std::future<serve::RequestResult>> futures(trace.size());
@@ -318,6 +347,12 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
 
   std::uint64_t tokens = 0;
   for (auto& f : futures) tokens += f.get().tokens.size();
+  if (opts.json) {
+    // One JSON document on stdout, nothing else: pipe-friendly
+    // (`matgpt_cli serve-bench --json | python3 -m json.tool`).
+    std::printf("%s\n", engine.stats().to_json(wall).c_str());
+    return 0;
+  }
   std::printf("\n%s", engine.stats().report(wall).c_str());
   if (engine.kv_pool().paged()) {
     std::printf("\nwall time %.3f s, paged kv pool: %lld blocks x %lld "
@@ -339,6 +374,105 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
                 static_cast<long long>(pc->cached_tokens()), pc->node_count(),
                 static_cast<unsigned long long>(pc->stats().nodes_evicted));
   }
+  return 0;
+}
+
+// SIGINT/SIGTERM latch for serve-http: handlers may only touch
+// sig_atomic_t, so the run loop polls this and does the real teardown.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+int cmd_serve_http(std::uint16_t port) {
+  const nn::GptConfig mc = serving_model_config();
+  nn::GptModel model(mc);
+
+  serve::EngineConfig ec;
+  ec.max_batch = 8;
+  ec.kv_slots = 8;
+  ec.queue_capacity = 16;
+  serve::InferenceEngine engine(model, ec);
+  engine.start();
+
+  net::HttpServerConfig sc;
+  sc.port = port;
+  net::HttpServer server(engine, sc);
+  server.start();
+
+  std::printf("serving on http://127.0.0.1:%u (random-init %s model, "
+              "vocab %lld, max_seq %lld)\n",
+              server.port(), "llama",
+              static_cast<long long>(mc.vocab_size),
+              static_cast<long long>(mc.max_seq));
+  std::printf("  curl -N -d '{\"id\":1,\"prompt\":[1,2,3],"
+              "\"max_new_tokens\":16}' http://127.0.0.1:%u/v1/generate\n",
+              server.port());
+  std::printf("  curl -X DELETE http://127.0.0.1:%u/v1/requests/1\n",
+              server.port());
+  std::printf("  curl http://127.0.0.1:%u/v1/stats\n", server.port());
+  std::printf("Ctrl-C to drain and exit.\n");
+
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) { g_stop_requested = 1; };
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("\ndraining...\n");
+  server.stop();    // stop accepting, cancel live streams, flush, join
+  engine.drain();   // finish queued work, join the scheduler thread
+  const auto& c = server.counters();
+  std::printf("served %llu requests (%llu streams completed, %llu shed, "
+              "%llu client aborts)\n",
+              static_cast<unsigned long long>(c.requests),
+              static_cast<unsigned long long>(c.streams_completed),
+              static_cast<unsigned long long>(c.shed_429),
+              static_cast<unsigned long long>(c.client_aborts));
+  return 0;
+}
+
+struct LoadGenOpts {
+  std::uint16_t port = 0;
+  std::size_t n_requests = 64;
+  double rate_rps = 0.0;  // 0 = closed-loop
+  std::size_t concurrency = 4;
+  std::uint64_t seed = 42;
+  double slo_ms = 500.0;
+};
+
+int cmd_load_gen(const LoadGenOpts& opts) {
+  // The synthetic workload mirrors the serving-shaped model the server
+  // runs: prompts and generation lengths that fit max_seq 128.
+  serve::TraceSpec spec;
+  spec.n_requests = opts.n_requests;
+  spec.vocab_size = serving_model_config().vocab_size;
+  spec.prompt_len_min = 16;
+  spec.prompt_len_max = 48;
+  spec.max_new_min = 8;
+  spec.max_new_max = 24;
+  spec.seed = opts.seed;
+  const auto trace = serve::synth_trace(spec);
+
+  net::LoadGenConfig cfg;
+  cfg.port = opts.port;
+  cfg.concurrency = opts.concurrency;
+  net::LoadGen gen(cfg);
+
+  net::LoadReport report;
+  if (opts.rate_rps > 0.0) {
+    std::fprintf(stderr,
+                 "open-loop: %zu requests, Poisson %.1f req/s, seed %llu\n",
+                 trace.size(), opts.rate_rps,
+                 static_cast<unsigned long long>(opts.seed));
+    report = gen.run_open(
+        trace, net::poisson_schedule(trace.size(), opts.rate_rps, opts.seed));
+  } else {
+    std::fprintf(stderr, "closed-loop: %zu requests, concurrency %zu\n",
+                 trace.size(), cfg.concurrency);
+    report = gen.run_closed(trace);
+  }
+  // Report JSON on stdout, run banner on stderr: `load-gen ... | jq` works.
+  std::printf("%s\n", report.to_json(opts.slo_ms).c_str());
   return 0;
 }
 
@@ -415,6 +549,8 @@ int main(int argc, char** argv) {
           }
         } else if (arg == "--deadline-ms" && i + 1 < argc) {
           opts.deadline_ms = std::atof(argv[++i]);
+        } else if (arg == "--json") {
+          opts.json = true;
         } else if (pos < positional.size()) {
           *positional[pos++] = static_cast<std::size_t>(std::atoll(argv[i]));
         } else {
@@ -429,6 +565,44 @@ int main(int argc, char** argv) {
         return usage();
       }
       return cmd_serve_bench(opts);
+    }
+    if (cmd == "serve-http") {
+      std::uint16_t port = 0;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port" && i + 1 < argc) {
+          port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+        } else {
+          return usage();
+        }
+      }
+      return cmd_serve_http(port);
+    }
+    if (cmd == "load-gen") {
+      LoadGenOpts opts;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port" && i + 1 < argc) {
+          opts.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+        } else if (arg == "--requests" && i + 1 < argc) {
+          opts.n_requests = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--rate" && i + 1 < argc) {
+          opts.rate_rps = std::atof(argv[++i]);
+        } else if (arg == "--concurrency" && i + 1 < argc) {
+          opts.concurrency = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--seed" && i + 1 < argc) {
+          opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--slo-ms" && i + 1 < argc) {
+          opts.slo_ms = std::atof(argv[++i]);
+        } else {
+          return usage();
+        }
+      }
+      if (opts.port == 0 || opts.n_requests == 0 || opts.rate_rps < 0.0 ||
+          opts.slo_ms <= 0.0) {
+        return usage();
+      }
+      return cmd_load_gen(opts);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,66 @@
+#include "net/event_queue.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/error.h"
+
+namespace matgpt::net {
+
+struct EventQueue::Impl {
+  std::mutex mutex;
+  std::condition_variable space;
+  std::deque<EngineEvent> events;
+};
+
+EventQueue::EventQueue(std::size_t capacity)
+    : impl_(new Impl), capacity_(capacity) {
+  MGPT_CHECK(capacity > 0, "EventQueue capacity must be non-zero");
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (event_fd_ < 0) {
+    delete impl_;
+    MGPT_CHECK(false, "eventfd creation failed");
+  }
+}
+
+EventQueue::~EventQueue() {
+  ::close(event_fd_);
+  delete impl_;
+}
+
+void EventQueue::push(EngineEvent event) {
+  {
+    std::unique_lock lock(impl_->mutex);
+    impl_->space.wait(lock,
+                      [this] { return impl_->events.size() < capacity_; });
+    impl_->events.push_back(std::move(event));
+  }
+  // One counter tick per push; drain() reads the counter away in one go.
+  const std::uint64_t one = 1;
+  // A full eventfd counter (2^64-1 pushes) cannot happen before drain();
+  // the write is best-effort and EAGAIN is ignored.
+  [[maybe_unused]] const ssize_t n =
+      ::write(event_fd_, &one, sizeof one);
+}
+
+std::vector<EngineEvent> EventQueue::drain() {
+  std::uint64_t count = 0;
+  [[maybe_unused]] const ssize_t n =
+      ::read(event_fd_, &count, sizeof count);  // clears the counter
+  std::vector<EngineEvent> out;
+  {
+    std::lock_guard lock(impl_->mutex);
+    out.assign(std::make_move_iterator(impl_->events.begin()),
+               std::make_move_iterator(impl_->events.end()));
+    impl_->events.clear();
+  }
+  impl_->space.notify_all();
+  return out;
+}
+
+}  // namespace matgpt::net

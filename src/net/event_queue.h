@@ -1,0 +1,53 @@
+#pragma once
+// MPSC queue that marries the engine's scheduler thread to the server's
+// epoll loop. The engine-side callbacks (Request::on_token / on_finish)
+// push events; each push adds 1 to an eventfd the epoll loop watches, so
+// the server thread never polls and never blocks on inference. The queue
+// is bounded: a full queue blocks the producer (backpressure onto the
+// engine — deliberately, so a wedged server cannot buffer unbounded
+// token events), which is why the capacity is a validated config knob.
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace matgpt::net {
+
+struct EngineEvent {
+  enum class Kind : std::uint8_t { kToken, kFinish };
+  Kind kind = Kind::kToken;
+  std::uint64_t request_id = 0;
+  std::int32_t token = 0;             // kToken
+  serve::RequestResult result;        // kFinish
+};
+
+class EventQueue {
+ public:
+  /// Throws on capacity == 0 or when the eventfd cannot be created.
+  explicit EventQueue(std::size_t capacity);
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Producer side (engine thread): enqueue and signal the eventfd.
+  /// Blocks while the queue is full.
+  void push(EngineEvent event);
+
+  /// Consumer side (epoll thread): take everything queued and clear the
+  /// eventfd counter. Non-blocking; may return empty on a spurious wake.
+  std::vector<EngineEvent> drain();
+
+  /// Level-triggered readable whenever events are queued; hand to epoll.
+  int fd() const { return event_fd_; }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;  // pimpl keeps <mutex> etc. out of the public header users
+  std::size_t capacity_;
+  int event_fd_;
+};
+
+}  // namespace matgpt::net

@@ -1,0 +1,341 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace matgpt::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parse a non-negative decimal; false on garbage or overflow-ish input.
+bool parse_size(std::string_view s, std::size_t& out) {
+  if (s.empty() || s.size() > 15) return false;
+  std::size_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+void HttpParser::feed(std::string_view data) {
+  if (error_status_ != 0) return;
+  buffer_.append(data.data(), data.size());
+}
+
+HttpParser::Status HttpParser::fail(int status, std::string reason) {
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return Status::kError;
+}
+
+HttpParser::Status HttpParser::next(HttpRequest& out) {
+  if (error_status_ != 0) return Status::kError;
+  if (!in_body_) {
+    const std::size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return fail(431, "header block exceeds limit");
+      }
+      return Status::kNeedMore;
+    }
+    if (head_end + 4 > limits_.max_header_bytes) {
+      return fail(431, "header block exceeds limit");
+    }
+    const Status head = parse_head(out, head_end);
+    if (head != Status::kRequest) return head;  // kError
+    if (body_needed_ == 0) return Status::kRequest;
+    pending_ = std::move(out);
+    in_body_ = true;
+  }
+  if (buffer_.size() < body_needed_) return Status::kNeedMore;
+  out = std::move(pending_);
+  out.body = buffer_.substr(0, body_needed_);
+  buffer_.erase(0, body_needed_);
+  in_body_ = false;
+  body_needed_ = 0;
+  return Status::kRequest;
+}
+
+HttpParser::Status HttpParser::parse_head(HttpRequest& out,
+                                          std::size_t head_end) {
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+  out = HttpRequest{};
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      std::string_view(head).substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return fail(400, "malformed request line");
+  }
+  out.method = std::string(line.substr(0, sp1));
+  out.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out.version = std::string(line.substr(sp2 + 1));
+  if (out.method.empty() || out.target.empty() || out.target[0] != '/') {
+    return fail(400, "malformed request line");
+  }
+  if (out.version != "HTTP/1.1" && out.version != "HTTP/1.0") {
+    return fail(505, "unsupported HTTP version");
+  }
+
+  // Header fields.
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string::npos) end = head.size();
+    const std::string_view field =
+        std::string_view(head).substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(400, "malformed header field");
+    }
+    const std::string_view name = field.substr(0, colon);
+    if (name.find(' ') != std::string_view::npos) {
+      return fail(400, "whitespace in header name");
+    }
+    out.headers.emplace_back(std::string(name),
+                             std::string(trim(field.substr(colon + 1))));
+  }
+
+  // Framing.
+  if (out.header("Transfer-Encoding") != nullptr) {
+    return fail(501, "chunked request bodies not supported");
+  }
+  body_needed_ = 0;
+  if (const std::string* cl = out.header("Content-Length")) {
+    if (!parse_size(*cl, body_needed_)) {
+      return fail(400, "bad Content-Length");
+    }
+    if (body_needed_ > limits_.max_body_bytes) {
+      return fail(413, "body exceeds limit");
+    }
+  }
+
+  // Connection semantics: HTTP/1.1 defaults to keep-alive, 1.0 to close.
+  out.keep_alive = out.version == "HTTP/1.1";
+  if (const std::string* conn = out.header("Connection")) {
+    if (iequals(*conn, "close")) out.keep_alive = false;
+    if (iequals(*conn, "keep-alive")) out.keep_alive = true;
+  }
+  return Status::kRequest;
+}
+
+// ---------------------------------------------------------------------------
+// HttpResponseParser
+// ---------------------------------------------------------------------------
+
+HttpResponseParser::Status HttpResponseParser::fail(std::string reason) {
+  status_ = Status::kError;
+  error_reason_ = std::move(reason);
+  return status_;
+}
+
+bool HttpResponseParser::parse_head() {
+  const std::size_t head_end = buffer_.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line = std::string_view(head).substr(0, line_end);
+  // Status line: HTTP/1.1 SP code SP reason
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 + 4 > line.size()) {
+    fail("malformed status line");
+    return false;
+  }
+  status_code_ = 0;
+  for (std::size_t i = sp1 + 1; i < line.size() && line[i] != ' '; ++i) {
+    if (line[i] < '0' || line[i] > '9') {
+      fail("malformed status code");
+      return false;
+    }
+    status_code_ = status_code_ * 10 + (line[i] - '0');
+  }
+
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string::npos) end = head.size();
+    const std::string_view field =
+        std::string_view(head).substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string_view::npos) continue;
+    headers_.emplace_back(std::string(field.substr(0, colon)),
+                          std::string(trim(field.substr(colon + 1))));
+  }
+
+  chunked_ = false;
+  body_needed_ = 0;
+  body_until_close_ = false;
+  for (const auto& [key, value] : headers_) {
+    if (iequals(key, "Transfer-Encoding") && iequals(value, "chunked")) {
+      chunked_ = true;
+    }
+    if (iequals(key, "Content-Length")) {
+      if (!parse_size(value, body_needed_)) {
+        fail("bad Content-Length");
+        return false;
+      }
+    }
+  }
+  if (!chunked_ && body_needed_ == 0) {
+    // No framing information: either an empty body or read-until-close;
+    // treat a missing Content-Length as empty (our server always frames).
+    body_until_close_ = false;
+  }
+  headers_complete_ = true;
+  return true;
+}
+
+HttpResponseParser::Status HttpResponseParser::feed(std::string_view data) {
+  if (status_ != Status::kNeedMore) return status_;
+  buffer_.append(data.data(), data.size());
+  if (!headers_complete_) {
+    if (!parse_head()) return status_;  // kNeedMore or kError
+  }
+  if (!chunked_) {
+    if (buffer_.size() >= body_needed_) {
+      body_ = buffer_.substr(0, body_needed_);
+      status_ = Status::kDone;
+    }
+    return status_;
+  }
+  // Chunked: loop extracting size-line + payload.
+  while (true) {
+    const std::size_t line_end = buffer_.find("\r\n");
+    if (line_end == std::string::npos) return status_;
+    std::size_t size = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < line_end; ++i) {
+      const char c = buffer_[i];
+      std::size_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::size_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::size_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::size_t>(c - 'A' + 10);
+      } else if (c == ';') {
+        break;  // chunk extensions: ignored
+      } else {
+        return fail("bad chunk size");
+      }
+      size = size * 16 + digit;
+      any = true;
+    }
+    if (!any) return fail("empty chunk size");
+    const std::size_t payload_at = line_end + 2;
+    if (buffer_.size() < payload_at + size + 2) return status_;
+    if (buffer_.compare(payload_at + size, 2, "\r\n") != 0) {
+      return fail("missing chunk terminator");
+    }
+    if (size == 0) {
+      buffer_.erase(0, payload_at + 2);
+      status_ = Status::kDone;
+      return status_;
+    }
+    chunks_.push_back(buffer_.substr(payload_at, size));
+    buffer_.erase(0, payload_at + size + 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization helpers
+// ---------------------------------------------------------------------------
+
+std::string status_text(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string make_response(int code, std::string_view body,
+                          std::string_view content_type, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
+                    status_text(code) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string make_chunked_head(int code, std::string_view content_type) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
+                    status_text(code) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Transfer-Encoding: chunked\r\n";
+  out += "Connection: keep-alive\r\n";
+  out += "\r\n";
+  return out;
+}
+
+std::string make_chunk(std::string_view payload) {
+  char size[16];
+  std::snprintf(size, sizeof size, "%zx", payload.size());
+  std::string out = size;
+  out += "\r\n";
+  out += payload;
+  out += "\r\n";
+  return out;
+}
+
+std::string make_last_chunk() { return "0\r\n\r\n"; }
+
+}  // namespace matgpt::net

@@ -1,0 +1,137 @@
+#pragma once
+// Minimal HTTP/1.1 wire layer, hand-rolled and dependency-free.
+//
+// HttpParser is an INCREMENTAL request parser: feed() it whatever bytes
+// recv() produced (a byte at a time, a request and a half, three pipelined
+// requests — any framing) and pull complete requests out with next().
+// Limits are enforced as HTTP status codes, not crashes: an unterminated
+// header block larger than max_header_bytes yields 431, a declared body
+// larger than max_body_bytes yields 413, anything malformed yields 400.
+// Chunked request bodies are not accepted (501) — the server's clients
+// send small JSON documents with Content-Length.
+//
+// HttpResponseParser is the client-side mirror (status line + headers +
+// Content-Length or chunked body) used by the load generator and tests;
+// chunks are surfaced individually so a streaming client can timestamp
+// the first token's arrival (TTFT) rather than the response's end.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace matgpt::net {
+
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "POST"
+  std::string target;   // origin-form, e.g. "/v1/generate"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* header(std::string_view name) const;
+};
+
+class HttpParser {
+ public:
+  struct Limits {
+    std::size_t max_header_bytes = 8192;
+    std::size_t max_body_bytes = 1 << 20;
+  };
+
+  enum class Status {
+    kNeedMore,  // no complete request buffered yet
+    kRequest,   // `out` holds one complete request; call next() again
+    kError,     // protocol violation; see error_status()/error_reason()
+  };
+
+  HttpParser() = default;
+  explicit HttpParser(Limits limits) : limits_(limits) {}
+
+  /// Append raw bytes from the socket. No-op after an error (the
+  /// connection is about to be closed anyway).
+  void feed(std::string_view data);
+
+  /// Try to extract the next complete request (pipelining: keep calling
+  /// until kNeedMore). A parser that returned kError stays in error.
+  Status next(HttpRequest& out);
+
+  /// HTTP status to answer with when next() returned kError
+  /// (400/413/431/501/505).
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Bytes buffered but not yet consumed (diagnostics/tests).
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  Status fail(int status, std::string reason);
+  Status parse_head(HttpRequest& out, std::size_t head_end);
+
+  Limits limits_;
+  std::string buffer_;
+  // Body-reading state: set once a head has been parsed and we are
+  // waiting for Content-Length bytes.
+  bool in_body_ = false;
+  std::size_t body_needed_ = 0;
+  HttpRequest pending_;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+class HttpResponseParser {
+ public:
+  enum class Status { kNeedMore, kDone, kError };
+
+  /// Append raw bytes; returns the state after consuming them.
+  Status feed(std::string_view data);
+
+  Status status() const { return status_; }
+  int status_code() const { return status_code_; }
+  bool headers_complete() const { return headers_complete_; }
+  const std::vector<std::pair<std::string, std::string>>& headers() const {
+    return headers_;
+  }
+  /// Chunked responses: each transfer chunk's payload, in arrival order.
+  const std::vector<std::string>& chunks() const { return chunks_; }
+  /// Non-chunked responses: the Content-Length body.
+  const std::string& body() const { return body_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+ private:
+  Status fail(std::string reason);
+  bool parse_head();
+
+  std::string buffer_;
+  Status status_ = Status::kNeedMore;
+  bool headers_complete_ = false;
+  bool chunked_ = false;
+  std::size_t body_needed_ = 0;
+  bool body_until_close_ = false;
+  int status_code_ = 0;
+  std::vector<std::pair<std::string, std::string>> headers_;
+  std::vector<std::string> chunks_;
+  std::string body_;
+  std::string error_reason_;
+};
+
+/// Response serialization helpers (server side).
+std::string status_text(int code);
+/// A complete non-streamed response with Content-Length and the given
+/// Content-Type.
+std::string make_response(int code, std::string_view body,
+                          std::string_view content_type = "application/json",
+                          bool keep_alive = true);
+/// Headers that open a chunked streaming response.
+std::string make_chunked_head(int code,
+                              std::string_view content_type =
+                                  "application/json");
+/// One transfer chunk (hex length + CRLF framing) around `payload`.
+std::string make_chunk(std::string_view payload);
+/// The terminating zero-length chunk.
+std::string make_last_chunk();
+
+}  // namespace matgpt::net

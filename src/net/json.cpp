@@ -1,0 +1,419 @@
+#include "net/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace matgpt::net {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    MGPT_CHECK(false, "json parse error at byte " << pos << ": " << what);
+    std::abort();  // unreachable; MGPT_CHECK throws
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  Json value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    if (eof()) fail("unexpected end of input");
+    const char c = peek();
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') return Json::string(string_body());
+    if (c == 't') {
+      if (!consume("true")) fail("bad literal");
+      return Json::boolean(true);
+    }
+    if (c == 'f') {
+      if (!consume("false")) fail("bad literal");
+      return Json::boolean(false);
+    }
+    if (c == 'n') {
+      if (!consume("null")) fail("bad literal");
+      return Json();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    fail("unexpected character");
+  }
+
+  Json number() {
+    const std::size_t start = pos;
+    if (!eof() && peek() == '-') ++pos;
+    bool integral = true;
+    while (!eof()) {
+      const char c = peek();
+      if (c >= '0' && c <= '9') {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    const std::string token(text.substr(start, pos - start));
+    if (token.empty() || token == "-") fail("bad number");
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Json::number(static_cast<std::int64_t>(v));
+      }
+    }
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number");
+    return Json::number(v);
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::uint32_t hex4() {
+    if (pos + 4 > text.size()) fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape");
+      }
+    }
+    return v;
+  }
+
+  std::string string_body() {
+    if (peek() != '"') fail("expected string");
+    ++pos;
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // UTF-16 surrogate pair.
+            if (pos + 2 > text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u') {
+              fail("lone high surrogate");
+            }
+            pos += 2;
+            const std::uint32_t lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  Json array(int depth) {
+    ++pos;  // '['
+    Json out = Json::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos;
+      return out;
+    }
+    while (true) {
+      out.push_back(value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      const char c = text[pos++];
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Json object(int depth) {
+    ++pos;  // '{'
+    Json out = Json::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      std::string key = string_body();
+      skip_ws();
+      if (eof() || text[pos++] != ':') fail("expected ':'");
+      out.set(std::move(key), value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      const char c = text[pos++];
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+};
+
+void dump_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(std::string& out, const Json& v) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      out += "null";
+      return;
+    case Json::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case Json::Type::kNumber: {
+      if (v.holds_int()) {
+        // int64-tagged values bypass the double path: doubles lose
+        // integers above 2^53 (request ids, 64-bit sampling seeds).
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v.as_int()));
+        out += buf;
+        return;
+      }
+      const double d = v.as_number();
+      if (std::nearbyint(d) == d && std::abs(d) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(d));
+        out += buf;
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+        out += buf;
+      }
+      return;
+    }
+    case Json::Type::kString:
+      dump_string(out, v.as_string());
+      return;
+    case Json::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : v.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_value(out, item);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Json::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, val] : v.members()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(out, key);
+        out.push_back(':');
+        dump_value(out, val);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Json Json::boolean(bool b) {
+  Json v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Json Json::number(double d) {
+  Json v;
+  v.type_ = Type::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+Json Json::number(std::int64_t i) {
+  Json v;
+  v.type_ = Type::kNumber;
+  v.num_ = static_cast<double>(i);
+  v.num_is_int_ = true;
+  v.int_ = i;
+  return v;
+}
+
+Json Json::string(std::string s) {
+  Json v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Json Json::array() {
+  Json v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+Json Json::object() {
+  Json v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+Json Json::parse(std::string_view text) {
+  Parser p{text};
+  Json v = p.value(0);
+  p.skip_ws();
+  if (!p.eof()) p.fail("trailing garbage after document");
+  return v;
+}
+
+bool Json::as_bool() const {
+  MGPT_CHECK(type_ == Type::kBool, "json value is not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  MGPT_CHECK(type_ == Type::kNumber, "json value is not a number");
+  return num_is_int_ ? static_cast<double>(int_) : num_;
+}
+
+std::int64_t Json::as_int() const {
+  MGPT_CHECK(type_ == Type::kNumber, "json value is not a number");
+  if (num_is_int_) return int_;
+  const auto v = static_cast<std::int64_t>(num_);
+  MGPT_CHECK(static_cast<double>(v) == num_,
+             "json number " << num_ << " is not an exact integer");
+  return v;
+}
+
+const std::string& Json::as_string() const {
+  MGPT_CHECK(type_ == Type::kString, "json value is not a string");
+  return str_;
+}
+
+const std::vector<Json>& Json::items() const {
+  MGPT_CHECK(type_ == Type::kArray, "json value is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  MGPT_CHECK(type_ == Type::kObject, "json value is not an object");
+  return members_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::push_back(Json v) {
+  MGPT_CHECK(type_ == Type::kArray, "push_back on a non-array json value");
+  items_.push_back(std::move(v));
+}
+
+void Json::set(std::string key, Json v) {
+  MGPT_CHECK(type_ == Type::kObject, "set on a non-object json value");
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(out, *this);
+  return out;
+}
+
+}  // namespace matgpt::net

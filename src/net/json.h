@@ -1,0 +1,77 @@
+#pragma once
+// Minimal dependency-free JSON value: parse + serialize, just enough for
+// the HTTP front end's request/response bodies. Recursive-descent parser
+// with a depth limit; numbers are doubles (with an integer fast path for
+// token ids and request ids, which must round-trip exactly), strings are
+// UTF-8 with full \uXXXX unescaping on parse and control-character
+// escaping on dump. Parse errors throw matgpt::Error with a byte offset.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace matgpt::net {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json number(std::int64_t v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  /// Parse one JSON document; trailing non-whitespace is an error.
+  static Json parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// Number as integer; throws when the value is not integral or does not
+  /// fit (token ids and request ids must survive the round trip exactly).
+  std::int64_t as_int() const;
+  /// True when the number carries an exact int64 (built from one or parsed
+  /// from an integer literal); dump() then emits it losslessly — doubles
+  /// cannot represent every request id / sampling seed above 2^53.
+  bool holds_int() const { return type_ == Type::kNumber && num_is_int_; }
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;            // array
+  const std::vector<std::pair<std::string, Json>>& members() const;  // object
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const Json* find(std::string_view key) const;
+
+  /// Array/object builders.
+  void push_back(Json v);
+  void set(std::string key, Json v);
+
+  /// Compact serialization (no whitespace).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool num_is_int_ = false;
+  std::int64_t int_ = 0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace matgpt::net

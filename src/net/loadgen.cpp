@@ -1,0 +1,397 @@
+#include "net/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/http.h"
+#include "net/json.h"
+
+namespace matgpt::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+std::vector<double> poisson_schedule(std::size_t n, double rate_rps,
+                                     std::uint64_t seed) {
+  MGPT_CHECK(rate_rps > 0.0,
+             "poisson_schedule: rate must be positive (got " << rate_rps
+                                                             << ")");
+  Rng rng(seed);
+  std::vector<double> at(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Inverse-CDF exponential. uniform() is in [0, 1), so 1-u is in
+    // (0, 1] and the log is finite.
+    t += -std::log(1.0 - rng.uniform()) / rate_rps;
+    at[i] = t;
+  }
+  return at;
+}
+
+std::string generate_body(const serve::Request& request, bool stream) {
+  Json body = Json::object();
+  body.set("id", Json::number(static_cast<std::int64_t>(request.id)));
+  Json prompt = Json::array();
+  for (const std::int32_t t : request.prompt) {
+    prompt.push_back(Json::number(static_cast<std::int64_t>(t)));
+  }
+  body.set("prompt", std::move(prompt));
+  body.set("max_new_tokens", Json::number(request.max_new_tokens));
+  body.set("temperature",
+           Json::number(static_cast<double>(request.sampling.temperature)));
+  body.set("top_k", Json::number(
+                        static_cast<std::int64_t>(request.sampling.top_k)));
+  body.set("top_p",
+           Json::number(static_cast<double>(request.sampling.top_p)));
+  body.set("seed", Json::number(
+                       static_cast<std::int64_t>(request.sampling.seed)));
+  if (request.spec_k > 0) body.set("spec_k", Json::number(request.spec_k));
+  if (request.priority != serve::Priority::kNormal) {
+    body.set("priority",
+             Json::string(serve::priority_name(request.priority)));
+  }
+  if (request.deadline_ms > 0.0) {
+    body.set("deadline_ms", Json::number(request.deadline_ms));
+  }
+  body.set("stream", Json::boolean(stream));
+  return body.dump();
+}
+
+void LoadGenConfig::validate() const {
+  MGPT_CHECK(port != 0, "LoadGenConfig: port must be set");
+  MGPT_CHECK(concurrency != 0, "LoadGenConfig: concurrency must be non-zero");
+  MGPT_CHECK(run_timeout_s > 0.0,
+             "LoadGenConfig: run_timeout_s must be positive");
+}
+
+double LoadReport::goodput_rps(double slo_ttft_ms) const {
+  if (wall_s <= 0.0) return 0.0;
+  std::uint64_t good = 0;
+  for (const LoadRecord& r : records) {
+    if (r.http_status == 200 && r.engine_status == "ok" && r.ttft_s >= 0.0 &&
+        r.ttft_s * 1e3 <= slo_ttft_ms) {
+      ++good;
+    }
+  }
+  return static_cast<double>(good) / wall_s;
+}
+
+double LoadReport::ttft_quantile(double q) const {
+  std::vector<double> ttfts;
+  for (const LoadRecord& r : records) {
+    if (r.http_status == 200 && r.ttft_s >= 0.0) ttfts.push_back(r.ttft_s);
+  }
+  if (ttfts.empty()) return -1.0;
+  std::sort(ttfts.begin(), ttfts.end());
+  const double pos = q * static_cast<double>(ttfts.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, ttfts.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return ttfts[lo] + (ttfts[hi] - ttfts[lo]) * frac;
+}
+
+double LoadReport::shed_rate() const {
+  return launched == 0 ? 0.0
+                       : static_cast<double>(shed_429) /
+                             static_cast<double>(launched);
+}
+
+std::string LoadReport::to_json(double slo_ttft_ms) const {
+  Json out = Json::object();
+  out.set("wall_s", Json::number(wall_s));
+  out.set("launched", Json::number(static_cast<std::int64_t>(launched)));
+  out.set("completed_ok",
+          Json::number(static_cast<std::int64_t>(completed_ok)));
+  out.set("shed_429", Json::number(static_cast<std::int64_t>(shed_429)));
+  out.set("timeout_504",
+          Json::number(static_cast<std::int64_t>(timeout_504)));
+  out.set("transport_errors",
+          Json::number(static_cast<std::int64_t>(transport_errors)));
+  out.set("other_status",
+          Json::number(static_cast<std::int64_t>(other_status)));
+  out.set("slo_ttft_ms", Json::number(slo_ttft_ms));
+  out.set("goodput_rps", Json::number(goodput_rps(slo_ttft_ms)));
+  out.set("shed_rate", Json::number(shed_rate()));
+  out.set("ttft_p50_ms", Json::number(ttft_quantile(0.50) * 1e3));
+  out.set("ttft_p99_ms", Json::number(ttft_quantile(0.99) * 1e3));
+  return out.dump();
+}
+
+LoadGen::LoadGen(LoadGenConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+LoadReport LoadGen::run_closed(const std::vector<serve::Request>& requests) {
+  return run(requests, nullptr);
+}
+
+LoadReport LoadGen::run_open(const std::vector<serve::Request>& requests,
+                             const std::vector<double>& arrival_s) {
+  MGPT_CHECK(arrival_s.size() == requests.size(),
+             "run_open: schedule size " << arrival_s.size()
+                                        << " != request count "
+                                        << requests.size());
+  return run(requests, &arrival_s);
+}
+
+namespace {
+
+struct ClientConn {
+  int fd = -1;
+  std::size_t index = 0;        // into requests/records
+  std::string out;              // unsent request bytes
+  bool connected = false;
+  bool headers_seen = false;
+  HttpResponseParser parser;
+};
+
+}  // namespace
+
+LoadReport LoadGen::run(const std::vector<serve::Request>& requests,
+                        const std::vector<double>* arrival_s) {
+  const std::size_t n = requests.size();
+  LoadReport report;
+  report.records.resize(n);
+  if (n == 0) return report;
+
+  const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  MGPT_CHECK(epfd >= 0, "epoll_create1(): " << std::strerror(errno));
+
+  std::map<int, ClientConn> conns;
+  std::size_t next = 0;       // next request index to launch
+  std::size_t done = 0;
+  const Clock::time_point start = Clock::now();
+
+  auto now_s = [&] { return secs(Clock::now() - start); };
+
+  auto record_error = [&](std::size_t index) {
+    report.records[index].http_status = 0;
+    ++report.transport_errors;
+    ++done;
+  };
+
+  auto finalize = [&](ClientConn& conn) {
+    LoadRecord& rec = report.records[conn.index];
+    rec.total_s = now_s() - rec.start_s;
+    if (conn.parser.status() != HttpResponseParser::Status::kDone) {
+      rec.http_status = 0;
+      ++report.transport_errors;
+    } else {
+      rec.http_status = conn.parser.status_code();
+      if (rec.http_status == 200) {
+        // Streamed 200: JSON-lines chunks ({"id"}, {"token"}xN, {"done"}).
+        for (const std::string& chunk : conn.parser.chunks()) {
+          const Json line = Json::parse(chunk);
+          if (const Json* tok = line.find("token")) {
+            rec.tokens.push_back(
+                static_cast<std::int32_t>(tok->as_int()));
+          }
+          if (const Json* st = line.find("status")) {
+            rec.engine_status = st->as_string();
+          }
+        }
+        if (conn.parser.chunks().empty()) {
+          // Non-streamed 200: one JSON document.
+          const Json body = Json::parse(conn.parser.body());
+          if (const Json* st = body.find("status")) {
+            rec.engine_status = st->as_string();
+          }
+          if (const Json* toks = body.find("tokens")) {
+            for (const Json& t : toks->items()) {
+              rec.tokens.push_back(static_cast<std::int32_t>(t.as_int()));
+            }
+          }
+        }
+        if (rec.engine_status == "ok") ++report.completed_ok;
+      } else if (rec.http_status == 429) {
+        ++report.shed_429;
+      } else if (rec.http_status == 504) {
+        ++report.timeout_504;
+      } else {
+        ++report.other_status;
+      }
+    }
+    ++done;
+  };
+
+  auto close_conn = [&](int fd) {
+    ::epoll_ctl(epfd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns.erase(fd);
+  };
+
+  auto launch = [&](std::size_t index) {
+    LoadRecord& rec = report.records[index];
+    rec.id = requests[index].id;
+    rec.start_s = now_s();
+    const int fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      record_error(index);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+            0 &&
+        errno != EINPROGRESS) {
+      ::close(fd);
+      record_error(index);
+      return;
+    }
+    ClientConn conn;
+    conn.fd = fd;
+    conn.index = index;
+    const std::string body = generate_body(requests[index], config_.stream);
+    conn.out = "POST /v1/generate HTTP/1.1\r\n";
+    conn.out += "Host: 127.0.0.1\r\n";
+    conn.out += "Content-Type: application/json\r\n";
+    conn.out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    conn.out += "Connection: close\r\n\r\n";
+    conn.out += body;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      record_error(index);
+      return;
+    }
+    conns.emplace(fd, std::move(conn));
+    ++report.launched;
+  };
+
+  auto may_launch = [&]() -> bool {
+    if (next >= n) return false;
+    if (arrival_s == nullptr) {
+      // Closed loop: completion-triggered, capped in-flight.
+      return conns.size() < config_.concurrency;
+    }
+    // Open loop: the schedule, not the server, decides.
+    return now_s() >= (*arrival_s)[next];
+  };
+
+  epoll_event events[64];
+  while (done < n) {
+    while (may_launch()) launch(next++);
+    if (now_s() > config_.run_timeout_s) break;
+
+    int timeout_ms = 50;
+    if (arrival_s != nullptr && next < n) {
+      const double dt = (*arrival_s)[next] - now_s();
+      timeout_ms = std::max(0, std::min(50, static_cast<int>(dt * 1e3)));
+    }
+    const int nev = ::epoll_wait(epfd, events, 64, timeout_ms);
+    if (nev < 0 && errno != EINTR) break;
+    for (int i = 0; i < nev; ++i) {
+      const int fd = events[i].data.fd;
+      auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      ClientConn& conn = it->second;
+
+      if ((events[i].events & EPOLLOUT) != 0 && !conn.out.empty()) {
+        if (!conn.connected) {
+          int err = 0;
+          socklen_t len = sizeof err;
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err != 0) {
+            record_error(conn.index);
+            close_conn(fd);
+            continue;
+          }
+          conn.connected = true;
+        }
+        while (!conn.out.empty()) {
+          const ssize_t w = ::send(fd, conn.out.data(), conn.out.size(),
+                                   MSG_NOSIGNAL);
+          if (w > 0) {
+            conn.out.erase(0, static_cast<std::size_t>(w));
+            continue;
+          }
+          break;
+        }
+        if (conn.out.empty()) {
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = fd;
+          ::epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &ev);
+        }
+      }
+
+      if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        bool closed = false;
+        char buf[16 * 1024];
+        while (true) {
+          const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+          if (r > 0) {
+            conn.parser.feed(
+                std::string_view(buf, static_cast<std::size_t>(r)));
+            if (!conn.headers_seen && conn.parser.headers_complete()) {
+              conn.headers_seen = true;
+              report.records[conn.index].ttft_s =
+                  now_s() - report.records[conn.index].start_s;
+            }
+            if (conn.parser.status() !=
+                HttpResponseParser::Status::kNeedMore) {
+              finalize(conn);
+              close_conn(fd);
+              closed = true;
+              break;
+            }
+            continue;
+          }
+          if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          // EOF before a complete response (or error).
+          finalize(conn);
+          close_conn(fd);
+          closed = true;
+          break;
+        }
+        if (closed) continue;
+      }
+    }
+  }
+
+  // Anything still in flight or never launched at timeout: transport
+  // errors (http_status stays 0).
+  for (auto& [fd, conn] : conns) {
+    ++report.transport_errors;
+    ::close(fd);
+  }
+  conns.clear();
+  for (std::size_t i = next; i < n; ++i) {
+    report.records[i].id = requests[i].id;
+    ++report.transport_errors;
+  }
+  ::close(epfd);
+  report.wall_s = now_s();
+  return report;
+}
+
+}  // namespace matgpt::net

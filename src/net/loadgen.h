@@ -1,0 +1,107 @@
+#pragma once
+// Socket-level load harness for the HTTP front end.
+//
+// Drives a running HttpServer over real loopback connections from a
+// single-threaded epoll client, in one of two disciplines:
+//
+//   closed-loop  A fixed number of in-flight requests; a completion
+//                immediately launches the next. Measures the server at a
+//                self-limiting concurrency — latency feedback throttles
+//                the offered load, so a closed-loop client can never
+//                observe overload collapse.
+//   open-loop    Requests launch at externally scheduled arrival times
+//                (Poisson process) REGARDLESS of how many are in flight —
+//                the way real traffic behaves. Past the capacity knee the
+//                backlog grows without bound and goodput-under-SLO falls
+//                off a cliff; that knee is exactly what the closed-loop
+//                harness hides.
+//
+// poisson_schedule() derives the open-loop arrival times from the repo's
+// deterministic xoshiro Rng: the same (n, rate, seed) triple always yields
+// the bit-identical schedule, so load tests are reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace matgpt::net {
+
+/// Exponential inter-arrival times (a Poisson process) at `rate_rps`
+/// mean arrivals per second, as cumulative seconds from t=0. Deterministic:
+/// bit-identical for equal (n, rate_rps, seed). Throws on rate <= 0.
+std::vector<double> poisson_schedule(std::size_t n, double rate_rps,
+                                     std::uint64_t seed);
+
+/// Serialize a serve::Request into the POST /v1/generate JSON body.
+std::string generate_body(const serve::Request& request, bool stream);
+
+/// One request's client-side observation.
+struct LoadRecord {
+  std::uint64_t id = 0;
+  int http_status = 0;        // 0 = transport error
+  /// Seconds from run start at which the request was launched (connect()).
+  double start_s = 0.0;
+  /// Client-observed TTFT: launch -> response headers readable. The server
+  /// defers the header block until the first token, so for streamed 200s
+  /// this is the engine TTFT plus loopback overhead.
+  double ttft_s = -1.0;
+  double total_s = 0.0;
+  std::string engine_status;  // "ok" / "cancelled" / "timeout" (200s only)
+  std::vector<std::int32_t> tokens;
+};
+
+struct LoadReport {
+  std::vector<LoadRecord> records;
+  double wall_s = 0.0;
+  std::uint64_t launched = 0;
+  std::uint64_t completed_ok = 0;  // HTTP 200 with engine status "ok"
+  std::uint64_t shed_429 = 0;
+  std::uint64_t timeout_504 = 0;
+  std::uint64_t transport_errors = 0;
+  std::uint64_t other_status = 0;
+
+  /// Requests that finished 200/"ok" with TTFT <= slo, per wall second.
+  double goodput_rps(double slo_ttft_ms) const;
+  /// TTFT quantile (seconds) over successful streamed requests; -1 when
+  /// none completed.
+  double ttft_quantile(double q) const;
+  double shed_rate() const;
+  std::string to_json(double slo_ttft_ms) const;
+};
+
+struct LoadGenConfig {
+  std::uint16_t port = 0;
+  /// Closed-loop only: in-flight cap.
+  std::size_t concurrency = 4;
+  /// Ask the server to stream (chunked) responses.
+  bool stream = true;
+  /// Abort the run (recording transport errors for the remainder) if it
+  /// exceeds this wall time.
+  double run_timeout_s = 120.0;
+
+  void validate() const;  // throws on port == 0 or concurrency == 0
+};
+
+class LoadGen {
+ public:
+  explicit LoadGen(LoadGenConfig config);
+
+  /// Closed-loop: keep config.concurrency requests in flight until every
+  /// request has completed.
+  LoadReport run_closed(const std::vector<serve::Request>& requests);
+
+  /// Open-loop: launch requests[i] at arrival_s[i] seconds from run start
+  /// (sizes must match; arrival times must be non-decreasing).
+  LoadReport run_open(const std::vector<serve::Request>& requests,
+                      const std::vector<double>& arrival_s);
+
+ private:
+  LoadReport run(const std::vector<serve::Request>& requests,
+                 const std::vector<double>* arrival_s);
+
+  LoadGenConfig config_;
+};
+
+}  // namespace matgpt::net

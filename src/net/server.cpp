@@ -1,0 +1,654 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+#include "net/json.h"
+
+namespace matgpt::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+void set_nonblocking_checked(int fd) {
+  // SOCK_NONBLOCK covers sockets we create; accept4 covers accepted ones.
+  (void)fd;
+}
+
+Json error_body(std::string_view message) {
+  Json body = Json::object();
+  body.set("error", Json::string(std::string(message)));
+  return body;
+}
+
+serve::Priority parse_priority(const std::string& name) {
+  if (name == "high") return serve::Priority::kHigh;
+  if (name == "normal") return serve::Priority::kNormal;
+  if (name == "low") return serve::Priority::kLow;
+  MGPT_CHECK(false, "priority must be high|normal|low (got \"" << name
+                                                              << "\")");
+  return serve::Priority::kNormal;  // unreachable
+}
+
+}  // namespace
+
+void HttpServerConfig::validate() const {
+  MGPT_CHECK(port >= 0 && port <= 65535,
+             "HttpServerConfig: port must be in [0, 65535] (got " << port
+                                                                  << ")");
+  MGPT_CHECK(backlog > 0, "HttpServerConfig: backlog must be positive (got "
+                              << backlog << ")");
+  MGPT_CHECK(max_connections != 0,
+             "HttpServerConfig: max_connections must be non-zero");
+  MGPT_CHECK(max_header_bytes != 0,
+             "HttpServerConfig: max_header_bytes must be non-zero");
+  MGPT_CHECK(max_body_bytes != 0,
+             "HttpServerConfig: max_body_bytes must be non-zero");
+  MGPT_CHECK(completion_queue_capacity != 0,
+             "HttpServerConfig: completion_queue_capacity must be non-zero");
+}
+
+namespace {
+// Validates before the member-init list runs (the EngineConfig pattern).
+HttpServerConfig validated(HttpServerConfig config) {
+  config.validate();
+  return config;
+}
+}  // namespace
+
+HttpServer::HttpServer(serve::InferenceEngine& engine,
+                       HttpServerConfig config)
+    : engine_(engine),
+      config_(validated(std::move(config))),
+      queue_(config_.completion_queue_capacity) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  MGPT_CHECK(!thread_.joinable(), "server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  MGPT_CHECK(listen_fd_ >= 0, "socket(): " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  MGPT_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof addr) == 0,
+             "bind(127.0.0.1:" << config_.port
+                               << "): " << std::strerror(errno));
+  MGPT_CHECK(::listen(listen_fd_, config_.backlog) == 0,
+             "listen(): " << std::strerror(errno));
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  MGPT_CHECK(epoll_fd_ >= 0, "epoll_create1(): " << std::strerror(errno));
+  stop_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  MGPT_CHECK(stop_fd_ >= 0, "eventfd(): " << std::strerror(errno));
+
+  auto add = [this](int fd) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    MGPT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+               "epoll_ctl(ADD): " << std::strerror(errno));
+  };
+  add(listen_fd_);
+  add(stop_fd_);
+  add(queue_.fd());
+
+  stop_requested_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HttpServer::stop() {
+  if (!thread_.joinable()) return;
+  stop_requested_.store(true);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(stop_fd_, &one, sizeof one);
+  thread_.join();
+  // The loop thread has exited: its data structures are ours to tear down.
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  streams_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(stop_fd_);
+  stop_fd_ = -1;
+  ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  running_.store(false);
+}
+
+HttpCounters HttpServer::counters() const {
+  HttpCounters c;
+  c.connections_accepted = c_accepted_.load();
+  c.connections_rejected = c_rejected_.load();
+  c.requests = c_requests_.load();
+  c.protocol_errors = c_protocol_errors_.load();
+  c.streams_started = c_streams_started_.load();
+  c.streams_completed = c_streams_completed_.load();
+  c.shed_429 = c_shed_.load();
+  c.timeout_504 = c_timeout_.load();
+  c.bad_request_400 = c_bad_request_.load();
+  c.cancels_requested = c_cancels_.load();
+  c.client_aborts = c_client_aborts_.load();
+  return c;
+}
+
+void HttpServer::loop() {
+  std::vector<int> dead;  // fds destroyed during the current batch
+  epoll_event events[64];
+  while (true) {
+    // Finite timeout: belt-and-suspenders against any missed wakeup, and
+    // lets the stopping state observe stream completion promptly.
+    const int n = ::epoll_wait(epoll_fd_, events, 64, 100);
+    if (n < 0 && errno != EINTR) break;
+    dead.clear();
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      bool is_dead = false;
+      for (const int d : dead) is_dead = is_dead || d == fd;
+      if (is_dead) continue;
+      if (fd == stop_fd_) {
+        std::uint64_t clear = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(stop_fd_, &clear, sizeof clear);
+        begin_stop();
+        continue;
+      }
+      if (fd == queue_.fd()) {
+        for (EngineEvent& event : queue_.drain()) {
+          handle_engine_event(event);
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      const std::uint32_t mask = events[i].events;
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        destroy_conn(fd);
+        dead.push_back(fd);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) conn_readable(it->second);
+      // conn_readable may have destroyed the connection (EOF / fatal).
+      it = conns_.find(fd);
+      if (it == conns_.end()) {
+        dead.push_back(fd);
+        continue;
+      }
+      if ((mask & EPOLLOUT) != 0) conn_writable(it->second);
+      if (conns_.find(fd) == conns_.end()) dead.push_back(fd);
+    }
+    // Drain any events the queue received while we were processing: the
+    // level-triggered eventfd re-arms, but checking here shortens the
+    // stop path.
+    if (stopping_ && streams_.empty()) break;
+  }
+}
+
+void HttpServer::begin_stop() {
+  if (stopping_) return;
+  stopping_ = true;
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (engine_.running()) {
+    // Cancel every in-flight stream; the loop exits when their finish
+    // events have all arrived, so no engine callback can outlive us.
+    for (const auto& [id, stream] : streams_) engine_.cancel(id);
+  } else {
+    // No worker is stepping the engine: finish events will never come.
+    streams_.clear();
+  }
+}
+
+void HttpServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a racing close
+    if (conns_.size() >= config_.max_connections) {
+      c_rejected_.fetch_add(1);
+      const std::string busy = make_response(
+          503, error_body("connection limit reached").dump(),
+          "application/json", false);
+      [[maybe_unused]] const ssize_t r =
+          ::send(fd, busy.data(), busy.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    set_nonblocking_checked(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    Conn conn;
+    conn.fd = fd;
+    conn.parser = HttpParser(
+        {.max_header_bytes = config_.max_header_bytes,
+         .max_body_bytes = config_.max_body_bytes});
+    conns_.emplace(fd, std::move(conn));
+    c_accepted_.fetch_add(1);
+  }
+}
+
+void HttpServer::conn_readable(Conn& conn) {
+  char buf[kReadChunk];
+  while (true) {
+    const ssize_t r = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (r > 0) {
+      conn.parser.feed(std::string_view(buf, static_cast<std::size_t>(r)));
+      continue;
+    }
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or a hard error: the client is gone.
+    destroy_conn(conn.fd);
+    return;
+  }
+  process_requests(conn.fd);
+}
+
+void HttpServer::process_requests(int fd) {
+  // One generate stream owns the response channel until its final chunk;
+  // pipelined requests behind it stay buffered in the parser. Re-lookup
+  // every iteration: dispatch may have destroyed the connection.
+  while (true) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    Conn& conn = it->second;
+    if (conn.busy || conn.close_after_flush) return;
+    HttpRequest request;
+    const HttpParser::Status status = conn.parser.next(request);
+    if (status == HttpParser::Status::kNeedMore) return;
+    if (status == HttpParser::Status::kError) {
+      c_protocol_errors_.fetch_add(1);
+      send_bytes(conn,
+                 make_response(conn.parser.error_status(),
+                               error_body(conn.parser.error_reason()).dump(),
+                               "application/json", false));
+      conn.close_after_flush = true;
+      flush(conn);
+      return;
+    }
+    c_requests_.fetch_add(1);
+    if (!request.keep_alive) conn.close_after_flush = true;
+    dispatch(conn, request);
+  }
+}
+
+void HttpServer::dispatch(Conn& conn, const HttpRequest& request) {
+  const std::string& target = request.target;
+  if (target == "/v1/generate") {
+    if (request.method != "POST") {
+      send_bytes(conn, make_response(405, error_body("use POST").dump()));
+      return;
+    }
+    handle_generate(conn, request);
+    return;
+  }
+  if (target == "/v1/stats") {
+    if (request.method != "GET") {
+      send_bytes(conn, make_response(405, error_body("use GET").dump()));
+      return;
+    }
+    handle_stats(conn);
+    return;
+  }
+  if (target == "/v1/healthz") {
+    send_bytes(conn, make_response(200, "{\"ok\":true}"));
+    return;
+  }
+  constexpr std::string_view kCancelPrefix = "/v1/requests/";
+  if (target.size() > kCancelPrefix.size() &&
+      std::string_view(target).substr(0, kCancelPrefix.size()) ==
+          kCancelPrefix) {
+    if (request.method != "DELETE") {
+      send_bytes(conn, make_response(405, error_body("use DELETE").dump()));
+      return;
+    }
+    handle_cancel(conn, std::string_view(target).substr(kCancelPrefix.size()));
+    return;
+  }
+  send_bytes(conn, make_response(404, error_body("no such route").dump()));
+}
+
+void HttpServer::handle_generate(Conn& conn, const HttpRequest& request) {
+  serve::Request req;
+  bool chunked = true;
+  try {
+    const Json body = Json::parse(request.body);
+    MGPT_CHECK(body.is_object(), "body must be a JSON object");
+    const Json* prompt = body.find("prompt");
+    MGPT_CHECK(prompt != nullptr && prompt->is_array(),
+               "\"prompt\" must be an array of token ids");
+    for (const Json& token : prompt->items()) {
+      const std::int64_t v = token.as_int();
+      MGPT_CHECK(v >= 0 && v <= 0x7fffffff,
+                 "prompt token " << v << " out of int32 range");
+      req.prompt.push_back(static_cast<std::int32_t>(v));
+    }
+    if (const Json* v = body.find("id")) {
+      req.id = static_cast<std::uint64_t>(v->as_int());
+    } else {
+      req.id = next_id_++;
+    }
+    if (const Json* v = body.find("max_new_tokens")) {
+      req.max_new_tokens = v->as_int();
+    }
+    if (const Json* v = body.find("temperature")) {
+      req.sampling.temperature = static_cast<float>(v->as_number());
+    }
+    if (const Json* v = body.find("top_k")) {
+      req.sampling.top_k = static_cast<std::int32_t>(v->as_int());
+    }
+    if (const Json* v = body.find("top_p")) {
+      req.sampling.top_p = static_cast<float>(v->as_number());
+    }
+    if (const Json* v = body.find("seed")) {
+      req.sampling.seed = static_cast<std::uint64_t>(v->as_int());
+    }
+    if (const Json* v = body.find("spec_k")) req.spec_k = v->as_int();
+    if (const Json* v = body.find("priority")) {
+      req.priority = parse_priority(v->as_string());
+    }
+    if (const Json* v = body.find("deadline_ms")) {
+      req.deadline_ms = v->as_number();
+    }
+    if (const Json* v = body.find("stream")) chunked = v->as_bool();
+  } catch (const Error& e) {
+    c_bad_request_.fetch_add(1);
+    send_bytes(conn, make_response(400, error_body(e.what()).dump()));
+    return;
+  }
+
+  if (streams_.find(req.id) != streams_.end()) {
+    c_bad_request_.fetch_add(1);
+    send_bytes(conn, make_response(
+                         409, error_body("request id already in flight")
+                                  .dump()));
+    return;
+  }
+  if (stopping_) {
+    c_shed_.fetch_add(1);
+    send_bytes(conn,
+               make_response(503, error_body("server stopping").dump()));
+    return;
+  }
+
+  const std::uint64_t id = req.id;
+  req.on_token = [queue = &queue_, id](std::int32_t token) {
+    EngineEvent event;
+    event.kind = EngineEvent::Kind::kToken;
+    event.request_id = id;
+    event.token = token;
+    queue->push(std::move(event));
+  };
+  req.on_finish = [queue = &queue_, id](const serve::RequestResult& result) {
+    EngineEvent event;
+    event.kind = EngineEvent::Kind::kFinish;
+    event.request_id = id;
+    event.result = result;
+    queue->push(std::move(event));
+  };
+
+  try {
+    // Backpressure: a full admission queue sheds (429) instead of
+    // blocking the event loop behind the engine.
+    if (!engine_.try_submit(std::move(req)).has_value()) {
+      c_shed_.fetch_add(1);
+      send_bytes(conn, make_response(
+                           429, error_body("admission queue full").dump()));
+      return;
+    }
+  } catch (const Error& e) {
+    c_bad_request_.fetch_add(1);
+    send_bytes(conn, make_response(400, error_body(e.what()).dump()));
+    return;
+  }
+
+  Stream stream;
+  stream.conn_fd = conn.fd;
+  stream.chunked = chunked;
+  stream.id = id;
+  streams_.emplace(id, std::move(stream));
+  conn.busy = true;
+  conn.stream_id = id;
+  c_streams_started_.fetch_add(1);
+}
+
+void HttpServer::handle_stats(Conn& conn) {
+  std::string body = "{\n\"engine\": ";
+  body += engine_.stats_json();
+  body += ",\n\"http\": ";
+  body += counters_json();
+  body += "\n}";
+  send_bytes(conn, make_response(200, body));
+}
+
+std::string HttpServer::counters_json() const {
+  Json c = Json::object();
+  c.set("connections_accepted",
+        Json::number(static_cast<std::int64_t>(c_accepted_.load())));
+  c.set("connections_rejected",
+        Json::number(static_cast<std::int64_t>(c_rejected_.load())));
+  c.set("connections_open",
+        Json::number(static_cast<std::int64_t>(conns_.size())));
+  c.set("requests", Json::number(static_cast<std::int64_t>(
+                        c_requests_.load())));
+  c.set("protocol_errors",
+        Json::number(static_cast<std::int64_t>(c_protocol_errors_.load())));
+  c.set("streams_started",
+        Json::number(static_cast<std::int64_t>(c_streams_started_.load())));
+  c.set("streams_completed",
+        Json::number(static_cast<std::int64_t>(c_streams_completed_.load())));
+  c.set("streams_active",
+        Json::number(static_cast<std::int64_t>(streams_.size())));
+  c.set("shed_429",
+        Json::number(static_cast<std::int64_t>(c_shed_.load())));
+  c.set("timeout_504",
+        Json::number(static_cast<std::int64_t>(c_timeout_.load())));
+  c.set("bad_request_400",
+        Json::number(static_cast<std::int64_t>(c_bad_request_.load())));
+  c.set("cancels_requested",
+        Json::number(static_cast<std::int64_t>(c_cancels_.load())));
+  c.set("client_aborts",
+        Json::number(static_cast<std::int64_t>(c_client_aborts_.load())));
+  return c.dump();
+}
+
+void HttpServer::handle_cancel(Conn& conn, std::string_view id_text) {
+  std::uint64_t id = 0;
+  bool ok = !id_text.empty() && id_text.size() <= 19;
+  for (const char c : id_text) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (!ok) {
+    c_bad_request_.fetch_add(1);
+    send_bytes(conn,
+               make_response(400, error_body("bad request id").dump()));
+    return;
+  }
+  engine_.cancel(id);
+  c_cancels_.fetch_add(1);
+  Json body = Json::object();
+  body.set("id", Json::number(static_cast<std::int64_t>(id)));
+  body.set("cancel", Json::string("staged"));
+  send_bytes(conn, make_response(202, body.dump()));
+}
+
+void HttpServer::handle_engine_event(EngineEvent& event) {
+  auto it = streams_.find(event.request_id);
+  if (it == streams_.end()) return;  // stream dropped (client abort + stop)
+  Stream& stream = it->second;
+  Conn* conn = nullptr;
+  if (stream.conn_fd >= 0) {
+    auto cit = conns_.find(stream.conn_fd);
+    if (cit != conns_.end()) conn = &cit->second;
+  }
+
+  if (event.kind == EngineEvent::Kind::kToken) {
+    stream.tokens.push_back(event.token);
+    if (conn != nullptr && stream.chunked) {
+      if (!stream.headers_sent) {
+        // Deferred headers: the client's time-to-headers IS the TTFT.
+        std::string bytes = make_chunked_head(200);
+        Json head = Json::object();
+        head.set("id",
+                 Json::number(static_cast<std::int64_t>(stream.id)));
+        bytes += make_chunk(head.dump() + "\n");
+        send_bytes(*conn, std::move(bytes));
+        stream.headers_sent = true;
+      }
+      Json tok = Json::object();
+      tok.set("token", Json::number(static_cast<std::int64_t>(event.token)));
+      send_bytes(*conn, make_chunk(tok.dump() + "\n"));
+    }
+    return;
+  }
+
+  // Finish.
+  const serve::RequestResult& result = event.result;
+  c_streams_completed_.fetch_add(1);
+  const bool timed_out_cold = result.status == serve::RequestStatus::kTimeout &&
+                              result.generated_tokens == 0;
+  if (timed_out_cold) c_timeout_.fetch_add(1);
+  if (conn != nullptr) {
+    if (stream.headers_sent) {
+      Json done = Json::object();
+      done.set("done", Json::boolean(true));
+      done.set("status", Json::string(serve::status_name(result.status)));
+      done.set("generated", Json::number(result.generated_tokens));
+      done.set("ttft_ms", Json::number(result.ttft_s * 1e3));
+      done.set("total_ms", Json::number(result.total_s * 1e3));
+      done.set("tokens_per_s", Json::number(result.tokens_per_s));
+      done.set("preemptions", Json::number(result.preemptions));
+      send_bytes(*conn, make_chunk(done.dump() + "\n") + make_last_chunk());
+    } else if (timed_out_cold) {
+      // The deadline expired before the first token: the engine never
+      // produced anything to stream, so the whole exchange maps to 504.
+      Json body = error_body("deadline expired before first token");
+      body.set("id", Json::number(static_cast<std::int64_t>(stream.id)));
+      send_bytes(*conn, make_response(504, body.dump()));
+    } else {
+      // Non-streamed completion (or a cancel that beat the first token):
+      // one JSON document with every generated token.
+      Json body = Json::object();
+      body.set("id", Json::number(static_cast<std::int64_t>(stream.id)));
+      body.set("status", Json::string(serve::status_name(result.status)));
+      Json tokens = Json::array();
+      for (const std::int32_t t : stream.tokens) {
+        tokens.push_back(Json::number(static_cast<std::int64_t>(t)));
+      }
+      body.set("tokens", std::move(tokens));
+      body.set("generated", Json::number(result.generated_tokens));
+      body.set("ttft_ms", Json::number(result.ttft_s * 1e3));
+      body.set("total_ms", Json::number(result.total_s * 1e3));
+      body.set("tokens_per_s", Json::number(result.tokens_per_s));
+      send_bytes(*conn, make_response(200, body.dump()));
+    }
+    conn->busy = false;
+    conn->stream_id = 0;
+  }
+  const int conn_fd = conn != nullptr ? conn->fd : -1;
+  streams_.erase(it);
+  if (conn_fd >= 0) {
+    if (conn->close_after_flush) {
+      flush(*conn);  // may destroy the connection; conn unused after
+    } else {
+      // Pipelined requests parked behind the stream can go now.
+      process_requests(conn_fd);
+    }
+  }
+}
+
+void HttpServer::send_bytes(Conn& conn, std::string bytes) {
+  conn.out += bytes;
+  flush(conn);
+}
+
+void HttpServer::flush(Conn& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t w =
+        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (w > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(w));
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        update_epoll(conn);
+      }
+      return;
+    }
+    destroy_conn(conn.fd);
+    return;
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    update_epoll(conn);
+  }
+  if (conn.close_after_flush && !conn.busy) destroy_conn(conn.fd);
+}
+
+void HttpServer::conn_writable(Conn& conn) { flush(conn); }
+
+void HttpServer::update_epoll(Conn& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void HttpServer::destroy_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (conn.busy) {
+    // The audience left mid-stream: stop spending decode steps on it.
+    auto sit = streams_.find(conn.stream_id);
+    if (sit != streams_.end()) sit->second.conn_fd = -1;
+    engine_.cancel(conn.stream_id);
+    c_client_aborts_.fetch_add(1);
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+}  // namespace matgpt::net

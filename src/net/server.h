@@ -1,0 +1,172 @@
+#pragma once
+// Async HTTP/1.1 front end over serve::InferenceEngine.
+//
+// One epoll thread owns every socket (nonblocking listener + connections)
+// plus two eventfds: a stop signal and the EventQueue the engine-side
+// token/finish callbacks push into. Inference never runs on the server
+// thread and socket I/O never runs on the engine thread — the queue is
+// the only bridge, so a slow client cannot stall decode and a long decode
+// cannot stall accept().
+//
+// Routes:
+//   POST   /v1/generate       JSON body -> serve::Request. The response is
+//                             chunked transfer-encoding; the header block
+//                             plus an {"id": n} chunk are sent when the
+//                             FIRST token is produced (so the client's
+//                             time-to-headers is the engine's TTFT), then
+//                             one {"token": t} chunk per token and a final
+//                             {"done": true, ...} chunk. "stream": false
+//                             switches to one plain JSON response at
+//                             completion. Backpressure maps try_submit
+//                             load-shedding to 429; a deadline that
+//                             expires before the first token maps to 504.
+//   DELETE /v1/requests/{id}  engine.cancel(id); 202. An in-flight stream
+//                             ends with a final chunk whose status is
+//                             "cancelled".
+//   GET    /v1/stats          engine ServerStats::to_json() plus the
+//                             server's own HTTP counters.
+//   GET    /v1/healthz        liveness probe.
+//
+// A client that disconnects mid-stream gets its request cancelled — the
+// engine stops spending tokens on an audience that left.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_queue.h"
+#include "net/http.h"
+#include "serve/engine.h"
+
+namespace matgpt::net {
+
+struct HttpServerConfig {
+  /// TCP port to bind on the loopback interface; 0 = kernel-assigned
+  /// ephemeral port (see HttpServer::port()).
+  int port = 0;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// Open connections beyond this are answered 503 and closed.
+  std::size_t max_connections = 256;
+  /// Request header block limit; beyond it the request is answered 431.
+  std::size_t max_header_bytes = 8192;
+  /// Request body limit; beyond it the request is answered 413.
+  std::size_t max_body_bytes = 1 << 20;
+  /// EventQueue bound between the engine callbacks and the epoll loop. A
+  /// full queue blocks the engine thread (bounded memory beats unbounded
+  /// buffering), so size it for the expected token burst rate.
+  std::size_t completion_queue_capacity = 4096;
+
+  /// Throws (MGPT_CHECK) on unserviceable knobs, same discipline as
+  /// serve::EngineConfig::validate(): port outside [0, 65535],
+  /// backlog <= 0, or a zero max_connections / max_header_bytes /
+  /// max_body_bytes / completion_queue_capacity.
+  void validate() const;
+};
+
+/// Monotonic HTTP-level counters (engine-level stats live in ServerStats).
+struct HttpCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // over max_connections -> 503
+  std::uint64_t requests = 0;              // well-formed requests dispatched
+  std::uint64_t protocol_errors = 0;       // 400/413/431/501/505 from parse
+  std::uint64_t streams_started = 0;
+  std::uint64_t streams_completed = 0;
+  std::uint64_t shed_429 = 0;
+  std::uint64_t timeout_504 = 0;
+  std::uint64_t bad_request_400 = 0;       // body-level rejections
+  std::uint64_t cancels_requested = 0;
+  std::uint64_t client_aborts = 0;         // disconnect mid-stream
+};
+
+class HttpServer {
+ public:
+  /// The engine must outlive the server. Callers normally engine.start()
+  /// before server.start() — requests submitted while the engine worker
+  /// is not running sit in the admission queue unserved.
+  HttpServer(serve::InferenceEngine& engine, HttpServerConfig config = {});
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind + listen on 127.0.0.1 and spawn the epoll thread.
+  void start();
+
+  /// Graceful stop: close the listener, cancel every in-flight stream,
+  /// wait for their final events, close connections, join the thread.
+  /// Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(); }
+
+  /// The bound port (useful with config.port = 0).
+  std::uint16_t port() const { return port_; }
+
+  HttpCounters counters() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    HttpParser parser;
+    std::string out;               // bytes accepted but not yet written
+    bool want_write = false;       // EPOLLOUT armed
+    bool close_after_flush = false;
+    bool busy = false;             // a generate stream owns this response
+    std::uint64_t stream_id = 0;
+  };
+
+  struct Stream {
+    int conn_fd = -1;              // -1 once the client disconnected
+    bool chunked = true;           // "stream": true requests
+    bool headers_sent = false;
+    std::uint64_t id = 0;
+    std::vector<std::int32_t> tokens;  // generated tokens, arrival order
+  };
+
+  void loop();
+  void accept_ready();
+  void conn_readable(Conn& conn);
+  void conn_writable(Conn& conn);
+  // fd-based with re-lookup each iteration: dispatch can destroy the
+  // connection (error + Connection: close), so a Conn& would dangle.
+  void process_requests(int fd);
+  void dispatch(Conn& conn, const HttpRequest& request);
+  void handle_generate(Conn& conn, const HttpRequest& request);
+  void handle_stats(Conn& conn);
+  void handle_cancel(Conn& conn, std::string_view id_text);
+  void handle_engine_event(EngineEvent& event);
+  void send_bytes(Conn& conn, std::string bytes);
+  void flush(Conn& conn);
+  void update_epoll(Conn& conn);
+  void destroy_conn(int fd);
+  void begin_stop();
+  std::string counters_json() const;
+
+  serve::InferenceEngine& engine_;
+  HttpServerConfig config_;
+  EventQueue queue_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int stop_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool stopping_ = false;          // loop-thread state after stop signal
+  std::uint64_t next_id_ = 1;      // server-assigned request ids
+
+  std::map<int, Conn> conns_;
+  std::map<std::uint64_t, Stream> streams_;
+
+  // Written by the loop thread, read by counters() from any thread.
+  std::atomic<std::uint64_t> c_accepted_{0}, c_rejected_{0}, c_requests_{0},
+      c_protocol_errors_{0}, c_streams_started_{0}, c_streams_completed_{0},
+      c_shed_{0}, c_timeout_{0}, c_bad_request_{0}, c_cancels_{0},
+      c_client_aborts_{0};
+};
+
+}  // namespace matgpt::net

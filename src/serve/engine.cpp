@@ -141,6 +141,60 @@ InferenceEngine::InferenceEngine(const nn::GptModel& model,
   }
 }
 
+InferenceEngine::~InferenceEngine() {
+  // A worker mid-decode must be joined before members destruct; drain()
+  // also resolves every outstanding promise so no future is left broken.
+  if (worker_.joinable()) drain();
+}
+
+void InferenceEngine::start() {
+  MGPT_CHECK(!worker_.joinable(), "engine worker already started");
+  {
+    std::lock_guard lock(queue_mutex_);
+    MGPT_CHECK(!draining_, "start on a drained engine");
+  }
+  worker_running_.store(true);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void InferenceEngine::drain() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    draining_ = true;
+  }
+  // Wake the worker (to observe draining_) and any submitters blocked on a
+  // full queue (to throw instead of waiting forever).
+  worker_cv_.notify_all();
+  queue_cv_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  } else {
+    run_until_idle();
+  }
+  worker_running_.store(false);
+}
+
+void InferenceEngine::worker_loop() {
+  for (;;) {
+    if (step() > 0) continue;
+    // Nothing active and nothing admitted: park until work (or drain)
+    // arrives. Producers notify under queue_mutex_, so no lost wakeups.
+    std::unique_lock lock(queue_mutex_);
+    if (draining_ && waiting_.empty() && cancel_ids_.empty() &&
+        active_.empty()) {
+      return;
+    }
+    worker_cv_.wait(lock, [this] {
+      return draining_ || !waiting_.empty() || !cancel_ids_.empty();
+    });
+  }
+}
+
+std::string InferenceEngine::stats_json() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_.to_json(secs(Clock::now() - started_at_));
+}
+
 InferenceEngine::Pending InferenceEngine::make_pending(
     Request request) const {
   MGPT_CHECK(!request.prompt.empty(), "request requires a non-empty prompt");
@@ -183,10 +237,12 @@ std::future<RequestResult> InferenceEngine::submit(Request request) {
   {
     std::unique_lock lock(queue_mutex_);
     queue_cv_.wait(lock, [this] {
-      return waiting_.size() < config_.queue_capacity;
+      return draining_ || waiting_.size() < config_.queue_capacity;
     });
+    MGPT_CHECK(!draining_, "submit on a draining engine");
     waiting_.push_back(std::move(pending));
   }
+  worker_cv_.notify_one();
   return future;
 }
 
@@ -196,15 +252,21 @@ std::optional<std::future<RequestResult>> InferenceEngine::try_submit(
   auto future = pending.promise.get_future();
   {
     std::lock_guard lock(queue_mutex_);
-    if (waiting_.size() >= config_.queue_capacity) return std::nullopt;
+    if (draining_ || waiting_.size() >= config_.queue_capacity) {
+      return std::nullopt;
+    }
     waiting_.push_back(std::move(pending));
   }
+  worker_cv_.notify_one();
   return future;
 }
 
 void InferenceEngine::cancel(std::uint64_t id) {
-  std::lock_guard lock(queue_mutex_);
-  cancel_ids_.push_back(id);
+  {
+    std::lock_guard lock(queue_mutex_);
+    cancel_ids_.push_back(id);
+  }
+  worker_cv_.notify_one();
 }
 
 std::size_t InferenceEngine::queue_depth() const {
@@ -491,6 +553,7 @@ void InferenceEngine::prefill_step(ActiveSeq& seq, Clock::time_point now) {
   seq.ttft_s = secs(t - seq.submitted);
   stats_.record_ttft(seq.ttft_s, seq.request.priority);
   seq.last_token = t;
+  if (seq.request.on_token) seq.request.on_token(seq.tokens.back());
 }
 
 void InferenceEngine::preempt(std::size_t idx) {
@@ -569,6 +632,7 @@ void InferenceEngine::finish(ActiveSeq& seq, RequestStatus status,
   seq.kv.release();
   seq.draft_kv.release();  // no-op for plain requests
   stats_.record_request(result);
+  if (seq.request.on_finish) seq.request.on_finish(result);
   seq.promise.set_value(std::move(result));
 }
 
@@ -597,6 +661,7 @@ void InferenceEngine::finish_pending(Pending& pending, RequestStatus status,
   result.verify_rounds =
       pending.spec.drafts_proposed > 0 ? pending.spec.verify_rounds + 1 : 0;
   stats_.record_request(result);
+  if (pending.request.on_finish) pending.request.on_finish(result);
   pending.promise.set_value(std::move(result));
 }
 
@@ -622,6 +687,7 @@ std::size_t InferenceEngine::decode_phase() {
     seq.emitted += 1;
     stats_.record_inter_token(secs(now - seq.last_token));
     seq.last_token = now;
+    if (seq.request.on_token) seq.request.on_token(token);
   };
 
   if (!plain.empty()) {
@@ -666,6 +732,10 @@ std::size_t InferenceEngine::decode_phase() {
       seq.emitted += 1;
       stats_.record_inter_token(secs(now - seq.last_token));
       seq.last_token = now;
+      if (seq.request.on_token) {
+        seq.request.on_token(
+            seq.tokens[seq.tokens.size() - static_cast<std::size_t>(got - t)]);
+      }
     }
   }
   return plain.size() + speculative.size();
@@ -686,6 +756,8 @@ void InferenceEngine::retire_finished() {
 }
 
 std::size_t InferenceEngine::step() {
+  // stats_json() readers see consistent between-steps snapshots.
+  std::lock_guard stats_lock(stats_mutex_);
   const auto now = Clock::now();
   apply_cancellations(now);
   expire_deadlines(now);

@@ -42,8 +42,13 @@
 // regardless of batching, chunking, or how often it was preempted.
 //
 // Threading: submit()/try_submit()/cancel() are safe from any thread;
-// step()/run_*() must be driven by one scheduler thread.
+// step()/run_*() must be driven by one scheduler thread. start() spawns
+// that thread internally (the HTTP front end's deployment shape); drain()
+// then stops admission, finishes everything in flight, and joins it — the
+// destructor drains too, so destroying an engine mid-decode cannot race
+// the worker.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -52,6 +57,8 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "nn/gpt.h"
@@ -130,13 +137,38 @@ class InferenceEngine {
  public:
   InferenceEngine(const nn::GptModel& model, EngineConfig config = {});
 
+  /// Drains (finish in-flight work, join the worker) if start() was called
+  /// and drain() was not — destruction during active decode is safe.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Spawn the background scheduler thread that drives step() (sleeping on
+  /// a condition variable when there is no work). Once started, step() /
+  /// run_trace() / run_until_idle() must NOT be called from other threads —
+  /// the worker owns the scheduler loop. Call at most once.
+  void start();
+
+  /// Graceful shutdown: stop admission (submit() throws, try_submit()
+  /// refuses), let every queued and active request run to retirement, then
+  /// join the worker. Without a worker thread the draining happens on the
+  /// calling thread. Idempotent; the engine stays drained afterwards.
+  /// Callers wanting a *fast* stop cancel() outstanding ids first — drain
+  /// then only finishes the cancellations.
+  void drain();
+
+  /// True between start() and the end of drain().
+  bool running() const { return worker_running_.load(); }
+
   /// Enqueue a request; blocks while the admission queue is full. The future
   /// resolves when the request retires (finished, cancelled, or timed out —
-  /// see RequestResult::status).
+  /// see RequestResult::status). Throws if the engine is draining.
   std::future<RequestResult> submit(Request request);
 
-  /// Non-blocking submit: std::nullopt when the admission queue is full
-  /// (load-shedding callers pick their own fallback instead of blocking).
+  /// Non-blocking submit: std::nullopt when the admission queue is full or
+  /// the engine is draining (load-shedding callers pick their own fallback
+  /// instead of blocking). The HTTP front end maps this to 429.
   std::optional<std::future<RequestResult>> try_submit(Request request);
 
   /// Stage a cancellation for `id`; the next step() retires the request
@@ -159,6 +191,11 @@ class InferenceEngine {
   std::vector<RequestResult> run_trace(std::vector<Request> requests);
 
   const ServerStats& stats() const { return stats_; }
+  /// Thread-safe stats snapshot as JSON (ServerStats::to_json with uptime
+  /// since construction as the wall clock). Unlike stats(), this is safe
+  /// while the worker is mid-step: step() and the serializer share a
+  /// mutex, so the reader sees a consistent between-steps snapshot.
+  std::string stats_json() const;
   const KvCachePool& kv_pool() const { return pool_; }
   /// Draft-slot pool; null unless the engine was built with a proposer.
   const KvCachePool* draft_pool() const { return draft_pool_.get(); }
@@ -252,10 +289,24 @@ class InferenceEngine {
   sched::SwapArena swap_arena_;
   ServerStats stats_;
 
+  void worker_loop();
+
   std::deque<Pending> waiting_;
   std::vector<std::uint64_t> cancel_ids_;  // staged by cancel()
+  bool draining_ = false;  // guarded by queue_mutex_
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
+  // Wakes the worker when work arrives (submit/cancel/drain) while it is
+  // parked on an empty queue + empty batch.
+  std::condition_variable worker_cv_;
+  std::thread worker_;
+  std::atomic<bool> worker_running_{false};
+
+  // Serializes step() against stats_json(): the only cross-thread reader
+  // of stats_. Held for the whole step, so a snapshot is always a
+  // between-steps view.
+  mutable std::mutex stats_mutex_;
+  Clock::time_point started_at_ = Clock::now();
 
   std::vector<ActiveSeq> active_;
 };

@@ -138,4 +138,60 @@ std::string ServerStats::report(double wall_s) const {
   return os.str();
 }
 
+std::string ServerStats::to_json(double wall_s) const {
+  std::ostringstream os;
+  os.precision(17);
+  auto hist = [&os](const char* name, const Histogram& h) {
+    os << "\"" << name << "\": {\"count\": " << h.total();
+    if (h.total() > 0.0) {
+      os << ", \"p50\": " << h.quantile(0.50) << ", \"p95\": "
+         << h.quantile(0.95) << ", \"p99\": " << h.quantile(0.99);
+    }
+    os << "}";
+  };
+  os << "{\n  \"wall_s\": " << wall_s;
+  os << ",\n  \"requests_completed\": " << requests_completed_;
+  os << ",\n  \"tokens_generated\": " << tokens_generated_;
+  os << ",\n  \"aggregate_tokens_per_s\": "
+     << (wall_s > 0.0 ? static_cast<double>(tokens_generated_) / wall_s
+                      : 0.0);
+  os << ",\n  \"mean_request_tokens_per_s\": " << mean_request_tokens_per_s();
+  os << ",\n  \"cancelled\": " << cancelled_;
+  os << ",\n  \"timed_out\": " << timed_out_;
+  os << ",\n  \"preemptions\": " << preemptions();
+  os << ",\n  \"preempt_swaps\": " << preempt_swaps_;
+  os << ",\n  \"preempt_recomputes\": " << preempt_recomputes_;
+  os << ",\n  ";
+  hist("ttft_ms", ttft_ms_);
+  for (std::size_t c = 0; c < ttft_class_ms_.size(); ++c) {
+    os << ",\n  ";
+    const std::string name =
+        std::string("ttft_") + priority_name(static_cast<Priority>(c)) +
+        "_ms";
+    hist(name.c_str(), ttft_class_ms_[c]);
+  }
+  os << ",\n  ";
+  hist("queue_delay_ms", queue_delay_ms_);
+  os << ",\n  ";
+  hist("inter_token_ms", inter_token_ms_);
+  os << ",\n  \"drafts_proposed\": " << drafts_proposed_;
+  os << ",\n  \"drafts_accepted\": " << drafts_accepted_;
+  os << ",\n  \"spec_steps_saved\": " << spec_steps_saved_;
+  os << ",\n  \"acceptance_rate\": " << acceptance_rate();
+  os << ",\n  \"prefix_hits\": " << prefix_hits_;
+  os << ",\n  \"prefix_misses\": " << prefix_misses_;
+  os << ",\n  \"prefix_hit_rate\": " << prefix_hit_rate();
+  os << ",\n  \"prefix_tokens_reused\": " << prefix_tokens_reused_;
+  os << ",\n  \"prefix_prompt_tokens\": " << prefix_prompt_tokens_;
+  os << ",\n  \"peak_active\": " << peak_active_;
+  os << ",\n  \"peak_used_blocks\": " << peak_used_blocks_;
+  os << ",\n  \"peak_shared_blocks\": " << peak_shared_blocks_;
+  os << ",\n  \"kv_total_blocks\": " << kv_total_blocks_;
+  os << ",\n  \"peak_block_utilization\": " << peak_block_utilization();
+  os << ",\n  \"cow_forks\": " << cow_forks_;
+  os << ",\n  \"cow_rows\": " << cow_rows_;
+  os << "\n}";
+  return os.str();
+}
+
 }  // namespace matgpt::serve

@@ -127,6 +127,12 @@ class ServerStats {
   /// p50/p95/p99 latency table.
   std::string report(double wall_s) const;
 
+  /// Machine-readable mirror of report(): one JSON object with the
+  /// counters, per-histogram {count, p50, p95, p99} blocks (count 0 when a
+  /// histogram has no samples), and the spec/prefix/kv aggregates. The
+  /// HTTP /v1/stats endpoint and `serve-bench --json` both emit this.
+  std::string to_json(double wall_s) const;
+
  private:
   Histogram ttft_ms_;
   Histogram inter_token_ms_;

@@ -3,6 +3,7 @@
 // and traces.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "nn/sampling.h"
@@ -48,6 +49,8 @@ inline const char* status_name(RequestStatus s) {
   return "?";
 }
 
+struct RequestResult;
+
 /// One generation request as a client would submit it.
 struct Request {
   std::uint64_t id = 0;
@@ -71,6 +74,16 @@ struct Request {
   /// request whose deadline passes before it completes is retired with
   /// RequestStatus::kTimeout.
   double deadline_ms = 0.0;
+  /// Streaming hook: invoked on the engine's scheduler thread for every
+  /// generated token in emission order (the TTFT token included,
+  /// speculative bursts token by token). Null = no streaming. Must not
+  /// block for long — it runs inside the decode loop; hand the token to
+  /// another thread (e.g. an eventfd-signalled queue) instead.
+  std::function<void(std::int32_t)> on_token;
+  /// Completion hook: invoked on the engine's scheduler thread right
+  /// before the request's future resolves, with the final result
+  /// (including cancelled/timeout retirements). Same blocking caveat.
+  std::function<void(const RequestResult&)> on_finish;
 };
 
 /// Completed request: prompt + generated tokens (the generate_cached layout)
