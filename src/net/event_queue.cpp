@@ -19,8 +19,11 @@ struct EventQueue::Impl {
 };
 
 EventQueue::EventQueue(std::size_t capacity)
-    : impl_(new Impl), capacity_(capacity) {
+    : impl_(nullptr), capacity_(capacity) {
+  // Validate before allocating: a throwing constructor body never runs the
+  // destructor, so anything owned before the check would leak.
   MGPT_CHECK(capacity > 0, "EventQueue capacity must be non-zero");
+  impl_ = new Impl;
   event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (event_fd_ < 0) {
     delete impl_;

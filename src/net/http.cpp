@@ -53,6 +53,20 @@ const std::string* HttpRequest::header(std::string_view name) const {
 void HttpParser::feed(std::string_view data) {
   if (error_status_ != 0) return;
   buffer_.append(data.data(), data.size());
+  // Bound bytes buffered but not yet parsed. While a generate stream owns
+  // the connection the server parks pipelined requests here without
+  // calling next(), so without a cap a client flooding bytes behind an
+  // in-flight stream would grow this buffer without limit (OOM DoS). The
+  // cap leaves room for one maximal in-flight request plus a full
+  // pipelined one behind it.
+  const std::size_t cap =
+      2 * (limits_.max_header_bytes + limits_.max_body_bytes);
+  if (buffer_.size() > cap) {
+    fail(413, "buffered pipelined bytes exceed limit");
+    std::string().swap(buffer_);  // actually release the memory
+    in_body_ = false;
+    body_needed_ = 0;
+  }
 }
 
 HttpParser::Status HttpParser::fail(int status, std::string reason) {

@@ -52,7 +52,11 @@ class HttpParser {
   explicit HttpParser(Limits limits) : limits_(limits) {}
 
   /// Append raw bytes from the socket. No-op after an error (the
-  /// connection is about to be closed anyway).
+  /// connection is about to be closed anyway). Bytes buffered but not yet
+  /// consumed by next() are capped at 2 * (max_header_bytes +
+  /// max_body_bytes); beyond that the parser enters the 413 error state
+  /// and drops the buffer, so a client flooding pipelined bytes while a
+  /// response stream is in flight cannot grow memory without bound.
   void feed(std::string_view data);
 
   /// Try to extract the next complete request (pipelining: keep calling

@@ -86,6 +86,18 @@ struct Parser {
       if (errno == 0 && end != nullptr && *end == '\0') {
         return Json::number(static_cast<std::int64_t>(v));
       }
+      if (errno == ERANGE && token[0] != '-') {
+        // Integers in (INT64_MAX, UINT64_MAX] — e.g. uint64 sampling
+        // seeds — are carried as the int64 bit pattern so they survive
+        // exactly instead of falling into the lossy double path;
+        // consumers expecting uint64 cast as_int() back.
+        errno = 0;
+        end = nullptr;
+        const unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end != nullptr && *end == '\0') {
+          return Json::number(static_cast<std::int64_t>(u));
+        }
+      }
     }
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
@@ -371,6 +383,10 @@ double Json::as_number() const {
 std::int64_t Json::as_int() const {
   MGPT_CHECK(type_ == Type::kNumber, "json value is not a number");
   if (num_is_int_) return int_;
+  // Range-check before the cast: converting an out-of-range double to
+  // int64 is undefined behaviour (2^63 is exactly representable).
+  MGPT_CHECK(num_ >= -9223372036854775808.0 && num_ < 9223372036854775808.0,
+             "json number " << num_ << " is not an exact integer");
   const auto v = static_cast<std::int64_t>(num_);
   MGPT_CHECK(static_cast<double>(v) == num_,
              "json number " << num_ << " is not an exact integer");

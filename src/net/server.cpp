@@ -376,6 +376,8 @@ void HttpServer::handle_generate(Conn& conn, const HttpRequest& request) {
       req.sampling.top_p = static_cast<float>(v->as_number());
     }
     if (const Json* v = body.find("seed")) {
+      // Seeds above INT64_MAX arrive from the parser as the int64 bit
+      // pattern; the cast recovers the full uint64 range exactly.
       req.sampling.seed = static_cast<std::uint64_t>(v->as_int());
     }
     if (const Json* v = body.find("spec_k")) req.spec_k = v->as_int();
@@ -515,29 +517,37 @@ void HttpServer::handle_engine_event(EngineEvent& event) {
   auto it = streams_.find(event.request_id);
   if (it == streams_.end()) return;  // stream dropped (client abort + stop)
   Stream& stream = it->second;
-  Conn* conn = nullptr;
-  if (stream.conn_fd >= 0) {
-    auto cit = conns_.find(stream.conn_fd);
-    if (cit != conns_.end()) conn = &cit->second;
-  }
+  // Every send below can destroy the connection (a hard send error — e.g.
+  // ECONNRESET from a client that vanished mid-stream — lands in
+  // destroy_conn via flush), so the Conn is re-looked-up by fd after each
+  // write instead of held across them. destroy_conn never erases the
+  // stream itself, so `stream` stays valid throughout.
+  const int fd = stream.conn_fd;
+  auto live = [this](int conn_fd) -> Conn* {
+    if (conn_fd < 0) return nullptr;
+    auto cit = conns_.find(conn_fd);
+    return cit == conns_.end() ? nullptr : &cit->second;
+  };
+  Conn* conn = live(fd);
 
   if (event.kind == EngineEvent::Kind::kToken) {
     stream.tokens.push_back(event.token);
-    if (conn != nullptr && stream.chunked) {
-      if (!stream.headers_sent) {
-        // Deferred headers: the client's time-to-headers IS the TTFT.
-        std::string bytes = make_chunked_head(200);
-        Json head = Json::object();
-        head.set("id",
-                 Json::number(static_cast<std::int64_t>(stream.id)));
-        bytes += make_chunk(head.dump() + "\n");
-        send_bytes(*conn, std::move(bytes));
-        stream.headers_sent = true;
-      }
-      Json tok = Json::object();
-      tok.set("token", Json::number(static_cast<std::int64_t>(event.token)));
-      send_bytes(*conn, make_chunk(tok.dump() + "\n"));
+    if (conn == nullptr || !stream.chunked) return;
+    if (!stream.headers_sent) {
+      // Deferred headers: the client's time-to-headers IS the TTFT.
+      std::string bytes = make_chunked_head(200);
+      Json head = Json::object();
+      head.set("id",
+               Json::number(static_cast<std::int64_t>(stream.id)));
+      bytes += make_chunk(head.dump() + "\n");
+      stream.headers_sent = true;
+      send_bytes(*conn, std::move(bytes));
+      conn = live(fd);
+      if (conn == nullptr) return;
     }
+    Json tok = Json::object();
+    tok.set("token", Json::number(static_cast<std::int64_t>(event.token)));
+    send_bytes(*conn, make_chunk(tok.dump() + "\n"));
     return;
   }
 
@@ -548,6 +558,12 @@ void HttpServer::handle_engine_event(EngineEvent& event) {
                               result.generated_tokens == 0;
   if (timed_out_cold) c_timeout_.fetch_add(1);
   if (conn != nullptr) {
+    // Release the response channel BEFORE the terminal write: with busy
+    // already false, a Connection: close drain destroys the connection
+    // inside send_bytes the moment the last byte flushes, and the
+    // re-lookup below observes that instead of touching freed memory.
+    conn->busy = false;
+    conn->stream_id = 0;
     if (stream.headers_sent) {
       Json done = Json::object();
       done.set("done", Json::boolean(true));
@@ -581,18 +597,13 @@ void HttpServer::handle_engine_event(EngineEvent& event) {
       body.set("tokens_per_s", Json::number(result.tokens_per_s));
       send_bytes(*conn, make_response(200, body.dump()));
     }
-    conn->busy = false;
-    conn->stream_id = 0;
   }
-  const int conn_fd = conn != nullptr ? conn->fd : -1;
   streams_.erase(it);
-  if (conn_fd >= 0) {
-    if (conn->close_after_flush) {
-      flush(*conn);  // may destroy the connection; conn unused after
-    } else {
-      // Pipelined requests parked behind the stream can go now.
-      process_requests(conn_fd);
-    }
+  if (live(fd) != nullptr) {
+    // Pipelined requests parked behind the stream can go now. (A draining
+    // Connection: close either already died inside send_bytes or is
+    // waiting on EPOLLOUT; process_requests leaves it alone.)
+    process_requests(fd);
   }
 }
 

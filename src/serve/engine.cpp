@@ -501,6 +501,7 @@ bool InferenceEngine::try_activate(Pending pending, Clock::time_point now) {
     if (reused > 0) prefix_cache_->restore(m, *seq.kv);
     if (prefix_cache_ != nullptr) {
       prefix_cache_->unpin(m);
+      std::lock_guard lock(stats_mutex_);
       stats_.record_prefix(reused, prompt_len);
     }
   } else if (pending.swapped) {
@@ -521,6 +522,7 @@ void InferenceEngine::prefill_step(ActiveSeq& seq, Clock::time_point now) {
   if (seq.queue_delay_s < 0.0) {
     // First time this request reaches the model: pure scheduling delay.
     seq.queue_delay_s = secs(now - seq.submitted);
+    std::lock_guard lock(stats_mutex_);
     stats_.record_queue_delay(seq.queue_delay_s);
   }
   const std::int64_t cur = seq.kv->length;
@@ -551,7 +553,10 @@ void InferenceEngine::prefill_step(ActiveSeq& seq, Clock::time_point now) {
   seq.tokens.push_back(sample_row(logits, 0, seq));
   seq.emitted = 1;
   seq.ttft_s = secs(t - seq.submitted);
-  stats_.record_ttft(seq.ttft_s, seq.request.priority);
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.record_ttft(seq.ttft_s, seq.request.priority);
+  }
   seq.last_token = t;
   if (seq.request.on_token) seq.request.on_token(seq.tokens.back());
 }
@@ -586,7 +591,10 @@ void InferenceEngine::preempt(std::size_t idx) {
   pending.swapped = swapped;
   seq.kv.release();
   seq.draft_kv.release();  // the proposer re-prefills deterministically
-  stats_.record_preemption(swapped);
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.record_preemption(swapped);
+  }
 
   std::lock_guard lock(queue_mutex_);
   waiting_.push_front(std::move(pending));
@@ -631,7 +639,10 @@ void InferenceEngine::finish(ActiveSeq& seq, RequestStatus status,
       seq.spec.drafts_proposed > 0 ? seq.spec.verify_rounds + 1 : 0;
   seq.kv.release();
   seq.draft_kv.release();  // no-op for plain requests
-  stats_.record_request(result);
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.record_request(result);
+  }
   if (seq.request.on_finish) seq.request.on_finish(result);
   seq.promise.set_value(std::move(result));
 }
@@ -660,7 +671,10 @@ void InferenceEngine::finish_pending(Pending& pending, RequestStatus status,
   result.drafts_accepted = pending.spec.drafts_accepted;
   result.verify_rounds =
       pending.spec.drafts_proposed > 0 ? pending.spec.verify_rounds + 1 : 0;
-  stats_.record_request(result);
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.record_request(result);
+  }
   if (pending.request.on_finish) pending.request.on_finish(result);
   pending.promise.set_value(std::move(result));
 }
@@ -685,7 +699,10 @@ std::size_t InferenceEngine::decode_phase() {
                         Clock::time_point now) {
     seq.tokens.push_back(token);
     seq.emitted += 1;
-    stats_.record_inter_token(secs(now - seq.last_token));
+    {
+      std::lock_guard lock(stats_mutex_);
+      stats_.record_inter_token(secs(now - seq.last_token));
+    }
     seq.last_token = now;
     if (seq.request.on_token) seq.request.on_token(token);
   };
@@ -730,7 +747,10 @@ std::size_t InferenceEngine::decode_phase() {
     // inter-token quantiles reflect what a streaming client observes.
     for (std::int64_t t = 0; t < got; ++t) {
       seq.emitted += 1;
-      stats_.record_inter_token(secs(now - seq.last_token));
+      {
+        std::lock_guard lock(stats_mutex_);
+        stats_.record_inter_token(secs(now - seq.last_token));
+      }
       seq.last_token = now;
       if (seq.request.on_token) {
         seq.request.on_token(
@@ -756,18 +776,24 @@ void InferenceEngine::retire_finished() {
 }
 
 std::size_t InferenceEngine::step() {
-  // stats_json() readers see consistent between-steps snapshots.
-  std::lock_guard stats_lock(stats_mutex_);
+  // stats_mutex_ is NOT held across the step: the request callbacks
+  // (on_token/on_finish) fired below may block on a bounded completion
+  // queue whose consumer thread also calls stats_json(); holding the lock
+  // here would deadlock that pair. Each stats_ mutation locks narrowly
+  // instead.
   const auto now = Clock::now();
   apply_cancellations(now);
   expire_deadlines(now);
   const std::size_t admitted = admit(now);
-  if (pool_.paged()) {
-    stats_.record_kv(active_.size(), pool_.used_blocks(),
-                     pool_.total_blocks(), pool_.shared_blocks(),
-                     pool_.cow_forks(), pool_.cow_rows());
-  } else {
-    stats_.record_kv(active_.size(), 0, 0, 0, 0, 0);
+  {
+    std::lock_guard lock(stats_mutex_);
+    if (pool_.paged()) {
+      stats_.record_kv(active_.size(), pool_.used_blocks(),
+                       pool_.total_blocks(), pool_.shared_blocks(),
+                       pool_.cow_forks(), pool_.cow_rows());
+    } else {
+      stats_.record_kv(active_.size(), 0, 0, 0, 0, 0);
+    }
   }
   if (active_.empty()) return admitted;
   const std::size_t n = active_.size();

@@ -193,8 +193,9 @@ class InferenceEngine {
   const ServerStats& stats() const { return stats_; }
   /// Thread-safe stats snapshot as JSON (ServerStats::to_json with uptime
   /// since construction as the wall clock). Unlike stats(), this is safe
-  /// while the worker is mid-step: step() and the serializer share a
-  /// mutex, so the reader sees a consistent between-steps snapshot.
+  /// while the worker is mid-step: every stats_ mutation and this
+  /// serializer share a mutex. The snapshot may interleave with a step in
+  /// progress, but each recorded datum is complete and consistent.
   std::string stats_json() const;
   const KvCachePool& kv_pool() const { return pool_; }
   /// Draft-slot pool; null unless the engine was built with a proposer.
@@ -302,9 +303,11 @@ class InferenceEngine {
   std::thread worker_;
   std::atomic<bool> worker_running_{false};
 
-  // Serializes step() against stats_json(): the only cross-thread reader
-  // of stats_. Held for the whole step, so a snapshot is always a
-  // between-steps view.
+  // Guards stats_ against stats_json(), its only cross-thread reader.
+  // Taken narrowly around individual stats_ mutations — NEVER across the
+  // request callbacks (on_token/on_finish), which may block on a bounded
+  // completion queue whose consumer thread itself calls stats_json();
+  // holding the lock there deadlocks the whole server under token bursts.
   mutable std::mutex stats_mutex_;
   Clock::time_point started_at_ = Clock::now();
 

@@ -66,6 +66,20 @@ TEST(NetJson, StringEscapes) {
   EXPECT_EQ(net::Json::parse(s.dump()).as_string(), "x\n\t\x01y");
 }
 
+TEST(NetJson, Uint64SeedsSurviveAsInt64BitPattern) {
+  // Integers in (INT64_MAX, UINT64_MAX] — uint64 sampling seeds — parse
+  // to the int64 bit pattern, so a cast recovers them exactly.
+  const net::Json v = net::Json::parse(R"({"seed": 18446744073709551615})");
+  EXPECT_EQ(static_cast<std::uint64_t>(v.find("seed")->as_int()),
+            18446744073709551615ull);
+  // One past UINT64_MAX overflows to the double path and as_int rejects
+  // it as out of range; so does a far-negative integer. (Negatives just
+  // below INT64_MIN that ROUND to -2^63 are accepted as INT64_MIN — the
+  // double path cannot tell them apart.)
+  EXPECT_THROW(net::Json::parse("18446744073709551616").as_int(), Error);
+  EXPECT_THROW(net::Json::parse("-18446744073709551615").as_int(), Error);
+}
+
 TEST(NetJson, RejectsMalformed) {
   EXPECT_THROW(net::Json::parse("{"), Error);
   EXPECT_THROW(net::Json::parse("[1,]"), Error);
@@ -157,6 +171,20 @@ TEST(NetHttpParser, OversizedBodyYields413) {
   net::HttpRequest req;
   ASSERT_EQ(p.next(req), net::HttpParser::Status::kError);
   EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(NetHttpParser, BufferedPipelinedBytesAreCapped) {
+  net::HttpParser p(net::HttpParser::Limits{.max_header_bytes = 64,
+                                            .max_body_bytes = 32});
+  // Simulate a connection whose response channel is owned by an in-flight
+  // stream: bytes keep arriving but next() is never called. The buffer
+  // must stay bounded and the parser must latch an error.
+  for (int i = 0; i < 64; ++i) p.feed(std::string(16, 'x'));
+  EXPECT_LE(p.buffered_bytes(), 2 * (64u + 32u));
+  net::HttpRequest req;
+  ASSERT_EQ(p.next(req), net::HttpParser::Status::kError);
+  EXPECT_EQ(p.error_status(), 413);
+  EXPECT_EQ(p.buffered_bytes(), 0u);  // memory released when latched
 }
 
 TEST(NetHttpParser, MalformedYields400) {
@@ -713,6 +741,75 @@ TEST(HttpServerE2E, ServerStopMidStreamIsCleanAndCancels) {
   EXPECT_EQ(h.server.counters().streams_completed +
                 h.server.counters().client_aborts,
             1u);
+}
+
+TEST(HttpServerE2E, Uint64SeedOverHttpIsAccepted) {
+  Harness h;
+  const std::string body =
+      R"({"id": 600, "prompt": [1, 2, 3], "max_new_tokens": 2,)"
+      R"( "seed": 18446744073709551615, "stream": false})";
+  const auto resp =
+      exchange(h.port(), request_text("POST", "/v1/generate", body));
+  ASSERT_EQ(resp.status_code(), 200);
+  const net::Json parsed = net::Json::parse(resp.body());
+  EXPECT_EQ(parsed.find("status")->as_string(), "ok");
+}
+
+TEST(HttpServerE2E, StatsUnderTokenBurstsWithTinyQueueDoesNotDeadlock) {
+  // Regression: the engine used to hold its stats mutex across the whole
+  // step while the token callbacks block on a full completion queue; a
+  // concurrent GET /v1/stats then wedged the epoll thread on that mutex
+  // and the pair deadlocked permanently. Capacity 1 makes every token a
+  // potential full-queue push.
+  net::HttpServerConfig sc;
+  sc.completion_queue_capacity = 1;
+  Harness h({}, sc);
+  auto trace = serve::synth_trace(tiny_trace_spec(1));
+  trace[0].id = 400;
+  trace[0].max_new_tokens = 50;
+  const int fd = connect_loopback(h.port());
+  send_all(fd, request_text("POST", "/v1/generate",
+                            net::generate_body(trace[0], true)));
+  while (h.server.counters().streams_completed < 1) {
+    const auto stats =
+        exchange(h.port(), request_text("GET", "/v1/stats", ""));
+    ASSERT_EQ(stats.status_code(), 200);
+  }
+  net::HttpResponseParser resp;
+  read_response(fd, resp);
+  ::close(fd);
+  EXPECT_EQ(resp.status_code(), 200);
+}
+
+TEST(HttpServerE2E, ClientRstMidStreamIsSurvived) {
+  // Abort with RST (not FIN): the server's next send into the dead socket
+  // fails hard inside the engine-event handler, which must destroy the
+  // connection without touching it afterwards (ASan covers the lifetime).
+  Harness h;
+  auto trace = serve::synth_trace(tiny_trace_spec(1));
+  trace[0].id = 500;
+  trace[0].max_new_tokens = 50;
+  const int fd = connect_loopback(h.port());
+  send_all(fd, request_text("POST", "/v1/generate",
+                            net::generate_body(trace[0], true)));
+  while (h.server.counters().streams_started < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+  ::close(fd);
+  // The stream terminates (client abort, or completion when the RST lost
+  // the race) and the server stays serviceable.
+  while (h.server.counters().client_aborts +
+             h.server.counters().streams_completed <
+         1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto resp =
+      exchange(h.port(), request_text("GET", "/v1/healthz", ""));
+  EXPECT_EQ(resp.status_code(), 200);
 }
 
 TEST(HttpServerE2E, OpenLoopPoissonRunCompletes) {
