@@ -1,0 +1,228 @@
+// Tensor-parallel serving: measured TP decode-step speedup vs the analytic
+// prediction, plus the byte-identity gate.
+//
+// One serving-shaped model is sharded across 2 and 4 rank threads and
+// driven through batched decode steps. For each shard count the bench
+// reports:
+//   * measured step time for both layouts (column-gather and row-allreduce)
+//     against the TP=1 GptModel baseline;
+//   * the predicted step time from tp_predict — simfrontier's α–β collective
+//     model and GEMM efficiency model re-anchored to this host's measured
+//     GEMM throughput, memcpy bandwidth, and barrier latency — and the
+//     relative prediction error (the predict-vs-measure loop);
+//   * identity_mismatches: every column-gather step's logits are memcmp'd
+//     against the TP=1 step — any nonzero byte difference fails the CI gate.
+//
+// Speedup is an honest wall-clock ratio on THIS machine: on a single-core
+// container the rank threads timeshare one core and TP cannot beat TP=1
+// (the prediction's oversubscription factor says so too); host_cores is
+// recorded so the committed baseline documents its conditions.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "nn/gpt.h"
+#include "serve/tp/tp_model.h"
+#include "serve/tp/tp_predict.h"
+
+using namespace matgpt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::int64_t kBatch = 4;
+constexpr std::int64_t kPrefill = 48;
+constexpr int kSteps = 24;
+
+nn::GptConfig bench_config() {
+  nn::GptConfig c;
+  c.arch = nn::ArchFamily::kLLaMA;
+  c.vocab_size = 2048;
+  c.hidden = 256;
+  c.n_layers = 4;
+  c.n_heads = 8;
+  c.n_kv_heads = 4;  // divisible by every shard count the bench runs
+  c.max_seq = 128;
+  return c;
+}
+
+std::vector<std::int32_t> prompt_for(std::int64_t seq, std::int64_t vocab) {
+  std::vector<std::int32_t> p;
+  for (std::int64_t t = 0; t < kPrefill; ++t) {
+    p.push_back(static_cast<std::int32_t>((seq * 7 + t * 3) % vocab));
+  }
+  return p;
+}
+
+// Prefill kBatch sequences through the TP=1 model (every configuration
+// starts from byte-identical KV state).
+void prime(const nn::GptModel& model, std::vector<nn::KvCache>& caches) {
+  const nn::GptConfig& c = model.config();
+  caches.resize(kBatch);
+  for (std::int64_t s = 0; s < kBatch; ++s) {
+    caches[static_cast<std::size_t>(s)].reserve(c);
+    Tape tape;
+    model.forward_incremental(tape, prompt_for(s, c.vocab_size),
+                              caches[static_cast<std::size_t>(s)]);
+  }
+}
+
+std::int32_t fed_token(std::int64_t seq, int step, std::int64_t vocab) {
+  return static_cast<std::int32_t>((seq * 11 + step * 5 + 1) % vocab);
+}
+
+struct Measured {
+  double step_ms = 0.0;
+  std::int64_t mismatches = 0;
+};
+
+// Decode kSteps batched steps, timing each; when `reference` is non-null it
+// is stepped in lockstep through the TP=1 model and the logits compared
+// byte for byte.
+template <typename Forward>
+Measured run_decode(const nn::GptModel& model, Forward&& forward,
+                    std::vector<nn::KvCache>& caches,
+                    std::vector<nn::KvCache>* reference) {
+  const std::int64_t vocab = model.config().vocab_size;
+  Measured m;
+  std::vector<double> step_s;
+  for (int step = 0; step < kSteps; ++step) {
+    std::vector<std::int32_t> fed;
+    std::vector<nn::KvCache*> ptrs;
+    for (std::int64_t s = 0; s < kBatch; ++s) {
+      fed.push_back(fed_token(s, step, vocab));
+      ptrs.push_back(&caches[static_cast<std::size_t>(s)]);
+    }
+    Tape tape;
+    const auto t0 = Clock::now();
+    Var logits = forward(tape, fed, ptrs);
+    step_s.push_back(
+        std::chrono::duration<double>(Clock::now() - t0).count());
+    if (reference != nullptr) {
+      std::vector<nn::KvCache*> ref_ptrs;
+      for (std::int64_t s = 0; s < kBatch; ++s) {
+        ref_ptrs.push_back(&(*reference)[static_cast<std::size_t>(s)]);
+      }
+      Tape ref_tape;
+      Var ref = model.decode_batch(ref_tape, fed, ref_ptrs);
+      if (std::memcmp(logits.value().data(), ref.value().data(),
+                      static_cast<std::size_t>(logits.value().numel()) *
+                          sizeof(float)) != 0) {
+        m.mismatches += 1;
+      }
+    }
+  }
+  // Median, not mean: on an oversubscribed host a descheduled step costs a
+  // whole scheduler quantum and would swamp the typical-step figure.
+  std::sort(step_s.begin(), step_s.end());
+  m.step_ms = 1e3 * step_s[step_s.size() / 2];
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("BENCH tp",
+                      "tensor-parallel decode: measured speedup, analytic "
+                      "prediction error, byte identity");
+  const nn::GptConfig c = bench_config();
+  nn::GptModel model(c);
+  std::printf("model: llama %lld layers x hidden %lld, %lld/%lld heads, "
+              "vocab %lld; batch %lld, context %lld + %d decode steps\n",
+              static_cast<long long>(c.n_layers),
+              static_cast<long long>(c.hidden),
+              static_cast<long long>(c.n_heads),
+              static_cast<long long>(c.kv_heads()),
+              static_cast<long long>(c.vocab_size),
+              static_cast<long long>(kBatch),
+              static_cast<long long>(kPrefill), kSteps);
+
+  std::vector<std::pair<std::string, double>> metrics;
+
+  // TP=1 baseline.
+  bench::print_section("TP=1 baseline");
+  std::vector<nn::KvCache> base_caches;
+  prime(model, base_caches);
+  const Measured tp1 = run_decode(
+      model,
+      [&](Tape& tape, std::span<const std::int32_t> fed,
+          std::span<nn::KvCache* const> ptrs) {
+        return model.decode_batch(tape, fed, ptrs);
+      },
+      base_caches, nullptr);
+  std::printf("decode step: %.3f ms\n", tp1.step_ms);
+  metrics.emplace_back("tp1_step_ms", tp1.step_ms);
+
+  std::int64_t mismatches = 0;
+  const std::int64_t context = kPrefill + kSteps / 2;  // mid-run length
+  for (int ranks : {2, 4}) {
+    bench::print_section("TP=" + std::to_string(ranks));
+    const serve::tp::HostCalibration cal = serve::tp::calibrate_host(ranks);
+    std::printf("host: %d cores, %.2f Gflop/s ref gemm, %.2f GB/s memcpy, "
+                "%.1f us barrier\n",
+                cal.cores, cal.gemm_flops / 1e9,
+                cal.memcpy_bytes_per_s / 1e9, cal.barrier_s * 1e6);
+    if (ranks == 2) {
+      metrics.emplace_back("host_cores", static_cast<double>(cal.cores));
+    }
+
+    double colgather_ms = 0.0;
+    for (auto layout : {serve::tp::TpLayout::kColumnGather,
+                        serve::tp::TpLayout::kRowAllreduce}) {
+      serve::tp::TpConfig tc;
+      tc.ranks = ranks;
+      tc.layout = layout;
+      serve::tp::TpModel sharded(model, tc);
+
+      std::vector<nn::KvCache> caches, reference;
+      prime(model, caches);
+      const bool exact = layout == serve::tp::TpLayout::kColumnGather;
+      if (exact) prime(model, reference);
+      const Measured got = run_decode(
+          model,
+          [&](Tape& tape, std::span<const std::int32_t> fed,
+              std::span<nn::KvCache* const> ptrs) {
+            return sharded.decode_batch(tape, fed, ptrs);
+          },
+          caches, exact ? &reference : nullptr);
+
+      const serve::tp::TpPrediction pred =
+          serve::tp::predict_decode_step(c, tc, kBatch, context, cal);
+      const double pred_ms = 1e3 * pred.total_s();
+      const double err =
+          std::abs(pred_ms - got.step_ms) / std::max(got.step_ms, 1e-9);
+      const std::string tag = std::string(serve::tp::layout_name(layout)) +
+                              "_tp" + std::to_string(ranks);
+      std::printf("%-16s measured %.3f ms (speedup %.2fx), predicted %.3f ms "
+                  "(compute %.3f + comm %.3f), error %.0f%%",
+                  serve::tp::layout_name(layout), got.step_ms,
+                  tp1.step_ms / got.step_ms, pred_ms, 1e3 * pred.compute_s,
+                  1e3 * pred.comm_s, 100.0 * err);
+      if (exact) {
+        std::printf(", %lld/%d steps mismatched",
+                    static_cast<long long>(got.mismatches), kSteps);
+        mismatches += got.mismatches;
+        colgather_ms = got.step_ms;
+        metrics.emplace_back("speedup_tp" + std::to_string(ranks),
+                             tp1.step_ms / got.step_ms);
+      }
+      std::printf("\n");
+      metrics.emplace_back(tag + "_step_ms", got.step_ms);
+      metrics.emplace_back(tag + "_predicted_ms", pred_ms);
+      metrics.emplace_back(tag + "_predict_error", err);
+    }
+    (void)colgather_ms;
+  }
+
+  metrics.emplace_back("identity_mismatches",
+                       static_cast<double>(mismatches));
+  bench::print_section("verdict");
+  std::printf("identity mismatches: %lld (gate: 0)\n",
+              static_cast<long long>(mismatches));
+  bench::write_bench_json("BENCH_tp.json", metrics);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -17,9 +17,11 @@
 //       policy, --prefill-chunk caps prefill slices at C tokens,
 //       --priority-mix tags fractions H/L of requests high/low priority, and
 //       --deadline-ms gives high-priority requests a D-ms SLO deadline;
+//       --tp N shards the model across N rank threads (byte-identical
+//       output; the serving model's 2 kv heads cap it at 2);
 //       --json prints the run's ServerStats as one JSON document instead of
 //       the human-readable report
-//   matgpt_cli serve-http [--port P]
+//   matgpt_cli serve-http [--port P] [--tp N]
 //       start the epoll HTTP front end (POST /v1/generate streams tokens as
 //       chunked transfer encoding, DELETE /v1/requests/{id} cancels,
 //       GET /v1/stats reports) over a random-init serving-shaped model;
@@ -74,8 +76,8 @@ int usage() {
                "  matgpt_cli serve-bench [requests] [clients]"
                " [--spec-k N] [--draft-layers M] [--prefix-cache-mb B]\n"
                "      [--scheduler fcfs|priority] [--prefill-chunk C]"
-               " [--priority-mix H:L] [--deadline-ms D] [--json]\n"
-               "  matgpt_cli serve-http [--port P]\n"
+               " [--priority-mix H:L] [--deadline-ms D] [--tp N] [--json]\n"
+               "  matgpt_cli serve-http [--port P] [--tp N]\n"
                "  matgpt_cli load-gen --port P [--requests N] [--rate R]"
                " [--concurrency C] [--seed S] [--slo-ms M]\n");
   return 2;
@@ -229,6 +231,7 @@ struct ServeBenchOpts {
   double high_fraction = 0.0;
   double low_fraction = 0.0;
   double deadline_ms = 0.0;
+  std::int64_t tp = 1;
   bool json = false;
 };
 
@@ -280,6 +283,9 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
       static_cast<std::size_t>(prefix_cache_mb) * 1000 * 1000;
   ec.scheduler = opts.scheduler;
   ec.prefill_chunk_tokens = opts.prefill_chunk;
+  // The serving model has 2 kv heads, so --tp beyond 2 fails the shard
+  // divisibility check in TpModel's constructor with a precise message.
+  ec.tensor_parallel = opts.tp;
   if (spec_k > 0) {
     MGPT_CHECK(draft_layers >= 1 && draft_layers <= mc.n_layers,
                "--draft-layers must be in [1, " << mc.n_layers << "]");
@@ -297,6 +303,11 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
                 serve::sched::policy_name(ec.scheduler),
                 static_cast<long long>(ec.prefill_chunk_tokens),
                 ec.prefill_chunk_tokens == 0 ? " (whole-prompt)" : "");
+    if (opts.tp > 1) {
+      std::printf("tensor parallel: %lld ranks (%s layout)\n",
+                  static_cast<long long>(opts.tp),
+                  serve::tp::layout_name(ec.tp_layout));
+    }
     if (opts.high_fraction + opts.low_fraction > 0.0) {
       std::printf("priority mix: %.0f%% high / %.0f%% normal / %.0f%% low, "
                   "high-class deadline %.0f ms\n",
@@ -381,7 +392,7 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
 // sig_atomic_t, so the run loop polls this and does the real teardown.
 volatile std::sig_atomic_t g_stop_requested = 0;
 
-int cmd_serve_http(std::uint16_t port) {
+int cmd_serve_http(std::uint16_t port, std::int64_t tp) {
   const nn::GptConfig mc = serving_model_config();
   nn::GptModel model(mc);
 
@@ -389,6 +400,7 @@ int cmd_serve_http(std::uint16_t port) {
   ec.max_batch = 8;
   ec.kv_slots = 8;
   ec.queue_capacity = 16;
+  ec.tensor_parallel = tp;
   serve::InferenceEngine engine(model, ec);
   engine.start();
 
@@ -402,6 +414,12 @@ int cmd_serve_http(std::uint16_t port) {
               server.port(), "llama",
               static_cast<long long>(mc.vocab_size),
               static_cast<long long>(mc.max_seq));
+  if (tp > 1) {
+    std::printf("tensor parallel: %lld ranks (%s layout); /v1/stats reports "
+                "tp_degree and per-step collective time\n",
+                static_cast<long long>(tp),
+                serve::tp::layout_name(ec.tp_layout));
+  }
   std::printf("  curl -N -d '{\"id\":1,\"prompt\":[1,2,3],"
               "\"max_new_tokens\":16}' http://127.0.0.1:%u/v1/generate\n",
               server.port());
@@ -549,6 +567,8 @@ int main(int argc, char** argv) {
           }
         } else if (arg == "--deadline-ms" && i + 1 < argc) {
           opts.deadline_ms = std::atof(argv[++i]);
+        } else if (arg == "--tp" && i + 1 < argc) {
+          opts.tp = std::atoll(argv[++i]);
         } else if (arg == "--json") {
           opts.json = true;
         } else if (pos < positional.size()) {
@@ -561,22 +581,26 @@ int main(int argc, char** argv) {
           opts.prefix_cache_mb < 0 || opts.prefill_chunk < 0 ||
           opts.high_fraction < 0.0 || opts.low_fraction < 0.0 ||
           opts.high_fraction + opts.low_fraction > 1.0 ||
-          opts.deadline_ms < 0.0) {
+          opts.deadline_ms < 0.0 || opts.tp < 1) {
         return usage();
       }
       return cmd_serve_bench(opts);
     }
     if (cmd == "serve-http") {
       std::uint16_t port = 0;
+      std::int64_t tp = 1;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--port" && i + 1 < argc) {
           port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+        } else if (arg == "--tp" && i + 1 < argc) {
+          tp = std::atoll(argv[++i]);
         } else {
           return usage();
         }
       }
-      return cmd_serve_http(port);
+      if (tp < 1) return usage();
+      return cmd_serve_http(port, tp);
     }
     if (cmd == "load-gen") {
       LoadGenOpts opts;

@@ -131,6 +131,58 @@ void KvCacheLayer::append(const float* k, const float* v,
   values = std::move(new_values);
 }
 
+void KvCacheLayer::extend(std::int64_t n_tokens, std::int64_t kv_heads,
+                          std::int64_t head_dim) {
+  MGPT_CHECK(n_tokens > 0, "KV extend requires tokens");
+  if (paged()) {
+    const PagedKvLayout& layout = paged_seq_->arena()->layout();
+    MGPT_CHECK(layout.kv_heads == kv_heads && layout.head_dim == head_dim,
+               "kv cache shape mismatch");
+    paged_seq_->extend(paged_layer_, n_tokens);
+    return;
+  }
+  MGPT_CHECK(key_slab_.defined(),
+             "KV extend requires reserved or paged storage");
+  MGPT_CHECK(key_slab_.dim(2) == kv_heads && key_slab_.dim(3) == head_dim,
+             "kv cache shape mismatch");
+  const std::int64_t len = length();
+  MGPT_CHECK(len + n_tokens <= capacity(),
+             "kv slot capacity " << capacity() << " exceeded (have " << len
+                                 << ", extending " << n_tokens << ")");
+  keys = key_slab_.prefix_view({1, len + n_tokens, kv_heads, head_dim});
+  values = value_slab_.prefix_view({1, len + n_tokens, kv_heads, head_dim});
+}
+
+void KvCacheLayer::write_heads(std::int64_t pos, std::int64_t n_tokens,
+                               std::int64_t head_begin, std::int64_t n_heads,
+                               const float* k, const float* v) {
+  const std::int64_t hkv = kv_heads();
+  const std::int64_t d = head_dim();
+  MGPT_CHECK(head_begin >= 0 && n_heads > 0 && head_begin + n_heads <= hkv,
+             "write_heads slice [" << head_begin << ", "
+                                   << head_begin + n_heads << ") outside "
+                                   << hkv << " kv heads");
+  MGPT_CHECK(pos >= 0 && n_tokens > 0 && pos + n_tokens <= length(),
+             "write_heads range [" << pos << ", " << pos + n_tokens
+                                   << ") outside extended length "
+                                   << length());
+  const std::int64_t width = n_heads * d;
+  if (paged()) {
+    paged_seq_->write_rows(paged_layer_, pos, n_tokens, head_begin * d, width,
+                           k, v);
+    return;
+  }
+  MGPT_CHECK(key_slab_.defined(),
+             "write_heads requires reserved or paged storage");
+  const std::int64_t row = hkv * d;
+  for (std::int64_t t = 0; t < n_tokens; ++t) {
+    std::copy_n(k + t * width, width,
+                key_slab_.data() + (pos + t) * row + head_begin * d);
+    std::copy_n(v + t * width, width,
+                value_slab_.data() + (pos + t) * row + head_begin * d);
+  }
+}
+
 void KvCacheLayer::reset() {
   if (paged()) {
     paged_seq_->truncate_layer(paged_layer_, 0);

@@ -80,6 +80,20 @@ struct KvCacheLayer {
   /// when the sequence's token capacity or the arena is exhausted).
   void append(const float* k, const float* v, std::int64_t n_tokens,
               std::int64_t kv_heads, std::int64_t head_dim);
+  /// Tensor-parallel split of append(): extend() advances the history by
+  /// `n_tokens` rows (allocating/CoW-forking paged blocks, or growing the
+  /// reserved-slab view) without writing data; every rank then fills its
+  /// kv-head slice of the new rows with write_heads(). One rank extends,
+  /// ranks write disjoint byte ranges — no write ever races. Requires
+  /// reserved or paged storage (dynamic mode has no stable rows to share).
+  void extend(std::int64_t n_tokens, std::int64_t kv_heads,
+              std::int64_t head_dim);
+  /// Write heads [head_begin, head_begin + n_heads) of rows
+  /// [pos, pos + n_tokens) from tight [n_tokens, n_heads * head_dim]
+  /// buffers. The rows must already exist (extend()).
+  void write_heads(std::int64_t pos, std::int64_t n_tokens,
+                   std::int64_t head_begin, std::int64_t n_heads,
+                   const float* k, const float* v);
   /// Drop the history; reserved slabs (and the paged binding) are kept for
   /// reuse.
   void reset();

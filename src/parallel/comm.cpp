@@ -16,30 +16,6 @@ GroupState::GroupState(int size_in) : size(size_in) {
   MGPT_CHECK(size > 0, "communicator group must have at least one rank");
 }
 
-/// Split bookkeeping lives outside GroupState's header to keep the public
-/// surface small; keyed by the group instance.
-struct SplitScratch {
-  std::mutex mutex;
-  // parent-rank-indexed publication of (color, key).
-  std::vector<std::pair<int, int>> entries;
-  // parent rank -> (child group, child rank)
-  std::map<int, std::pair<std::shared_ptr<GroupState>, int>> result;
-  int contributors = 0;
-  int readers = 0;
-};
-
-namespace {
-std::mutex g_split_registry_mutex;
-std::map<const GroupState*, std::shared_ptr<SplitScratch>> g_split_registry;
-
-std::shared_ptr<SplitScratch> split_scratch_for(const GroupState* gs) {
-  std::lock_guard lock(g_split_registry_mutex);
-  auto& slot = g_split_registry[gs];
-  if (!slot) slot = std::make_shared<SplitScratch>();
-  return slot;
-}
-}  // namespace
-
 }  // namespace detail
 
 void run_ranks(int world_size,
@@ -126,6 +102,39 @@ void Communicator::allreduce(std::span<float> data, ReduceOp op) {
   barrier();
 }
 
+void Communicator::allreduce_det(std::span<float> data) {
+  auto& gs = *state_;
+  if (gs.size == 1) return;
+  const std::size_t n = data.size();
+  const std::size_t world = static_cast<std::size_t>(gs.size);
+  {
+    std::lock_guard lock(gs.scratch_mutex);
+    if (gs.det_contributors == 0) gs.det_slots.resize(n * world);
+    MGPT_CHECK(gs.det_slots.size() == n * world,
+               "allreduce_det length mismatch across ranks");
+    std::copy(data.begin(), data.end(),
+              gs.det_slots.begin() +
+                  static_cast<std::ptrdiff_t>(n) * rank_);
+    if (++gs.det_contributors == gs.size) gs.det_contributors = 0;
+  }
+  barrier();
+  // Every rank redundantly reduces in ascending rank order: one double
+  // accumulator per element, one rounding to float at the end. The bits
+  // depend only on the contributions, never on scheduling.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < world; ++r) {
+      acc += static_cast<double>(gs.det_slots[r * n + i]);
+    }
+    data[i] = static_cast<float>(acc);
+  }
+  {
+    std::lock_guard lock(gs.stats_mutex);
+    gs.bytes_reduced += n * sizeof(float);
+  }
+  barrier();
+}
+
 void Communicator::allgather(std::span<const float> send,
                              std::span<float> recv) {
   auto& gs = *state_;
@@ -139,6 +148,36 @@ void Communicator::allgather(std::span<const float> send,
     std::copy(send.begin(), send.end(),
               gs.gather_buf.begin() +
                   static_cast<std::ptrdiff_t>(send.size()) * rank_);
+    if (++gs.scratch_contributors == gs.size) gs.scratch_contributors = 0;
+  }
+  barrier();
+  std::copy(gs.gather_buf.begin(), gs.gather_buf.end(), recv.begin());
+  {
+    std::lock_guard lock(gs.stats_mutex);
+    gs.bytes_gathered += send.size() * sizeof(float);
+  }
+  barrier();
+}
+
+void Communicator::allgather_cols(std::span<const float> send,
+                                  std::span<float> recv, std::size_t rows) {
+  auto& gs = *state_;
+  MGPT_CHECK(rows > 0 && send.size() % rows == 0,
+             "allgather_cols send must be a whole [rows, w] matrix");
+  MGPT_CHECK(recv.size() == send.size() * static_cast<std::size_t>(gs.size),
+             "allgather_cols recv must be size() * send length");
+  const std::size_t w = send.size() / rows;
+  const std::size_t full_w = w * static_cast<std::size_t>(gs.size);
+  {
+    std::lock_guard lock(gs.scratch_mutex);
+    if (gs.scratch_contributors == 0) gs.gather_buf.assign(recv.size(), 0.0f);
+    for (std::size_t row = 0; row < rows; ++row) {
+      std::copy(send.begin() + static_cast<std::ptrdiff_t>(row * w),
+                send.begin() + static_cast<std::ptrdiff_t>((row + 1) * w),
+                gs.gather_buf.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        row * full_w + w * static_cast<std::size_t>(rank_)));
+    }
     if (++gs.scratch_contributors == gs.size) gs.scratch_contributors = 0;
   }
   barrier();
@@ -231,46 +270,45 @@ void Communicator::recv(std::span<float> data, int src, int tag) {
 Communicator Communicator::split(int color, int key) {
   auto& gs = *state_;
   MGPT_CHECK(color >= 0, "split color must be non-negative");
-  auto scratch = detail::split_scratch_for(state_.get());
   {
-    std::lock_guard lock(scratch->mutex);
-    if (scratch->entries.empty()) {
-      scratch->entries.assign(static_cast<std::size_t>(gs.size),
+    std::lock_guard lock(gs.split_mutex);
+    if (gs.split_entries.empty()) {
+      gs.split_entries.assign(static_cast<std::size_t>(gs.size),
                               {std::numeric_limits<int>::min(), 0});
     }
-    scratch->entries[static_cast<std::size_t>(rank_)] = {color, key};
-    if (++scratch->contributors == gs.size) {
+    gs.split_entries[static_cast<std::size_t>(rank_)] = {color, key};
+    if (++gs.split_contributors == gs.size) {
       // Last contributor materializes every child group.
       std::map<int, std::vector<std::pair<int, int>>> by_color;  // (key, rank)
       for (int r = 0; r < gs.size; ++r) {
-        const auto& [c, k] = scratch->entries[static_cast<std::size_t>(r)];
+        const auto& [c, k] = gs.split_entries[static_cast<std::size_t>(r)];
         by_color[c].emplace_back(k, r);
       }
-      scratch->result.clear();
+      gs.split_result.clear();
       for (auto& [c, members] : by_color) {
         std::sort(members.begin(), members.end());
         auto child =
             std::make_shared<detail::GroupState>(static_cast<int>(members.size()));
         for (std::size_t i = 0; i < members.size(); ++i) {
-          scratch->result[members[i].second] = {child, static_cast<int>(i)};
+          gs.split_result[members[i].second] = {child, static_cast<int>(i)};
         }
       }
-      scratch->contributors = 0;
+      gs.split_contributors = 0;
     }
   }
   barrier();
   std::shared_ptr<detail::GroupState> child;
   int child_rank = 0;
   {
-    std::lock_guard lock(scratch->mutex);
-    const auto it = scratch->result.find(rank_);
-    MGPT_ASSERT(it != scratch->result.end());
+    std::lock_guard lock(gs.split_mutex);
+    const auto it = gs.split_result.find(rank_);
+    MGPT_ASSERT(it != gs.split_result.end());
     child = it->second.first;
     child_rank = it->second.second;
-    if (++scratch->readers == gs.size) {
-      scratch->readers = 0;
-      scratch->entries.clear();
-      scratch->result.clear();
+    if (++gs.split_readers == gs.size) {
+      gs.split_readers = 0;
+      gs.split_entries.clear();
+      gs.split_result.clear();
     }
   }
   barrier();

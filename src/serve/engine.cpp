@@ -40,6 +40,9 @@ void EngineConfig::validate() const {
   MGPT_CHECK(sched_aging_ms >= 0.0,
              "EngineConfig: sched_aging_ms must be >= 0 (got "
                  << sched_aging_ms << "); 0 disables aging");
+  MGPT_CHECK(tensor_parallel >= 1,
+             "EngineConfig: tensor_parallel must be >= 1 (got "
+                 << tensor_parallel << ")");
 }
 
 namespace {
@@ -139,6 +142,36 @@ InferenceEngine::InferenceEngine(const nn::GptModel& model,
     spec_decoder_ =
         std::make_unique<spec::SpeculativeDecoder>(model_, config_.proposer);
   }
+  if (config_.tensor_parallel > 1) {
+    tp::TpConfig tc;
+    tc.ranks = static_cast<int>(config_.tensor_parallel);
+    tc.layout = config_.tp_layout;
+    tp_ = std::make_unique<tp::TpModel>(model_, tc);
+    // Speculative verify forwards must go through the sharded model too, or
+    // the target cache would be appended by the unsharded path mid-round.
+    if (spec_decoder_ != nullptr) {
+      spec_decoder_->set_verify_override(
+          [this](Tape& tape, std::span<const std::int32_t> tokens,
+                 nn::KvCache& cache) {
+            return tp_->verify_append(tape, tokens, cache);
+          });
+    }
+    std::lock_guard lock(stats_mutex_);
+    stats_.set_tp(config_.tensor_parallel, tp::layout_name(config_.tp_layout));
+  }
+}
+
+Var InferenceEngine::model_forward_incremental(
+    Tape& tape, std::span<const std::int32_t> tokens, nn::KvCache& cache) {
+  if (tp_ != nullptr) return tp_->forward_incremental(tape, tokens, cache);
+  return model_.forward_incremental(tape, tokens, cache);
+}
+
+Var InferenceEngine::model_decode_batch(Tape& tape,
+                                        std::span<const std::int32_t> tokens,
+                                        std::span<nn::KvCache* const> caches) {
+  if (tp_ != nullptr) return tp_->decode_batch(tape, tokens, caches);
+  return model_.decode_batch(tape, tokens, caches);
 }
 
 InferenceEngine::~InferenceEngine() {
@@ -534,7 +567,7 @@ void InferenceEngine::prefill_step(ActiveSeq& seq, Clock::time_point now) {
           : want;
   Tape tape;
   // forward_incremental returns logits for the last fed position only.
-  Var logits = model_.forward_incremental(
+  Var logits = model_forward_incremental(
       tape,
       std::span<const std::int32_t>(seq.tokens)
           .subspan(static_cast<std::size_t>(cur),
@@ -716,7 +749,7 @@ std::size_t InferenceEngine::decode_phase() {
     }
     if (config_.batched_decode) {
       Tape tape;
-      Var logits = model_.decode_batch(tape, feed, caches);
+      Var logits = model_decode_batch(tape, feed, caches);
       const auto now = Clock::now();
       for (std::size_t i = 0; i < plain.size(); ++i) {
         ActiveSeq& seq = active_[plain[i]];
@@ -728,7 +761,7 @@ std::size_t InferenceEngine::decode_phase() {
       for (std::size_t i = 0; i < plain.size(); ++i) {
         ActiveSeq& seq = active_[plain[i]];
         Tape tape;
-        Var logits = model_.forward_incremental(
+        Var logits = model_forward_incremental(
             tape, std::span<const std::int32_t>(&feed[i], 1), *caches[i]);
         const auto now = Clock::now();
         advance(seq, sample_row(logits, 0, seq), now);
@@ -800,6 +833,12 @@ std::size_t InferenceEngine::step() {
   prefill_phase(now);
   decode_phase();
   retire_finished();
+  if (tp_ != nullptr) {
+    const tp::TpStats ts = tp_->stats();
+    std::lock_guard lock(stats_mutex_);
+    stats_.record_tp(ts.jobs, ts.comm_seconds, ts.bytes_gathered,
+                     ts.bytes_reduced);
+  }
   return admitted + n;
 }
 

@@ -69,6 +69,7 @@
 #include "serve/sched/scheduler.h"
 #include "serve/sched/swap_arena.h"
 #include "serve/spec/speculative.h"
+#include "serve/tp/tp_model.h"
 
 namespace matgpt::serve {
 
@@ -122,6 +123,15 @@ struct EngineConfig {
   /// cache residency never eats admission headroom. Draft slots never touch
   /// the cache — it holds target-model rows only.
   std::size_t prefix_cache_bytes = 0;
+  /// Tensor-parallel degree: > 1 shards the model across this many persistent
+  /// rank threads (serve/tp) and routes every prefill / decode / verify
+  /// forward through the sharded model. Must divide the model's n_heads and
+  /// kv_heads (checked at engine construction). With the default
+  /// kColumnGather layout the engine's output is byte-identical to
+  /// tensor_parallel = 1.
+  std::int64_t tensor_parallel = 1;
+  /// Shard layout (see tp::TpLayout); only read when tensor_parallel > 1.
+  tp::TpLayout tp_layout = tp::TpLayout::kColumnGather;
   StatsConfig stats;
 
   /// Throws (MGPT_CHECK) on unserviceable knobs: max_batch <= 0,
@@ -280,8 +290,16 @@ class InferenceEngine {
   void finish_pending(Pending& pending, RequestStatus status,
                       Clock::time_point now);
 
+  /// Dispatch to the tensor-parallel model when configured, else model_.
+  Var model_forward_incremental(Tape& tape,
+                                std::span<const std::int32_t> tokens,
+                                nn::KvCache& cache);
+  Var model_decode_batch(Tape& tape, std::span<const std::int32_t> tokens,
+                         std::span<nn::KvCache* const> caches);
+
   const nn::GptModel& model_;
   EngineConfig config_;
+  std::unique_ptr<tp::TpModel> tp_;
   KvCachePool pool_;
   std::unique_ptr<KvCachePool> draft_pool_;
   std::unique_ptr<PrefixCache> prefix_cache_;

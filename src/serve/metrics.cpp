@@ -73,6 +73,20 @@ void ServerStats::record_kv(std::size_t active, std::int64_t used_blocks,
   cow_rows_ = cow_rows;
 }
 
+void ServerStats::set_tp(std::int64_t degree, std::string layout) {
+  tp_degree_ = degree;
+  tp_layout_ = std::move(layout);
+}
+
+void ServerStats::record_tp(std::uint64_t jobs, double comm_seconds,
+                            std::uint64_t bytes_gathered,
+                            std::uint64_t bytes_reduced) {
+  tp_jobs_ = jobs;
+  tp_comm_seconds_ = comm_seconds;
+  tp_bytes_gathered_ = bytes_gathered;
+  tp_bytes_reduced_ = bytes_reduced;
+}
+
 double ServerStats::mean_request_tokens_per_s() const {
   return requests_completed_ == 0
              ? 0.0
@@ -135,6 +149,11 @@ std::string ServerStats::report(double wall_s) const {
        << peak_shared_blocks_ << " shared, " << cow_forks_
        << " CoW forks (" << cow_rows_ << " rows copied)\n";
   }
+  if (tp_degree_ > 1) {
+    os << "tensor parallel:     TP=" << tp_degree_ << " (" << tp_layout_
+       << "), " << tp_jobs_ << " sharded forwards, "
+       << tp_comm_ms_per_job() << " ms collectives/step\n";
+  }
   return os.str();
 }
 
@@ -190,6 +209,13 @@ std::string ServerStats::to_json(double wall_s) const {
   os << ",\n  \"peak_block_utilization\": " << peak_block_utilization();
   os << ",\n  \"cow_forks\": " << cow_forks_;
   os << ",\n  \"cow_rows\": " << cow_rows_;
+  os << ",\n  \"tp_degree\": " << tp_degree_;
+  os << ",\n  \"tp_layout\": \"" << tp_layout_ << "\"";
+  os << ",\n  \"tp_jobs\": " << tp_jobs_;
+  os << ",\n  \"tp_comm_seconds\": " << tp_comm_seconds_;
+  os << ",\n  \"tp_comm_ms_per_step\": " << tp_comm_ms_per_job();
+  os << ",\n  \"tp_bytes_gathered\": " << tp_bytes_gathered_;
+  os << ",\n  \"tp_bytes_reduced\": " << tp_bytes_reduced_;
   os << "\n}";
   return os.str();
 }

@@ -47,6 +47,13 @@ class ServerStats {
   void record_kv(std::size_t active, std::int64_t used_blocks,
                  std::int64_t total_blocks, std::int64_t shared_blocks,
                  std::uint64_t cow_forks, std::uint64_t cow_rows);
+  /// Tensor-parallel identity: degree and shard layout (set once at engine
+  /// construction when tensor_parallel > 1).
+  void set_tp(std::int64_t degree, std::string layout);
+  /// Tensor-parallel per-step accounting snapshot (lifetime totals from the
+  /// rank pool; counters overwrite).
+  void record_tp(std::uint64_t jobs, double comm_seconds,
+                 std::uint64_t bytes_gathered, std::uint64_t bytes_reduced);
 
   std::uint64_t requests_completed() const { return requests_completed_; }
   std::uint64_t tokens_generated() const { return tokens_generated_; }
@@ -91,6 +98,21 @@ class ServerStats {
                ? 0.0
                : static_cast<double>(peak_used_blocks_) /
                      static_cast<double>(kv_total_blocks_);
+  }
+
+  /// Tensor-parallel aggregates (degree 1 = TP disabled; jobs are model
+  /// forwards through the rank pool, comm time is rank-0 wall seconds inside
+  /// collectives).
+  std::int64_t tp_degree() const { return tp_degree_; }
+  const std::string& tp_layout() const { return tp_layout_; }
+  std::uint64_t tp_jobs() const { return tp_jobs_; }
+  double tp_comm_seconds() const { return tp_comm_seconds_; }
+  /// Mean collective wall time per forward job (the per-step allreduce /
+  /// gather cost /v1/stats exposes).
+  double tp_comm_ms_per_job() const {
+    return tp_jobs_ == 0
+               ? 0.0
+               : 1000.0 * tp_comm_seconds_ / static_cast<double>(tp_jobs_);
   }
 
   /// Scheduling aggregates: preemption events by KV disposition, and
@@ -158,6 +180,12 @@ class ServerStats {
   std::int64_t kv_total_blocks_ = 0;
   std::uint64_t cow_forks_ = 0;
   std::uint64_t cow_rows_ = 0;
+  std::int64_t tp_degree_ = 1;
+  std::string tp_layout_;
+  std::uint64_t tp_jobs_ = 0;
+  double tp_comm_seconds_ = 0.0;
+  std::uint64_t tp_bytes_gathered_ = 0;
+  std::uint64_t tp_bytes_reduced_ = 0;
 };
 
 }  // namespace matgpt::serve

@@ -20,6 +20,13 @@ SpeculativeDecoder::SpeculativeDecoder(const nn::GptModel& target,
                             << target_.config().vocab_size);
 }
 
+Var SpeculativeDecoder::verify(Tape& tape,
+                               std::span<const std::int32_t> tokens,
+                               nn::KvCache& cache) const {
+  if (verify_override_) return verify_override_(tape, tokens, cache);
+  return target_.verify_append(tape, tokens, cache);
+}
+
 std::int64_t SpeculativeDecoder::step(std::vector<std::int32_t>& tokens,
                                       nn::KvCache& target_cache,
                                       nn::KvCache& draft_cache,
@@ -62,8 +69,8 @@ std::int64_t SpeculativeDecoder::step(std::vector<std::int32_t>& tokens,
   if (k_round < 1) {
     Tape tape;
     const std::int32_t last = tokens.back();
-    Var logits = target_.verify_append(
-        tape, std::span<const std::int32_t>(&last, 1), target_cache);
+    Var logits =
+        verify(tape, std::span<const std::int32_t>(&last, 1), target_cache);
     tokens.push_back(nn::sample_token(row_of(logits, 0), sampling, rng));
     stats.verify_rounds += 1;
     stats.tokens_emitted += 1;
@@ -84,7 +91,7 @@ std::int64_t SpeculativeDecoder::step(std::vector<std::int32_t>& tokens,
   feed.push_back(tokens.back());
   feed.insert(feed.end(), proposal.tokens.begin(), proposal.tokens.end());
   Tape tape;
-  Var logits = target_.verify_append(tape, feed, target_cache);
+  Var logits = verify(tape, feed, target_cache);
 
   // Accept the longest draft prefix the target agrees with, then emit one
   // token from the first disagreeing row (correction) or the final row

@@ -29,6 +29,7 @@
 // instead of k. Depth never changes greedy output, only speed.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -67,6 +68,14 @@ class SpeculativeDecoder {
 
   const DraftProposer& proposer() const { return *proposer_; }
 
+  /// Substitute for the target model's verify_append forward (same
+  /// semantics: logits [T, V], cache advanced by T). The tensor-parallel
+  /// engine installs its sharded forward here so speculative verify rounds
+  /// run sharded too; unset, step() calls the target model directly.
+  using VerifyFn = std::function<Var(
+      Tape&, std::span<const std::int32_t>, nn::KvCache&)>;
+  void set_verify_override(VerifyFn fn) { verify_override_ = std::move(fn); }
+
   /// One propose -> verify -> accept -> rollback round. `tokens` is the
   /// accepted sequence (prompt + generated; the target cache has fed every
   /// token but the last). Appends between 1 and min(k, remaining-1)+1
@@ -88,8 +97,12 @@ class SpeculativeDecoder {
                                      SpecStats* stats = nullptr) const;
 
  private:
+  Var verify(Tape& tape, std::span<const std::int32_t> tokens,
+             nn::KvCache& cache) const;
+
   const nn::GptModel& target_;
   std::shared_ptr<DraftProposer> proposer_;
+  VerifyFn verify_override_;
 };
 
 }  // namespace matgpt::serve::spec

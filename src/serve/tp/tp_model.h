@@ -1,0 +1,205 @@
+#pragma once
+// Tensor-parallel serving: one nn::GptModel sharded Megatron-style across a
+// persistent pool of rank threads, behind the same forward_incremental /
+// decode_batch / verify_append surface the engine already drives.
+//
+// Sharding (per rank r of N):
+//   * Q/K/V and MLP up/gate projections are COLUMN-sharded on head / inner
+//     boundaries, so each rank computes a contiguous column slice of the
+//     full activation. gemm_nn accumulates every output element over k in
+//     ascending order with single-rounding FMAs depending only on (A row,
+//     B column), so a column slice of the weight yields the bitwise-same
+//     columns the unsharded GEMM computes.
+//   * RoPE frequencies depend only on the dim-within-head, so rotating a
+//     head slice is bitwise the slice of the full rotation.
+//   * Attention is head-local: each rank attends its own query heads over
+//     its own kv-head slice, read out of the SHARED full-geometry KV cache
+//     through a head-offset/stride view (ops::RaggedKv). KV rows are grown
+//     once per job by rank 0 (KvCacheLayer::extend) and every rank writes
+//     its disjoint head columns (write_heads) — cache bytes end up identical
+//     to a TP=1 append, which keeps prefix caching, copy-on-write forks,
+//     swap preemption, and speculative rollback byte-compatible.
+//   * The output-side projections (attention o, MLP down, lm_head) depend on
+//     the layout below.
+//
+// Two layouts:
+//   * kColumnGather (default, exact): every Linear is column-sharded and
+//     activations are recombined with Communicator::allgather_cols — pure
+//     memcpy, no floating-point reduction — so TP=N logits are BYTE-IDENTICAL
+//     to TP=1 by construction. Per token per layer the ranks move ~3C + I
+//     floats (attention heads, o output, MLP inner, down output).
+//   * kRowAllreduce (classic Megatron): o/down are ROW-sharded over the
+//     rank-local input slice and the partial [*, C] outputs are summed with
+//     Communicator::allreduce_det — one allreduce per attention block and one
+//     per MLP block, 2C floats per token per layer. The ordered double-
+//     precision reduction is bitwise run-to-run deterministic (independent of
+//     thread arrival order), but the k-dimension is summed in a different
+//     order than TP=1, so logits match to tolerance, not bytes. This is the
+//     layout whose collective volume the simfrontier α–β model prices
+//     (tp_predict.h closes that predict-vs-measure loop).
+//
+// Threading: the constructor spawns ranks-1 persistent worker threads (the
+// caller is rank 0); each forward publishes one job to the pool, runs rank
+// 0's shard inline, and returns after the job's trailing barrier. Like
+// GptModel, a TpModel must be driven from one thread at a time (the engine's
+// scheduler thread). Construction failures on any rank (e.g. a shard the
+// model's geometry cannot support) propagate out of the constructor.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "nn/gpt.h"
+#include "parallel/comm.h"
+
+namespace matgpt::serve::tp {
+
+enum class TpLayout {
+  /// Column-shard every projection, recombine by memcpy gather (exact).
+  kColumnGather,
+  /// Row-shard o/down, combine partials with a deterministic allreduce.
+  kRowAllreduce,
+};
+
+const char* layout_name(TpLayout layout);
+
+struct TpConfig {
+  int ranks = 2;
+  TpLayout layout = TpLayout::kColumnGather;
+
+  void validate() const;
+};
+
+/// Lifetime communication accounting (rank-0 perspective).
+struct TpStats {
+  /// Forward jobs executed (one per engine model call).
+  std::uint64_t jobs = 0;
+  /// Rank-0 wall seconds spent inside collectives (gathers, allreduces, the
+  /// per-job completion barrier) — the serving engine divides by jobs for
+  /// the per-step figure /v1/stats reports.
+  double comm_seconds = 0.0;
+  /// Group-wide collective traffic (all ranks, bytes).
+  std::uint64_t bytes_gathered = 0;
+  std::uint64_t bytes_reduced = 0;
+};
+
+/// Contiguous copy of columns [begin, end) of a row-major 2-D tensor.
+/// Exposed (with row_slice) so tests can prove the shard/unshard round-trip:
+/// reassembling every rank's slices reproduces the source weight bytes.
+Tensor column_slice(const Tensor& w, std::int64_t begin, std::int64_t end);
+/// Contiguous copy of rows [begin, end) of a row-major 2-D tensor.
+Tensor row_slice(const Tensor& w, std::int64_t begin, std::int64_t end);
+/// Copy of elements [begin, end) of a 1-D tensor (bias shards).
+Tensor slice_1d(const Tensor& b, std::int64_t begin, std::int64_t end);
+
+class TpModel {
+ public:
+  /// Shards `model` (which must outlive this object) across config.ranks
+  /// threads. Each rank builds its own shard; the first rank failure is
+  /// rethrown here after the pool is torn down.
+  TpModel(const nn::GptModel& model, TpConfig config);
+  ~TpModel();
+
+  TpModel(const TpModel&) = delete;
+  TpModel& operator=(const TpModel&) = delete;
+
+  const nn::GptConfig& config() const { return model_.config(); }
+  int ranks() const { return config_.ranks; }
+  TpLayout layout() const { return config_.layout; }
+
+  /// Sharded mirror of GptModel::forward_incremental: logits [1, V] for the
+  /// last fed position. The cache must use reserved or paged storage (the
+  /// engine's pooled leases always do) — dynamic layers have no stable rows
+  /// for the ranks to share.
+  Var forward_incremental(Tape& tape, std::span<const std::int32_t> tokens,
+                          nn::KvCache& cache);
+
+  /// Sharded mirror of GptModel::decode_batch: logits [N, V], one token per
+  /// primed cache.
+  Var decode_batch(Tape& tape, std::span<const std::int32_t> tokens,
+                   std::span<nn::KvCache* const> caches);
+
+  /// Sharded mirror of GptModel::verify_append (full model only): logits
+  /// [T, V], one row per fed token — the speculative verify path.
+  Var verify_append(Tape& tape, std::span<const std::int32_t> tokens,
+                    nn::KvCache& cache);
+
+  TpStats stats() const;
+
+ private:
+  struct Job {
+    enum class Kind { kNone, kSequence, kDecode, kExit };
+    Kind kind = Kind::kNone;
+    const std::int32_t* tokens = nullptr;
+    std::int64_t n_tokens = 0;
+    nn::KvCache* cache = nullptr;            // kSequence
+    std::int64_t past = 0;                   // kSequence
+    bool last_row_only = false;              // kSequence: prefill semantics
+    nn::KvCache* const* caches = nullptr;    // kDecode
+    const std::int64_t* pasts = nullptr;     // kDecode
+    float* logits = nullptr;                 // [rows, V], rank-0 allocated
+    std::int64_t rows = 0;
+  };
+
+  /// One transformer layer's per-rank parameters. Norm parameters are the
+  /// source model's Vars (full-width, shared storage); projection shards are
+  /// copied slices. For LLaMA, n*_beta stay undefined and the norm helper
+  /// dispatches to rms_norm.
+  struct LayerShard {
+    Var n1_gamma, n1_beta;
+    Var n2_gamma, n2_beta;
+    Var wq, bq, wk, bk, wv, bv;
+    Var wo, bo;
+    Var wg, wu, bu, wd, bd;
+  };
+
+  struct RankState {
+    std::unique_ptr<Communicator> comm;
+    std::vector<LayerShard> layers;
+    Var lm_w;  // [C, vocab_loc]
+    std::int64_t q_head_begin = 0, q_heads = 0;
+    std::int64_t kv_head_begin = 0, kv_heads = 0;
+    std::int64_t inner_begin = 0, inner = 0;
+    std::int64_t vocab_begin = 0, vocab = 0;
+  };
+
+  std::unique_ptr<RankState> build_rank_state(int rank) const;
+  void worker_loop(int rank);
+  void publish(const Job& job);
+  void run(const Job& job);
+  void run_job(int rank, const Job& job);
+  Var attention_shard(Tape& tape, int rank, const RankState& rs,
+                      const LayerShard& ls, std::int64_t layer, const Var& xn,
+                      const Job& job, std::span<const std::int64_t> positions,
+                      double& comm_s) const;
+  Var mlp_shard(Tape& tape, int rank, const RankState& rs,
+                const LayerShard& ls, const Var& x, double& comm_s) const;
+  Var gather_cols(Tape& tape, int rank, const RankState& rs, const Var& x,
+                  std::int64_t total_w, double& comm_s) const;
+  void shutdown();
+
+  const nn::GptModel& model_;
+  TpConfig config_;
+  std::shared_ptr<detail::GroupState> group_;
+  // Name -> Var view of the source model (shared storage, read-only).
+  std::vector<nn::NamedParam> params_;
+  Var tok_emb_;
+  Var final_gamma_, final_beta_;
+  std::int64_t inner_total_ = 0;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  std::vector<std::thread> threads_;
+
+  std::mutex job_mutex_;
+  std::condition_variable job_cv_;
+  Job job_;
+  std::uint64_t job_gen_ = 0;
+
+  mutable std::mutex stats_mutex_;
+  TpStats stats_;
+};
+
+}  // namespace matgpt::serve::tp

@@ -1,0 +1,54 @@
+#pragma once
+// Predict-vs-measure loop for tensor-parallel serving: price one TP decode
+// step with the SAME analytic models the simulator uses for Frontier — the
+// ring α–β collective model (simfrontier/network_model) and the GEMM
+// efficiency model (simfrontier/gemm_model) — but calibrated to THIS host:
+// the GCD peak is replaced by a measured reference-GEMM throughput, link
+// bandwidth by measured memcpy bandwidth, and per-hop latency by a measured
+// thread-barrier round trip. bench_tp compares the prediction against the
+// wall-clock TpModel step so the model's error is a tracked number, not a
+// hope.
+
+#include <cstdint>
+
+#include "nn/gpt.h"
+#include "serve/tp/tp_model.h"
+
+namespace matgpt::serve::tp {
+
+/// Host measurements that substitute for the Frontier hardware constants.
+struct HostCalibration {
+  int cores = 1;
+  /// Sustained flop/s of the reference GEMM through the real serving kernels.
+  double gemm_flops = 0.0;
+  /// N of the measured reference shape — chosen at per-rank width so the
+  /// efficiency model's shape penalty anchors near the shapes it prices.
+  std::int64_t ref_n = 0;
+  /// Sustained large-copy bandwidth (the gather/allreduce "link").
+  double memcpy_bytes_per_s = 0.0;
+  /// Measured one-barrier round trip across `ranks` threads — the α analog
+  /// (includes scheduler wakeups, so it is calibrated per rank count and
+  /// already reflects core oversubscription).
+  double barrier_s = 0.0;
+};
+
+/// Micro-benchmark this host for a `ranks`-thread group. Costs a few ms.
+HostCalibration calibrate_host(int ranks);
+
+struct TpPrediction {
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double total_s() const { return compute_s + comm_s; }
+};
+
+/// Analytic cost of one TP decode step (batch `batch` sequences at context
+/// length `context`) under `tp`, using the calibrated models. Per-rank GEMM
+/// shapes are priced by the gemm model and scaled by the core-oversubscription
+/// factor ranks / min(ranks, cores); the layout's collectives (gathers for
+/// kColumnGather, allreduces for kRowAllreduce) are priced by the α–β model.
+TpPrediction predict_decode_step(const nn::GptConfig& config,
+                                 const TpConfig& tp, std::int64_t batch,
+                                 std::int64_t context,
+                                 const HostCalibration& cal);
+
+}  // namespace matgpt::serve::tp

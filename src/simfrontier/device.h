@@ -35,6 +35,12 @@ struct FrontierTopology {
   double intra_node_latency_s = 1.0e-6;
   double inter_node_latency_s = 2.5e-6;
 
+  /// Fixed per-collective cost (RCCL kernel launch + host synchronization on
+  /// Frontier). Platforms whose collectives are not GPU kernels — e.g. the
+  /// host-calibrated thread-TP predictor — override it with their measured
+  /// per-call overhead.
+  double collective_launch_overhead_s = 50.0e-6;
+
   int total_gcds() const { return gcds_per_node * nodes; }
 
   /// Narrowest link a communicator group of `group_size` consecutive GCDs

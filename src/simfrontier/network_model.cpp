@@ -74,8 +74,10 @@ double NetworkModel::collective_time(Collective c, double bytes,
   if (nodes_spanned > 1) {
     bw /= 1.0 + 0.08 * static_cast<double>(nodes_spanned - 1);
   }
-  // Fixed per-call cost: RCCL kernel launch + host synchronization.
-  constexpr double kLaunchOverhead = 50.0e-6;
+  // Fixed per-call cost: RCCL kernel launch + host synchronization (a
+  // platform knob — thread-based "fabrics" measure and override it).
+  const double kLaunchOverhead =
+      platform_.topology.collective_launch_overhead_s;
   switch (c) {
     case Collective::kAllReduce:
       // Ring: reduce-scatter + allgather, 2(g-1)/g transfers + 2(g-1) hops.

@@ -534,7 +534,6 @@ Var decode_attention(Tape& tape, const Var& q, std::span<const RaggedKv> kv,
   MGPT_CHECK(!(tape.recording() && q.requires_grad()),
              "decode_attention is inference-only");
   const std::int64_t group = hq / n_kv_heads;
-  const std::int64_t stride = n_kv_heads * d;
   const float scl = 1.0f / std::sqrt(static_cast<float>(d));
   std::int64_t max_len = 0;
   for (const RaggedKv& s : kv) {
@@ -555,8 +554,12 @@ Var decode_attention(Tape& tape, const Var& q, std::span<const RaggedKv> kv,
   std::vector<float> prow(static_cast<std::size_t>(max_len));
   for (std::int64_t row = 0; row < n; ++row) {
     const RaggedKv& s = kv[static_cast<std::size_t>(row)];
+    // A head-slice view reads heads [head_offset, head_offset + n_kv_heads)
+    // out of rows `stride` floats wide; the defaults make this the whole row.
+    const std::int64_t stride =
+        s.kv_stride > 0 ? s.kv_stride : n_kv_heads * d;
     for (std::int64_t h = 0; h < hq; ++h) {
-      const std::int64_t hkv = h / group;
+      const std::int64_t hkv = s.head_offset + h / group;
       const float* qrow = qp + (row * hq + h) * d;
       float* orow = op + row * hq * d + h * d;
       if (s.k_blocks != nullptr) {

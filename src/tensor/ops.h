@@ -114,6 +114,14 @@ struct RaggedKv {
   const float* const* k_blocks = nullptr;
   const float* const* v_blocks = nullptr;
   std::int64_t block_tokens = 0;
+  // Head-slice view (tensor-parallel ranks reading their heads out of a
+  // full-geometry cache): the kernel attends over n_kv_heads heads starting
+  // at kv head `head_offset` of a row whose full width is `kv_stride` floats
+  // (0 = derive n_kv_heads * head_dim, the whole-row default). Offsets only
+  // change which bytes are read, never the per-row FP op sequence, so a
+  // slice view stays bit-identical to the same heads in a dedicated cache.
+  std::int64_t head_offset = 0;
+  std::int64_t kv_stride = 0;
 };
 
 /// Single-token-per-sequence decode attention over a ragged batch: q is
