@@ -19,13 +19,19 @@
 //       --deadline-ms gives high-priority requests a D-ms SLO deadline;
 //       --tp N shards the model across N rank threads (byte-identical
 //       output; the serving model's 2 kv heads cap it at 2);
+//       --host-tier-mb/--disk-tier-mb/--spill-dir budget the tiered KV
+//       store (parked sessions + preemption survival; 0 = unbounded host,
+//       disk disabled);
 //       --json prints the run's ServerStats as one JSON document instead of
 //       the human-readable report
-//   matgpt_cli serve-http [--port P] [--tp N]
+//   matgpt_cli serve-http [--port P] [--tp N] [--host-tier-mb B]
+//       [--disk-tier-mb B] [--spill-dir DIR]
 //       start the epoll HTTP front end (POST /v1/generate streams tokens as
 //       chunked transfer encoding, DELETE /v1/requests/{id} cancels,
-//       GET /v1/stats reports) over a random-init serving-shaped model;
-//       runs until SIGINT/SIGTERM, then drains gracefully
+//       POST /v1/sessions + /v1/sessions/{id}/generate run multi-turn
+//       conversations over the tiered KV store, GET /v1/stats reports)
+//       over a random-init serving-shaped model; runs until SIGINT/SIGTERM,
+//       then drains gracefully
 //   matgpt_cli load-gen --port P [--requests N] [--rate R] [--concurrency C]
 //       [--seed S] [--slo-ms M]
 //       socket-level load harness against a running serve-http: open-loop
@@ -76,8 +82,11 @@ int usage() {
                "  matgpt_cli serve-bench [requests] [clients]"
                " [--spec-k N] [--draft-layers M] [--prefix-cache-mb B]\n"
                "      [--scheduler fcfs|priority] [--prefill-chunk C]"
-               " [--priority-mix H:L] [--deadline-ms D] [--tp N] [--json]\n"
-               "  matgpt_cli serve-http [--port P] [--tp N]\n"
+               " [--priority-mix H:L] [--deadline-ms D] [--tp N]\n"
+               "      [--host-tier-mb B] [--disk-tier-mb B]"
+               " [--spill-dir DIR] [--json]\n"
+               "  matgpt_cli serve-http [--port P] [--tp N]"
+               " [--host-tier-mb B] [--disk-tier-mb B] [--spill-dir DIR]\n"
                "  matgpt_cli load-gen --port P [--requests N] [--rate R]"
                " [--concurrency C] [--seed S] [--slo-ms M]\n");
   return 2;
@@ -232,8 +241,23 @@ struct ServeBenchOpts {
   double low_fraction = 0.0;
   double deadline_ms = 0.0;
   std::int64_t tp = 1;
+  std::int64_t host_tier_mb = 0;  // 0 = unbounded host tier
+  std::int64_t disk_tier_mb = 0;  // 0 = disk tier disabled
+  std::string spill_dir = "matgpt_spill";
   bool json = false;
 };
+
+/// Map the CLI's --host-tier-mb/--disk-tier-mb/--spill-dir knobs onto the
+/// engine's tiered-KV sub-config (spill_dir only matters once the disk
+/// tier is enabled).
+void apply_tier_opts(serve::EngineConfig& ec, std::int64_t host_tier_mb,
+                     std::int64_t disk_tier_mb, const std::string& spill_dir) {
+  ec.kv_tier.host_tier_bytes =
+      static_cast<std::size_t>(host_tier_mb) * 1000 * 1000;
+  ec.kv_tier.disk_tier_bytes =
+      static_cast<std::size_t>(disk_tier_mb) * 1000 * 1000;
+  if (disk_tier_mb > 0) ec.kv_tier.spill_dir = spill_dir;
+}
 
 /// The serving-shaped model every serving subcommand uses: random-init
 /// (the point is the engine, not the prose), GQA, serving-sized vocab.
@@ -286,6 +310,7 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
   // The serving model has 2 kv heads, so --tp beyond 2 fails the shard
   // divisibility check in TpModel's constructor with a precise message.
   ec.tensor_parallel = opts.tp;
+  apply_tier_opts(ec, opts.host_tier_mb, opts.disk_tier_mb, opts.spill_dir);
   if (spec_k > 0) {
     MGPT_CHECK(draft_layers >= 1 && draft_layers <= mc.n_layers,
                "--draft-layers must be in [1, " << mc.n_layers << "]");
@@ -392,7 +417,9 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
 // sig_atomic_t, so the run loop polls this and does the real teardown.
 volatile std::sig_atomic_t g_stop_requested = 0;
 
-int cmd_serve_http(std::uint16_t port, std::int64_t tp) {
+int cmd_serve_http(std::uint16_t port, std::int64_t tp,
+                   std::int64_t host_tier_mb, std::int64_t disk_tier_mb,
+                   const std::string& spill_dir) {
   const nn::GptConfig mc = serving_model_config();
   nn::GptModel model(mc);
 
@@ -401,6 +428,7 @@ int cmd_serve_http(std::uint16_t port, std::int64_t tp) {
   ec.kv_slots = 8;
   ec.queue_capacity = 16;
   ec.tensor_parallel = tp;
+  apply_tier_opts(ec, host_tier_mb, disk_tier_mb, spill_dir);
   serve::InferenceEngine engine(model, ec);
   engine.start();
 
@@ -425,7 +453,18 @@ int cmd_serve_http(std::uint16_t port, std::int64_t tp) {
               server.port());
   std::printf("  curl -X DELETE http://127.0.0.1:%u/v1/requests/1\n",
               server.port());
+  std::printf("  curl -X POST http://127.0.0.1:%u/v1/sessions\n",
+              server.port());
+  std::printf("  curl -d '{\"id\":2,\"prompt\":[1,2,3],"
+              "\"max_new_tokens\":16,\"stream\":false}' "
+              "http://127.0.0.1:%u/v1/sessions/1/generate\n",
+              server.port());
   std::printf("  curl http://127.0.0.1:%u/v1/stats\n", server.port());
+  if (disk_tier_mb > 0) {
+    std::printf("tiered KV: host %lld MB, disk %lld MB (spill dir %s)\n",
+                static_cast<long long>(host_tier_mb),
+                static_cast<long long>(disk_tier_mb), spill_dir.c_str());
+  }
   std::printf("Ctrl-C to drain and exit.\n");
 
   struct sigaction sa = {};
@@ -569,6 +608,12 @@ int main(int argc, char** argv) {
           opts.deadline_ms = std::atof(argv[++i]);
         } else if (arg == "--tp" && i + 1 < argc) {
           opts.tp = std::atoll(argv[++i]);
+        } else if (arg == "--host-tier-mb" && i + 1 < argc) {
+          opts.host_tier_mb = std::atoll(argv[++i]);
+        } else if (arg == "--disk-tier-mb" && i + 1 < argc) {
+          opts.disk_tier_mb = std::atoll(argv[++i]);
+        } else if (arg == "--spill-dir" && i + 1 < argc) {
+          opts.spill_dir = argv[++i];
         } else if (arg == "--json") {
           opts.json = true;
         } else if (pos < positional.size()) {
@@ -581,7 +626,8 @@ int main(int argc, char** argv) {
           opts.prefix_cache_mb < 0 || opts.prefill_chunk < 0 ||
           opts.high_fraction < 0.0 || opts.low_fraction < 0.0 ||
           opts.high_fraction + opts.low_fraction > 1.0 ||
-          opts.deadline_ms < 0.0 || opts.tp < 1) {
+          opts.deadline_ms < 0.0 || opts.tp < 1 || opts.host_tier_mb < 0 ||
+          opts.disk_tier_mb < 0 || opts.spill_dir.empty()) {
         return usage();
       }
       return cmd_serve_bench(opts);
@@ -589,18 +635,29 @@ int main(int argc, char** argv) {
     if (cmd == "serve-http") {
       std::uint16_t port = 0;
       std::int64_t tp = 1;
+      std::int64_t host_tier_mb = 0, disk_tier_mb = 0;
+      std::string spill_dir = "matgpt_spill";
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--port" && i + 1 < argc) {
           port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
         } else if (arg == "--tp" && i + 1 < argc) {
           tp = std::atoll(argv[++i]);
+        } else if (arg == "--host-tier-mb" && i + 1 < argc) {
+          host_tier_mb = std::atoll(argv[++i]);
+        } else if (arg == "--disk-tier-mb" && i + 1 < argc) {
+          disk_tier_mb = std::atoll(argv[++i]);
+        } else if (arg == "--spill-dir" && i + 1 < argc) {
+          spill_dir = argv[++i];
         } else {
           return usage();
         }
       }
-      if (tp < 1) return usage();
-      return cmd_serve_http(port, tp);
+      if (tp < 1 || host_tier_mb < 0 || disk_tier_mb < 0 ||
+          spill_dir.empty()) {
+        return usage();
+      }
+      return cmd_serve_http(port, tp, host_tier_mb, disk_tier_mb, spill_dir);
     }
     if (cmd == "load-gen") {
       LoadGenOpts opts;

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "common/error.h"
@@ -30,6 +31,19 @@ Json error_body(std::string_view message) {
   Json body = Json::object();
   body.set("error", Json::string(std::string(message)));
   return body;
+}
+
+// Strict decimal uint64 (the {id} path segments): digits only, <= 19 of
+// them, non-empty.
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 19) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
 }
 
 serve::Priority parse_priority(const std::string& name) {
@@ -329,34 +343,102 @@ void HttpServer::dispatch(Conn& conn, const HttpRequest& request) {
     send_bytes(conn, make_response(200, "{\"ok\":true}"));
     return;
   }
-  constexpr std::string_view kCancelPrefix = "/v1/requests/";
-  if (target.size() > kCancelPrefix.size() &&
-      std::string_view(target).substr(0, kCancelPrefix.size()) ==
-          kCancelPrefix) {
-    if (request.method != "DELETE") {
-      send_bytes(conn, make_response(405, error_body("use DELETE").dump()));
+  constexpr std::string_view kRequestPrefix = "/v1/requests/";
+  if (target.size() > kRequestPrefix.size() &&
+      std::string_view(target).substr(0, kRequestPrefix.size()) ==
+          kRequestPrefix) {
+    const std::string_view id_text =
+        std::string_view(target).substr(kRequestPrefix.size());
+    if (request.method == "DELETE") {
+      handle_cancel(conn, id_text);
       return;
     }
-    handle_cancel(conn, std::string_view(target).substr(kCancelPrefix.size()));
+    if (request.method == "GET") {
+      std::uint64_t id = 0;
+      if (!parse_u64(id_text, id)) {
+        c_bad_request_.fetch_add(1);
+        send_bytes(conn,
+                   make_response(400, error_body("bad request id").dump()));
+        return;
+      }
+      handle_request_status(conn, id);
+      return;
+    }
+    send_bytes(conn,
+               make_response(405, error_body("use GET or DELETE").dump()));
+    return;
+  }
+  if (target == "/v1/sessions") {
+    if (request.method != "POST") {
+      send_bytes(conn, make_response(405, error_body("use POST").dump()));
+      return;
+    }
+    handle_session_create(conn);
+    return;
+  }
+  constexpr std::string_view kSessionPrefix = "/v1/sessions/";
+  if (target.size() > kSessionPrefix.size() &&
+      std::string_view(target).substr(0, kSessionPrefix.size()) ==
+          kSessionPrefix) {
+    std::string_view rest =
+        std::string_view(target).substr(kSessionPrefix.size());
+    constexpr std::string_view kGenerateSuffix = "/generate";
+    const bool generate =
+        rest.size() > kGenerateSuffix.size() &&
+        rest.substr(rest.size() - kGenerateSuffix.size()) == kGenerateSuffix;
+    if (generate) rest = rest.substr(0, rest.size() - kGenerateSuffix.size());
+    std::uint64_t session_id = 0;
+    if (!parse_u64(rest, session_id) || session_id == 0) {
+      c_bad_request_.fetch_add(1);
+      send_bytes(conn,
+                 make_response(400, error_body("bad session id").dump()));
+      return;
+    }
+    if (generate) {
+      if (request.method != "POST") {
+        send_bytes(conn, make_response(405, error_body("use POST").dump()));
+        return;
+      }
+      handle_session_generate(conn, request, session_id);
+      return;
+    }
+    if (request.method == "GET") {
+      handle_session_info(conn, session_id);
+      return;
+    }
+    if (request.method == "DELETE") {
+      handle_session_drop(conn, session_id);
+      return;
+    }
+    send_bytes(conn,
+               make_response(405, error_body("use GET or DELETE").dump()));
     return;
   }
   send_bytes(conn, make_response(404, error_body("no such route").dump()));
 }
 
-void HttpServer::handle_generate(Conn& conn, const HttpRequest& request) {
+void HttpServer::handle_generate(Conn& conn, const HttpRequest& request,
+                                 std::uint64_t session_id) {
   serve::Request req;
+  req.session_id = session_id;
   bool chunked = true;
   try {
     const Json body = Json::parse(request.body);
     MGPT_CHECK(body.is_object(), "body must be a JSON object");
     const Json* prompt = body.find("prompt");
-    MGPT_CHECK(prompt != nullptr && prompt->is_array(),
+    // A session turn may omit the prompt entirely (continue from history);
+    // the plain route always requires one.
+    MGPT_CHECK(prompt != nullptr || session_id != 0,
                "\"prompt\" must be an array of token ids");
-    for (const Json& token : prompt->items()) {
-      const std::int64_t v = token.as_int();
-      MGPT_CHECK(v >= 0 && v <= 0x7fffffff,
-                 "prompt token " << v << " out of int32 range");
-      req.prompt.push_back(static_cast<std::int32_t>(v));
+    if (prompt != nullptr) {
+      MGPT_CHECK(prompt->is_array(),
+                 "\"prompt\" must be an array of token ids");
+      for (const Json& token : prompt->items()) {
+        const std::int64_t v = token.as_int();
+        MGPT_CHECK(v >= 0 && v <= 0x7fffffff,
+                   "prompt token " << v << " out of int32 range");
+        req.prompt.push_back(static_cast<std::int32_t>(v));
+      }
     }
     if (const Json* v = body.find("id")) {
       req.id = static_cast<std::uint64_t>(v->as_int());
@@ -511,6 +593,93 @@ void HttpServer::handle_cancel(Conn& conn, std::string_view id_text) {
   body.set("id", Json::number(static_cast<std::int64_t>(id)));
   body.set("cancel", Json::string("staged"));
   send_bytes(conn, make_response(202, body.dump()));
+}
+
+void HttpServer::handle_request_status(Conn& conn, std::uint64_t id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    send_bytes(conn,
+               make_response(404, error_body("no such request").dump()));
+    return;
+  }
+  const Stream& stream = it->second;
+  Json body = Json::object();
+  body.set("id", Json::number(static_cast<std::int64_t>(id)));
+  body.set("state", Json::string(stream.tokens.empty() ? "pending"
+                                                       : "streaming"));
+  body.set("tokens_streamed",
+           Json::number(static_cast<std::int64_t>(stream.tokens.size())));
+  send_bytes(conn, make_response(200, body.dump()));
+}
+
+void HttpServer::handle_session_create(Conn& conn) {
+  if (stopping_) {
+    c_shed_.fetch_add(1);
+    send_bytes(conn,
+               make_response(503, error_body("server stopping").dump()));
+    return;
+  }
+  const std::uint64_t session_id = engine_.create_session();
+  Json body = Json::object();
+  body.set("session_id",
+           Json::number(static_cast<std::int64_t>(session_id)));
+  send_bytes(conn, make_response(201, body.dump()));
+}
+
+void HttpServer::handle_session_generate(Conn& conn,
+                                         const HttpRequest& request,
+                                         std::uint64_t session_id) {
+  // Pre-checks give precise status codes; the engine re-checks under its
+  // own lock inside submit, so a race just downgrades to a 400.
+  if (!engine_.has_session(session_id)) {
+    c_bad_request_.fetch_add(1);
+    send_bytes(conn,
+               make_response(404, error_body("no such session").dump()));
+    return;
+  }
+  if (engine_.session_busy(session_id)) {
+    c_bad_request_.fetch_add(1);
+    send_bytes(
+        conn,
+        make_response(
+            409, error_body("session already has a request in flight")
+                     .dump()));
+    return;
+  }
+  handle_generate(conn, request, session_id);
+}
+
+void HttpServer::handle_session_info(Conn& conn, std::uint64_t session_id) {
+  const std::optional<serve::InferenceEngine::SessionInfo> info =
+      engine_.session_info(session_id);
+  if (!info.has_value()) {
+    send_bytes(conn,
+               make_response(404, error_body("no such session").dump()));
+    return;
+  }
+  Json body = Json::object();
+  body.set("session_id",
+           Json::number(static_cast<std::int64_t>(session_id)));
+  body.set("tokens", Json::number(info->tokens));
+  body.set("turns", Json::number(info->turns));
+  body.set("busy", Json::boolean(info->busy));
+  body.set("kv_residency",
+           Json::string(serve::kv_tier::residency_name(info->residency)));
+  send_bytes(conn, make_response(200, body.dump()));
+}
+
+void HttpServer::handle_session_drop(Conn& conn, std::uint64_t session_id) {
+  if (!engine_.has_session(session_id)) {
+    send_bytes(conn,
+               make_response(404, error_body("no such session").dump()));
+    return;
+  }
+  engine_.drop_session(session_id);
+  Json body = Json::object();
+  body.set("session_id",
+           Json::number(static_cast<std::int64_t>(session_id)));
+  body.set("dropped", Json::boolean(true));
+  send_bytes(conn, make_response(200, body.dump()));
 }
 
 void HttpServer::handle_engine_event(EngineEvent& event) {

@@ -23,7 +23,30 @@
 //   DELETE /v1/requests/{id}  engine.cancel(id); 202. An in-flight stream
 //                             ends with a final chunk whose status is
 //                             "cancelled".
-//   GET    /v1/stats          engine ServerStats::to_json() plus the
+//   GET    /v1/requests/{id}  progress of an in-flight request: {"id",
+//                             "state": "pending"|"streaming",
+//                             "tokens_streamed"}. 404 once the request has
+//                             finished (or was never seen) — terminal state
+//                             arrives on the stream itself.
+//   POST   /v1/sessions       create a durable conversation; 201 with
+//                             {"session_id": n}.
+//   POST   /v1/sessions/{id}/generate
+//                             same body and streaming contract as
+//                             /v1/generate, but "prompt" is the NEW tokens
+//                             appended to the session's history (absent or
+//                             empty allowed once the session has history).
+//                             On retirement the engine parks the
+//                             conversation's KV into the tier store; the
+//                             next generate on the session resumes
+//                             byte-identically without re-prefill. Unknown
+//                             session -> 404; a session with a request
+//                             already in flight -> 409.
+//   GET    /v1/sessions/{id}  session status: tokens, turns, busy, KV
+//                             residency ("host"|"disk"|"none").
+//   DELETE /v1/sessions/{id}  drop the session and its parked KV; 404 when
+//                             unknown.
+//   GET    /v1/stats          engine ServerStats::to_json() (now including
+//                             kv-tier and session counters) plus the
 //                             server's own HTTP counters.
 //   GET    /v1/healthz        liveness probe.
 //
@@ -134,9 +157,18 @@ class HttpServer {
   // connection (error + Connection: close), so a Conn& would dangle.
   void process_requests(int fd);
   void dispatch(Conn& conn, const HttpRequest& request);
-  void handle_generate(Conn& conn, const HttpRequest& request);
+  // session_id 0 = the plain /v1/generate route; non-zero attaches the
+  // request to that session (prompt may then be absent once history exists).
+  void handle_generate(Conn& conn, const HttpRequest& request,
+                       std::uint64_t session_id = 0);
   void handle_stats(Conn& conn);
   void handle_cancel(Conn& conn, std::string_view id_text);
+  void handle_request_status(Conn& conn, std::uint64_t id);
+  void handle_session_create(Conn& conn);
+  void handle_session_generate(Conn& conn, const HttpRequest& request,
+                               std::uint64_t session_id);
+  void handle_session_info(Conn& conn, std::uint64_t session_id);
+  void handle_session_drop(Conn& conn, std::uint64_t session_id);
   void handle_engine_event(EngineEvent& event);
   void send_bytes(Conn& conn, std::string bytes);
   void flush(Conn& conn);

@@ -16,7 +16,12 @@ double secs(std::chrono::steady_clock::duration d) {
 
 // Validates before the member-init list runs, so a bad config throws its
 // own message instead of whatever the KV pool's constructor says first.
+// Also folds the deprecated swap_arena_bytes alias into its successor
+// knob, kv_tier.host_tier_bytes (alias removed next PR).
 EngineConfig validated(EngineConfig config) {
+  if (config.swap_arena_bytes != 0 && config.kv_tier.host_tier_bytes == 0) {
+    config.kv_tier.host_tier_bytes = config.swap_arena_bytes;
+  }
   config.validate();
   return config;
 }
@@ -43,6 +48,12 @@ void EngineConfig::validate() const {
   MGPT_CHECK(tensor_parallel >= 1,
              "EngineConfig: tensor_parallel must be >= 1 (got "
                  << tensor_parallel << ")");
+  MGPT_CHECK(kv_tier.prefetch_depth >= 0,
+             "EngineConfig: kv_tier.prefetch_depth must be >= 0 (got "
+                 << kv_tier.prefetch_depth << "); 0 disables prefetch");
+  MGPT_CHECK(kv_tier.disk_tier_bytes == 0 || !kv_tier.spill_dir.empty(),
+             "EngineConfig: kv_tier.disk_tier_bytes > 0 requires a "
+             "spill_dir for the spill files");
 }
 
 namespace {
@@ -69,11 +80,12 @@ KvPoolConfig pool_config(const nn::GptConfig& model,
   return pool;
 }
 
-// Gather a cache's rows into the SwapArena layout ([layer][K rows][V rows])
-// — paged caches via the block-table gather, slotted ones layer by layer.
-sched::SwapArena::Entry gather_kv(const nn::KvCache& cache,
-                                  const nn::GptConfig& model) {
-  sched::SwapArena::Entry entry;
+// Gather a cache's rows into the tier-store layout ([layer][K rows][V
+// rows]) — paged caches via the block-table gather, slotted ones layer by
+// layer.
+kv_tier::KvTierStore::Entry gather_kv(const nn::KvCache& cache,
+                                      const nn::GptConfig& model) {
+  kv_tier::KvTierStore::Entry entry;
   entry.tokens = cache.length;
   if (cache.paged != nullptr) {
     cache.paged->swap_out(entry.data);
@@ -93,7 +105,7 @@ sched::SwapArena::Entry gather_kv(const nn::KvCache& cache,
 // Inverse of gather_kv into a fresh (empty) lease. Pure memcpy — the rows
 // are the exact bytes the forward pass wrote, so the resumed sequence is
 // indistinguishable from one that was never preempted.
-void restore_kv(nn::KvCache& cache, const sched::SwapArena::Entry& entry,
+void restore_kv(nn::KvCache& cache, const kv_tier::KvTierStore::Entry& entry,
                 const nn::GptConfig& model) {
   MGPT_CHECK(cache.length == 0, "swap restore needs an empty lease");
   if (cache.paged != nullptr) {
@@ -120,7 +132,7 @@ InferenceEngine::InferenceEngine(const nn::GptModel& model,
       pool_(model.config(), pool_config(model.config(), config_)),
       scheduler_(
           sched::make_scheduler(config_.scheduler, config_.sched_aging_ms)),
-      swap_arena_(config_.swap_arena_bytes),
+      tier_(config_.kv_tier),
       stats_(config_.stats) {
   if (config_.prefix_cache_bytes > 0) {
     // Throws here if the budget cannot hold even one KV block.
@@ -214,11 +226,12 @@ void InferenceEngine::worker_loop() {
     // arrives. Producers notify under queue_mutex_, so no lost wakeups.
     std::unique_lock lock(queue_mutex_);
     if (draining_ && waiting_.empty() && cancel_ids_.empty() &&
-        active_.empty()) {
+        park_ids_.empty() && active_.empty()) {
       return;
     }
     worker_cv_.wait(lock, [this] {
-      return draining_ || !waiting_.empty() || !cancel_ids_.empty();
+      return draining_ || !waiting_.empty() || !cancel_ids_.empty() ||
+             !park_ids_.empty();
     });
   }
 }
@@ -228,21 +241,13 @@ std::string InferenceEngine::stats_json() const {
   return stats_.to_json(secs(Clock::now() - started_at_));
 }
 
-InferenceEngine::Pending InferenceEngine::make_pending(
-    Request request) const {
-  MGPT_CHECK(!request.prompt.empty(), "request requires a non-empty prompt");
+InferenceEngine::Pending InferenceEngine::make_pending(Request request) {
+  const bool session = request.session_id != 0;
+  MGPT_CHECK(session || !request.prompt.empty(),
+             "request requires a non-empty prompt");
   MGPT_CHECK(request.max_new_tokens > 0,
              "request must generate at least one token");
   request.sampling.validate();
-  const std::int64_t budget =
-      static_cast<std::int64_t>(request.prompt.size()) +
-      request.max_new_tokens;
-  MGPT_CHECK(budget <= model_.config().max_seq,
-             "request needs " << budget << " tokens; model max_seq is "
-                              << model_.config().max_seq);
-  MGPT_CHECK(budget <= pool_.capacity_tokens(),
-             "request needs " << budget << " tokens; KV slots hold "
-                              << pool_.capacity_tokens());
   MGPT_CHECK(request.spec_k >= 0, "spec_k must be non-negative");
   MGPT_CHECK(request.spec_k == 0 || spec_decoder_ != nullptr,
              "speculative request (spec_k " << request.spec_k
@@ -250,7 +255,46 @@ InferenceEngine::Pending InferenceEngine::make_pending(
                                                "with a draft proposer");
   MGPT_CHECK(request.deadline_ms >= 0.0,
              "deadline_ms must be >= 0 (got " << request.deadline_ms << ")");
+  auto check_budget = [this](std::int64_t budget) {
+    MGPT_CHECK(budget <= model_.config().max_seq,
+               "request needs " << budget << " tokens; model max_seq is "
+                                << model_.config().max_seq);
+    MGPT_CHECK(budget <= pool_.capacity_tokens(),
+               "request needs " << budget << " tokens; KV slots hold "
+                                << pool_.capacity_tokens());
+  };
   Pending pending;
+  if (session) {
+    // Validate against the session's history, then claim its one
+    // in-flight slot. Every check precedes the busy flip so a rejected
+    // request cannot wedge the session.
+    std::lock_guard lock(sessions_mutex_);
+    auto it = sessions_.find(request.session_id);
+    MGPT_CHECK(it != sessions_.end(),
+               "unknown session " << request.session_id);
+    SessionState& state = it->second;
+    MGPT_CHECK(!state.busy, "session " << request.session_id
+                                       << " already has a request in "
+                                          "flight");
+    MGPT_CHECK(!state.tokens.empty() || !request.prompt.empty(),
+               "a session's first request requires a non-empty prompt");
+    check_budget(static_cast<std::int64_t>(state.tokens.size()) +
+                 static_cast<std::int64_t>(request.prompt.size()) +
+                 request.max_new_tokens);
+    if (!state.tokens.empty()) {
+      // Resume: the working token vector is history + new prompt, and the
+      // rng stream continues exactly where the last turn left it.
+      pending.session_resume = true;
+      pending.tokens = state.tokens;
+      pending.tokens.insert(pending.tokens.end(), request.prompt.begin(),
+                            request.prompt.end());
+      pending.rng = state.rng;
+    }
+    state.busy = true;
+  } else {
+    check_budget(static_cast<std::int64_t>(request.prompt.size()) +
+                 request.max_new_tokens);
+  }
   pending.request = std::move(request);
   pending.submitted = Clock::now();  // client-observed latency includes
                                      // queue backpressure
@@ -267,12 +311,17 @@ InferenceEngine::Pending InferenceEngine::make_pending(
 std::future<RequestResult> InferenceEngine::submit(Request request) {
   Pending pending = make_pending(std::move(request));
   auto future = pending.promise.get_future();
+  const std::uint64_t sid = pending.request.session_id;
   {
     std::unique_lock lock(queue_mutex_);
     queue_cv_.wait(lock, [this] {
       return draining_ || waiting_.size() < config_.queue_capacity;
     });
-    MGPT_CHECK(!draining_, "submit on a draining engine");
+    if (draining_) {
+      lock.unlock();
+      if (sid != 0) release_session_slot(sid);
+      MGPT_CHECK(false, "submit on a draining engine");
+    }
     waiting_.push_back(std::move(pending));
   }
   worker_cv_.notify_one();
@@ -283,15 +332,83 @@ std::optional<std::future<RequestResult>> InferenceEngine::try_submit(
     Request request) {
   Pending pending = make_pending(std::move(request));
   auto future = pending.promise.get_future();
+  const std::uint64_t sid = pending.request.session_id;
   {
     std::lock_guard lock(queue_mutex_);
     if (draining_ || waiting_.size() >= config_.queue_capacity) {
+      if (sid != 0) release_session_slot(sid);
       return std::nullopt;
     }
     waiting_.push_back(std::move(pending));
   }
   worker_cv_.notify_one();
   return future;
+}
+
+std::uint64_t InferenceEngine::create_session() {
+  std::lock_guard lock(sessions_mutex_);
+  const std::uint64_t id = next_session_id_++;
+  sessions_.emplace(id, SessionState{});
+  return id;
+}
+
+std::future<RequestResult> InferenceEngine::resume(Request request) {
+  MGPT_CHECK(request.session_id != 0,
+             "resume requires a non-zero session_id");
+  return submit(std::move(request));
+}
+
+void InferenceEngine::park(std::uint64_t id) {
+  {
+    std::lock_guard lock(queue_mutex_);
+    park_ids_.push_back(id);
+  }
+  worker_cv_.notify_one();
+}
+
+void InferenceEngine::drop_session(std::uint64_t session_id) {
+  {
+    std::lock_guard lock(sessions_mutex_);
+    sessions_.erase(session_id);
+  }
+  tier_.drop(kv_tier::Space::kSession, session_id);
+}
+
+bool InferenceEngine::has_session(std::uint64_t session_id) const {
+  std::lock_guard lock(sessions_mutex_);
+  return sessions_.count(session_id) != 0;
+}
+
+bool InferenceEngine::session_busy(std::uint64_t session_id) const {
+  std::lock_guard lock(sessions_mutex_);
+  auto it = sessions_.find(session_id);
+  return it != sessions_.end() && it->second.busy;
+}
+
+std::size_t InferenceEngine::session_count() const {
+  std::lock_guard lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+std::optional<InferenceEngine::SessionInfo> InferenceEngine::session_info(
+    std::uint64_t session_id) const {
+  SessionInfo info;
+  {
+    std::lock_guard lock(sessions_mutex_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return std::nullopt;
+    info.tokens = static_cast<std::int64_t>(it->second.tokens.size());
+    info.turns = it->second.turns;
+    info.busy = it->second.busy;
+  }
+  info.residency = tier_.residency(kv_tier::Space::kSession, session_id);
+  return info;
+}
+
+void InferenceEngine::release_session_slot(std::uint64_t session_id) {
+  std::lock_guard lock(sessions_mutex_);
+  auto it = sessions_.find(session_id);
+  if (it != sessions_.end()) it->second.busy = false;
 }
 
 void InferenceEngine::cancel(std::uint64_t id) {
@@ -340,6 +457,42 @@ void InferenceEngine::apply_cancellations(Clock::time_point now) {
   }
 }
 
+void InferenceEngine::apply_parks(Clock::time_point now) {
+  // Same retirement plumbing as cancellation, but the terminal status is
+  // kParked and finish()'s session hook stores the KV cold instead of
+  // discarding it. A sessionless id just retires (nowhere to park to).
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard lock(queue_mutex_);
+    ids.swap(park_ids_);
+  }
+  for (std::uint64_t id : ids) {
+    Pending victim;
+    bool in_queue = false;
+    {
+      std::lock_guard lock(queue_mutex_);
+      for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+        if (it->request.id != id) continue;
+        victim = std::move(*it);
+        waiting_.erase(it);
+        in_queue = true;
+        break;
+      }
+    }
+    if (in_queue) {
+      finish_pending(victim, RequestStatus::kParked, now);
+      queue_cv_.notify_one();
+      continue;
+    }
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].request.id != id) continue;
+      finish(active_[i], RequestStatus::kParked, now);
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
 void InferenceEngine::expire_deadlines(Clock::time_point now) {
   std::vector<Pending> expired;
   {
@@ -367,7 +520,30 @@ void InferenceEngine::expire_deadlines(Clock::time_point now) {
   }
 }
 
+void InferenceEngine::prefetch_waiting() {
+  const std::int64_t depth = config_.kv_tier.prefetch_depth;
+  if (depth <= 0 || config_.kv_tier.disk_tier_bytes == 0) return;
+  // Snapshot the first `depth` resumable waiters under the queue lock,
+  // then hand their keys to the tier's worker outside it: the disk->host
+  // copy overlaps this admission pass (and the model forwards after it),
+  // so by the time the request wins a lease its restore is a host memcpy.
+  std::vector<std::pair<kv_tier::Space, std::uint64_t>> want;
+  {
+    std::lock_guard lock(queue_mutex_);
+    for (const Pending& p : waiting_) {
+      if (static_cast<std::int64_t>(want.size()) >= depth) break;
+      if (p.swapped) {
+        want.emplace_back(kv_tier::Space::kPreempt, p.request.id);
+      } else if (p.session_resume && p.preemptions == 0) {
+        want.emplace_back(kv_tier::Space::kSession, p.request.session_id);
+      }
+    }
+  }
+  for (const auto& [space, id] : want) tier_.request_prefetch(space, id);
+}
+
 std::size_t InferenceEngine::admit(Clock::time_point now) {
+  prefetch_waiting();
   std::size_t activated = 0;
   // Requests that could not get memory this step (priority bypass): left in
   // the queue but hidden from pick_next so admission cannot spin on them.
@@ -422,8 +598,15 @@ bool InferenceEngine::try_activate(Pending pending, Clock::time_point now) {
   const Request& req = pending.request;
   const std::span<const std::int32_t> prompt(req.prompt);
   const auto prompt_len = static_cast<std::int64_t>(prompt.size());
-  const std::int64_t budget = prompt_len + req.max_new_tokens;
-  const bool fresh = !pending.resuming;
+  const bool fresh = !pending.resuming && !pending.session_resume;
+  // Lease budget: a fresh request needs prompt + max_new; a resumed one
+  // (preempted or session) needs its full working set — history + prompt
+  // + max_new, which pending.tokens minus already-emitted reconstructs.
+  const std::int64_t base =
+      fresh ? prompt_len
+            : static_cast<std::int64_t>(pending.tokens.size()) -
+                  pending.emitted;
+  const std::int64_t budget = base + req.max_new_tokens;
 
   // Match before leasing so the lease can discount the blocks an aliased
   // prefix supplies for free. The match is capped at prompt_len - 1 so at
@@ -516,6 +699,7 @@ bool InferenceEngine::try_activate(Pending pending, Clock::time_point now) {
   seq.preemptions = pending.preemptions;
   seq.spec = pending.spec;
   seq.last_token = pending.last_token;
+  seq.session_resume = pending.session_resume;
 
   // Prefill target: a sequence that never sampled needs the whole prompt
   // resident and then samples from the last position's logits; one that
@@ -538,8 +722,27 @@ bool InferenceEngine::try_activate(Pending pending, Clock::time_point now) {
       stats_.record_prefix(reused, prompt_len);
     }
   } else if (pending.swapped) {
-    sched::SwapArena::Entry entry = swap_arena_.take(seq.request.id);
-    restore_kv(*seq.kv, entry, model_.config());
+    // The entry can be gone by now — its spill write failed during a
+    // host->disk demotion, or the file went corrupt. take() then misses
+    // and the prefill below recomputes the rows: byte-identical, because
+    // KV rows depend only on (token, position).
+    std::optional<kv_tier::KvTierStore::Entry> entry =
+        tier_.take(kv_tier::Space::kPreempt, seq.request.id);
+    if (entry.has_value()) restore_kv(*seq.kv, *entry, model_.config());
+  } else if (seq.session_resume && pending.preemptions == 0) {
+    // First activation of a session resume: pull the parked KV out of the
+    // tier (host hit, disk read, or — after a miss/corruption — nothing,
+    // in which case the whole history re-prefills). Equality with the
+    // prefill target is the mid-decode park + empty-prompt resume case:
+    // the cache already sits exactly where decode expects it and prefill
+    // is skipped outright.
+    std::optional<kv_tier::KvTierStore::Entry> entry =
+        tier_.take(kv_tier::Space::kSession, seq.request.session_id);
+    const bool restored = entry.has_value() && entry->tokens > 0 &&
+                          entry->tokens <= seq.prefill_target;
+    if (restored) restore_kv(*seq.kv, *entry, model_.config());
+    std::lock_guard lock(stats_mutex_);
+    stats_.record_session_resume(restored);
   }
   seq.prefill_done = seq.kv->length == seq.prefill_target;
   // First prefill chunk happens at admission (with chunking disabled this
@@ -576,8 +779,11 @@ void InferenceEngine::prefill_step(ActiveSeq& seq, Clock::time_point now) {
   if (seq.kv->length < seq.prefill_target) return;  // more chunks next step
   seq.prefill_done = true;
   if (!seq.sample_first) return;  // resume: decode feeds tokens.back()
-  if (seq.preemptions == 0 && prefix_cache_ != nullptr) {
+  if (seq.preemptions == 0 && !seq.session_resume &&
+      prefix_cache_ != nullptr) {
     // The lease now holds the full prompt's rows; cache the uncached tail.
+    // Session resumes skip the insert: their cache covers history the
+    // request's prompt field doesn't spell out.
     prefix_cache_->insert(
         seq.request.prompt,
         static_cast<std::int64_t>(seq.request.prompt.size()), *seq.kv);
@@ -611,15 +817,17 @@ void InferenceEngine::preempt(std::size_t idx) {
   pending.queue_delay_s = seq.queue_delay_s;
   pending.preemptions = seq.preemptions + 1;
   pending.resuming = true;
+  pending.session_resume = seq.session_resume;
   pending.spec = seq.spec;
   pending.last_token = seq.last_token;
 
   bool swapped = false;
   if (config_.preempt_mode == sched::PreemptMode::kSwap &&
       seq.kv->length > 0) {
-    // Park the rows host-side; a full arena falls back to recompute.
-    swapped = swap_arena_.try_store(pending.request.id,
-                                    gather_kv(*seq.kv, model_.config()));
+    // Park the rows in the tier (host RAM, spilling to disk under
+    // pressure); a full hierarchy falls back to recompute.
+    swapped = tier_.store(kv_tier::Space::kPreempt, pending.request.id,
+                          gather_kv(*seq.kv, model_.config()));
   }
   pending.swapped = swapped;
   seq.kv.release();
@@ -648,8 +856,38 @@ std::int32_t InferenceEngine::sample_row(const Var& logits, std::int64_t row,
       seq.request.sampling, seq.rng);
 }
 
+void InferenceEngine::park_to_session(ActiveSeq& seq) {
+  const std::uint64_t sid = seq.request.session_id;
+  bool live = false;
+  {
+    std::lock_guard lock(sessions_mutex_);
+    auto it = sessions_.find(sid);
+    if (it != sessions_.end()) {
+      // The registry copy of tokens + rng is what guarantees resume even
+      // if the KV store below refuses or loses the bytes.
+      it->second.tokens = seq.tokens;
+      it->second.rng = seq.rng;
+      it->second.turns += 1;
+      it->second.busy = false;
+      live = true;
+    }
+  }
+  if (!live) return;  // session dropped mid-flight: nothing to park to
+  bool stored = false;
+  if (seq.kv->length > 0) {
+    stored = tier_.store(kv_tier::Space::kSession, sid,
+                         gather_kv(*seq.kv, model_.config()));
+  }
+  std::lock_guard lock(stats_mutex_);
+  stats_.record_session_park(stored);
+}
+
 void InferenceEngine::finish(ActiveSeq& seq, RequestStatus status,
                              Clock::time_point now) {
+  // Sessions park at EVERY retirement (ok/cancelled/timeout/parked): the
+  // conversation outlives the request, so its KV goes cold instead of
+  // being discarded with the lease.
+  if (seq.request.session_id != 0) park_to_session(seq);
   RequestResult result;
   result.id = seq.request.id;
   result.status = status;
@@ -682,7 +920,39 @@ void InferenceEngine::finish(ActiveSeq& seq, RequestStatus status,
 
 void InferenceEngine::finish_pending(Pending& pending, RequestStatus status,
                                      Clock::time_point now) {
-  if (pending.swapped) swap_arena_.drop(pending.request.id);
+  const std::uint64_t sid = pending.request.session_id;
+  if (sid != 0) {
+    bool live = false;
+    {
+      std::lock_guard lock(sessions_mutex_);
+      auto it = sessions_.find(sid);
+      if (it != sessions_.end()) {
+        if (pending.resuming) {
+          // The turn reached the model before being re-queued: fold its
+          // progress back so the next request continues from it. A never-
+          // activated pending leaves the history untouched (its prompt
+          // was never consumed; the client resubmits it).
+          it->second.tokens = pending.tokens;
+          it->second.rng = pending.rng;
+          it->second.turns += 1;
+        }
+        it->second.busy = false;
+        live = true;
+      }
+    }
+    if (pending.swapped) {
+      // The preempt-parked rows ARE this conversation's KV: migrate them
+      // to the session's slot so the next resume restores instead of
+      // re-prefilling.
+      std::optional<kv_tier::KvTierStore::Entry> entry =
+          tier_.take(kv_tier::Space::kPreempt, pending.request.id);
+      if (live && entry.has_value()) {
+        tier_.store(kv_tier::Space::kSession, sid, std::move(*entry));
+      }
+    }
+  } else if (pending.swapped) {
+    tier_.drop(kv_tier::Space::kPreempt, pending.request.id);
+  }
   RequestResult result;
   result.id = pending.request.id;
   result.status = status;
@@ -690,8 +960,9 @@ void InferenceEngine::finish_pending(Pending& pending, RequestStatus status,
   result.generated_tokens = pending.emitted;
   // Fresh pendings never grew a token vector; keep the prompt-plus-generated
   // result layout either way.
-  result.tokens = pending.resuming ? std::move(pending.tokens)
-                                   : std::move(pending.request.prompt);
+  result.tokens = (pending.resuming || pending.session_resume)
+                      ? std::move(pending.tokens)
+                      : std::move(pending.request.prompt);
   result.ttft_s = pending.ttft_s;
   result.queue_delay_s = pending.queue_delay_s;
   result.total_s = secs(now - pending.submitted);
@@ -816,10 +1087,17 @@ std::size_t InferenceEngine::step() {
   // instead.
   const auto now = Clock::now();
   apply_cancellations(now);
+  apply_parks(now);
   expire_deadlines(now);
   const std::size_t admitted = admit(now);
+  // Tier occupancy + live-session gauge refresh once per step (fetched
+  // before stats_mutex_ so the tier/session locks never nest inside it).
+  const kv_tier::TierStats tier_stats = tier_.stats();
+  const std::size_t live_sessions = session_count();
   {
     std::lock_guard lock(stats_mutex_);
+    stats_.record_tier(tier_stats);
+    stats_.record_sessions(live_sessions);
     if (pool_.paged()) {
       stats_.record_kv(active_.size(), pool_.used_blocks(),
                        pool_.total_blocks(), pool_.shared_blocks(),

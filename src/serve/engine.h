@@ -30,11 +30,17 @@
 // (tokens generated so far, its sampling-rng state, its latency clocks) is
 // re-queued, and on re-admission the engine either re-prefills
 // prompt + generated-so-far (PreemptMode::kRecompute) or memcpy-restores
-// the KV rows it parked in a host-side SwapArena (PreemptMode::kSwap).
-// Cached K/V rows depend only on (token, position), so both paths resume
-// byte-identical to a never-preempted run — including speculative
-// requests, whose draft cache is simply dropped and deterministically
-// re-prefilled by the proposer.
+// the KV rows it parked in the tiered residency store (PreemptMode::kSwap
+// — host RAM, demoted to checksummed disk spill files under pressure; see
+// serve/kv_tier). Cached K/V rows depend only on (token, position), so
+// both paths resume byte-identical to a never-preempted run — including
+// speculative requests, whose draft cache is simply dropped and
+// deterministically re-prefilled by the proposer.
+//
+// Sessions ride the same store: Request::session_id names a conversation
+// whose KV goes cold in the tier at every retirement (park) and comes
+// back — restored, prefetched, or recomputed — on the next request
+// (resume), byte-identical to never having parked.
 //
 // Per-request sampling streams are seeded from Request::sampling.seed and
 // carried by value across preemptions, so each request's tokens are
@@ -61,13 +67,15 @@
 #include <thread>
 #include <vector>
 
+#include <unordered_map>
+
 #include "nn/gpt.h"
 #include "serve/kv_pool.h"
+#include "serve/kv_tier/kv_tier.h"
 #include "serve/metrics.h"
 #include "serve/prefix_cache.h"
 #include "serve/request.h"
 #include "serve/sched/scheduler.h"
-#include "serve/sched/swap_arena.h"
 #include "serve/spec/speculative.h"
 #include "serve/tp/tp_model.h"
 
@@ -109,8 +117,13 @@ struct EngineConfig {
   std::int64_t prefill_chunk_tokens = 0;
   /// What happens to a preemption victim's KV (see sched::PreemptMode).
   sched::PreemptMode preempt_mode = sched::PreemptMode::kRecompute;
-  /// Host-byte budget for swap-mode preemption (0 = unbounded). When a
-  /// victim's KV does not fit, that preemption falls back to recompute.
+  /// Residency hierarchy below the arena (host-RAM tier, disk spill tier,
+  /// admit-time prefetch) backing swap-mode preemption and parked
+  /// sessions. See KvTierConfig.
+  KvTierConfig kv_tier;
+  /// DEPRECATED (this PR only): alias for kv_tier.host_tier_bytes, the
+  /// knob's pre-tiering name. Applied when non-zero and
+  /// kv_tier.host_tier_bytes is 0; removed next PR.
   std::size_t swap_arena_bytes = 0;
   /// Draft proposer for speculative requests (spec_k > 0). When set, the
   /// engine reserves a second KV pool with `kv_slots` draft slots sized by
@@ -136,8 +149,9 @@ struct EngineConfig {
 
   /// Throws (MGPT_CHECK) on unserviceable knobs: max_batch <= 0,
   /// kv_slots == 0, queue_capacity == 0, kv_block_tokens <= 0 (paged), a
-  /// prefix cache on a slotted pool, prefill_chunk_tokens < 0, or
-  /// sched_aging_ms < 0. Called by the engine constructor before any
+  /// prefix cache on a slotted pool, prefill_chunk_tokens < 0,
+  /// sched_aging_ms < 0, a disk tier without a spill_dir, or a negative
+  /// kv_tier.prefetch_depth. Called by the engine constructor before any
   /// allocation; the prefix-cache budget-vs-block check lives in the
   /// PrefixCache constructor on the same path.
   void validate() const;
@@ -187,6 +201,41 @@ class InferenceEngine {
   /// ignored. Safe from any thread.
   void cancel(std::uint64_t id);
 
+  // --- Sessions: durable conversation identity over the KV tier store. ---
+  // A session is a token history plus the sampling-rng state needed to
+  // continue it byte-identically; its KV rows live in the tier store
+  // (host RAM, demoted to disk under memory pressure) between requests and
+  // are restored — or recomputed when a tier refused or a spill file went
+  // bad — on the next request. All session methods are safe from any
+  // thread; at most one request may be in flight per session.
+
+  /// Register a new empty session and return its id (never 0).
+  std::uint64_t create_session();
+  /// Submit a request on request.session_id (checked non-zero); sugar for
+  /// submit() that makes the park()/resume() lifecycle explicit.
+  std::future<RequestResult> resume(Request request);
+  /// Stage a park for in-flight request `id`: the next step() retires it
+  /// with RequestStatus::kParked, storing its session's KV and rng state
+  /// cold. Unknown or already-retired ids are ignored; parking a
+  /// sessionless request just retires it (there is nowhere to park to).
+  void park(std::uint64_t id);
+  /// Forget a session: registry entry and any tiered KV are dropped. An
+  /// in-flight request on the session finishes normally but no longer
+  /// parks. Unknown ids are ignored.
+  void drop_session(std::uint64_t session_id);
+  bool has_session(std::uint64_t session_id) const;
+  /// True while a request on the session is queued or active.
+  bool session_busy(std::uint64_t session_id) const;
+  std::size_t session_count() const;
+
+  struct SessionInfo {
+    std::int64_t tokens = 0;  // history length (prompt + generated)
+    std::int64_t turns = 0;   // completed requests on this session
+    bool busy = false;
+    kv_tier::Residency residency = kv_tier::Residency::kNone;
+  };
+  std::optional<SessionInfo> session_info(std::uint64_t session_id) const;
+
   /// One scheduler iteration (cancel/expire -> admit -> chunked prefill ->
   /// batched decode -> retire). Returns the number of sequences that
   /// advanced (0 = nothing waiting or active).
@@ -214,8 +263,8 @@ class InferenceEngine {
   const PrefixCache* prefix_cache() const { return prefix_cache_.get(); }
   /// The admission/preemption policy the engine was built with.
   const sched::Scheduler& scheduler() const { return *scheduler_; }
-  /// Host-side residency for swap-preempted sequences.
-  const sched::SwapArena& swap_arena() const { return swap_arena_; }
+  /// The residency hierarchy holding swap-preempted and parked-session KV.
+  const kv_tier::KvTierStore& tier() const { return tier_; }
   std::size_t queue_depth() const;
   std::size_t active_count() const { return active_.size(); }
   const EngineConfig& config() const { return config_; }
@@ -227,7 +276,7 @@ class InferenceEngine {
   /// preempted-requeued one additionally carries everything needed to
   /// resume byte-identically: tokens generated so far, the sampling-rng
   /// state, latency clocks, speculative accounting, and (swap mode) a
-  /// SwapArena entry under its request id.
+  /// tier-store kPreempt entry under its request id.
   struct Pending {
     Request request;
     std::promise<RequestResult> promise;
@@ -240,7 +289,12 @@ class InferenceEngine {
     double queue_delay_s = -1.0;
     std::int64_t preemptions = 0;
     bool resuming = false;
-    bool swapped = false;  // KV parked in swap_arena_ under request.id
+    bool swapped = false;  // KV parked in tier_ (kPreempt) under request.id
+    /// Continuing a parked session: tokens holds history + new prompt and
+    /// the first activation tries the tier's kSession entry (recompute
+    /// when the tier misses). Unlike `resuming` this survives from
+    /// submission, not preemption.
+    bool session_resume = false;
     spec::SpecStats spec;
     Clock::time_point last_token;
   };
@@ -268,12 +322,36 @@ class InferenceEngine {
     std::int64_t prefill_target = 0;
     bool sample_first = true;
     bool prefill_done = false;
+    bool session_resume = false;
+  };
+
+  /// Always-in-RAM per-session record: the token history and rng state a
+  /// resume needs even when the tiered KV was refused, evicted, or went
+  /// corrupt (then the resume re-prefills — byte-identical either way,
+  /// since KV rows depend only on (token, position)). Guarded by
+  /// sessions_mutex_ (HTTP threads create/drop while the worker parks).
+  struct SessionState {
+    std::vector<std::int32_t> tokens;  // full history: prompts + generated
+    Rng rng{0};
+    std::int64_t turns = 0;
+    bool busy = false;
   };
 
   std::future<RequestResult> enqueue(Pending pending);
-  Pending make_pending(Request request) const;
+  Pending make_pending(Request request);
+  /// Clear a session's busy flag (submission failed after make_pending
+  /// reserved the in-flight slot).
+  void release_session_slot(std::uint64_t session_id);
+  /// finish()-side half of park: fold the sequence's tokens/rng back into
+  /// the session registry and store its gathered KV in the tier.
+  void park_to_session(ActiveSeq& seq);
   void apply_cancellations(Clock::time_point now);
+  void apply_parks(Clock::time_point now);
   void expire_deadlines(Clock::time_point now);
+  /// Admit-time prefetch hook: ask the tier to stage the first
+  /// kv_tier.prefetch_depth waiting resumable requests' disk entries into
+  /// host RAM, so their restore is a memcpy by the time they admit.
+  void prefetch_waiting();
   std::size_t admit(Clock::time_point now);
   bool try_activate(Pending pending, Clock::time_point now);
   /// Preempt active_[idx]: release its KV (after parking it host-side in
@@ -305,13 +383,20 @@ class InferenceEngine {
   std::unique_ptr<PrefixCache> prefix_cache_;
   std::unique_ptr<spec::SpeculativeDecoder> spec_decoder_;
   std::unique_ptr<sched::Scheduler> scheduler_;
-  sched::SwapArena swap_arena_;
+  kv_tier::KvTierStore tier_;
   ServerStats stats_;
+
+  std::unordered_map<std::uint64_t, SessionState> sessions_;
+  std::uint64_t next_session_id_ = 1;  // guarded by sessions_mutex_
+  // Ordered strictly after queue_mutex_/stats_mutex_ when nested (never
+  // held while calling into the tier store or request callbacks).
+  mutable std::mutex sessions_mutex_;
 
   void worker_loop();
 
   std::deque<Pending> waiting_;
   std::vector<std::uint64_t> cancel_ids_;  // staged by cancel()
+  std::vector<std::uint64_t> park_ids_;    // staged by park()
   bool draining_ = false;  // guarded by queue_mutex_
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -41,6 +41,7 @@ void ServerStats::record_request(const RequestResult& result) {
   requests_completed_ += 1;
   if (result.status == RequestStatus::kCancelled) cancelled_ += 1;
   if (result.status == RequestStatus::kTimeout) timed_out_ += 1;
+  if (result.status == RequestStatus::kParked) parked_ += 1;
   tokens_generated_ += static_cast<std::uint64_t>(result.generated_tokens);
   sum_request_tokens_per_s_ += result.tokens_per_s;
   drafts_proposed_ += static_cast<std::uint64_t>(result.drafts_proposed);
@@ -87,6 +88,24 @@ void ServerStats::record_tp(std::uint64_t jobs, double comm_seconds,
   tp_bytes_reduced_ = bytes_reduced;
 }
 
+void ServerStats::record_tier(const kv_tier::TierStats& tier) {
+  tier_ = tier;
+}
+
+void ServerStats::record_session_park(bool kv_stored) {
+  session_parks_ += 1;
+  if (!kv_stored) session_park_drops_ += 1;
+}
+
+void ServerStats::record_session_resume(bool kv_restored) {
+  session_resumes_ += 1;
+  if (!kv_restored) session_resume_recomputes_ += 1;
+}
+
+void ServerStats::record_sessions(std::size_t live) {
+  sessions_live_ = live;
+}
+
 double ServerStats::mean_request_tokens_per_s() const {
   return requests_completed_ == 0
              ? 0.0
@@ -124,9 +143,24 @@ std::string ServerStats::report(double wall_s) const {
     os << "preemptions:         " << preemptions() << " (" << preempt_swaps_
        << " swapped, " << preempt_recomputes_ << " recompute)\n";
   }
-  if (cancelled_ + timed_out_ > 0) {
+  if (cancelled_ + timed_out_ + parked_ > 0) {
     os << "early retirements:   " << cancelled_ << " cancelled, "
-       << timed_out_ << " timed out\n";
+       << timed_out_ << " timed out, " << parked_ << " parked\n";
+  }
+  if (session_parks_ + session_resumes_ > 0) {
+    os << "sessions:            " << sessions_live_ << " live, "
+       << session_parks_ << " parks (" << session_park_drops_
+       << " kv-dropped), " << session_resumes_ << " resumes ("
+       << session_resume_recomputes_ << " recomputed)\n";
+  }
+  if (tier_.stores > 0) {
+    os << "kv tier:             host " << tier_.host_bytes_used << "/"
+       << tier_.host_budget << " B (" << tier_.host_entries
+       << " entries), disk " << tier_.disk_bytes_used << "/"
+       << tier_.disk_budget << " B (" << tier_.disk_entries << " entries), "
+       << tier_.demotions << " demotions, " << tier_.promotions
+       << " promotions, " << tier_.prefetch_hits << " prefetch hits, "
+       << tier_.corrupt_drops + tier_.spill_failures << " spill faults\n";
   }
   if (drafts_proposed_ > 0) {
     os << "spec acceptance:     " << 100.0 * acceptance_rate() << "% ("
@@ -216,6 +250,29 @@ std::string ServerStats::to_json(double wall_s) const {
   os << ",\n  \"tp_comm_ms_per_step\": " << tp_comm_ms_per_job();
   os << ",\n  \"tp_bytes_gathered\": " << tp_bytes_gathered_;
   os << ",\n  \"tp_bytes_reduced\": " << tp_bytes_reduced_;
+  os << ",\n  \"parked\": " << parked_;
+  os << ",\n  \"sessions_live\": " << sessions_live_;
+  os << ",\n  \"session_parks\": " << session_parks_;
+  os << ",\n  \"session_park_drops\": " << session_park_drops_;
+  os << ",\n  \"session_resumes\": " << session_resumes_;
+  os << ",\n  \"session_resume_recomputes\": " << session_resume_recomputes_;
+  os << ",\n  \"kv_tier_host_bytes\": " << tier_.host_bytes_used;
+  os << ",\n  \"kv_tier_host_budget\": " << tier_.host_budget;
+  os << ",\n  \"kv_tier_host_entries\": " << tier_.host_entries;
+  os << ",\n  \"kv_tier_disk_bytes\": " << tier_.disk_bytes_used;
+  os << ",\n  \"kv_tier_disk_budget\": " << tier_.disk_budget;
+  os << ",\n  \"kv_tier_disk_entries\": " << tier_.disk_entries;
+  os << ",\n  \"kv_tier_stores\": " << tier_.stores;
+  os << ",\n  \"kv_tier_takes\": " << tier_.takes;
+  os << ",\n  \"kv_tier_host_hits\": " << tier_.host_hits;
+  os << ",\n  \"kv_tier_disk_hits\": " << tier_.disk_hits;
+  os << ",\n  \"kv_tier_prefetch_hits\": " << tier_.prefetch_hits;
+  os << ",\n  \"kv_tier_demotions\": " << tier_.demotions;
+  os << ",\n  \"kv_tier_promotions\": " << tier_.promotions;
+  os << ",\n  \"kv_tier_disk_evictions\": " << tier_.disk_evictions;
+  os << ",\n  \"kv_tier_store_refusals\": " << tier_.store_refusals;
+  os << ",\n  \"kv_tier_spill_failures\": " << tier_.spill_failures;
+  os << ",\n  \"kv_tier_corrupt_drops\": " << tier_.corrupt_drops;
   os << "\n}";
   return os.str();
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "serve/kv_tier/kv_tier.h"
 #include "serve/request.h"
 
 namespace matgpt::serve {
@@ -54,6 +55,17 @@ class ServerStats {
   /// rank pool; counters overwrite).
   void record_tp(std::uint64_t jobs, double comm_seconds,
                  std::uint64_t bytes_gathered, std::uint64_t bytes_reduced);
+  /// KV tier-store per-step snapshot (lifetime totals from the store;
+  /// counters overwrite).
+  void record_tier(const kv_tier::TierStats& tier);
+  /// One session park event; `kv_stored` = the tier kept the KV bytes
+  /// (vs refused — the next resume re-prefills from the registry tokens).
+  void record_session_park(bool kv_stored);
+  /// One session resume activation; `kv_restored` = KV came back from the
+  /// tier (vs recompute fallback).
+  void record_session_resume(bool kv_restored);
+  /// Live-session gauge (overwrites).
+  void record_sessions(std::size_t live);
 
   std::uint64_t requests_completed() const { return requests_completed_; }
   std::uint64_t tokens_generated() const { return tokens_generated_; }
@@ -124,6 +136,17 @@ class ServerStats {
   std::uint64_t preempt_recomputes() const { return preempt_recomputes_; }
   std::uint64_t cancelled() const { return cancelled_; }
   std::uint64_t timed_out() const { return timed_out_; }
+  std::uint64_t parked() const { return parked_; }
+
+  /// Session + KV-tier aggregates (all zero without sessions/tiering).
+  std::uint64_t session_parks() const { return session_parks_; }
+  std::uint64_t session_park_drops() const { return session_park_drops_; }
+  std::uint64_t session_resumes() const { return session_resumes_; }
+  std::uint64_t session_resume_recomputes() const {
+    return session_resume_recomputes_;
+  }
+  std::size_t sessions_live() const { return sessions_live_; }
+  const kv_tier::TierStats& tier() const { return tier_; }
 
   /// Quantiles in milliseconds (q in [0, 1]); require recorded samples.
   double ttft_ms(double q) const { return ttft_ms_.quantile(q); }
@@ -186,6 +209,13 @@ class ServerStats {
   double tp_comm_seconds_ = 0.0;
   std::uint64_t tp_bytes_gathered_ = 0;
   std::uint64_t tp_bytes_reduced_ = 0;
+  std::uint64_t parked_ = 0;
+  std::uint64_t session_parks_ = 0;
+  std::uint64_t session_park_drops_ = 0;
+  std::uint64_t session_resumes_ = 0;
+  std::uint64_t session_resume_recomputes_ = 0;
+  std::size_t sessions_live_ = 0;
+  kv_tier::TierStats tier_;
 };
 
 }  // namespace matgpt::serve

@@ -35,6 +35,10 @@ enum class RequestStatus : std::uint8_t {
   kCancelled,
   /// Deadline expired (waiting or mid-decode) before completing.
   kTimeout,
+  /// Retired by InferenceEngine::park(): the request's session state (KV
+  /// rows, tokens, rng) was put cold in the KV tier store so the
+  /// conversation can resume later byte-identically.
+  kParked,
 };
 
 inline const char* status_name(RequestStatus s) {
@@ -45,6 +49,8 @@ inline const char* status_name(RequestStatus s) {
       return "cancelled";
     case RequestStatus::kTimeout:
       return "timeout";
+    case RequestStatus::kParked:
+      return "parked";
   }
   return "?";
 }
@@ -54,6 +60,14 @@ struct RequestResult;
 /// One generation request as a client would submit it.
 struct Request {
   std::uint64_t id = 0;
+  /// Durable conversation identity (0 = none). A non-zero id must name a
+  /// session created by InferenceEngine::create_session(); the request's
+  /// `prompt` is then the NEW tokens appended to the session's history
+  /// (empty is allowed once the session has history), and on retirement
+  /// the engine parks the conversation's KV and sampling-rng state in the
+  /// tier store so the next request on the session resumes byte-identical
+  /// to never having parked — without re-prefilling the history.
+  std::uint64_t session_id = 0;
   std::vector<std::int32_t> prompt;
   /// All sampling knobs, including the per-request stream seed: the engine
   /// draws from Rng(sampling.seed), so a request's tokens are independent of

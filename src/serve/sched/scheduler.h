@@ -45,9 +45,10 @@ enum class PreemptMode {
   /// Drop the KV and re-prefill prompt + generated-so-far on resume. Costs
   /// compute, frees the most memory (no host residency).
   kRecompute,
-  /// Copy the KV rows to a host-side SwapArena and memcpy them back on
-  /// resume — no recompute, but host bytes are held while preempted. Falls
-  /// back to recompute when the arena's byte budget is exhausted.
+  /// Copy the KV rows into the tiered residency store (host RAM, demoted
+  /// to disk under pressure) and restore them on resume — no recompute,
+  /// but tier bytes are held while preempted. Falls back to recompute when
+  /// every tier's byte budget is exhausted or a spill file went bad.
   kSwap,
 };
 

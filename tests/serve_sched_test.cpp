@@ -1,7 +1,7 @@
 // Unit + integration tests for src/serve/sched: priority/EDF/aging admission
 // policy, preempt-resume byte-identity (recompute and swap, plain and
 // speculative), chunked prefill equivalence, cancellation/deadline
-// retirement, try_submit load-shedding, and the SwapArena.
+// retirement, try_submit load-shedding, and the KvTierStore host budget.
 
 #include <gtest/gtest.h>
 
@@ -17,7 +17,7 @@
 #include "serve/engine.h"
 #include "serve/sched/fcfs.h"
 #include "serve/sched/priority.h"
-#include "serve/sched/swap_arena.h"
+#include "serve/kv_tier/kv_tier.h"
 #include "serve/spec/proposer.h"
 #include "serve/trace.h"
 
@@ -191,45 +191,51 @@ TEST(FcfsSched, HeadOfLineNoVictimsNoBypass) {
 }
 
 // ---------------------------------------------------------------------------
-// SwapArena
+// KvTierStore host tier (the former SwapArena budget semantics)
 // ---------------------------------------------------------------------------
 
-TEST(SwapArena, BudgetAccountingAndRefusal) {
-  serve::sched::SwapArena arena(100);  // bytes
-  serve::sched::SwapArena::Entry big;
+TEST(KvTierHostBudget, BudgetAccountingAndRefusal) {
+  using serve::kv_tier::KvTierStore;
+  using serve::kv_tier::Space;
+  serve::KvTierConfig tc;
+  tc.host_tier_bytes = 100;  // no disk tier: over-budget stores refuse
+  KvTierStore store(tc);
+
+  KvTierStore::Entry big;
   big.data.assign(30, 1.0f);  // 120 bytes: over budget
   big.tokens = 3;
-  EXPECT_FALSE(arena.try_store(1, std::move(big)));
-  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_FALSE(store.store(Space::kPreempt, 1, std::move(big)));
+  EXPECT_EQ(store.stats().host_bytes_used, 0u);
 
-  serve::sched::SwapArena::Entry fits;
+  KvTierStore::Entry fits;
   fits.data.assign(20, 2.0f);  // 80 bytes
   fits.tokens = 2;
-  ASSERT_TRUE(arena.try_store(1, std::move(fits)));
-  EXPECT_EQ(arena.bytes_used(), 80u);
-  EXPECT_TRUE(arena.contains(1));
+  ASSERT_TRUE(store.store(Space::kPreempt, 1, std::move(fits)));
+  EXPECT_EQ(store.stats().host_bytes_used, 80u);
+  EXPECT_TRUE(store.contains(Space::kPreempt, 1));
 
-  serve::sched::SwapArena::Entry second;
+  KvTierStore::Entry second;
   second.data.assign(8, 3.0f);  // 32 bytes: 80 + 32 > 100
   second.tokens = 1;
-  EXPECT_FALSE(arena.try_store(2, std::move(second)));
+  EXPECT_FALSE(store.store(Space::kPreempt, 2, std::move(second)));
 
-  const auto entry = arena.take(1);
-  EXPECT_EQ(entry.tokens, 2);
-  EXPECT_EQ(entry.data.size(), 20u);
-  EXPECT_EQ(arena.bytes_used(), 0u);
-  EXPECT_EQ(arena.count(), 0u);
-  EXPECT_EQ(arena.peak_bytes(), 80u);
-  EXPECT_EQ(arena.swaps(), 1u);
-  EXPECT_THROW(arena.take(1), Error);
+  const auto entry = store.take(Space::kPreempt, 1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->tokens, 2);
+  EXPECT_EQ(entry->data.size(), 20u);
+  EXPECT_EQ(store.stats().host_bytes_used, 0u);
+  EXPECT_EQ(store.stats().host_entries, 0u);
+  EXPECT_EQ(store.stats().peak_host_bytes, 80u);
+  EXPECT_EQ(store.stats().stores, 1u);
+  EXPECT_FALSE(store.take(Space::kPreempt, 1).has_value());
 
-  serve::sched::SwapArena::Entry third;
+  KvTierStore::Entry third;
   third.data.assign(4, 4.0f);
   third.tokens = 1;
-  ASSERT_TRUE(arena.try_store(3, std::move(third)));
-  arena.drop(3);
-  EXPECT_FALSE(arena.contains(3));
-  EXPECT_EQ(arena.bytes_used(), 0u);
+  ASSERT_TRUE(store.store(Space::kPreempt, 3, std::move(third)));
+  store.drop(Space::kPreempt, 3);
+  EXPECT_FALSE(store.contains(Space::kPreempt, 3));
+  EXPECT_EQ(store.stats().host_bytes_used, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -383,9 +389,9 @@ void check_preempt_resume_byte_identity(PreemptMode mode, Flavor flavor,
   }
   EXPECT_GE(low_preemptions, 1);
   if (mode == PreemptMode::kSwap) {
-    EXPECT_GE(pressured.swap_arena().swaps(), 1u);
-    EXPECT_EQ(pressured.swap_arena().count(), 0u);  // all taken back
-    EXPECT_EQ(pressured.swap_arena().bytes_used(), 0u);
+    EXPECT_GE(pressured.tier().stats().stores, 1u);
+    EXPECT_EQ(pressured.tier().stats().host_entries, 0u);  // all taken back
+    EXPECT_EQ(pressured.tier().stats().host_bytes_used, 0u);
   }
   EXPECT_TRUE(pressured.kv_pool().all_free());
 }
