@@ -22,10 +22,15 @@
 //       --host-tier-mb/--disk-tier-mb/--spill-dir budget the tiered KV
 //       store (parked sessions + preemption survival; 0 = unbounded host,
 //       disk disabled);
+//       --gemm-tune turns on the per-shape GEMM autotuner (byte-neutral),
+//       --decode-quant int8|bf16|off runs decode/verify forwards on
+//       weight-quantized kernels (prefill stays fp32), and
+//       --tune-cache FILE persists the tuner's shape cache as JSON;
 //       --json prints the run's ServerStats as one JSON document instead of
 //       the human-readable report
 //   matgpt_cli serve-http [--port P] [--tp N] [--host-tier-mb B]
-//       [--disk-tier-mb B] [--spill-dir DIR]
+//       [--disk-tier-mb B] [--spill-dir DIR] [--gemm-tune]
+//       [--decode-quant F] [--tune-cache FILE]
 //       start the epoll HTTP front end (POST /v1/generate streams tokens as
 //       chunked transfer encoding, DELETE /v1/requests/{id} cancels,
 //       POST /v1/sessions + /v1/sessions/{id}/generate run multi-turn
@@ -84,9 +89,13 @@ int usage() {
                "      [--scheduler fcfs|priority] [--prefill-chunk C]"
                " [--priority-mix H:L] [--deadline-ms D] [--tp N]\n"
                "      [--host-tier-mb B] [--disk-tier-mb B]"
-               " [--spill-dir DIR] [--json]\n"
+               " [--spill-dir DIR]\n"
+               "      [--gemm-tune] [--decode-quant int8|bf16|off]"
+               " [--tune-cache FILE] [--json]\n"
                "  matgpt_cli serve-http [--port P] [--tp N]"
                " [--host-tier-mb B] [--disk-tier-mb B] [--spill-dir DIR]\n"
+               "      [--gemm-tune] [--decode-quant int8|bf16|off]"
+               " [--tune-cache FILE]\n"
                "  matgpt_cli load-gen --port P [--requests N] [--rate R]"
                " [--concurrency C] [--seed S] [--slo-ms M]\n");
   return 2;
@@ -224,6 +233,45 @@ int cmd_search(double min_b, double max_b) {
   return 0;
 }
 
+/// The CLI's GEMM knobs, shared by serve-bench and serve-http.
+struct GemmOpts {
+  bool autotune = false;
+  kernels::WeightFormat decode_quant = kernels::WeightFormat::kF32;
+  std::string tune_cache;
+};
+
+/// --decode-quant spellings; returns false on an unknown format name.
+bool parse_decode_quant(const std::string& name,
+                        kernels::WeightFormat* format) {
+  if (name == "int8") {
+    *format = kernels::WeightFormat::kInt8;
+  } else if (name == "bf16") {
+    *format = kernels::WeightFormat::kBf16;
+  } else if (name == "off" || name == "f32") {
+    *format = kernels::WeightFormat::kF32;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void apply_gemm_opts(serve::EngineConfig& ec, const GemmOpts& opts) {
+  ec.gemm_autotune = opts.autotune;
+  ec.decode_quant = opts.decode_quant;
+  ec.tune_cache_path = opts.tune_cache;
+}
+
+void print_gemm_banner(const GemmOpts& opts) {
+  if (!opts.autotune && opts.decode_quant == kernels::WeightFormat::kF32) {
+    return;
+  }
+  std::printf("gemm: autotune %s, decode quant %s%s%s\n",
+              opts.autotune ? "on" : "off",
+              kernels::format_name(opts.decode_quant),
+              opts.tune_cache.empty() ? "" : ", tune cache ",
+              opts.tune_cache.c_str());
+}
+
 // Continuous-batching serving demo: client threads (a dedicated ThreadPool)
 // replay a synthetic trace through the engine's bounded admission queue while
 // this thread drives the scheduler loop — the deployment shape, minus the
@@ -244,6 +292,7 @@ struct ServeBenchOpts {
   std::int64_t host_tier_mb = 0;  // 0 = unbounded host tier
   std::int64_t disk_tier_mb = 0;  // 0 = disk tier disabled
   std::string spill_dir = "matgpt_spill";
+  GemmOpts gemm;
   bool json = false;
 };
 
@@ -311,6 +360,7 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
   // divisibility check in TpModel's constructor with a precise message.
   ec.tensor_parallel = opts.tp;
   apply_tier_opts(ec, opts.host_tier_mb, opts.disk_tier_mb, opts.spill_dir);
+  apply_gemm_opts(ec, opts.gemm);
   if (spec_k > 0) {
     MGPT_CHECK(draft_layers >= 1 && draft_layers <= mc.n_layers,
                "--draft-layers must be in [1, " << mc.n_layers << "]");
@@ -354,6 +404,7 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
                   100.0 * spec.shared_prefix_fraction,
                   static_cast<long long>(spec.shared_prefix_len));
     }
+    print_gemm_banner(opts.gemm);
   }
 
   std::vector<std::future<serve::RequestResult>> futures(trace.size());
@@ -419,7 +470,7 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 int cmd_serve_http(std::uint16_t port, std::int64_t tp,
                    std::int64_t host_tier_mb, std::int64_t disk_tier_mb,
-                   const std::string& spill_dir) {
+                   const std::string& spill_dir, const GemmOpts& gemm) {
   const nn::GptConfig mc = serving_model_config();
   nn::GptModel model(mc);
 
@@ -429,6 +480,7 @@ int cmd_serve_http(std::uint16_t port, std::int64_t tp,
   ec.queue_capacity = 16;
   ec.tensor_parallel = tp;
   apply_tier_opts(ec, host_tier_mb, disk_tier_mb, spill_dir);
+  apply_gemm_opts(ec, gemm);
   serve::InferenceEngine engine(model, ec);
   engine.start();
 
@@ -465,6 +517,7 @@ int cmd_serve_http(std::uint16_t port, std::int64_t tp,
                 static_cast<long long>(host_tier_mb),
                 static_cast<long long>(disk_tier_mb), spill_dir.c_str());
   }
+  print_gemm_banner(gemm);
   std::printf("Ctrl-C to drain and exit.\n");
 
   struct sigaction sa = {};
@@ -614,6 +667,14 @@ int main(int argc, char** argv) {
           opts.disk_tier_mb = std::atoll(argv[++i]);
         } else if (arg == "--spill-dir" && i + 1 < argc) {
           opts.spill_dir = argv[++i];
+        } else if (arg == "--gemm-tune") {
+          opts.gemm.autotune = true;
+        } else if (arg == "--decode-quant" && i + 1 < argc) {
+          if (!parse_decode_quant(argv[++i], &opts.gemm.decode_quant)) {
+            return usage();
+          }
+        } else if (arg == "--tune-cache" && i + 1 < argc) {
+          opts.gemm.tune_cache = argv[++i];
         } else if (arg == "--json") {
           opts.json = true;
         } else if (pos < positional.size()) {
@@ -637,6 +698,7 @@ int main(int argc, char** argv) {
       std::int64_t tp = 1;
       std::int64_t host_tier_mb = 0, disk_tier_mb = 0;
       std::string spill_dir = "matgpt_spill";
+      GemmOpts gemm;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--port" && i + 1 < argc) {
@@ -649,6 +711,14 @@ int main(int argc, char** argv) {
           disk_tier_mb = std::atoll(argv[++i]);
         } else if (arg == "--spill-dir" && i + 1 < argc) {
           spill_dir = argv[++i];
+        } else if (arg == "--gemm-tune") {
+          gemm.autotune = true;
+        } else if (arg == "--decode-quant" && i + 1 < argc) {
+          if (!parse_decode_quant(argv[++i], &gemm.decode_quant)) {
+            return usage();
+          }
+        } else if (arg == "--tune-cache" && i + 1 < argc) {
+          gemm.tune_cache = argv[++i];
         } else {
           return usage();
         }
@@ -657,7 +727,8 @@ int main(int argc, char** argv) {
           spill_dir.empty()) {
         return usage();
       }
-      return cmd_serve_http(port, tp, host_tier_mb, disk_tier_mb, spill_dir);
+      return cmd_serve_http(port, tp, host_tier_mb, disk_tier_mb, spill_dir,
+                            gemm);
     }
     if (cmd == "load-gen") {
       LoadGenOpts opts;

@@ -310,21 +310,21 @@ double KvCache::bytes() const {
 }
 
 Var SelfAttention::forward_cached(Tape& tape, const Var& x, std::int64_t seq,
-                                  KvCacheLayer& slot,
-                                  std::int64_t past_len) const {
+                                  KvCacheLayer& slot, std::int64_t past_len,
+                                  FwdPath path) const {
   if (slot.paged()) {
     // Paged slots have no contiguous keys/values view for ops::attention to
     // read, so every shape routes through verify_append's per-row causal
     // path — already contractually bit-identical to this one (prefill row t
     // attends over [0, t]; the single decode token attends over the full
     // history with itself last).
-    return verify_append(tape, x, seq, slot, past_len);
+    return verify_append(tape, x, seq, slot, past_len, path);
   }
   MGPT_CHECK(past_len == 0 || seq == 1,
              "incremental decode appends one token at a time");
   const std::int64_t head_dim = hidden_ / n_heads_;
   auto heads = [&](const Linear& proj, std::int64_t n_heads) {
-    return ops::reshape(tape, proj.forward(tape, x),
+    return ops::reshape(tape, proj.forward(tape, x, path),
                         {1, seq, n_heads, head_dim});
   };
   Var q = ops::rope(tape, heads(q_proj_, n_heads_), rope_theta_,
@@ -341,7 +341,8 @@ Var SelfAttention::forward_cached(Tape& tape, const Var& x, std::int64_t seq,
   // history (the single new token is the last position anyway).
   const bool causal = past_len == 0;
   Var attn = ops::attention(tape, q, k_all, v_all, causal, flash_);
-  return o_proj_.forward(tape, ops::reshape(tape, attn, {seq, hidden_}));
+  return o_proj_.forward(tape, ops::reshape(tape, attn, {seq, hidden_}),
+                         path);
 }
 
 Var SelfAttention::decode_step(Tape& tape, const Var& x,
@@ -356,13 +357,15 @@ Var SelfAttention::decode_step(Tape& tape, const Var& x,
   // across the whole batch — the sequential path pays it once per sequence.
   Var q = ops::rope_rows(
       tape,
-      ops::reshape(tape, q_proj_.forward(tape, x), {n, n_heads_, head_dim}),
+      ops::reshape(tape, q_proj_.forward(tape, x, FwdPath::kDecode),
+                   {n, n_heads_, head_dim}),
       past_lens, rope_theta_, rotary_fraction_);
   Var k_new = ops::rope_rows(
       tape,
-      ops::reshape(tape, k_proj_.forward(tape, x), {n, n_kv_heads_, head_dim}),
+      ops::reshape(tape, k_proj_.forward(tape, x, FwdPath::kDecode),
+                   {n, n_kv_heads_, head_dim}),
       past_lens, rope_theta_, rotary_fraction_);
-  Var v_new = ops::reshape(tape, v_proj_.forward(tape, x),
+  Var v_new = ops::reshape(tape, v_proj_.forward(tape, x, FwdPath::kDecode),
                            {n, n_kv_heads_, head_dim});
 
   const std::int64_t row = n_kv_heads_ * head_dim;
@@ -388,12 +391,12 @@ Var SelfAttention::decode_step(Tape& tape, const Var& x,
     }
   }
   Var attn = ops::decode_attention(tape, q, histories, n_kv_heads_, flash_);
-  return o_proj_.forward(tape, attn);
+  return o_proj_.forward(tape, attn, FwdPath::kDecode);
 }
 
 Var SelfAttention::verify_append(Tape& tape, const Var& x, std::int64_t seq,
-                                 KvCacheLayer& slot,
-                                 std::int64_t past_len) const {
+                                 KvCacheLayer& slot, std::int64_t past_len,
+                                 FwdPath path) const {
   MGPT_CHECK(seq > 0, "verify_append requires tokens");
   MGPT_CHECK(slot.length() == past_len,
              "KV slot length disagrees with past_len");
@@ -406,7 +409,7 @@ Var SelfAttention::verify_append(Tape& tape, const Var& x, std::int64_t seq,
     positions[static_cast<std::size_t>(t)] = past_len + t;
   }
   auto heads = [&](const Linear& proj, std::int64_t n_heads) {
-    return ops::reshape(tape, proj.forward(tape, x),
+    return ops::reshape(tape, proj.forward(tape, x, path),
                         {seq, n_heads, head_dim});
   };
   Var q = ops::rope_rows(tape, heads(q_proj_, n_heads_), positions,
@@ -436,7 +439,14 @@ Var SelfAttention::verify_append(Tape& tape, const Var& x, std::int64_t seq,
     }
   }
   Var attn = ops::decode_attention(tape, q, histories, n_kv_heads_, flash_);
-  return o_proj_.forward(tape, attn);
+  return o_proj_.forward(tape, attn, path);
+}
+
+void SelfAttention::prepare_decode_quant(kernels::WeightFormat format) const {
+  q_proj_.set_decode_weights(format);
+  k_proj_.set_decode_weights(format);
+  v_proj_.set_decode_weights(format);
+  o_proj_.set_decode_weights(format);
 }
 
 Var SelfAttention::forward(Tape& tape, const Var& x, std::int64_t batch,
@@ -504,18 +514,19 @@ Var TransformerBlock::forward(Tape& tape, const Var& x, std::int64_t batch,
 
 Var TransformerBlock::forward_cached(Tape& tape, const Var& x,
                                      std::int64_t seq, KvCacheLayer& slot,
-                                     std::int64_t past_len) const {
+                                     std::int64_t past_len,
+                                     FwdPath path) const {
   if (arch_ == ArchFamily::kNeoX) {
     Var attn_out = attn_.forward_cached(tape, ln1_->forward(tape, x), seq,
-                                        slot, past_len);
-    Var mlp_out = gelu_mlp_->forward(tape, ln2_->forward(tape, x));
+                                        slot, past_len, path);
+    Var mlp_out = gelu_mlp_->forward(tape, ln2_->forward(tape, x), path);
     return ops::add(tape, x, ops::add(tape, attn_out, mlp_out));
   }
   Var h = ops::add(tape, x,
                    attn_.forward_cached(tape, rms1_->forward(tape, x), seq,
-                                        slot, past_len));
+                                        slot, past_len, path));
   return ops::add(tape, h,
-                  swiglu_mlp_->forward(tape, rms2_->forward(tape, h)));
+                  swiglu_mlp_->forward(tape, rms2_->forward(tape, h), path));
 }
 
 Var TransformerBlock::decode_step(
@@ -524,30 +535,40 @@ Var TransformerBlock::decode_step(
   if (arch_ == ArchFamily::kNeoX) {
     Var attn_out = attn_.decode_step(tape, ln1_->forward(tape, x), slots,
                                      past_lens);
-    Var mlp_out = gelu_mlp_->forward(tape, ln2_->forward(tape, x));
+    Var mlp_out =
+        gelu_mlp_->forward(tape, ln2_->forward(tape, x), FwdPath::kDecode);
     return ops::add(tape, x, ops::add(tape, attn_out, mlp_out));
   }
   Var h = ops::add(tape, x,
                    attn_.decode_step(tape, rms1_->forward(tape, x), slots,
                                      past_lens));
-  return ops::add(tape, h,
-                  swiglu_mlp_->forward(tape, rms2_->forward(tape, h)));
+  return ops::add(
+      tape, h,
+      swiglu_mlp_->forward(tape, rms2_->forward(tape, h), FwdPath::kDecode));
 }
 
 Var TransformerBlock::verify_append(Tape& tape, const Var& x,
                                     std::int64_t seq, KvCacheLayer& slot,
-                                    std::int64_t past_len) const {
+                                    std::int64_t past_len,
+                                    FwdPath path) const {
   if (arch_ == ArchFamily::kNeoX) {
     Var attn_out = attn_.verify_append(tape, ln1_->forward(tape, x), seq,
-                                       slot, past_len);
-    Var mlp_out = gelu_mlp_->forward(tape, ln2_->forward(tape, x));
+                                       slot, past_len, path);
+    Var mlp_out = gelu_mlp_->forward(tape, ln2_->forward(tape, x), path);
     return ops::add(tape, x, ops::add(tape, attn_out, mlp_out));
   }
   Var h = ops::add(tape, x,
                    attn_.verify_append(tape, rms1_->forward(tape, x), seq,
-                                       slot, past_len));
+                                       slot, past_len, path));
   return ops::add(tape, h,
-                  swiglu_mlp_->forward(tape, rms2_->forward(tape, h)));
+                  swiglu_mlp_->forward(tape, rms2_->forward(tape, h), path));
+}
+
+void TransformerBlock::prepare_decode_quant(
+    kernels::WeightFormat format) const {
+  attn_.prepare_decode_quant(format);
+  if (gelu_mlp_) gelu_mlp_->set_decode_weights(format);
+  if (swiglu_mlp_) swiglu_mlp_->set_decode_weights(format);
 }
 
 GptModel::GptModel(GptConfig config)
@@ -622,6 +643,17 @@ Var GptModel::hidden_states(Tape& tape,
 Var GptModel::forward_incremental(Tape& tape,
                                   std::span<const std::int32_t> tokens,
                                   KvCache& cache) const {
+  // A single token against a primed cache is a decode step; everything else
+  // (cold prefill, partial prefill) is prompt processing.
+  const FwdPath path = (cache.length > 0 && tokens.size() == 1)
+                           ? FwdPath::kDecode
+                           : FwdPath::kPrefill;
+  return forward_incremental(tape, tokens, cache, path);
+}
+
+Var GptModel::forward_incremental(Tape& tape,
+                                  std::span<const std::int32_t> tokens,
+                                  KvCache& cache, FwdPath path) const {
   MGPT_CHECK(!tokens.empty(), "forward_incremental requires tokens");
   MGPT_CHECK(cache.length + static_cast<std::int64_t>(tokens.size()) <=
                  config_.max_seq,
@@ -639,9 +671,9 @@ Var GptModel::forward_incremental(Tape& tape,
   const bool partial = cache.length > 0 && seq > 1;
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
     h = partial ? blocks_[i]->verify_append(tape, h, seq, cache.layers[i],
-                                            cache.length)
+                                            cache.length, path)
                 : blocks_[i]->forward_cached(tape, h, seq, cache.layers[i],
-                                             cache.length);
+                                             cache.length, path);
   }
   cache.length += seq;
   // Only the last position's logits are ever sampled, so prefill skips the
@@ -650,7 +682,7 @@ Var GptModel::forward_incremental(Tape& tape,
   // surviving row is bit-identical to its row in a full-width projection.
   if (seq > 1) h = ops::slice_rows(tape, h, seq - 1, seq);
   h = final_ln_ ? final_ln_->forward(tape, h) : final_rms_->forward(tape, h);
-  return lm_head_->forward(tape, h);
+  return lm_head_->forward(tape, h, path);
 }
 
 Var GptModel::verify_append(Tape& tape, std::span<const std::int32_t> tokens,
@@ -678,7 +710,7 @@ Var GptModel::verify_append(Tape& tape, std::span<const std::int32_t> tokens,
   }
   cache.length += seq;
   h = final_ln_ ? final_ln_->forward(tape, h) : final_rms_->forward(tape, h);
-  return lm_head_->forward(tape, h);
+  return lm_head_->forward(tape, h, FwdPath::kDecode);
 }
 
 Var GptModel::decode_batch(Tape& tape, std::span<const std::int32_t> tokens,
@@ -714,7 +746,13 @@ Var GptModel::decode_batch(Tape& tape, std::span<const std::int32_t> tokens,
     caches[static_cast<std::size_t>(i)]->length += 1;
   }
   h = final_ln_ ? final_ln_->forward(tape, h) : final_rms_->forward(tape, h);
-  return lm_head_->forward(tape, h);
+  return lm_head_->forward(tape, h, FwdPath::kDecode);
+}
+
+void GptModel::prepare_decode_quant(kernels::WeightFormat format) const {
+  for (const auto& block : blocks_) block->prepare_decode_quant(format);
+  lm_head_->set_decode_weights(format);
+  decode_quant_ = format;
 }
 
 std::vector<std::int32_t> GptModel::generate_cached(

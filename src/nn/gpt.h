@@ -183,8 +183,12 @@ class SelfAttention : public Module {
   /// Incremental decode step (batch 1): rotates this call's tokens at
   /// positions [past_len, past_len + seq), appends K/V to `slot`, and
   /// attends over the full history. past_len > 0 requires seq == 1.
+  /// `path` selects fp32 (kPrefill) vs. quantized (kDecode) projection
+  /// weights when a quantized sidecar is installed; it never changes
+  /// attention semantics.
   Var forward_cached(Tape& tape, const Var& x, std::int64_t seq,
-                     KvCacheLayer& slot, std::int64_t past_len) const;
+                     KvCacheLayer& slot, std::int64_t past_len,
+                     FwdPath path = FwdPath::kPrefill) const;
 
   /// Ragged-batch decode: x is [N, C], one new token per sequence; slot i
   /// holds sequence i's history with past_lens[i] cached tokens. Appends
@@ -201,7 +205,12 @@ class SelfAttention : public Module {
   /// row t is bit-identical to a batch-1 forward_cached of token t alone
   /// (the speculative-decoding acceptance contract). past_len may be 0.
   Var verify_append(Tape& tape, const Var& x, std::int64_t seq,
-                    KvCacheLayer& slot, std::int64_t past_len) const;
+                    KvCacheLayer& slot, std::int64_t past_len,
+                    FwdPath path = FwdPath::kDecode) const;
+
+  /// Install (kF32: drop) quantized decode sidecars on all four
+  /// projections. Call before serving; not thread-safe vs. forwards.
+  void prepare_decode_quant(kernels::WeightFormat format) const;
 
  private:
   std::int64_t hidden_;
@@ -227,7 +236,8 @@ class TransformerBlock : public Module {
 
   /// Incremental-decode counterpart of forward (batch 1, no dropout).
   Var forward_cached(Tape& tape, const Var& x, std::int64_t seq,
-                     KvCacheLayer& slot, std::int64_t past_len) const;
+                     KvCacheLayer& slot, std::int64_t past_len,
+                     FwdPath path = FwdPath::kPrefill) const;
 
   /// Ragged-batch decode counterpart of forward_cached (see
   /// SelfAttention::decode_step).
@@ -238,7 +248,11 @@ class TransformerBlock : public Module {
   /// Multi-token verify counterpart of forward_cached (see
   /// SelfAttention::verify_append).
   Var verify_append(Tape& tape, const Var& x, std::int64_t seq,
-                    KvCacheLayer& slot, std::int64_t past_len) const;
+                    KvCacheLayer& slot, std::int64_t past_len,
+                    FwdPath path = FwdPath::kDecode) const;
+
+  /// Quantized-decode sidecars for the block's attention + MLP linears.
+  void prepare_decode_quant(kernels::WeightFormat format) const;
 
  private:
   ArchFamily arch_;
@@ -296,8 +310,15 @@ class GptModel : public Module {
   /// the serving prefix cache; the suffix rows go through the same per-row
   /// causal path as verify_append, so the surviving logits row is
   /// bit-identical to a cold full-prompt prefill's).
+  /// The serving path infers kPrefill for prompt shapes (empty cache, or a
+  /// partial prefill) and kDecode for single-token steps on a primed cache;
+  /// the explicit overload lets the engine force the classification (a
+  /// one-token prefill CHUNK must stay kPrefill so chunked ≡ whole prefill
+  /// holds under quantized decode).
   Var forward_incremental(Tape& tape, std::span<const std::int32_t> tokens,
                           KvCache& cache) const;
+  Var forward_incremental(Tape& tape, std::span<const std::int32_t> tokens,
+                          KvCache& cache, FwdPath path) const;
 
   /// Ragged-batch decode: one new token per sequence (tokens[i] against
   /// caches[i], which must be primed by a prefill). Returns logits [N, V]
@@ -329,6 +350,14 @@ class GptModel : public Module {
       std::span<const std::int32_t> prompt, std::int64_t max_new_tokens,
       float temperature, Rng& rng) const;
 
+  /// Install (kF32: drop) bf16/int8 decode sidecars on every attention and
+  /// MLP projection plus the lm_head (token embedding stays fp32). Decode,
+  /// ragged-batch decode, and speculative verify then run the quantized
+  /// kernels; prefill, training, and gradients always stay fp32. Call
+  /// before serving traffic — not thread-safe against running forwards.
+  void prepare_decode_quant(kernels::WeightFormat format) const;
+  kernels::WeightFormat decode_quant_format() const { return decode_quant_; }
+
  private:
   GptConfig config_;
   Var tok_emb_;
@@ -337,6 +366,7 @@ class GptModel : public Module {
   std::unique_ptr<RMSNorm> final_rms_;
   std::unique_ptr<Linear> lm_head_;
   mutable Rng dropout_rng_;
+  mutable kernels::WeightFormat decode_quant_ = kernels::WeightFormat::kF32;
 };
 
 }  // namespace matgpt::nn

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "tensor/gemm_tune.h"
 
 namespace matgpt::nn {
 
@@ -20,16 +21,31 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
   }
 }
 
-Var Linear::forward(Tape& tape, const Var& x) const {
+Var Linear::forward(Tape& tape, const Var& x, FwdPath path) const {
   MGPT_CHECK(x.value().dim(-1) == in_,
              "Linear expects feature dim " << in_ << ", got "
                                            << x.value().shape_str());
   Var flat = x.value().ndim() == 2
                  ? x
                  : ops::reshape(tape, x, {-1, in_});
-  Var y = ops::matmul(tape, flat, weight_);
+  const gemm_tune::QuantWeights* qw =
+      path == FwdPath::kDecode ? quant_.get() : nullptr;
+  Var y = ops::linear_matmul(tape, flat, weight_, qw);
   if (bias_.defined()) y = ops::add_bias(tape, y, bias_);
   return y;
+}
+
+void Linear::set_decode_weights(kernels::WeightFormat format) const {
+  if (format == kernels::WeightFormat::kF32) {
+    quant_.reset();
+    return;
+  }
+  quant_ = std::make_shared<const gemm_tune::QuantWeights>(
+      gemm_tune::quantize_weights(weight_.value().data(), in_, out_, format));
+}
+
+kernels::WeightFormat Linear::decode_format() const {
+  return quant_ ? quant_->format : kernels::WeightFormat::kF32;
 }
 
 LayerNorm::LayerNorm(std::int64_t features, float eps) : eps_(eps) {
@@ -58,8 +74,14 @@ GeluMlp::GeluMlp(std::int64_t hidden, Rng& rng, float out_init_scale)
   register_submodule("down", down_);
 }
 
-Var GeluMlp::forward(Tape& tape, const Var& x) const {
-  return down_.forward(tape, ops::gelu(tape, up_.forward(tape, x)));
+Var GeluMlp::forward(Tape& tape, const Var& x, FwdPath path) const {
+  return down_.forward(tape, ops::gelu(tape, up_.forward(tape, x, path)),
+                       path);
+}
+
+void GeluMlp::set_decode_weights(kernels::WeightFormat format) const {
+  up_.set_decode_weights(format);
+  down_.set_decode_weights(format);
 }
 
 std::int64_t SwiGluMlp::inner_dim_for(std::int64_t hidden,
@@ -82,10 +104,16 @@ SwiGluMlp::SwiGluMlp(std::int64_t hidden, Rng& rng, float out_init_scale,
   register_submodule("down", down_);
 }
 
-Var SwiGluMlp::forward(Tape& tape, const Var& x) const {
-  Var g = ops::silu(tape, gate_.forward(tape, x));
-  Var u = up_.forward(tape, x);
-  return down_.forward(tape, ops::mul(tape, g, u));
+Var SwiGluMlp::forward(Tape& tape, const Var& x, FwdPath path) const {
+  Var g = ops::silu(tape, gate_.forward(tape, x, path));
+  Var u = up_.forward(tape, x, path);
+  return down_.forward(tape, ops::mul(tape, g, u), path);
+}
+
+void SwiGluMlp::set_decode_weights(kernels::WeightFormat format) const {
+  gate_.set_decode_weights(format);
+  up_.set_decode_weights(format);
+  down_.set_decode_weights(format);
 }
 
 }  // namespace matgpt::nn

@@ -7,12 +7,22 @@
 // architecture comparison relies on.
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.h"
 #include "nn/module.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace matgpt::nn {
+
+/// Which serving phase a forward belongs to. Decode/verify forwards may use
+/// a Linear's quantized decode weights; prefill forwards always run fp32 so
+/// prefill identities (chunked ≡ whole, cache-hit ≡ cold) are preserved no
+/// matter how the scheduler slices a prompt. The classification is made by
+/// the CALL SITE, never inferred from row counts — a one-token prefill
+/// chunk must still be a prefill.
+enum class FwdPath : std::uint8_t { kPrefill, kDecode };
 
 /// y = x W (+ b); weight stored [in, out] so forward is a plain NN GEMM.
 class Linear : public Module {
@@ -20,8 +30,17 @@ class Linear : public Module {
   Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
          Rng& rng, float init_scale = 1.0f);
 
-  /// x: [N, in] -> [N, out].
-  Var forward(Tape& tape, const Var& x) const;
+  /// x: [N, in] -> [N, out]. The GEMM goes through the autotuner's
+  /// per-shape tiling cache (byte-neutral); kDecode additionally uses the
+  /// quantized decode weights when set_decode_weights installed them.
+  Var forward(Tape& tape, const Var& x,
+              FwdPath path = FwdPath::kPrefill) const;
+
+  /// Build (or with kF32: drop) the quantized decode sidecar of the
+  /// current fp32 weights. Not thread-safe against concurrent forwards —
+  /// call before serving starts. Gradients and prefill are unaffected.
+  void set_decode_weights(kernels::WeightFormat format) const;
+  kernels::WeightFormat decode_format() const;
 
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }
@@ -31,6 +50,9 @@ class Linear : public Module {
   std::int64_t out_;
   Var weight_;
   Var bias_;  // undefined when bias == false
+  // Decode-only weight re-encoding; shared_ptr so a forward that grabbed it
+  // stays valid if a later set_decode_weights swaps the sidecar.
+  mutable std::shared_ptr<const gemm_tune::QuantWeights> quant_;
 };
 
 /// LayerNorm over the last dim with affine parameters (NeoX style).
@@ -60,7 +82,9 @@ class RMSNorm : public Module {
 class GeluMlp : public Module {
  public:
   GeluMlp(std::int64_t hidden, Rng& rng, float out_init_scale);
-  Var forward(Tape& tape, const Var& x) const;
+  Var forward(Tape& tape, const Var& x,
+              FwdPath path = FwdPath::kPrefill) const;
+  void set_decode_weights(kernels::WeightFormat format) const;
   std::int64_t inner_dim() const { return up_.out_features(); }
 
  private:
@@ -75,7 +99,9 @@ class SwiGluMlp : public Module {
  public:
   SwiGluMlp(std::int64_t hidden, Rng& rng, float out_init_scale,
             std::int64_t round_multiple = 8);
-  Var forward(Tape& tape, const Var& x) const;
+  Var forward(Tape& tape, const Var& x,
+              FwdPath path = FwdPath::kPrefill) const;
+  void set_decode_weights(kernels::WeightFormat format) const;
   std::int64_t inner_dim() const { return gate_.out_features(); }
 
   /// The inner width used for a given hidden size (shared with the

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "nn/sampling.h"
+#include "tensor/gemm_tune.h"
 
 namespace matgpt::serve {
 
@@ -16,12 +17,7 @@ double secs(std::chrono::steady_clock::duration d) {
 
 // Validates before the member-init list runs, so a bad config throws its
 // own message instead of whatever the KV pool's constructor says first.
-// Also folds the deprecated swap_arena_bytes alias into its successor
-// knob, kv_tier.host_tier_bytes (alias removed next PR).
 EngineConfig validated(EngineConfig config) {
-  if (config.swap_arena_bytes != 0 && config.kv_tier.host_tier_bytes == 0) {
-    config.kv_tier.host_tier_bytes = config.swap_arena_bytes;
-  }
   config.validate();
   return config;
 }
@@ -54,6 +50,13 @@ void EngineConfig::validate() const {
   MGPT_CHECK(kv_tier.disk_tier_bytes == 0 || !kv_tier.spill_dir.empty(),
              "EngineConfig: kv_tier.disk_tier_bytes > 0 requires a "
              "spill_dir for the spill files");
+  MGPT_CHECK(tune_cache_path.empty() || gemm_autotune,
+             "EngineConfig: tune_cache_path persists the autotuner cache; "
+             "enable gemm_autotune or clear the path");
+  MGPT_CHECK(decode_quant == kernels::WeightFormat::kF32 ||
+                 tensor_parallel == 1,
+             "EngineConfig: decode_quant requires tensor_parallel == 1 (the "
+             "sharded forwards have no quantized kernels)");
 }
 
 namespace {
@@ -171,12 +174,35 @@ InferenceEngine::InferenceEngine(const nn::GptModel& model,
     std::lock_guard lock(stats_mutex_);
     stats_.set_tp(config_.tensor_parallel, tp::layout_name(config_.tp_layout));
   }
+  // The tuner is process-global, so the engine always states its intent —
+  // kOff when autotuning is off — rather than inheriting whatever mode a
+  // previously constructed engine left behind.
+  gemm_tune::GemmTuner::Config tuner_config;
+  tuner_config.mode = config_.gemm_autotune
+                          ? gemm_tune::GemmTuner::Mode::kMeasure
+                          : gemm_tune::GemmTuner::Mode::kOff;
+  gemm_tune::GemmTuner::instance().configure(tuner_config);
+  if (!config_.tune_cache_path.empty()) {
+    gemm_tune::GemmTuner::instance().load(config_.tune_cache_path);
+  }
+  // Install (or with kF32: drop) the model's quantized decode sidecars.
+  // Always called so a model previously served quantized comes back clean.
+  model_.prepare_decode_quant(config_.decode_quant);
+  if (config_.gemm_autotune ||
+      config_.decode_quant != kernels::WeightFormat::kF32) {
+    std::lock_guard lock(stats_mutex_);
+    stats_.set_gemm_config(config_.gemm_autotune,
+                           kernels::format_name(config_.decode_quant));
+  }
 }
 
 Var InferenceEngine::model_forward_incremental(
-    Tape& tape, std::span<const std::int32_t> tokens, nn::KvCache& cache) {
+    Tape& tape, std::span<const std::int32_t> tokens, nn::KvCache& cache,
+    nn::FwdPath path) {
+  // The TP forwards have no quantized kernels (decode_quant rejects TP > 1
+  // in validate()), so the path tag only matters on the local model.
   if (tp_ != nullptr) return tp_->forward_incremental(tape, tokens, cache);
-  return model_.forward_incremental(tape, tokens, cache);
+  return model_.forward_incremental(tape, tokens, cache, path);
 }
 
 Var InferenceEngine::model_decode_batch(Tape& tape,
@@ -189,7 +215,13 @@ Var InferenceEngine::model_decode_batch(Tape& tape,
 InferenceEngine::~InferenceEngine() {
   // A worker mid-decode must be joined before members destruct; drain()
   // also resolves every outstanding promise so no future is left broken.
-  if (worker_.joinable()) drain();
+  if (worker_.joinable()) {
+    drain();
+  } else if (!config_.tune_cache_path.empty()) {
+    // Worker-less engines (step() driven by the caller) never pass through
+    // drain(), so the tuner cache persists here instead.
+    gemm_tune::GemmTuner::instance().save(config_.tune_cache_path);
+  }
 }
 
 void InferenceEngine::start() {
@@ -217,6 +249,9 @@ void InferenceEngine::drain() {
     run_until_idle();
   }
   worker_running_.store(false);
+  if (!config_.tune_cache_path.empty()) {
+    gemm_tune::GemmTuner::instance().save(config_.tune_cache_path);
+  }
 }
 
 void InferenceEngine::worker_loop() {
@@ -775,7 +810,7 @@ void InferenceEngine::prefill_step(ActiveSeq& seq, Clock::time_point now) {
       std::span<const std::int32_t>(seq.tokens)
           .subspan(static_cast<std::size_t>(cur),
                    static_cast<std::size_t>(chunk)),
-      *seq.kv);
+      *seq.kv, nn::FwdPath::kPrefill);
   if (seq.kv->length < seq.prefill_target) return;  // more chunks next step
   seq.prefill_done = true;
   if (!seq.sample_first) return;  // resume: decode feeds tokens.back()
@@ -1033,7 +1068,8 @@ std::size_t InferenceEngine::decode_phase() {
         ActiveSeq& seq = active_[plain[i]];
         Tape tape;
         Var logits = model_forward_incremental(
-            tape, std::span<const std::int32_t>(&feed[i], 1), *caches[i]);
+            tape, std::span<const std::int32_t>(&feed[i], 1), *caches[i],
+            nn::FwdPath::kDecode);
         const auto now = Clock::now();
         advance(seq, sample_row(logits, 0, seq), now);
       }
@@ -1116,6 +1152,12 @@ std::size_t InferenceEngine::step() {
     std::lock_guard lock(stats_mutex_);
     stats_.record_tp(ts.jobs, ts.comm_seconds, ts.bytes_gathered,
                      ts.bytes_reduced);
+  }
+  if (config_.gemm_autotune ||
+      config_.decode_quant != kernels::WeightFormat::kF32) {
+    const gemm_tune::TunerStats gs = gemm_tune::GemmTuner::instance().stats();
+    std::lock_guard lock(stats_mutex_);
+    stats_.record_gemm(gs);
   }
   return admitted + n;
 }

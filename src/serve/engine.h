@@ -78,6 +78,7 @@
 #include "serve/sched/scheduler.h"
 #include "serve/spec/speculative.h"
 #include "serve/tp/tp_model.h"
+#include "tensor/kernels.h"
 
 namespace matgpt::serve {
 
@@ -121,10 +122,6 @@ struct EngineConfig {
   /// admit-time prefetch) backing swap-mode preemption and parked
   /// sessions. See KvTierConfig.
   KvTierConfig kv_tier;
-  /// DEPRECATED (this PR only): alias for kv_tier.host_tier_bytes, the
-  /// knob's pre-tiering name. Applied when non-zero and
-  /// kv_tier.host_tier_bytes is 0; removed next PR.
-  std::size_t swap_arena_bytes = 0;
   /// Draft proposer for speculative requests (spec_k > 0). When set, the
   /// engine reserves a second KV pool with `kv_slots` draft slots sized by
   /// the proposer's cache_config(). Null = plain decoding only.
@@ -145,13 +142,34 @@ struct EngineConfig {
   std::int64_t tensor_parallel = 1;
   /// Shard layout (see tp::TpLayout); only read when tensor_parallel > 1.
   tp::TpLayout tp_layout = tp::TpLayout::kColumnGather;
+  /// Per-shape GEMM autotuning (see tensor/gemm_tune): on first sight of a
+  /// (M, N, K, format) GEMM shape, measure the analytic cost model's top
+  /// tilings and cache the winner. Byte-neutral — every tiling produces
+  /// identical output bytes — so it composes with every identity the
+  /// engine guarantees. The tuner is process-global; the most recently
+  /// constructed engine's setting wins.
+  bool gemm_autotune = false;
+  /// JSON persistence for the tuner's shape->tiling cache: loaded at
+  /// engine construction, saved by drain(). Empty = in-memory only.
+  /// Requires gemm_autotune.
+  std::string tune_cache_path;
+  /// Weight format for decode/verify forwards (kF32 = off). Prefill always
+  /// runs fp32, so prefill identities (chunked == whole, prefix-cache hit
+  /// == cold) are untouched; decode and speculative verify always run the
+  /// quantized weights, so batched == batch-1 == speculative identities
+  /// hold WITHIN the format. Tokens differ from an fp32 engine (that is
+  /// the point), and recompute-mode preemption resume — which re-prefills
+  /// previously decoded tokens — loses bit-identity to an unpreempted run.
+  /// Requires tensor_parallel == 1.
+  kernels::WeightFormat decode_quant = kernels::WeightFormat::kF32;
   StatsConfig stats;
 
   /// Throws (MGPT_CHECK) on unserviceable knobs: max_batch <= 0,
   /// kv_slots == 0, queue_capacity == 0, kv_block_tokens <= 0 (paged), a
   /// prefix cache on a slotted pool, prefill_chunk_tokens < 0,
-  /// sched_aging_ms < 0, a disk tier without a spill_dir, or a negative
-  /// kv_tier.prefetch_depth. Called by the engine constructor before any
+  /// sched_aging_ms < 0, a disk tier without a spill_dir, a negative
+  /// kv_tier.prefetch_depth, a tune_cache_path without gemm_autotune, or
+  /// decode_quant != kF32 with tensor_parallel > 1. Called by the engine constructor before any
   /// allocation; the prefix-cache budget-vs-block check lives in the
   /// PrefixCache constructor on the same path.
   void validate() const;
@@ -371,7 +389,7 @@ class InferenceEngine {
   /// Dispatch to the tensor-parallel model when configured, else model_.
   Var model_forward_incremental(Tape& tape,
                                 std::span<const std::int32_t> tokens,
-                                nn::KvCache& cache);
+                                nn::KvCache& cache, nn::FwdPath path);
   Var model_decode_batch(Tape& tape, std::span<const std::int32_t> tokens,
                          std::span<nn::KvCache* const> caches);
 

@@ -48,7 +48,6 @@
 namespace matgpt::serve {
 
 /// Residency knobs for the tiered KV store, a sub-struct of EngineConfig.
-/// Replaces the flat `swap_arena_bytes` knob (kept one PR as an alias).
 struct KvTierConfig {
   /// Host-RAM tier byte budget (fp32 accounting). 0 = unbounded.
   std::size_t host_tier_bytes = 0;

@@ -106,6 +106,15 @@ void ServerStats::record_sessions(std::size_t live) {
   sessions_live_ = live;
 }
 
+void ServerStats::set_gemm_config(bool autotune, std::string decode_quant) {
+  gemm_autotune_ = autotune;
+  decode_quant_ = std::move(decode_quant);
+}
+
+void ServerStats::record_gemm(const gemm_tune::TunerStats& gemm) {
+  gemm_ = gemm;
+}
+
 double ServerStats::mean_request_tokens_per_s() const {
   return requests_completed_ == 0
              ? 0.0
@@ -187,6 +196,15 @@ std::string ServerStats::report(double wall_s) const {
     os << "tensor parallel:     TP=" << tp_degree_ << " (" << tp_layout_
        << "), " << tp_jobs_ << " sharded forwards, "
        << tp_comm_ms_per_job() << " ms collectives/step\n";
+  }
+  if (gemm_autotune_ || decode_quant_ != "f32") {
+    os << "gemm:                autotune "
+       << (gemm_autotune_ ? "on" : "off") << ", decode quant "
+       << decode_quant_ << ", " << gemm_.lookups << " tuned lookups ("
+       << 100.0 * gemm_hit_rate() << "% cached), " << gemm_.tunes
+       << " shapes tuned, " << gemm_.entries << " cached, calls f32 "
+       << gemm_.f32_calls << " / bf16 " << gemm_.bf16_calls << " / int8 "
+       << gemm_.int8_calls << "\n";
   }
   return os.str();
 }
@@ -273,6 +291,17 @@ std::string ServerStats::to_json(double wall_s) const {
   os << ",\n  \"kv_tier_store_refusals\": " << tier_.store_refusals;
   os << ",\n  \"kv_tier_spill_failures\": " << tier_.spill_failures;
   os << ",\n  \"kv_tier_corrupt_drops\": " << tier_.corrupt_drops;
+  os << ",\n  \"gemm_autotune\": " << (gemm_autotune_ ? "true" : "false");
+  os << ",\n  \"decode_quant\": \"" << decode_quant_ << "\"";
+  os << ",\n  \"gemm_tune_lookups\": " << gemm_.lookups;
+  os << ",\n  \"gemm_tune_hits\": " << gemm_.hits;
+  os << ",\n  \"gemm_tune_hit_rate\": " << gemm_hit_rate();
+  os << ",\n  \"gemm_tune_tunes\": " << gemm_.tunes;
+  os << ",\n  \"gemm_tune_entries\": " << gemm_.entries;
+  os << ",\n  \"gemm_tune_evictions\": " << gemm_.evictions;
+  os << ",\n  \"gemm_f32_calls\": " << gemm_.f32_calls;
+  os << ",\n  \"gemm_bf16_calls\": " << gemm_.bf16_calls;
+  os << ",\n  \"gemm_int8_calls\": " << gemm_.int8_calls;
   os << "\n}";
   return os.str();
 }

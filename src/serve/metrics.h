@@ -13,6 +13,7 @@
 #include "common/histogram.h"
 #include "serve/kv_tier/kv_tier.h"
 #include "serve/request.h"
+#include "tensor/gemm_tune.h"
 
 namespace matgpt::serve {
 
@@ -66,6 +67,12 @@ class ServerStats {
   void record_session_resume(bool kv_restored);
   /// Live-session gauge (overwrites).
   void record_sessions(std::size_t live);
+  /// GEMM autotune / quantized-decode identity (set once at engine
+  /// construction when either knob is on).
+  void set_gemm_config(bool autotune, std::string decode_quant);
+  /// Autotuner per-step snapshot (lifetime totals from the process-global
+  /// tuner; counters overwrite).
+  void record_gemm(const gemm_tune::TunerStats& gemm);
 
   std::uint64_t requests_completed() const { return requests_completed_; }
   std::uint64_t tokens_generated() const { return tokens_generated_; }
@@ -148,6 +155,17 @@ class ServerStats {
   std::size_t sessions_live() const { return sessions_live_; }
   const kv_tier::TierStats& tier() const { return tier_; }
 
+  /// GEMM autotuner aggregates (all zero / "f32" when neither gemm_autotune
+  /// nor decode_quant is configured).
+  bool gemm_autotune() const { return gemm_autotune_; }
+  const std::string& decode_quant() const { return decode_quant_; }
+  const gemm_tune::TunerStats& gemm() const { return gemm_; }
+  double gemm_hit_rate() const {
+    return gemm_.lookups == 0 ? 0.0
+                              : static_cast<double>(gemm_.hits) /
+                                    static_cast<double>(gemm_.lookups);
+  }
+
   /// Quantiles in milliseconds (q in [0, 1]); require recorded samples.
   double ttft_ms(double q) const { return ttft_ms_.quantile(q); }
   double inter_token_ms(double q) const {
@@ -216,6 +234,9 @@ class ServerStats {
   std::uint64_t session_resume_recomputes_ = 0;
   std::size_t sessions_live_ = 0;
   kv_tier::TierStats tier_;
+  bool gemm_autotune_ = false;
+  std::string decode_quant_ = "f32";
+  gemm_tune::TunerStats gemm_;
 };
 
 }  // namespace matgpt::serve

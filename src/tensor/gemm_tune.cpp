@@ -1,0 +1,547 @@
+#include "tensor/gemm_tune.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.h"
+#include "tensor/dtype.h"
+
+namespace matgpt::gemm_tune {
+
+namespace {
+
+using kernels::GemmVariant;
+using kernels::WeightFormat;
+
+double elem_bytes(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kF32: return 4.0;
+    case WeightFormat::kBf16: return 2.0;
+    case WeightFormat::kInt8: return 1.0;
+  }
+  return 4.0;
+}
+
+// Mirror kernels.cpp's row-block decomposition so the cost model prices
+// exactly the blocks that will run. fp32 blocks: mr until the remainder is
+// short, then 8s, then one fringe block. Quant blocks: the largest power
+// of two <= min(mr, 8), then greedy 4/2/1.
+void row_blocks(std::int64_t m, int mr, WeightFormat format,
+                std::vector<int>* out) {
+  out->clear();
+  std::int64_t rem = m;
+  if (format == WeightFormat::kF32) {
+    int mrc = mr >= 32 ? 32 : (mr >= 16 ? 16 : std::clamp(mr, 1, 8));
+    while (rem >= mrc) { out->push_back(mrc); rem -= mrc; }
+    while (rem >= 8) { out->push_back(8); rem -= 8; }
+    if (rem > 0) out->push_back(static_cast<int>(rem));
+  } else {
+    int qmr = 1;
+    while (qmr * 2 <= std::min(mr, 8)) qmr *= 2;
+    while (rem >= qmr) { out->push_back(qmr); rem -= qmr; }
+    for (int rows = 4; rows >= 1; rows /= 2) {
+      while (rem >= rows) { out->push_back(rows); rem -= rows; }
+    }
+  }
+}
+
+// Fraction of peak row throughput given the pairing structure: a paired C
+// row rides shared B loads at full rate, an unpaired row re-issues every
+// B load for itself and runs at roughly half rate (measured: one-row
+// decode hits ~0.5x the eight-row hot rate on this kernel).
+double pair_efficiency(const std::vector<int>& blocks, std::int64_t m) {
+  double weighted = 0.0;
+  for (int bs : blocks) {
+    weighted += 2.0 * (bs / 2) + 0.5 * (bs % 2);
+  }
+  return weighted / static_cast<double>(m);
+}
+
+// Fraction of peak column throughput: fringe columns (n % 8) run through
+// the scalar fmaf tail at ~1/8 the vector rate, paid once per chunk.
+double column_efficiency(std::int64_t n, std::int64_t nc) {
+  double cost = 0.0;
+  for (std::int64_t j0 = 0; j0 < n; j0 += nc) {
+    const std::int64_t len = std::min(n, j0 + nc) - j0;
+    const std::int64_t vec = (len / 8) * 8;
+    cost += static_cast<double>(vec) + 8.0 * static_cast<double>(len - vec);
+  }
+  return static_cast<double>(n) / cost;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void run_variant(const float* a, const float* b, const QuantWeights* qw,
+                 float* c, std::int64_t m, std::int64_t n, std::int64_t k,
+                 bool accumulate, const GemmVariant& variant) {
+  if (qw == nullptr || qw->format == WeightFormat::kF32) {
+    kernels::gemm_nn_variant(a, b, c, m, n, k, accumulate, variant);
+    return;
+  }
+  MGPT_CHECK(!accumulate, "quantized gemm does not support accumulate");
+  MGPT_CHECK(qw->k == k && qw->n == n,
+             "quantized weights shape mismatch: have " << qw->k << "x" << qw->n
+                                                       << ", need " << k << "x"
+                                                       << n);
+  if (qw->format == WeightFormat::kBf16) {
+    kernels::gemm_nn_bf16(a, qw->bf16.data(), c, m, n, k, variant);
+  } else {
+    kernels::gemm_nn_int8(a, qw->q8.data(), qw->scale.data(), c, m, n, k,
+                          variant);
+  }
+}
+
+// Best-of-N wall time for one variant on the real operands. Every variant
+// writes identical bytes, so timing runs double as the actual computation.
+double time_variant(const float* a, const float* b, const QuantWeights* qw,
+                    float* c, std::int64_t m, std::int64_t n, std::int64_t k,
+                    const GemmVariant& variant, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    run_variant(a, b, qw, c, m, n, k, /*accumulate=*/false, variant);
+    best = std::min(best, now_seconds() - t0);
+  }
+  return best;
+}
+
+WeightFormat format_from_name(const std::string& name) {
+  if (name == "bf16") return WeightFormat::kBf16;
+  if (name == "int8") return WeightFormat::kInt8;
+  return WeightFormat::kF32;
+}
+
+// Fill a buffer with a cheap deterministic pseudo-random pattern in
+// [-1, 1) — anchor measurements only care about byte traffic, not values.
+void fill_pattern(float* p, std::size_t count) {
+  std::uint32_t s = 0x9e3779b9u;
+  for (std::size_t i = 0; i < count; ++i) {
+    s = s * 1664525u + 1013904223u;
+    p[i] = static_cast<float>(static_cast<std::int32_t>(s >> 9)) *
+           (1.0f / 4194304.0f) / 2.0f;
+  }
+}
+
+HostAnchors measure_anchors() {
+  HostAnchors anchors;
+  // Hot compute peaks: an all-paired 8x512x512 block whose B fits in L2.
+  const std::int64_t m = 8, n = 512, k = 512;
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  fill_pattern(a.data(), a.size());
+  fill_pattern(b.data(), b.size());
+  const GemmVariant ref = kernels::gemm_default_variant();
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  anchors.f32_gflops =
+      flops / time_variant(a.data(), b.data(), nullptr, c.data(), m, n, k, ref,
+                           12) /
+      1e9;
+  const QuantWeights qb = quantize_weights(b.data(), k, n, WeightFormat::kBf16);
+  anchors.bf16_gflops =
+      flops /
+      time_variant(a.data(), nullptr, &qb, c.data(), m, n, k, ref, 12) / 1e9;
+  const QuantWeights qi = quantize_weights(b.data(), k, n, WeightFormat::kInt8);
+  anchors.int8_gflops =
+      flops /
+      time_variant(a.data(), nullptr, &qi, c.data(), m, n, k, ref, 12) / 1e9;
+
+  // Streaming bandwidth: a one-row GEMM over two alternating 32 MB weight
+  // matrices (so neither survives in cache), long column chunks so the
+  // segment-length term sits at 1.0. Effective bytes/s includes whatever
+  // compute overlap the kernel achieves — which is exactly what the memory
+  // term should use.
+  const std::int64_t sk = 4096, sn = 2048;
+  std::vector<float> sa(static_cast<std::size_t>(sk));
+  std::vector<float> sb0(static_cast<std::size_t>(sk * sn));
+  std::vector<float> sb1(static_cast<std::size_t>(sk * sn));
+  std::vector<float> sc(static_cast<std::size_t>(sn));
+  fill_pattern(sa.data(), sa.size());
+  fill_pattern(sb0.data(), sb0.size());
+  fill_pattern(sb1.data(), sb1.size());
+  const GemmVariant sv{1, 4096};
+  double best = 1e30;
+  for (int r = 0; r < 6; ++r) {
+    const float* sb = (r % 2 == 0) ? sb0.data() : sb1.data();
+    const double t0 = now_seconds();
+    kernels::gemm_nn_variant(sa.data(), sb, sc.data(), 1, sn, sk,
+                             /*accumulate=*/false, sv);
+    best = std::min(best, now_seconds() - t0);
+  }
+  anchors.stream_gbs = static_cast<double>(sk * sn) * 4.0 / best / 1e9;
+  return anchors;
+}
+
+}  // namespace
+
+QuantWeights quantize_weights(const float* w, std::int64_t k, std::int64_t n,
+                              WeightFormat format) {
+  QuantWeights qw;
+  qw.format = format;
+  qw.k = k;
+  qw.n = n;
+  const std::size_t count = static_cast<std::size_t>(k * n);
+  if (format == WeightFormat::kBf16) {
+    qw.bf16.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      qw.bf16[i] = static_cast<std::uint16_t>(
+          std::bit_cast<std::uint32_t>(round_bf16(w[i])) >> 16);
+    }
+  } else if (format == WeightFormat::kInt8) {
+    qw.q8.resize(count);
+    qw.scale.resize(static_cast<std::size_t>(n));
+    for (std::int64_t j = 0; j < n; ++j) {
+      float amax = 0.0f;
+      for (std::int64_t l = 0; l < k; ++l) {
+        amax = std::max(amax, std::fabs(w[l * n + j]));
+      }
+      const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+      qw.scale[static_cast<std::size_t>(j)] = scale;
+      const float inv = 1.0f / scale;
+      for (std::int64_t l = 0; l < k; ++l) {
+        const float q = std::nearbyintf(w[l * n + j] * inv);
+        qw.q8[static_cast<std::size_t>(l * n + j)] = static_cast<std::int8_t>(
+            std::clamp(q, -127.0f, 127.0f));
+      }
+    }
+  }
+  return qw;
+}
+
+const HostAnchors& host_anchors() {
+  static const HostAnchors anchors = measure_anchors();
+  return anchors;
+}
+
+double predict_seconds(std::int64_t m, std::int64_t n, std::int64_t k,
+                       WeightFormat format, const GemmVariant& variant,
+                       const HostAnchors& anchors) {
+  const std::int64_t nc = std::max<std::int64_t>(variant.nc, 8);
+  std::vector<int> blocks;
+  row_blocks(m, variant.mr, format, &blocks);
+
+  double peak_gflops = anchors.f32_gflops;
+  if (format == WeightFormat::kBf16) peak_gflops = anchors.bf16_gflops;
+  if (format == WeightFormat::kInt8) peak_gflops = anchors.int8_gflops;
+
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  const double t_compute = flops / (peak_gflops * 1e9 *
+                                    pair_efficiency(blocks, m) *
+                                    column_efficiency(n, nc));
+
+  // Each row block streams the whole weight matrix once. Short contiguous
+  // segments (nc * element bytes) defeat the hardware prefetchers; the
+  // clamp floor matches the measured worst case (int8 at nc=512 runs at
+  // ~1/3 of long-segment bandwidth on this host).
+  const double bytes_per_pass =
+      static_cast<double>(k) * static_cast<double>(n) * elem_bytes(format);
+  const double seg_bytes =
+      static_cast<double>(std::min(nc, n)) * elem_bytes(format);
+  const double seg = std::clamp(seg_bytes / 2048.0, 0.35, 1.0);
+  const double t_mem = static_cast<double>(blocks.size()) * bytes_per_pass /
+                       (anchors.stream_gbs * 1e9 * seg);
+
+  // Imperfect overlap between the FMA chain and the weight stream.
+  return std::max(t_compute, t_mem) + 0.3 * std::min(t_compute, t_mem);
+}
+
+std::vector<GemmVariant> candidate_space(std::int64_t m, std::int64_t n,
+                                         std::int64_t k, WeightFormat format) {
+  (void)k;
+  static const int kF32Mrs[] = {1, 2, 4, 8, 16, 32};
+  static const int kQuantMrs[] = {1, 2, 4, 8};
+  static const std::int64_t kNcs[] = {128, 256, 512, 1024, 4096};
+
+  std::vector<GemmVariant> out;
+  std::vector<std::string> seen;
+  std::vector<int> blocks;
+  auto add = [&](const GemmVariant& v) {
+    row_blocks(m, v.mr, format, &blocks);
+    std::ostringstream sig;
+    for (int bs : blocks) sig << bs << ',';
+    sig << '|' << std::min(v.nc, n);
+    if (std::find(seen.begin(), seen.end(), sig.str()) != seen.end()) return;
+    seen.push_back(sig.str());
+    out.push_back(v);
+  };
+  add(kernels::gemm_default_variant());
+  const bool quant = format != WeightFormat::kF32;
+  for (int mr : quant ? std::vector<int>(std::begin(kQuantMrs),
+                                         std::end(kQuantMrs))
+                      : std::vector<int>(std::begin(kF32Mrs),
+                                         std::end(kF32Mrs))) {
+    for (std::int64_t nc : kNcs) add(GemmVariant{mr, nc});
+  }
+  return out;
+}
+
+const char* mode_name(GemmTuner::Mode mode) {
+  switch (mode) {
+    case GemmTuner::Mode::kOff: return "off";
+    case GemmTuner::Mode::kModel: return "model";
+    case GemmTuner::Mode::kMeasure: return "measure";
+  }
+  return "?";
+}
+
+std::size_t GemmTuner::KeyHash::operator()(const Key& key) const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(key.m));
+  mix(static_cast<std::uint64_t>(key.n));
+  mix(static_cast<std::uint64_t>(key.k));
+  mix(static_cast<std::uint64_t>(key.format));
+  return static_cast<std::size_t>(h);
+}
+
+GemmTuner& GemmTuner::instance() {
+  static GemmTuner tuner;
+  return tuner;
+}
+
+void GemmTuner::configure(const Config& config) {
+  std::unique_lock lock(mu_);
+  config_ = config;
+  config_.top_candidates = std::max(1, config_.top_candidates);
+  config_.max_entries = std::max<std::size_t>(1, config_.max_entries);
+  cache_.clear();
+  tick_ = 0;
+  lookups_ = hits_ = tunes_ = evictions_ = 0;
+  f32_calls_ = bf16_calls_ = int8_calls_ = 0;
+}
+
+GemmTuner::Config GemmTuner::config() const {
+  std::shared_lock lock(mu_);
+  return config_;
+}
+
+void GemmTuner::reset() {
+  std::unique_lock lock(mu_);
+  cache_.clear();
+  tick_ = 0;
+  lookups_ = hits_ = tunes_ = evictions_ = 0;
+  f32_calls_ = bf16_calls_ = int8_calls_ = 0;
+}
+
+void GemmTuner::gemm(const float* a, const float* b, const QuantWeights* qw,
+                     float* c, std::int64_t m, std::int64_t n, std::int64_t k,
+                     bool accumulate) {
+  const WeightFormat format =
+      (qw != nullptr) ? qw->format : WeightFormat::kF32;
+  switch (format) {
+    case WeightFormat::kF32: f32_calls_.fetch_add(1, std::memory_order_relaxed); break;
+    case WeightFormat::kBf16: bf16_calls_.fetch_add(1, std::memory_order_relaxed); break;
+    case WeightFormat::kInt8: int8_calls_.fetch_add(1, std::memory_order_relaxed); break;
+  }
+  GemmVariant variant = kernels::gemm_default_variant();
+  if (config().mode != Mode::kOff && kernels::gemm_simd_active()) {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    bool ran = false;
+    variant = lookup_or_tune(Key{m, n, k, format},
+                             accumulate ? nullptr : a, b, qw, c, &ran);
+    if (ran) return;  // measurement runs already produced C's bytes
+  }
+  run_variant(a, b, qw, c, m, n, k, accumulate, variant);
+}
+
+kernels::GemmVariant GemmTuner::lookup_or_tune(const Key& key, const float* a,
+                                               const float* b,
+                                               const QuantWeights* qw, float* c,
+                                               bool* ran_gemm) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      it->second->last_used.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      return it->second->variant;
+    }
+  }
+  // Miss: rank candidates with the analytic model, optionally measure the
+  // survivors on the real operands (outside any lock; concurrent misses on
+  // the same shape just race to insert the same deterministic answer).
+  const Config cfg = config();
+  std::vector<GemmVariant> cands =
+      candidate_space(key.m, key.n, key.k, key.format);
+  const HostAnchors& anchors = host_anchors();
+  std::stable_sort(cands.begin(), cands.end(),
+                   [&](const GemmVariant& x, const GemmVariant& y) {
+                     return predict_seconds(key.m, key.n, key.k, key.format, x,
+                                            anchors) <
+                            predict_seconds(key.m, key.n, key.k, key.format, y,
+                                            anchors);
+                   });
+  GemmVariant best = cands.front();
+  if (cfg.mode == Mode::kMeasure && a != nullptr) {
+    const int top =
+        std::min<int>(cfg.top_candidates, static_cast<int>(cands.size()));
+    double best_t = 1e30;
+    for (int i = 0; i < top; ++i) {
+      const double t = time_variant(a, b, qw, c, key.m, key.n, key.k,
+                                    cands[static_cast<std::size_t>(i)], 2);
+      if (t < best_t) {
+        best_t = t;
+        best = cands[static_cast<std::size_t>(i)];
+      }
+    }
+    // C now holds the LAST measured candidate's bytes, which are identical
+    // to every other variant's bytes — the caller need not re-run.
+    if (ran_gemm != nullptr) *ran_gemm = true;
+  }
+  tunes_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lock(mu_);
+  insert_locked(key, best);
+  return best;
+}
+
+void GemmTuner::insert_locked(const Key& key,
+                              const kernels::GemmVariant& variant) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second->variant = variant;
+    return;
+  }
+  if (cache_.size() >= config_.max_entries) {
+    auto victim = cache_.begin();
+    std::uint64_t oldest = victim->second->last_used.load();
+    for (auto jt = cache_.begin(); jt != cache_.end(); ++jt) {
+      const std::uint64_t used = jt->second->last_used.load();
+      if (used < oldest) {
+        oldest = used;
+        victim = jt;
+      }
+    }
+    cache_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->variant = variant;
+  entry->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1);
+  cache_.emplace(key, std::move(entry));
+}
+
+std::optional<kernels::GemmVariant> GemmTuner::peek(
+    std::int64_t m, std::int64_t n, std::int64_t k,
+    WeightFormat format) const {
+  std::shared_lock lock(mu_);
+  auto it = cache_.find(Key{m, n, k, format});
+  if (it == cache_.end()) return std::nullopt;
+  return it->second->variant;
+}
+
+kernels::GemmVariant GemmTuner::tune(std::int64_t m, std::int64_t n,
+                                     std::int64_t k, WeightFormat format,
+                                     const float* a, const float* b,
+                                     const QuantWeights* qw, float* c) {
+  bool ran = false;
+  return lookup_or_tune(Key{m, n, k, format}, a, b, qw, c, &ran);
+}
+
+TunerStats GemmTuner::stats() const {
+  TunerStats s;
+  s.lookups = lookups_.load();
+  s.hits = hits_.load();
+  s.tunes = tunes_.load();
+  s.evictions = evictions_.load();
+  s.f32_calls = f32_calls_.load();
+  s.bf16_calls = bf16_calls_.load();
+  s.int8_calls = int8_calls_.load();
+  std::shared_lock lock(mu_);
+  s.entries = cache_.size();
+  return s;
+}
+
+bool GemmTuner::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  std::shared_lock lock(mu_);
+  out << "{\n  \"entries\": [";
+  bool first = true;
+  for (const auto& [key, entry] : cache_) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"m\": " << key.m << ", \"n\": " << key.n
+        << ", \"k\": " << key.k << ", \"format\": \""
+        << kernels::format_name(key.format) << "\", \"mr\": "
+        << entry->variant.mr << ", \"nc\": " << entry->variant.nc << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.good();
+}
+
+std::size_t GemmTuner::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  // Hand-rolled scan over {...} objects inside "entries" (the repo stays
+  // dependency-free). Tolerates whitespace/ordering; skips bad objects.
+  auto field_i64 = [](const std::string& obj, const char* name,
+                      std::int64_t* out) {
+    const std::string tag = std::string("\"") + name + "\"";
+    const std::size_t at = obj.find(tag);
+    if (at == std::string::npos) return false;
+    const std::size_t colon = obj.find(':', at);
+    if (colon == std::string::npos) return false;
+    *out = std::strtoll(obj.c_str() + colon + 1, nullptr, 10);
+    return true;
+  };
+  auto field_str = [](const std::string& obj, const char* name,
+                      std::string* out) {
+    const std::string tag = std::string("\"") + name + "\"";
+    std::size_t at = obj.find(tag);
+    if (at == std::string::npos) return false;
+    at = obj.find('"', obj.find(':', at) + 1);
+    if (at == std::string::npos) return false;
+    const std::size_t end = obj.find('"', at + 1);
+    if (end == std::string::npos) return false;
+    *out = obj.substr(at + 1, end - at - 1);
+    return true;
+  };
+
+  std::size_t loaded = 0;
+  std::size_t pos = text.find("\"entries\"");
+  if (pos == std::string::npos) return 0;
+  pos = text.find('[', pos);
+  if (pos == std::string::npos) return 0;
+  const std::size_t stop = text.find(']', pos);
+  std::unique_lock lock(mu_);
+  while (true) {
+    const std::size_t open = text.find('{', pos);
+    if (open == std::string::npos || open > stop) break;
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) break;
+    pos = close + 1;
+    const std::string obj = text.substr(open, close - open + 1);
+    std::int64_t m = 0, n = 0, k = 0, mr = 0, nc = 0;
+    std::string fmt;
+    if (!field_i64(obj, "m", &m) || !field_i64(obj, "n", &n) ||
+        !field_i64(obj, "k", &k) || !field_i64(obj, "mr", &mr) ||
+        !field_i64(obj, "nc", &nc) || !field_str(obj, "format", &fmt)) {
+      continue;
+    }
+    if (m <= 0 || n <= 0 || k <= 0 || mr <= 0 || nc < 8) continue;
+    insert_locked(Key{m, n, k, format_from_name(fmt)},
+                  GemmVariant{static_cast<int>(mr), nc});
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace matgpt::gemm_tune

@@ -7,24 +7,82 @@
 // matrix-core level. Row-parallelism goes through ThreadPool::global() and
 // degrades to serial on one core.
 //
-// On x86 with AVX2+FMA (runtime-dispatched), gemm_nn uses a streaming
-// multi-row microkernel: B is read once per up-to-8-row block in contiguous,
-// prefetch-friendly segments while an L1-resident chunk of C accumulates.
-// Batch-1 decode is therefore weight-bandwidth-bound and a full serving
-// batch rides the same B traffic at FMA throughput. Every C element still
-// accumulates its k terms in ascending order with single-rounding FMAs, so
-// results are identical no matter how many rows a call covers — the
-// property the serving engine relies on for batched-vs-batch-1 token
-// identity.
+// On x86 with AVX2+FMA (runtime-dispatched; disabled by -DMATGPT_PORTABLE),
+// gemm_nn uses a streaming multi-row microkernel: B is read once per row
+// block in contiguous, prefetch-friendly segments while an L1-resident
+// chunk of C accumulates. Batch-1 decode is therefore weight-bandwidth-
+// bound and a full serving batch rides the same B traffic at FMA
+// throughput.
+//
+// The microkernel's tiling is a GemmVariant: `mr` rows of C per block and
+// `nc` floats of C per row per column chunk. gemm_nn always runs the
+// default variant; gemm_nn_variant lets the autotuner (tensor/gemm_tune)
+// pick a per-shape tiling. Every variant accumulates each C element's k
+// terms in ascending order with single-rounding FMAs — identical in the
+// vector body, the scalar column tail, and for every mr/nc — so variant
+// choice NEVER changes output bytes. That is the property the serving
+// engine's batched-vs-batch-1 (and tuned-vs-untuned) token identity rests
+// on.
+//
+// gemm_nn_bf16 / gemm_nn_int8 are the weight-quantized decode GEMMs: B is
+// stored as bf16 bit patterns or int8 with per-output-column scales, every
+// element is widened to fp32 before the same ascending-k FMA chain, and
+// (int8) one single-rounding multiply by the column scale lands at the
+// end. The scalar fallbacks replay the identical operation sequence, so
+// quantized results match across the SIMD and portable builds bit-for-bit.
 
 #include <cstdint>
 #include <span>
 
 namespace matgpt::kernels {
 
+/// Storage format of a GEMM's B (weight) operand.
+enum class WeightFormat : std::uint8_t { kF32 = 0, kBf16 = 1, kInt8 = 2 };
+
+const char* format_name(WeightFormat format);
+
+/// Microkernel tiling: `mr` C rows per block (1/2/4/8/16/32), `nc` floats
+/// of C per row per column chunk (>= 8). Never affects output bytes.
+struct GemmVariant {
+  int mr = 8;
+  std::int64_t nc = 512;
+  bool operator==(const GemmVariant& o) const {
+    return mr == o.mr && nc == o.nc;
+  }
+};
+
+/// The fixed tiling gemm_nn has always used ({8, 512}).
+GemmVariant gemm_default_variant();
+
+/// True when the runtime-dispatched AVX2+FMA path is compiled in AND the
+/// host supports it (false in MATGPT_PORTABLE builds).
+bool gemm_simd_active();
+
 /// C[m,n] (+)= A[m,k] * B[k,n]
 void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t n, std::int64_t k, bool accumulate);
+
+/// gemm_nn with an explicit tiling. Bit-identical to gemm_nn for every
+/// variant; the portable (non-SIMD) build ignores the variant entirely and
+/// runs gemm_nn's scalar loop.
+void gemm_nn_variant(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t n, std::int64_t k, bool accumulate,
+                     const GemmVariant& variant);
+
+/// C[m,n] = A[m,k] * widen(B[k,n]) where B holds bf16 bit patterns
+/// (value = bits << 16). No accumulate mode (the decode forward never
+/// accumulates). mr > 8 is clamped to 8.
+void gemm_nn_bf16(const float* a, const std::uint16_t* b, float* c,
+                  std::int64_t m, std::int64_t n, std::int64_t k,
+                  const GemmVariant& variant);
+
+/// C[m,n] = (A[m,k] * widen(B[k,n])) * scale[col] where B is int8 and
+/// `scale` has one fp32 factor per output column (per-output-channel
+/// weight-only quantization, fp32 accumulate). No accumulate mode; mr > 8
+/// is clamped to 8.
+void gemm_nn_int8(const float* a, const std::int8_t* b, const float* scale,
+                  float* c, std::int64_t m, std::int64_t n, std::int64_t k,
+                  const GemmVariant& variant);
 
 /// C[m,n] (+)= A[m,k] * B[n,k]^T
 void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,

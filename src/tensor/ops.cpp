@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "tensor/gemm_tune.h"
 #include "tensor/kernels.h"
 
 namespace matgpt::ops {
@@ -141,6 +142,47 @@ Var matmul(Tape& tape, const Var& a, const Var& b) {
       if (bn->requires_grad) {
         Tensor& bg = bn->ensure_grad();
         // dB = A^T * g : [m,k]^T x [m,n]
+        kernels::gemm_tn(an->value.data(), g, bg.data(), k, n, m,
+                         /*accumulate=*/true);
+      }
+    });
+  }
+  return result;
+}
+
+Var linear_matmul(Tape& tape, const Var& a, const Var& w,
+                  const gemm_tune::QuantWeights* qw) {
+  MGPT_CHECK(a.value().ndim() == 2 && w.value().ndim() == 2,
+             "linear_matmul requires rank-2 operands");
+  const std::int64_t m = a.value().dim(0);
+  const std::int64_t k = a.value().dim(1);
+  const std::int64_t n = w.value().dim(1);
+  MGPT_CHECK(w.value().dim(0) == k,
+             "linear_matmul inner-dim mismatch: "
+                 << a.value().shape_str() << " x " << w.value().shape_str());
+  const bool needs_grad = any_requires_grad({&a, &w});
+  // Quantized forward only when no backward will read this result — the
+  // sidecar has no gradient story; training always sees fp32 weights.
+  const gemm_tune::QuantWeights* use_qw =
+      (qw != nullptr && qw->format != kernels::WeightFormat::kF32 &&
+       !(tape.recording() && needs_grad))
+          ? qw
+          : nullptr;
+  Tensor out({m, n});
+  gemm_tune::GemmTuner::instance().gemm(a.value().data(), w.value().data(),
+                                        use_qw, out.data(), m, n, k,
+                                        /*accumulate=*/false);
+  Var result = tape.intermediate(std::move(out), needs_grad);
+  if (result.requires_grad()) {
+    tape.record([an = a.node(), bn = w.node(), rn = result.node(), m, n, k] {
+      const float* g = rn->grad.data();
+      if (an->requires_grad) {
+        Tensor& ag = an->ensure_grad();
+        kernels::gemm_nt(g, bn->value.data(), ag.data(), m, k, n,
+                         /*accumulate=*/true);
+      }
+      if (bn->requires_grad) {
+        Tensor& bg = bn->ensure_grad();
         kernels::gemm_tn(an->value.data(), g, bg.data(), k, n, m,
                          /*accumulate=*/true);
       }

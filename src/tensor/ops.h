@@ -13,6 +13,10 @@
 #include "common/rng.h"
 #include "tensor/autograd.h"
 
+namespace matgpt::gemm_tune {
+struct QuantWeights;
+}  // namespace matgpt::gemm_tune
+
 namespace matgpt::ops {
 
 // ---- arithmetic -----------------------------------------------------------
@@ -27,6 +31,14 @@ Var mul(Tape& tape, const Var& a, const Var& b);
 Var scale(Tape& tape, const Var& a, float s);
 /// Row-major [m,k] x [k,n] matrix product.
 Var matmul(Tape& tape, const Var& a, const Var& b);
+/// matmul for Linear forwards: routes through the GEMM autotuner's
+/// per-shape tiling cache when enabled, and — when `qw` carries a
+/// bf16/int8 sidecar of `w` and nothing needs gradients — runs the
+/// weight-quantized kernel instead of the fp32 one. Gradients (when
+/// recording) always flow through the fp32 weights, identically to
+/// matmul. Tiling never changes output bytes; the format does.
+Var linear_matmul(Tape& tape, const Var& a, const Var& w,
+                  const gemm_tune::QuantWeights* qw);
 /// Zero-copy view with a new shape (one -1 dimension may be inferred).
 Var reshape(Tape& tape, const Var& x, std::vector<std::int64_t> shape);
 

@@ -2,7 +2,7 @@
 // host-tier LRU demotion order, disk spill round trips, fault injection
 // (corrupt / truncated / missing / unwritable spill files must degrade to
 // recompute — never wrong bytes, never a crash), async prefetch promotion,
-// the KvTierConfig validation + swap_arena_bytes alias, and session
+// the KvTierConfig validation, and session
 // park/resume byte-identity (greedy, stochastic, speculative) across every
 // residency path: host hit, disk hit after demotion, and recompute
 // fallback.
@@ -296,7 +296,7 @@ TEST(KvTierStore, PrefetchPromotesDiskEntryToHost) {
 }
 
 // ---------------------------------------------------------------------------
-// KvTierConfig validation + deprecated swap_arena_bytes alias
+// KvTierConfig validation
 // ---------------------------------------------------------------------------
 
 nn::GptConfig tier_model_config() {
@@ -325,21 +325,12 @@ TEST(KvTierConfigValidate, RejectsBadKnobs) {
   }
 }
 
-TEST(KvTierConfigValidate, SwapArenaBytesAliasFillsHostTier) {
+TEST(KvTierConfigValidate, HostTierBudgetReachesTheStore) {
   nn::GptModel model(tier_model_config());
-  {
-    serve::EngineConfig ec;
-    ec.swap_arena_bytes = 1234;  // deprecated name, still honored this PR
-    serve::InferenceEngine engine(model, ec);
-    EXPECT_EQ(engine.tier().config().host_tier_bytes, 1234u);
-  }
-  {
-    serve::EngineConfig ec;
-    ec.swap_arena_bytes = 1234;
-    ec.kv_tier.host_tier_bytes = 4096;  // the new knob wins when both set
-    serve::InferenceEngine engine(model, ec);
-    EXPECT_EQ(engine.tier().config().host_tier_bytes, 4096u);
-  }
+  serve::EngineConfig ec;
+  ec.kv_tier.host_tier_bytes = 4096;
+  serve::InferenceEngine engine(model, ec);
+  EXPECT_EQ(engine.tier().config().host_tier_bytes, 4096u);
 }
 
 // ---------------------------------------------------------------------------

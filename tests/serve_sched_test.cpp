@@ -436,7 +436,7 @@ TEST(ServeSchedEngine, SwapBudgetExhaustionFallsBackToRecompute) {
   ec.kv_block_tokens = 8;
   ec.scheduler = SchedPolicy::kPriority;
   ec.preempt_mode = PreemptMode::kSwap;
-  ec.swap_arena_bytes = 8;  // nothing fits: every swap degrades gracefully
+  ec.kv_tier.host_tier_bytes = 8;  // nothing fits: swaps degrade gracefully
   serve::InferenceEngine engine(model, ec);
 
   const auto got = run_pressure_scenario(engine, Flavor::kGreedy, 8);
