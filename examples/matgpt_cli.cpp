@@ -26,16 +26,24 @@
 //       --decode-quant int8|bf16|off runs decode/verify forwards on
 //       weight-quantized kernels (prefill stays fp32), and
 //       --tune-cache FILE persists the tuner's shape cache as JSON;
+//       --embed-fraction/--constrained-fraction mix embedding and
+//       JSON-grammar-constrained requests into the trace (--embed-batch
+//       caps sequences per embedding forward; --map-classes maps
+//       constrained -> high / embed -> low priority, needs --scheduler
+//       priority);
 //       --json prints the run's ServerStats as one JSON document instead of
 //       the human-readable report
 //   matgpt_cli serve-http [--port P] [--tp N] [--host-tier-mb B]
-//       [--disk-tier-mb B] [--spill-dir DIR] [--gemm-tune]
-//       [--decode-quant F] [--tune-cache FILE]
+//       [--disk-tier-mb B] [--spill-dir DIR] [--embed] [--grammar]
+//       [--gemm-tune] [--decode-quant F] [--tune-cache FILE]
 //       start the epoll HTTP front end (POST /v1/generate streams tokens as
 //       chunked transfer encoding, DELETE /v1/requests/{id} cancels,
 //       POST /v1/sessions + /v1/sessions/{id}/generate run multi-turn
 //       conversations over the tiered KV store, GET /v1/stats reports)
-//       over a random-init serving-shaped model; runs until SIGINT/SIGTERM,
+//       over a random-init serving-shaped model; --embed serves batched
+//       vectors on POST /v1/embeddings through a random-init BERT encoder,
+//       --grammar registers a compiled JSON-subset grammar named "json"
+//       for constrained /v1/generate requests; runs until SIGINT/SIGTERM,
 //       then drains gracefully
 //   matgpt_cli load-gen --port P [--requests N] [--rate R] [--concurrency C]
 //       [--seed S] [--slo-ms M]
@@ -65,10 +73,12 @@
 #include "core/study.h"
 #include "net/loadgen.h"
 #include "net/server.h"
+#include "nn/bert.h"
 #include "nn/serialize.h"
 #include "parallel/thread_pool.h"
 #include "serve/engine.h"
 #include "serve/trace.h"
+#include "serve/workloads/grammar.h"
 #include "simfrontier/archsearch.h"
 
 using namespace matgpt;
@@ -90,12 +100,14 @@ int usage() {
                " [--priority-mix H:L] [--deadline-ms D] [--tp N]\n"
                "      [--host-tier-mb B] [--disk-tier-mb B]"
                " [--spill-dir DIR]\n"
+               "      [--embed-fraction F] [--constrained-fraction F]"
+               " [--embed-batch N] [--map-classes]\n"
                "      [--gemm-tune] [--decode-quant int8|bf16|off]"
                " [--tune-cache FILE] [--json]\n"
                "  matgpt_cli serve-http [--port P] [--tp N]"
                " [--host-tier-mb B] [--disk-tier-mb B] [--spill-dir DIR]\n"
-               "      [--gemm-tune] [--decode-quant int8|bf16|off]"
-               " [--tune-cache FILE]\n"
+               "      [--embed] [--grammar] [--gemm-tune]"
+               " [--decode-quant int8|bf16|off] [--tune-cache FILE]\n"
                "  matgpt_cli load-gen --port P [--requests N] [--rate R]"
                " [--concurrency C] [--seed S] [--slo-ms M]\n");
   return 2;
@@ -292,6 +304,10 @@ struct ServeBenchOpts {
   std::int64_t host_tier_mb = 0;  // 0 = unbounded host tier
   std::int64_t disk_tier_mb = 0;  // 0 = disk tier disabled
   std::string spill_dir = "matgpt_spill";
+  double embed_fraction = 0.0;        // fraction of trace -> embed requests
+  double constrained_fraction = 0.0;  // fraction -> JSON-constrained decode
+  std::int64_t embed_batch = 8;       // max sequences per embed forward
+  bool map_classes = false;           // workload class -> sched priority
   GemmOpts gemm;
   bool json = false;
 };
@@ -306,6 +322,43 @@ void apply_tier_opts(serve::EngineConfig& ec, std::int64_t host_tier_mb,
   ec.kv_tier.disk_tier_bytes =
       static_cast<std::size_t>(disk_tier_mb) * 1000 * 1000;
   if (disk_tier_mb > 0) ec.kv_tier.spill_dir = spill_dir;
+}
+
+/// Serving-shaped BERT encoder backing the embedding request class
+/// (serve-bench --embed-fraction, serve-http --embed). Random-init, like
+/// the decoder: the point is the engine's prefill-only path, not the
+/// vectors themselves.
+nn::BertConfig serving_bert_config() {
+  nn::BertConfig bc;
+  bc.vocab_size = 8192;
+  bc.hidden = 256;
+  bc.n_layers = 2;
+  bc.n_heads = 8;
+  bc.max_seq = 64;
+  return bc;
+}
+
+/// JSON-subset grammar compiled over a synthetic fragment vocab that
+/// mirrors the serving model's 8192 tokens (ids 0-4 stay empty like the
+/// tokenizer specials; 3 = EOS). The multi-character fragments ("{\"",
+/// "\":", "true", ...) make tokens span grammar states, which is the case
+/// the token-level DFA exists for.
+std::shared_ptr<const serve::workloads::TokenDfa> serving_json_grammar() {
+  static const char* kPool[] = {
+      "{",  "}",  "[",  "]",  ":",  ",",  "\"", " ",  "0",  "1",  "2",
+      "3",  "4",  "5",  "6",  "7",  "8",  "9",  "a",  "b",  "c",  "d",
+      "e",  "f",  "x",  "y",  "z",  "{\"", "\":", ",\"", "\"}", "\",",
+      "true", "false", "null", "-",  ".",  "e+", "{}", "[]", "1}", "0]",
+      "\"a\":", "\"b\":", ": [", ", ", "]}", "}}",
+  };
+  constexpr std::size_t kPoolSize = sizeof(kPool) / sizeof(kPool[0]);
+  std::vector<std::string> bytes(8192);
+  for (std::size_t id = 5; id < bytes.size(); ++id) {
+    bytes[id] = kPool[(id - 5) % kPoolSize];
+  }
+  serve::workloads::GrammarSpec gspec;
+  return std::make_shared<const serve::workloads::TokenDfa>(
+      serve::workloads::TokenDfa::compile(gspec, bytes, /*eos_id=*/3));
 }
 
 /// The serving-shaped model every serving subcommand uses: random-init
@@ -343,6 +396,16 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
   spec.high_fraction = opts.high_fraction;
   spec.low_fraction = opts.low_fraction;
   spec.high_deadline_ms = opts.deadline_ms;
+  const nn::BertConfig bert_config = serving_bert_config();
+  spec.embed_fraction = opts.embed_fraction;
+  spec.constrained_fraction = opts.constrained_fraction;
+  if (opts.constrained_fraction > 0.0) {
+    spec.constrained_grammar = serving_json_grammar();
+  }
+  if (opts.embed_fraction > 0.0) {
+    spec.embed_vocab_size = bert_config.vocab_size;
+    spec.embed_len_max = bert_config.max_seq;
+  }
   auto trace = serve::synth_trace(spec);
   if (spec_k > 0) {
     for (auto& req : trace) req.spec_k = spec_k;
@@ -361,6 +424,13 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
   ec.tensor_parallel = opts.tp;
   apply_tier_opts(ec, opts.host_tier_mb, opts.disk_tier_mb, opts.spill_dir);
   apply_gemm_opts(ec, opts.gemm);
+  ec.workloads.grammar = opts.constrained_fraction > 0.0;
+  if (opts.embed_fraction > 0.0) {
+    ec.workloads.embedder = std::make_shared<const nn::BertEncoder>(
+        bert_config);
+  }
+  ec.workloads.max_embed_batch = opts.embed_batch;
+  ec.workloads.map_classes = opts.map_classes;
   if (spec_k > 0) {
     MGPT_CHECK(draft_layers >= 1 && draft_layers <= mc.n_layers,
                "--draft-layers must be in [1, " << mc.n_layers << "]");
@@ -403,6 +473,14 @@ int cmd_serve_bench(const ServeBenchOpts& opts) {
                   static_cast<long long>(prefix_cache_mb),
                   100.0 * spec.shared_prefix_fraction,
                   static_cast<long long>(spec.shared_prefix_len));
+    }
+    if (opts.embed_fraction + opts.constrained_fraction > 0.0) {
+      std::printf("workload mix: %.0f%% embed (batch %lld) / %.0f%% "
+                  "JSON-constrained / rest plain, class mapping %s\n",
+                  100.0 * opts.embed_fraction,
+                  static_cast<long long>(opts.embed_batch),
+                  100.0 * opts.constrained_fraction,
+                  opts.map_classes ? "on" : "off");
     }
     print_gemm_banner(opts.gemm);
   }
@@ -470,7 +548,8 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 int cmd_serve_http(std::uint16_t port, std::int64_t tp,
                    std::int64_t host_tier_mb, std::int64_t disk_tier_mb,
-                   const std::string& spill_dir, const GemmOpts& gemm) {
+                   const std::string& spill_dir, bool embed, bool grammar,
+                   const GemmOpts& gemm) {
   const nn::GptConfig mc = serving_model_config();
   nn::GptModel model(mc);
 
@@ -481,11 +560,17 @@ int cmd_serve_http(std::uint16_t port, std::int64_t tp,
   ec.tensor_parallel = tp;
   apply_tier_opts(ec, host_tier_mb, disk_tier_mb, spill_dir);
   apply_gemm_opts(ec, gemm);
+  ec.workloads.grammar = grammar;
+  if (embed) {
+    ec.workloads.embedder =
+        std::make_shared<const nn::BertEncoder>(serving_bert_config());
+  }
   serve::InferenceEngine engine(model, ec);
   engine.start();
 
   net::HttpServerConfig sc;
   sc.port = port;
+  if (grammar) sc.grammars["json"] = serving_json_grammar();
   net::HttpServer server(engine, sc);
   server.start();
 
@@ -511,6 +596,17 @@ int cmd_serve_http(std::uint16_t port, std::int64_t tp,
               "\"max_new_tokens\":16,\"stream\":false}' "
               "http://127.0.0.1:%u/v1/sessions/1/generate\n",
               server.port());
+  if (embed) {
+    std::printf("  curl -d '{\"inputs\":[[1,2,3],[4,5]],\"reduce\":\"mean\"}'"
+                " http://127.0.0.1:%u/v1/embeddings\n",
+                server.port());
+  }
+  if (grammar) {
+    std::printf("  curl -N -d '{\"id\":3,\"prompt\":[1],"
+                "\"max_new_tokens\":24,\"grammar\":\"json\"}' "
+                "http://127.0.0.1:%u/v1/generate\n",
+                server.port());
+  }
   std::printf("  curl http://127.0.0.1:%u/v1/stats\n", server.port());
   if (disk_tier_mb > 0) {
     std::printf("tiered KV: host %lld MB, disk %lld MB (spill dir %s)\n",
@@ -667,6 +763,14 @@ int main(int argc, char** argv) {
           opts.disk_tier_mb = std::atoll(argv[++i]);
         } else if (arg == "--spill-dir" && i + 1 < argc) {
           opts.spill_dir = argv[++i];
+        } else if (arg == "--embed-fraction" && i + 1 < argc) {
+          opts.embed_fraction = std::atof(argv[++i]);
+        } else if (arg == "--constrained-fraction" && i + 1 < argc) {
+          opts.constrained_fraction = std::atof(argv[++i]);
+        } else if (arg == "--embed-batch" && i + 1 < argc) {
+          opts.embed_batch = std::atoll(argv[++i]);
+        } else if (arg == "--map-classes") {
+          opts.map_classes = true;
         } else if (arg == "--gemm-tune") {
           opts.gemm.autotune = true;
         } else if (arg == "--decode-quant" && i + 1 < argc) {
@@ -688,7 +792,12 @@ int main(int argc, char** argv) {
           opts.high_fraction < 0.0 || opts.low_fraction < 0.0 ||
           opts.high_fraction + opts.low_fraction > 1.0 ||
           opts.deadline_ms < 0.0 || opts.tp < 1 || opts.host_tier_mb < 0 ||
-          opts.disk_tier_mb < 0 || opts.spill_dir.empty()) {
+          opts.disk_tier_mb < 0 || opts.spill_dir.empty() ||
+          opts.embed_fraction < 0.0 || opts.constrained_fraction < 0.0 ||
+          opts.embed_fraction + opts.constrained_fraction > 1.0 ||
+          opts.embed_batch < 1 ||
+          (opts.map_classes &&
+           opts.scheduler != serve::sched::Policy::kPriority)) {
         return usage();
       }
       return cmd_serve_bench(opts);
@@ -698,6 +807,7 @@ int main(int argc, char** argv) {
       std::int64_t tp = 1;
       std::int64_t host_tier_mb = 0, disk_tier_mb = 0;
       std::string spill_dir = "matgpt_spill";
+      bool embed = false, grammar = false;
       GemmOpts gemm;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -711,6 +821,10 @@ int main(int argc, char** argv) {
           disk_tier_mb = std::atoll(argv[++i]);
         } else if (arg == "--spill-dir" && i + 1 < argc) {
           spill_dir = argv[++i];
+        } else if (arg == "--embed") {
+          embed = true;
+        } else if (arg == "--grammar") {
+          grammar = true;
         } else if (arg == "--gemm-tune") {
           gemm.autotune = true;
         } else if (arg == "--decode-quant" && i + 1 < argc) {
@@ -728,7 +842,7 @@ int main(int argc, char** argv) {
         return usage();
       }
       return cmd_serve_http(port, tp, host_tier_mb, disk_tier_mb, spill_dir,
-                            gemm);
+                            embed, grammar, gemm);
     }
     if (cmd == "load-gen") {
       LoadGenOpts opts;

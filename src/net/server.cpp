@@ -143,6 +143,8 @@ void HttpServer::stop() {
   for (auto& [fd, conn] : conns_) ::close(fd);
   conns_.clear();
   streams_.clear();
+  embed_jobs_.clear();
+  embed_requests_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
   ::close(stop_fd_);
@@ -165,6 +167,8 @@ HttpCounters HttpServer::counters() const {
   c.bad_request_400 = c_bad_request_.load();
   c.cancels_requested = c_cancels_.load();
   c.client_aborts = c_client_aborts_.load();
+  c.embed_jobs = c_embed_jobs_.load();
+  c.embed_inputs = c_embed_inputs_.load();
   return c;
 }
 
@@ -220,7 +224,7 @@ void HttpServer::loop() {
     // Drain any events the queue received while we were processing: the
     // level-triggered eventfd re-arms, but checking here shortens the
     // stop path.
-    if (stopping_ && streams_.empty()) break;
+    if (stopping_ && streams_.empty() && embed_jobs_.empty()) break;
   }
 }
 
@@ -233,12 +237,18 @@ void HttpServer::begin_stop() {
     listen_fd_ = -1;
   }
   if (engine_.running()) {
-    // Cancel every in-flight stream; the loop exits when their finish
-    // events have all arrived, so no engine callback can outlive us.
+    // Cancel every in-flight stream and embed join; the loop exits when
+    // their finish events have all arrived, so no engine callback can
+    // outlive us.
     for (const auto& [id, stream] : streams_) engine_.cancel(id);
+    for (const auto& [jid, job] : embed_jobs_) {
+      for (const std::uint64_t id : job.request_ids) engine_.cancel(id);
+    }
   } else {
     // No worker is stepping the engine: finish events will never come.
     streams_.clear();
+    embed_jobs_.clear();
+    embed_requests_.clear();
   }
 }
 
@@ -368,6 +378,14 @@ void HttpServer::dispatch(Conn& conn, const HttpRequest& request) {
                make_response(405, error_body("use GET or DELETE").dump()));
     return;
   }
+  if (target == "/v1/embeddings") {
+    if (request.method != "POST") {
+      send_bytes(conn, make_response(405, error_body("use POST").dump()));
+      return;
+    }
+    handle_embeddings(conn, request);
+    return;
+  }
   if (target == "/v1/sessions") {
     if (request.method != "POST") {
       send_bytes(conn, make_response(405, error_body("use POST").dump()));
@@ -463,6 +481,13 @@ void HttpServer::handle_generate(Conn& conn, const HttpRequest& request,
       req.sampling.seed = static_cast<std::uint64_t>(v->as_int());
     }
     if (const Json* v = body.find("spec_k")) req.spec_k = v->as_int();
+    if (const Json* v = body.find("grammar")) {
+      const std::string name = v->as_string();
+      auto git = config_.grammars.find(name);
+      MGPT_CHECK(git != config_.grammars.end(),
+                 "unknown grammar \"" << name << "\"");
+      req.grammar = git->second;
+    }
     if (const Json* v = body.find("priority")) {
       req.priority = parse_priority(v->as_string());
     }
@@ -531,6 +556,201 @@ void HttpServer::handle_generate(Conn& conn, const HttpRequest& request,
   c_streams_started_.fetch_add(1);
 }
 
+void HttpServer::handle_embeddings(Conn& conn, const HttpRequest& request) {
+  if (engine_.config().workloads.embedder == nullptr) {
+    c_bad_request_.fetch_add(1);
+    send_bytes(conn, make_response(
+                         501, error_body("no embedder configured").dump()));
+    return;
+  }
+  if (stopping_) {
+    c_shed_.fetch_add(1);
+    send_bytes(conn,
+               make_response(503, error_body("server stopping").dump()));
+    return;
+  }
+  std::vector<std::vector<std::int32_t>> inputs;
+  serve::EmbedReduce reduce = serve::EmbedReduce::kMean;
+  serve::Priority priority = serve::Priority::kNormal;
+  bool gnn = false;
+  try {
+    const Json body = Json::parse(request.body);
+    MGPT_CHECK(body.is_object(), "body must be a JSON object");
+    const Json* in = body.find("inputs");
+    MGPT_CHECK(in != nullptr && in->is_array(),
+               "\"inputs\" must be an array of token-id arrays");
+    MGPT_CHECK(!in->items().empty(), "\"inputs\" must be non-empty");
+    for (const Json& row : in->items()) {
+      MGPT_CHECK(row.is_array(),
+                 "\"inputs\" must be an array of token-id arrays");
+      std::vector<std::int32_t> tokens;
+      for (const Json& token : row.items()) {
+        const std::int64_t v = token.as_int();
+        MGPT_CHECK(v >= 0 && v <= 0x7fffffff,
+                   "input token " << v << " out of int32 range");
+        tokens.push_back(static_cast<std::int32_t>(v));
+      }
+      MGPT_CHECK(!tokens.empty(), "inputs must be non-empty token arrays");
+      inputs.push_back(std::move(tokens));
+    }
+    if (const Json* v = body.find("reduce")) {
+      const std::string name = v->as_string();
+      if (name == "mean") {
+        reduce = serve::EmbedReduce::kMean;
+      } else if (name == "cls") {
+        reduce = serve::EmbedReduce::kCls;
+      } else {
+        MGPT_CHECK(false, "reduce must be mean|cls (got \"" << name
+                                                            << "\")");
+      }
+    }
+    if (const Json* v = body.find("gnn")) gnn = v->as_bool();
+    if (const Json* v = body.find("priority")) {
+      priority = parse_priority(v->as_string());
+    }
+  } catch (const Error& e) {
+    c_bad_request_.fetch_add(1);
+    send_bytes(conn, make_response(400, error_body(e.what()).dump()));
+    return;
+  }
+
+  // Fan out one prefill-only engine request per input. Ids are assigned
+  // up front so a mid-fan-out failure can cancel the already-submitted
+  // prefix; their finish events arrive unregistered and are dropped.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) ids.push_back(next_id_++);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    serve::Request req;
+    req.id = ids[i];
+    req.prompt = std::move(inputs[i]);
+    req.embed = true;
+    req.embed_reduce = reduce;
+    req.priority = priority;
+    const std::uint64_t id = ids[i];
+    req.on_finish = [queue = &queue_,
+                     id](const serve::RequestResult& result) {
+      EngineEvent event;
+      event.kind = EngineEvent::Kind::kFinish;
+      event.request_id = id;
+      event.result = result;
+      queue->push(std::move(event));
+    };
+    bool admitted = false;
+    std::string reason;
+    try {
+      admitted = engine_.try_submit(std::move(req)).has_value();
+      if (!admitted) reason = "admission queue full";
+    } catch (const Error& e) {
+      reason = e.what();
+    }
+    if (!admitted) {
+      for (std::size_t j = 0; j < i; ++j) engine_.cancel(ids[j]);
+      if (reason == "admission queue full") {
+        c_shed_.fetch_add(1);
+        send_bytes(conn, make_response(429, error_body(reason).dump()));
+      } else {
+        c_bad_request_.fetch_add(1);
+        send_bytes(conn, make_response(400, error_body(reason).dump()));
+      }
+      return;
+    }
+  }
+
+  EmbedJob job;
+  job.conn_fd = conn.fd;
+  job.gnn = gnn;
+  job.remaining = ids.size();
+  job.id = next_embed_job_++;
+  job.embeddings.resize(ids.size());
+  job.statuses.assign(ids.size(), serve::RequestStatus::kOk);
+  job.request_ids = ids;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    embed_requests_.emplace(ids[i], std::make_pair(job.id, i));
+  }
+  conn.busy = true;
+  conn.embed_job = job.id;
+  c_embed_jobs_.fetch_add(1);
+  c_embed_inputs_.fetch_add(ids.size());
+  embed_jobs_.emplace(job.id, std::move(job));
+}
+
+bool HttpServer::handle_embed_event(EngineEvent& event) {
+  auto it = embed_requests_.find(event.request_id);
+  if (it == embed_requests_.end()) return false;
+  if (event.kind != EngineEvent::Kind::kFinish) return true;  // no tokens
+  const auto [job_id, index] = it->second;
+  embed_requests_.erase(it);
+  auto jit = embed_jobs_.find(job_id);
+  if (jit == embed_jobs_.end()) return true;
+  EmbedJob& job = jit->second;
+  job.statuses[index] = event.result.status;
+  job.embeddings[index] = std::move(event.result.embedding);
+  if (--job.remaining == 0) finish_embed_job(job_id);
+  return true;
+}
+
+void HttpServer::finish_embed_job(std::uint64_t job_id) {
+  auto jit = embed_jobs_.find(job_id);
+  if (jit == embed_jobs_.end()) return;
+  EmbedJob& job = jit->second;
+  const int fd = job.conn_fd;
+  auto cit = fd >= 0 ? conns_.find(fd) : conns_.end();
+  if (cit != conns_.end()) {
+    Conn& conn = cit->second;
+    conn.busy = false;
+    conn.embed_job = 0;
+    bool all_ok = true;
+    for (const serve::RequestStatus s : job.statuses) {
+      all_ok = all_ok && s == serve::RequestStatus::kOk;
+    }
+    if (!all_ok) {
+      Json body = error_body("embedding failed");
+      Json statuses = Json::array();
+      for (const serve::RequestStatus s : job.statuses) {
+        statuses.push_back(Json::string(serve::status_name(s)));
+      }
+      body.set("statuses", std::move(statuses));
+      send_bytes(conn, make_response(500, body.dump()));
+    } else {
+      const std::int64_t dim =
+          job.embeddings.empty()
+              ? 0
+              : static_cast<std::int64_t>(job.embeddings.front().size());
+      Json body = Json::object();
+      body.set("dim", Json::number(dim));
+      Json rows = Json::array();
+      for (const std::vector<float>& e : job.embeddings) {
+        Json row = Json::array();
+        for (const float v : e) {
+          row.push_back(Json::number(static_cast<double>(v)));
+        }
+        rows.push_back(std::move(row));
+      }
+      body.set("embeddings", std::move(rows));
+      if (job.gnn) {
+        // Node-feature layout for a downstream GNN: one flat row-major
+        // feature matrix, inputs as nodes.
+        Json g = Json::object();
+        g.set("num_nodes", Json::number(static_cast<std::int64_t>(
+                               job.embeddings.size())));
+        g.set("feature_dim", Json::number(dim));
+        Json flat = Json::array();
+        for (const std::vector<float>& e : job.embeddings) {
+          for (const float v : e) {
+            flat.push_back(Json::number(static_cast<double>(v)));
+          }
+        }
+        g.set("features", std::move(flat));
+        body.set("gnn", std::move(g));
+      }
+      send_bytes(conn, make_response(200, body.dump()));
+    }
+  }
+  embed_jobs_.erase(jit);
+  if (fd >= 0 && conns_.find(fd) != conns_.end()) process_requests(fd);
+}
+
 void HttpServer::handle_stats(Conn& conn) {
   std::string body = "{\n\"engine\": ";
   body += engine_.stats_json();
@@ -568,6 +788,10 @@ std::string HttpServer::counters_json() const {
         Json::number(static_cast<std::int64_t>(c_cancels_.load())));
   c.set("client_aborts",
         Json::number(static_cast<std::int64_t>(c_client_aborts_.load())));
+  c.set("embed_jobs",
+        Json::number(static_cast<std::int64_t>(c_embed_jobs_.load())));
+  c.set("embed_inputs",
+        Json::number(static_cast<std::int64_t>(c_embed_inputs_.load())));
   return c.dump();
 }
 
@@ -683,6 +907,7 @@ void HttpServer::handle_session_drop(Conn& conn, std::uint64_t session_id) {
 }
 
 void HttpServer::handle_engine_event(EngineEvent& event) {
+  if (handle_embed_event(event)) return;
   auto it = streams_.find(event.request_id);
   if (it == streams_.end()) return;  // stream dropped (client abort + stop)
   Stream& stream = it->second;
@@ -819,7 +1044,19 @@ void HttpServer::destroy_conn(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   Conn& conn = it->second;
-  if (conn.busy) {
+  if (conn.busy && conn.embed_job != 0) {
+    // The client left before its embed join completed: detach the job
+    // (it drains its remaining finish events responseless) and stop the
+    // engine spending forwards on it.
+    auto jit = embed_jobs_.find(conn.embed_job);
+    if (jit != embed_jobs_.end()) {
+      jit->second.conn_fd = -1;
+      for (const std::uint64_t id : jit->second.request_ids) {
+        engine_.cancel(id);
+      }
+    }
+    c_client_aborts_.fetch_add(1);
+  } else if (conn.busy) {
     // The audience left mid-stream: stop spending decode steps on it.
     auto sit = streams_.find(conn.stream_id);
     if (sit != streams_.end()) sit->second.conn_fd = -1;

@@ -20,6 +20,9 @@
 //                             completion. Backpressure maps try_submit
 //                             load-shedding to 429; a deadline that
 //                             expires before the first token maps to 504.
+//                             "grammar": "<name>" selects a compiled
+//                             grammar from HttpServerConfig::grammars for
+//                             constrained decoding (unknown name -> 400).
 //   DELETE /v1/requests/{id}  engine.cancel(id); 202. An in-flight stream
 //                             ends with a final chunk whose status is
 //                             "cancelled".
@@ -45,6 +48,21 @@
 //                             residency ("host"|"disk"|"none").
 //   DELETE /v1/sessions/{id}  drop the session and its parked KV; 404 when
 //                             unknown.
+//   POST   /v1/embeddings     batched embeddings through the same engine:
+//                             {"inputs": [[ids...], ...], "reduce":
+//                             "mean"|"cls", "gnn": bool}. Fans out one
+//                             prefill-only engine request per input (so
+//                             embeddings share KV-lease admission and
+//                             metrics with generation), joins the finish
+//                             events, and answers one JSON document
+//                             {"dim", "embeddings": [[floats]...]}; with
+//                             "gnn": true a {"num_nodes", "feature_dim",
+//                             "features": [flat]} block rides along as
+//                             node-feature input for a downstream GNN.
+//                             Malformed bodies -> 400 (any already-
+//                             submitted inputs are cancelled); a full
+//                             admission queue -> 429. Requires the engine
+//                             to be configured with an embedder (else 501).
 //   GET    /v1/stats          engine ServerStats::to_json() (now including
 //                             kv-tier and session counters) plus the
 //                             server's own HTTP counters.
@@ -56,6 +74,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -82,6 +101,12 @@ struct HttpServerConfig {
   /// full queue blocks the engine thread (bounded memory beats unbounded
   /// buffering), so size it for the expected token burst rate.
   std::size_t completion_queue_capacity = 4096;
+  /// Named compiled grammars a /v1/generate body can select with
+  /// "grammar": "<name>" for constrained decoding. Compiled once at
+  /// deployment; unknown names are a 400. Requires the engine to be built
+  /// with EngineConfig::workloads.grammar = true.
+  std::map<std::string, std::shared_ptr<const serve::workloads::TokenDfa>>
+      grammars;
 
   /// Throws (MGPT_CHECK) on unserviceable knobs, same discipline as
   /// serve::EngineConfig::validate(): port outside [0, 65535],
@@ -103,6 +128,8 @@ struct HttpCounters {
   std::uint64_t bad_request_400 = 0;       // body-level rejections
   std::uint64_t cancels_requested = 0;
   std::uint64_t client_aborts = 0;         // disconnect mid-stream
+  std::uint64_t embed_jobs = 0;            // /v1/embeddings requests served
+  std::uint64_t embed_inputs = 0;          // individual inputs embedded
 };
 
 class HttpServer {
@@ -139,6 +166,7 @@ class HttpServer {
     bool close_after_flush = false;
     bool busy = false;             // a generate stream owns this response
     std::uint64_t stream_id = 0;
+    std::uint64_t embed_job = 0;   // non-zero: an embed join owns it
   };
 
   struct Stream {
@@ -147,6 +175,19 @@ class HttpServer {
     bool headers_sent = false;
     std::uint64_t id = 0;
     std::vector<std::int32_t> tokens;  // generated tokens, arrival order
+  };
+
+  // One /v1/embeddings request: N engine sub-requests joined into one
+  // response. Lives until every sub-request's finish event has arrived,
+  // even after a client abort (conn_fd = -1), so late events never dangle.
+  struct EmbedJob {
+    int conn_fd = -1;
+    bool gnn = false;
+    std::size_t remaining = 0;
+    std::uint64_t id = 0;
+    std::vector<std::vector<float>> embeddings;   // by input index
+    std::vector<serve::RequestStatus> statuses;   // by input index
+    std::vector<std::uint64_t> request_ids;       // for cancel on abort
   };
 
   void loop();
@@ -164,6 +205,12 @@ class HttpServer {
   void handle_stats(Conn& conn);
   void handle_cancel(Conn& conn, std::string_view id_text);
   void handle_request_status(Conn& conn, std::uint64_t id);
+  void handle_embeddings(Conn& conn, const HttpRequest& request);
+  // True when the event belonged to an embed sub-request (and was
+  // consumed); finish events decrement the job and emit the joined
+  // response once the last one lands.
+  bool handle_embed_event(EngineEvent& event);
+  void finish_embed_job(std::uint64_t job_id);
   void handle_session_create(Conn& conn);
   void handle_session_generate(Conn& conn, const HttpRequest& request,
                                std::uint64_t session_id);
@@ -193,12 +240,17 @@ class HttpServer {
 
   std::map<int, Conn> conns_;
   std::map<std::uint64_t, Stream> streams_;
+  std::map<std::uint64_t, EmbedJob> embed_jobs_;          // by job id
+  // Engine request id -> (job id, input index) for the join.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::size_t>>
+      embed_requests_;
+  std::uint64_t next_embed_job_ = 1;
 
   // Written by the loop thread, read by counters() from any thread.
   std::atomic<std::uint64_t> c_accepted_{0}, c_rejected_{0}, c_requests_{0},
       c_protocol_errors_{0}, c_streams_started_{0}, c_streams_completed_{0},
       c_shed_{0}, c_timeout_{0}, c_bad_request_{0}, c_cancels_{0},
-      c_client_aborts_{0};
+      c_client_aborts_{0}, c_embed_jobs_{0}, c_embed_inputs_{0};
 };
 
 }  // namespace matgpt::net

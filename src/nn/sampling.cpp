@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -85,6 +86,28 @@ std::int32_t sample_token(std::span<const float> logits,
     weights[i] = probs[order[i]];
   }
   return static_cast<std::int32_t>(order[rng.categorical(weights)]);
+}
+
+std::int32_t sample_token_masked(std::span<const float> logits,
+                                 std::span<const std::uint8_t> allowed,
+                                 const SamplingParams& options, Rng& rng,
+                                 std::vector<float>& scratch) {
+  MGPT_CHECK(!logits.empty(), "sample_token_masked requires logits");
+  MGPT_CHECK(allowed.size() == logits.size(),
+             "sample_token_masked: mask size must equal vocab size");
+  scratch.assign(logits.begin(), logits.end());
+  bool any = false;
+  for (std::size_t v = 0; v < scratch.size(); ++v) {
+    if (allowed[v]) {
+      any = true;
+    } else {
+      scratch[v] = -std::numeric_limits<float>::infinity();
+    }
+  }
+  MGPT_CHECK(any,
+             "sample_token_masked: empty mask (dead grammar state) — the "
+             "caller must fail the request instead of sampling");
+  return sample_token(scratch, options, rng);
 }
 
 std::vector<float> sampling_probs(std::span<const float> logits,

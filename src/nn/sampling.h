@@ -49,6 +49,22 @@ struct SamplingParams {
 std::int32_t sample_token(std::span<const float> logits,
                           const SamplingParams& params, Rng& rng);
 
+/// Sample under a per-token legality mask (the grammar-constrained decoding
+/// hook). The logits row is copied into `scratch` and every token with
+/// allowed[v] == 0 gets -inf written over it before delegating to
+/// sample_token — -inf softmaxes to probability 0 and never wins argmax, so
+/// a masked token is unreachable on both the greedy and stochastic paths.
+/// An ALL-ONES mask writes nothing: the sampler sees a bit-identical copy
+/// of the row and returns exactly what unmasked sample_token would, which
+/// is the byte-identity guarantee constrained requests rely on when their
+/// grammar allows everything. At least one token must be allowed — an empty
+/// mask is the caller's dead-state failure path, not a sampling question.
+/// `scratch` is caller-owned so the decode loop reuses one allocation.
+std::int32_t sample_token_masked(std::span<const float> logits,
+                                 std::span<const std::uint8_t> allowed,
+                                 const SamplingParams& params, Rng& rng,
+                                 std::vector<float>& scratch);
+
 /// Greedy argmax with a deterministic tie-break: among equal maxima the
 /// LOWEST token id wins (std::max_element keeps the first). sample_token's
 /// greedy path uses exactly this, which is what makes speculative-decoding

@@ -5,7 +5,10 @@
 #include <utility>
 
 #include "common/error.h"
+#include "nn/bert.h"
 #include "nn/sampling.h"
+#include "serve/workloads/embed.h"
+#include "serve/workloads/grammar.h"
 #include "tensor/gemm_tune.h"
 
 namespace matgpt::serve {
@@ -57,6 +60,20 @@ void EngineConfig::validate() const {
                  tensor_parallel == 1,
              "EngineConfig: decode_quant requires tensor_parallel == 1 (the "
              "sharded forwards have no quantized kernels)");
+  MGPT_CHECK(workloads.max_embed_batch >= 1,
+             "EngineConfig: workloads.max_embed_batch must be >= 1 (got "
+                 << workloads.max_embed_batch << ")");
+  MGPT_CHECK(workloads.grammar_max_states >= 1,
+             "EngineConfig: workloads.grammar_max_states must be >= 1 (got "
+                 << workloads.grammar_max_states << ")");
+  MGPT_CHECK(!workloads.map_classes || scheduler == sched::Policy::kPriority,
+             "EngineConfig: workloads.map_classes maps workload classes onto "
+             "scheduler priorities; it requires scheduler == kPriority (FCFS "
+             "would silently ignore the mapping)");
+  MGPT_CHECK(!workloads.grammar || proposer == nullptr,
+             "EngineConfig: grammar-constrained decoding and a draft "
+             "proposer cannot coexist — the proposer samples draft tokens "
+             "unmasked, so a verified draft could be grammar-illegal");
 }
 
 namespace {
@@ -280,7 +297,7 @@ InferenceEngine::Pending InferenceEngine::make_pending(Request request) {
   const bool session = request.session_id != 0;
   MGPT_CHECK(session || !request.prompt.empty(),
              "request requires a non-empty prompt");
-  MGPT_CHECK(request.max_new_tokens > 0,
+  MGPT_CHECK(request.embed || request.max_new_tokens > 0,
              "request must generate at least one token");
   request.sampling.validate();
   MGPT_CHECK(request.spec_k >= 0, "spec_k must be non-negative");
@@ -290,6 +307,66 @@ InferenceEngine::Pending InferenceEngine::make_pending(Request request) {
                                                "with a draft proposer");
   MGPT_CHECK(request.deadline_ms >= 0.0,
              "deadline_ms must be >= 0 (got " << request.deadline_ms << ")");
+  if (request.grammar != nullptr) {
+    MGPT_CHECK(config_.workloads.grammar,
+               "constrained request needs an engine with "
+               "EngineConfig::workloads.grammar enabled");
+    MGPT_CHECK(!request.embed,
+               "a request cannot be both grammar-constrained and embed");
+    MGPT_CHECK(request.spec_k == 0,
+               "grammar-constrained requests cannot be speculative (draft "
+               "proposals are sampled unmasked)");
+    MGPT_CHECK(!session,
+               "grammar-constrained requests cannot ride a session (the DFA "
+               "state is per-utterance, not per-conversation)");
+    MGPT_CHECK(request.grammar->vocab_size() == model_.config().vocab_size,
+               "request grammar was compiled for vocab "
+                   << request.grammar->vocab_size() << "; the model's is "
+                   << model_.config().vocab_size);
+    MGPT_CHECK(request.grammar->n_states() <=
+                   config_.workloads.grammar_max_states,
+               "request grammar has " << request.grammar->n_states()
+                                      << " DFA states; workloads."
+                                         "grammar_max_states caps it at "
+                                      << config_.workloads.grammar_max_states);
+  }
+  if (request.embed) {
+    const nn::BertEncoder* enc = config_.workloads.embedder.get();
+    MGPT_CHECK(enc != nullptr,
+               "embedding request needs an engine with "
+               "EngineConfig::workloads.embedder set");
+    MGPT_CHECK(!session,
+               "embedding requests cannot ride a session (there is no KV "
+               "history to park)");
+    MGPT_CHECK(request.spec_k == 0,
+               "embedding requests are prefill-only; spec_k must be 0");
+    MGPT_CHECK(static_cast<std::int64_t>(request.prompt.size()) <=
+                   enc->config().max_seq,
+               "embedding input of " << request.prompt.size()
+                                     << " tokens exceeds the encoder's "
+                                        "max_seq "
+                                     << enc->config().max_seq);
+    for (const std::int32_t t : request.prompt) {
+      MGPT_CHECK(t >= 0 && t < enc->config().vocab_size,
+                 "embedding input token " << t
+                                          << " outside the encoder vocab ["
+                                          << 0 << ", "
+                                          << enc->config().vocab_size << ")");
+    }
+  }
+  // Workload-class scheduling: constrained requests are interactive
+  // (structured output gates a caller), embeddings are batch work. Only a
+  // request that left priority at the default is mapped — an explicit
+  // client choice always wins.
+  if (config_.workloads.map_classes && request.priority == Priority::kNormal) {
+    if (request.embed) {
+      request.priority = Priority::kLow;
+    } else if (request.grammar != nullptr) {
+      request.priority = Priority::kHigh;
+    }
+  }
+  // Embeddings generate nothing: their KV budget is the prompt alone.
+  const std::int64_t gen_budget = request.embed ? 0 : request.max_new_tokens;
   auto check_budget = [this](std::int64_t budget) {
     MGPT_CHECK(budget <= model_.config().max_seq,
                "request needs " << budget << " tokens; model max_seq is "
@@ -315,7 +392,7 @@ InferenceEngine::Pending InferenceEngine::make_pending(Request request) {
                "a session's first request requires a non-empty prompt");
     check_budget(static_cast<std::int64_t>(state.tokens.size()) +
                  static_cast<std::int64_t>(request.prompt.size()) +
-                 request.max_new_tokens);
+                 gen_budget);
     if (!state.tokens.empty()) {
       // Resume: the working token vector is history + new prompt, and the
       // rng stream continues exactly where the last turn left it.
@@ -328,7 +405,7 @@ InferenceEngine::Pending InferenceEngine::make_pending(Request request) {
     state.busy = true;
   } else {
     check_budget(static_cast<std::int64_t>(request.prompt.size()) +
-                 request.max_new_tokens);
+                 gen_budget);
   }
   pending.request = std::move(request);
   pending.submitted = Clock::now();  // client-observed latency includes
@@ -641,7 +718,10 @@ bool InferenceEngine::try_activate(Pending pending, Clock::time_point now) {
       fresh ? prompt_len
             : static_cast<std::int64_t>(pending.tokens.size()) -
                   pending.emitted;
-  const std::int64_t budget = base + req.max_new_tokens;
+  // Embeddings are prefill-only: they lease the prompt's worth of KV (so
+  // the class shares admission pressure and accounting) but generate
+  // nothing.
+  const std::int64_t budget = base + (req.embed ? 0 : req.max_new_tokens);
 
   // Match before leasing so the lease can discount the blocks an aliased
   // prefix supplies for free. The match is capped at prompt_len - 1 so at
@@ -652,7 +732,9 @@ bool InferenceEngine::try_activate(Pending pending, Clock::time_point now) {
   // fresh-admission signal.
   PrefixCache::Match m;
   std::int64_t reused = 0;
-  if (fresh && prefix_cache_ != nullptr) {
+  // Embeddings skip the prefix cache outright: it holds GPT-computed KV
+  // rows an embedding forward never reads.
+  if (fresh && !req.embed && prefix_cache_ != nullptr) {
     m = prefix_cache_->match(prompt, prompt_len - 1);
     reused = m.tokens;
   }
@@ -723,10 +805,15 @@ bool InferenceEngine::try_activate(Pending pending, Clock::time_point now) {
   if (fresh) {
     seq.rng = seq.request.sampling.make_rng();
     seq.tokens = seq.request.prompt;
+    if (seq.request.grammar != nullptr) {
+      seq.gstate = seq.request.grammar->start();
+    }
   } else {
-    // Byte-identical resume: the rng state and tokens carry over exactly.
+    // Byte-identical resume: the rng state, tokens, and grammar DFA state
+    // carry over exactly.
     seq.rng = pending.rng;
     seq.tokens = std::move(pending.tokens);
+    seq.gstate = pending.gstate;
   }
   seq.emitted = pending.emitted;
   seq.ttft_s = pending.ttft_s;
@@ -743,8 +830,15 @@ bool InferenceEngine::try_activate(Pending pending, Clock::time_point now) {
   const auto len = static_cast<std::int64_t>(seq.tokens.size());
   seq.sample_first = seq.emitted == 0;
   seq.prefill_target = seq.sample_first ? len : len - 1;
+  if (seq.request.embed) {
+    // Prefill-only class: the BERT forward happens in embed_phase; the GPT
+    // prefill/decode machinery never touches this sequence (its leased KV
+    // stays empty — the lease exists for admission accounting).
+    seq.sample_first = false;
+    seq.prefill_target = 0;
+  }
 
-  if (fresh) {
+  if (fresh && !seq.request.embed) {
     // Prefix cache: alias the matched blocks into the lease's table (zero
     // copy). Unpin before the prefill phase so our own pins never block
     // edge splits. Aliased rows ARE the rows a cold prefill would compute,
@@ -824,7 +918,9 @@ void InferenceEngine::prefill_step(ActiveSeq& seq, Clock::time_point now) {
         static_cast<std::int64_t>(seq.request.prompt.size()), *seq.kv);
   }
   const auto t = Clock::now();
-  seq.tokens.push_back(sample_row(logits, 0, seq));
+  const std::optional<std::int32_t> first = sample_row(logits, 0, seq);
+  if (!first.has_value()) return;  // dead grammar state: retires this step
+  seq.tokens.push_back(*first);
   seq.emitted = 1;
   seq.ttft_s = secs(t - seq.submitted);
   {
@@ -855,6 +951,7 @@ void InferenceEngine::preempt(std::size_t idx) {
   pending.session_resume = seq.session_resume;
   pending.spec = seq.spec;
   pending.last_token = seq.last_token;
+  pending.gstate = seq.gstate;
 
   bool swapped = false;
   if (config_.preempt_mode == sched::PreemptMode::kSwap &&
@@ -882,13 +979,44 @@ void InferenceEngine::prefill_phase(Clock::time_point now) {
   }
 }
 
-std::int32_t InferenceEngine::sample_row(const Var& logits, std::int64_t row,
-                                         ActiveSeq& seq) const {
+std::optional<std::int32_t> InferenceEngine::sample_row(const Var& logits,
+                                                        std::int64_t row,
+                                                        ActiveSeq& seq) {
   const std::int64_t v = model_.config().vocab_size;
-  return nn::sample_token(
-      std::span<const float>(logits.value().data() + row * v,
-                             static_cast<std::size_t>(v)),
-      seq.request.sampling, seq.rng);
+  const std::span<const float> row_logits(logits.value().data() + row * v,
+                                          static_cast<std::size_t>(v));
+  const workloads::TokenDfa* dfa = seq.request.grammar.get();
+  if (dfa == nullptr) {
+    return nn::sample_token(row_logits, seq.request.sampling, seq.rng);
+  }
+  mask_scratch_.resize(static_cast<std::size_t>(v));
+  const std::int64_t legal = dfa->legal_mask(seq.gstate, mask_scratch_);
+  if (legal == 0) {
+    // Dead state: no token and no EOS can extend the utterance. Fail the
+    // request deterministically instead of hanging or sampling illegally.
+    seq.finished = true;
+    seq.finish_status = RequestStatus::kGrammarDead;
+    return std::nullopt;
+  }
+  const std::int32_t token = nn::sample_token_masked(
+      row_logits, mask_scratch_, seq.request.sampling, seq.rng,
+      logit_scratch_);
+  bool eos_stop = false;
+  if (dfa->halt_on_eos() && token == dfa->eos() && dfa->eos_legal(seq.gstate)) {
+    // EOS at an accepting state: the utterance is complete. The token is
+    // still emitted (clients see the stop) but the sequence retires.
+    seq.finished = true;
+    eos_stop = true;
+  } else {
+    const std::int32_t next = dfa->next(seq.gstate, token);
+    MGPT_ASSERT(next >= 0);  // masked sampling can only pick legal tokens
+    seq.gstate = next;
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.record_grammar_step(eos_stop);
+  }
+  return token;
 }
 
 void InferenceEngine::park_to_session(ActiveSeq& seq) {
@@ -937,6 +1065,9 @@ void InferenceEngine::finish(ActiveSeq& seq, RequestStatus status,
           ? static_cast<double>(result.generated_tokens) / result.total_s
           : 0.0;
   result.preemptions = seq.preemptions;
+  result.embed = seq.request.embed;
+  result.constrained = seq.request.grammar != nullptr;
+  result.embedding = std::move(seq.embedding);
   result.drafts_proposed = seq.spec.drafts_proposed;
   result.drafts_accepted = seq.spec.drafts_accepted;
   // The prefill forward counts as a verify round so steps-saved compares
@@ -1006,6 +1137,8 @@ void InferenceEngine::finish_pending(Pending& pending, RequestStatus status,
           ? static_cast<double>(result.generated_tokens) / result.total_s
           : 0.0;
   result.preemptions = pending.preemptions;
+  result.embed = pending.request.embed;
+  result.constrained = pending.request.grammar != nullptr;
   result.drafts_proposed = pending.spec.drafts_proposed;
   result.drafts_accepted = pending.spec.drafts_accepted;
   result.verify_rounds =
@@ -1016,6 +1149,76 @@ void InferenceEngine::finish_pending(Pending& pending, RequestStatus status,
   }
   if (pending.request.on_finish) pending.request.on_finish(result);
   pending.promise.set_value(std::move(result));
+}
+
+std::size_t InferenceEngine::embed_phase(Clock::time_point now) {
+  const nn::BertEncoder* enc = config_.workloads.embedder.get();
+  if (enc == nullptr) return 0;
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const ActiveSeq& seq = active_[i];
+    if (seq.request.embed && !seq.finished) ready.push_back(i);
+  }
+  if (ready.empty()) return 0;
+  // One encode forward handles one [batch, seq] rectangle of a single
+  // reduce mode, so group by (length, reduce); stable sort keeps admission
+  // order within a group. Groups cap at max_embed_batch per forward.
+  std::stable_sort(ready.begin(), ready.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const ActiveSeq& sa = active_[a];
+                     const ActiveSeq& sb = active_[b];
+                     if (sa.tokens.size() != sb.tokens.size()) {
+                       return sa.tokens.size() < sb.tokens.size();
+                     }
+                     return sa.request.embed_reduce < sb.request.embed_reduce;
+                   });
+  std::size_t g = 0;
+  while (g < ready.size()) {
+    std::size_t end = g + 1;
+    while (end < ready.size() &&
+           static_cast<std::int64_t>(end - g) <
+               config_.workloads.max_embed_batch &&
+           active_[ready[end]].tokens.size() ==
+               active_[ready[g]].tokens.size() &&
+           active_[ready[end]].request.embed_reduce ==
+               active_[ready[g]].request.embed_reduce) {
+      ++end;
+    }
+    std::vector<std::vector<std::int32_t>> group;
+    group.reserve(end - g);
+    for (std::size_t j = g; j < end; ++j) {
+      ActiveSeq& seq = active_[ready[j]];
+      if (seq.queue_delay_s < 0.0) {
+        seq.queue_delay_s = secs(now - seq.submitted);
+        std::lock_guard lock(stats_mutex_);
+        stats_.record_queue_delay(seq.queue_delay_s);
+      }
+      group.push_back(seq.tokens);
+    }
+    std::vector<std::vector<float>> vectors = workloads::embed_batch(
+        *enc, group, active_[ready[g]].request.embed_reduce);
+    const auto t = Clock::now();
+    std::int64_t group_tokens = 0;
+    for (std::size_t j = g; j < end; ++j) {
+      ActiveSeq& seq = active_[ready[j]];
+      seq.embedding = std::move(vectors[j - g]);
+      seq.finished = true;  // finish_status stays kOk
+      // TTFT for an embedding is submit-to-vector: the latency the class
+      // gate measures against generation requests' first token.
+      seq.ttft_s = secs(t - seq.submitted);
+      seq.last_token = t;
+      group_tokens += static_cast<std::int64_t>(seq.tokens.size());
+      std::lock_guard lock(stats_mutex_);
+      stats_.record_ttft(seq.ttft_s, seq.request.priority);
+    }
+    {
+      std::lock_guard lock(stats_mutex_);
+      stats_.record_embed_forward(static_cast<std::int64_t>(end - g),
+                                  group_tokens);
+    }
+    g = end;
+  }
+  return ready.size();
 }
 
 std::size_t InferenceEngine::decode_phase() {
@@ -1030,6 +1233,8 @@ std::size_t InferenceEngine::decode_phase() {
   for (std::size_t i = 0; i < active_.size(); ++i) {
     ActiveSeq& seq = active_[i];
     if (!seq.prefill_done) continue;
+    if (seq.finished) continue;  // EOS-halted / dead grammar: retires below
+    if (seq.request.embed) continue;  // prefill-only class, never decodes
     if (seq.emitted >= seq.request.max_new_tokens) continue;
     (seq.request.spec_k > 0 ? speculative : plain).push_back(i);
   }
@@ -1059,8 +1264,9 @@ std::size_t InferenceEngine::decode_phase() {
       const auto now = Clock::now();
       for (std::size_t i = 0; i < plain.size(); ++i) {
         ActiveSeq& seq = active_[plain[i]];
-        advance(seq, sample_row(logits, static_cast<std::int64_t>(i), seq),
-                now);
+        const std::optional<std::int32_t> token =
+            sample_row(logits, static_cast<std::int64_t>(i), seq);
+        if (token.has_value()) advance(seq, *token, now);
       }
     } else {
       // Sequential baseline: one batch-1 step per sequence.
@@ -1071,7 +1277,8 @@ std::size_t InferenceEngine::decode_phase() {
             tape, std::span<const std::int32_t>(&feed[i], 1), *caches[i],
             nn::FwdPath::kDecode);
         const auto now = Clock::now();
-        advance(seq, sample_row(logits, 0, seq), now);
+        const std::optional<std::int32_t> token = sample_row(logits, 0, seq);
+        if (token.has_value()) advance(seq, *token, now);
       }
     }
   }
@@ -1106,8 +1313,16 @@ void InferenceEngine::retire_finished() {
   std::vector<ActiveSeq> survivors;
   survivors.reserve(active_.size());
   for (ActiveSeq& seq : active_) {
-    if (seq.emitted == seq.request.max_new_tokens) {
-      finish(seq, RequestStatus::kOk, seq.last_token);
+    const bool done =
+        seq.finished ||
+        (!seq.request.embed && seq.emitted == seq.request.max_new_tokens);
+    if (done) {
+      // A sequence that never produced a token (dead grammar state before
+      // the first sample) has no last_token; retire it at "now".
+      const Clock::time_point t = seq.last_token == Clock::time_point{}
+                                      ? Clock::now()
+                                      : seq.last_token;
+      finish(seq, seq.finish_status, t);
     } else {
       survivors.push_back(std::move(seq));
     }
@@ -1145,6 +1360,7 @@ std::size_t InferenceEngine::step() {
   if (active_.empty()) return admitted;
   const std::size_t n = active_.size();
   prefill_phase(now);
+  embed_phase(now);
   decode_phase();
   retire_finished();
   if (tp_ != nullptr) {

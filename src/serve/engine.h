@@ -80,7 +80,37 @@
 #include "serve/tp/tp_model.h"
 #include "tensor/kernels.h"
 
+namespace matgpt::nn {
+class BertEncoder;
+}
+
 namespace matgpt::serve {
+
+/// Knobs for the two extra workload classes PR 10 opens through the engine
+/// (see serve/workloads): grammar-constrained generation and prefill-only
+/// batched embeddings.
+struct WorkloadsConfig {
+  /// Accept requests carrying a Request::grammar TokenDfa. Off by default so
+  /// a deployment that never compiled a grammar rejects stray constrained
+  /// requests loudly instead of silently decoding them unconstrained.
+  bool grammar = false;
+  /// Upper bound on a request grammar's compiled DFA state count — a
+  /// defense against a hostile/buggy client submitting a grammar whose
+  /// per-step legal_mask walk dominates the decode step.
+  std::int64_t grammar_max_states = 65536;
+  /// BERT encoder backing Request::embed requests (null = embedding class
+  /// off). The engine never mutates it; one encoder serves every request.
+  std::shared_ptr<const nn::BertEncoder> embedder;
+  /// Maximum sequences per batched embedding forward. Same-length requests
+  /// group into one BertEncoder::encode call up to this cap.
+  std::int64_t max_embed_batch = 8;
+  /// Map workload classes onto scheduler priorities when the client left
+  /// Request::priority at kNormal: constrained -> kHigh (interactive,
+  /// latency-sensitive structured output), embed -> kLow (batch class).
+  /// Requires sched::Policy::kPriority — FCFS would ignore the classes and
+  /// silently defeat the mapping.
+  bool map_classes = false;
+};
 
 struct EngineConfig {
   /// Maximum sequences decoded together per step.
@@ -162,14 +192,18 @@ struct EngineConfig {
   /// previously decoded tokens — loses bit-identity to an unpreempted run.
   /// Requires tensor_parallel == 1.
   kernels::WeightFormat decode_quant = kernels::WeightFormat::kF32;
+  /// Grammar-constrained decoding + batched embedding workload classes.
+  WorkloadsConfig workloads;
   StatsConfig stats;
 
   /// Throws (MGPT_CHECK) on unserviceable knobs: max_batch <= 0,
   /// kv_slots == 0, queue_capacity == 0, kv_block_tokens <= 0 (paged), a
   /// prefix cache on a slotted pool, prefill_chunk_tokens < 0,
   /// sched_aging_ms < 0, a disk tier without a spill_dir, a negative
-  /// kv_tier.prefetch_depth, a tune_cache_path without gemm_autotune, or
-  /// decode_quant != kF32 with tensor_parallel > 1. Called by the engine constructor before any
+  /// kv_tier.prefetch_depth, a tune_cache_path without gemm_autotune,
+  /// decode_quant != kF32 with tensor_parallel > 1, workloads.map_classes
+  /// without the priority scheduler, or non-positive workloads batch/state
+  /// bounds. Called by the engine constructor before any
   /// allocation; the prefix-cache budget-vs-block check lives in the
   /// PrefixCache constructor on the same path.
   void validate() const;
@@ -315,6 +349,10 @@ class InferenceEngine {
     bool session_resume = false;
     spec::SpecStats spec;
     Clock::time_point last_token;
+    /// Grammar DFA state reached so far (constrained requests only) —
+    /// carried across preemption like the rng so the resumed sequence masks
+    /// exactly as an unpreempted one would.
+    std::int32_t gstate = 0;
   };
 
   struct ActiveSeq {
@@ -341,6 +379,16 @@ class InferenceEngine {
     bool sample_first = true;
     bool prefill_done = false;
     bool session_resume = false;
+    // Grammar DFA state (constrained requests; see Pending::gstate).
+    std::int32_t gstate = 0;
+    // Terminal before max_new_tokens: a compiled grammar sampled EOS at an
+    // accepting state (finish_status stays kOk), the DFA hit a dead state
+    // (kGrammarDead), or an embedding finished its forward. retire_finished
+    // turns the flag into retirement.
+    bool finished = false;
+    RequestStatus finish_status = RequestStatus::kOk;
+    // Embedding requests: the pooled vector embed_phase produced.
+    std::vector<float> embedding;
   };
 
   /// Always-in-RAM per-session record: the token history and rng state a
@@ -378,10 +426,19 @@ class InferenceEngine {
   void preempt(std::size_t idx);
   void prefill_step(ActiveSeq& seq, Clock::time_point now);
   void prefill_phase(Clock::time_point now);
+  /// Run every ready embedding sequence through the BERT encoder, batching
+  /// same-(length, reduce) groups up to workloads.max_embed_batch per
+  /// forward. Returns the number of sequences embedded.
+  std::size_t embed_phase(Clock::time_point now);
   std::size_t decode_phase();
   void retire_finished();
-  std::int32_t sample_row(const Var& logits, std::int64_t row,
-                          ActiveSeq& seq) const;
+  /// Sample the next token for `seq` from `logits` row `row`, masking to
+  /// the grammar's legal set when the request is constrained (all-ones
+  /// masks are byte-identical to the unmasked path). nullopt = the grammar
+  /// hit a dead state; seq.finished/finish_status are set and the caller
+  /// must not advance the sequence.
+  std::optional<std::int32_t> sample_row(const Var& logits, std::int64_t row,
+                                         ActiveSeq& seq);
   void finish(ActiveSeq& seq, RequestStatus status, Clock::time_point now);
   void finish_pending(Pending& pending, RequestStatus status,
                       Clock::time_point now);
@@ -431,6 +488,11 @@ class InferenceEngine {
   // holding the lock there deadlocks the whole server under token bursts.
   mutable std::mutex stats_mutex_;
   Clock::time_point started_at_ = Clock::now();
+
+  // Worker-thread scratch for masked sampling (one allocation reused across
+  // every constrained decode step instead of a per-token vocab-sized alloc).
+  std::vector<std::uint8_t> mask_scratch_;
+  std::vector<float> logit_scratch_;
 
   std::vector<ActiveSeq> active_;
 };

@@ -42,6 +42,9 @@ void ServerStats::record_request(const RequestResult& result) {
   if (result.status == RequestStatus::kCancelled) cancelled_ += 1;
   if (result.status == RequestStatus::kTimeout) timed_out_ += 1;
   if (result.status == RequestStatus::kParked) parked_ += 1;
+  if (result.status == RequestStatus::kGrammarDead) grammar_dead_ += 1;
+  if (result.constrained) grammar_requests_ += 1;
+  if (result.embed) embed_requests_ += 1;
   tokens_generated_ += static_cast<std::uint64_t>(result.generated_tokens);
   sum_request_tokens_per_s_ += result.tokens_per_s;
   drafts_proposed_ += static_cast<std::uint64_t>(result.drafts_proposed);
@@ -115,6 +118,18 @@ void ServerStats::record_gemm(const gemm_tune::TunerStats& gemm) {
   gemm_ = gemm;
 }
 
+void ServerStats::record_grammar_step(bool eos_stop) {
+  grammar_masked_tokens_ += 1;
+  if (eos_stop) grammar_eos_stops_ += 1;
+}
+
+void ServerStats::record_embed_forward(std::int64_t batch,
+                                       std::int64_t tokens) {
+  embed_forwards_ += 1;
+  embed_batched_seqs_ += static_cast<std::uint64_t>(batch);
+  embed_tokens_ += static_cast<std::uint64_t>(tokens);
+}
+
 double ServerStats::mean_request_tokens_per_s() const {
   return requests_completed_ == 0
              ? 0.0
@@ -170,6 +185,16 @@ std::string ServerStats::report(double wall_s) const {
        << tier_.demotions << " demotions, " << tier_.promotions
        << " promotions, " << tier_.prefetch_hits << " prefetch hits, "
        << tier_.corrupt_drops + tier_.spill_failures << " spill faults\n";
+  }
+  if (grammar_requests_ > 0) {
+    os << "grammar decoding:    " << grammar_requests_ << " requests, "
+       << grammar_masked_tokens_ << " masked tokens, " << grammar_eos_stops_
+       << " EOS stops, " << grammar_dead_ << " dead states\n";
+  }
+  if (embed_requests_ > 0) {
+    os << "embeddings:          " << embed_requests_ << " requests, "
+       << embed_forwards_ << " forwards (mean batch " << embed_mean_batch()
+       << "), " << embed_tokens_ << " input tokens\n";
   }
   if (drafts_proposed_ > 0) {
     os << "spec acceptance:     " << 100.0 * acceptance_rate() << "% ("
@@ -291,6 +316,14 @@ std::string ServerStats::to_json(double wall_s) const {
   os << ",\n  \"kv_tier_store_refusals\": " << tier_.store_refusals;
   os << ",\n  \"kv_tier_spill_failures\": " << tier_.spill_failures;
   os << ",\n  \"kv_tier_corrupt_drops\": " << tier_.corrupt_drops;
+  os << ",\n  \"grammar_requests\": " << grammar_requests_;
+  os << ",\n  \"grammar_masked_tokens\": " << grammar_masked_tokens_;
+  os << ",\n  \"grammar_eos_stops\": " << grammar_eos_stops_;
+  os << ",\n  \"grammar_dead\": " << grammar_dead_;
+  os << ",\n  \"embed_requests\": " << embed_requests_;
+  os << ",\n  \"embed_forwards\": " << embed_forwards_;
+  os << ",\n  \"embed_tokens\": " << embed_tokens_;
+  os << ",\n  \"embed_mean_batch\": " << embed_mean_batch();
   os << ",\n  \"gemm_autotune\": " << (gemm_autotune_ ? "true" : "false");
   os << ",\n  \"decode_quant\": \"" << decode_quant_ << "\"";
   os << ",\n  \"gemm_tune_lookups\": " << gemm_.lookups;

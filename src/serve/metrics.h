@@ -73,6 +73,12 @@ class ServerStats {
   /// Autotuner per-step snapshot (lifetime totals from the process-global
   /// tuner; counters overwrite).
   void record_gemm(const gemm_tune::TunerStats& gemm);
+  /// One grammar-masked sampling step; `eos_stop` = the step sampled EOS at
+  /// an accepting state and ended the utterance.
+  void record_grammar_step(bool eos_stop);
+  /// One batched embedding forward of `batch` sequences totalling `tokens`
+  /// input tokens.
+  void record_embed_forward(std::int64_t batch, std::int64_t tokens);
 
   std::uint64_t requests_completed() const { return requests_completed_; }
   std::uint64_t tokens_generated() const { return tokens_generated_; }
@@ -154,6 +160,28 @@ class ServerStats {
   }
   std::size_t sessions_live() const { return sessions_live_; }
   const kv_tier::TierStats& tier() const { return tier_; }
+
+  /// Workload-class aggregates (all zero when no constrained/embedding
+  /// request was served). Counted at retirement via record_request's
+  /// constrained/embed flags except the per-step token counters.
+  std::uint64_t grammar_requests() const { return grammar_requests_; }
+  std::uint64_t grammar_masked_tokens() const {
+    return grammar_masked_tokens_;
+  }
+  std::uint64_t grammar_eos_stops() const { return grammar_eos_stops_; }
+  std::uint64_t grammar_dead() const { return grammar_dead_; }
+  std::uint64_t embed_requests() const { return embed_requests_; }
+  std::uint64_t embed_forwards() const { return embed_forwards_; }
+  std::uint64_t embed_tokens() const { return embed_tokens_; }
+  std::uint64_t embed_batched_seqs() const { return embed_batched_seqs_; }
+  /// Mean sequences per embedding forward — the batching win the embedding
+  /// class exists for.
+  double embed_mean_batch() const {
+    return embed_forwards_ == 0
+               ? 0.0
+               : static_cast<double>(embed_batched_seqs_) /
+                     static_cast<double>(embed_forwards_);
+  }
 
   /// GEMM autotuner aggregates (all zero / "f32" when neither gemm_autotune
   /// nor decode_quant is configured).
@@ -237,6 +265,14 @@ class ServerStats {
   bool gemm_autotune_ = false;
   std::string decode_quant_ = "f32";
   gemm_tune::TunerStats gemm_;
+  std::uint64_t grammar_requests_ = 0;
+  std::uint64_t grammar_masked_tokens_ = 0;
+  std::uint64_t grammar_eos_stops_ = 0;
+  std::uint64_t grammar_dead_ = 0;
+  std::uint64_t embed_requests_ = 0;
+  std::uint64_t embed_forwards_ = 0;
+  std::uint64_t embed_tokens_ = 0;
+  std::uint64_t embed_batched_seqs_ = 0;
 };
 
 }  // namespace matgpt::serve

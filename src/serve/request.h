@@ -4,9 +4,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "nn/sampling.h"
+
+namespace matgpt::serve::workloads {
+class TokenDfa;
+}
 
 namespace matgpt::serve {
 
@@ -39,6 +44,11 @@ enum class RequestStatus : std::uint8_t {
   /// rows, tokens, rng) was put cold in the KV tier store so the
   /// conversation can resume later byte-identically.
   kParked,
+  /// A grammar-constrained request reached a DFA state with no legal token
+  /// and no legal EOS. The engine fails the request deterministically with
+  /// whatever tokens it had rather than hanging or sampling an illegal
+  /// token.
+  kGrammarDead,
 };
 
 inline const char* status_name(RequestStatus s) {
@@ -51,6 +61,27 @@ inline const char* status_name(RequestStatus s) {
       return "timeout";
     case RequestStatus::kParked:
       return "parked";
+    case RequestStatus::kGrammarDead:
+      return "grammar_dead";
+  }
+  return "?";
+}
+
+/// How an embedding request pools the encoder's per-token hidden states
+/// into one fixed-width vector.
+enum class EmbedReduce : std::uint8_t {
+  /// Mean over positions — matches nn::BertEncoder::embed bit-for-bit.
+  kMean = 0,
+  /// First position's hidden state (BERT [CLS] convention).
+  kCls = 1,
+};
+
+inline const char* embed_reduce_name(EmbedReduce r) {
+  switch (r) {
+    case EmbedReduce::kMean:
+      return "mean";
+    case EmbedReduce::kCls:
+      return "cls";
   }
   return "?";
 }
@@ -80,6 +111,20 @@ struct Request {
   /// Greedy speculative requests still produce tokens byte-identical to the
   /// plain path — speculation only changes how fast they arrive.
   std::int64_t spec_k = 0;
+  /// Grammar constraint (null = unconstrained). Every decode step masks the
+  /// logits row to the DFA's legal set before sampling, so every sampled
+  /// token is legal by construction; a compiled grammar also halts on EOS
+  /// once the DFA accepts. The engine must be built with
+  /// `EngineConfig::workloads.grammar = true`. Share one compiled TokenDfa
+  /// across requests — it is immutable after compile.
+  std::shared_ptr<const workloads::TokenDfa> grammar;
+  /// Embedding request: prefill-only through the engine's BERT encoder
+  /// (EngineConfig::workloads.embedder). The prompt is the sequence to
+  /// embed; max_new_tokens/spec_k/sampling are ignored and the result
+  /// carries `embedding` instead of generated tokens. Shares admission,
+  /// KV-lease accounting, and scheduling with generation requests.
+  bool embed = false;
+  EmbedReduce embed_reduce = EmbedReduce::kMean;
   /// Scheduling class (see Priority). FCFS ignores it; the
   /// PriorityScheduler orders admission by it (with aging and EDF).
   Priority priority = Priority::kNormal;
@@ -128,6 +173,12 @@ struct RequestResult {
   std::int64_t drafts_proposed = 0;
   std::int64_t drafts_accepted = 0;
   std::int64_t verify_rounds = 0;
+  /// Embedding requests only: the pooled vector (width = encoder hidden).
+  std::vector<float> embedding;
+  /// Workload class of the finished request (mirrors the Request flags so
+  /// metrics can classify without holding the Request).
+  bool embed = false;
+  bool constrained = false;
 
   double acceptance_rate() const {
     return drafts_proposed == 0

@@ -26,6 +26,14 @@ std::vector<Request> synth_trace(const TraceSpec& spec) {
                  spec.long_prompt_fraction <= 1.0,
              "long_prompt_fraction outside [0, 1]");
   MGPT_CHECK(spec.long_prompt_len >= 0, "negative long_prompt_len");
+  MGPT_CHECK(spec.embed_fraction >= 0.0 && spec.constrained_fraction >= 0.0 &&
+                 spec.embed_fraction + spec.constrained_fraction <= 1.0,
+             "workload fractions must be >= 0 and sum to <= 1");
+  MGPT_CHECK(spec.constrained_fraction == 0.0 ||
+                 spec.constrained_grammar != nullptr,
+             "constrained_fraction > 0 requires a grammar");
+  MGPT_CHECK(spec.embed_vocab_size >= 0, "negative embed_vocab_size");
+  MGPT_CHECK(spec.embed_len_max >= 0, "negative embed_len_max");
   Rng rng(spec.seed);
   // Separate stream for the shared-prefix decoration: the main stream's
   // draw order is untouched, so disabling the feature reproduces earlier
@@ -35,6 +43,14 @@ std::vector<Request> synth_trace(const TraceSpec& spec) {
   // deadlines, long prompts) under the same contract: zeroed knobs draw
   // nothing and reproduce earlier traces bit-for-bit.
   Rng sched_rng(spec.seed ^ 0xc2b2ae3d27d4eb4fULL);
+  // Fourth stream for the mixed-workload decoration (embeddings,
+  // grammar-constrained decode), same contract: both fractions zeroed draw
+  // nothing and reproduce earlier traces bit-for-bit.
+  Rng wl_rng(spec.seed ^ 0x165667b19e3779f9ULL);
+  const bool mix =
+      spec.embed_fraction > 0.0 || spec.constrained_fraction > 0.0;
+  const std::int64_t embed_vocab =
+      spec.embed_vocab_size > 0 ? spec.embed_vocab_size : spec.vocab_size;
   const bool classify = spec.high_fraction > 0.0 || spec.low_fraction > 0.0;
   const bool lengthen =
       spec.long_prompt_fraction > 0.0 && spec.long_prompt_len > 0;
@@ -97,6 +113,28 @@ std::vector<Request> synth_trace(const TraceSpec& spec) {
              spec.long_prompt_len) {
         req.prompt.push_back(static_cast<std::int32_t>(sched_rng.uniform_int(
             static_cast<std::uint64_t>(spec.vocab_size))));
+      }
+    }
+    if (mix) {
+      // One draw per request whenever the mix is on, so the stream stays
+      // aligned regardless of which workload each request lands in.
+      const double u = wl_rng.uniform();
+      if (u < spec.embed_fraction) {
+        req.embed = true;
+        // Rewrite the prompt onto the encoder's vocabulary (and length
+        // budget) from the workload stream; the main stream's draws for
+        // this request already happened and stay aligned.
+        if (spec.embed_len_max > 0 &&
+            static_cast<std::int64_t>(req.prompt.size()) >
+                spec.embed_len_max) {
+          req.prompt.resize(static_cast<std::size_t>(spec.embed_len_max));
+        }
+        for (auto& t : req.prompt) {
+          t = static_cast<std::int32_t>(
+              wl_rng.uniform_int(static_cast<std::uint64_t>(embed_vocab)));
+        }
+      } else if (u < spec.embed_fraction + spec.constrained_fraction) {
+        req.grammar = spec.constrained_grammar;
       }
     }
     trace.push_back(std::move(req));

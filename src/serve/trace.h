@@ -3,6 +3,7 @@
 // mix of prompt lengths, generation budgets, and sampling settings.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -40,6 +41,23 @@ struct TraceSpec {
   /// the chunked-prefill stressor. Either 0 disables.
   double long_prompt_fraction = 0.0;
   std::int64_t long_prompt_len = 0;
+  /// Mixed-workload decoration, drawn from a fourth rng stream (same
+  /// bit-compatibility contract: both fractions zeroed reproduces earlier
+  /// traces exactly). One draw per request classifies it: embed (prefill-
+  /// only embedding through the engine's BERT encoder), constrained
+  /// (Request::grammar = constrained_grammar), or plain generation.
+  double embed_fraction = 0.0;
+  double constrained_fraction = 0.0;
+  /// Grammar attached to constrained requests; required when
+  /// constrained_fraction > 0. Shared across the trace (TokenDfa is
+  /// immutable after compile).
+  std::shared_ptr<const workloads::TokenDfa> constrained_grammar;
+  /// Embed requests rewrite their prompt tokens into [0, embed_vocab_size)
+  /// (0 = use vocab_size) and truncate to embed_len_max tokens (0 = no
+  /// cap) so the trace fits a BERT encoder whose vocab/max_seq are smaller
+  /// than the GPT model's.
+  std::int64_t embed_vocab_size = 0;
+  std::int64_t embed_len_max = 0;
   std::uint64_t seed = 0x7eace;
 };
 

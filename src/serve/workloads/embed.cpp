@@ -1,0 +1,61 @@
+#include "serve/workloads/embed.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "nn/bert.h"
+
+namespace matgpt::serve::workloads {
+
+std::vector<std::vector<float>> embed_batch(
+    const nn::BertEncoder& encoder,
+    std::span<const std::vector<std::int32_t>> seqs, EmbedReduce reduce) {
+  MGPT_CHECK(!seqs.empty(), "embed_batch: empty batch");
+  const std::int64_t seq = static_cast<std::int64_t>(seqs.front().size());
+  MGPT_CHECK(seq > 0, "embed_batch: empty sequence");
+  const std::int64_t batch = static_cast<std::int64_t>(seqs.size());
+  std::vector<std::int32_t> flat;
+  flat.reserve(static_cast<std::size_t>(batch * seq));
+  for (const auto& s : seqs) {
+    MGPT_CHECK(static_cast<std::int64_t>(s.size()) == seq,
+               "embed_batch: all sequences in a batch must share one length");
+    flat.insert(flat.end(), s.begin(), s.end());
+  }
+  Tape tape;
+  NoGradGuard guard(tape);
+  Var h = encoder.encode(tape, flat, batch, seq);
+  const std::int64_t hidden = encoder.config().hidden;
+  const float* src = h.value().data();
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(batch));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::vector<float>& vec = out[static_cast<std::size_t>(b)];
+    const float* rows = src + b * seq * hidden;
+    if (reduce == EmbedReduce::kCls) {
+      vec.assign(rows, rows + hidden);
+      continue;
+    }
+    // Mean pooling in ops::mean_rows' exact order (ascending-row float
+    // accumulate, then one multiply) so batched output stays bit-identical
+    // to BertEncoder::embed.
+    vec.assign(static_cast<std::size_t>(hidden), 0.0f);
+    for (std::int64_t r = 0; r < seq; ++r) {
+      const float* row = rows + r * hidden;
+      for (std::int64_t c = 0; c < hidden; ++c) {
+        vec[static_cast<std::size_t>(c)] += row[c];
+      }
+    }
+    const float inv = 1.0f / static_cast<float>(seq);
+    for (float& v : vec) v *= inv;
+  }
+  return out;
+}
+
+std::vector<float> embed_one(const nn::BertEncoder& encoder,
+                             std::span<const std::int32_t> tokens,
+                             EmbedReduce reduce) {
+  std::vector<std::vector<std::int32_t>> seqs(1);
+  seqs[0].assign(tokens.begin(), tokens.end());
+  return std::move(embed_batch(encoder, seqs, reduce)[0]);
+}
+
+}  // namespace matgpt::serve::workloads

@@ -1,0 +1,35 @@
+#pragma once
+// Batched embedding execution for the serving engine's prefill-only request
+// class: a group of same-length token sequences runs through ONE
+// BertEncoder::encode forward ([batch*seq, C]) and each sequence reduces to
+// a fixed-width vector (mean pooling — byte-identical to
+// nn::BertEncoder::embed's batch-1 path — or the CLS row).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace matgpt::nn {
+class BertEncoder;
+}
+
+namespace matgpt::serve::workloads {
+
+/// Reduce one batched forward. Every sequence must have the same non-zero
+/// length (the engine groups by length before calling); returns one vector
+/// of width encoder.config().hidden per sequence, in input order.
+/// Mean reduction sums rows in ascending order then scales by 1/seq —
+/// exactly ops::mean_rows — so a batched row is bit-identical to the same
+/// sequence through BertEncoder::embed alone.
+std::vector<std::vector<float>> embed_batch(
+    const nn::BertEncoder& encoder,
+    std::span<const std::vector<std::int32_t>> seqs, EmbedReduce reduce);
+
+/// Convenience batch-1 wrapper.
+std::vector<float> embed_one(const nn::BertEncoder& encoder,
+                             std::span<const std::int32_t> tokens,
+                             EmbedReduce reduce);
+
+}  // namespace matgpt::serve::workloads

@@ -1,0 +1,426 @@
+#include "serve/workloads/grammar.h"
+
+#include <map>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "common/error.h"
+#include "tokenizer/bpe.h"
+
+namespace matgpt::serve::workloads {
+namespace {
+
+// Parse modes of the char-DFA construction. A full DFA state is
+// (mode, container stack[, literal progress]); only reachable combinations
+// are materialized by the BFS below.
+enum Mode : std::int32_t {
+  kMValue = 0,   // expecting a value (any root-legal start char)
+  kMObjFirst,    // just after '{': key, '}' or ws
+  kMObjNext,     // after ',' inside an object: key or ws
+  kMObjKey,      // inside a key string
+  kMObjKeyEsc,   // after '\' inside a key string
+  kMAfterKey,    // key closed: ':' or ws
+  kMArrFirst,    // just after '[': value, ']' or ws
+  kMArrNext,     // after ',' inside an array: value or ws
+  kMStr,         // inside a value string
+  kMStrEsc,      // after '\' inside a value string
+  kMNumMinus,    // consumed '-', need a digit
+  kMNumZero,     // consumed a leading '0' (complete number)
+  kMNumInt,      // inside the integer part (complete number)
+  kMNumDot,      // consumed '.', need a fraction digit
+  kMNumFrac,     // inside the fraction (complete number)
+  kMNumExpMark,  // consumed 'e'/'E', need sign or digit
+  kMNumExpSign,  // consumed exponent sign, need a digit
+  kMNumExp,      // inside the exponent (complete number)
+  kMLit,         // inside true/false/null (lit/pos qualified)
+  kMAfterValue,  // value complete, containers still open
+  kMDone,        // value complete, stack empty: accept (+ trailing ws)
+};
+
+constexpr std::string_view kLiterals[3] = {"true", "false", "null"};
+
+struct StateKey {
+  std::int32_t mode = kMValue;
+  std::string stack;      // open containers, innermost last ('{' or '[')
+  std::int32_t lit = -1;  // kMLit only: index into kLiterals
+  std::int32_t pos = 0;   // kMLit only: chars already consumed
+
+  bool operator<(const StateKey& o) const {
+    return std::tie(mode, stack, lit, pos) <
+           std::tie(o.mode, o.stack, o.lit, o.pos);
+  }
+};
+
+class CharDfaBuilder {
+ public:
+  explicit CharDfaBuilder(const GrammarSpec& spec) : spec_(spec) {}
+
+  CharDfa build() {
+    StateKey start;
+    start.mode = kMValue;
+    dfa_.start = intern(start);
+    // Worklist BFS: intern() appends to pending_; expanding one state may
+    // discover others.
+    while (cursor_ < pending_.size()) {
+      const StateKey key = pending_[cursor_++];
+      expand(key);
+    }
+    return std::move(dfa_);
+  }
+
+ private:
+  std::int32_t intern(const StateKey& key) {
+    auto [it, inserted] = ids_.emplace(key, dfa_.n_states());
+    if (inserted) {
+      dfa_.next.resize(dfa_.next.size() + 256, -1);
+      dfa_.accept.push_back(0);
+      pending_.push_back(key);
+    }
+    return it->second;
+  }
+
+  void edge(std::int32_t from, unsigned char c, const StateKey& to) {
+    dfa_.next[static_cast<std::size_t>(from) * 256 + c] = intern(to);
+  }
+
+  void ws_self(std::int32_t id, const StateKey& key) {
+    edge(id, ' ', key);
+    edge(id, '\t', key);
+    edge(id, '\n', key);
+    edge(id, '\r', key);
+  }
+
+  // The state a completed value lands in given the remaining stack.
+  StateKey after_value(const std::string& stack) const {
+    StateKey k;
+    k.mode = stack.empty() ? kMDone : kMAfterValue;
+    k.stack = stack;
+    return k;
+  }
+
+  // Value-start edges out of `id` with open-container stack `stack`.
+  // `allow` restricts the legal starts (root constraint).
+  void value_starts(std::int32_t id, const std::string& stack,
+                    GrammarRoot allow) {
+    if (allow == GrammarRoot::kObject || allow == GrammarRoot::kValue) {
+      if (static_cast<std::int64_t>(stack.size()) < spec_.max_depth) {
+        StateKey k{kMObjFirst, stack + '{', -1, 0};
+        edge(id, '{', k);
+      }
+    }
+    if (allow == GrammarRoot::kArray || allow == GrammarRoot::kValue) {
+      if (static_cast<std::int64_t>(stack.size()) < spec_.max_depth) {
+        StateKey k{kMArrFirst, stack + '[', -1, 0};
+        edge(id, '[', k);
+      }
+    }
+    if (allow != GrammarRoot::kValue) return;
+    edge(id, '"', StateKey{kMStr, stack, -1, 0});
+    edge(id, '-', StateKey{kMNumMinus, stack, -1, 0});
+    edge(id, '0', StateKey{kMNumZero, stack, -1, 0});
+    for (char c = '1'; c <= '9'; ++c) {
+      edge(id, static_cast<unsigned char>(c), StateKey{kMNumInt, stack, -1, 0});
+    }
+    edge(id, 't', StateKey{kMLit, stack, 0, 1});
+    edge(id, 'f', StateKey{kMLit, stack, 1, 1});
+    edge(id, 'n', StateKey{kMLit, stack, 2, 1});
+  }
+
+  // Edges a COMPLETE value shares with kMAfterValue/kMDone: trailing ws,
+  // ',' continuing the innermost container, or the matching closer.
+  // Number-complete states union these in so "12," or "3]" parse without a
+  // separate end-of-number marker.
+  void terminator_edges(std::int32_t id, const std::string& stack) {
+    if (stack.empty()) {
+      ws_self(id, StateKey{kMDone, "", -1, 0});
+      return;
+    }
+    StateKey after{kMAfterValue, stack, -1, 0};
+    ws_self(id, after);
+    const char open = stack.back();
+    std::string popped(stack.begin(), stack.end() - 1);
+    if (open == '{') {
+      edge(id, ',', StateKey{kMObjNext, stack, -1, 0});
+      edge(id, '}', after_value(popped));
+    } else {
+      edge(id, ',', StateKey{kMArrNext, stack, -1, 0});
+      edge(id, ']', after_value(popped));
+    }
+  }
+
+  // In-string bytes: anything >= 0x20 except the quote and backslash
+  // (multi-byte UTF-8 sequences pass through byte by byte).
+  void string_body_edges(std::int32_t id, const StateKey& self,
+                         const StateKey& esc) {
+    for (int c = 0x20; c < 256; ++c) {
+      if (c == '"' || c == '\\') continue;
+      edge(id, static_cast<unsigned char>(c), self);
+    }
+    edge(id, '\\', esc);
+  }
+
+  void escape_edges(std::int32_t id, const StateKey& back) {
+    for (char c : std::string_view("\"\\/bfnrt")) {
+      edge(id, static_cast<unsigned char>(c), back);
+    }
+  }
+
+  void expand(const StateKey& key) {
+    const std::int32_t id = ids_.at(key);
+    const std::string& stack = key.stack;
+    switch (key.mode) {
+      case kMValue: {
+        ws_self(id, key);
+        // The root constraint only bites before the first container opens.
+        const GrammarRoot allow =
+            stack.empty() ? spec_.root : GrammarRoot::kValue;
+        value_starts(id, stack, allow);
+        break;
+      }
+      case kMObjFirst: {
+        ws_self(id, key);
+        edge(id, '"', StateKey{kMObjKey, stack, -1, 0});
+        std::string popped(stack.begin(), stack.end() - 1);
+        edge(id, '}', after_value(popped));
+        break;
+      }
+      case kMObjNext:
+        ws_self(id, key);
+        edge(id, '"', StateKey{kMObjKey, stack, -1, 0});
+        break;
+      case kMObjKey:
+        string_body_edges(id, key, StateKey{kMObjKeyEsc, stack, -1, 0});
+        edge(id, '"', StateKey{kMAfterKey, stack, -1, 0});
+        break;
+      case kMObjKeyEsc:
+        escape_edges(id, StateKey{kMObjKey, stack, -1, 0});
+        break;
+      case kMAfterKey:
+        ws_self(id, key);
+        edge(id, ':', StateKey{kMValue, stack, -1, 0});
+        break;
+      case kMArrFirst: {
+        ws_self(id, key);
+        value_starts(id, stack, GrammarRoot::kValue);
+        std::string popped(stack.begin(), stack.end() - 1);
+        edge(id, ']', after_value(popped));
+        break;
+      }
+      case kMArrNext:
+        ws_self(id, key);
+        value_starts(id, stack, GrammarRoot::kValue);
+        break;
+      case kMStr:
+        string_body_edges(id, key, StateKey{kMStrEsc, stack, -1, 0});
+        edge(id, '"', after_value(stack));
+        break;
+      case kMStrEsc:
+        escape_edges(id, StateKey{kMStr, stack, -1, 0});
+        break;
+      case kMNumMinus:
+        edge(id, '0', StateKey{kMNumZero, stack, -1, 0});
+        for (char c = '1'; c <= '9'; ++c) {
+          edge(id, static_cast<unsigned char>(c),
+               StateKey{kMNumInt, stack, -1, 0});
+        }
+        break;
+      case kMNumZero:
+        edge(id, '.', StateKey{kMNumDot, stack, -1, 0});
+        edge(id, 'e', StateKey{kMNumExpMark, stack, -1, 0});
+        edge(id, 'E', StateKey{kMNumExpMark, stack, -1, 0});
+        terminator_edges(id, stack);
+        dfa_.accept[id] = stack.empty() ? 1 : 0;
+        break;
+      case kMNumInt:
+        for (char c = '0'; c <= '9'; ++c) {
+          edge(id, static_cast<unsigned char>(c), key);
+        }
+        edge(id, '.', StateKey{kMNumDot, stack, -1, 0});
+        edge(id, 'e', StateKey{kMNumExpMark, stack, -1, 0});
+        edge(id, 'E', StateKey{kMNumExpMark, stack, -1, 0});
+        terminator_edges(id, stack);
+        dfa_.accept[id] = stack.empty() ? 1 : 0;
+        break;
+      case kMNumDot:
+        for (char c = '0'; c <= '9'; ++c) {
+          edge(id, static_cast<unsigned char>(c),
+               StateKey{kMNumFrac, stack, -1, 0});
+        }
+        break;
+      case kMNumFrac:
+        for (char c = '0'; c <= '9'; ++c) {
+          edge(id, static_cast<unsigned char>(c), key);
+        }
+        edge(id, 'e', StateKey{kMNumExpMark, stack, -1, 0});
+        edge(id, 'E', StateKey{kMNumExpMark, stack, -1, 0});
+        terminator_edges(id, stack);
+        dfa_.accept[id] = stack.empty() ? 1 : 0;
+        break;
+      case kMNumExpMark:
+        edge(id, '+', StateKey{kMNumExpSign, stack, -1, 0});
+        edge(id, '-', StateKey{kMNumExpSign, stack, -1, 0});
+        for (char c = '0'; c <= '9'; ++c) {
+          edge(id, static_cast<unsigned char>(c),
+               StateKey{kMNumExp, stack, -1, 0});
+        }
+        break;
+      case kMNumExpSign:
+        for (char c = '0'; c <= '9'; ++c) {
+          edge(id, static_cast<unsigned char>(c),
+               StateKey{kMNumExp, stack, -1, 0});
+        }
+        break;
+      case kMNumExp:
+        for (char c = '0'; c <= '9'; ++c) {
+          edge(id, static_cast<unsigned char>(c), key);
+        }
+        terminator_edges(id, stack);
+        dfa_.accept[id] = stack.empty() ? 1 : 0;
+        break;
+      case kMLit: {
+        const std::string_view lit = kLiterals[key.lit];
+        if (static_cast<std::size_t>(key.pos) < lit.size()) {
+          const unsigned char c =
+              static_cast<unsigned char>(lit[static_cast<std::size_t>(key.pos)]);
+          if (static_cast<std::size_t>(key.pos) + 1 == lit.size()) {
+            edge(id, c, after_value(stack));
+          } else {
+            edge(id, c, StateKey{kMLit, stack, key.lit, key.pos + 1});
+          }
+        }
+        break;
+      }
+      case kMAfterValue:
+        terminator_edges(id, stack);
+        break;
+      case kMDone:
+        ws_self(id, key);
+        dfa_.accept[id] = 1;
+        break;
+      default:
+        MGPT_CHECK(false, "grammar: unknown parse mode");
+    }
+  }
+
+  GrammarSpec spec_;
+  CharDfa dfa_;
+  std::map<StateKey, std::int32_t> ids_;
+  std::vector<StateKey> pending_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+const char* grammar_root_name(GrammarRoot r) {
+  switch (r) {
+    case GrammarRoot::kValue:
+      return "value";
+    case GrammarRoot::kObject:
+      return "object";
+    case GrammarRoot::kArray:
+      return "array";
+  }
+  return "?";
+}
+
+void GrammarSpec::validate() const {
+  MGPT_CHECK(max_depth >= 1 && max_depth <= 8,
+             "GrammarSpec: max_depth must be in [1, 8] (the char-DFA state "
+             "space grows ~2^depth)");
+}
+
+std::int32_t CharDfa::walk(std::int32_t state, std::string_view bytes) const {
+  for (unsigned char c : bytes) {
+    if (state < 0) return -1;
+    state = step(state, c);
+  }
+  return state;
+}
+
+CharDfa CharDfa::compile(const GrammarSpec& spec) {
+  spec.validate();
+  return CharDfaBuilder(spec).build();
+}
+
+TokenDfa TokenDfa::compile(const GrammarSpec& spec,
+                           std::span<const std::string> token_bytes,
+                           std::int32_t eos_id) {
+  MGPT_CHECK(!token_bytes.empty(), "TokenDfa: empty vocabulary");
+  MGPT_CHECK(eos_id >= 0 &&
+                 eos_id < static_cast<std::int32_t>(token_bytes.size()),
+             "TokenDfa: eos_id out of vocabulary range");
+  const CharDfa chars = CharDfa::compile(spec);
+  TokenDfa dfa;
+  dfa.start_ = chars.start;
+  dfa.eos_ = eos_id;
+  dfa.vocab_ = static_cast<std::int64_t>(token_bytes.size());
+  dfa.n_states_ = chars.n_states();
+  dfa.halt_on_eos_ = true;
+  dfa.eos_legal_.assign(chars.accept.begin(), chars.accept.end());
+  dfa.next_.assign(static_cast<std::size_t>(dfa.n_states_) *
+                       static_cast<std::size_t>(dfa.vocab_),
+                   -1);
+  for (std::int32_t s = 0; s < dfa.n_states_; ++s) {
+    std::int32_t* row = dfa.next_.data() +
+                        static_cast<std::size_t>(s) *
+                            static_cast<std::size_t>(dfa.vocab_);
+    for (std::int64_t t = 0; t < dfa.vocab_; ++t) {
+      const std::string& bytes = token_bytes[static_cast<std::size_t>(t)];
+      // Specials (and any other byte-less token) can never advance the
+      // grammar; EOS legality is handled by eos_legal_, not next_.
+      if (bytes.empty()) continue;
+      row[t] = chars.walk(s, bytes);
+    }
+  }
+  return dfa;
+}
+
+TokenDfa TokenDfa::compile(const GrammarSpec& spec,
+                           const tok::BpeTokenizer& tokenizer) {
+  std::vector<std::string> bytes;
+  bytes.reserve(static_cast<std::size_t>(tokenizer.vocab_size()));
+  for (std::int32_t id = 0; id < tokenizer.vocab_size(); ++id) {
+    bytes.push_back(tokenizer.token_bytes(id));
+  }
+  return compile(spec, bytes, tok::SpecialTokens::kEos);
+}
+
+TokenDfa TokenDfa::pass_through(std::int64_t vocab_size, std::int32_t eos_id) {
+  MGPT_CHECK(vocab_size > 0, "TokenDfa: vocab_size must be positive");
+  MGPT_CHECK(eos_id >= 0 && eos_id < vocab_size,
+             "TokenDfa: eos_id out of vocabulary range");
+  TokenDfa dfa;
+  dfa.start_ = 0;
+  dfa.eos_ = eos_id;
+  dfa.vocab_ = vocab_size;
+  dfa.n_states_ = 1;
+  dfa.halt_on_eos_ = false;
+  dfa.eos_legal_.assign(1, 1);
+  dfa.next_.assign(static_cast<std::size_t>(vocab_size), 0);
+  return dfa;
+}
+
+std::int64_t TokenDfa::legal_mask(std::int32_t state,
+                                  std::span<std::uint8_t> mask) const {
+  MGPT_CHECK(state >= 0 && state < n_states_,
+             "TokenDfa: state out of range");
+  MGPT_CHECK(static_cast<std::int64_t>(mask.size()) == vocab_,
+             "TokenDfa: mask size must equal vocab size");
+  const std::int32_t* row =
+      next_.data() + static_cast<std::size_t>(state) *
+                         static_cast<std::size_t>(vocab_);
+  std::int64_t legal = 0;
+  for (std::int64_t v = 0; v < vocab_; ++v) {
+    const bool ok = row[v] >= 0;
+    mask[static_cast<std::size_t>(v)] = ok ? 1 : 0;
+    legal += ok ? 1 : 0;
+  }
+  if (eos_legal(state) && mask[static_cast<std::size_t>(eos_)] == 0) {
+    mask[static_cast<std::size_t>(eos_)] = 1;
+    ++legal;
+  }
+  return legal;
+}
+
+}  // namespace matgpt::serve::workloads

@@ -1,0 +1,138 @@
+#pragma once
+// Grammar-constrained decoding: compile a JSON-subset grammar to a
+// token-level DFA over a BPE vocabulary, so the engine can mask logits per
+// decode step and every sampled token is legal by construction.
+//
+// Two layers:
+//
+//   1. A char-level DFA for a JSON subset (objects, arrays, strings with
+//      escapes, numbers, true/false/null, insignificant whitespace) with a
+//      BOUNDED nesting depth — bounding the depth is what makes the language
+//      regular, so a DFA exists at all. States are built by memoized BFS
+//      over (parse mode, open-container stack), so only reachable states
+//      materialize.
+//
+//   2. TokenDfa lifts the char DFA to token granularity: for each (state,
+//      token) it walks the token's byte string through the char DFA —
+//      a multi-byte token like `{"` or `": [` crosses several grammar
+//      states in one step, and is legal iff EVERY byte transition is.
+//      EOS legality per state = char-DFA acceptance (the text so far is a
+//      complete JSON value), which is how "EOS only legal at accept" falls
+//      out naturally.
+//
+// The all-ones pass_through() DFA exists so the engine's masked sampling
+// path can be proven byte-identical to the unconstrained path: a mask that
+// allows everything writes nothing into the logits row.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace matgpt::tok {
+class BpeTokenizer;
+}
+
+namespace matgpt::serve::workloads {
+
+/// What the grammar accepts at the root.
+enum class GrammarRoot : std::uint8_t {
+  kValue = 0,   // any JSON value (scalar, object, or array)
+  kObject = 1,  // must be a top-level object
+  kArray = 2,   // must be a top-level array
+};
+
+const char* grammar_root_name(GrammarRoot r);
+
+/// Spec for the JSON-subset grammar. Depth is bounded (that is what makes
+/// the language regular); strings accept any byte >= 0x20 plus the standard
+/// single-char escapes, numbers follow the JSON grammar minus leading '+'.
+struct GrammarSpec {
+  GrammarRoot root = GrammarRoot::kObject;
+  /// Maximum container nesting depth (1 = root container only). Bounded to
+  /// keep the char-DFA state space small: states grow ~2^depth.
+  std::int64_t max_depth = 4;
+
+  void validate() const;
+};
+
+/// Char-level DFA over bytes 0..255. Exposed for tests; the engine only
+/// ever touches TokenDfa.
+struct CharDfa {
+  /// next_[s * 256 + c] = successor state, -1 = illegal byte.
+  std::vector<std::int32_t> next;
+  /// accept[s] = the input consumed so far is a complete utterance.
+  std::vector<std::uint8_t> accept;
+  std::int32_t start = 0;
+
+  std::int32_t n_states() const {
+    return static_cast<std::int32_t>(accept.size());
+  }
+  std::int32_t step(std::int32_t state, unsigned char c) const {
+    return next[static_cast<std::size_t>(state) * 256 + c];
+  }
+  /// Walk a byte string; -1 as soon as any byte is illegal.
+  std::int32_t walk(std::int32_t state, std::string_view bytes) const;
+
+  static CharDfa compile(const GrammarSpec& spec);
+};
+
+/// Token-level DFA: per (grammar state, token id) successor table plus
+/// per-state EOS legality. Immutable after compile — share one instance
+/// across every request using the same grammar via shared_ptr.
+class TokenDfa {
+ public:
+  /// Lift `spec` over an explicit token byte-string table (empty string =
+  /// special/unembeddable token, never legal). `eos_id` is the only token
+  /// whose legality comes from state acceptance rather than its bytes.
+  static TokenDfa compile(const GrammarSpec& spec,
+                          std::span<const std::string> token_bytes,
+                          std::int32_t eos_id);
+  /// Convenience: lift over a trained BPE tokenizer's vocab, with EOS =
+  /// tok::SpecialTokens::kEos.
+  static TokenDfa compile(const GrammarSpec& spec,
+                          const tok::BpeTokenizer& tokenizer);
+
+  /// The identity constraint: every token (and EOS) legal in its single
+  /// state, and sampling EOS does NOT halt generation. Used to prove the
+  /// masked sampling path writes nothing when the mask is all-ones.
+  static TokenDfa pass_through(std::int64_t vocab_size, std::int32_t eos_id);
+
+  std::int32_t start() const { return start_; }
+  /// Successor of `state` on `token`; -1 = token illegal in this state.
+  std::int32_t next(std::int32_t state, std::int32_t token) const {
+    return next_[static_cast<std::size_t>(state) * vocab_ + token];
+  }
+  bool eos_legal(std::int32_t state) const {
+    return eos_legal_[static_cast<std::size_t>(state)] != 0;
+  }
+  /// True for compiled grammars (EOS ends the utterance); false for
+  /// pass_through (EOS is just another token — generation runs to
+  /// max_new_tokens exactly like an unconstrained request).
+  bool halt_on_eos() const { return halt_on_eos_; }
+  std::int32_t eos() const { return eos_; }
+  std::int64_t vocab_size() const { return vocab_; }
+  std::int32_t n_states() const { return n_states_; }
+
+  /// Fill mask[v] = 1 iff token v is legal in `state` (EOS included when
+  /// eos_legal). mask.size() must equal vocab_size(). Returns the number of
+  /// legal tokens; 0 means the state is DEAD — no continuation exists and
+  /// the engine must fail the request deterministically, not hang.
+  std::int64_t legal_mask(std::int32_t state,
+                          std::span<std::uint8_t> mask) const;
+
+ private:
+  TokenDfa() = default;
+
+  std::vector<std::int32_t> next_;       // n_states_ x vocab_
+  std::vector<std::uint8_t> eos_legal_;  // n_states_
+  std::int32_t start_ = 0;
+  std::int32_t eos_ = -1;
+  std::int64_t vocab_ = 0;
+  std::int32_t n_states_ = 0;
+  bool halt_on_eos_ = true;
+};
+
+}  // namespace matgpt::serve::workloads

@@ -25,7 +25,9 @@
 #include "net/loadgen.h"
 #include "net/server.h"
 #include "nn/gpt.h"
+#include "nn/bert.h"
 #include "serve/engine.h"
+#include "serve/workloads/grammar.h"
 #include "serve/trace.h"
 
 namespace matgpt {
@@ -985,6 +987,247 @@ TEST(HttpServerE2E, ClientRstMidStreamIsSurvived) {
   const auto resp =
       exchange(h.port(), request_text("GET", "/v1/healthz", ""));
   EXPECT_EQ(resp.status_code(), 200);
+}
+
+// ---------------------------------------------------------------------------
+// /v1/embeddings + constrained decoding over the socket
+// ---------------------------------------------------------------------------
+
+nn::BertConfig tiny_bert_config() {
+  nn::BertConfig c;
+  c.vocab_size = 50;
+  c.hidden = 16;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.max_seq = 32;
+  return c;
+}
+
+// JSON-fragment vocab over the tiny 50-token model: enough structure for a
+// compiled grammar to make progress (see serve_workloads_test for the full
+// DFA-level coverage).
+std::shared_ptr<const serve::workloads::TokenDfa> tiny_json_grammar() {
+  std::vector<std::string> v(50);
+  v[5] = "{";
+  v[6] = "}";
+  v[7] = "[";
+  v[8] = "]";
+  v[9] = ":";
+  v[10] = ",";
+  v[11] = "\"";
+  for (int d = 0; d < 10; ++d) v[12 + d] = std::string(1, '0' + d);
+  v[22] = "a";
+  v[23] = "b";
+  v[24] = "c";
+  v[27] = "{\"";
+  v[28] = "\":";
+  v[29] = ",\"";
+  v[30] = "\"}";
+  v[31] = "true";
+  v[32] = "false";
+  v[33] = "null";
+  v[34] = " ";
+  v[38] = "{}";
+  return std::make_shared<const serve::workloads::TokenDfa>(
+      serve::workloads::TokenDfa::compile(serve::workloads::GrammarSpec{}, v,
+                                          3));
+}
+
+TEST(HttpServerE2E, EmbeddingsHappyPathMatchesEncoder) {
+  const auto encoder =
+      std::make_shared<const nn::BertEncoder>(tiny_bert_config());
+  serve::EngineConfig ec;
+  ec.workloads.embedder = encoder;
+  Harness h(ec);
+
+  const std::string body =
+      "{\"inputs\": [[1, 2, 3, 4], [5, 6, 7, 8], [9, 10]],"
+      " \"reduce\": \"mean\", \"gnn\": true}";
+  const auto resp =
+      exchange(h.port(), request_text("POST", "/v1/embeddings", body));
+  ASSERT_EQ(resp.status_code(), 200);
+  const net::Json j = net::Json::parse(resp.body());
+  EXPECT_EQ(j.find("dim")->as_int(), 16);
+  const net::Json* rows = j.find("embeddings");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items().size(), 3u);
+  // Row 0 must match the encoder's own pooled embedding to JSON-float
+  // precision.
+  const std::vector<std::int32_t> first{1, 2, 3, 4};
+  const std::vector<float> expected = encoder->embed(first);
+  const auto& row0 = rows->items()[0].items();
+  ASSERT_EQ(row0.size(), expected.size());
+  for (std::size_t c = 0; c < expected.size(); ++c) {
+    EXPECT_NEAR(row0[c].as_number(), static_cast<double>(expected[c]), 1e-6);
+  }
+  // GNN-ready block: flat row-major features, inputs as nodes.
+  const net::Json* gnn = j.find("gnn");
+  ASSERT_NE(gnn, nullptr);
+  EXPECT_EQ(gnn->find("num_nodes")->as_int(), 3);
+  EXPECT_EQ(gnn->find("feature_dim")->as_int(), 16);
+  EXPECT_EQ(gnn->find("features")->items().size(), 48u);
+  EXPECT_NEAR(gnn->find("features")->items()[0].as_number(),
+              static_cast<double>(expected[0]), 1e-6);
+}
+
+TEST(HttpServerE2E, EmbeddingsMalformedBodiesYield400) {
+  const auto encoder =
+      std::make_shared<const nn::BertEncoder>(tiny_bert_config());
+  serve::EngineConfig ec;
+  ec.workloads.embedder = encoder;
+  Harness h(ec);
+
+  // Not JSON at all.
+  EXPECT_EQ(exchange(h.port(), request_text("POST", "/v1/embeddings",
+                                            "not json"))
+                .status_code(),
+            400);
+  // Missing inputs.
+  EXPECT_EQ(exchange(h.port(),
+                     request_text("POST", "/v1/embeddings", "{}"))
+                .status_code(),
+            400);
+  // Empty inputs array.
+  EXPECT_EQ(exchange(h.port(), request_text("POST", "/v1/embeddings",
+                                            "{\"inputs\": []}"))
+                .status_code(),
+            400);
+  // Non-array element and empty element.
+  EXPECT_EQ(exchange(h.port(), request_text("POST", "/v1/embeddings",
+                                            "{\"inputs\": [5]}"))
+                .status_code(),
+            400);
+  EXPECT_EQ(exchange(h.port(), request_text("POST", "/v1/embeddings",
+                                            "{\"inputs\": [[]]}"))
+                .status_code(),
+            400);
+  // Bad reduce name.
+  EXPECT_EQ(exchange(h.port(),
+                     request_text("POST", "/v1/embeddings",
+                                  "{\"inputs\": [[1]], \"reduce\": \"max\"}"))
+                .status_code(),
+            400);
+  // Token outside the encoder vocab: rejected by engine admission, and the
+  // already-submitted first input is cancelled (response still one 400).
+  EXPECT_EQ(exchange(h.port(),
+                     request_text("POST", "/v1/embeddings",
+                                  "{\"inputs\": [[1, 2], [999]]}"))
+                .status_code(),
+            400);
+  // GET is not allowed.
+  EXPECT_EQ(
+      exchange(h.port(), request_text("GET", "/v1/embeddings", ""))
+          .status_code(),
+      405);
+  // The happy path still works after all those errors.
+  EXPECT_EQ(exchange(h.port(), request_text("POST", "/v1/embeddings",
+                                            "{\"inputs\": [[1, 2, 3]]}"))
+                .status_code(),
+            200);
+}
+
+TEST(HttpServerE2E, EmbeddingsWithoutEmbedderYield501) {
+  Harness h;
+  EXPECT_EQ(exchange(h.port(), request_text("POST", "/v1/embeddings",
+                                            "{\"inputs\": [[1]]}"))
+                .status_code(),
+            501);
+}
+
+TEST(HttpServerE2E, ConstrainedStreamByteStableAcrossBatchCompositions) {
+  serve::EngineConfig ec;
+  ec.max_batch = 4;
+  ec.workloads.grammar = true;
+  net::HttpServerConfig sc;
+  sc.grammars["json"] = tiny_json_grammar();
+
+  serve::Request probe;
+  probe.id = 1;
+  probe.prompt = {5, 22, 9, 34};
+  probe.max_new_tokens = 12;
+  probe.sampling.temperature = 0.9f;
+  probe.sampling.top_k = 30;
+  probe.sampling.seed = 0xfeed;
+
+  auto constrained_body = [&](const serve::Request& req) {
+    std::string body = net::generate_body(req, false);
+    // Splice the grammar selector into the generated JSON body.
+    body.insert(body.size() - 1, ", \"grammar\": \"json\"");
+    return body;
+  };
+  auto tokens_of = [](const net::HttpResponseParser& resp) {
+    std::vector<std::int32_t> tokens;
+    const net::Json body = net::Json::parse(resp.body());
+    for (const net::Json& t : body.find("tokens")->items()) {
+      tokens.push_back(static_cast<std::int32_t>(t.as_int()));
+    }
+    return tokens;
+  };
+
+  // Solo: the probe runs alone.
+  std::vector<std::int32_t> solo;
+  {
+    Harness h(ec, sc);
+    const auto resp = exchange(
+        h.port(), request_text("POST", "/v1/generate",
+                               constrained_body(probe)));
+    ASSERT_EQ(resp.status_code(), 200);
+    solo = tokens_of(resp);
+    ASSERT_FALSE(solo.empty());
+  }
+  // Busy: the same probe races a batch of free-form and constrained
+  // traffic on the same engine. Its tokens must not move by a byte.
+  {
+    Harness h(ec, sc);
+    auto trace = serve::synth_trace(tiny_trace_spec(6));
+    std::thread background([&] {
+      net::LoadGenConfig lg;
+      lg.port = h.port();
+      lg.concurrency = 3;
+      net::LoadGen(lg).run_closed(trace);
+    });
+    std::vector<std::int32_t> busy;
+    serve::Request again = probe;
+    again.id = 500;  // distinct id, same seed/prompt
+    const auto resp = exchange(
+        h.port(), request_text("POST", "/v1/generate",
+                               constrained_body(again)));
+    EXPECT_EQ(resp.status_code(), 200);
+    busy = tokens_of(resp);
+    background.join();
+    EXPECT_EQ(busy, solo)
+        << "constrained stream changed under a different batch composition";
+  }
+  // Unknown grammar name is a 400, not silent free-form decoding.
+  {
+    Harness h(ec, sc);
+    std::string body = net::generate_body(probe, false);
+    body.insert(body.size() - 1, ", \"grammar\": \"nope\"");
+    EXPECT_EQ(
+        exchange(h.port(), request_text("POST", "/v1/generate", body))
+            .status_code(),
+        400);
+  }
+}
+
+TEST(HttpServerE2E, StatsReportEmbedCounters) {
+  const auto encoder =
+      std::make_shared<const nn::BertEncoder>(tiny_bert_config());
+  serve::EngineConfig ec;
+  ec.workloads.embedder = encoder;
+  Harness h(ec);
+  ASSERT_EQ(exchange(h.port(), request_text("POST", "/v1/embeddings",
+                                            "{\"inputs\": [[1, 2], [3, 4]]}"))
+                .status_code(),
+            200);
+  const auto resp =
+      exchange(h.port(), request_text("GET", "/v1/stats", ""));
+  ASSERT_EQ(resp.status_code(), 200);
+  const net::Json j = net::Json::parse(resp.body());
+  EXPECT_EQ(j.find("engine")->find("embed_requests")->as_int(), 2);
+  EXPECT_GE(j.find("engine")->find("embed_forwards")->as_int(), 1);
+  EXPECT_EQ(j.find("http")->find("embed_jobs")->as_int(), 1);
+  EXPECT_EQ(j.find("http")->find("embed_inputs")->as_int(), 2);
 }
 
 TEST(HttpServerE2E, OpenLoopPoissonRunCompletes) {
